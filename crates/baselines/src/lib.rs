@@ -1,0 +1,26 @@
+//! # sp-baselines — alternative access-control enforcement mechanisms
+//!
+//! The paper motivates security punctuations by comparison with two
+//! alternatives (§I-C), both implemented here behind one interface:
+//!
+//! * [`StoreAndProbe`] — policies in a central persistent table, probed per
+//!   tuple;
+//! * [`TupleEmbedded`] — every tuple carries its own policy copy;
+//! * [`SpMechanism`] — the punctuation-based approach (the real engine
+//!   path), wrapped for the comparison harness.
+//!
+//! All three enforce identical semantics — the cross-mechanism equivalence
+//! tests assert byte-identical released tuple sequences — and differ only
+//! in processing and memory profile, which is what Fig. 7 measures.
+
+#![warn(missing_docs)]
+
+pub mod mechanism;
+pub mod sp_mech;
+pub mod store_probe;
+pub mod tuple_embedded;
+
+pub use mechanism::{run_mechanism, EnforcementMechanism, MechStats};
+pub use sp_mech::SpMechanism;
+pub use store_probe::StoreAndProbe;
+pub use tuple_embedded::{EmbeddedTuple, TupleEmbedded};

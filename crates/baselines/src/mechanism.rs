@@ -1,0 +1,63 @@
+//! The common interface of the three access-control enforcement mechanisms
+//! compared in §I-C / §VII-B of the paper.
+//!
+//! A mechanism receives the *same* raw punctuated stream and enforces the
+//! same policies for a query with a fixed role set; what differs is *where
+//! policies live* (central table, per-tuple copies, or in-stream
+//! punctuations) and therefore the processing and memory profile. The
+//! security-equivalence test suite asserts that all three release exactly
+//! the same tuples.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sp_core::{StreamElement, Tuple};
+
+/// One access-control enforcement mechanism under test.
+pub trait EnforcementMechanism {
+    /// Mechanism name ("store-and-probe", "tuple-embedded",
+    /// "security-punctuations").
+    fn name(&self) -> &'static str;
+
+    /// Processes one raw element; tuples the query is authorized to read
+    /// are appended to `out`.
+    fn process(&mut self, elem: StreamElement, out: &mut Vec<Arc<Tuple>>);
+
+    /// Approximate bytes of *policy-related* state currently held (the
+    /// Fig. 7c metric): policy tables, embedded copies, or shared
+    /// punctuations, plus per-tuple bookkeeping.
+    fn policy_mem_bytes(&self) -> usize;
+
+    /// Cumulative processing time spent inside `process`.
+    fn elapsed(&self) -> Duration;
+
+    /// Tuples released so far.
+    fn released(&self) -> u64;
+
+    /// Tuples denied so far.
+    fn denied(&self) -> u64;
+}
+
+/// Shared counters for mechanism implementations.
+#[derive(Debug, Default)]
+pub struct MechStats {
+    /// Total processing time.
+    pub elapsed: Duration,
+    /// Released tuple count.
+    pub released: u64,
+    /// Denied tuple count.
+    pub denied: u64,
+}
+
+/// Test/bench helper: runs a raw stream through a mechanism, returning the
+/// released tuples.
+pub fn run_mechanism(
+    mech: &mut dyn EnforcementMechanism,
+    input: impl IntoIterator<Item = StreamElement>,
+) -> Vec<Arc<Tuple>> {
+    let mut out = Vec::new();
+    for elem in input {
+        mech.process(elem, &mut out);
+    }
+    out
+}

@@ -1,0 +1,47 @@
+//! Criterion microbenches for the three access-control enforcement
+//! mechanisms end-to-end — the statistically robust companion of the fig7
+//! harness.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sp_bench::mechanisms::{all_mechanisms, catalog, probe_roles};
+use sp_bench::workloads::fig7_workload;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanisms");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let catalog = catalog(128);
+    for sp_every in [1usize, 50] {
+        let workload = fig7_workload(sp_every, 3, 0.5, 5);
+        group.throughput(Throughput::Elements(workload.tuples as u64));
+        // Enumerate mechanisms by index so each iteration gets a fresh one.
+        for idx in 0..3usize {
+            let name = ["store_and_probe", "tuple_embedded", "security_punctuations"][idx];
+            group.bench_with_input(
+                BenchmarkId::new(name, sp_every),
+                &workload,
+                |b, workload| {
+                    b.iter(|| {
+                        let mut mechs =
+                            all_mechanisms(&catalog, &workload.schema, &probe_roles());
+                        let mut mech = mechs.swap_remove(idx);
+                        let mut out = Vec::with_capacity(256);
+                        for elem in &workload.elements {
+                            mech.process(elem.clone(), &mut out);
+                            out.clear();
+                        }
+                        mech.released()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Criterion microbenches for the unary security-aware operators:
+//! Security Shield (both match modes), select and project, at two policy
+//! sharing levels. Complements the fig8 harness with statistically robust
+//! per-element timings.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sp_bench::workloads::fig8_workload;
+use sp_core::{RoleSet, Value};
+use sp_engine::{
+    CmpOp, Element, Emitter, Expr, MatchMode, Operator, Project, SecurityShield, Select,
+    SpAnalyzer,
+};
+
+fn resolved_elements(sp_every: usize) -> Vec<Element> {
+    let workload = fig8_workload(sp_every, 3);
+    let mut catalog = sp_core::RoleCatalog::new();
+    catalog.register_synthetic_roles(600);
+    let mut analyzer = SpAnalyzer::new(workload.schema.clone(), Arc::new(catalog));
+    let mut out = Vec::new();
+    for e in &workload.elements {
+        analyzer.push(e.clone(), &mut out);
+    }
+    out
+}
+
+fn run(op: &mut dyn Operator, elements: &[Element]) -> usize {
+    let mut emitter = Emitter::new();
+    let mut produced = 0;
+    for e in elements {
+        op.process(0, e.clone(), &mut emitter);
+        produced += emitter.take().len();
+    }
+    produced
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unary_operators");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for sp_every in [1usize, 25] {
+        let elements = resolved_elements(sp_every);
+        group.throughput(Throughput::Elements(elements.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("security_shield", sp_every),
+            &elements,
+            |b, elems| {
+                b.iter(|| {
+                    let mut ss = SecurityShield::new(RoleSet::from([0]));
+                    run(&mut ss, elems)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("security_shield_scan_r100", sp_every),
+            &elements,
+            |b, elems| {
+                b.iter(|| {
+                    let mut ss = SecurityShield::new(RoleSet::all_below(100))
+                        .with_mode(MatchMode::Scan);
+                    run(&mut ss, elems)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("select", sp_every),
+            &elements,
+            |b, elems| {
+                b.iter(|| {
+                    let mut sel = Select::new(Expr::cmp(
+                        CmpOp::Ge,
+                        Expr::Attr(1),
+                        Expr::Const(Value::Float(500.0)),
+                    ));
+                    run(&mut sel, elems)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("project", sp_every),
+            &elements,
+            |b, elems| {
+                b.iter(|| {
+                    let mut proj = Project::new(vec![0, 1]);
+                    run(&mut proj, elems)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// §V-A grouped-filter ablation: answering "which of N queries does this
+/// policy authorize?" via the inverted PredicateIndex vs N per-query
+/// intersections.
+fn bench_predicate_index(c: &mut Criterion) {
+    use sp_core::{Policy, Timestamp};
+    use sp_engine::PredicateIndex;
+
+    let mut group = c.benchmark_group("predicate_index");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
+    for n_queries in [16u32, 256] {
+        let mut index = PredicateIndex::new();
+        for q in 0..n_queries {
+            index.register(RoleSet::from([q % 64, (q * 7 + 3) % 64]));
+        }
+        let policies: Vec<Policy> = (0..64u32)
+            .map(|r| Policy::tuple_level(RoleSet::from([r, (r + 13) % 64]), Timestamp(0)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("indexed", n_queries),
+            &policies,
+            |b, policies| {
+                b.iter(|| {
+                    policies
+                        .iter()
+                        .map(|p| index.matching_queries(p).len())
+                        .sum::<usize>()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", n_queries),
+            &policies,
+            |b, policies| {
+                b.iter(|| {
+                    policies
+                        .iter()
+                        .map(|p| index.matching_queries_naive(p).len())
+                        .sum::<usize>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_predicate_index);
+criterion_main!(benches);

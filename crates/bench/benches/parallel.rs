@@ -1,0 +1,72 @@
+//! Sequential vs pipeline-parallel executor over a shielded multi-query
+//! plan. The parallel runner trades per-element channel overhead for
+//! overlap between pipeline stages; this bench measures where that trade
+//! lands for a plan with several moderately expensive stages.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sp_bench::workloads::fig8_workload;
+use sp_core::{RoleId, RoleSet, StreamElement, StreamId, Value};
+use sp_engine::{run_parallel, CmpOp, Expr, PlanBuilder, SecurityShield, Select};
+
+fn build(n_queries: u32, schema: &Arc<sp_core::Schema>) -> PlanBuilder {
+    let mut catalog = sp_core::RoleCatalog::new();
+    catalog.register_synthetic_roles(600);
+    let mut b = PlanBuilder::new(Arc::new(catalog));
+    let src = b.source(StreamId(1), schema.clone());
+    let sel = b.add(
+        Select::new(Expr::and(
+            Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Float(100.0))),
+            Expr::cmp(CmpOp::Le, Expr::Attr(2), Expr::Const(Value::Float(1400.0))),
+        )),
+        src,
+    );
+    for q in 0..n_queries {
+        let ss = b.add(SecurityShield::new(RoleSet::single(RoleId(q))), sel);
+        let _ = b.sink(ss);
+    }
+    b
+}
+
+fn bench_runners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executors");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let workload = fig8_workload(10, 31);
+    let input: Vec<(StreamId, StreamElement)> = workload
+        .elements
+        .iter()
+        .map(|e| (StreamId(1), e.clone()))
+        .collect();
+    group.throughput(Throughput::Elements(workload.tuples as u64));
+    for n_queries in [1u32, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sequential", n_queries),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut exec = build(n_queries, &workload.schema).build();
+                    exec.push_all(input.iter().cloned());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", n_queries),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let builder = build(n_queries, &workload.schema);
+                    let _ = run_parallel(builder, input.iter().cloned());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runners);
+criterion_main!(benches);

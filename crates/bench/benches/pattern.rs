@@ -1,0 +1,58 @@
+//! Criterion microbenches for the DDP pattern engine: compile cost and
+//! match cost per shape (match-all, literal, literal alternation, numeric
+//! range, general VM), including the numeric fast path.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_pattern::Pattern;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_compile");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
+    for (name, src) in [
+        ("match_all", "*"),
+        ("literal", "HeartRate"),
+        ("alternation", "doctor|nurse_on_duty|cardiologist"),
+        ("numeric_range", "<120-133>"),
+        ("vm", "patient-(<100-199>|vip.*)"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| Pattern::compile(std::hint::black_box(src)).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_match");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
+    let cases = [
+        ("match_all", "*", "HeartRate"),
+        ("literal", "HeartRate", "HeartRate"),
+        ("alternation", "doctor|nurse_on_duty|cardiologist", "nurse_on_duty"),
+        ("numeric_range", "<120-133>", "127"),
+        ("vm", "patient-(<100-199>|vip.*)", "patient-vip-007"),
+    ];
+    for (name, src, input) in cases {
+        let pattern = Pattern::compile(src).expect("compiles");
+        group.bench_with_input(BenchmarkId::new("str", name), &pattern, |b, p| {
+            b.iter(|| p.matches(std::hint::black_box(input)))
+        });
+    }
+    // The allocation-free integer fast path used on tuple ids.
+    let range = Pattern::numeric_range(100, 10_000);
+    group.bench_function("u64_range_fast_path", |b| {
+        b.iter(|| range.matches_u64(std::hint::black_box(1234)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_match);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion microbenches for the SAJoin variants at the extreme sp
+//! selectivities — the statistically robust companion of the fig9 harness.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sp_bench::workloads::fig9_workload;
+use sp_engine::{Element, Emitter, JoinVariant, Operator, SAJoin, SpAnalyzer};
+
+fn resolved_feed(sigma: f64) -> Vec<(usize, Element)> {
+    let workload = fig9_workload(sigma, 600, 3);
+    let mut catalog = sp_core::RoleCatalog::new();
+    catalog.register_synthetic_roles(128);
+    let catalog = Arc::new(catalog);
+    let mut analyzers = [
+        SpAnalyzer::new(workload.schema.clone(), catalog.clone()),
+        SpAnalyzer::new(workload.schema.clone(), catalog),
+    ];
+    let mut feed = Vec::new();
+    let mut staged = Vec::new();
+    for (port, elem) in &workload.feed {
+        staged.clear();
+        analyzers[*port].push(elem.clone(), &mut staged);
+        for e in staged.drain(..) {
+            feed.push((*port, e));
+        }
+    }
+    feed
+}
+
+fn bench_sajoin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sajoin");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for sigma in [0.1f64, 1.0] {
+        let feed = resolved_feed(sigma);
+        group.throughput(Throughput::Elements(feed.len() as u64));
+        for (name, variant) in [
+            ("nested_pf", JoinVariant::NestedLoopPF),
+            ("nested_fp", JoinVariant::NestedLoopFP),
+            ("index", JoinVariant::Index),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, sigma),
+                &feed,
+                |b, feed| {
+                    b.iter(|| {
+                        let mut join = SAJoin::new(variant, 2000, 1, 1, 2);
+                        let mut emitter = Emitter::new();
+                        let mut out = 0usize;
+                        for (port, elem) in feed {
+                            join.process(*port, elem.clone(), &mut emitter);
+                            out += emitter.take().len();
+                        }
+                        out
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sajoin);
+criterion_main!(benches);

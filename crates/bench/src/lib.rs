@@ -1,0 +1,122 @@
+//! # sp-bench — the evaluation harness
+//!
+//! Regenerates every figure of the paper's evaluation (§VII). One binary
+//! per figure:
+//!
+//! * `fig7 [a|b|c|d|all]` — the three enforcement mechanisms compared on
+//!   output rate, processing cost, memory and policy-size sensitivity;
+//! * `fig8 [a|b|all]` — Security Shield overhead vs select and project;
+//! * `fig9` — nested-loop vs index SAJoin across sp selectivities.
+//!
+//! Numbers are machine-specific; the *shapes* (who wins, by what factor,
+//! where the crossovers sit) are what reproduce the paper. Run in release
+//! mode. Each binary prints an aligned table and appends JSON-lines rows to
+//! `target/bench-results.jsonl` for EXPERIMENTS.md bookkeeping.
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use serde::Serialize;
+
+pub mod mechanisms;
+pub mod workloads;
+
+/// One measured table row, serialized to the results log.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Experiment id, e.g. "fig7a".
+    pub experiment: &'static str,
+    /// Sweep parameter name, e.g. "sp_ratio".
+    pub param: &'static str,
+    /// Sweep parameter value rendered as text.
+    pub value: String,
+    /// Series name, e.g. "security-punctuations".
+    pub series: String,
+    /// The measured metric.
+    pub metric: &'static str,
+    /// The measurement.
+    pub measured: f64,
+}
+
+/// Appends rows to `target/bench-results.jsonl` (best-effort).
+pub fn log_rows(rows: &[Row]) {
+    let path = std::path::Path::new("target");
+    if std::fs::create_dir_all(path).is_err() {
+        return;
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path.join("bench-results.jsonl"))
+    else {
+        return;
+    };
+    for row in rows {
+        if let Ok(line) = serde_json::to_string(row) {
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+/// Microseconds per unit, guarding against div-by-zero.
+#[must_use]
+pub fn us_per(elapsed: Duration, units: u64) -> f64 {
+    if units == 0 {
+        0.0
+    } else {
+        elapsed.as_secs_f64() * 1e6 / units as f64
+    }
+}
+
+/// Prints a header plus aligned rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut line = format!("{:<14}", header.first().copied().unwrap_or(""));
+    for h in &header[1..] {
+        line.push_str(&format!("{h:>18}"));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+    for row in rows {
+        let mut line = format!("{:<14}", row.first().cloned().unwrap_or_default());
+        for cell in &row[1..] {
+            line.push_str(&format!("{cell:>18}"));
+        }
+        println!("{line}");
+    }
+}
+
+/// Warns when measuring without optimizations.
+pub fn warn_if_debug() {
+    #[cfg(debug_assertions)]
+    eprintln!(
+        "WARNING: running a measurement binary in debug mode; use --release for meaningful numbers"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_per_guards_zero() {
+        assert_eq!(us_per(Duration::from_secs(1), 0), 0.0);
+        assert!((us_per(Duration::from_millis(1), 1000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_serialize() {
+        let row = Row {
+            experiment: "fig7a",
+            param: "sp_ratio",
+            value: "1/10".into(),
+            series: "sp".into(),
+            metric: "tuples_per_ms",
+            measured: 12.5,
+        };
+        let json = serde_json::to_string(&row).unwrap();
+        assert!(json.contains("fig7a"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Mechanism construction and measurement helpers for the Fig. 7
+//! comparison.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sp_baselines::{EnforcementMechanism, SpMechanism, StoreAndProbe, TupleEmbedded};
+use sp_core::{RoleCatalog, RoleId, RoleSet, Schema, StreamElement};
+
+/// In-flight buffer capacity: tuples concurrently inside each mechanism
+/// (the policy-memory metric counts the policies attached to them).
+pub const IN_FLIGHT: usize = 512;
+
+/// The three mechanisms of §I-C over the same catalog/schema/roles.
+pub fn all_mechanisms(
+    catalog: &Arc<RoleCatalog>,
+    schema: &Arc<Schema>,
+    query_roles: &RoleSet,
+) -> Vec<Box<dyn EnforcementMechanism>> {
+    vec![
+        Box::new(StoreAndProbe::new(
+            catalog.clone(),
+            schema.clone(),
+            query_roles.clone(),
+            IN_FLIGHT,
+        )),
+        Box::new(TupleEmbedded::new(
+            catalog.clone(),
+            schema.clone(),
+            query_roles.clone(),
+            IN_FLIGHT,
+        )),
+        Box::new(SpMechanism::new(
+            catalog.clone(),
+            schema.clone(),
+            query_roles.clone(),
+            IN_FLIGHT,
+        )),
+    ]
+}
+
+/// The probe query's roles: role 0 (the workload generator's grant target).
+#[must_use]
+pub fn probe_roles() -> RoleSet {
+    RoleSet::single(RoleId(0))
+}
+
+/// A catalog with the full synthetic role universe registered.
+#[must_use]
+pub fn catalog(universe: u32) -> Arc<RoleCatalog> {
+    let mut c = RoleCatalog::new();
+    c.register_synthetic_roles(universe);
+    Arc::new(c)
+}
+
+/// Measurement outcome for one mechanism over one workload.
+#[derive(Debug, Clone)]
+pub struct MechRun {
+    /// Mechanism name.
+    pub name: &'static str,
+    /// Wall time inside the mechanism.
+    pub elapsed: Duration,
+    /// Tuples released.
+    pub released: u64,
+    /// Tuples denied.
+    pub denied: u64,
+    /// Policy-related memory at end of run (bytes).
+    pub policy_mem: usize,
+}
+
+/// Drives a mechanism over a workload, collecting the Fig. 7 metrics.
+pub fn drive(
+    mech: &mut dyn EnforcementMechanism,
+    elements: &[StreamElement],
+) -> MechRun {
+    let mut out = Vec::with_capacity(1024);
+    for elem in elements {
+        mech.process(elem.clone(), &mut out);
+        out.clear();
+    }
+    MechRun {
+        name: match mech.name() {
+            "store-and-probe" => "store-and-probe",
+            "tuple-embedded" => "tuple-embedded",
+            _ => "security-punctuations",
+        },
+        elapsed: mech.elapsed(),
+        released: mech.released(),
+        denied: mech.denied(),
+        policy_mem: mech.policy_mem_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn mechanisms_agree_on_released_counts() {
+        let w = workloads::fig7_workload(10, 3, 0.5, 11);
+        let catalog = catalog(128);
+        let mut counts = Vec::new();
+        for mut mech in all_mechanisms(&catalog, &w.schema, &probe_roles()) {
+            let run = drive(mech.as_mut(), &w.elements);
+            counts.push(run.released);
+            assert_eq!(run.released + run.denied, w.tuples as u64, "{}", run.name);
+        }
+        assert_eq!(counts[0], counts[1], "store-and-probe vs tuple-embedded");
+        assert_eq!(counts[1], counts[2], "tuple-embedded vs punctuations");
+        assert!(counts[0] > 0, "some tuples must be released");
+    }
+}

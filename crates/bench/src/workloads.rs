@@ -1,0 +1,142 @@
+//! Workload construction for the evaluation binaries.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use sp_core::{
+    RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement, StreamId, Timestamp, Tuple,
+    TupleId, Value, ValueType,
+};
+use sp_mog::{location_stream, Workload, WorkloadConfig};
+
+/// The Fig. 7 workload: moving-object location updates with
+/// tuple-granularity (object-block-scoped) policies at the given sp:tuple
+/// ratio and policy size. 200 objects so that every paper ratio (1/1 …
+/// 1/100) divides the object count, keeping segment blocks contiguous.
+#[must_use]
+pub fn fig7_workload(sp_every: usize, policy_roles: u32, selectivity: f64, seed: u64) -> Workload {
+    location_stream(&WorkloadConfig {
+        objects: 200,
+        ticks: 50,
+        sp_every,
+        policy_roles,
+        role_universe: (policy_roles * 4).max(128),
+        grant_selectivity: selectivity,
+        scoped_sps: true,
+        tick_ms: 50,
+        seed,
+    })
+}
+
+/// A smaller workload for the Fig. 8 operator comparison.
+#[must_use]
+pub fn fig8_workload(sp_every: usize, seed: u64) -> Workload {
+    location_stream(&WorkloadConfig {
+        objects: 200,
+        ticks: 50,
+        sp_every,
+        policy_roles: 3,
+        role_universe: 600,
+        grant_selectivity: 0.5,
+        scoped_sps: false,
+        tick_ms: 50,
+        seed,
+    })
+}
+
+/// The Fig. 9 join workload: two streams of `(obj_id, region)` tuples whose
+/// segment policies are pairwise compatible with probability `sigma_sp`.
+///
+/// Left segments always carry the probe role 0 plus private roles from
+/// `1..50`; right segments carry role 0 with probability `sigma_sp` plus
+/// private roles from `50..100`. A left/right pair is therefore compatible
+/// exactly when the right segment drew role 0.
+pub struct JoinWorkload {
+    /// Interleaved `(port, element)` feed, timestamp-ordered.
+    pub feed: Vec<(usize, StreamElement)>,
+    /// Total data tuples (both streams).
+    pub tuples: usize,
+    /// Schema shared by both streams.
+    pub schema: Arc<Schema>,
+}
+
+/// Builds the Fig. 9 workload.
+#[must_use]
+pub fn fig9_workload(sigma_sp: f64, tuples_per_side: usize, seed: u64) -> JoinWorkload {
+    let schema = Schema::of(
+        "RegionUpdates",
+        &[("obj_id", ValueType::Int), ("region", ValueType::Int)],
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut feed = Vec::with_capacity(tuples_per_side * 2 + tuples_per_side / 4);
+    let sp_every = 10usize;
+    let mut since = [usize::MAX, usize::MAX];
+    for i in 0..tuples_per_side * 2 {
+        let port = i % 2;
+        let ts = Timestamp(i as u64 * 10);
+        if since[port] >= sp_every {
+            let mut roles = RoleSet::new();
+            if port == 0 {
+                roles.insert(RoleId(0));
+                roles.insert(RoleId(rng.gen_range(1..50)));
+            } else {
+                if rng.gen_bool(sigma_sp.clamp(0.0, 1.0)) {
+                    roles.insert(RoleId(0));
+                }
+                roles.insert(RoleId(rng.gen_range(50..100)));
+            }
+            feed.push((
+                port,
+                StreamElement::punctuation(SecurityPunctuation::grant_all(
+                    roles,
+                    Timestamp(ts.millis().saturating_sub(1)),
+                )),
+            ));
+            since[port] = 0;
+        }
+        let obj = rng.gen_range(0..500u64);
+        let region = (obj % 25) as i64;
+        feed.push((
+            port,
+            StreamElement::tuple(Tuple::new(
+                StreamId(1 + port as u32),
+                TupleId(obj),
+                ts,
+                vec![Value::Int(obj as i64), Value::Int(region)],
+            )),
+        ));
+        since[port] += 1;
+    }
+    JoinWorkload { feed, tuples: tuples_per_side * 2, schema }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_ratios_hold() {
+        let w = fig7_workload(25, 3, 0.5, 1);
+        assert_eq!(w.tuples, 10_000);
+        assert_eq!(w.sps, 400);
+    }
+
+    #[test]
+    fn fig9_extremes() {
+        let zero = fig9_workload(0.0, 200, 2);
+        let one = fig9_workload(1.0, 200, 2);
+        assert_eq!(zero.tuples, 400);
+        // σ=0: no right punctuation carries role 0.
+        let right_has_probe = |w: &JoinWorkload| {
+            w.feed.iter().any(|(port, e)| {
+                *port == 1
+                    && e.as_punctuation().is_some_and(|sp| {
+                        sp.srp.resolve(&sp_core::RoleCatalog::new()).contains(RoleId(0))
+                    })
+            })
+        };
+        assert!(!right_has_probe(&zero));
+        assert!(right_has_probe(&one));
+    }
+}

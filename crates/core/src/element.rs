@@ -1,0 +1,133 @@
+//! Stream elements: the union of data tuples and security punctuations.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ids::Timestamp;
+use crate::punctuation::SecurityPunctuation;
+use crate::tuple::Tuple;
+
+/// One element of a punctuated data stream (Figure 1 of the paper): data
+/// tuples interleaved with security punctuations. Both variants are
+/// reference-counted so elements are copied by pointer between operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamElement {
+    /// A data tuple.
+    Tuple(Arc<Tuple>),
+    /// A security punctuation governing the upcoming segment.
+    Punctuation(Arc<SecurityPunctuation>),
+}
+
+impl StreamElement {
+    /// Wraps a tuple.
+    #[must_use]
+    pub fn tuple(t: Tuple) -> Self {
+        StreamElement::Tuple(Arc::new(t))
+    }
+
+    /// Wraps a punctuation.
+    #[must_use]
+    pub fn punctuation(sp: SecurityPunctuation) -> Self {
+        StreamElement::Punctuation(Arc::new(sp))
+    }
+
+    /// The element's timestamp.
+    #[must_use]
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            StreamElement::Tuple(t) => t.ts,
+            StreamElement::Punctuation(sp) => sp.ts,
+        }
+    }
+
+    /// True for data tuples.
+    #[must_use]
+    pub fn is_tuple(&self) -> bool {
+        matches!(self, StreamElement::Tuple(_))
+    }
+
+    /// True for punctuations.
+    #[must_use]
+    pub fn is_punctuation(&self) -> bool {
+        matches!(self, StreamElement::Punctuation(_))
+    }
+
+    /// The tuple, if this is one.
+    #[must_use]
+    pub fn as_tuple(&self) -> Option<&Arc<Tuple>> {
+        match self {
+            StreamElement::Tuple(t) => Some(t),
+            StreamElement::Punctuation(_) => None,
+        }
+    }
+
+    /// The punctuation, if this is one.
+    #[must_use]
+    pub fn as_punctuation(&self) -> Option<&Arc<SecurityPunctuation>> {
+        match self {
+            StreamElement::Punctuation(sp) => Some(sp),
+            StreamElement::Tuple(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for StreamElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamElement::Tuple(t) => write!(f, "{t}"),
+            StreamElement::Punctuation(sp) => write!(f, "{sp}"),
+        }
+    }
+}
+
+impl From<Tuple> for StreamElement {
+    fn from(t: Tuple) -> Self {
+        StreamElement::tuple(t)
+    }
+}
+
+impl From<SecurityPunctuation> for StreamElement {
+    fn from(sp: SecurityPunctuation) -> Self {
+        StreamElement::punctuation(sp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{StreamId, TupleId};
+    use crate::roleset::RoleSet;
+    use crate::value::Value;
+
+    #[test]
+    fn accessors() {
+        let t = StreamElement::tuple(Tuple::new(
+            StreamId(1),
+            TupleId(2),
+            Timestamp(3),
+            vec![Value::Int(4)],
+        ));
+        assert!(t.is_tuple() && !t.is_punctuation());
+        assert_eq!(t.ts(), Timestamp(3));
+        assert!(t.as_tuple().is_some());
+        assert!(t.as_punctuation().is_none());
+
+        let sp = StreamElement::punctuation(SecurityPunctuation::grant_all(
+            RoleSet::from([1]),
+            Timestamp(9),
+        ));
+        assert!(sp.is_punctuation());
+        assert_eq!(sp.ts(), Timestamp(9));
+        assert!(sp.as_punctuation().is_some());
+        assert!(sp.as_tuple().is_none());
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let t: StreamElement = Tuple::new(StreamId(0), TupleId(1), Timestamp(2), vec![]).into();
+        assert!(t.to_string().starts_with('['));
+        let sp: StreamElement =
+            SecurityPunctuation::grant_all(RoleSet::new(), Timestamp(0)).into();
+        assert!(sp.to_string().starts_with('<'));
+    }
+}

@@ -1,0 +1,131 @@
+//! Strongly-typed identifiers used throughout the framework.
+//!
+//! The paper's streaming model (§II-B) has tuples of the form
+//! `t = [sid, tid, A, ts]`; these newtypes keep the four components from
+//! being mixed up and keep hot structures small (`u32`/`u64` instead of
+//! strings on the tuple path — names live in catalogs).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($inner:ty)) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw numeric value.
+            #[must_use]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifies a registered data stream (the `sid` tuple component).
+    StreamId(u32)
+}
+
+id_type! {
+    /// Identifies a tuple — typically the data-provider key (e.g. a patient
+    /// id or a moving-object id), so many tuples from the same provider share
+    /// a `tid` and can share a policy.
+    TupleId(u64)
+}
+
+id_type! {
+    /// Identifies a role in the flat-RBAC catalog.
+    RoleId(u32)
+}
+
+id_type! {
+    /// Identifies a registered continuous query.
+    QueryId(u32)
+}
+
+id_type! {
+    /// Identifies a subject (a query specifier signed into the DSMS).
+    SubjectId(u32)
+}
+
+/// A logical timestamp in milliseconds. Stream tuples and security
+/// punctuations arrive in non-decreasing timestamp order (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The maximum representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Constructs from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms)
+    }
+
+    /// The raw millisecond value.
+    #[must_use]
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a duration in milliseconds.
+    #[must_use]
+    pub const fn plus(self, ms: u64) -> Self {
+        Self(self.0.saturating_add(ms))
+    }
+
+    /// Saturating subtraction of a duration in milliseconds.
+    #[must_use]
+    pub const fn minus(self, ms: u64) -> Self {
+        Self(self.0.saturating_sub(ms))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(StreamId(1) < StreamId(2));
+        assert_eq!(TupleId(42).to_string(), "42");
+        assert_eq!(RoleId::from(7).raw(), 7);
+    }
+
+    #[test]
+    fn timestamps_saturate() {
+        assert_eq!(Timestamp::MAX.plus(1), Timestamp::MAX);
+        assert_eq!(Timestamp::ZERO.minus(1), Timestamp::ZERO);
+        assert_eq!(Timestamp::from_millis(10).minus(4).millis(), 6);
+        assert_eq!(Timestamp::from_millis(10).plus(5), Timestamp(15));
+    }
+
+    #[test]
+    fn timestamp_ordering() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert_eq!(Timestamp::from_millis(3).to_string(), "3ms");
+    }
+}

@@ -1,0 +1,47 @@
+//! # sp-core — the security-punctuation data model
+//!
+//! Core types for the stream-centric access-control framework of
+//! *"A Security Punctuation Framework for Enforcing Access Control on
+//! Streaming Data"* (Nehme, Rundensteiner, Bertino; ICDE 2008):
+//!
+//! * [`ids`] — strongly-typed stream/tuple/role/query identifiers and
+//!   timestamps;
+//! * [`value`] / [`schema`] / [`mod@tuple`] — the `t = [sid, tid, A, ts]`
+//!   streaming data model;
+//! * [`roleset`] — bitmap role sets (the paper's compact policy encoding);
+//! * [`rbac`] — the flat-RBAC catalog: roles, subjects, role activation;
+//! * [`policy`] — resolved policies and the `union` / `intersect` /
+//!   `override` combination semantics;
+//! * [`punctuation`] — security punctuations `<DDP | SRP | Sign |
+//!   Immutable | ts>`, sp-batch combination and the compact wire encoding;
+//! * [`element`] — the punctuated stream element type;
+//! * [`wire`] — the compact network framing that ships punctuations in the
+//!   same message as the data (§I-B).
+//!
+//! Everything here is engine-agnostic; the operators live in `sp-engine`.
+
+#![warn(missing_docs)]
+
+pub mod element;
+pub mod ids;
+pub mod policy;
+pub mod punctuation;
+pub mod rbac;
+pub mod roleset;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+pub mod wire;
+
+pub use element::StreamElement;
+pub use ids::{QueryId, RoleId, StreamId, SubjectId, Timestamp, TupleId};
+pub use policy::{Policy, SharedPolicy, Sign};
+pub use punctuation::{
+    combine_batch, DataDescription, RoleSpec, SecurityPunctuation, SecurityRestriction,
+};
+pub use rbac::{AccessModel, RbacError, Right, RoleCatalog, Subject};
+pub use roleset::RoleSet;
+pub use schema::{Field, Schema};
+pub use tuple::Tuple;
+pub use wire::{decode_tuple, encode_tuple, Message, WireError};
+pub use value::{Value, ValueType};

@@ -1,0 +1,484 @@
+//! Resolved access-control policies (§III-E).
+//!
+//! A [`Policy`] is what an sp-batch *means* once its patterns have been
+//! evaluated against the catalogs: which roles may read the governed tuples,
+//! with optional attribute-scoped grants. Operators of the security-aware
+//! algebra (Table I) manipulate these resolved policies; the raw pattern
+//! form lives in [`crate::punctuation`].
+//!
+//! The paper's three combination operations are implemented here:
+//!
+//! * [`Policy::union`] — multiple sps from the same data provider with the
+//!   same timestamp form one policy ("access increases"),
+//! * [`Policy::intersect`] — combining data-provider and server policies
+//!   ("access decreases"; servers may refine, never broaden),
+//! * [`Policy::override_with`] — an sp with a newer timestamp replaces the
+//!   earlier policy on the same objects.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ids::Timestamp;
+use crate::roleset::RoleSet;
+
+/// Positive (grant) or negative (deny) authorization (§III-B, Sign field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sign {
+    /// `+`: the listed roles may access the governed objects.
+    #[default]
+    Positive,
+    /// `-`: the listed roles are denied access.
+    Negative,
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sign::Positive => "+",
+            Sign::Negative => "-",
+        })
+    }
+}
+
+/// A resolved access-control policy for a stream segment.
+///
+/// `tuple_roles` authorizes whole tuples. `attr_roles` holds
+/// attribute-scoped grants: role `r` may read attribute `a` iff
+/// `tuple_roles.contains(r) || attr_roles[a].contains(r)`. A tuple as a
+/// whole is visible to a query iff the query's roles intersect
+/// `tuple_roles` — attribute-only grants expose *only* those attributes
+/// (the rest are masked), which is how attribute-granularity sps behave.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Policy {
+    /// When the policy went into effect (all sps of a batch share it).
+    pub ts: Timestamp,
+    /// If true, server-side policies must not be combined in (§III-B).
+    pub immutable: bool,
+    tuple_roles: RoleSet,
+    /// Sorted by attribute index; empty in the (common) tuple-level case.
+    attr_roles: Vec<(u16, RoleSet)>,
+}
+
+impl Policy {
+    /// The deny-everything policy (denial-by-default, §III-A).
+    #[must_use]
+    pub fn deny_all(ts: Timestamp) -> Self {
+        Self { ts, ..Self::default() }
+    }
+
+    /// A tuple-level policy authorizing `roles`.
+    #[must_use]
+    pub fn tuple_level(roles: RoleSet, ts: Timestamp) -> Self {
+        Self { ts, immutable: false, tuple_roles: roles, attr_roles: Vec::new() }
+    }
+
+    /// Adds an attribute-scoped grant.
+    #[must_use]
+    pub fn with_attr_grant(mut self, attr: u16, roles: RoleSet) -> Self {
+        self.grant_attr(attr, &roles);
+        self
+    }
+
+    /// Marks the policy immutable.
+    #[must_use]
+    pub fn immutable(mut self) -> Self {
+        self.immutable = true;
+        self
+    }
+
+    /// Roles authorized for whole tuples.
+    #[must_use]
+    pub fn tuple_roles(&self) -> &RoleSet {
+        &self.tuple_roles
+    }
+
+    /// Attribute-scoped grants (sorted by attribute index).
+    #[must_use]
+    pub fn attr_grants(&self) -> &[(u16, RoleSet)] {
+        &self.attr_roles
+    }
+
+    /// Grants whole-tuple access to `roles` (positive sp application).
+    pub fn grant(&mut self, roles: &RoleSet) {
+        self.tuple_roles.union_with(roles);
+    }
+
+    /// Revokes whole-tuple access from `roles` (negative sp application).
+    /// Attribute-scoped grants for those roles are revoked too: a negative
+    /// authorization wins over a positive one on the same objects (the
+    /// paper's reference \[10\]).
+    pub fn revoke(&mut self, roles: &RoleSet) {
+        self.tuple_roles.minus_with(roles);
+        for (_, set) in &mut self.attr_roles {
+            set.minus_with(roles);
+        }
+        self.prune();
+    }
+
+    /// Grants access to one attribute for `roles`.
+    pub fn grant_attr(&mut self, attr: u16, roles: &RoleSet) {
+        if roles.is_empty() {
+            return;
+        }
+        match self.attr_roles.binary_search_by_key(&attr, |&(a, _)| a) {
+            Ok(i) => self.attr_roles[i].1.union_with(roles),
+            Err(i) => self.attr_roles.insert(i, (attr, roles.clone())),
+        }
+    }
+
+    /// Revokes access to one attribute for `roles`.
+    pub fn revoke_attr(&mut self, attr: u16, roles: &RoleSet) {
+        if let Ok(i) = self.attr_roles.binary_search_by_key(&attr, |&(a, _)| a) {
+            self.attr_roles[i].1.minus_with(roles);
+        }
+        self.prune();
+    }
+
+    /// True if role-set `subject` may read the tuple as a whole
+    /// (`P_t ∩ p ≠ ∅`) — the Security Shield predicate.
+    #[must_use]
+    pub fn allows(&self, subject: &RoleSet) -> bool {
+        self.tuple_roles.intersects(subject)
+    }
+
+    /// True if `subject` may read attribute `attr`.
+    #[must_use]
+    pub fn allows_attr(&self, attr: u16, subject: &RoleSet) -> bool {
+        if self.tuple_roles.intersects(subject) {
+            return true;
+        }
+        self.attr_roles
+            .binary_search_by_key(&attr, |&(a, _)| a)
+            .is_ok_and(|i| self.attr_roles[i].1.intersects(subject))
+    }
+
+    /// True if `subject` may read at least one attribute (possibly via an
+    /// attribute-scoped grant only).
+    #[must_use]
+    pub fn allows_any_attr(&self, subject: &RoleSet) -> bool {
+        self.allows(subject)
+            || self.attr_roles.iter().any(|(_, set)| set.intersects(subject))
+    }
+
+    /// True if nobody is authorized at all.
+    #[must_use]
+    pub fn is_deny_all(&self) -> bool {
+        self.tuple_roles.is_empty() && self.attr_roles.is_empty()
+    }
+
+    /// `union()`: sps of the same batch (same provider, same timestamp)
+    /// describe one policy; access increases (§III-E).
+    #[must_use]
+    pub fn union(&self, other: &Policy) -> Policy {
+        let mut out = self.clone();
+        out.tuple_roles.union_with(&other.tuple_roles);
+        for (attr, set) in &other.attr_roles {
+            out.grant_attr(*attr, set);
+        }
+        out.immutable |= other.immutable;
+        out.ts = out.ts.max(other.ts);
+        out
+    }
+
+    /// `intersect()`: combines this (data-provider) policy with a server
+    /// policy so that the server may only *reduce* access (§III-E). If this
+    /// policy is immutable the server policy is ignored (§III-B).
+    ///
+    /// Attribute access is the conjunction of both policies' attribute
+    /// access: with `access_i(r, a) = tuple_i(r) ∨ attr_i(r, a)`, the result
+    /// has `tuple(r) = tuple_1(r) ∧ tuple_2(r)` and
+    /// `attr(r, a) = (tuple_1 ∧ attr_2) ∨ (attr_1 ∧ tuple_2) ∨ (attr_1 ∧ attr_2)`.
+    #[must_use]
+    pub fn intersect(&self, other: &Policy) -> Policy {
+        if self.immutable {
+            return self.clone();
+        }
+        let mut out = Policy {
+            ts: self.ts.max(other.ts),
+            immutable: other.immutable,
+            tuple_roles: self.tuple_roles.intersect(&other.tuple_roles),
+            attr_roles: Vec::new(),
+        };
+        // attr_1 ∧ tuple_2
+        for (attr, set) in &self.attr_roles {
+            out.grant_attr(*attr, &set.intersect(&other.tuple_roles));
+        }
+        // tuple_1 ∧ attr_2 and attr_1 ∧ attr_2
+        for (attr, set) in &other.attr_roles {
+            out.grant_attr(*attr, &set.intersect(&self.tuple_roles));
+            if let Ok(i) = self.attr_roles.binary_search_by_key(attr, |&(a, _)| a) {
+                out.grant_attr(*attr, &set.intersect(&self.attr_roles[i].1));
+            }
+        }
+        // Whole-tuple grants subsume attribute grants for the same roles.
+        for (_, set) in &mut out.attr_roles {
+            set.minus_with(&out.tuple_roles);
+        }
+        out.prune();
+        out
+    }
+
+    /// `override()`: replaces this policy if `newer` has a strictly more
+    /// recent timestamp (§III-E); otherwise keeps `self`.
+    #[must_use]
+    pub fn override_with(&self, newer: &Policy) -> Policy {
+        if newer.ts > self.ts {
+            newer.clone()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Restricts every authorization to the given role set (least
+    /// privilege). The Security Shield narrows the policies it forwards to
+    /// its own predicate: downstream of ψ_p, no consumer may observe
+    /// access beyond `p`, and narrowing is what makes the shield push-down
+    /// rewrites exact equivalences for *all* downstream observers (the
+    /// policies that joins, intersections and duplicate elimination derive
+    /// from narrowed inputs coincide with narrowing their outputs).
+    #[must_use]
+    pub fn restrict_to(&self, roles: &RoleSet) -> Policy {
+        let mut out = self.clone();
+        out.tuple_roles.intersect_with(roles);
+        for (_, set) in &mut out.attr_roles {
+            set.intersect_with(roles);
+        }
+        out.prune();
+        out
+    }
+
+    /// True if the two policies authorize exactly the same access,
+    /// regardless of when they went into effect. Used by the SP Analyzer to
+    /// merge consecutive sps with similar policies.
+    #[must_use]
+    pub fn same_authorizations(&self, other: &Policy) -> bool {
+        self.immutable == other.immutable
+            && self.tuple_roles == other.tuple_roles
+            && self.attr_roles == other.attr_roles
+    }
+
+    /// Rewrites attribute indices through `mapping` (projection / join
+    /// re-layout). Grants whose attribute maps to `None` are dropped; a
+    /// policy that loses *all* its grants this way becomes deny-all, which
+    /// is how the project operator "discards sps that describe a policy for
+    /// only the projected-out attributes" (§IV-B).
+    #[must_use]
+    pub fn remap_attrs(&self, mapping: impl Fn(u16) -> Option<u16>) -> Policy {
+        let mut out = Policy {
+            ts: self.ts,
+            immutable: self.immutable,
+            tuple_roles: self.tuple_roles.clone(),
+            attr_roles: Vec::with_capacity(self.attr_roles.len()),
+        };
+        for (attr, set) in &self.attr_roles {
+            if let Some(new_attr) = mapping(*attr) {
+                out.grant_attr(new_attr, set);
+            }
+        }
+        out
+    }
+
+    /// The attribute indices (below `arity`) that `subject` may NOT read —
+    /// the mask for attribute-granularity shielding.
+    #[must_use]
+    pub fn masked_attrs(&self, arity: usize, subject: &RoleSet) -> Vec<usize> {
+        (0..arity)
+            .filter(|&i| !self.allows_attr(i as u16, subject))
+            .collect()
+    }
+
+    /// Approximate heap footprint in bytes with the bitmap role encoding
+    /// (the sp model's compact representation, §I-C).
+    #[must_use]
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Policy>()
+            + self.tuple_roles.mem_bytes()
+            + self
+                .attr_roles
+                .iter()
+                .map(|(_, s)| 2 + s.mem_bytes())
+                .sum::<usize>()
+    }
+
+    /// Approximate footprint with a conventional *explicit role list*
+    /// representation (4 bytes per authorization) — how a system without
+    /// bitmap compression stores policies. The baseline mechanisms are
+    /// accounted this way in the memory experiments, so that policy size
+    /// |R| shows its true cost.
+    #[must_use]
+    pub fn mem_bytes_list(&self) -> usize {
+        std::mem::size_of::<Policy>()
+            + self.tuple_roles.len() * 4
+            + self
+                .attr_roles
+                .iter()
+                .map(|(_, s)| 2 + s.len() * 4)
+                .sum::<usize>()
+    }
+
+    fn prune(&mut self) {
+        self.attr_roles.retain(|(_, set)| !set.is_empty());
+    }
+}
+
+/// A policy shared across operators and window states.
+pub type SharedPolicy = Arc<Policy>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(ids: &[u32]) -> RoleSet {
+        ids.iter().map(|&i| crate::ids::RoleId(i)).collect()
+    }
+
+    #[test]
+    fn deny_by_default() {
+        let p = Policy::deny_all(Timestamp(5));
+        assert!(p.is_deny_all());
+        assert!(!p.allows(&rs(&[0])));
+        assert!(!p.allows_any_attr(&rs(&[0])));
+    }
+
+    #[test]
+    fn grant_and_revoke() {
+        let mut p = Policy::deny_all(Timestamp(0));
+        p.grant(&rs(&[1, 2]));
+        assert!(p.allows(&rs(&[2, 9])));
+        assert!(!p.allows(&rs(&[3])));
+        p.revoke(&rs(&[2]));
+        assert!(!p.allows(&rs(&[2])));
+        assert!(p.allows(&rs(&[1])));
+    }
+
+    #[test]
+    fn negative_sp_revokes_attr_grants_too() {
+        let mut p = Policy::tuple_level(rs(&[1]), Timestamp(0)).with_attr_grant(0, rs(&[2]));
+        assert!(p.allows_attr(0, &rs(&[2])));
+        p.revoke(&rs(&[2]));
+        assert!(!p.allows_attr(0, &rs(&[2])));
+        assert!(p.attr_grants().is_empty(), "empty grants are pruned");
+    }
+
+    #[test]
+    fn attribute_grants() {
+        let p = Policy::tuple_level(rs(&[1]), Timestamp(0))
+            .with_attr_grant(2, rs(&[5]))
+            .with_attr_grant(0, rs(&[6]));
+        // sorted by attribute index
+        assert_eq!(p.attr_grants()[0].0, 0);
+        assert_eq!(p.attr_grants()[1].0, 2);
+        // tuple-level role sees every attribute
+        assert!(p.allows_attr(0, &rs(&[1])) && p.allows_attr(7, &rs(&[1])));
+        // attr-scoped role sees only its attribute
+        assert!(p.allows_attr(2, &rs(&[5])));
+        assert!(!p.allows_attr(1, &rs(&[5])));
+        assert!(!p.allows(&rs(&[5])));
+        assert!(p.allows_any_attr(&rs(&[5])));
+        assert_eq!(p.masked_attrs(3, &rs(&[5])), vec![0, 1]);
+        assert_eq!(p.masked_attrs(3, &rs(&[1])), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn union_increases_access() {
+        let a = Policy::tuple_level(rs(&[1]), Timestamp(3));
+        let b = Policy::tuple_level(rs(&[2]), Timestamp(3)).with_attr_grant(1, rs(&[7]));
+        let u = a.union(&b);
+        assert!(u.allows(&rs(&[1])) && u.allows(&rs(&[2])));
+        assert!(u.allows_attr(1, &rs(&[7])));
+        assert_eq!(u.ts, Timestamp(3));
+    }
+
+    #[test]
+    fn intersect_decreases_access() {
+        let provider = Policy::tuple_level(rs(&[1, 2, 3]), Timestamp(1));
+        let server = Policy::tuple_level(rs(&[2, 3, 4]), Timestamp(2));
+        let c = provider.intersect(&server);
+        assert!(!c.allows(&rs(&[1])));
+        assert!(c.allows(&rs(&[2])));
+        assert!(!c.allows(&rs(&[4])));
+        assert_eq!(c.ts, Timestamp(2));
+    }
+
+    #[test]
+    fn intersect_attribute_semantics() {
+        // provider: role 1 tuple-level; role 5 on attr 0 only.
+        let provider = Policy::tuple_level(rs(&[1]), Timestamp(0)).with_attr_grant(0, rs(&[5]));
+        // server: role 5 tuple-level; role 1 on attr 1 only.
+        let server = Policy::tuple_level(rs(&[5]), Timestamp(0)).with_attr_grant(1, rs(&[1]));
+        let c = provider.intersect(&server);
+        // role 1: provider-tuple ∧ server-attr(1) → attr 1 only
+        assert!(!c.allows(&rs(&[1])));
+        assert!(c.allows_attr(1, &rs(&[1])));
+        assert!(!c.allows_attr(0, &rs(&[1])));
+        // role 5: provider-attr(0) ∧ server-tuple → attr 0 only
+        assert!(c.allows_attr(0, &rs(&[5])));
+        assert!(!c.allows_attr(1, &rs(&[5])));
+        // role 9: nowhere
+        assert!(!c.allows_any_attr(&rs(&[9])));
+    }
+
+    #[test]
+    fn intersect_respects_immutability() {
+        let provider = Policy::tuple_level(rs(&[1, 2]), Timestamp(1)).immutable();
+        let server = Policy::tuple_level(rs(&[2]), Timestamp(2));
+        let c = provider.intersect(&server);
+        assert!(c.allows(&rs(&[1])), "immutable provider policy wins");
+    }
+
+    #[test]
+    fn override_respects_timestamps() {
+        let old = Policy::tuple_level(rs(&[1]), Timestamp(1));
+        let new = Policy::tuple_level(rs(&[2]), Timestamp(2));
+        assert!(old.override_with(&new).allows(&rs(&[2])));
+        assert!(!old.override_with(&new).allows(&rs(&[1])));
+        // Same or older timestamp does not override.
+        assert!(new.override_with(&old).allows(&rs(&[2])));
+        let same = Policy::tuple_level(rs(&[3]), Timestamp(2));
+        assert!(new.override_with(&same).allows(&rs(&[2])));
+    }
+
+    #[test]
+    fn union_then_intersect_identity() {
+        // (a ∪ b) ∩ b ⊇ b restricted to itself: sanity of the algebra
+        let a = Policy::tuple_level(rs(&[1]), Timestamp(0));
+        let b = Policy::tuple_level(rs(&[2]), Timestamp(0));
+        let u = a.union(&b).intersect(&b);
+        assert!(u.allows(&rs(&[2])));
+        assert!(!u.allows(&rs(&[1])));
+    }
+
+    #[test]
+    fn remap_attrs_projects_grants() {
+        let p = Policy::tuple_level(rs(&[1]), Timestamp(0))
+            .with_attr_grant(0, rs(&[5]))
+            .with_attr_grant(2, rs(&[6]));
+        // Project attrs [2, 0] -> new indices [0, 1].
+        let remapped = p.remap_attrs(|a| match a {
+            2 => Some(0),
+            0 => Some(1),
+            _ => None,
+        });
+        assert!(remapped.allows_attr(0, &rs(&[6])));
+        assert!(remapped.allows_attr(1, &rs(&[5])));
+        assert!(!remapped.allows_attr(2, &rs(&[5])));
+        assert!(remapped.allows(&rs(&[1])), "tuple roles survive remapping");
+
+        // Dropping every grant leaves only tuple-level roles.
+        let dropped = p.remap_attrs(|_| None);
+        assert!(dropped.attr_grants().is_empty());
+    }
+
+    #[test]
+    fn mem_accounting_grows_with_grants() {
+        let small = Policy::tuple_level(rs(&[1]), Timestamp(0));
+        let big = small.clone().with_attr_grant(0, rs(&[500]));
+        assert!(big.mem_bytes() > small.mem_bytes());
+    }
+
+    #[test]
+    fn sign_display() {
+        assert_eq!(Sign::Positive.to_string(), "+");
+        assert_eq!(Sign::Negative.to_string(), "-");
+    }
+}

@@ -1,0 +1,394 @@
+//! Flat role-based access control (§II-A).
+//!
+//! The paper uses flat RBAC as the running access-control model: query
+//! specifiers (subjects) activate roles when they sign into the DSMS, each
+//! registered continuous query inherits the roles of its specifier, and the
+//! role assignment is frozen while the subject is registered to receive
+//! results. The framework itself is model-agnostic — punctuations carry an
+//! [`AccessModel`] tag — but role sets are how authorizations are evaluated.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use sp_pattern::Pattern;
+
+use crate::ids::{RoleId, SubjectId};
+use crate::roleset::RoleSet;
+
+/// The access-control model a punctuation's restriction part refers to
+/// (§III-B: "the SRP denotes both the access control model type and the
+/// subjects authorized by the policy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessModel {
+    /// Flat role-based access control — the paper's running model.
+    #[default]
+    Rbac,
+    /// Discretionary access control (subject identities instead of roles;
+    /// representable by registering one pseudo-role per subject).
+    Dac,
+    /// Mandatory access control (clearance levels as ordered roles).
+    Mac,
+}
+
+impl fmt::Display for AccessModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessModel::Rbac => "RBAC",
+            AccessModel::Dac => "DAC",
+            AccessModel::Mac => "MAC",
+        })
+    }
+}
+
+/// The only right considered by the paper ("we consider a read right only").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Right {
+    /// Permission to read streaming data.
+    #[default]
+    Read,
+}
+
+/// Error raised by catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RbacError {
+    /// A role name was registered twice.
+    DuplicateRole(String),
+    /// A referenced role does not exist.
+    UnknownRole(String),
+    /// A subject was registered twice.
+    DuplicateSubject(String),
+    /// A referenced subject does not exist.
+    UnknownSubject(SubjectId),
+    /// A subject's roles may not change while it has registered queries
+    /// (§II-A: "this assignment cannot be changed while he/she is registered
+    /// to receive the results of any of the currently executing queries").
+    SubjectPinned(SubjectId),
+}
+
+impl fmt::Display for RbacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbacError::DuplicateRole(n) => write!(f, "role {n:?} already registered"),
+            RbacError::UnknownRole(n) => write!(f, "unknown role {n:?}"),
+            RbacError::DuplicateSubject(n) => write!(f, "subject {n:?} already registered"),
+            RbacError::UnknownSubject(id) => write!(f, "unknown subject #{id}"),
+            RbacError::SubjectPinned(id) => write!(
+                f,
+                "subject #{id} has registered queries; role assignment is frozen"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RbacError {}
+
+/// A query specifier signed into the DSMS.
+#[derive(Debug, Clone)]
+pub struct Subject {
+    /// Unique id.
+    pub id: SubjectId,
+    /// Login name.
+    pub name: Arc<str>,
+    /// Activated roles.
+    pub roles: RoleSet,
+    /// Number of currently registered queries; role changes are rejected
+    /// while this is non-zero.
+    pub active_queries: u32,
+}
+
+/// The role and subject catalog of a DSMS instance.
+///
+/// Role *names* live here; everything on the tuple path works with
+/// [`RoleId`]s and [`RoleSet`] bitmaps.
+#[derive(Debug, Clone, Default)]
+pub struct RoleCatalog {
+    role_names: Vec<Arc<str>>,
+    role_index: HashMap<Arc<str>, RoleId>,
+    subjects: Vec<Subject>,
+    subject_index: HashMap<Arc<str>, SubjectId>,
+}
+
+impl RoleCatalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a role name, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is already registered.
+    pub fn register_role(&mut self, name: &str) -> Result<RoleId, RbacError> {
+        if self.role_index.contains_key(name) {
+            return Err(RbacError::DuplicateRole(name.to_owned()));
+        }
+        let id = RoleId(self.role_names.len() as u32);
+        let name: Arc<str> = Arc::from(name);
+        self.role_names.push(name.clone());
+        self.role_index.insert(name, id);
+        Ok(id)
+    }
+
+    /// Registers `n` synthetic roles named `r0..r{n-1}` (workload setup).
+    pub fn register_synthetic_roles(&mut self, n: u32) -> RoleSet {
+        (0..n)
+            .map(|i| {
+                let name = format!("r{i}");
+                self.lookup_role(&name)
+                    .unwrap_or_else(|| self.register_role(&name).expect("name is fresh"))
+            })
+            .collect()
+    }
+
+    /// Looks a role up by name.
+    #[must_use]
+    pub fn lookup_role(&self, name: &str) -> Option<RoleId> {
+        self.role_index.get(name).copied()
+    }
+
+    /// The name of a role id.
+    #[must_use]
+    pub fn role_name(&self, id: RoleId) -> Option<&str> {
+        self.role_names.get(id.0 as usize).map(AsRef::as_ref)
+    }
+
+    /// Number of registered roles.
+    #[must_use]
+    pub fn role_count(&self) -> u32 {
+        self.role_names.len() as u32
+    }
+
+    /// Resolves a role pattern (`e_r` of Definition 3.1) to the set of
+    /// matching registered roles — the paper's `eval(R, e_r)`.
+    #[must_use]
+    pub fn resolve_roles(&self, pattern: &Pattern) -> RoleSet {
+        if pattern.is_match_all() {
+            return RoleSet::all_below(self.role_count());
+        }
+        if let Some(lit) = pattern.as_literal() {
+            return self.lookup_role(lit).map(RoleSet::single).unwrap_or_default();
+        }
+        self.role_names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| pattern.matches(n))
+            .map(|(i, _)| RoleId(i as u32))
+            .collect()
+    }
+
+    /// Registers a subject with an activated role set.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names, unknown roles, or an empty role set (§II-A
+    /// requires every query specifier to belong to at least one role).
+    pub fn register_subject(&mut self, name: &str, roles: &[&str]) -> Result<SubjectId, RbacError> {
+        if self.subject_index.contains_key(name) {
+            return Err(RbacError::DuplicateSubject(name.to_owned()));
+        }
+        if roles.is_empty() {
+            return Err(RbacError::UnknownRole(String::new()));
+        }
+        let mut set = RoleSet::new();
+        for role in roles {
+            let id = self
+                .lookup_role(role)
+                .ok_or_else(|| RbacError::UnknownRole((*role).to_owned()))?;
+            set.insert(id);
+        }
+        let id = SubjectId(self.subjects.len() as u32);
+        let name: Arc<str> = Arc::from(name);
+        self.subjects.push(Subject {
+            id,
+            name: name.clone(),
+            roles: set,
+            active_queries: 0,
+        });
+        self.subject_index.insert(name, id);
+        Ok(id)
+    }
+
+    /// Looks a subject up by name.
+    #[must_use]
+    pub fn lookup_subject(&self, name: &str) -> Option<SubjectId> {
+        self.subject_index.get(name).copied()
+    }
+
+    /// The subject record.
+    #[must_use]
+    pub fn subject(&self, id: SubjectId) -> Option<&Subject> {
+        self.subjects.get(id.0 as usize)
+    }
+
+    /// The activated roles of a subject.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the subject is unknown.
+    pub fn subject_roles(&self, id: SubjectId) -> Result<&RoleSet, RbacError> {
+        self.subject(id)
+            .map(|s| &s.roles)
+            .ok_or(RbacError::UnknownSubject(id))
+    }
+
+    /// Marks a query registration for `id` (pins its role assignment).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the subject is unknown.
+    pub fn pin_subject(&mut self, id: SubjectId) -> Result<(), RbacError> {
+        let s = self
+            .subjects
+            .get_mut(id.0 as usize)
+            .ok_or(RbacError::UnknownSubject(id))?;
+        s.active_queries += 1;
+        Ok(())
+    }
+
+    /// Releases one query registration for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the subject is unknown.
+    pub fn unpin_subject(&mut self, id: SubjectId) -> Result<(), RbacError> {
+        let s = self
+            .subjects
+            .get_mut(id.0 as usize)
+            .ok_or(RbacError::UnknownSubject(id))?;
+        s.active_queries = s.active_queries.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Replaces a subject's activated roles.
+    ///
+    /// # Errors
+    ///
+    /// Fails while the subject has registered queries (§II-A), or if a role
+    /// is unknown.
+    pub fn reassign_subject_roles(
+        &mut self,
+        id: SubjectId,
+        roles: &[&str],
+    ) -> Result<(), RbacError> {
+        let mut set = RoleSet::new();
+        for role in roles {
+            let rid = self
+                .lookup_role(role)
+                .ok_or_else(|| RbacError::UnknownRole((*role).to_owned()))?;
+            set.insert(rid);
+        }
+        let s = self
+            .subjects
+            .get_mut(id.0 as usize)
+            .ok_or(RbacError::UnknownSubject(id))?;
+        if s.active_queries > 0 {
+            return Err(RbacError::SubjectPinned(id));
+        }
+        s.roles = set;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hospital() -> RoleCatalog {
+        let mut c = RoleCatalog::new();
+        for r in ["cardiologist", "general_physician", "doctor", "dermatologist", "nurse_on_duty", "employee"] {
+            c.register_role(r).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn roles_round_trip() {
+        let c = hospital();
+        let id = c.lookup_role("doctor").unwrap();
+        assert_eq!(c.role_name(id), Some("doctor"));
+        assert_eq!(c.role_count(), 6);
+        assert!(c.lookup_role("janitor").is_none());
+    }
+
+    #[test]
+    fn duplicate_role_rejected() {
+        let mut c = hospital();
+        assert!(matches!(
+            c.register_role("doctor"),
+            Err(RbacError::DuplicateRole(_))
+        ));
+    }
+
+    #[test]
+    fn pattern_resolution() {
+        let c = hospital();
+        let set = c.resolve_roles(&Pattern::compile("doctor|nurse_on_duty").unwrap());
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(c.lookup_role("doctor").unwrap()));
+        let all = c.resolve_roles(&Pattern::match_all());
+        assert_eq!(all.len(), 6);
+        let lit = c.resolve_roles(&Pattern::literal("employee"));
+        assert_eq!(lit.len(), 1);
+        let none = c.resolve_roles(&Pattern::literal("janitor"));
+        assert!(none.is_empty());
+        // VM path: prefix wildcard
+        let derm = c.resolve_roles(&Pattern::compile("derm.*").unwrap());
+        assert_eq!(derm.len(), 1);
+    }
+
+    #[test]
+    fn synthetic_roles_are_idempotent() {
+        let mut c = RoleCatalog::new();
+        let a = c.register_synthetic_roles(5);
+        let b = c.register_synthetic_roles(5);
+        assert_eq!(a, b);
+        assert_eq!(c.role_count(), 5);
+    }
+
+    #[test]
+    fn subjects_and_pinning() {
+        let mut c = hospital();
+        let alice = c.register_subject("alice", &["doctor", "employee"]).unwrap();
+        assert_eq!(c.subject_roles(alice).unwrap().len(), 2);
+        assert_eq!(c.lookup_subject("alice"), Some(alice));
+
+        // Pinned subjects cannot change roles.
+        c.pin_subject(alice).unwrap();
+        assert!(matches!(
+            c.reassign_subject_roles(alice, &["employee"]),
+            Err(RbacError::SubjectPinned(_))
+        ));
+        c.unpin_subject(alice).unwrap();
+        c.reassign_subject_roles(alice, &["employee"]).unwrap();
+        assert_eq!(c.subject_roles(alice).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn subject_errors() {
+        let mut c = hospital();
+        c.register_subject("bob", &["doctor"]).unwrap();
+        assert!(matches!(
+            c.register_subject("bob", &["doctor"]),
+            Err(RbacError::DuplicateSubject(_))
+        ));
+        assert!(matches!(
+            c.register_subject("eve", &["janitor"]),
+            Err(RbacError::UnknownRole(_))
+        ));
+        assert!(c.register_subject("empty", &[]).is_err());
+        assert!(matches!(
+            c.subject_roles(SubjectId(99)),
+            Err(RbacError::UnknownSubject(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RbacError::SubjectPinned(SubjectId(1)).to_string().contains("frozen"));
+        assert_eq!(AccessModel::Rbac.to_string(), "RBAC");
+        assert_eq!(Right::default(), Right::Read);
+    }
+}

@@ -1,0 +1,210 @@
+//! Stream schemas: ordered, named, typed attribute lists.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::ValueType;
+
+/// One attribute declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name, unique within the schema.
+    pub name: Arc<str>,
+    /// Declared type.
+    pub ty: ValueType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl AsRef<str>, ty: ValueType) -> Self {
+        Self { name: Arc::from(name.as_ref()), ty }
+    }
+}
+
+/// An immutable, shareable stream schema.
+///
+/// Schemas are created once per stream registration and shared via
+/// [`Arc<Schema>`] by every tuple-processing operator; lookups by name are
+/// linear (schemas are a handful of attributes wide).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: Arc<str>,
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from a stream name and field list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two fields share a name — schemas are built at registration
+    /// time from trusted catalogs, so this is a programming error.
+    #[must_use]
+    pub fn new(name: impl AsRef<str>, fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].iter().any(|g| g.name == f.name),
+                "duplicate field name {:?} in schema {:?}",
+                f.name,
+                name.as_ref()
+            );
+        }
+        Self { name: Arc::from(name.as_ref()), fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    #[must_use]
+    pub fn of(name: &str, fields: &[(&str, ValueType)]) -> Arc<Self> {
+        Arc::new(Self::new(
+            name,
+            fields.iter().map(|(n, t)| Field::new(n, *t)).collect(),
+        ))
+    }
+
+    /// The stream name this schema describes.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered field list.
+    #[must_use]
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Index of the attribute with the given name.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name.as_ref() == name)
+    }
+
+    /// Field at `idx`.
+    #[must_use]
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Derives the schema produced by projecting the given attribute indices
+    /// (in the given order), named `{base}_proj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    #[must_use]
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        let fields = indices.iter().map(|&i| self.fields[i].clone()).collect();
+        Schema {
+            name: Arc::from(format!("{}_proj", self.name).as_str()),
+            fields,
+        }
+    }
+
+    /// Derives the concatenated schema of a join output: fields of `self`
+    /// then fields of `right`, with right-side duplicates renamed
+    /// `{right_name}.{field}`.
+    #[must_use]
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            if self.index_of(&f.name).is_some() {
+                fields.push(Field {
+                    name: Arc::from(format!("{}.{}", right.name, f.name).as_str()),
+                    ty: f.ty,
+                });
+            } else {
+                fields.push(f.clone());
+            }
+        }
+        Schema {
+            name: Arc::from(format!("{}_{}", self.name, right.name).as_str()),
+            fields,
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(
+            "HeartRate",
+            vec![
+                Field::new("Patient_id", ValueType::Int),
+                Field::new("Beats_per_min", ValueType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.index_of("Patient_id"), Some(0));
+        assert_eq!(s.index_of("Beats_per_min"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.field(1).unwrap().name.as_ref(), "Beats_per_min");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn duplicate_names_rejected() {
+        let _ = Schema::new(
+            "s",
+            vec![Field::new("a", ValueType::Int), Field::new("a", ValueType::Int)],
+        );
+    }
+
+    #[test]
+    fn projection_derives_schema() {
+        let s = sample().project(&[1]);
+        assert_eq!(s.arity(), 1);
+        assert_eq!(s.index_of("Beats_per_min"), Some(0));
+        assert_eq!(s.name(), "HeartRate_proj");
+    }
+
+    #[test]
+    fn join_renames_collisions() {
+        let left = sample();
+        let right = Schema::new(
+            "BodyTemperature",
+            vec![
+                Field::new("Patient_id", ValueType::Int),
+                Field::new("Temperature", ValueType::Float),
+            ],
+        );
+        let j = left.join(&right);
+        assert_eq!(j.arity(), 4);
+        assert_eq!(j.index_of("Patient_id"), Some(0));
+        assert_eq!(j.index_of("BodyTemperature.Patient_id"), Some(2));
+        assert_eq!(j.index_of("Temperature"), Some(3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            sample().to_string(),
+            "HeartRate(Patient_id: INT, Beats_per_min: INT)"
+        );
+    }
+}

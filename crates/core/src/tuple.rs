@@ -1,0 +1,204 @@
+//! Stream tuples: `t = [sid, tid, A, ts]` (§II-B of the paper).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ids::{StreamId, Timestamp, TupleId};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// An immutable data tuple flowing through the engine.
+///
+/// Tuples are shared via `Arc<Tuple>` between operators and window states, so
+/// a tuple is allocated exactly once on arrival. Tuples are **completely
+/// unaware of security punctuations** (§III-A) — they carry no policy fields;
+/// the punctuation-based mechanism attaches policies contextually.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// Source stream identifier.
+    pub sid: StreamId,
+    /// Tuple identifier (usually the data-provider key, e.g. patient id).
+    pub tid: TupleId,
+    /// Arrival timestamp; streams are timestamp-ordered.
+    pub ts: Timestamp,
+    /// Attribute values, positionally matching the stream's [`Schema`].
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Creates a tuple.
+    #[must_use]
+    pub fn new(sid: StreamId, tid: TupleId, ts: Timestamp, values: Vec<Value>) -> Self {
+        Self { sid, tid, ts, values: values.into_boxed_slice() }
+    }
+
+    /// Creates a shared tuple directly.
+    #[must_use]
+    pub fn shared(sid: StreamId, tid: TupleId, ts: Timestamp, values: Vec<Value>) -> Arc<Self> {
+        Arc::new(Self::new(sid, tid, ts, values))
+    }
+
+    /// All attribute values.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at position `idx`.
+    #[must_use]
+    pub fn value(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Value of the attribute named `name` under `schema`.
+    #[must_use]
+    pub fn value_by_name<'t>(&'t self, schema: &Schema, name: &str) -> Option<&'t Value> {
+        schema.index_of(name).and_then(|i| self.values.get(i))
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// A new tuple keeping only the attributes at `indices` (projection).
+    #[must_use]
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        let values = indices.iter().map(|&i| self.values[i].clone()).collect();
+        Tuple { sid: self.sid, tid: self.tid, ts: self.ts, values }
+    }
+
+    /// A new tuple with the attributes at `masked` replaced by `Null`
+    /// (attribute-granularity access control).
+    #[must_use]
+    pub fn mask(&self, masked: &[usize]) -> Tuple {
+        let mut values = self.values.to_vec();
+        for &i in masked {
+            if let Some(slot) = values.get_mut(i) {
+                *slot = Value::Null;
+            }
+        }
+        Tuple {
+            sid: self.sid,
+            tid: self.tid,
+            ts: self.ts,
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Concatenates two tuples into a join output. The result takes the
+    /// left tuple's `sid`/`tid` and the *later* of the two timestamps (the
+    /// moment the join result could first exist).
+    #[must_use]
+    pub fn join(&self, right: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + right.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&right.values);
+        Tuple {
+            sid: self.sid,
+            tid: self.tid,
+            ts: self.ts.max(right.ts),
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes (used by the memory experiments).
+    #[must_use]
+    pub fn mem_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Tuple>();
+        for v in self.values.iter() {
+            bytes += std::mem::size_of::<Value>();
+            if let Value::Text(s) = v {
+                bytes += s.len();
+            }
+        }
+        bytes
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[s{} #{} @{} |", self.sid, self.tid, self.ts)?;
+        for v in self.values.iter() {
+            write!(f, " {v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn tup() -> Tuple {
+        Tuple::new(
+            StreamId(1),
+            TupleId(120),
+            Timestamp(1000),
+            vec![Value::Int(120), Value::Int(70)],
+        )
+    }
+
+    #[test]
+    fn access_by_index_and_name() {
+        let schema = crate::schema::Schema::of(
+            "HeartRate",
+            &[("Patient_id", ValueType::Int), ("Beats_per_min", ValueType::Int)],
+        );
+        let t = tup();
+        assert_eq!(t.value(1), Some(&Value::Int(70)));
+        assert_eq!(t.value(2), None);
+        assert_eq!(t.value_by_name(&schema, "Patient_id"), Some(&Value::Int(120)));
+        assert_eq!(t.value_by_name(&schema, "zzz"), None);
+        assert_eq!(t.arity(), 2);
+    }
+
+    #[test]
+    fn projection_keeps_identity() {
+        let p = tup().project(&[1]);
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.tid, TupleId(120));
+        assert_eq!(p.value(0), Some(&Value::Int(70)));
+    }
+
+    #[test]
+    fn masking_nulls_attributes() {
+        let m = tup().mask(&[0, 5]);
+        assert!(m.value(0).unwrap().is_null());
+        assert_eq!(m.value(1), Some(&Value::Int(70)));
+    }
+
+    #[test]
+    fn join_concatenates_and_takes_later_ts() {
+        let right = Tuple::new(
+            StreamId(2),
+            TupleId(120),
+            Timestamp(2000),
+            vec![Value::Float(98.6)],
+        );
+        let j = tup().join(&right);
+        assert_eq!(j.arity(), 3);
+        assert_eq!(j.ts, Timestamp(2000));
+        assert_eq!(j.sid, StreamId(1));
+        assert_eq!(j.value(2), Some(&Value::Float(98.6)));
+    }
+
+    #[test]
+    fn mem_accounting_counts_text() {
+        let base = tup().mem_bytes();
+        let with_text = Tuple::new(
+            StreamId(1),
+            TupleId(1),
+            Timestamp(0),
+            vec![Value::text("hello"), Value::Int(0)],
+        );
+        assert_eq!(with_text.mem_bytes(), base + 5);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(tup().to_string(), "[s1 #120 @1000ms | 120 70]");
+    }
+}

@@ -1,0 +1,309 @@
+//! Typed attribute values carried inside stream tuples.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The type of an attribute, declared in a [`Schema`](crate::schema::Schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 text (reference-counted, cheap to clone).
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Int => "INT",
+            ValueType::Float => "FLOAT",
+            ValueType::Text => "TEXT",
+            ValueType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single attribute value.
+///
+/// `Null` exists so that attribute-granularity access control can *mask*
+/// unauthorized attributes instead of dropping whole tuples.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Absent / masked value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Text constructor from anything string-like.
+    pub fn text(s: impl AsRef<str>) -> Self {
+        Value::Text(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type, or `None` for `Null`.
+    #[must_use]
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Text(_) => Some(ValueType::Text),
+            Value::Bool(_) => Some(ValueType::Bool),
+        }
+    }
+
+    /// True if this is `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to floats) for comparisons and aggregates.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// SQL-style comparison: `Null` compares to nothing, numerics compare
+    /// across `Int`/`Float`, other type mixes are incomparable.
+    #[must_use]
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Equality under [`Value::compare`] semantics (`Null` equals nothing).
+    #[must_use]
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+
+    /// Total ordering for use as grouping / duplicate-elimination keys:
+    /// `Null < Bool < Int/Float (by value) < Text`; NaN sorts greatest among
+    /// floats.
+    #[must_use]
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Text(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.as_ref().cmp(b.as_ref()),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let fa = a.as_f64().expect("rank 2 is numeric");
+                let fb = b.as_f64().expect("rank 2 is numeric");
+                fa.total_cmp(&fb)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_total(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float must hash identically when numerically equal
+            // (cmp_total treats 2 == 2.0): hash the f64 bits of the value.
+            Value::Int(v) => {
+                2u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                2u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparison_crosses_types() {
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.5)), Some(Ordering::Less));
+        assert!(Value::Int(2).sql_eq(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn null_is_incomparable() {
+        assert_eq!(Value::Null.compare(&Value::Null), None);
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert!(!Value::Null.sql_eq(&Value::Null));
+    }
+
+    #[test]
+    fn mixed_types_are_incomparable() {
+        assert_eq!(Value::text("a").compare(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_order_is_total() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Float(0.5),
+            Value::Int(2),
+            Value::Float(f64::NAN),
+            Value::text("a"),
+        ];
+        for a in &vals {
+            for b in &vals {
+                // antisymmetry
+                assert_eq!(a.cmp_total(b), b.cmp_total(a).reverse());
+            }
+        }
+        // NaN is greatest numeric
+        assert_eq!(Value::Float(f64::NAN).cmp_total(&Value::Int(i64::MAX)), Ordering::Greater);
+    }
+
+    #[test]
+    fn eq_hash_consistency_across_int_float() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(Value::Int(7), Value::Float(7.0));
+        assert_eq!(h(&Value::Int(7)), h(&Value::Float(7.0)));
+        assert_ne!(Value::Int(7), Value::Int(8));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::text("hi").to_string(), "hi");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(ValueType::Float.to_string(), "FLOAT");
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(3.5).as_i64(), None);
+        assert_eq!(Value::text("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.value_type(), None);
+        assert_eq!(Value::Int(1).value_type(), Some(ValueType::Int));
+    }
+}

@@ -1,0 +1,352 @@
+//! The SP Analyzer (§II-B, Fig. 1).
+//!
+//! The analyzer sits between arriving raw streams and the query plans. It
+//! (1) assembles consecutive same-timestamp punctuations into sp-batches and
+//! resolves them — patterns evaluated against the role catalog and the
+//! stream's schema — into [`SegmentPolicy`] elements; (2) combines the
+//! data-provider policies with **server-specified policies** using
+//! `intersect()` semantics, so the server may refine but never broaden
+//! access (immutable sps opt out); and (3) *combines sps with similar
+//! policies*: a segment policy identical to the previous one is not
+//! re-emitted, saving downstream sp processing.
+
+use std::sync::Arc;
+
+use sp_core::{
+    combine_batch, Policy, RoleCatalog, Schema, SecurityPunctuation, StreamElement,
+};
+
+use crate::element::{Element, PolicyEntry, SegmentPolicy};
+
+/// Per-stream punctuation analyzer.
+#[derive(Debug)]
+pub struct SpAnalyzer {
+    schema: Arc<Schema>,
+    catalog: Arc<RoleCatalog>,
+    /// Server-side policy applied (by intersection) to every mutable
+    /// data-provider policy on this stream.
+    server_policy: Option<Policy>,
+    batch: Vec<Arc<SecurityPunctuation>>,
+    last_emitted: Option<Arc<SegmentPolicy>>,
+    /// Incremental-policy mode (§IX future work): an sp-batch *modifies*
+    /// the previous policy (grants add roles, negative sps revoke them)
+    /// instead of replacing it wholesale. Applies to unscoped
+    /// (whole-segment) batches; scoped batches always replace.
+    incremental: bool,
+    /// Punctuations dropped because their DDP does not cover this stream.
+    pub sps_filtered: u64,
+    /// Segment policies suppressed because they repeated the previous one.
+    pub sps_merged: u64,
+}
+
+impl SpAnalyzer {
+    /// An analyzer for one registered stream.
+    #[must_use]
+    pub fn new(schema: Arc<Schema>, catalog: Arc<RoleCatalog>) -> Self {
+        Self {
+            schema,
+            catalog,
+            server_policy: None,
+            batch: Vec::new(),
+            last_emitted: None,
+            incremental: false,
+            sps_filtered: 0,
+            sps_merged: 0,
+        }
+    }
+
+    /// Enables or disables incremental-policy mode (§IX future work):
+    /// subsequent unscoped sp-batches apply on top of the previous policy
+    /// — a positive sp adds its roles, a negative sp revokes them —
+    /// instead of starting from denial-by-default.
+    pub fn set_incremental(&mut self, incremental: bool) {
+        self.incremental = incremental;
+    }
+
+    /// Installs a server-specified policy (§II-B: organizations may refine
+    /// data-provider policies, e.g. a hospital adding constraints on top of
+    /// a patient's own).
+    pub fn set_server_policy(&mut self, policy: Option<Policy>) {
+        self.server_policy = policy;
+        // The cached last emission no longer reflects the combination.
+        self.last_emitted = None;
+    }
+
+    /// The stream schema this analyzer serves.
+    #[must_use]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Processes one raw stream element, appending engine elements to `out`.
+    pub fn push(&mut self, elem: StreamElement, out: &mut Vec<Element>) {
+        match elem {
+            StreamElement::Punctuation(sp) => {
+                if !sp.matches_stream(self.schema.name()) {
+                    self.sps_filtered += 1;
+                    return;
+                }
+                if let Some(first) = self.batch.first() {
+                    if sp.ts != first.ts {
+                        self.flush(out);
+                    }
+                }
+                self.batch.push(sp);
+            }
+            StreamElement::Tuple(tuple) => {
+                self.flush(out);
+                out.push(Element::Tuple(tuple));
+            }
+        }
+    }
+
+    /// Resolves and emits the pending batch, if any.
+    pub fn flush(&mut self, out: &mut Vec<Element>) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.batch);
+        let ts = batch[0].ts;
+        // Group the batch by tuple scope: sps with identical tuple patterns
+        // combine into one policy entry.
+        let mut groups: Vec<(&str, Vec<Arc<SecurityPunctuation>>)> = Vec::new();
+        for sp in &batch {
+            let scope = sp.ddp.tuple.source();
+            match groups.iter_mut().find(|(s, _)| *s == scope) {
+                Some((_, list)) => list.push(sp.clone()),
+                None => groups.push((scope, vec![sp.clone()])),
+            }
+        }
+        // Incremental mode: a single unscoped batch modifies the previous
+        // uniform policy instead of replacing it.
+        let incremental_base = if self.incremental && groups.len() == 1 && groups[0].0 == "*" {
+            self.last_emitted
+                .as_ref()
+                .and_then(|seg| seg.as_uniform())
+                .map(|p| (**p).clone())
+        } else {
+            None
+        };
+        let entries: Vec<PolicyEntry> = groups
+            .into_iter()
+            .map(|(_, sps)| {
+                let scope = sps[0].ddp.tuple.clone();
+                let mut policy = match &incremental_base {
+                    Some(base) => {
+                        let mut p = base.clone();
+                        p.ts = ts;
+                        for sp in &sps {
+                            sp.apply_to(&mut p, &self.catalog, &self.schema);
+                        }
+                        p
+                    }
+                    None => combine_batch(&sps, &self.catalog, &self.schema),
+                };
+                if let Some(server) = &self.server_policy {
+                    // `Policy::intersect` honours the immutable flag.
+                    policy = policy.intersect(server);
+                }
+                PolicyEntry { scope, policy: Arc::new(policy) }
+            })
+            .collect();
+        let seg = Arc::new(SegmentPolicy::new(entries, ts));
+        // Similar-policy combining: skip emission when the authorizations
+        // are unchanged (timestamps aside).
+        if self.last_emitted.as_ref().is_some_and(|prev| {
+            prev.entries().len() == seg.entries().len()
+                && prev.entries().iter().zip(seg.entries()).all(|(a, b)| {
+                    a.scope == b.scope && a.policy.same_authorizations(&b.policy)
+                })
+        }) {
+            self.sps_merged += 1;
+            return;
+        }
+        self.last_emitted = Some(seg.clone());
+        out.push(Element::Policy(seg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{
+        DataDescription, RoleId, RoleSet, StreamId, Timestamp, Tuple, TupleId, Value, ValueType,
+    };
+
+    fn setup() -> SpAnalyzer {
+        let mut catalog = RoleCatalog::new();
+        catalog.register_synthetic_roles(8);
+        SpAnalyzer::new(
+            Schema::of("loc", &[("id", ValueType::Int)]),
+            Arc::new(catalog),
+        )
+    }
+
+    fn sp(roles: &[u32], ts: u64) -> StreamElement {
+        StreamElement::punctuation(SecurityPunctuation::grant_all(
+            roles.iter().map(|&r| RoleId(r)).collect(),
+            Timestamp(ts),
+        ))
+    }
+
+    fn tup(tid: u64, ts: u64) -> StreamElement {
+        StreamElement::tuple(Tuple::new(
+            StreamId(0),
+            TupleId(tid),
+            Timestamp(ts),
+            vec![Value::Int(tid as i64)],
+        ))
+    }
+
+    fn push_all(a: &mut SpAnalyzer, elems: Vec<StreamElement>) -> Vec<Element> {
+        let mut out = Vec::new();
+        for e in elems {
+            a.push(e, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn batches_same_timestamp_sps() {
+        let mut a = setup();
+        let out = push_all(&mut a, vec![sp(&[1], 5), sp(&[2], 5), tup(1, 6)]);
+        assert_eq!(out.len(), 2);
+        let seg = out[0].as_policy().unwrap();
+        let p = seg.as_uniform().unwrap();
+        assert!(p.allows(&RoleSet::from([1])) && p.allows(&RoleSet::from([2])));
+    }
+
+    #[test]
+    fn different_timestamps_split_batches() {
+        let mut a = setup();
+        let out = push_all(&mut a, vec![sp(&[1], 5), sp(&[2], 6), tup(1, 7)]);
+        // Two policies emitted; the second (newer) replaces the first
+        // downstream via the override rule.
+        let policies: Vec<_> = out.iter().filter_map(|e| e.as_policy()).collect();
+        assert_eq!(policies.len(), 2);
+        assert_eq!(policies[0].ts, Timestamp(5));
+        assert_eq!(policies[1].ts, Timestamp(6));
+    }
+
+    #[test]
+    fn foreign_stream_sps_are_dropped() {
+        let mut a = setup();
+        let foreign = StreamElement::punctuation(
+            SecurityPunctuation::grant_all(RoleSet::from([1]), Timestamp(1))
+                .with_ddp(DataDescription::stream("other")),
+        );
+        let out = push_all(&mut a, vec![foreign, tup(1, 2)]);
+        assert_eq!(out.len(), 1, "only the tuple passes");
+        assert_eq!(a.sps_filtered, 1);
+    }
+
+    #[test]
+    fn identical_policies_are_merged() {
+        let mut a = setup();
+        let out = push_all(
+            &mut a,
+            vec![sp(&[1], 1), tup(1, 2), sp(&[1], 3), tup(2, 4), sp(&[2], 5), tup(3, 6)],
+        );
+        let policies = out.iter().filter(|e| e.as_policy().is_some()).count();
+        assert_eq!(policies, 2, "repeat of {{r1}} suppressed");
+        assert_eq!(a.sps_merged, 1);
+    }
+
+    #[test]
+    fn server_policy_refines_by_intersection() {
+        let mut a = setup();
+        a.set_server_policy(Some(Policy::tuple_level(RoleSet::from([1]), Timestamp(0))));
+        let out = push_all(&mut a, vec![sp(&[1, 2], 1), tup(1, 2)]);
+        let p = out[0].as_policy().unwrap().policy_for(
+            out[1].as_tuple().unwrap(),
+        );
+        assert!(p.allows(&RoleSet::from([1])));
+        assert!(!p.allows(&RoleSet::from([2])), "server removed role 2");
+    }
+
+    #[test]
+    fn immutable_sps_ignore_server_policy() {
+        let mut a = setup();
+        a.set_server_policy(Some(Policy::tuple_level(RoleSet::from([1]), Timestamp(0))));
+        let immutable = StreamElement::punctuation(
+            SecurityPunctuation::grant_all(RoleSet::from([1, 2]), Timestamp(1)).immutable(),
+        );
+        let out = push_all(&mut a, vec![immutable, tup(1, 2)]);
+        let p = out[0].as_policy().unwrap().policy_for(out[1].as_tuple().unwrap());
+        assert!(p.allows(&RoleSet::from([2])), "immutable sp wins");
+    }
+
+    #[test]
+    fn scoped_sps_group_by_tuple_pattern() {
+        let mut a = setup();
+        let scoped = |lo: u64, hi: u64, role: u32, ts: u64| {
+            StreamElement::punctuation(
+                SecurityPunctuation::grant_all(RoleSet::from([role]), Timestamp(ts))
+                    .with_ddp(DataDescription::tuple_range(lo, hi)),
+            )
+        };
+        let out = push_all(
+            &mut a,
+            vec![scoped(0, 10, 1, 5), scoped(20, 30, 2, 5), tup(5, 6), tup(25, 7)],
+        );
+        let seg = out[0].as_policy().unwrap();
+        assert_eq!(seg.entries().len(), 2);
+        let p5 = seg.policy_for(out[1].as_tuple().unwrap());
+        assert!(p5.allows(&RoleSet::from([1])) && !p5.allows(&RoleSet::from([2])));
+        let p25 = seg.policy_for(out[2].as_tuple().unwrap());
+        assert!(p25.allows(&RoleSet::from([2])) && !p25.allows(&RoleSet::from([1])));
+    }
+
+    #[test]
+    fn incremental_mode_accumulates_grants_and_revocations() {
+        let mut a = setup();
+        a.set_incremental(true);
+        let deny = |roles: &[u32], ts: u64| {
+            StreamElement::punctuation(
+                SecurityPunctuation::grant_all(
+                    roles.iter().map(|&r| RoleId(r)).collect(),
+                    Timestamp(ts),
+                )
+                .negative(),
+            )
+        };
+        let out = push_all(
+            &mut a,
+            vec![
+                sp(&[1], 1),
+                tup(1, 2),
+                sp(&[2], 3), // incremental: ADDS role 2
+                tup(2, 4),
+                deny(&[1], 5), // incremental: REVOKES role 1
+                tup(3, 6),
+            ],
+        );
+        let policies: Vec<_> = out.iter().filter_map(|e| e.as_policy()).collect();
+        assert_eq!(policies.len(), 3);
+        let p1 = policies[0].as_uniform().unwrap();
+        assert!(p1.allows(&RoleSet::from([1])) && !p1.allows(&RoleSet::from([2])));
+        let p2 = policies[1].as_uniform().unwrap();
+        assert!(p2.allows(&RoleSet::from([1])) && p2.allows(&RoleSet::from([2])));
+        let p3 = policies[2].as_uniform().unwrap();
+        assert!(!p3.allows(&RoleSet::from([1])) && p3.allows(&RoleSet::from([2])));
+    }
+
+    #[test]
+    fn absolute_mode_replaces_wholesale() {
+        let mut a = setup();
+        let out = push_all(&mut a, vec![sp(&[1], 1), tup(1, 2), sp(&[2], 3), tup(2, 4)]);
+        let policies: Vec<_> = out.iter().filter_map(|e| e.as_policy()).collect();
+        let p2 = policies[1].as_uniform().unwrap();
+        assert!(!p2.allows(&RoleSet::from([1])), "override replaces the policy");
+    }
+
+    #[test]
+    fn trailing_batch_flushes_on_demand() {
+        let mut a = setup();
+        let mut out = Vec::new();
+        a.push(sp(&[3], 9), &mut out);
+        assert!(out.is_empty(), "batch still open");
+        a.flush(&mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,370 @@
+//! Engine-internal stream elements.
+//!
+//! At ingestion the SP Analyzer resolves each *sp-batch* (consecutive raw
+//! punctuations with one timestamp) into a [`SegmentPolicy`]: the policy
+//! function governing the upcoming s-punctuated segment. Inside query plans,
+//! streams are sequences of [`Element`]s — shared tuples interleaved with
+//! shared segment policies. Keeping policies as separate elements (rather
+//! than attaching one to every tuple) is the essence of the punctuation
+//! mechanism: one policy element amortizes over every tuple of its segment.
+
+use std::fmt;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use sp_core::{Policy, SharedPolicy, Timestamp, Tuple};
+use sp_pattern::Pattern;
+
+/// One entry of a segment policy: a tuple-id scope and the resolved policy
+/// for tuples in that scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyEntry {
+    /// Which tuple ids of the segment this entry governs.
+    pub scope: Pattern,
+    /// The resolved policy for those tuples.
+    pub policy: SharedPolicy,
+}
+
+/// The resolved policy of one s-punctuated segment.
+///
+/// Typically a batch is a single tuple-granularity sp covering the whole
+/// segment — the `uniform` fast path, where `policy_for` is a pointer clone.
+/// Batches mixing several scoped sps fall back to per-tuple combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentPolicy {
+    entries: Vec<PolicyEntry>,
+    /// Set when a single entry covers every tuple id.
+    uniform: Option<SharedPolicy>,
+    /// The batch timestamp (all sps of a batch share it).
+    pub ts: Timestamp,
+}
+
+/// The shared deny-all policy returned for unmatched tuples.
+fn deny_all() -> &'static SharedPolicy {
+    static DENY: OnceLock<SharedPolicy> = OnceLock::new();
+    DENY.get_or_init(|| Arc::new(Policy::deny_all(Timestamp::ZERO)))
+}
+
+impl SegmentPolicy {
+    /// A segment policy from resolved entries.
+    #[must_use]
+    pub fn new(entries: Vec<PolicyEntry>, ts: Timestamp) -> Self {
+        let uniform = match entries.as_slice() {
+            [single] if single.scope.is_match_all() => Some(single.policy.clone()),
+            _ => None,
+        };
+        Self { entries, uniform, ts }
+    }
+
+    /// A uniform segment policy governing every tuple of the segment.
+    #[must_use]
+    pub fn uniform(policy: Policy) -> Self {
+        let ts = policy.ts;
+        let shared = Arc::new(policy);
+        Self {
+            entries: vec![PolicyEntry { scope: Pattern::match_all(), policy: shared.clone() }],
+            uniform: Some(shared),
+            ts,
+        }
+    }
+
+    /// The deny-everything segment policy (denial-by-default).
+    #[must_use]
+    pub fn deny(ts: Timestamp) -> Self {
+        Self { entries: Vec::new(), uniform: None, ts }
+    }
+
+    /// The uniform policy, if the segment has a single all-tuples entry.
+    #[must_use]
+    pub fn as_uniform(&self) -> Option<&SharedPolicy> {
+        self.uniform.as_ref()
+    }
+
+    /// The policy entries.
+    #[must_use]
+    pub fn entries(&self) -> &[PolicyEntry] {
+        &self.entries
+    }
+
+    /// Resolves the policy governing `tuple`.
+    ///
+    /// Uniform segments return the shared policy by pointer. Scoped
+    /// segments combine (union) every entry matching the tuple id; a tuple
+    /// matched by no entry gets the deny-all policy (§III-A).
+    #[must_use]
+    pub fn policy_for(&self, tuple: &Tuple) -> SharedPolicy {
+        if let Some(p) = &self.uniform {
+            return p.clone();
+        }
+        let tid = tuple.tid.raw();
+        let mut matched: Option<SharedPolicy> = None;
+        let mut combined: Option<Policy> = None;
+        for entry in &self.entries {
+            if !entry.scope.matches_u64(tid) {
+                continue;
+            }
+            match (&matched, &mut combined) {
+                (None, _) => matched = Some(entry.policy.clone()),
+                (Some(first), None) => combined = Some(first.union(&entry.policy)),
+                (_, Some(c)) => *c = c.union(&entry.policy),
+            }
+        }
+        match (matched, combined) {
+            (_, Some(c)) => Arc::new(c),
+            (Some(single), None) => single,
+            (None, None) => deny_all().clone(),
+        }
+    }
+
+    /// A copy of this segment policy stamped with a different timestamp
+    /// (entries are shared). Operators that *re-announce* a policy on a
+    /// merged output stream (e.g. union, when the emitting side switches)
+    /// use this to keep output punctuations timestamp-ordered; downstream
+    /// operators discard punctuations that appear stale (§V-A override).
+    #[must_use]
+    pub fn with_ts(&self, ts: Timestamp) -> SegmentPolicy {
+        SegmentPolicy { entries: self.entries.clone(), uniform: self.uniform.clone(), ts }
+    }
+
+    /// Borrow-based resolution for the hot path: identifies the policy
+    /// governing `tuple` without touching reference counts.
+    #[must_use]
+    pub fn resolve_ref(&self, tuple: &Tuple) -> Resolved<'_> {
+        if let Some(p) = &self.uniform {
+            return Resolved::One(p);
+        }
+        let tid = tuple.tid.raw();
+        let mut found: Option<&SharedPolicy> = None;
+        for entry in &self.entries {
+            if entry.scope.matches_u64(tid) {
+                if found.is_some() {
+                    return Resolved::Many;
+                }
+                found = Some(&entry.policy);
+            }
+        }
+        match found {
+            Some(p) => Resolved::One(p),
+            None => Resolved::None,
+        }
+    }
+
+    /// Transforms every entry's policy (projection remapping etc.),
+    /// dropping entries whose policies become deny-all.
+    #[must_use]
+    pub fn map_policies(&self, f: impl Fn(&Policy) -> Policy) -> SegmentPolicy {
+        let entries: Vec<PolicyEntry> = self
+            .entries
+            .iter()
+            .filter_map(|e| {
+                let p = f(&e.policy);
+                if p.is_deny_all() {
+                    None
+                } else {
+                    Some(PolicyEntry { scope: e.scope.clone(), policy: Arc::new(p) })
+                }
+            })
+            .collect();
+        SegmentPolicy::new(entries, self.ts)
+    }
+
+    /// True if no entry authorizes anyone.
+    #[must_use]
+    pub fn is_deny_all(&self) -> bool {
+        self.entries.iter().all(|e| e.policy.is_deny_all())
+    }
+
+    /// Number of sps this segment policy stands for (cost accounting: each
+    /// entry corresponds to one streamed punctuation).
+    #[must_use]
+    pub fn sp_count(&self) -> usize {
+        self.entries.len().max(1)
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<SegmentPolicy>()
+            + self
+                .entries
+                .iter()
+                .map(|e| e.scope.source().len() + e.policy.mem_bytes())
+                .sum::<usize>()
+    }
+}
+
+/// Result of [`SegmentPolicy::resolve_ref`].
+#[derive(Debug)]
+pub enum Resolved<'a> {
+    /// No entry governs the tuple: denial-by-default.
+    None,
+    /// Exactly one policy governs the tuple (borrowed, no refcount churn).
+    One(&'a SharedPolicy),
+    /// Several entries overlap; use [`SegmentPolicy::policy_for`] to
+    /// combine them.
+    Many,
+}
+
+/// An element flowing between operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A data tuple.
+    Tuple(Arc<Tuple>),
+    /// The policy for the upcoming segment.
+    Policy(Arc<SegmentPolicy>),
+}
+
+impl Element {
+    /// Wraps a tuple.
+    #[must_use]
+    pub fn tuple(t: Tuple) -> Self {
+        Element::Tuple(Arc::new(t))
+    }
+
+    /// Wraps a segment policy.
+    #[must_use]
+    pub fn policy(p: SegmentPolicy) -> Self {
+        Element::Policy(Arc::new(p))
+    }
+
+    /// The element timestamp.
+    #[must_use]
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            Element::Tuple(t) => t.ts,
+            Element::Policy(p) => p.ts,
+        }
+    }
+
+    /// The tuple, if any.
+    #[must_use]
+    pub fn as_tuple(&self) -> Option<&Arc<Tuple>> {
+        match self {
+            Element::Tuple(t) => Some(t),
+            Element::Policy(_) => None,
+        }
+    }
+
+    /// The policy, if any.
+    #[must_use]
+    pub fn as_policy(&self) -> Option<&Arc<SegmentPolicy>> {
+        match self {
+            Element::Policy(p) => Some(p),
+            Element::Tuple(_) => None,
+        }
+    }
+
+    /// True for tuples.
+    #[must_use]
+    pub fn is_tuple(&self) -> bool {
+        matches!(self, Element::Tuple(_))
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Element::Tuple(t) => write!(f, "{t}"),
+            Element::Policy(p) => write!(
+                f,
+                "<policy @{} ({} entries)>",
+                p.ts,
+                p.entries().len()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{RoleId, RoleSet, StreamId, TupleId, Value};
+
+    fn tup(tid: u64) -> Tuple {
+        Tuple::new(StreamId(0), TupleId(tid), Timestamp(1), vec![Value::Int(0)])
+    }
+
+    fn policy(roles: &[u32], ts: u64) -> Policy {
+        Policy::tuple_level(roles.iter().map(|&r| RoleId(r)).collect(), Timestamp(ts))
+    }
+
+    #[test]
+    fn uniform_fast_path_shares_pointer() {
+        let seg = SegmentPolicy::uniform(policy(&[1], 5));
+        let a = seg.policy_for(&tup(1));
+        let b = seg.policy_for(&tup(2));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(seg.as_uniform().is_some());
+        assert_eq!(seg.ts, Timestamp(5));
+        assert_eq!(seg.sp_count(), 1);
+    }
+
+    #[test]
+    fn scoped_segment_denies_unmatched() {
+        let seg = SegmentPolicy::new(
+            vec![PolicyEntry {
+                scope: Pattern::numeric_range(10, 20),
+                policy: Arc::new(policy(&[1], 1)),
+            }],
+            Timestamp(1),
+        );
+        assert!(seg.as_uniform().is_none());
+        let inside = seg.policy_for(&tup(15));
+        assert!(inside.allows(&RoleSet::from([1])));
+        let outside = seg.policy_for(&tup(25));
+        assert!(outside.is_deny_all());
+    }
+
+    #[test]
+    fn overlapping_scopes_union() {
+        let seg = SegmentPolicy::new(
+            vec![
+                PolicyEntry {
+                    scope: Pattern::numeric_range(0, 50),
+                    policy: Arc::new(policy(&[1], 1)),
+                },
+                PolicyEntry {
+                    scope: Pattern::numeric_range(40, 90),
+                    policy: Arc::new(policy(&[2], 1)),
+                },
+            ],
+            Timestamp(1),
+        );
+        let both = seg.policy_for(&tup(45));
+        assert!(both.allows(&RoleSet::from([1])) && both.allows(&RoleSet::from([2])));
+        let only_first = seg.policy_for(&tup(10));
+        assert!(only_first.allows(&RoleSet::from([1])));
+        assert!(!only_first.allows(&RoleSet::from([2])));
+    }
+
+    #[test]
+    fn deny_segment() {
+        let seg = SegmentPolicy::deny(Timestamp(3));
+        assert!(seg.is_deny_all());
+        assert!(seg.policy_for(&tup(1)).is_deny_all());
+    }
+
+    #[test]
+    fn map_policies_drops_deny_all() {
+        let seg = SegmentPolicy::uniform(policy(&[1], 1));
+        let emptied = seg.map_policies(|p| {
+            let mut q = p.clone();
+            q.revoke(&RoleSet::from([1]));
+            q
+        });
+        assert!(emptied.is_deny_all());
+        assert!(emptied.entries().is_empty());
+    }
+
+    #[test]
+    fn element_accessors() {
+        let e = Element::tuple(tup(1));
+        assert!(e.is_tuple());
+        assert_eq!(e.ts(), Timestamp(1));
+        assert!(e.as_policy().is_none());
+        let p = Element::policy(SegmentPolicy::uniform(policy(&[1], 9)));
+        assert_eq!(p.ts(), Timestamp(9));
+        assert!(p.as_tuple().is_none());
+        assert!(p.to_string().contains("policy"));
+    }
+}

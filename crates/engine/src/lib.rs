@@ -1,0 +1,53 @@
+//! # sp-engine — a security-aware stream operator framework
+//!
+//! A from-scratch DSMS substrate (standing in for CAPE, the engine used by
+//! the paper) implementing the *security-aware query algebra* of
+//! *"A Security Punctuation Framework for Enforcing Access Control on
+//! Streaming Data"* (ICDE 2008):
+//!
+//! * [`element`] — engine stream elements: tuples interleaved with resolved
+//!   segment policies;
+//! * [`analyzer`] — the SP Analyzer: sp-batch resolution, server-policy
+//!   combination, similar-policy merging;
+//! * [`expr`] — scalar expressions for predicates and join conditions;
+//! * [`operator`] / [`stats`] — the pipelined operator abstraction with
+//!   per-cause cost accounting;
+//! * [`ops`] — the algebra: Security Shield (ψ), select (σ), project (π),
+//!   SAJoin (⋈, nested-loop PF/FP and SPIndex variants), duplicate
+//!   elimination (δ), group-by with attribute subgroups;
+//! * [`plan`] — plan DAGs with shared subplans and the push-based executor;
+//! * [`parallel`] — a pipeline-parallel runner (one thread per operator)
+//!   that reproduces the sequential executor's results exactly;
+//! * [`reorder`] — a K-slack buffer restoring timestamp order for
+//!   out-of-order arrivals (the substrate §II-B defers to prior work);
+//! * [`predicate_index`] — the CACQ-style grouped filter over SS states
+//!   that §V-A suggests for many-query shields.
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod element;
+pub mod expr;
+pub mod operator;
+pub mod ops;
+pub mod parallel;
+pub mod plan;
+pub mod predicate_index;
+pub mod reorder;
+pub mod stats;
+pub mod window;
+
+pub use analyzer::SpAnalyzer;
+pub use element::{Element, PolicyEntry, SegmentPolicy};
+pub use expr::{ArithOp, CmpOp, Expr};
+pub use operator::{run_unary, Emitter, Operator};
+pub use ops::{
+    AggFunc, DupElim, Granularity, GroupBy, JoinVariant, MatchMode, Project, SAIntersect,
+    SAJoin, SecurityShield, Select, Sink, Union,
+};
+pub use parallel::{run_parallel, ParallelResults};
+pub use predicate_index::{PredicateIndex, QuerySet};
+pub use reorder::ReorderBuffer;
+pub use plan::{Executor, NodeRef, PlanBuilder, SinkRef, SourceRef, Upstream};
+pub use stats::{CostKind, OperatorStats};
+pub use window::WindowSpec;

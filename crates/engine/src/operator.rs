@@ -1,0 +1,146 @@
+//! The stream operator abstraction and output collector.
+
+use crate::element::Element;
+use crate::stats::OperatorStats;
+
+/// Collects the elements an operator emits during one `process` call; the
+/// executor then routes them to downstream operators.
+#[derive(Debug, Default)]
+pub struct Emitter {
+    buf: Vec<Element>,
+}
+
+impl Emitter {
+    /// An empty emitter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits one element downstream.
+    pub fn push(&mut self, elem: Element) {
+        self.buf.push(elem);
+    }
+
+    /// Drains everything emitted so far.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Element> {
+        self.buf.drain(..)
+    }
+
+    /// Takes the buffer (test helper).
+    #[must_use]
+    pub fn take(&mut self) -> Vec<Element> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Number of pending elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A pipelined stream operator.
+///
+/// Operators are single-threaded state machines: the executor feeds them one
+/// element at a time through [`Operator::process`] together with the input
+/// port it arrived on (0 for unary operators, 0/1 for joins). Operators own
+/// their cost counters so the evaluation harness can read per-operator
+/// breakdowns.
+pub trait Operator: Send {
+    /// Operator name for plan display ("ss", "select", "sajoin", ...).
+    fn name(&self) -> &str;
+
+    /// Number of input ports (1 for unary, 2 for binary operators).
+    fn arity(&self) -> usize {
+        1
+    }
+
+    /// Processes one input element, emitting any outputs.
+    fn process(&mut self, port: usize, elem: Element, out: &mut Emitter);
+
+    /// Cost counters.
+    fn stats(&self) -> &OperatorStats;
+
+    /// Approximate heap footprint of the operator state in bytes.
+    fn state_mem_bytes(&self) -> usize {
+        0
+    }
+
+    /// Replaces the operator's security predicate, if it has one. Returns
+    /// false for operators without a predicate (the default).
+    ///
+    /// This implements the paper's §IX future-work item — "runtime changes
+    /// in subjects' role assignments": when a subject's roles change, the
+    /// shields of its registered queries are updated in place instead of
+    /// tearing the plan down.
+    fn update_predicate(&mut self, _roles: &sp_core::RoleSet) -> bool {
+        false
+    }
+}
+
+/// Test/bench helper: runs a sequence of elements through a single operator
+/// and returns everything it emits.
+pub fn run_unary(op: &mut dyn Operator, input: impl IntoIterator<Item = Element>) -> Vec<Element> {
+    let mut out = Emitter::new();
+    let mut collected = Vec::new();
+    for elem in input {
+        op.process(0, elem, &mut out);
+        collected.extend(out.drain());
+    }
+    collected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{StreamId, Timestamp, Tuple, TupleId};
+
+    struct Echo {
+        stats: OperatorStats,
+    }
+
+    impl Operator for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn process(&mut self, _port: usize, elem: Element, out: &mut Emitter) {
+            self.stats.tuples_in += 1;
+            out.push(elem);
+        }
+        fn stats(&self) -> &OperatorStats {
+            &self.stats
+        }
+    }
+
+    #[test]
+    fn emitter_collects_and_drains() {
+        let mut e = Emitter::new();
+        assert!(e.is_empty());
+        e.push(Element::tuple(Tuple::new(StreamId(0), TupleId(1), Timestamp(0), vec![])));
+        assert_eq!(e.len(), 1);
+        let taken = e.take();
+        assert_eq!(taken.len(), 1);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn run_unary_round_trips() {
+        let mut op = Echo { stats: OperatorStats::new() };
+        let input = vec![
+            Element::tuple(Tuple::new(StreamId(0), TupleId(1), Timestamp(0), vec![])),
+            Element::tuple(Tuple::new(StreamId(0), TupleId(2), Timestamp(1), vec![])),
+        ];
+        let out = run_unary(&mut op, input.clone());
+        assert_eq!(out, input);
+        assert_eq!(op.stats().tuples_in, 2);
+        assert_eq!(op.arity(), 1);
+        assert_eq!(op.state_mem_bytes(), 0);
+    }
+}

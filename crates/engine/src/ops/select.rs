@@ -1,0 +1,149 @@
+//! The security-aware selection operator `σ_c(T)` (Table I).
+//!
+//! Selection drops tuples failing the condition and **delays sp
+//! propagation** until at least one tuple governed by the policy passes; if
+//! every tuple of a segment is filtered out, the segment's punctuations are
+//! discarded too (§IV-B) — downstream operators never pay for policies with
+//! no surviving tuples.
+
+use std::sync::Arc;
+
+use crate::element::{Element, SegmentPolicy};
+use crate::expr::Expr;
+use crate::operator::{Emitter, Operator};
+use crate::stats::{CostKind, OperatorStats};
+
+/// The selection operator.
+#[derive(Debug)]
+pub struct Select {
+    condition: Expr,
+    /// The segment policy awaiting its first passing tuple.
+    pending_policy: Option<Arc<SegmentPolicy>>,
+    stats: OperatorStats,
+}
+
+impl Select {
+    /// A selection with the given predicate.
+    #[must_use]
+    pub fn new(condition: Expr) -> Self {
+        Self { condition, pending_policy: None, stats: OperatorStats::new() }
+    }
+
+    /// The selection condition.
+    #[must_use]
+    pub fn condition(&self) -> &Expr {
+        &self.condition
+    }
+}
+
+impl Operator for Select {
+    fn name(&self) -> &str {
+        "select"
+    }
+
+    fn process(&mut self, _port: usize, elem: Element, out: &mut Emitter) {
+        match elem {
+            Element::Policy(seg) => {
+                let start = std::time::Instant::now();
+                self.stats.sps_in += 1;
+                // The previous pending policy (if any) saw no passing tuple:
+                // it is discarded, exactly the paper's delayed propagation.
+                self.pending_policy = Some(seg);
+                self.stats.charge(CostKind::Sp, start.elapsed());
+            }
+            Element::Tuple(tuple) => {
+                let start = std::time::Instant::now();
+                self.stats.tuples_in += 1;
+                if self.condition.test(&tuple) {
+                    if let Some(policy) = self.pending_policy.take() {
+                        self.stats.sps_out += 1;
+                        out.push(Element::Policy(policy));
+                    }
+                    self.stats.tuples_out += 1;
+                    out.push(Element::Tuple(tuple));
+                }
+                self.stats.charge(CostKind::Tuple, start.elapsed());
+            }
+        }
+    }
+
+    fn stats(&self) -> &OperatorStats {
+        &self.stats
+    }
+
+    fn state_mem_bytes(&self) -> usize {
+        self.pending_policy.as_ref().map_or(0, |p| p.mem_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::operator::run_unary;
+    use sp_core::{Policy, RoleSet, StreamId, Timestamp, Tuple, TupleId, Value};
+
+    fn tup(tid: u64, v: i64) -> Element {
+        Element::tuple(Tuple::new(
+            StreamId(0),
+            TupleId(tid),
+            Timestamp(tid),
+            vec![Value::Int(v)],
+        ))
+    }
+
+    fn pol(ts: u64) -> Element {
+        Element::policy(SegmentPolicy::uniform(Policy::tuple_level(
+            RoleSet::from([1]),
+            Timestamp(ts),
+        )))
+    }
+
+    fn gt(limit: i64) -> Expr {
+        Expr::cmp(CmpOp::Gt, Expr::Attr(0), Expr::Const(Value::Int(limit)))
+    }
+
+    #[test]
+    fn filters_tuples() {
+        let mut sel = Select::new(gt(5));
+        let out = run_unary(&mut sel, vec![tup(1, 3), tup(2, 7), tup(3, 9)]);
+        let ids: Vec<u64> = out.iter().filter_map(|e| e.as_tuple()).map(|t| t.tid.raw()).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(sel.stats().tuples_in, 3);
+        assert_eq!(sel.stats().tuples_out, 2);
+    }
+
+    #[test]
+    fn delays_sp_until_first_passing_tuple() {
+        let mut sel = Select::new(gt(5));
+        let out = run_unary(&mut sel, vec![pol(0), tup(1, 3), tup(2, 7)]);
+        // Policy must appear immediately before tuple 2, not before tuple 1.
+        assert_eq!(out.len(), 2);
+        assert!(out[0].as_policy().is_some());
+        assert_eq!(out[1].as_tuple().unwrap().tid.raw(), 2);
+    }
+
+    #[test]
+    fn discards_sp_when_whole_segment_filtered() {
+        let mut sel = Select::new(gt(5));
+        let out = run_unary(
+            &mut sel,
+            vec![pol(0), tup(1, 1), pol(10), tup(2, 9)],
+        );
+        // Only the second policy survives.
+        let policies: Vec<_> = out.iter().filter_map(|e| e.as_policy()).collect();
+        assert_eq!(policies.len(), 1);
+        assert_eq!(policies[0].ts, Timestamp(10));
+        assert_eq!(sel.stats().sps_in, 2);
+        assert_eq!(sel.stats().sps_out, 1);
+    }
+
+    #[test]
+    fn policy_emitted_once_per_segment() {
+        let mut sel = Select::new(gt(0));
+        let out = run_unary(&mut sel, vec![pol(0), tup(1, 1), tup(2, 2)]);
+        assert_eq!(out.iter().filter(|e| e.as_policy().is_some()).count(), 1);
+        assert_eq!(sel.name(), "select");
+        assert_eq!(sel.state_mem_bytes(), 0, "pending policy was flushed");
+    }
+}

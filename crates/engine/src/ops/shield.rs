@@ -1,0 +1,547 @@
+//! The Security Shield (SS) operator — `ψ_p(T)` of the security-aware
+//! algebra (Table I, §V-A).
+//!
+//! SS is a stateful filter. Its state is a *security predicate*: the set of
+//! roles of the queries it protects. Arriving segment policies are checked
+//! against that predicate; tuples governed by a non-intersecting policy are
+//! discarded together with their punctuations, enforcing denial-by-default.
+//!
+//! Faithful cost behaviour (§VI-A): a tuple under an already-checked policy
+//! is processed in O(1) — the verdict is cached per segment — while each
+//! arriving punctuation pays a scan of the SS state. The more tuples share
+//! one sp, the cheaper SS becomes per tuple (Fig. 8a). Two predicate-
+//! evaluation modes are provided: `Bitmap` (word-parallel role-set
+//! intersection — the paper's suggested bitmap encoding) and `Scan` (role-
+//! by-role probing, the unindexed baseline whose cost grows linearly with
+//! the SS state size, Fig. 8b).
+
+use std::sync::Arc;
+
+use sp_core::{RoleSet, SharedPolicy};
+
+use crate::element::{Element, SegmentPolicy};
+use crate::operator::{Emitter, Operator};
+use crate::stats::{CostKind, OperatorStats};
+
+/// Enforcement granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// Drop whole tuples whose policy does not authorize the predicate.
+    #[default]
+    Tuple,
+    /// Pass tuples visible through attribute-scoped grants, masking (i.e.
+    /// nulling) the attributes the predicate may not read.
+    Attribute,
+}
+
+/// How the security predicate is evaluated against a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchMode {
+    /// Word-parallel bitmap intersection (compact encoding, §I-C).
+    #[default]
+    Bitmap,
+    /// Role-by-role membership probing — models an SS without a role
+    /// index; cost grows with the SS-state size (cf. Fig. 8b).
+    Scan,
+}
+
+/// Cached verdict for the current segment.
+#[derive(Debug, Clone)]
+enum Verdict {
+    /// No policy seen yet: denial-by-default.
+    Deny,
+    /// Uniform segment, predicate authorized. In attribute granularity the
+    /// policy is kept to derive per-arity attribute masks.
+    Pass { mask_from: Option<SharedPolicy> },
+    /// Uniform segment, predicate not authorized.
+    Fail,
+    /// Scoped segment: resolve per tuple.
+    PerTuple,
+}
+
+/// The Security Shield operator.
+#[derive(Debug)]
+pub struct SecurityShield {
+    roles: RoleSet,
+    granularity: Granularity,
+    mode: MatchMode,
+    /// Per-element wall-clock accounting (two clock reads per element).
+    /// Needed by the operator-cost experiments; disable for fair
+    /// end-to-end throughput comparisons.
+    timed: bool,
+    current: Option<Arc<SegmentPolicy>>,
+    verdict: Verdict,
+    /// Lazily emitted before the first passing tuple of the segment, so
+    /// that discarded segments' punctuations are discarded too.
+    pending_policy: Option<Arc<SegmentPolicy>>,
+    /// `(arity, mask)` cache for attribute-granularity uniform segments.
+    mask_cache: Option<(usize, Arc<[usize]>)>,
+    /// Per-tuple verdict cache for scoped segments: consecutive tuples of
+    /// one segment resolve to the *same shared policy allocation*, so a
+    /// pointer compare reuses the previous decision ("once an sp has been
+    /// processed, the decision applies to all tuples that follow it").
+    /// Keeping the `Arc` alive makes the identity check sound.
+    tuple_cache: Option<(SharedPolicy, Option<Arc<[usize]>>)>,
+    stats: OperatorStats,
+}
+
+impl SecurityShield {
+    /// An SS with the given predicate roles (tuple granularity, bitmap
+    /// matching).
+    #[must_use]
+    pub fn new(roles: RoleSet) -> Self {
+        Self {
+            roles,
+            granularity: Granularity::Tuple,
+            mode: MatchMode::Bitmap,
+            timed: true,
+            current: None,
+            verdict: Verdict::Deny,
+            pending_policy: None,
+            mask_cache: None,
+            tuple_cache: None,
+            stats: OperatorStats::new(),
+        }
+    }
+
+    /// Sets the enforcement granularity.
+    #[must_use]
+    pub fn with_granularity(mut self, g: Granularity) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Sets the predicate evaluation mode.
+    #[must_use]
+    pub fn with_mode(mut self, m: MatchMode) -> Self {
+        self.mode = m;
+        self
+    }
+
+    /// Disables per-element wall-clock accounting (throughput runs).
+    #[must_use]
+    pub fn without_timing(mut self) -> Self {
+        self.timed = false;
+        self
+    }
+
+    /// The predicate roles (SS state).
+    #[must_use]
+    pub fn predicate(&self) -> &RoleSet {
+        &self.roles
+    }
+
+    /// Splitting rule (Rule 1): splits this SS into one shield per
+    /// predicate role. `ψ_{p1∧…∧pn} ≡ ψ_{p1}(…(ψ_{pn}))` — for
+    /// disjunctive role predicates the useful split is by role subsets;
+    /// this helper splits into singletons.
+    #[must_use]
+    pub fn split(&self) -> Vec<SecurityShield> {
+        self.roles
+            .iter()
+            .map(|r| {
+                SecurityShield::new(RoleSet::single(r))
+                    .with_granularity(self.granularity)
+                    .with_mode(self.mode)
+            })
+            .collect()
+    }
+
+    /// Merging rule (Rule 1, reverse): one SS whose predicate is the union
+    /// of the given shields' predicates.
+    #[must_use]
+    pub fn merge(shields: &[SecurityShield]) -> SecurityShield {
+        let mut roles = RoleSet::new();
+        for s in shields {
+            roles.union_with(&s.roles);
+        }
+        let (granularity, mode) = shields
+            .first()
+            .map_or((Granularity::Tuple, MatchMode::Bitmap), |s| {
+                (s.granularity, s.mode)
+            });
+        SecurityShield::new(roles).with_granularity(granularity).with_mode(mode)
+    }
+
+    /// Predicate check in the configured mode.
+    fn authorized(&self, policy: &SharedPolicy) -> bool {
+        match (self.mode, self.granularity) {
+            (MatchMode::Bitmap, Granularity::Tuple) => policy.allows(&self.roles),
+            (MatchMode::Bitmap, Granularity::Attribute) => policy.allows_any_attr(&self.roles),
+            (MatchMode::Scan, _) => {
+                // Role-by-role probe of the SS state (unindexed predicate
+                // list), per the cost model's λ_sp(NR_sp + NR) term.
+                let mut hit = false;
+                for role in self.roles.iter() {
+                    if policy.tuple_roles().contains(role) {
+                        hit = true;
+                    }
+                }
+                if !hit && self.granularity == Granularity::Attribute {
+                    hit = policy.allows_any_attr(&self.roles);
+                }
+                hit
+            }
+        }
+    }
+
+    fn evaluate_segment(&mut self, seg: &Arc<SegmentPolicy>) -> Verdict {
+        self.mask_cache = None;
+        self.tuple_cache = None;
+        match seg.as_uniform() {
+            Some(policy) => {
+                if self.authorized(policy) {
+                    let mask_from = (self.granularity == Granularity::Attribute)
+                        .then(|| policy.clone());
+                    Verdict::Pass { mask_from }
+                } else {
+                    Verdict::Fail
+                }
+            }
+            None => Verdict::PerTuple,
+        }
+    }
+
+    /// Evaluates the predicate against a resolved policy, producing the
+    /// pass verdict (with attribute mask) or `None` for deny.
+    fn judge(&self, policy: &SharedPolicy, arity: usize) -> Option<Arc<[usize]>> {
+        let pass = match self.granularity {
+            Granularity::Tuple => policy.allows(&self.roles),
+            Granularity::Attribute => policy.allows_any_attr(&self.roles),
+        };
+        if !pass {
+            return None;
+        }
+        let masked: Arc<[usize]> = if self.granularity == Granularity::Attribute {
+            policy.masked_attrs(arity, &self.roles).into()
+        } else {
+            Arc::from([])
+        };
+        Some(masked)
+    }
+
+    /// The attribute mask for a uniform segment at the given arity, cached.
+    fn cached_mask(&mut self, policy: &SharedPolicy, arity: usize) -> Arc<[usize]> {
+        match &self.mask_cache {
+            Some((a, mask)) if *a == arity => mask.clone(),
+            _ => {
+                let mask: Arc<[usize]> = policy.masked_attrs(arity, &self.roles).into();
+                self.mask_cache = Some((arity, mask.clone()));
+                mask
+            }
+        }
+    }
+}
+
+impl Operator for SecurityShield {
+    fn name(&self) -> &str {
+        "ss"
+    }
+
+    fn process(&mut self, _port: usize, elem: Element, out: &mut Emitter) {
+        match elem {
+            Element::Policy(seg) => {
+                let start = self.timed.then(std::time::Instant::now);
+                self.stats.sps_in += 1;
+                // An sp-batch with a newer timestamp replaces the buffered
+                // policy (§V-A); older ones are ignored.
+                let replace = self
+                    .current
+                    .as_ref()
+                    .is_none_or(|cur| seg.ts >= cur.ts);
+                if replace {
+                    self.verdict = self.evaluate_segment(&seg);
+                    self.current = Some(seg.clone());
+                    self.pending_policy = match self.verdict {
+                        Verdict::Fail | Verdict::Deny => None,
+                        // Forward the policy narrowed to this shield's
+                        // predicate: downstream of ψ_p nothing may observe
+                        // access beyond p (least privilege), and narrowing
+                        // makes the Table II push-down rules exact.
+                        _ => Some(Arc::new(
+                            seg.map_policies(|p| p.restrict_to(&self.roles)),
+                        )),
+                    };
+                }
+                if let Some(start) = start {
+                    self.stats.charge(CostKind::Sp, start.elapsed());
+                }
+            }
+            Element::Tuple(tuple) => {
+                let start = self.timed.then(std::time::Instant::now);
+                self.stats.tuples_in += 1;
+                let decision = match &self.verdict {
+                    Verdict::Deny | Verdict::Fail => None,
+                    Verdict::Pass { mask_from } => match mask_from.clone() {
+                        None => Some(Arc::from([])),
+                        Some(policy) => Some(self.cached_mask(&policy, tuple.arity())),
+                    },
+                    Verdict::PerTuple => {
+                        // Resolve with a scoped borrow, deferring any
+                        // mutation of the verdict cache.
+                        enum Hit {
+                            Deny,
+                            Cached(Option<Arc<[usize]>>),
+                            Evaluate(SharedPolicy),
+                            Combined(SharedPolicy),
+                        }
+                        let hit = {
+                            let seg =
+                                self.current.as_ref().expect("PerTuple implies a segment");
+                            match seg.resolve_ref(&tuple) {
+                                crate::element::Resolved::None => Hit::Deny,
+                                crate::element::Resolved::One(policy) => {
+                                    // Hot path: consecutive tuples of one
+                                    // segment resolve to the same policy
+                                    // allocation — a pointer compare
+                                    // reuses the previous verdict.
+                                    match &self.tuple_cache {
+                                        Some((cached, verdict))
+                                            if Arc::ptr_eq(cached, policy) =>
+                                        {
+                                            Hit::Cached(verdict.clone())
+                                        }
+                                        _ => Hit::Evaluate(policy.clone()),
+                                    }
+                                }
+                                crate::element::Resolved::Many => {
+                                    Hit::Combined(seg.policy_for(&tuple))
+                                }
+                            }
+                        };
+                        match hit {
+                            Hit::Deny => None,
+                            Hit::Cached(verdict) => verdict,
+                            Hit::Evaluate(policy) => {
+                                let verdict = self.judge(&policy, tuple.arity());
+                                self.tuple_cache = Some((policy, verdict.clone()));
+                                verdict
+                            }
+                            Hit::Combined(policy) => self.judge(&policy, tuple.arity()),
+                        }
+                    }
+                };
+                match decision {
+                    Some(masked) => {
+                        if let Some(policy) = self.pending_policy.take() {
+                            self.stats.sps_out += 1;
+                            out.push(Element::Policy(policy));
+                        }
+                        self.stats.tuples_out += 1;
+                        if masked.is_empty() {
+                            out.push(Element::Tuple(tuple));
+                        } else {
+                            out.push(Element::tuple(tuple.mask(&masked)));
+                        }
+                    }
+                    None => self.stats.tuples_shielded += 1,
+                }
+                if let Some(start) = start {
+                    self.stats.charge(CostKind::Tuple, start.elapsed());
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> &OperatorStats {
+        &self.stats
+    }
+
+    fn state_mem_bytes(&self) -> usize {
+        self.roles.mem_bytes()
+            + self
+                .current
+                .as_ref()
+                .map_or(0, |seg| seg.mem_bytes())
+    }
+
+    /// Runtime role reassignment (§IX future work): swaps the predicate
+    /// and re-evaluates the buffered segment so the very next tuple is
+    /// judged under the new roles.
+    fn update_predicate(&mut self, roles: &RoleSet) -> bool {
+        self.roles = roles.clone();
+        self.mask_cache = None;
+        self.tuple_cache = None;
+        if let Some(seg) = self.current.clone() {
+            self.verdict = self.evaluate_segment(&seg);
+            self.pending_policy = match self.verdict {
+                Verdict::Fail | Verdict::Deny => None,
+                _ => Some(Arc::new(seg.map_policies(|p| p.restrict_to(&self.roles)))),
+            };
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::run_unary;
+    use sp_core::{Policy, RoleId, StreamId, Timestamp, Tuple, TupleId, Value};
+    use sp_pattern::Pattern;
+
+    fn tup(tid: u64, ts: u64) -> Element {
+        Element::tuple(Tuple::new(
+            StreamId(0),
+            TupleId(tid),
+            Timestamp(ts),
+            vec![Value::Int(tid as i64), Value::Int(7)],
+        ))
+    }
+
+    fn pol(roles: &[u32], ts: u64) -> Element {
+        Element::policy(SegmentPolicy::uniform(Policy::tuple_level(
+            roles.iter().map(|&r| RoleId(r)).collect(),
+            Timestamp(ts),
+        )))
+    }
+
+    fn tuples_of(elems: &[Element]) -> Vec<u64> {
+        elems
+            .iter()
+            .filter_map(|e| e.as_tuple().map(|t| t.tid.raw()))
+            .collect()
+    }
+
+    #[test]
+    fn denial_by_default() {
+        let mut ss = SecurityShield::new(RoleSet::from([1]));
+        let out = run_unary(&mut ss, vec![tup(1, 0), tup(2, 1)]);
+        assert!(out.is_empty());
+        assert_eq!(ss.stats().tuples_shielded, 2);
+    }
+
+    #[test]
+    fn passing_segment_flows_with_policy_first() {
+        let mut ss = SecurityShield::new(RoleSet::from([1]));
+        let out = run_unary(&mut ss, vec![pol(&[1, 2], 0), tup(1, 1), tup(2, 2)]);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].as_policy().is_some(), "policy precedes its tuples");
+        assert_eq!(tuples_of(&out), vec![1, 2]);
+        assert_eq!(ss.stats().sps_out, 1);
+    }
+
+    #[test]
+    fn failing_segment_discards_tuples_and_sps() {
+        let mut ss = SecurityShield::new(RoleSet::from([9]));
+        let out = run_unary(
+            &mut ss,
+            vec![pol(&[1], 0), tup(1, 1), pol(&[9], 2), tup(2, 3)],
+        );
+        assert_eq!(tuples_of(&out), vec![2]);
+        // Only the passing segment's policy is forwarded.
+        assert_eq!(out.iter().filter(|e| e.as_policy().is_some()).count(), 1);
+        assert_eq!(ss.stats().tuples_shielded, 1);
+    }
+
+    #[test]
+    fn newer_policy_overrides_older() {
+        let mut ss = SecurityShield::new(RoleSet::from([1]));
+        let out = run_unary(
+            &mut ss,
+            vec![pol(&[1], 10), tup(1, 11), pol(&[2], 12), tup(2, 13)],
+        );
+        assert_eq!(tuples_of(&out), vec![1]);
+    }
+
+    #[test]
+    fn stale_policy_is_ignored() {
+        let mut ss = SecurityShield::new(RoleSet::from([1]));
+        let out = run_unary(
+            &mut ss,
+            vec![pol(&[1], 10), pol(&[2], 5), tup(1, 11)],
+        );
+        assert_eq!(tuples_of(&out), vec![1], "older sp must not override");
+    }
+
+    #[test]
+    fn scan_mode_agrees_with_bitmap() {
+        for roles in [vec![1u32], vec![5], vec![1, 5, 9]] {
+            let input = vec![pol(&[1, 7], 0), tup(1, 1), pol(&[4], 2), tup(2, 3)];
+            let mut bitmap = SecurityShield::new(roles.iter().map(|&r| RoleId(r)).collect());
+            let mut scan = SecurityShield::new(roles.iter().map(|&r| RoleId(r)).collect())
+                .with_mode(MatchMode::Scan);
+            assert_eq!(
+                tuples_of(&run_unary(&mut bitmap, input.clone())),
+                tuples_of(&run_unary(&mut scan, input))
+            );
+        }
+    }
+
+    #[test]
+    fn per_tuple_scoped_segments() {
+        let seg = SegmentPolicy::new(
+            vec![crate::element::PolicyEntry {
+                scope: Pattern::numeric_range(0, 5),
+                policy: std::sync::Arc::new(Policy::tuple_level(
+                    RoleSet::from([1]),
+                    Timestamp(0),
+                )),
+            }],
+            Timestamp(0),
+        );
+        let mut ss = SecurityShield::new(RoleSet::from([1]));
+        let out = run_unary(
+            &mut ss,
+            vec![Element::policy(seg), tup(3, 1), tup(9, 2)],
+        );
+        assert_eq!(tuples_of(&out), vec![3], "tuple 9 is outside the scope");
+    }
+
+    #[test]
+    fn attribute_granularity_masks() {
+        let policy = Policy::tuple_level(RoleSet::new(), Timestamp(0))
+            .with_attr_grant(1, RoleSet::from([1]));
+        let seg = SegmentPolicy::uniform(policy);
+        let mut ss = SecurityShield::new(RoleSet::from([1]))
+            .with_granularity(Granularity::Attribute);
+        let out = run_unary(&mut ss, vec![Element::policy(seg), tup(42, 1)]);
+        let t = out
+            .iter()
+            .find_map(|e| e.as_tuple())
+            .expect("tuple passes via attribute grant");
+        assert!(t.value(0).unwrap().is_null(), "unauthorized attr masked");
+        assert_eq!(t.value(1), Some(&Value::Int(7)));
+
+        // Tuple granularity would have dropped it entirely.
+        let seg2 = SegmentPolicy::uniform(
+            Policy::tuple_level(RoleSet::new(), Timestamp(0))
+                .with_attr_grant(1, RoleSet::from([1])),
+        );
+        let mut strict = SecurityShield::new(RoleSet::from([1]));
+        let out2 = run_unary(&mut strict, vec![Element::policy(seg2), tup(42, 1)]);
+        assert!(tuples_of(&out2).is_empty());
+    }
+
+    #[test]
+    fn split_and_merge_round_trip() {
+        let ss = SecurityShield::new(RoleSet::from([1, 4, 7]));
+        let parts = ss.split();
+        assert_eq!(parts.len(), 3);
+        for p in &parts {
+            assert_eq!(p.predicate().len(), 1);
+        }
+        let merged = SecurityShield::merge(&parts);
+        assert_eq!(merged.predicate(), ss.predicate());
+    }
+
+    #[test]
+    fn policy_emitted_once_per_segment() {
+        let mut ss = SecurityShield::new(RoleSet::from([1]));
+        let out = run_unary(
+            &mut ss,
+            vec![pol(&[1], 0), tup(1, 1), tup(2, 2), tup(3, 3)],
+        );
+        assert_eq!(out.iter().filter(|e| e.as_policy().is_some()).count(), 1);
+        assert_eq!(tuples_of(&out).len(), 3);
+    }
+
+    #[test]
+    fn mem_accounting_includes_state() {
+        let mut ss = SecurityShield::new(RoleSet::from([1]));
+        let empty = ss.state_mem_bytes();
+        let _ = run_unary(&mut ss, vec![pol(&[1, 2, 3], 0)]);
+        assert!(ss.state_mem_bytes() > empty);
+        assert_eq!(ss.name(), "ss");
+    }
+}

@@ -1,0 +1,112 @@
+//! Result sink: terminates a query plan branch and records its output.
+
+use std::sync::Arc;
+
+use sp_core::Tuple;
+
+use crate::element::{Element, SegmentPolicy};
+use crate::operator::{Emitter, Operator};
+use crate::stats::OperatorStats;
+
+/// Collects the elements delivered to one registered query.
+#[derive(Debug, Default)]
+pub struct Sink {
+    elements: Vec<Element>,
+    stats: OperatorStats,
+}
+
+impl Sink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything delivered, in order.
+    #[must_use]
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Only the delivered tuples, in order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Arc<Tuple>> {
+        self.elements.iter().filter_map(Element::as_tuple)
+    }
+
+    /// Only the delivered policies, in order.
+    pub fn policies(&self) -> impl Iterator<Item = &Arc<SegmentPolicy>> {
+        self.elements.iter().filter_map(Element::as_policy)
+    }
+
+    /// Number of delivered tuples.
+    #[must_use]
+    pub fn tuple_count(&self) -> usize {
+        self.tuples().count()
+    }
+
+    /// Clears collected results (bench warm-up).
+    pub fn clear(&mut self) {
+        self.elements.clear();
+    }
+}
+
+impl Operator for Sink {
+    fn name(&self) -> &str {
+        "sink"
+    }
+
+    fn process(&mut self, _port: usize, elem: Element, _out: &mut Emitter) {
+        match &elem {
+            Element::Tuple(_) => self.stats.tuples_in += 1,
+            Element::Policy(_) => self.stats.sps_in += 1,
+        }
+        self.elements.push(elem);
+    }
+
+    fn stats(&self) -> &OperatorStats {
+        &self.stats
+    }
+
+    fn state_mem_bytes(&self) -> usize {
+        self.elements
+            .iter()
+            .map(|e| match e {
+                Element::Tuple(t) => t.mem_bytes(),
+                Element::Policy(p) => p.mem_bytes(),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{Policy, RoleSet, StreamId, Timestamp, TupleId};
+
+    #[test]
+    fn collects_everything() {
+        let mut sink = Sink::new();
+        let mut em = Emitter::new();
+        sink.process(
+            0,
+            Element::tuple(Tuple::new(StreamId(0), TupleId(1), Timestamp(0), vec![])),
+            &mut em,
+        );
+        sink.process(
+            0,
+            Element::policy(SegmentPolicy::uniform(Policy::tuple_level(
+                RoleSet::from([1]),
+                Timestamp(1),
+            ))),
+            &mut em,
+        );
+        assert_eq!(sink.elements().len(), 2);
+        assert_eq!(sink.tuple_count(), 1);
+        assert_eq!(sink.policies().count(), 1);
+        assert!(sink.state_mem_bytes() > 0);
+        assert_eq!(sink.stats().tuples_in, 1);
+        sink.clear();
+        assert_eq!(sink.elements().len(), 0);
+        assert_eq!(sink.name(), "sink");
+    }
+}

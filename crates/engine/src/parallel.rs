@@ -1,0 +1,419 @@
+//! Pipeline-parallel plan execution.
+//!
+//! The reference [`Executor`](crate::plan::Executor) is single-threaded —
+//! ideal for deterministic cost accounting, which is what the paper's
+//! experiments measure. This module adds a **pipeline-parallel** runner:
+//! every operator runs on its own thread, connected by crossbeam channels,
+//! the way a multi-threaded DSMS would deploy a plan.
+//!
+//! Determinism is preserved exactly. Every element leaving a source is
+//! tagged with a global sequence number; operators emit outputs under the
+//! sequence number of the input that produced them; edges are per-port
+//! FIFO channels; and binary operators merge their two input channels in
+//! sequence order (ties broken by port). A parallel run therefore produces
+//! byte-identical results to the sequential executor — verified by the
+//! equivalence tests below — while overlapping the work of pipeline
+//! stages.
+//!
+//! The runner executes *finite recorded inputs* (feed everything, close,
+//! drain), the mode used by tests and benchmarks.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use sp_core::{StreamElement, StreamId};
+
+use crate::element::Element;
+use crate::operator::{Emitter, Operator as _};
+use crate::ops::sink::Sink;
+use crate::plan::{PlanBuilder, SinkRef, Target};
+
+/// A sequence-tagged element travelling an edge.
+#[derive(Debug, Clone)]
+struct Envelope {
+    seq: u64,
+    elem: Element,
+}
+
+/// Results of a parallel run.
+pub struct ParallelResults {
+    sinks: Vec<Sink>,
+}
+
+impl ParallelResults {
+    /// The collected sink for a query.
+    #[must_use]
+    pub fn sink(&self, s: SinkRef) -> &Sink {
+        &self.sinks[s.index()]
+    }
+}
+
+/// The pre-resolved outgoing edges of one worker: exactly the senders this
+/// worker needs, and nothing more. Holding only these keeps channel
+/// closure cascading topologically — a worker exits when its inputs close,
+/// which closes its outputs in turn. (Handing every worker senders to
+/// every channel would deadlock: no channel could ever close.)
+struct Wires {
+    senders: Vec<Sender<Envelope>>,
+}
+
+impl Wires {
+    fn resolve(
+        targets: &[Target],
+        node_tx: &[Vec<Sender<Envelope>>],
+        sink_tx: &[Sender<Envelope>],
+    ) -> Self {
+        let senders = targets
+            .iter()
+            .map(|t| match *t {
+                Target::Node(n, port) => node_tx[n][port].clone(),
+                Target::Sink(s) => sink_tx[s].clone(),
+            })
+            .collect();
+        Self { senders }
+    }
+
+    fn send(&self, seq: u64, elem: &Element) {
+        for tx in &self.senders {
+            // A closed downstream (its thread finished early) is fine.
+            let _ = tx.send(Envelope { seq, elem: elem.clone() });
+        }
+    }
+}
+
+/// A port receiver with one-envelope lookahead, for seq-ordered merging.
+struct PeekRx {
+    rx: Receiver<Envelope>,
+    head: Option<Envelope>,
+    closed: bool,
+}
+
+impl PeekRx {
+    fn new(rx: Receiver<Envelope>) -> Self {
+        Self { rx, head: None, closed: false }
+    }
+
+    /// Blocks until a head envelope is available (or the channel closes);
+    /// returns its sequence number.
+    fn peek_seq(&mut self) -> Option<u64> {
+        if self.head.is_none() && !self.closed {
+            match self.rx.recv() {
+                Ok(env) => self.head = Some(env),
+                Err(_) => self.closed = true,
+            }
+        }
+        self.head.as_ref().map(|e| e.seq)
+    }
+
+    fn take(&mut self) -> Envelope {
+        self.head.take().expect("peeked head")
+    }
+}
+
+/// Runs the plan in `builder` over a finite recorded input with one thread
+/// per operator, returning every sink's collected output.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the panic is propagated).
+#[must_use]
+pub fn run_parallel(
+    builder: PlanBuilder,
+    inputs: impl IntoIterator<Item = (StreamId, StreamElement)>,
+) -> ParallelResults {
+    let (nodes, mut sources, sinks) = builder.into_parts();
+
+    // Channels: one per (node, port) and one per sink.
+    let mut node_tx: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(nodes.len());
+    let mut node_rx: Vec<Vec<Receiver<Envelope>>> = Vec::with_capacity(nodes.len());
+    for node in &nodes {
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for _ in 0..node.op.arity() {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        node_tx.push(txs);
+        node_rx.push(rxs);
+    }
+    let mut sink_tx = Vec::with_capacity(sinks.len());
+    let mut sink_rx = Vec::with_capacity(sinks.len());
+    for _ in &sinks {
+        let (tx, rx) = unbounded();
+        sink_tx.push(tx);
+        sink_rx.push(rx);
+    }
+    // Resolve each worker's outgoing edges, then drop the master sender
+    // tables so only the per-edge clones keep channels open.
+    let node_wires: Vec<Wires> = nodes
+        .iter()
+        .map(|n| Wires::resolve(&n.outputs, &node_tx, &sink_tx))
+        .collect();
+    let source_wires: Vec<Wires> = sources
+        .iter()
+        .map(|s| Wires::resolve(&s.outputs, &node_tx, &sink_tx))
+        .collect();
+    drop(node_tx);
+    drop(sink_tx);
+
+    std::thread::scope(|scope| {
+        // Operator threads.
+        let mut node_handles = Vec::new();
+        let mut node_rx_iter = node_rx.into_iter();
+        let mut node_wires_iter = node_wires.into_iter();
+        for mut node in nodes {
+            let rxs = node_rx_iter.next().expect("one rx set per node");
+            let wires = node_wires_iter.next().expect("one wire set per node");
+            node_handles.push(scope.spawn(move || {
+                let mut emitter = Emitter::new();
+                let process = |node: &mut crate::plan::Node,
+                                   port: usize,
+                                   env: Envelope,
+                                   emitter: &mut Emitter| {
+                    let seq = env.seq;
+                    node.op.process(port, env.elem, emitter);
+                    for e in emitter.drain() {
+                        wires.send(seq, &e);
+                    }
+                };
+                let mut ports: Vec<PeekRx> = rxs.into_iter().map(PeekRx::new).collect();
+                if ports.len() == 1 {
+                    // Unary: plain FIFO.
+                    let mut port0 = ports.pop().expect("one port");
+                    while port0.peek_seq().is_some() {
+                        let env = port0.take();
+                        process(&mut node, 0, env, &mut emitter);
+                    }
+                } else {
+                    // Binary: merge the two ports in global sequence order.
+                    // Each port is FIFO from a single upstream, so the
+                    // smaller head is always safe to process; blocking on
+                    // an empty port cannot deadlock (upstreams never wait
+                    // on us — channels are unbounded).
+                    loop {
+                        let s0 = ports[0].peek_seq();
+                        let s1 = ports[1].peek_seq();
+                        let port = match (s0, s1) {
+                            (None, None) => break,
+                            (Some(_), None) => 0,
+                            (None, Some(_)) => 1,
+                            (Some(a), Some(b)) => usize::from(b < a),
+                        };
+                        let env = ports[port].take();
+                        process(&mut node, port, env, &mut emitter);
+                    }
+                }
+                // Dropping this worker's wires closes its downstream
+                // edges once every other sender to them is gone.
+            }));
+        }
+
+        // Sink threads: single FIFO upstream each; collect in order.
+        let mut sink_handles = Vec::new();
+        let mut sink_rx_iter = sink_rx.into_iter();
+        for mut sink in sinks {
+            let rx = sink_rx_iter.next().expect("one rx per sink");
+            sink_handles.push(scope.spawn(move || {
+                let mut emitter = Emitter::new();
+                for env in rx {
+                    sink.process(0, env.elem, &mut emitter);
+                }
+                sink
+            }));
+        }
+
+        // Feed: run analyzers inline, tag with the global sequence.
+        let mut by_stream: HashMap<StreamId, Vec<usize>> = HashMap::new();
+        for (i, s) in sources.iter().enumerate() {
+            by_stream.entry(s.stream).or_default().push(i);
+        }
+        let mut seq = 0u64;
+        let mut staged = Vec::new();
+        for (stream, elem) in inputs {
+            let Some(ids) = by_stream.get(&stream) else { continue };
+            for &sid in ids {
+                let source = &mut sources[sid];
+                staged.clear();
+                source.analyzer.push(elem.clone(), &mut staged);
+                for e in &staged {
+                    seq += 1;
+                    source_wires[sid].send(seq, e);
+                }
+            }
+        }
+        // Close the graph: drop the feeder's senders; workers cascade.
+        drop(source_wires);
+
+        for handle in node_handles {
+            handle.join().expect("operator thread panicked");
+        }
+        let mut out = Vec::new();
+        for handle in sink_handles {
+            out.push(handle.join().expect("sink thread panicked"));
+        }
+        ParallelResults { sinks: out }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr};
+    use crate::ops::{JoinVariant, SAJoin, SecurityShield, Select};
+    use crate::plan::PlanBuilder;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use sp_core::{
+        RoleCatalog, RoleId, RoleSet, Schema, SecurityPunctuation, Timestamp, Tuple, TupleId,
+        Value, ValueType,
+    };
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::of("s", &[("id", ValueType::Int), ("v", ValueType::Int)])
+    }
+
+    fn catalog() -> Arc<RoleCatalog> {
+        let mut c = RoleCatalog::new();
+        c.register_synthetic_roles(8);
+        Arc::new(c)
+    }
+
+    fn workload(seed: u64, n: u64) -> Vec<(StreamId, StreamElement)> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for ts in 1..=n {
+            let stream = StreamId(1 + (ts % 2) as u32);
+            if rng.gen_bool(0.3) {
+                let roles: RoleSet = (0..rng.gen_range(0..3))
+                    .map(|_| RoleId(rng.gen_range(0..5)))
+                    .collect();
+                out.push((
+                    stream,
+                    StreamElement::punctuation(SecurityPunctuation::grant_all(
+                        roles,
+                        Timestamp(ts),
+                    )),
+                ));
+            }
+            let id = rng.gen_range(0..5i64);
+            out.push((
+                stream,
+                StreamElement::tuple(Tuple::new(
+                    stream,
+                    TupleId(id as u64),
+                    Timestamp(ts),
+                    vec![Value::Int(id), Value::Int(rng.gen_range(0..10))],
+                )),
+            ));
+        }
+        out
+    }
+
+    fn pipeline_builder() -> (PlanBuilder, SinkRef) {
+        let mut b = PlanBuilder::new(catalog());
+        let src = b.source(StreamId(1), schema());
+        let sel = b.add(
+            Select::new(Expr::cmp(CmpOp::Gt, Expr::Attr(1), Expr::Const(Value::Int(2)))),
+            src,
+        );
+        let ss = b.add(SecurityShield::new(RoleSet::from([1])), sel);
+        let sink = b.sink(ss);
+        (b, sink)
+    }
+
+    fn join_builder() -> (PlanBuilder, SinkRef) {
+        let mut b = PlanBuilder::new(catalog());
+        let l = b.source(StreamId(1), schema());
+        let r = b.source(StreamId(2), schema());
+        let j = b.add_binary(SAJoin::new(JoinVariant::Index, 100_000, 0, 0, 2), l, r);
+        let ss = b.add(SecurityShield::new(RoleSet::from([1, 2])), j);
+        let sink = b.sink(ss);
+        (b, sink)
+    }
+
+    fn render(sink: &Sink) -> Vec<String> {
+        sink.tuples()
+            .map(|t| format!("{:?}@{}", t.values(), t.ts))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_sequential() {
+        let input = workload(3, 400);
+        let (seq_builder, seq_sink) = pipeline_builder();
+        let mut exec = seq_builder.build();
+        exec.push_all(input.clone());
+        let expected = render(exec.sink(seq_sink));
+
+        let (par_builder, par_sink) = pipeline_builder();
+        let results = run_parallel(par_builder, input);
+        assert_eq!(render(results.sink(par_sink)), expected);
+        assert!(!expected.is_empty());
+    }
+
+    #[test]
+    fn parallel_join_matches_sequential() {
+        let input = workload(9, 500);
+        let (seq_builder, seq_sink) = join_builder();
+        let mut exec = seq_builder.build();
+        exec.push_all(input.clone());
+        let expected = render(exec.sink(seq_sink));
+
+        let (par_builder, par_sink) = join_builder();
+        let results = run_parallel(par_builder, input);
+        assert_eq!(render(results.sink(par_sink)), expected);
+        assert!(!expected.is_empty(), "join workload should produce results");
+    }
+
+    #[test]
+    fn parallel_shared_subplan() {
+        fn build() -> (PlanBuilder, SinkRef, SinkRef) {
+            let mut b = PlanBuilder::new(catalog());
+            let src = b.source(StreamId(1), schema());
+            let shared = b.add(
+                Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Int(0)))),
+                src,
+            );
+            let ss1 = b.add(SecurityShield::new(RoleSet::from([1])), shared);
+            let ss2 = b.add(SecurityShield::new(RoleSet::from([2])), shared);
+            let s1 = b.sink(ss1);
+            let s2 = b.sink(ss2);
+            (b, s1, s2)
+        }
+        let input = workload(5, 300);
+        let (b, s1, s2) = build();
+        let mut exec = b.build();
+        exec.push_all(input.clone());
+        let (e1, e2) = (render(exec.sink(s1)), render(exec.sink(s2)));
+
+        let (b, p1, p2) = build();
+        let results = run_parallel(b, input);
+        assert_eq!(render(results.sink(p1)), e1);
+        assert_eq!(render(results.sink(p2)), e2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_sinks() {
+        let (b, sink) = pipeline_builder();
+        let results = run_parallel(b, Vec::new());
+        assert_eq!(results.sink(sink).tuple_count(), 0);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let input = workload(11, 300);
+        let mut previous: Option<Vec<String>> = None;
+        for _ in 0..4 {
+            let (b, sink) = join_builder();
+            let results = run_parallel(b, input.clone());
+            let got = render(results.sink(sink));
+            if let Some(prev) = &previous {
+                assert_eq!(&got, prev);
+            }
+            previous = Some(got);
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Physical query plans and the pipelined executor.
+//!
+//! A plan is a DAG of operators fed by registered streams through
+//! per-stream [`SpAnalyzer`]s (Fig. 1). Plans are built with
+//! [`PlanBuilder`]; shared subplans (an operator output feeding several
+//! consumers — the multi-query sharing of Fig. 5) are expressed by adding
+//! several edges from one node. Execution is push-based and deterministic:
+//! [`Executor::push`] runs an arriving raw element through the analyzer and
+//! then drains a FIFO work queue of `(operator, port, element)` items.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sp_core::{RoleCatalog, Schema, StreamElement, StreamId};
+
+use crate::analyzer::SpAnalyzer;
+use crate::element::Element;
+use crate::operator::{Emitter, Operator};
+use crate::ops::sink::Sink;
+use crate::stats::OperatorStats;
+
+/// Reference to a plan node (an operator added to a builder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef(usize);
+
+/// Reference to a registered source stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceRef(usize);
+
+/// Reference to a sink (one registered query's result collector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SinkRef(usize);
+
+impl SinkRef {
+    /// The sink's index within the plan (stable across executors built
+    /// from the same builder shape).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An edge destination inside the plan.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Target {
+    /// Operator node index and input port.
+    Node(usize, usize),
+    /// Sink index.
+    Sink(usize),
+}
+
+/// Either a source or a node — anything that can feed another operator.
+#[derive(Debug, Clone, Copy)]
+pub enum Upstream {
+    /// A registered stream source.
+    Source(SourceRef),
+    /// An operator node.
+    Node(NodeRef),
+}
+
+impl From<SourceRef> for Upstream {
+    fn from(s: SourceRef) -> Self {
+        Upstream::Source(s)
+    }
+}
+
+impl From<NodeRef> for Upstream {
+    fn from(n: NodeRef) -> Self {
+        Upstream::Node(n)
+    }
+}
+
+pub(crate) struct Node {
+    pub(crate) op: Box<dyn Operator>,
+    pub(crate) outputs: Vec<Target>,
+    /// Wall time spent inside `process`, measured by the executor.
+    pub(crate) elapsed: Duration,
+}
+
+pub(crate) struct Source {
+    pub(crate) stream: StreamId,
+    pub(crate) analyzer: SpAnalyzer,
+    pub(crate) outputs: Vec<Target>,
+}
+
+/// Builds an executable plan.
+pub struct PlanBuilder {
+    catalog: Arc<RoleCatalog>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) sources: Vec<Source>,
+    pub(crate) sinks: Vec<Sink>,
+}
+
+impl PlanBuilder {
+    /// A builder using the given role catalog for punctuation resolution.
+    #[must_use]
+    pub fn new(catalog: Arc<RoleCatalog>) -> Self {
+        Self { catalog, nodes: Vec::new(), sources: Vec::new(), sinks: Vec::new() }
+    }
+
+    /// Registers a source stream.
+    pub fn source(&mut self, stream: StreamId, schema: Arc<Schema>) -> SourceRef {
+        self.sources.push(Source {
+            stream,
+            analyzer: SpAnalyzer::new(schema, self.catalog.clone()),
+            outputs: Vec::new(),
+        });
+        SourceRef(self.sources.len() - 1)
+    }
+
+    /// Installs a server-side policy on a source (see
+    /// [`SpAnalyzer::set_server_policy`]).
+    pub fn set_server_policy(&mut self, source: SourceRef, policy: Option<sp_core::Policy>) {
+        self.sources[source.0].analyzer.set_server_policy(policy);
+    }
+
+    /// Enables incremental-policy mode on a source (see
+    /// [`SpAnalyzer::set_incremental`]).
+    pub fn set_incremental(&mut self, source: SourceRef, incremental: bool) {
+        self.sources[source.0].analyzer.set_incremental(incremental);
+    }
+
+    /// Adds a unary operator downstream of `input`.
+    pub fn add(&mut self, op: impl Operator + 'static, input: impl Into<Upstream>) -> NodeRef {
+        debug_assert_eq!(op.arity(), 1, "use add_binary for binary operators");
+        let node = NodeRef(self.nodes.len());
+        self.nodes.push(Node { op: Box::new(op), outputs: Vec::new(), elapsed: Duration::ZERO });
+        self.connect(input.into(), Target::Node(node.0, 0));
+        node
+    }
+
+    /// Adds a binary operator with the given left (port 0) and right
+    /// (port 1) inputs.
+    pub fn add_binary(
+        &mut self,
+        op: impl Operator + 'static,
+        left: impl Into<Upstream>,
+        right: impl Into<Upstream>,
+    ) -> NodeRef {
+        debug_assert_eq!(op.arity(), 2, "operator is not binary");
+        let node = NodeRef(self.nodes.len());
+        self.nodes.push(Node { op: Box::new(op), outputs: Vec::new(), elapsed: Duration::ZERO });
+        self.connect(left.into(), Target::Node(node.0, 0));
+        self.connect(right.into(), Target::Node(node.0, 1));
+        node
+    }
+
+    /// Terminates a branch with a result sink (one per registered query).
+    pub fn sink(&mut self, input: impl Into<Upstream>) -> SinkRef {
+        self.sinks.push(Sink::new());
+        let sink = SinkRef(self.sinks.len() - 1);
+        self.connect(input.into(), Target::Sink(sink.0));
+        sink
+    }
+
+    fn connect(&mut self, from: Upstream, to: Target) {
+        match from {
+            Upstream::Source(s) => self.sources[s.0].outputs.push(to),
+            Upstream::Node(n) => self.nodes[n.0].outputs.push(to),
+        }
+    }
+
+    /// Decomposes the builder for alternative runtimes (parallel executor).
+    pub(crate) fn into_parts(self) -> (Vec<Node>, Vec<Source>, Vec<Sink>) {
+        (self.nodes, self.sources, self.sinks)
+    }
+
+    /// Finalizes the plan into an executor.
+    #[must_use]
+    pub fn build(self) -> Executor {
+        let mut by_stream: HashMap<StreamId, Vec<usize>> = HashMap::new();
+        for (i, s) in self.sources.iter().enumerate() {
+            by_stream.entry(s.stream).or_default().push(i);
+        }
+        Executor {
+            nodes: self.nodes,
+            sources: self.sources,
+            sinks: self.sinks,
+            by_stream,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// The pipelined plan executor.
+pub struct Executor {
+    nodes: Vec<Node>,
+    sources: Vec<Source>,
+    sinks: Vec<Sink>,
+    by_stream: HashMap<StreamId, Vec<usize>>,
+    queue: VecDeque<(Target, Element)>,
+}
+
+impl Executor {
+    /// Feeds one raw stream element into every source registered for its
+    /// stream and runs the plan to quiescence.
+    pub fn push(&mut self, stream: StreamId, elem: StreamElement) {
+        let Some(source_ids) = self.by_stream.get(&stream) else {
+            return;
+        };
+        let mut staged = Vec::new();
+        for &sid in source_ids {
+            let source = &mut self.sources[sid];
+            staged.clear();
+            source.analyzer.push(elem.clone(), &mut staged);
+            for e in &staged {
+                for &t in &source.outputs {
+                    self.queue.push_back((t, e.clone()));
+                }
+            }
+        }
+        self.drain();
+    }
+
+    /// Feeds a whole batch, then drains.
+    pub fn push_all(
+        &mut self,
+        items: impl IntoIterator<Item = (StreamId, StreamElement)>,
+    ) {
+        for (stream, elem) in items {
+            self.push(stream, elem);
+        }
+    }
+
+    fn drain(&mut self) {
+        let mut emitter = Emitter::new();
+        while let Some((target, elem)) = self.queue.pop_front() {
+            match target {
+                Target::Sink(i) => {
+                    self.sinks[i].process(0, elem, &mut emitter);
+                    debug_assert!(emitter.is_empty(), "sinks do not emit");
+                }
+                Target::Node(n, port) => {
+                    let node = &mut self.nodes[n];
+                    let start = std::time::Instant::now();
+                    node.op.process(port, elem, &mut emitter);
+                    node.elapsed += start.elapsed();
+                    let outputs = node.outputs.clone();
+                    for e in emitter.drain() {
+                        for &t in &outputs {
+                            self.queue.push_back((t, e.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The sink's collected results.
+    #[must_use]
+    pub fn sink(&self, s: SinkRef) -> &Sink {
+        &self.sinks[s.0]
+    }
+
+    /// Mutable sink access (e.g. to clear between bench phases).
+    pub fn sink_mut(&mut self, s: SinkRef) -> &mut Sink {
+        &mut self.sinks[s.0]
+    }
+
+    /// A node's cost counters.
+    #[must_use]
+    pub fn stats(&self, n: NodeRef) -> &OperatorStats {
+        self.nodes[n.0].op.stats()
+    }
+
+    /// Wall time the executor spent inside a node's `process`.
+    #[must_use]
+    pub fn elapsed(&self, n: NodeRef) -> Duration {
+        self.nodes[n.0].elapsed
+    }
+
+    /// A node's state footprint in bytes.
+    #[must_use]
+    pub fn state_mem_bytes(&self, n: NodeRef) -> usize {
+        self.nodes[n.0].op.state_mem_bytes()
+    }
+
+    /// Total state footprint across all operators.
+    #[must_use]
+    pub fn total_state_mem_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.op.state_mem_bytes()).sum()
+    }
+
+    /// Access to a source's analyzer statistics.
+    #[must_use]
+    pub fn analyzer(&self, s: SourceRef) -> &SpAnalyzer {
+        &self.sources[s.0].analyzer
+    }
+
+    /// Replaces the security predicate of the operator at `n` (runtime
+    /// role reassignment, §IX future work). Returns false if that operator
+    /// has no predicate.
+    pub fn update_predicate(&mut self, n: NodeRef, roles: &sp_core::RoleSet) -> bool {
+        self.nodes[n.0].op.update_predicate(roles)
+    }
+
+    /// A human-readable per-operator report: counts, shielded tuples,
+    /// elapsed wall time and state footprint — the runtime introspection a
+    /// DSMS operator console would show.
+    #[must_use]
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<3} {:<10} {:>10} {:>10} {:>8} {:>8} {:>9} {:>10} {:>10}",
+            "#", "op", "tuples in", "tuples out", "sps in", "sps out", "shielded", "time µs", "state B"
+        );
+        for (i, node) in self.nodes.iter().enumerate() {
+            let s = node.op.stats();
+            let _ = writeln!(
+                out,
+                "{:<3} {:<10} {:>10} {:>10} {:>8} {:>8} {:>9} {:>10.0} {:>10}",
+                i,
+                node.op.name(),
+                s.tuples_in,
+                s.tuples_out,
+                s.sps_in,
+                s.sps_out,
+                s.tuples_shielded,
+                node.elapsed.as_secs_f64() * 1e6,
+                node.op.state_mem_bytes(),
+            );
+        }
+        for (i, sink) in self.sinks.iter().enumerate() {
+            let s = sink.stats();
+            let _ = writeln!(
+                out,
+                "q{:<2} {:<10} {:>10} {:>10} {:>8} {:>8}",
+                i, "sink", s.tuples_in, "-", s.sps_in, "-"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr};
+    use crate::ops::select::Select;
+    use crate::ops::shield::SecurityShield;
+    use sp_core::{
+        Policy, RoleSet, SecurityPunctuation, Timestamp, Tuple, TupleId, Value, ValueType,
+    };
+
+    fn schema() -> Arc<Schema> {
+        Schema::of("loc", &[("id", ValueType::Int), ("x", ValueType::Int)])
+    }
+
+    fn catalog() -> Arc<RoleCatalog> {
+        let mut c = RoleCatalog::new();
+        c.register_synthetic_roles(8);
+        Arc::new(c)
+    }
+
+    fn tup(tid: u64, ts: u64, x: i64) -> StreamElement {
+        StreamElement::tuple(Tuple::new(
+            StreamId(1),
+            TupleId(tid),
+            Timestamp(ts),
+            vec![Value::Int(tid as i64), Value::Int(x)],
+        ))
+    }
+
+    fn sp(roles: &[u32], ts: u64) -> StreamElement {
+        StreamElement::punctuation(SecurityPunctuation::grant_all(
+            roles.iter().map(|&r| sp_core::RoleId(r)).collect(),
+            Timestamp(ts),
+        ))
+    }
+
+    #[test]
+    fn select_shield_pipeline() {
+        let mut b = PlanBuilder::new(catalog());
+        let src = b.source(StreamId(1), schema());
+        let sel = b.add(
+            Select::new(Expr::cmp(CmpOp::Gt, Expr::Attr(1), Expr::Const(Value::Int(5)))),
+            src,
+        );
+        let ss = b.add(SecurityShield::new(RoleSet::from([1])), sel);
+        let sink = b.sink(ss);
+        let mut exec = b.build();
+
+        exec.push_all([
+            (StreamId(1), sp(&[1], 0)),
+            (StreamId(1), tup(1, 1, 10)), // passes both
+            (StreamId(1), tup(2, 2, 3)),  // filtered by select
+            (StreamId(1), sp(&[2], 3)),
+            (StreamId(1), tup(3, 4, 10)), // shielded
+        ]);
+
+        let tuples: Vec<u64> = exec.sink(sink).tuples().map(|t| t.tid.raw()).collect();
+        assert_eq!(tuples, vec![1]);
+        assert!(exec.elapsed(ss) > Duration::ZERO);
+        assert!(exec.stats(ss).tuples_in >= 1);
+    }
+
+    #[test]
+    fn shared_subplan_feeds_multiple_queries() {
+        // One select shared by two queries with different access rights
+        // (Fig. 5): SS operators placed per-query after the shared part.
+        let mut b = PlanBuilder::new(catalog());
+        let src = b.source(StreamId(1), schema());
+        let shared = b.add(
+            Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Int(0)))),
+            src,
+        );
+        let ss1 = b.add(SecurityShield::new(RoleSet::from([1])), shared);
+        let ss2 = b.add(SecurityShield::new(RoleSet::from([2])), shared);
+        let q1 = b.sink(ss1);
+        let q2 = b.sink(ss2);
+        let mut exec = b.build();
+
+        exec.push_all([
+            (StreamId(1), sp(&[1], 0)),
+            (StreamId(1), tup(1, 1, 1)),
+            (StreamId(1), sp(&[2], 2)),
+            (StreamId(1), tup(2, 3, 1)),
+            (StreamId(1), sp(&[1, 2], 4)),
+            (StreamId(1), tup(3, 5, 1)),
+        ]);
+
+        let q1_ids: Vec<u64> = exec.sink(q1).tuples().map(|t| t.tid.raw()).collect();
+        let q2_ids: Vec<u64> = exec.sink(q2).tuples().map(|t| t.tid.raw()).collect();
+        assert_eq!(q1_ids, vec![1, 3]);
+        assert_eq!(q2_ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn report_renders_per_operator_rows() {
+        let mut b = PlanBuilder::new(catalog());
+        let src = b.source(StreamId(1), schema());
+        let ss = b.add(SecurityShield::new(RoleSet::from([1])), src);
+        let _sink = b.sink(ss);
+        let mut exec = b.build();
+        exec.push_all([(StreamId(1), sp(&[1], 0)), (StreamId(1), tup(1, 1, 2))]);
+        let report = exec.report();
+        assert!(report.contains("ss"), "{report}");
+        assert!(report.contains("sink"), "{report}");
+        assert!(report.lines().count() >= 3);
+    }
+
+    #[test]
+    fn unknown_stream_is_ignored() {
+        let mut b = PlanBuilder::new(catalog());
+        let src = b.source(StreamId(1), schema());
+        let sink = b.sink(src);
+        let mut exec = b.build();
+        exec.push(StreamId(99), tup(1, 1, 1));
+        assert_eq!(exec.sink(sink).tuple_count(), 0);
+        exec.push(StreamId(1), tup(1, 1, 1));
+        assert_eq!(exec.sink(sink).tuple_count(), 1);
+    }
+
+    #[test]
+    fn server_policy_installed_through_builder() {
+        let mut b = PlanBuilder::new(catalog());
+        let src = b.source(StreamId(1), schema());
+        b.set_server_policy(
+            src,
+            Some(Policy::tuple_level(RoleSet::from([1]), Timestamp(0))),
+        );
+        let ss = b.add(SecurityShield::new(RoleSet::from([2])), src);
+        let sink = b.sink(ss);
+        let mut exec = b.build();
+        exec.push_all([(StreamId(1), sp(&[1, 2], 1)), (StreamId(1), tup(1, 2, 1))]);
+        // Server policy removed role 2, so query with role 2 sees nothing.
+        assert_eq!(exec.sink(sink).tuple_count(), 0);
+        assert!(exec.total_state_mem_bytes() > 0);
+        assert_eq!(exec.analyzer(src).sps_filtered, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! A grouped predicate index for Security Shield states (§V-A).
+//!
+//! "To speed up the processing by SS operator, we can use a predicate
+//! index on the roles in the SS state, similar to the grouped filter in
+//! CACQ and PSoup." When one shield protects **many queries** (the shared
+//! plans of Fig. 5), the per-policy question becomes *which queries does
+//! this policy authorize?* — answering it per query is `O(queries)` policy
+//! intersections; the [`PredicateIndex`] inverts the predicates into a
+//! role → query-set map so one pass over the policy's roles produces the
+//! full authorized-query set as a bitmap union.
+
+use sp_core::{Policy, RoleId, RoleSet};
+
+/// A set of query indices, as a bitmap (reusing the [`RoleSet`] bitmap
+/// machinery: the universe here is query indices, not roles).
+pub type QuerySet = RoleSet;
+
+/// An inverted index from roles to the queries whose predicates hold them.
+#[derive(Debug, Default)]
+pub struct PredicateIndex {
+    /// `by_role[role] = set of query indices with that role`.
+    by_role: Vec<QuerySet>,
+    /// The registered predicates, by query index.
+    predicates: Vec<RoleSet>,
+}
+
+impl PredicateIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a query's predicate, returning its query index.
+    pub fn register(&mut self, predicate: RoleSet) -> usize {
+        let query = self.predicates.len();
+        for role in predicate.iter() {
+            let idx = role.raw() as usize;
+            if idx >= self.by_role.len() {
+                self.by_role.resize_with(idx + 1, QuerySet::new);
+            }
+            self.by_role[idx].insert(RoleId(query as u32));
+        }
+        self.predicates.push(predicate);
+        query
+    }
+
+    /// Number of registered queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True if no query is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// The queries authorized by `policy` — one pass over the policy's
+    /// roles, a bitmap union per role.
+    #[must_use]
+    pub fn matching_queries(&self, policy: &Policy) -> QuerySet {
+        let mut out = QuerySet::new();
+        for role in policy.tuple_roles().iter() {
+            if let Some(queries) = self.by_role.get(role.raw() as usize) {
+                out.union_with(queries);
+            }
+        }
+        out
+    }
+
+    /// Reference implementation: per-query policy checks (what N separate
+    /// shields compute). Used by tests and the ablation bench.
+    #[must_use]
+    pub fn matching_queries_naive(&self, policy: &Policy) -> QuerySet {
+        self.predicates
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| policy.allows(p))
+            .map(|(i, _)| RoleId(i as u32))
+            .collect()
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn mem_bytes(&self) -> usize {
+        self.by_role.iter().map(RoleSet::mem_bytes).sum::<usize>()
+            + self.predicates.iter().map(RoleSet::mem_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::Timestamp;
+
+    fn policy(roles: &[u32]) -> Policy {
+        Policy::tuple_level(roles.iter().map(|&r| RoleId(r)).collect(), Timestamp(0))
+    }
+
+    #[test]
+    fn index_matches_naive() {
+        let mut index = PredicateIndex::new();
+        index.register([1u32, 2].into());
+        index.register([3u32].into());
+        index.register([2u32, 3, 4].into());
+        index.register([9u32].into());
+        assert_eq!(index.len(), 4);
+
+        for roles in [vec![1u32], vec![2], vec![3, 9], vec![5], vec![], vec![1, 2, 3, 4, 9]] {
+            let p = policy(&roles);
+            assert_eq!(
+                index.matching_queries(&p),
+                index.matching_queries_naive(&p),
+                "roles {roles:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn specific_lookups() {
+        let mut index = PredicateIndex::new();
+        let q0 = index.register([1u32].into());
+        let q1 = index.register([2u32].into());
+        let q2 = index.register([1u32, 2].into());
+
+        let only_1 = index.matching_queries(&policy(&[1]));
+        assert!(only_1.contains(RoleId(q0 as u32)));
+        assert!(!only_1.contains(RoleId(q1 as u32)));
+        assert!(only_1.contains(RoleId(q2 as u32)));
+
+        assert!(index.matching_queries(&policy(&[])).is_empty());
+        assert!(index.matching_queries(&policy(&[7])).is_empty());
+    }
+
+    #[test]
+    fn property_random_agreement() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut index = PredicateIndex::new();
+        for _ in 0..64 {
+            let pred: RoleSet = (0..rng.gen_range(1..5))
+                .map(|_| RoleId(rng.gen_range(0..40)))
+                .collect();
+            index.register(pred);
+        }
+        for _ in 0..200 {
+            let roles: Vec<u32> = (0..rng.gen_range(0..6)).map(|_| rng.gen_range(0..40)).collect();
+            let p = policy(&roles);
+            assert_eq!(index.matching_queries(&p), index.matching_queries_naive(&p));
+        }
+        assert!(index.mem_bytes() > 0);
+        assert!(!index.is_empty());
+    }
+}

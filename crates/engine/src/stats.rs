@@ -1,0 +1,141 @@
+//! Per-operator cost accounting.
+//!
+//! The evaluation figures (Figs. 8 and 9) report per-operator processing
+//! time broken down by cause — tuple processing, sp processing, join
+//! probing, state maintenance. Every operator owns an [`OperatorStats`] and
+//! charges elapsed time into named buckets; the bench harness reads these to
+//! regenerate the paper's cost breakdowns.
+
+use std::time::{Duration, Instant};
+
+/// Cost buckets distinguished by the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostKind {
+    /// Processing data tuples (predicate checks, projections, probes).
+    Tuple,
+    /// Processing security punctuations / segment policies.
+    Sp,
+    /// Join probing and result construction (SAJoin breakdown).
+    Join,
+    /// Punctuation/index maintenance in stateful operators.
+    SpMaintenance,
+    /// Window/tuple state maintenance (insertion + invalidation).
+    TupleMaintenance,
+}
+
+/// Mutable counters for one operator instance.
+#[derive(Debug, Default, Clone)]
+pub struct OperatorStats {
+    /// Tuples processed.
+    pub tuples_in: u64,
+    /// Tuples emitted.
+    pub tuples_out: u64,
+    /// Policies (sp-batches) processed.
+    pub sps_in: u64,
+    /// Policies emitted.
+    pub sps_out: u64,
+    /// Tuples discarded by access control.
+    pub tuples_shielded: u64,
+    tuple_time: Duration,
+    sp_time: Duration,
+    join_time: Duration,
+    sp_maint_time: Duration,
+    tuple_maint_time: Duration,
+}
+
+impl OperatorStats {
+    /// Fresh counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `elapsed` into the given bucket.
+    pub fn charge(&mut self, kind: CostKind, elapsed: Duration) {
+        match kind {
+            CostKind::Tuple => self.tuple_time += elapsed,
+            CostKind::Sp => self.sp_time += elapsed,
+            CostKind::Join => self.join_time += elapsed,
+            CostKind::SpMaintenance => self.sp_maint_time += elapsed,
+            CostKind::TupleMaintenance => self.tuple_maint_time += elapsed,
+        }
+    }
+
+    /// Runs `f`, charging its wall time into `kind`.
+    pub fn timed<T>(&mut self, kind: CostKind, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.charge(kind, start.elapsed());
+        out
+    }
+
+    /// Time spent in the given bucket.
+    #[must_use]
+    pub fn time(&self, kind: CostKind) -> Duration {
+        match kind {
+            CostKind::Tuple => self.tuple_time,
+            CostKind::Sp => self.sp_time,
+            CostKind::Join => self.join_time,
+            CostKind::SpMaintenance => self.sp_maint_time,
+            CostKind::TupleMaintenance => self.tuple_maint_time,
+        }
+    }
+
+    /// Total time across all buckets.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.tuple_time + self.sp_time + self.join_time + self.sp_maint_time + self.tuple_maint_time
+    }
+
+    /// Merges another operator's counters into this one.
+    pub fn merge(&mut self, other: &OperatorStats) {
+        self.tuples_in += other.tuples_in;
+        self.tuples_out += other.tuples_out;
+        self.sps_in += other.sps_in;
+        self.sps_out += other.sps_out;
+        self.tuples_shielded += other.tuples_shielded;
+        self.tuple_time += other.tuple_time;
+        self.sp_time += other.sp_time;
+        self.join_time += other.join_time;
+        self.sp_maint_time += other.sp_maint_time;
+        self.tuple_maint_time += other.tuple_maint_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_read() {
+        let mut s = OperatorStats::new();
+        s.charge(CostKind::Tuple, Duration::from_millis(3));
+        s.charge(CostKind::Sp, Duration::from_millis(2));
+        s.charge(CostKind::Join, Duration::from_millis(1));
+        assert_eq!(s.time(CostKind::Tuple), Duration::from_millis(3));
+        assert_eq!(s.total_time(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn timed_charges_elapsed() {
+        let mut s = OperatorStats::new();
+        let v = s.timed(CostKind::TupleMaintenance, || 42);
+        assert_eq!(v, 42);
+        assert!(s.time(CostKind::TupleMaintenance) > Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = OperatorStats::new();
+        a.tuples_in = 5;
+        a.charge(CostKind::SpMaintenance, Duration::from_millis(1));
+        let mut b = OperatorStats::new();
+        b.tuples_in = 7;
+        b.tuples_shielded = 2;
+        b.charge(CostKind::SpMaintenance, Duration::from_millis(2));
+        a.merge(&b);
+        assert_eq!(a.tuples_in, 12);
+        assert_eq!(a.tuples_shielded, 2);
+        assert_eq!(a.time(CostKind::SpMaintenance), Duration::from_millis(3));
+    }
+}

@@ -1,0 +1,69 @@
+//! Sliding-window specifications.
+//!
+//! The paper's operators use time-based sliding windows (`[RANGE n
+//! SECONDS]`), which is what the CQL layer exposes. The engine additionally
+//! supports the other standard CQL window type, count-based (`ROWS n`):
+//! the state holds the most recent `n` tuples. Stateful operators accept a
+//! [`WindowSpec`] and apply the matching expiry discipline:
+//!
+//! * `Time(w)` — a tuple expires once the stream reaches `ts > t.ts + w`;
+//! * `Rows(n)` — inserting the `n+1`-th tuple evicts the oldest.
+
+use sp_core::Timestamp;
+
+/// A sliding-window specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Time-based: keep tuples newer than `now − ms`.
+    Time(u64),
+    /// Count-based: keep the most recent `n` tuples.
+    Rows(usize),
+}
+
+impl WindowSpec {
+    /// The horizon below which tuples expire for a time window at `now`;
+    /// `None` for row windows (which expire by count, not time).
+    #[must_use]
+    pub fn horizon(&self, now: Timestamp) -> Option<Timestamp> {
+        match self {
+            WindowSpec::Time(ms) => Some(now.minus(*ms)),
+            WindowSpec::Rows(_) => None,
+        }
+    }
+
+    /// The row capacity, for count windows.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            WindowSpec::Time(_) => None,
+            WindowSpec::Rows(n) => Some(*n),
+        }
+    }
+}
+
+impl From<u64> for WindowSpec {
+    /// Milliseconds convert to a time window (the paper's default).
+    fn from(ms: u64) -> Self {
+        WindowSpec::Time(ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizons_and_capacities() {
+        let time = WindowSpec::Time(100);
+        assert_eq!(time.horizon(Timestamp(250)), Some(Timestamp(150)));
+        assert_eq!(time.horizon(Timestamp(50)), Some(Timestamp(0)), "saturates");
+        assert_eq!(time.capacity(), None);
+
+        let rows = WindowSpec::Rows(8);
+        assert_eq!(rows.horizon(Timestamp(250)), None);
+        assert_eq!(rows.capacity(), Some(8));
+
+        let converted: WindowSpec = 500u64.into();
+        assert_eq!(converted, WindowSpec::Time(500));
+    }
+}

@@ -1,0 +1,193 @@
+//! Health-telemetry stream generators — the paper's running example
+//! (Fig. 4): `HeartRate(Patient_id, Beats_per_min)`,
+//! `BodyTemperature(Patient_id, Temperature)` and
+//! `BreathingRate(Patient_id, Frequency, Depth)` streams, with the hospital
+//! role set {cardiologist, general physician, doctor, dermatologist,
+//! nurse-on-duty, employee}.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use sp_core::{
+    RoleCatalog, Schema, Timestamp, Tuple, TupleId, Value, ValueType,
+};
+
+/// The roles of Fig. 4b, in registration order.
+pub const HOSPITAL_ROLES: [&str; 6] = [
+    "cardiologist",
+    "general_physician",
+    "doctor",
+    "dermatologist",
+    "nurse_on_duty",
+    "employee",
+];
+
+/// Registers the hospital roles into a fresh catalog.
+#[must_use]
+pub fn hospital_catalog() -> RoleCatalog {
+    let mut catalog = RoleCatalog::new();
+    for role in HOSPITAL_ROLES {
+        catalog.register_role(role).expect("roles are distinct");
+    }
+    catalog
+}
+
+/// Stream ids used by the example streams.
+pub mod streams {
+    use sp_core::StreamId;
+    /// HeartRate (s1).
+    pub const HEART_RATE: StreamId = StreamId(1);
+    /// BodyTemperature (s2).
+    pub const BODY_TEMPERATURE: StreamId = StreamId(2);
+    /// BreathingRate (s3).
+    pub const BREATHING_RATE: StreamId = StreamId(3);
+}
+
+/// Schema of the HeartRate stream (s1).
+#[must_use]
+pub fn heart_rate_schema() -> Arc<Schema> {
+    Schema::of(
+        "HeartRate",
+        &[("Patient_id", ValueType::Int), ("Beats_per_min", ValueType::Int)],
+    )
+}
+
+/// Schema of the BodyTemperature stream (s2).
+#[must_use]
+pub fn body_temperature_schema() -> Arc<Schema> {
+    Schema::of(
+        "BodyTemperature",
+        &[("Patient_id", ValueType::Int), ("Temperature", ValueType::Float)],
+    )
+}
+
+/// Schema of the BreathingRate stream (s3).
+#[must_use]
+pub fn breathing_rate_schema() -> Arc<Schema> {
+    Schema::of(
+        "BreathingRate",
+        &[
+            ("Patient_id", ValueType::Int),
+            ("Frequency", ValueType::Int),
+            ("Depth", ValueType::Int),
+        ],
+    )
+}
+
+/// A deterministic vital-signs generator for a set of patients.
+pub struct HealthSim {
+    rng: SmallRng,
+    patients: Vec<u64>,
+    now: Timestamp,
+    period_ms: u64,
+}
+
+impl HealthSim {
+    /// Patients `first_id..first_id + count`, reporting every `period_ms`.
+    #[must_use]
+    pub fn new(first_id: u64, count: usize, period_ms: u64, seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            patients: (first_id..first_id + count as u64).collect(),
+            now: Timestamp::ZERO,
+            period_ms,
+        }
+    }
+
+    /// The simulated patient ids.
+    #[must_use]
+    pub fn patients(&self) -> &[u64] {
+        &self.patients
+    }
+
+    /// Advances time and produces one reading per patient per stream:
+    /// `(heart_rate, body_temperature, breathing_rate)` tuples.
+    pub fn tick(&mut self) -> (Vec<Tuple>, Vec<Tuple>, Vec<Tuple>) {
+        self.now = self.now.plus(self.period_ms);
+        let ts = self.now;
+        let mut hr = Vec::with_capacity(self.patients.len());
+        let mut bt = Vec::with_capacity(self.patients.len());
+        let mut br = Vec::with_capacity(self.patients.len());
+        for &pid in &self.patients {
+            // Mostly normal vitals with occasional abnormal spikes.
+            let spike = self.rng.gen_bool(0.05);
+            let beats = if spike {
+                self.rng.gen_range(120..180)
+            } else {
+                self.rng.gen_range(55..95)
+            };
+            let temp = if spike {
+                self.rng.gen_range(101.0..105.0)
+            } else {
+                self.rng.gen_range(97.0..99.5)
+            };
+            let freq = self.rng.gen_range(8..20);
+            let depth = self.rng.gen_range(30..50);
+            hr.push(Tuple::new(
+                streams::HEART_RATE,
+                TupleId(pid),
+                ts,
+                vec![Value::Int(pid as i64), Value::Int(beats)],
+            ));
+            bt.push(Tuple::new(
+                streams::BODY_TEMPERATURE,
+                TupleId(pid),
+                ts,
+                vec![Value::Int(pid as i64), Value::Float(temp)],
+            ));
+            br.push(Tuple::new(
+                streams::BREATHING_RATE,
+                TupleId(pid),
+                ts,
+                vec![Value::Int(pid as i64), Value::Int(freq), Value::Int(depth)],
+            ));
+        }
+        (hr, bt, br)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_roles() {
+        let c = hospital_catalog();
+        assert_eq!(c.role_count(), 6);
+        assert!(c.lookup_role("cardiologist").is_some());
+        assert!(c.lookup_role("nurse_on_duty").is_some());
+    }
+
+    #[test]
+    fn schemas_match_fig4() {
+        assert_eq!(heart_rate_schema().arity(), 2);
+        assert_eq!(body_temperature_schema().index_of("Temperature"), Some(1));
+        assert_eq!(breathing_rate_schema().arity(), 3);
+    }
+
+    #[test]
+    fn tick_covers_all_patients_and_streams() {
+        let mut sim = HealthSim::new(120, 5, 1000, 7);
+        let (hr, bt, br) = sim.tick();
+        assert_eq!(hr.len(), 5);
+        assert_eq!(bt.len(), 5);
+        assert_eq!(br.len(), 5);
+        assert_eq!(hr[0].tid.raw(), 120);
+        assert_eq!(sim.patients(), &[120, 121, 122, 123, 124]);
+        // Vitals are in plausible ranges.
+        for t in &hr {
+            let beats = t.value(1).unwrap().as_i64().unwrap();
+            assert!((55..180).contains(&beats));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = HealthSim::new(0, 3, 500, 9);
+        let mut b = HealthSim::new(0, 3, 500, 9);
+        for _ in 0..10 {
+            assert_eq!(a.tick(), b.tick());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # sp-mog — workload generators
+//!
+//! Synthetic substitutes for the paper's evaluation workloads (§VII-A):
+//!
+//! * [`network`] — a Brinkhoff-style synthetic road network (the paper used
+//!   the Worcester, MA map with the network-based moving objects
+//!   generator);
+//! * [`sim`] — moving objects routed along shortest paths, reporting
+//!   location updates every tick;
+//! * [`workload`] — punctuated streams with configurable sp:tuple ratio,
+//!   policy size |R| and grant selectivity σ_sp — the exact knobs of
+//!   Figs. 7–9;
+//! * [`health`] — the running example's hospital streams (Fig. 4).
+//!
+//! Everything is seeded and fully deterministic.
+
+#![warn(missing_docs)]
+
+pub mod health;
+pub mod network;
+pub mod sim;
+pub mod workload;
+
+pub use health::{hospital_catalog, HealthSim, HOSPITAL_ROLES};
+pub use network::{Edge, Node, RoadNetwork};
+pub use sim::MovingObjectSim;
+pub use workload::{join_streams, location_stream, Workload, WorkloadConfig};

@@ -1,0 +1,235 @@
+//! A synthetic road network.
+//!
+//! The paper generates its workload with the Brinkhoff network-based moving
+//! objects generator over the road map of Worcester, MA. That tool (and
+//! map) is Java-and-data-gated, so this module builds the closest synthetic
+//! equivalent: a jittered grid network with randomly removed edges and
+//! per-edge speed classes. What the experiments actually need from the
+//! network is (a) objects moving with spatial continuity, so adjacent
+//! stream tuples share context, and (b) realistic route lengths — both are
+//! properties of any connected road graph.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A node (intersection) with planar coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    /// X coordinate (meters).
+    pub x: f64,
+    /// Y coordinate (meters).
+    pub y: f64,
+}
+
+/// A directed edge (road segment).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Destination node id.
+    pub to: u32,
+    /// Segment length in meters.
+    pub length: f64,
+    /// Speed limit in meters/second (by road class).
+    pub speed: f64,
+}
+
+/// An undirected road network stored as adjacency lists.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    nodes: Vec<Node>,
+    adjacency: Vec<Vec<Edge>>,
+}
+
+impl RoadNetwork {
+    /// Generates a jittered `nx × ny` grid with spacing `spacing` meters.
+    /// Roughly 10% of candidate edges are removed (never disconnecting the
+    /// first row/column spanning tree) and each edge is assigned one of
+    /// three road classes (14, 25 or 33 m/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx` or `ny` is zero.
+    #[must_use]
+    pub fn grid(nx: u32, ny: u32, spacing: f64, seed: u64) -> Self {
+        assert!(nx > 0 && ny > 0, "network must have at least one node");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let idx = |x: u32, y: u32| (y * nx + x) as usize;
+
+        let mut nodes = Vec::with_capacity((nx * ny) as usize);
+        for y in 0..ny {
+            for x in 0..nx {
+                let jx = rng.gen_range(-0.25..0.25) * spacing;
+                let jy = rng.gen_range(-0.25..0.25) * spacing;
+                nodes.push(Node {
+                    x: f64::from(x) * spacing + jx,
+                    y: f64::from(y) * spacing + jy,
+                });
+            }
+        }
+
+        let mut adjacency = vec![Vec::new(); nodes.len()];
+        let add = |adjacency: &mut Vec<Vec<Edge>>,
+                       rng: &mut SmallRng,
+                       a: usize,
+                       b: usize| {
+            let dx = nodes[a].x - nodes[b].x;
+            let dy = nodes[a].y - nodes[b].y;
+            let length = (dx * dx + dy * dy).sqrt().max(1.0);
+            let speed = *[14.0, 25.0, 33.0]
+                .get(rng.gen_range(0..3usize))
+                .expect("index in range");
+            adjacency[a].push(Edge { to: b as u32, length, speed });
+            adjacency[b].push(Edge { to: a as u32, length, speed });
+        };
+
+        for y in 0..ny {
+            for x in 0..nx {
+                // Horizontal edge.
+                if x + 1 < nx {
+                    let keep = y == 0 || rng.gen_bool(0.9);
+                    if keep {
+                        add(&mut adjacency, &mut rng, idx(x, y), idx(x + 1, y));
+                    }
+                }
+                // Vertical edge.
+                if y + 1 < ny {
+                    let keep = x == 0 || rng.gen_bool(0.9);
+                    if keep {
+                        add(&mut adjacency, &mut rng, idx(x, y), idx(x, y + 1));
+                    }
+                }
+            }
+        }
+        Self { nodes, adjacency }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node coordinates.
+    #[must_use]
+    pub fn node(&self, id: u32) -> Node {
+        self.nodes[id as usize]
+    }
+
+    /// Outgoing edges of a node.
+    #[must_use]
+    pub fn edges(&self, id: u32) -> &[Edge] {
+        &self.adjacency[id as usize]
+    }
+
+    /// Shortest path (by travel time) from `from` to `to`, as a node
+    /// sequence including both endpoints. Returns `None` if unreachable.
+    #[must_use]
+    pub fn shortest_path(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![u32::MAX; n];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[from as usize] = 0.0;
+        heap.push(Reverse((0, from)));
+
+        while let Some(Reverse((d_bits, node))) = heap.pop() {
+            let d = f64::from_bits(d_bits);
+            if d > dist[node as usize] {
+                continue;
+            }
+            if node == to {
+                break;
+            }
+            for edge in &self.adjacency[node as usize] {
+                let next = d + edge.length / edge.speed;
+                if next < dist[edge.to as usize] {
+                    dist[edge.to as usize] = next;
+                    prev[edge.to as usize] = node;
+                    heap.push(Reverse((next.to_bits(), edge.to)));
+                }
+            }
+        }
+
+        if dist[to as usize].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[cur as usize];
+            if cur == u32::MAX {
+                return None;
+            }
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The edge from `a` to `b`, if adjacent.
+    #[must_use]
+    pub fn edge_between(&self, a: u32, b: u32) -> Option<Edge> {
+        self.adjacency[a as usize].iter().copied().find(|e| e.to == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_expected_size() {
+        let net = RoadNetwork::grid(10, 8, 100.0, 42);
+        assert_eq!(net.node_count(), 80);
+        // First row is a guaranteed path.
+        for x in 0..9u32 {
+            assert!(net.edge_between(x, x + 1).is_some());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = RoadNetwork::grid(6, 6, 50.0, 7);
+        let b = RoadNetwork::grid(6, 6, 50.0, 7);
+        assert_eq!(a.node(17), b.node(17));
+        assert_eq!(a.edges(17), b.edges(17));
+    }
+
+    #[test]
+    fn shortest_path_connects_corners() {
+        let net = RoadNetwork::grid(12, 12, 100.0, 1);
+        let path = net.shortest_path(0, 143).expect("grid stays connected");
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&143));
+        // Consecutive path nodes are adjacent.
+        for w in path.windows(2) {
+            assert!(net.edge_between(w[0], w[1]).is_some());
+        }
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let net = RoadNetwork::grid(4, 4, 100.0, 1);
+        assert_eq!(net.shortest_path(5, 5), Some(vec![5]));
+    }
+
+    #[test]
+    fn dijkstra_prefers_faster_routes() {
+        // Sanity: the chosen route's travel time is no worse than the
+        // straight first-row route.
+        let net = RoadNetwork::grid(8, 8, 100.0, 3);
+        let time = |path: &[u32]| -> f64 {
+            path.windows(2)
+                .map(|w| {
+                    let e = net.edge_between(w[0], w[1]).expect("adjacent");
+                    e.length / e.speed
+                })
+                .sum()
+        };
+        let best = net.shortest_path(0, 7).expect("connected");
+        let straight: Vec<u32> = (0..8).collect();
+        assert!(time(&best) <= time(&straight) + 1e-9);
+    }
+}

@@ -1,0 +1,258 @@
+//! Moving-object simulation over a road network.
+//!
+//! Objects (cars, pedestrians with GPS devices) travel between random
+//! destinations along shortest paths; each simulation tick advances every
+//! object by `speed × Δt` along its route and reports a location-update
+//! tuple `LocationUpdate(obj_id, x, y, speed)` — the workload of §VII-A.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use sp_core::{Schema, StreamId, Timestamp, Tuple, TupleId, Value, ValueType};
+
+use crate::network::RoadNetwork;
+
+/// One simulated moving object.
+#[derive(Debug, Clone)]
+struct MovingObject {
+    /// Route as node ids; `leg` indexes the segment currently travelled.
+    route: Vec<u32>,
+    leg: usize,
+    /// Progress along the current leg in meters.
+    progress: f64,
+}
+
+/// The moving-object simulator.
+pub struct MovingObjectSim {
+    network: Arc<RoadNetwork>,
+    objects: Vec<MovingObject>,
+    rng: SmallRng,
+    schema: Arc<Schema>,
+    stream: StreamId,
+    now: Timestamp,
+    tick_ms: u64,
+}
+
+impl MovingObjectSim {
+    /// The schema of location-update tuples.
+    #[must_use]
+    pub fn location_schema() -> Arc<Schema> {
+        Schema::of(
+            "LocationUpdates",
+            &[
+                ("obj_id", ValueType::Int),
+                ("x", ValueType::Float),
+                ("y", ValueType::Float),
+                ("speed", ValueType::Float),
+            ],
+        )
+    }
+
+    /// Creates `count` objects at random positions on `network`.
+    #[must_use]
+    pub fn new(
+        network: Arc<RoadNetwork>,
+        stream: StreamId,
+        count: usize,
+        tick_ms: u64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut objects = Vec::with_capacity(count);
+        for _ in 0..count {
+            let start = rng.gen_range(0..network.node_count() as u32);
+            objects.push(MovingObject { route: vec![start], leg: 0, progress: 0.0 });
+        }
+        let mut sim = Self {
+            network,
+            objects,
+            rng,
+            schema: Self::location_schema(),
+            stream,
+            now: Timestamp::ZERO,
+            tick_ms,
+        };
+        for i in 0..sim.objects.len() {
+            sim.assign_route(i);
+        }
+        sim
+    }
+
+    /// The location-update schema used by this simulator.
+    #[must_use]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of simulated objects.
+    #[must_use]
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    fn assign_route(&mut self, i: usize) {
+        let here = *self.objects[i].route.last().expect("route never empty");
+        // Try a few random destinations; fall back to staying put.
+        for _ in 0..8 {
+            let dest = self.rng.gen_range(0..self.network.node_count() as u32);
+            if dest == here {
+                continue;
+            }
+            if let Some(path) = self.network.shortest_path(here, dest) {
+                if path.len() >= 2 {
+                    self.objects[i] = MovingObject { route: path, leg: 0, progress: 0.0 };
+                    return;
+                }
+            }
+        }
+        self.objects[i] = MovingObject { route: vec![here], leg: 0, progress: 0.0 };
+    }
+
+    /// Advances the simulation by one tick, producing one location update
+    /// per object.
+    pub fn tick(&mut self) -> Vec<Tuple> {
+        self.now = self.now.plus(self.tick_ms);
+        let dt = self.tick_ms as f64 / 1000.0;
+        let mut updates = Vec::with_capacity(self.objects.len());
+        for i in 0..self.objects.len() {
+            // Advance along the route.
+            let mut remaining = {
+                let obj = &self.objects[i];
+                let speed = self.current_speed(obj);
+                speed * dt
+            };
+            loop {
+                let obj = &mut self.objects[i];
+                let Some(edge) = Self::current_edge(&self.network, obj) else {
+                    break; // arrived (or parked)
+                };
+                let left_on_leg = edge.length - obj.progress;
+                if remaining < left_on_leg {
+                    obj.progress += remaining;
+                    break;
+                }
+                remaining -= left_on_leg;
+                obj.leg += 1;
+                obj.progress = 0.0;
+                if obj.leg + 1 >= obj.route.len() {
+                    // Destination reached: pick a new one next.
+                    self.assign_route(i);
+                    break;
+                }
+            }
+            let obj = &self.objects[i];
+            let (x, y) = self.position(obj);
+            let speed = self.current_speed(obj);
+            updates.push(Tuple::new(
+                self.stream,
+                TupleId(i as u64),
+                self.now,
+                vec![
+                    Value::Int(i as i64),
+                    Value::Float(x),
+                    Value::Float(y),
+                    Value::Float(speed),
+                ],
+            ));
+        }
+        updates
+    }
+
+    fn current_edge(network: &RoadNetwork, obj: &MovingObject) -> Option<crate::network::Edge> {
+        if obj.leg + 1 >= obj.route.len() {
+            return None;
+        }
+        network.edge_between(obj.route[obj.leg], obj.route[obj.leg + 1])
+    }
+
+    fn current_speed(&self, obj: &MovingObject) -> f64 {
+        Self::current_edge(&self.network, obj).map_or(0.0, |e| e.speed)
+    }
+
+    fn position(&self, obj: &MovingObject) -> (f64, f64) {
+        let a = self.network.node(obj.route[obj.leg]);
+        match Self::current_edge(&self.network, obj) {
+            None => (a.x, a.y),
+            Some(edge) => {
+                let b = self.network.node(obj.route[obj.leg + 1]);
+                let f = (obj.progress / edge.length).clamp(0.0, 1.0);
+                (a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(objects: usize, seed: u64) -> MovingObjectSim {
+        let net = Arc::new(RoadNetwork::grid(10, 10, 100.0, seed));
+        MovingObjectSim::new(net, StreamId(1), objects, 1000, seed)
+    }
+
+    #[test]
+    fn tick_produces_one_update_per_object() {
+        let mut s = sim(25, 3);
+        let updates = s.tick();
+        assert_eq!(updates.len(), 25);
+        assert_eq!(s.object_count(), 25);
+        assert_eq!(s.now(), Timestamp(1000));
+        for (i, u) in updates.iter().enumerate() {
+            assert_eq!(u.tid.raw(), i as u64);
+            assert_eq!(u.ts, Timestamp(1000));
+            assert_eq!(u.arity(), 4);
+        }
+    }
+
+    #[test]
+    fn objects_actually_move() {
+        let mut s = sim(10, 5);
+        let first = s.tick();
+        let mut second = Vec::new();
+        for _ in 0..5 {
+            second = s.tick();
+        }
+        let moved = first
+            .iter()
+            .zip(&second)
+            .filter(|(a, b)| {
+                let ax = a.value(1).unwrap().as_f64().unwrap();
+                let bx = b.value(1).unwrap().as_f64().unwrap();
+                let ay = a.value(2).unwrap().as_f64().unwrap();
+                let by = b.value(2).unwrap().as_f64().unwrap();
+                (ax - bx).abs() + (ay - by).abs() > 1.0
+            })
+            .count();
+        assert!(moved >= 8, "only {moved}/10 objects moved");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let mut a = sim(10, 9);
+        let mut b = sim(10, 9);
+        for _ in 0..10 {
+            assert_eq!(a.tick(), b.tick());
+        }
+    }
+
+    #[test]
+    fn positions_stay_on_the_map() {
+        let mut s = sim(20, 11);
+        for _ in 0..50 {
+            for u in s.tick() {
+                let x = u.value(1).unwrap().as_f64().unwrap();
+                let y = u.value(2).unwrap().as_f64().unwrap();
+                assert!((-100.0..1100.0).contains(&x), "x={x}");
+                assert!((-100.0..1100.0).contains(&y), "y={y}");
+            }
+        }
+    }
+}

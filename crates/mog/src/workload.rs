@@ -1,0 +1,279 @@
+//! Punctuated-stream workload synthesis (§VII-A).
+//!
+//! Wraps the moving-object simulation into the exact stream shapes the
+//! paper's experiments use: location updates with interleaved
+//! tuple-granularity security punctuations, where
+//!
+//! * the **sp : tuple ratio** controls how many consecutive tuples share
+//!   one policy (1/1 = every tuple has its own sp, 1/100 = one sp per 100
+//!   tuples),
+//! * the **policy size |R|** is the number of explicit role authorizations
+//!   per sp (large policies are emitted as explicit role lists, the case
+//!   where "regular expressions cannot help minimize the policy
+//!   definition"),
+//! * the **grant selectivity** is the probability that a policy authorizes
+//!   the probe role (role 0) — the σ_sp knob of the SAJoin experiment.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use sp_core::{
+    RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement, StreamId, Timestamp,
+};
+
+use crate::network::RoadNetwork;
+use crate::sim::MovingObjectSim;
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of moving objects.
+    pub objects: usize,
+    /// Number of simulation ticks (each yields one update per object).
+    pub ticks: usize,
+    /// One sp per this many tuples (the paper's 1/N sp:tuple ratio).
+    pub sp_every: usize,
+    /// Roles authorized per policy (|R|).
+    pub policy_roles: u32,
+    /// Size of the role universe policies draw from.
+    pub role_universe: u32,
+    /// Probability a policy includes the probe role (`RoleId(0)`).
+    pub grant_selectivity: f64,
+    /// If true, each sp's DDP names the *exact id range* of the objects in
+    /// its segment (objects report in id order, so the next `sp_every`
+    /// tuples form a contiguous block; requires `sp_every` to divide
+    /// `objects`). This is the per-object "tuple-granularity" shape of the
+    /// paper's evaluation: a central policy table must store one row per
+    /// block and probe it per tuple. If false, sps cover the whole segment
+    /// (`DDP tuple = *`).
+    pub scoped_sps: bool,
+    /// Simulation tick length in milliseconds.
+    pub tick_ms: u64,
+    /// RNG seed (workloads are fully deterministic).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            objects: 200,
+            ticks: 50,
+            sp_every: 10,
+            policy_roles: 3,
+            role_universe: 100,
+            grant_selectivity: 0.5,
+            scoped_sps: false,
+            tick_ms: 100,
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Total tuples this configuration produces.
+    #[must_use]
+    pub fn tuple_count(&self) -> usize {
+        self.objects * self.ticks
+    }
+}
+
+/// A generated punctuated stream plus its metadata.
+pub struct Workload {
+    /// The stream elements (sps interleaved with tuples), in order.
+    pub elements: Vec<StreamElement>,
+    /// The stream schema.
+    pub schema: Arc<Schema>,
+    /// The stream id tuples carry.
+    pub stream: StreamId,
+    /// Number of data tuples.
+    pub tuples: usize,
+    /// Number of punctuations.
+    pub sps: usize,
+}
+
+/// Draws one policy role set: the probe role (0) with probability
+/// `grant_selectivity`, padded with distinct non-probe roles up to
+/// `policy_roles`.
+fn draw_roles(rng: &mut SmallRng, cfg: &WorkloadConfig) -> RoleSet {
+    let mut set = RoleSet::new();
+    if rng.gen_bool(cfg.grant_selectivity.clamp(0.0, 1.0)) {
+        set.insert(RoleId(0));
+    }
+    let universe = cfg.role_universe.max(2);
+    let mut guard = 0;
+    while (set.len() as u32) < cfg.policy_roles && guard < 10_000 {
+        let r = rng.gen_range(1..universe);
+        set.insert(RoleId(r));
+        guard += 1;
+    }
+    set
+}
+
+/// Generates a punctuated location-update stream per the configuration.
+#[must_use]
+pub fn location_stream(cfg: &WorkloadConfig) -> Workload {
+    let stream = StreamId(1);
+    let network = Arc::new(RoadNetwork::grid(16, 16, 100.0, cfg.seed));
+    let mut sim = MovingObjectSim::new(network, stream, cfg.objects, cfg.tick_ms, cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9));
+
+    let mut elements = Vec::with_capacity(cfg.tuple_count() + cfg.tuple_count() / cfg.sp_every.max(1) + 1);
+    let (mut tuples, mut sps) = (0usize, 0usize);
+    let mut since_sp = usize::MAX; // force an sp before the first tuple
+    // Elements are restamped with a strictly increasing clock: distinct
+    // policies MUST have distinct timestamps (a batch of equal-timestamp
+    // sps denotes a single policy, §III-A), and objects reporting within
+    // one simulation tick would otherwise collide.
+    let mut clock: u64 = 0;
+    if cfg.scoped_sps {
+        assert!(
+            cfg.sp_every >= 1 && cfg.objects.is_multiple_of(cfg.sp_every),
+            "scoped sps need sp_every to divide the object count"
+        );
+    }
+    for _ in 0..cfg.ticks {
+        for tuple in sim.tick() {
+            if since_sp >= cfg.sp_every.max(1) {
+                // The next segment's policy: one tuple-granularity sp whose
+                // timestamp is the moment it goes into effect.
+                let roles = draw_roles(&mut rng, cfg);
+                clock += 1;
+                let mut sp = SecurityPunctuation::grant_all(roles, Timestamp(clock));
+                if cfg.scoped_sps {
+                    // Objects report in id order, so the upcoming segment
+                    // is exactly this contiguous id block.
+                    let lo = tuple.tid.raw();
+                    let hi = lo + cfg.sp_every as u64 - 1;
+                    sp = sp.with_ddp(sp_core::DataDescription::tuple_range(lo, hi));
+                }
+                elements.push(StreamElement::punctuation(sp));
+                sps += 1;
+                since_sp = 0;
+            }
+            clock += 1;
+            let restamped = sp_core::Tuple::new(
+                tuple.sid,
+                tuple.tid,
+                Timestamp(clock),
+                tuple.values().to_vec(),
+            );
+            elements.push(StreamElement::tuple(restamped));
+            tuples += 1;
+            since_sp += 1;
+        }
+    }
+    Workload {
+        elements,
+        schema: MovingObjectSim::location_schema(),
+        stream,
+        tuples,
+        sps,
+    }
+}
+
+/// Generates two punctuated location streams for the SAJoin experiment:
+/// objects of both streams move on the same network and join on a shared
+/// `region` attribute; `grant_selectivity` (σ_sp) controls the probability
+/// that a pair of segment policies is compatible (shares the probe role).
+#[must_use]
+pub fn join_streams(cfg: &WorkloadConfig) -> (Workload, Workload) {
+    let mut left_cfg = cfg.clone();
+    left_cfg.seed = cfg.seed.wrapping_add(1);
+    let mut right_cfg = cfg.clone();
+    right_cfg.seed = cfg.seed.wrapping_add(2);
+    let mut left = location_stream(&left_cfg);
+    let mut right = location_stream(&right_cfg);
+    right.stream = StreamId(2);
+    // Restamp right-side tuples with the right stream id.
+    for e in &mut right.elements {
+        if let StreamElement::Tuple(t) = e {
+            let mut nt = (**t).clone();
+            nt.sid = StreamId(2);
+            *t = Arc::new(nt);
+        }
+    }
+    left.stream = StreamId(1);
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_sp_to_tuple_ratio() {
+        for every in [1usize, 10, 25, 50] {
+            let cfg = WorkloadConfig {
+                objects: 20,
+                ticks: 10,
+                sp_every: every,
+                ..WorkloadConfig::default()
+            };
+            let w = location_stream(&cfg);
+            assert_eq!(w.tuples, 200);
+            let expected = 200usize.div_ceil(every);
+            assert_eq!(w.sps, expected, "ratio 1/{every}");
+        }
+    }
+
+    #[test]
+    fn first_element_is_a_punctuation() {
+        let w = location_stream(&WorkloadConfig::default());
+        assert!(matches!(w.elements[0], StreamElement::Punctuation(_)));
+    }
+
+    #[test]
+    fn policy_size_is_respected() {
+        let cfg = WorkloadConfig { policy_roles: 25, role_universe: 200, ..Default::default() };
+        let w = location_stream(&cfg);
+        for e in &w.elements {
+            if let StreamElement::Punctuation(sp) = e {
+                let roles = sp.srp.resolve(&sp_core::RoleCatalog::new());
+                assert!(roles.len() >= 25, "policy has {} roles", roles.len());
+            }
+        }
+    }
+
+    #[test]
+    fn selectivity_extremes() {
+        let never = WorkloadConfig { grant_selectivity: 0.0, ..Default::default() };
+        let w = location_stream(&never);
+        for e in &w.elements {
+            if let StreamElement::Punctuation(sp) = e {
+                let roles = sp.srp.resolve(&sp_core::RoleCatalog::new());
+                assert!(!roles.contains(RoleId(0)));
+            }
+        }
+        let always = WorkloadConfig { grant_selectivity: 1.0, ..Default::default() };
+        let w = location_stream(&always);
+        for e in &w.elements {
+            if let StreamElement::Punctuation(sp) = e {
+                let roles = sp.srp.resolve(&sp_core::RoleCatalog::new());
+                assert!(roles.contains(RoleId(0)));
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = location_stream(&WorkloadConfig::default());
+        let b = location_stream(&WorkloadConfig::default());
+        assert_eq!(a.elements.len(), b.elements.len());
+        assert_eq!(a.elements, b.elements);
+    }
+
+    #[test]
+    fn join_streams_have_distinct_ids() {
+        let cfg = WorkloadConfig { objects: 10, ticks: 5, ..Default::default() };
+        let (l, r) = join_streams(&cfg);
+        assert_eq!(l.stream, StreamId(1));
+        assert_eq!(r.stream, StreamId(2));
+        for e in &r.elements {
+            if let StreamElement::Tuple(t) = e {
+                assert_eq!(t.sid, StreamId(2));
+            }
+        }
+        assert_ne!(l.elements, r.elements);
+    }
+}

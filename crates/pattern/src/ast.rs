@@ -1,0 +1,317 @@
+//! Abstract syntax tree for DDP/SRP pattern expressions.
+//!
+//! The pattern language is a small, anchored regular-expression dialect used
+//! inside security punctuations to describe sets of object names (stream
+//! names, tuple identifiers, attribute names) and role names. It supports:
+//!
+//! * literals (`HeartRate`),
+//! * the any-character atom `.`,
+//! * character classes `[a-z0-9_]` and negated classes `[^x]`,
+//! * grouping `( ... )` and alternation `a|b|c`,
+//! * the quantifiers `*`, `+`, `?` and bounded repetition `{m,n}`,
+//! * a numeric-range atom `<120-133>` matching any decimal integer whose
+//!   value falls in the inclusive range — the paper's "patients with ids
+//!   between 120 and 133" policy compiles to exactly this atom,
+//! * glob-friendly relaxation: a `*` with no preceding atom (e.g. the whole
+//!   pattern `*`, or `foo|*`) is read as `.*`.
+//!
+//! Patterns always match the *entire* input (they are implicitly anchored on
+//! both ends), because an sp that says `HeartRate` must not accidentally
+//! authorize `HeartRateAudit`.
+
+/// A node of the parsed pattern expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string only.
+    Empty,
+    /// Matches exactly one occurrence of the given character.
+    Char(char),
+    /// Matches any single character (`.`).
+    AnyChar,
+    /// A character class: a set of inclusive ranges, possibly negated.
+    Class(ClassSet),
+    /// `<lo-hi>`: any decimal integer string with value in `lo..=hi`.
+    ///
+    /// Leading zeros are accepted (`007` matches `<1-10>`), because tuple
+    /// identifiers are frequently zero-padded by data providers.
+    NumRange(u64, u64),
+    /// Concatenation of sub-patterns, in order.
+    Concat(Vec<Ast>),
+    /// Alternation: matches if any branch matches.
+    Alt(Vec<Ast>),
+    /// Repetition of the inner pattern between `min` and `max` times
+    /// (inclusive); `max == None` means unbounded.
+    Repeat {
+        /// The repeated sub-pattern.
+        node: Box<Ast>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions; `None` = unbounded.
+        max: Option<u32>,
+    },
+}
+
+/// A set of inclusive character ranges forming a character class.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassSet {
+    /// Sorted, non-overlapping inclusive ranges.
+    pub ranges: Vec<(char, char)>,
+    /// If true the class matches any character *not* in `ranges`.
+    pub negated: bool,
+}
+
+impl ClassSet {
+    /// Returns true if `c` is matched by this class.
+    #[must_use]
+    pub fn contains(&self, c: char) -> bool {
+        let inside = self
+            .ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&c));
+        inside != self.negated
+    }
+
+    /// Adds a range, keeping the internal list sorted and coalesced.
+    pub fn push(&mut self, lo: char, hi: char) {
+        debug_assert!(lo <= hi, "class range must be ordered");
+        self.ranges.push((lo, hi));
+        self.normalize();
+    }
+
+    fn normalize(&mut self) {
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(char, char)> = Vec::with_capacity(self.ranges.len());
+        for &(lo, hi) in &self.ranges {
+            match merged.last_mut() {
+                Some(last) if lo as u32 <= last.1 as u32 + 1 => {
+                    if hi > last.1 {
+                        last.1 = hi;
+                    }
+                }
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.ranges = merged;
+    }
+}
+
+impl Ast {
+    /// True if this AST can match the empty string.
+    #[must_use]
+    pub fn matches_empty(&self) -> bool {
+        match self {
+            Ast::Empty => true,
+            Ast::Char(_) | Ast::AnyChar | Ast::Class(_) | Ast::NumRange(..) => false,
+            Ast::Concat(parts) => parts.iter().all(Ast::matches_empty),
+            Ast::Alt(branches) => branches.iter().any(Ast::matches_empty),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.matches_empty(),
+        }
+    }
+
+    /// If the whole pattern is a plain literal, returns it.
+    #[must_use]
+    pub fn as_literal(&self) -> Option<String> {
+        fn collect(ast: &Ast, out: &mut String) -> bool {
+            match ast {
+                Ast::Empty => true,
+                Ast::Char(c) => {
+                    out.push(*c);
+                    true
+                }
+                Ast::Concat(parts) => parts.iter().all(|p| collect(p, out)),
+                _ => false,
+            }
+        }
+        let mut s = String::new();
+        collect(self, &mut s).then_some(s)
+    }
+
+    /// True if the pattern is `.*` (matches every input).
+    #[must_use]
+    pub fn is_match_all(&self) -> bool {
+        match self {
+            Ast::Repeat { node, min: 0, max: None } => matches!(**node, Ast::AnyChar),
+            Ast::Concat(parts) => {
+                !parts.is_empty() && parts.iter().all(Ast::is_match_all)
+            }
+            Ast::Alt(branches) => branches.iter().any(Ast::is_match_all),
+            _ => false,
+        }
+    }
+}
+
+/// A reference "obviously correct" interpreter used by the test-suite to
+/// cross-check the compiled VM. It is exponential in the worst case and is
+/// **not** used on the query path.
+#[must_use]
+pub fn naive_match(ast: &Ast, input: &str) -> bool {
+    let chars: Vec<char> = input.chars().collect();
+    // Returns every suffix position reachable after matching `ast` at `pos`.
+    fn run(ast: &Ast, chars: &[char], pos: usize) -> Vec<usize> {
+        match ast {
+            Ast::Empty => vec![pos],
+            Ast::Char(c) => {
+                if chars.get(pos) == Some(c) {
+                    vec![pos + 1]
+                } else {
+                    vec![]
+                }
+            }
+            Ast::AnyChar => {
+                if pos < chars.len() {
+                    vec![pos + 1]
+                } else {
+                    vec![]
+                }
+            }
+            Ast::Class(set) => match chars.get(pos) {
+                Some(&c) if set.contains(c) => vec![pos + 1],
+                _ => vec![],
+            },
+            Ast::NumRange(lo, hi) => {
+                let mut out = Vec::new();
+                let mut end = pos;
+                while end < chars.len() && chars[end].is_ascii_digit() {
+                    end += 1;
+                    let text: String = chars[pos..end].iter().collect();
+                    // Values longer than u64 can never be in range.
+                    if let Ok(v) = text.parse::<u64>() {
+                        if (*lo..=*hi).contains(&v) {
+                            out.push(end);
+                        }
+                    }
+                }
+                out
+            }
+            Ast::Concat(parts) => {
+                let mut positions = vec![pos];
+                for part in parts {
+                    let mut next = Vec::new();
+                    for &p in &positions {
+                        next.extend(run(part, chars, p));
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    positions = next;
+                    if positions.is_empty() {
+                        break;
+                    }
+                }
+                positions
+            }
+            Ast::Alt(branches) => {
+                let mut out = Vec::new();
+                for b in branches {
+                    out.extend(run(b, chars, pos));
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            Ast::Repeat { node, min, max } => {
+                // Iterate the repetition count explicitly. Positions can only
+                // take `len + 1` distinct values, so once the count exceeds
+                // `min + len + 1` no new (count >= min) position can appear;
+                // this caps zero-width inner patterns.
+                let cap = max.unwrap_or(min + chars.len() as u32 + 1);
+                let mut out = Vec::new();
+                if *min == 0 {
+                    out.push(pos);
+                }
+                let mut frontier = vec![pos];
+                let mut count = 0u32;
+                while count < cap && !frontier.is_empty() {
+                    let mut next = Vec::new();
+                    for &p in &frontier {
+                        next.extend(run(node, chars, p));
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    count += 1;
+                    if count >= *min {
+                        out.extend(next.iter().copied());
+                    }
+                    if next == frontier && count >= *min {
+                        break;
+                    }
+                    frontier = next;
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    }
+    run(ast, &chars, 0).contains(&chars.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_contains_and_negation() {
+        let mut set = ClassSet::default();
+        set.push('a', 'f');
+        set.push('0', '9');
+        assert!(set.contains('c'));
+        assert!(set.contains('0'));
+        assert!(!set.contains('z'));
+        let neg = ClassSet { negated: true, ..set };
+        assert!(!neg.contains('c'));
+        assert!(neg.contains('z'));
+    }
+
+    #[test]
+    fn class_ranges_coalesce() {
+        let mut set = ClassSet::default();
+        set.push('a', 'd');
+        set.push('e', 'g');
+        set.push('x', 'z');
+        assert_eq!(set.ranges, vec![('a', 'g'), ('x', 'z')]);
+    }
+
+    #[test]
+    fn literal_extraction() {
+        let ast = Ast::Concat(vec![Ast::Char('h'), Ast::Char('i')]);
+        assert_eq!(ast.as_literal().as_deref(), Some("hi"));
+        let ast = Ast::Concat(vec![Ast::Char('h'), Ast::AnyChar]);
+        assert_eq!(ast.as_literal(), None);
+    }
+
+    #[test]
+    fn match_all_detection() {
+        let star = Ast::Repeat { node: Box::new(Ast::AnyChar), min: 0, max: None };
+        assert!(star.is_match_all());
+        assert!(Ast::Concat(vec![star.clone()]).is_match_all());
+        assert!(!Ast::Char('a').is_match_all());
+    }
+
+    #[test]
+    fn naive_numeric_range() {
+        let ast = Ast::NumRange(120, 133);
+        assert!(naive_match(&ast, "120"));
+        assert!(naive_match(&ast, "133"));
+        assert!(naive_match(&ast, "0125"));
+        assert!(!naive_match(&ast, "134"));
+        assert!(!naive_match(&ast, "119"));
+        assert!(!naive_match(&ast, "12a"));
+        assert!(!naive_match(&ast, ""));
+    }
+
+    #[test]
+    fn naive_repeat_zero_width_terminates() {
+        // (a?)* on "aaa" must terminate and match.
+        let ast = Ast::Repeat {
+            node: Box::new(Ast::Repeat {
+                node: Box::new(Ast::Char('a')),
+                min: 0,
+                max: Some(1),
+            }),
+            min: 0,
+            max: None,
+        };
+        assert!(naive_match(&ast, "aaa"));
+        assert!(naive_match(&ast, ""));
+    }
+}

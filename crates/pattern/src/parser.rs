@@ -1,0 +1,403 @@
+//! Recursive-descent parser for the pattern dialect described in [`crate::ast`].
+
+use crate::ast::{Ast, ClassSet};
+use crate::PatternError;
+
+/// Parses a pattern expression into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns a [`PatternError`] describing the first syntax problem found.
+pub fn parse(src: &str) -> Result<Ast, PatternError> {
+    let mut p = Parser { chars: src.chars().collect(), pos: 0, src };
+    let ast = p.alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(ast)
+}
+
+struct Parser<'s> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'s str,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> PatternError {
+        PatternError {
+            pattern: self.src.to_owned(),
+            offset: self.pos,
+            message: msg.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn alternation(&mut self) -> Result<Ast, PatternError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    /// concat := quantified*
+    fn concat(&mut self) -> Result<Ast, PatternError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.quantified()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    /// quantified := atom ('*' | '+' | '?' | '{m,n}')*
+    fn quantified(&mut self) -> Result<Ast, PatternError> {
+        // Glob-friendly relaxation: a `*` with no preceding atom is treated
+        // as `.*` (the paper writes bare `*` for "all objects").
+        let mut node = if self.peek() == Some('*') {
+            self.bump();
+            Ast::Repeat { node: Box::new(Ast::AnyChar), min: 0, max: None }
+        } else {
+            self.atom()?
+        };
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    node = Ast::Repeat { node: Box::new(node), min: 0, max: None };
+                }
+                Some('+') => {
+                    self.bump();
+                    node = Ast::Repeat { node: Box::new(node), min: 1, max: None };
+                }
+                Some('?') => {
+                    self.bump();
+                    node = Ast::Repeat { node: Box::new(node), min: 0, max: Some(1) };
+                }
+                Some('{') => {
+                    self.bump();
+                    let (min, max) = self.bounds()?;
+                    if let Some(m) = max {
+                        if m < min {
+                            return Err(self.err("repetition bounds out of order"));
+                        }
+                    }
+                    node = Ast::Repeat { node: Box::new(node), min, max };
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    /// bounds := int (',' int?)? '}'
+    fn bounds(&mut self) -> Result<(u32, Option<u32>), PatternError> {
+        let min = self.integer()? as u32;
+        let max = if self.eat(',') {
+            if self.peek() == Some('}') {
+                None
+            } else {
+                Some(self.integer()? as u32)
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            return Err(self.err("expected '}' to close repetition bounds"));
+        }
+        Ok((min, max))
+    }
+
+    fn integer(&mut self) -> Result<u64, PatternError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a decimal integer"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse().map_err(|_| self.err("integer too large"))
+    }
+
+    /// atom := '(' alternation ')' | '[' class ']' | '<' range '>' | '.' | escaped | literal char
+    fn atom(&mut self) -> Result<Ast, PatternError> {
+        match self.peek() {
+            None => Err(self.err("expected an atom, found end of pattern")),
+            Some('(') => {
+                self.bump();
+                let inner = self.alternation()?;
+                if !self.eat(')') {
+                    return Err(self.err("unclosed group: expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some('[') => {
+                self.bump();
+                self.class()
+            }
+            Some('<') => {
+                self.bump();
+                let lo = self.integer()?;
+                if !self.eat('-') {
+                    return Err(self.err("expected '-' in numeric range"));
+                }
+                let hi = self.integer()?;
+                if !self.eat('>') {
+                    return Err(self.err("unclosed numeric range: expected '>'"));
+                }
+                if hi < lo {
+                    return Err(self.err("numeric range bounds out of order"));
+                }
+                Ok(Ast::NumRange(lo, hi))
+            }
+            Some('.') => {
+                self.bump();
+                Ok(Ast::AnyChar)
+            }
+            Some('\\') => {
+                self.bump();
+                match self.bump() {
+                    Some('d') => Ok(Ast::Class(digit_class(false))),
+                    Some('D') => Ok(Ast::Class(digit_class(true))),
+                    Some('w') => Ok(Ast::Class(word_class(false))),
+                    Some('W') => Ok(Ast::Class(word_class(true))),
+                    Some('s') => Ok(Ast::Class(space_class(false))),
+                    Some('S') => Ok(Ast::Class(space_class(true))),
+                    Some(c) => Ok(Ast::Char(c)),
+                    None => Err(self.err("dangling escape at end of pattern")),
+                }
+            }
+            Some(c) if "*+?{}".contains(c) => {
+                Err(self.err("quantifier with nothing to repeat"))
+            }
+            Some(c) if ")]>".contains(c) => Err(self.err("unbalanced closing delimiter")),
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Char(c))
+            }
+        }
+    }
+
+    /// class := '^'? (char | char '-' char)+ ']'
+    fn class(&mut self) -> Result<Ast, PatternError> {
+        let mut set = ClassSet { negated: self.eat('^'), ..ClassSet::default() };
+        let mut any = false;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unclosed character class: expected ']'")),
+                Some(']') if any => {
+                    self.bump();
+                    return Ok(Ast::Class(set));
+                }
+                Some(']') => return Err(self.err("empty character class")),
+                Some(_) => {
+                    let lo = self.class_char()?;
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                        self.bump();
+                        let hi = self.class_char()?;
+                        if hi < lo {
+                            return Err(self.err("class range bounds out of order"));
+                        }
+                        set.push(lo, hi);
+                    } else {
+                        set.push(lo, lo);
+                    }
+                    any = true;
+                }
+            }
+        }
+    }
+
+    fn class_char(&mut self) -> Result<char, PatternError> {
+        match self.bump() {
+            Some('\\') => self
+                .bump()
+                .ok_or_else(|| self.err("dangling escape inside character class")),
+            Some(c) => Ok(c),
+            None => Err(self.err("unclosed character class")),
+        }
+    }
+}
+
+fn digit_class(negated: bool) -> ClassSet {
+    ClassSet { ranges: vec![('0', '9')], negated }
+}
+
+fn word_class(negated: bool) -> ClassSet {
+    ClassSet {
+        ranges: vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')],
+        negated,
+    }
+}
+
+fn space_class(negated: bool) -> ClassSet {
+    ClassSet {
+        ranges: vec![('\t', '\r'), (' ', ' ')],
+        negated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::naive_match;
+
+    fn ok(src: &str) -> Ast {
+        parse(src).unwrap_or_else(|e| panic!("parse failed for {src:?}: {e}"))
+    }
+
+    #[test]
+    fn parses_literals() {
+        assert_eq!(ok("abc").as_literal().as_deref(), Some("abc"));
+        assert_eq!(ok("").as_literal().as_deref(), Some(""));
+    }
+
+    #[test]
+    fn parses_alternation_of_literals() {
+        let ast = ok("Temperature|Beats_per_min");
+        assert!(naive_match(&ast, "Temperature"));
+        assert!(naive_match(&ast, "Beats_per_min"));
+        assert!(!naive_match(&ast, "Frequency"));
+    }
+
+    #[test]
+    fn parses_bare_star_as_match_all() {
+        assert!(ok("*").is_match_all());
+        assert!(naive_match(&ok("*"), "anything at all"));
+        assert!(naive_match(&ok("*"), ""));
+    }
+
+    #[test]
+    fn parses_numeric_range() {
+        let ast = ok("<120-133>");
+        assert!(naive_match(&ast, "120"));
+        assert!(naive_match(&ast, "133"));
+        assert!(!naive_match(&ast, "134"));
+    }
+
+    #[test]
+    fn rejects_reversed_numeric_range() {
+        assert!(parse("<9-1>").is_err());
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        let ast = ok("ab*c+d?");
+        assert!(naive_match(&ast, "acd"));
+        assert!(naive_match(&ast, "abbbcc"));
+        assert!(!naive_match(&ast, "ad"));
+    }
+
+    #[test]
+    fn parses_bounded_repetition() {
+        let ast = ok("a{2,3}");
+        assert!(!naive_match(&ast, "a"));
+        assert!(naive_match(&ast, "aa"));
+        assert!(naive_match(&ast, "aaa"));
+        assert!(!naive_match(&ast, "aaaa"));
+        let ast = ok("b{2}");
+        assert!(naive_match(&ast, "bb"));
+        assert!(!naive_match(&ast, "b"));
+        let ast = ok("c{2,}");
+        assert!(naive_match(&ast, "cccc"));
+        assert!(!naive_match(&ast, "c"));
+    }
+
+    #[test]
+    fn rejects_reversed_bounds() {
+        assert!(parse("a{3,2}").is_err());
+    }
+
+    #[test]
+    fn parses_classes() {
+        let ast = ok("[a-c1]");
+        assert!(naive_match(&ast, "b"));
+        assert!(naive_match(&ast, "1"));
+        assert!(!naive_match(&ast, "d"));
+        let ast = ok("[^a-c]");
+        assert!(naive_match(&ast, "z"));
+        assert!(!naive_match(&ast, "a"));
+    }
+
+    #[test]
+    fn class_trailing_dash_is_literal() {
+        let ast = ok("[a-]");
+        assert!(naive_match(&ast, "-"));
+        assert!(naive_match(&ast, "a"));
+    }
+
+    #[test]
+    fn parses_escapes() {
+        assert!(naive_match(&ok(r"\d+"), "42"));
+        assert!(!naive_match(&ok(r"\d+"), "4x"));
+        assert!(naive_match(&ok(r"\w+"), "ab_9"));
+        assert!(naive_match(&ok(r"a\.b"), "a.b"));
+        assert!(!naive_match(&ok(r"a\.b"), "axb"));
+        assert!(naive_match(&ok(r"\*"), "*"));
+    }
+
+    #[test]
+    fn parses_groups() {
+        let ast = ok("(ab|cd)+e");
+        assert!(naive_match(&ast, "abe"));
+        assert!(naive_match(&ast, "abcdabe"));
+        assert!(!naive_match(&ast, "e"));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("ab(cd").unwrap_err();
+        assert!(err.to_string().contains("unclosed group"), "{err}");
+        assert!(parse("a)").is_err());
+        assert!(parse("[").is_err());
+        assert!(parse("[]").is_err());
+        assert!(parse(r"a\").is_err());
+        assert!(parse("a{2").is_err());
+        assert!(parse("<12>").is_err());
+    }
+
+    #[test]
+    fn plus_without_atom_is_error() {
+        assert!(parse("+a").is_err());
+        assert!(parse("?").is_err());
+    }
+
+    #[test]
+    fn star_after_star_atom() {
+        // "**" = (.*)* — still match-all, must parse.
+        assert!(naive_match(&ok("**"), "xy"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Bytecode compiler and matcher for pattern expressions.
+//!
+//! The AST is compiled into a compact instruction sequence in the style of a
+//! Thompson/Pike VM. Because the dialect contains the multi-character
+//! [`NumRange`](crate::ast::Ast::NumRange) atom (which cannot advance in
+//! lock-step with single-character instructions), matching is performed by a
+//! depth-first search over `(pc, position)` states with memoization of failed
+//! states. Inputs are object and role names — short strings — so the
+//! `O(program × input)` state space is tiny; memoization guarantees linear
+//! behaviour even for pathological patterns like `(a|a)*b`.
+
+use crate::ast::{Ast, ClassSet};
+
+/// A single VM instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Consume one specific character.
+    Char(char),
+    /// Consume any one character.
+    Any,
+    /// Consume one character matched by the class.
+    Class(ClassSet),
+    /// Consume a run of ASCII digits whose decimal value lies in `lo..=hi`.
+    /// Tries every plausible run length (longest first).
+    NumRange(u64, u64),
+    /// Try `pc + 1` first; on failure continue at the absolute target.
+    Split(usize),
+    /// Jump unconditionally to the absolute target.
+    Jmp(usize),
+    /// Accept if the whole input has been consumed.
+    Match,
+}
+
+/// A compiled pattern program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Compiles an AST into a program.
+    #[must_use]
+    pub fn compile(ast: &Ast) -> Self {
+        let mut insts = Vec::new();
+        emit(ast, &mut insts);
+        insts.push(Inst::Match);
+        Self { insts }
+    }
+
+    /// Number of instructions (used by cost accounting and tests).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program is empty (never the case after `compile`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Runs the program against `input`, anchored at both ends.
+    #[must_use]
+    pub fn matches(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        // `visited[pc * (n + 1) + pos]` marks states already entered by the
+        // depth-first search. Re-entering a visited state is pruned: either
+        // the state already failed (memoization), or it is an ancestor on the
+        // current stack (a zero-width cycle, which cannot contribute a match
+        // that some acyclic path would not). Because a success unwinds the
+        // whole search immediately, over-marking on the successful path is
+        // harmless. This bounds matching to one visit per (pc, pos) state.
+        let width = chars.len() + 1;
+        let mut visited = vec![false; self.insts.len() * width];
+        self.run(0, 0, &chars, width, &mut visited)
+    }
+
+    fn run(
+        &self,
+        mut pc: usize,
+        mut pos: usize,
+        chars: &[char],
+        width: usize,
+        visited: &mut [bool],
+    ) -> bool {
+        // Iterative on the hot straight-line path; recursion only at Split
+        // and NumRange branch points.
+        loop {
+            let key = pc * width + pos;
+            if visited[key] {
+                return false;
+            }
+            visited[key] = true;
+            match &self.insts[pc] {
+                Inst::Char(c) => {
+                    if chars.get(pos) == Some(c) {
+                        pc += 1;
+                        pos += 1;
+                    } else {
+                        return false;
+                    }
+                }
+                Inst::Any => {
+                    if pos < chars.len() {
+                        pc += 1;
+                        pos += 1;
+                    } else {
+                        return false;
+                    }
+                }
+                Inst::Class(set) => match chars.get(pos) {
+                    Some(&c) if set.contains(c) => {
+                        pc += 1;
+                        pos += 1;
+                    }
+                    _ => return false,
+                },
+                Inst::NumRange(lo, hi) => {
+                    // Longest digit run first: ranges are usually followed by
+                    // end-of-pattern, so greedy is almost always right.
+                    let mut end = pos;
+                    while end < chars.len() && chars[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                    for stop in (pos + 1..=end).rev() {
+                        let text: String = chars[pos..stop].iter().collect();
+                        if let Ok(v) = text.parse::<u64>() {
+                            if (*lo..=*hi).contains(&v)
+                                && self.run(pc + 1, stop, chars, width, visited)
+                            {
+                                return true;
+                            }
+                        }
+                    }
+                    return false;
+                }
+                Inst::Split(alt) => {
+                    if self.run(pc + 1, pos, chars, width, visited) {
+                        return true;
+                    }
+                    // Continue in the alternative branch without recursing.
+                    pc = *alt;
+                }
+                Inst::Jmp(target) => {
+                    pc = *target;
+                }
+                Inst::Match => {
+                    return pos == chars.len();
+                }
+            }
+        }
+    }
+}
+
+/// Emits code for `ast` starting at the current end of `insts`.
+fn emit(ast: &Ast, insts: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Char(c) => insts.push(Inst::Char(*c)),
+        Ast::AnyChar => insts.push(Inst::Any),
+        Ast::Class(set) => insts.push(Inst::Class(set.clone())),
+        Ast::NumRange(lo, hi) => insts.push(Inst::NumRange(*lo, *hi)),
+        Ast::Concat(parts) => {
+            for part in parts {
+                emit(part, insts);
+            }
+        }
+        Ast::Alt(branches) => {
+            // split L2; <b1>; jmp END; L2: split L3; <b2>; ... <bn>
+            let mut jmp_slots = Vec::new();
+            for (i, branch) in branches.iter().enumerate() {
+                if i + 1 < branches.len() {
+                    let split_at = insts.len();
+                    insts.push(Inst::Split(0)); // patched below
+                    emit(branch, insts);
+                    jmp_slots.push(insts.len());
+                    insts.push(Inst::Jmp(0)); // patched below
+                    let next = insts.len();
+                    insts[split_at] = Inst::Split(next);
+                } else {
+                    emit(branch, insts);
+                }
+            }
+            let end = insts.len();
+            for slot in jmp_slots {
+                insts[slot] = Inst::Jmp(end);
+            }
+        }
+        Ast::Repeat { node, min, max } => emit_repeat(node, *min, *max, insts),
+    }
+}
+
+fn emit_repeat(node: &Ast, min: u32, max: Option<u32>, insts: &mut Vec<Inst>) {
+    // Mandatory prefix: `min` copies.
+    for _ in 0..min {
+        emit(node, insts);
+    }
+    match max {
+        Some(max) => {
+            // Optional suffix: (max - min) copies of `split END; <node>`.
+            let mut split_slots = Vec::new();
+            for _ in min..max {
+                split_slots.push(insts.len());
+                insts.push(Inst::Split(0)); // patched below
+                emit(node, insts);
+            }
+            let end = insts.len();
+            for slot in split_slots {
+                insts[slot] = Inst::Split(end);
+            }
+        }
+        None => {
+            // Kleene tail: L: split END; <node>; jmp L; END:
+            let loop_start = insts.len();
+            insts.push(Inst::Split(0)); // patched below
+            emit(node, insts);
+            insts.push(Inst::Jmp(loop_start));
+            let end = insts.len();
+            insts[loop_start] = Inst::Split(end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(src: &str) -> Program {
+        Program::compile(&parse(src).expect("pattern parses"))
+    }
+
+    #[test]
+    fn literal_matching_is_anchored() {
+        let p = prog("HeartRate");
+        assert!(p.matches("HeartRate"));
+        assert!(!p.matches("HeartRateAudit"));
+        assert!(!p.matches("xHeartRate"));
+        assert!(!p.matches(""));
+    }
+
+    #[test]
+    fn alternation() {
+        let p = prog("doctor|nurse|cardiologist");
+        assert!(p.matches("doctor"));
+        assert!(p.matches("cardiologist"));
+        assert!(!p.matches("insurance"));
+    }
+
+    #[test]
+    fn kleene_star_and_plus() {
+        let p = prog("(ab)+c*");
+        assert!(p.matches("ab"));
+        assert!(p.matches("ababccc"));
+        assert!(!p.matches("c"));
+        assert!(!p.matches("abx"));
+    }
+
+    #[test]
+    fn bounded_repeat() {
+        let p = prog("x{2,4}");
+        assert!(!p.matches("x"));
+        assert!(p.matches("xx"));
+        assert!(p.matches("xxxx"));
+        assert!(!p.matches("xxxxx"));
+    }
+
+    #[test]
+    fn numeric_range_basic() {
+        let p = prog("<120-133>");
+        for v in 120..=133u32 {
+            assert!(p.matches(&v.to_string()), "{v} should match");
+        }
+        assert!(!p.matches("119"));
+        assert!(!p.matches("134"));
+        assert!(!p.matches("12"));
+        assert!(!p.matches("1200"));
+        assert!(p.matches("0121"), "leading zeros are accepted");
+    }
+
+    #[test]
+    fn numeric_range_in_context() {
+        // e.g. tuple ids like "patient-<100-199>"
+        let p = prog("patient-<100-199>");
+        assert!(p.matches("patient-150"));
+        assert!(!p.matches("patient-200"));
+        // Range followed by more digits via concatenation is ambiguous but
+        // must still be resolved by backtracking: <1-12>3 on "123" can split
+        // as 12|3.
+        let p = prog("<1-12>3");
+        assert!(p.matches("123"));
+        assert!(p.matches("13"));
+        assert!(!p.matches("3"));
+    }
+
+    #[test]
+    fn match_all() {
+        let p = prog("*");
+        assert!(p.matches(""));
+        assert!(p.matches("literally anything"));
+    }
+
+    #[test]
+    fn pathological_pattern_is_fast() {
+        // (a|a)* a^n — classic exponential blowup for naive backtrackers.
+        let p = prog("(a|a)*b");
+        let input = "a".repeat(200);
+        assert!(!p.matches(&input));
+        let mut with_b = input.clone();
+        with_b.push('b');
+        assert!(p.matches(&with_b));
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty() {
+        let p = prog("");
+        assert!(p.matches(""));
+        assert!(!p.matches("a"));
+    }
+
+    #[test]
+    fn unicode_input() {
+        let p = prog("räle.");
+        assert!(p.matches("räles"));
+        assert!(!p.matches("räle"));
+    }
+}

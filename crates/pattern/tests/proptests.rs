@@ -1,0 +1,108 @@
+//! Property tests: the compiled VM must agree with the naive AST
+//! interpreter on randomly generated patterns and inputs, and the fast-path
+//! matchers must agree with the VM.
+
+use proptest::prelude::*;
+use sp_pattern::ast::{naive_match, Ast, ClassSet};
+use sp_pattern::vm::Program;
+use sp_pattern::Pattern;
+
+/// Random ASTs over a tiny alphabet so matches actually occur.
+fn arb_ast(depth: u32) -> BoxedStrategy<Ast> {
+    let leaf = prop_oneof![
+        Just(Ast::Empty),
+        prop_oneof![Just('a'), Just('b'), Just('c'), Just('0'), Just('1')].prop_map(Ast::Char),
+        Just(Ast::AnyChar),
+        (0u64..30, 0u64..30).prop_map(|(x, y)| Ast::NumRange(x.min(y), x.max(y))),
+        prop_oneof![
+            Just(ClassSet { ranges: vec![('a', 'b')], negated: false }),
+            Just(ClassSet { ranges: vec![('a', 'b')], negated: true }),
+            Just(ClassSet { ranges: vec![('0', '9')], negated: false }),
+        ]
+        .prop_map(Ast::Class),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::Concat),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::Alt),
+            (inner, 0u32..3, prop::option::of(0u32..4)).prop_map(|(node, min, max)| {
+                let max = max.map(|m| m.max(min));
+                Ast::Repeat { node: Box::new(node), min, max }
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_input() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[abc01]{0,8}").expect("valid generator regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The compiled VM agrees with the reference interpreter.
+    #[test]
+    fn vm_agrees_with_naive(ast in arb_ast(3), input in arb_input()) {
+        let prog = Program::compile(&ast);
+        prop_assert_eq!(prog.matches(&input), naive_match(&ast, &input));
+    }
+
+    /// Full `Pattern` (with fast paths) agrees with the raw VM for parseable
+    /// pattern sources.
+    #[test]
+    fn fast_paths_agree_with_vm(
+        src in proptest::string::string_regex(
+            r"([abc01.]|\[abc\]|<[0-9]-[0-9][0-9]>|\|)*"
+        ).expect("valid generator regex"),
+        input in arb_input(),
+    ) {
+        if let Ok(pattern) = Pattern::compile(&src) {
+            let ast = sp_pattern::parser::parse(&src).expect("compile implies parse");
+            let prog = Program::compile(&ast);
+            prop_assert_eq!(pattern.matches(&input), prog.matches(&input),
+                "fast path diverged for pattern {:?}", src);
+        }
+    }
+
+    /// Literal patterns match exactly their own text.
+    #[test]
+    fn literal_roundtrip(name in "[a-zA-Z0-9_*+.()\\[\\]{}|<>\\\\-]{0,12}") {
+        let p = Pattern::literal(&name);
+        prop_assert!(p.matches(&name));
+        let recompiled = Pattern::compile(p.source()).expect("escaped literal compiles");
+        prop_assert!(recompiled.matches(&name));
+    }
+
+    /// Numeric-range patterns agree with plain integer comparison.
+    #[test]
+    fn numeric_range_semantics(lo in 0u64..500, span in 0u64..500, v in 0u64..1500) {
+        let hi = lo + span;
+        let p = Pattern::numeric_range(lo, hi);
+        prop_assert_eq!(p.matches(&v.to_string()), (lo..=hi).contains(&v));
+    }
+}
+
+#[test]
+fn paper_examples() {
+    // Stream-level: only the HeartRate stream.
+    let p = Pattern::compile("HeartRate").unwrap();
+    assert!(p.matches("HeartRate"));
+    assert!(!p.matches("BodyTemperature"));
+
+    // Tuple-level: patients with ids between 120 and 133, any stream.
+    let p = Pattern::compile("<120-133>").unwrap();
+    assert!(p.matches("120"));
+    assert!(p.matches("133"));
+    assert!(!p.matches("134"));
+
+    // Attribute-level: the temperature and the heart beat.
+    let p = Pattern::compile("Temperature|Beats_per_min").unwrap();
+    assert!(p.matches("Temperature"));
+    assert!(p.matches("Beats_per_min"));
+    assert!(!p.matches("Patient_id"));
+
+    // Streams s1, s2 (but not s3).
+    let p = Pattern::compile("s1|s2").unwrap();
+    assert!(p.matches("s1") && p.matches("s2") && !p.matches("s3"));
+}

@@ -1,0 +1,147 @@
+//! Abstract syntax for the CQL subset and the `INSERT SP` extension
+//! (§III-D).
+
+use sp_core::Sign;
+use sp_engine::AggFunc;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A continuous query.
+    Select(SelectStmt),
+    /// An `INSERT SP` punctuation declaration.
+    InsertSp(InsertSpStmt),
+}
+
+/// A column reference, optionally qualified by a stream name/alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Qualifier (stream name or alias), if any.
+    pub stream: Option<String>,
+    /// Attribute name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified column.
+    #[must_use]
+    pub fn bare(name: &str) -> Self {
+        Self { stream: None, column: name.to_owned() }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A plain column.
+    Column(ColumnRef),
+    /// `agg(column)` — or `COUNT(*)` with `column == None`.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The aggregated column (None for `COUNT(*)`).
+        column: Option<ColumnRef>,
+    },
+}
+
+/// A stream in the FROM clause with an optional sliding window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRef {
+    /// Registered stream name.
+    pub name: String,
+    /// Optional alias (`FROM HeartRate AS h`).
+    pub alias: Option<String>,
+    /// Window length in milliseconds (`[RANGE n SECONDS]`).
+    pub window_ms: Option<u64>,
+}
+
+/// A scalar/predicate expression in WHERE.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Binary operation.
+    Binary {
+        /// Operator lexeme: `=`, `!=`, `<`, `<=`, `>`, `>=`, `+`, `-`,
+        /// `*`, `/`, `AND`, `OR`.
+        op: String,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// Negation (`NOT e`).
+    Not(Box<AstExpr>),
+}
+
+/// A continuous SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// The projection list.
+    pub items: Vec<SelectItem>,
+    /// `DISTINCT`?
+    pub distinct: bool,
+    /// Input streams (1 = unary pipeline, 2 = join).
+    pub from: Vec<StreamRef>,
+    /// WHERE predicate.
+    pub predicate: Option<AstExpr>,
+    /// GROUP BY column.
+    pub group_by: Option<ColumnRef>,
+    /// `UNION`-ed follow-up query, if any (same output arity required).
+    pub union_with: Option<Box<SelectStmt>>,
+}
+
+/// An `INSERT SP` statement (§III-D):
+///
+/// ```text
+/// INSERT SP [name] INTO STREAM stream
+/// LET DDP = ('<stream pattern>', '<tuple pattern>', '<attr pattern>'),
+///     SRP = '<role pattern>'
+///     [, SIGN = positive | negative]
+///     [, IMMUTABLE = true | false]
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertSpStmt {
+    /// Optional punctuation name.
+    pub name: Option<String>,
+    /// Target stream name (or numeric stream id rendered as text).
+    pub stream: String,
+    /// DDP pattern sources: (stream, tuple, attributes).
+    pub ddp: (String, String, String),
+    /// SRP role pattern source.
+    pub srp: String,
+    /// Positive or negative authorization.
+    pub sign: Sign,
+    /// Immutability flag.
+    pub immutable: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_helpers() {
+        let c = ColumnRef::bare("x");
+        assert_eq!(c.stream, None);
+        assert_eq!(c.column, "x");
+    }
+
+    #[test]
+    fn ast_nodes_compare() {
+        let a = AstExpr::Binary {
+            op: "=".into(),
+            left: Box::new(AstExpr::Column(ColumnRef::bare("x"))),
+            right: Box::new(AstExpr::Int(1)),
+        };
+        assert_eq!(a.clone(), a);
+    }
+}

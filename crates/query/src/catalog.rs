@@ -1,0 +1,137 @@
+//! Stream and query registration catalogs.
+
+use std::sync::Arc;
+
+use sp_core::{QueryId, RoleCatalog, RoleSet, Schema, StreamId, SubjectId};
+
+use crate::lexer::QueryError;
+
+/// A registered stream.
+#[derive(Debug, Clone)]
+pub struct StreamDef {
+    /// Registered name (matches the schema name).
+    pub name: String,
+    /// Engine stream id.
+    pub id: StreamId,
+    /// Schema.
+    pub schema: Arc<Schema>,
+}
+
+/// The DSMS catalog: streams, roles and registered continuous queries.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    streams: Vec<StreamDef>,
+    /// The shared role catalog.
+    pub roles: RoleCatalog,
+    queries: Vec<(QueryId, SubjectId)>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name or id is already registered.
+    pub fn register_stream(
+        &mut self,
+        id: StreamId,
+        schema: Arc<Schema>,
+    ) -> Result<(), QueryError> {
+        let name = schema.name().to_owned();
+        if self.streams.iter().any(|s| s.name == name || s.id == id) {
+            return Err(QueryError::new(
+                format!("stream {name:?} (or id {id}) already registered"),
+                0,
+            ));
+        }
+        self.streams.push(StreamDef { name, id, schema });
+        Ok(())
+    }
+
+    /// Looks up a stream by name (or by numeric id rendered as text).
+    #[must_use]
+    pub fn stream(&self, name: &str) -> Option<&StreamDef> {
+        self.streams
+            .iter()
+            .find(|s| s.name == name || s.id.raw().to_string() == name)
+    }
+
+    /// All registered streams.
+    #[must_use]
+    pub fn streams(&self) -> &[StreamDef] {
+        &self.streams
+    }
+
+    /// Registers a continuous query for `subject`, pinning the subject's
+    /// role assignment (§II-A) and returning the query id and the roles the
+    /// query inherits.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the subject is unknown.
+    pub fn register_query(&mut self, subject: SubjectId) -> Result<(QueryId, RoleSet), QueryError> {
+        let roles = self
+            .roles
+            .subject_roles(subject)
+            .map_err(|e| QueryError::new(e.to_string(), 0))?
+            .clone();
+        self.roles
+            .pin_subject(subject)
+            .map_err(|e| QueryError::new(e.to_string(), 0))?;
+        let id = QueryId(self.queries.len() as u32);
+        self.queries.push((id, subject));
+        Ok((id, roles))
+    }
+
+    /// Deregisters a query, releasing its subject pin.
+    pub fn deregister_query(&mut self, id: QueryId) {
+        if let Some(pos) = self.queries.iter().position(|(q, _)| *q == id) {
+            let (_, subject) = self.queries.remove(pos);
+            let _ = self.roles.unpin_subject(subject);
+        }
+    }
+
+    /// Number of live queries.
+    #[must_use]
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::ValueType;
+
+    #[test]
+    fn stream_registration_and_lookup() {
+        let mut c = Catalog::new();
+        let schema = Schema::of("HeartRate", &[("Patient_id", ValueType::Int)]);
+        c.register_stream(StreamId(1), schema.clone()).unwrap();
+        assert!(c.stream("HeartRate").is_some());
+        assert!(c.stream("1").is_some(), "lookup by numeric id works");
+        assert!(c.stream("nope").is_none());
+        assert!(c.register_stream(StreamId(1), schema).is_err());
+        assert_eq!(c.streams().len(), 1);
+    }
+
+    #[test]
+    fn query_registration_pins_subjects() {
+        let mut c = Catalog::new();
+        c.roles.register_role("doctor").unwrap();
+        let alice = c.roles.register_subject("alice", &["doctor"]).unwrap();
+        let (qid, roles) = c.register_query(alice).unwrap();
+        assert_eq!(roles.len(), 1);
+        assert_eq!(c.query_count(), 1);
+        // Pinned: role reassignment fails.
+        assert!(c.roles.reassign_subject_roles(alice, &["doctor"]).is_err());
+        c.deregister_query(qid);
+        assert!(c.roles.reassign_subject_roles(alice, &["doctor"]).is_ok());
+    }
+}

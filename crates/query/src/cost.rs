@@ -1,0 +1,378 @@
+//! The security-aware per-unit-time cost model (§VI-A).
+//!
+//! Every operator is costed by the paper's formulas, driven by per-stream
+//! tuple rates λ and punctuation rates λ_sp:
+//!
+//! | operator | cost per unit time |
+//! |---|---|
+//! | SS | `Σ_i λ_i + λ_sp,i (NR_sp + NR)` |
+//! | σ, π | `Σ_i (λ_i + λ_sp,i)` |
+//! | nested-loop SAJoin | `λ1 (N2 + Nsp2) + λ2 (N1 + Nsp1)` |
+//! | index SAJoin | `λ1 σ_sp (N2 + Nsp2) + λ2 σ_sp (N1 + Nsp1) + NR_sp (λ_sp1 + λ_sp2)` |
+//! | δ | `λ1 (No + Nspo)` |
+//! | group-by | `2 C (λ1 + λ_sp1)` |
+//!
+//! with `N = W·λ` the expected window population. Output rates propagate
+//! through selectivity estimates so that interleaving an SS deeper in the
+//! plan visibly reduces downstream cost — exactly the trade-off the
+//! optimizer (§VI-C) navigates.
+
+use std::collections::HashMap;
+
+use sp_core::StreamId;
+use sp_engine::{CmpOp, Expr, JoinVariant};
+
+use crate::logical::LogicalPlan;
+
+/// Per-stream input statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct InputStats {
+    /// Tuple arrival rate (tuples per second).
+    pub lambda: f64,
+    /// Punctuation arrival rate (sps per second).
+    pub lambda_sp: f64,
+}
+
+impl Default for InputStats {
+    fn default() -> Self {
+        Self { lambda: 1000.0, lambda_sp: 100.0 }
+    }
+}
+
+/// Workload-level parameters of the cost model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    streams: HashMap<StreamId, InputStats>,
+    /// Default stats for unregistered streams.
+    pub default_stats: InputStats,
+    /// Expected roles per punctuation (NR_sp).
+    pub roles_per_sp: f64,
+    /// Fraction of segments whose policy authorizes a one-role predicate —
+    /// the per-role authorization probability.
+    pub auth_prob_per_role: f64,
+    /// SAJoin policy-compatibility selectivity σ_sp ∈ [0, 1].
+    pub sigma_sp: f64,
+    /// Value-match probability for an equijoin probe.
+    pub join_selectivity: f64,
+    /// Fraction of distinct values in a duplicate-elimination window.
+    pub distinct_fraction: f64,
+    /// Group count / aggregate recomputation factor C for group-by.
+    pub group_cost: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            streams: HashMap::new(),
+            default_stats: InputStats::default(),
+            roles_per_sp: 3.0,
+            auth_prob_per_role: 0.3,
+            sigma_sp: 0.5,
+            join_selectivity: 0.01,
+            distinct_fraction: 0.1,
+            group_cost: 4.0,
+        }
+    }
+}
+
+/// Cost and output-rate summary of a (sub)plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCost {
+    /// Total per-unit-time processing cost of the subtree.
+    pub cost: f64,
+    /// Output tuple rate.
+    pub lambda: f64,
+    /// Output punctuation rate.
+    pub lambda_sp: f64,
+}
+
+impl CostModel {
+    /// Registers per-stream input statistics.
+    pub fn set_stream(&mut self, stream: StreamId, stats: InputStats) {
+        self.streams.insert(stream, stats);
+    }
+
+    fn stream_stats(&self, stream: StreamId) -> InputStats {
+        self.streams.get(&stream).copied().unwrap_or(self.default_stats)
+    }
+
+    /// Probability a segment policy authorizes a predicate of `n` roles:
+    /// `1 - (1 - q)^n`, capped at 1.
+    #[must_use]
+    pub fn shield_selectivity(&self, predicate_roles: usize) -> f64 {
+        let q = self.auth_prob_per_role.clamp(0.0, 1.0);
+        1.0 - (1.0 - q).powi(predicate_roles as i32)
+    }
+
+    /// Classic selectivity heuristics for selection predicates.
+    #[must_use]
+    pub fn predicate_selectivity(&self, expr: &Expr) -> f64 {
+        match expr {
+            Expr::Cmp(CmpOp::Eq, ..) => 0.1,
+            Expr::Cmp(CmpOp::Ne, ..) => 0.9,
+            Expr::Cmp(..) => 1.0 / 3.0,
+            Expr::And(l, r) => self.predicate_selectivity(l) * self.predicate_selectivity(r),
+            Expr::Or(l, r) => {
+                let (a, b) = (self.predicate_selectivity(l), self.predicate_selectivity(r));
+                (a + b - a * b).min(1.0)
+            }
+            Expr::Not(inner) => 1.0 - self.predicate_selectivity(inner),
+            _ => 1.0,
+        }
+    }
+
+    /// Costs a plan bottom-up.
+    #[must_use]
+    pub fn cost(&self, plan: &LogicalPlan) -> PlanCost {
+        match plan {
+            LogicalPlan::Scan { stream, .. } => {
+                let stats = self.stream_stats(*stream);
+                PlanCost { cost: 0.0, lambda: stats.lambda, lambda_sp: stats.lambda_sp }
+            }
+            LogicalPlan::Shield { input, roles } => {
+                let inp = self.cost(input);
+                // λ + λ_sp (NR_sp + NR)
+                let own =
+                    inp.lambda + inp.lambda_sp * (self.roles_per_sp + roles.len() as f64);
+                let sel = self.shield_selectivity(roles.len());
+                PlanCost {
+                    cost: inp.cost + own,
+                    lambda: inp.lambda * sel,
+                    // Failing segments' punctuations are discarded too.
+                    lambda_sp: inp.lambda_sp * sel,
+                }
+            }
+            LogicalPlan::Select { input, predicate } => {
+                let inp = self.cost(input);
+                let own = inp.lambda + inp.lambda_sp;
+                let sel = self.predicate_selectivity(predicate);
+                PlanCost {
+                    cost: inp.cost + own,
+                    lambda: inp.lambda * sel,
+                    // An sp survives if any tuple of its segment survives;
+                    // approximate with the same selectivity, bounded by the
+                    // surviving tuple rate.
+                    lambda_sp: (inp.lambda_sp).min(inp.lambda * sel).max(inp.lambda_sp * sel),
+                }
+            }
+            LogicalPlan::Project { input, .. } => {
+                let inp = self.cost(input);
+                PlanCost {
+                    cost: inp.cost + inp.lambda + inp.lambda_sp,
+                    lambda: inp.lambda,
+                    lambda_sp: inp.lambda_sp,
+                }
+            }
+            LogicalPlan::Join { left, right, window_ms, variant, .. } => {
+                let l = self.cost(left);
+                let r = self.cost(right);
+                let w = *window_ms as f64 / 1000.0;
+                let (n1, nsp1) = (w * l.lambda, w * l.lambda_sp);
+                let (n2, nsp2) = (w * r.lambda, w * r.lambda_sp);
+                let own = match variant {
+                    JoinVariant::NestedLoopPF | JoinVariant::NestedLoopFP => {
+                        l.lambda * (n2 + nsp2) + r.lambda * (n1 + nsp1)
+                    }
+                    JoinVariant::Index => {
+                        l.lambda * self.sigma_sp * (n2 + nsp2)
+                            + r.lambda * self.sigma_sp * (n1 + nsp1)
+                            + self.roles_per_sp * (l.lambda_sp + r.lambda_sp)
+                    }
+                };
+                let out_lambda =
+                    l.lambda * n2 * self.join_selectivity * self.sigma_sp
+                        + r.lambda * n1 * self.join_selectivity * self.sigma_sp;
+                PlanCost {
+                    cost: l.cost + r.cost + own,
+                    lambda: out_lambda,
+                    lambda_sp: (l.lambda_sp + r.lambda_sp).min(out_lambda.max(1e-9)),
+                }
+            }
+            LogicalPlan::Union { left, right } => {
+                let l = self.cost(left);
+                let r = self.cost(right);
+                // Constant per element, plus a policy re-announcement per
+                // side switch (bounded by the sp rates).
+                let own = l.lambda + r.lambda + 2.0 * (l.lambda_sp + r.lambda_sp);
+                PlanCost {
+                    cost: l.cost + r.cost + own,
+                    lambda: l.lambda + r.lambda,
+                    lambda_sp: l.lambda_sp + r.lambda_sp,
+                }
+            }
+            LogicalPlan::Intersect { left, right, window_ms } => {
+                let l = self.cost(left);
+                let r = self.cost(right);
+                let w = *window_ms as f64 / 1000.0;
+                let (n1, nsp1) = (w * l.lambda, w * l.lambda_sp);
+                let (n2, nsp2) = (w * r.lambda, w * r.lambda_sp);
+                let own = l.lambda * (n2 + nsp2) + r.lambda * (n1 + nsp1);
+                let out = (l.lambda.min(r.lambda)) * self.join_selectivity * self.sigma_sp;
+                PlanCost {
+                    cost: l.cost + r.cost + own,
+                    lambda: out,
+                    lambda_sp: (l.lambda_sp + r.lambda_sp).min(out.max(1e-9)),
+                }
+            }
+            LogicalPlan::DupElim { input, window_ms, .. } => {
+                let inp = self.cost(input);
+                let w = *window_ms as f64 / 1000.0;
+                let no = w * inp.lambda * self.distinct_fraction;
+                let nspo = w * inp.lambda_sp * self.distinct_fraction;
+                let own = inp.lambda * (no + nspo);
+                PlanCost {
+                    cost: inp.cost + own,
+                    lambda: inp.lambda * self.distinct_fraction,
+                    lambda_sp: inp.lambda_sp.min(inp.lambda * self.distinct_fraction),
+                }
+            }
+            LogicalPlan::GroupBy { input, .. } => {
+                let inp = self.cost(input);
+                let own = 2.0 * self.group_cost * (inp.lambda + inp.lambda_sp);
+                PlanCost {
+                    cost: inp.cost + own,
+                    lambda: inp.lambda, // every input updates one aggregate
+                    lambda_sp: inp.lambda_sp,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{RoleSet, Schema, Value, ValueType};
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            stream: StreamId(1),
+            schema: Schema::of("s", &[("id", ValueType::Int), ("x", ValueType::Int)]),
+            window_ms: 10_000,
+        }
+    }
+
+    fn shield(input: LogicalPlan, n: u32) -> LogicalPlan {
+        LogicalPlan::Shield { input: Box::new(input), roles: RoleSet::all_below(n) }
+    }
+
+    fn select(input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::Select {
+            input: Box::new(input),
+            predicate: Expr::cmp(CmpOp::Eq, Expr::Attr(0), Expr::Const(Value::Int(1))),
+        }
+    }
+
+    #[test]
+    fn scan_cost_is_free_and_rates_flow() {
+        let m = CostModel::default();
+        let c = m.cost(&scan());
+        assert_eq!(c.cost, 0.0);
+        assert_eq!(c.lambda, 1000.0);
+        assert_eq!(c.lambda_sp, 100.0);
+    }
+
+    #[test]
+    fn shield_cost_grows_with_state_size() {
+        let m = CostModel::default();
+        let small = m.cost(&shield(scan(), 1));
+        let large = m.cost(&shield(scan(), 500));
+        assert!(large.cost > small.cost, "Fig 8b: larger SS state costs more");
+    }
+
+    #[test]
+    fn shield_reduces_downstream_rates() {
+        let m = CostModel::default();
+        let unshielded = m.cost(&select(scan()));
+        let shielded = m.cost(&select(shield(scan(), 1)));
+        // The select above a shield sees fewer tuples.
+        assert!(shielded.lambda < unshielded.lambda);
+    }
+
+    #[test]
+    fn index_join_beats_nested_loop_at_low_sigma() {
+        let mut m = CostModel { sigma_sp: 0.1, ..CostModel::default() };
+        let mk = |variant| LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            left_key: 0,
+            right_key: 0,
+            window_ms: 10_000,
+            variant,
+        };
+        let nested = m.cost(&mk(JoinVariant::NestedLoopPF));
+        let index = m.cost(&mk(JoinVariant::Index));
+        assert!(index.cost < nested.cost, "Fig 9: index wins at low σ_sp");
+        // At σ_sp = 1 index degenerates to ~nested-loop plus maintenance.
+        m.sigma_sp = 1.0;
+        let nested1 = m.cost(&mk(JoinVariant::NestedLoopPF));
+        let index1 = m.cost(&mk(JoinVariant::Index));
+        assert!(index1.cost >= nested1.cost);
+    }
+
+    #[test]
+    fn pushing_shield_below_join_reduces_total_cost() {
+        let m = CostModel::default();
+        let join = |l, r| LogicalPlan::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            left_key: 0,
+            right_key: 0,
+            window_ms: 10_000,
+            variant: JoinVariant::Index,
+        };
+        let post = shield(join(scan(), scan()), 1);
+        let pre = shield(join(shield(scan(), 1), shield(scan(), 1)), 1);
+        assert!(
+            m.cost(&pre).cost < m.cost(&post).cost,
+            "shield push-down shrinks join windows: {} vs {}",
+            m.cost(&pre).cost,
+            m.cost(&post).cost
+        );
+    }
+
+    #[test]
+    fn predicate_selectivities() {
+        let m = CostModel::default();
+        let eq = Expr::cmp(CmpOp::Eq, Expr::Attr(0), Expr::Const(Value::Int(1)));
+        let lt = Expr::cmp(CmpOp::Lt, Expr::Attr(0), Expr::Const(Value::Int(1)));
+        assert!(m.predicate_selectivity(&eq) < m.predicate_selectivity(&lt));
+        let both = Expr::and(eq.clone(), lt.clone());
+        assert!(m.predicate_selectivity(&both) < m.predicate_selectivity(&eq));
+        let either = Expr::or(eq.clone(), lt);
+        assert!(m.predicate_selectivity(&either) > m.predicate_selectivity(&eq));
+        let neg = Expr::not(eq.clone());
+        assert!((m.predicate_selectivity(&neg) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shield_selectivity_saturates() {
+        let m = CostModel::default();
+        assert!(m.shield_selectivity(1) < m.shield_selectivity(5));
+        assert!(m.shield_selectivity(1000) <= 1.0);
+    }
+
+    #[test]
+    fn per_stream_stats_override_defaults() {
+        let mut m = CostModel::default();
+        m.set_stream(StreamId(1), InputStats { lambda: 10.0, lambda_sp: 1.0 });
+        let c = m.cost(&scan());
+        assert_eq!(c.lambda, 10.0);
+    }
+
+    #[test]
+    fn dupelim_and_groupby_costs() {
+        let m = CostModel::default();
+        let de = LogicalPlan::DupElim { input: Box::new(scan()), keys: vec![], window_ms: 1000 };
+        let gb = LogicalPlan::GroupBy {
+            input: Box::new(scan()),
+            group: Some(0),
+            agg: sp_engine::AggFunc::Count,
+            agg_attr: 1,
+            window_ms: 1000,
+        };
+        assert!(m.cost(&de).cost > 0.0);
+        assert!(m.cost(&gb).cost > 0.0);
+        assert!(m.cost(&de).lambda < 1000.0, "dup-elim reduces rate");
+    }
+}

@@ -1,0 +1,285 @@
+//! Tokenizer for the CQL subset (§III-D).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+}
+
+/// Symbolic tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `;`
+    Semi,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Sym(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// A lexing / parsing error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the query text (best effort).
+    pub offset: usize,
+}
+
+impl QueryError {
+    /// Creates an error.
+    #[must_use]
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        Self { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Tokenizes query text.
+///
+/// # Errors
+///
+/// Returns a [`QueryError`] on unterminated strings, malformed numbers or
+/// unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, QueryError> {
+    // Char-indexed view: (byte offset, char). Indexing `src` only at these
+    // offsets keeps every slice on a UTF-8 boundary.
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let end = src.len();
+    let byte_at = |i: usize| chars.get(i).map_or(end, |&(b, _)| b);
+    let char_at = |i: usize| chars.get(i).map(|&(_, c)| c);
+
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while let Some(c) = char_at(i) {
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if char_at(i + 1) == Some('-') => {
+                // SQL line comment.
+                while char_at(i).is_some_and(|c| c != '\n') {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = byte_at(i);
+                i += 1;
+                let mut text = String::new();
+                loop {
+                    match char_at(i) {
+                        None => return Err(QueryError::new("unterminated string literal", start)),
+                        Some('\'') if char_at(i + 1) == Some('\'') => {
+                            text.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            text.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(text));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while char_at(i).is_some_and(|c| c.is_ascii_digit() || c == '.') {
+                    // Don't swallow `1.x` attribute refs: a dot is part of
+                    // the number only if followed by a digit.
+                    if char_at(i) == Some('.')
+                        && !char_at(i + 1).is_some_and(|c| c.is_ascii_digit())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &src[byte_at(start)..byte_at(i)];
+                if text.contains('.') {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| QueryError::new("malformed float literal", byte_at(start)))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| {
+                        QueryError::new("integer literal out of range", byte_at(start))
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while char_at(i).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(src[byte_at(start)..byte_at(i)].to_owned()));
+            }
+            _ => {
+                let (sym, len) = match (c, char_at(i + 1)) {
+                    ('<', Some('=')) => (Sym::Le, 2),
+                    ('<', Some('>')) => (Sym::Ne, 2),
+                    ('>', Some('=')) => (Sym::Ge, 2),
+                    ('!', Some('=')) => (Sym::Ne, 2),
+                    ('(', _) => (Sym::LParen, 1),
+                    (')', _) => (Sym::RParen, 1),
+                    ('[', _) => (Sym::LBracket, 1),
+                    (']', _) => (Sym::RBracket, 1),
+                    (',', _) => (Sym::Comma, 1),
+                    ('.', _) => (Sym::Dot, 1),
+                    ('*', _) => (Sym::Star, 1),
+                    ('=', _) => (Sym::Eq, 1),
+                    ('<', _) => (Sym::Lt, 1),
+                    ('>', _) => (Sym::Gt, 1),
+                    ('+', _) => (Sym::Plus, 1),
+                    ('-', _) => (Sym::Minus, 1),
+                    ('/', _) => (Sym::Slash, 1),
+                    (';', _) => (Sym::Semi, 1),
+                    _ => {
+                        return Err(QueryError::new(
+                            format!("unexpected character {c:?}"),
+                            byte_at(i),
+                        ))
+                    }
+                };
+                tokens.push(Token::Sym(sym));
+                i += len;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_select() {
+        let toks = lex("SELECT x, y FROM s [RANGE 10 SECONDS] WHERE speed >= 2.5").unwrap();
+        assert!(toks.contains(&Token::Ident("SELECT".into())));
+        assert!(toks.contains(&Token::Sym(Sym::LBracket)));
+        assert!(toks.contains(&Token::Int(10)));
+        assert!(toks.contains(&Token::Sym(Sym::Ge)));
+        assert!(toks.contains(&Token::Float(2.5)));
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let toks = lex("LET SRP = 'doctor|nurse''s'").unwrap();
+        assert!(toks.contains(&Token::Str("doctor|nurse's".into())));
+    }
+
+    #[test]
+    fn number_dot_ident_disambiguation() {
+        let toks = lex("s1.x = 3.5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("s1".into()),
+                Token::Sym(Sym::Dot),
+                Token::Ident("x".into()),
+                Token::Sym(Sym::Eq),
+                Token::Float(3.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT x -- everything\nFROM s").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn multibyte_input_never_splits_chars() {
+        // Regression: the lexer once indexed by bytes and panicked on
+        // multi-byte characters (found by the robustness fuzzer).
+        let toks = lex("SELECT prénom FROM données WHERE ville = 'Zürich'").unwrap();
+        assert!(toks.contains(&Token::Ident("prénom".into())));
+        assert!(toks.contains(&Token::Str("Zürich".into())));
+        assert!(lex("¿x?").is_err(), "non-ASCII symbols are rejected cleanly");
+        let _ = lex("héllo -- commentaire é\n1.5");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("a ? b").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = lex("a <= b <> c != d >= e").unwrap();
+        let syms: Vec<&Token> = toks.iter().filter(|t| matches!(t, Token::Sym(_))).collect();
+        assert_eq!(
+            syms,
+            vec![
+                &Token::Sym(Sym::Le),
+                &Token::Sym(Sym::Ne),
+                &Token::Sym(Sym::Ne),
+                &Token::Sym(Sym::Ge)
+            ]
+        );
+    }
+}

@@ -1,0 +1,565 @@
+//! Recursive-descent parser for the CQL subset and `INSERT SP` (§III-D).
+
+use sp_core::Sign;
+use sp_engine::AggFunc;
+
+use crate::ast::{
+    AstExpr, ColumnRef, InsertSpStmt, SelectItem, SelectStmt, Statement, StreamRef,
+};
+use crate::lexer::{lex, QueryError, Sym, Token};
+
+/// Parses one statement.
+///
+/// # Errors
+///
+/// Returns a [`QueryError`] describing the first syntax problem.
+pub fn parse(src: &str) -> Result<Statement, QueryError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = if p.peek_kw("SELECT") {
+        Statement::Select(p.select()?)
+    } else if p.peek_kw("INSERT") {
+        Statement::InsertSp(p.insert_sp()?)
+    } else {
+        return Err(p.err("expected SELECT or INSERT SP"));
+    };
+    p.eat_sym(Sym::Semi);
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> QueryError {
+        QueryError::new(
+            match self.tokens.get(self.pos) {
+                Some(t) => format!("{msg} (found {t})"),
+                None => format!("{msg} (at end of input)"),
+            },
+            self.pos,
+        )
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {kw}")))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: Sym) -> bool {
+        if self.peek() == Some(&Token::Sym(sym)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: Sym) -> Result<(), QueryError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {sym:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("expected an identifier")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, QueryError> {
+        match self.peek() {
+            Some(Token::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("expected a string literal")),
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, QueryError> {
+        match self.peek() {
+            Some(Token::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(self.err("expected an integer")),
+        }
+    }
+
+    // ---- SELECT ---------------------------------------------------------
+
+    fn select(&mut self) -> Result<SelectStmt, QueryError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = vec![self.select_item()?];
+        while self.eat_sym(Sym::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.stream_ref()?];
+        while self.eat_sym(Sym::Comma) {
+            from.push(self.stream_ref()?);
+        }
+        if from.len() > 2 {
+            return Err(self.err("at most two streams are supported in FROM"));
+        }
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            Some(self.column_ref()?)
+        } else {
+            None
+        };
+        let union_with = if self.eat_kw("UNION") {
+            Some(Box::new(self.select()?))
+        } else {
+            None
+        };
+        Ok(SelectStmt { items, distinct, from, predicate, group_by, union_with })
+    }
+
+    fn agg_func(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, QueryError> {
+        if self.eat_sym(Sym::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate?
+        if let Some(Token::Ident(name)) = self.peek() {
+            if let Some(func) = Self::agg_func(name) {
+                if self.tokens.get(self.pos + 1) == Some(&Token::Sym(Sym::LParen)) {
+                    self.pos += 2; // func (
+                    let column = if self.eat_sym(Sym::Star) {
+                        None
+                    } else {
+                        Some(self.column_ref()?)
+                    };
+                    self.expect_sym(Sym::RParen)?;
+                    return Ok(SelectItem::Aggregate { func, column });
+                }
+            }
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, QueryError> {
+        let first = self.ident()?;
+        if self.eat_sym(Sym::Dot) {
+            let column = self.ident()?;
+            Ok(ColumnRef { stream: Some(first), column })
+        } else {
+            Ok(ColumnRef { stream: None, column: first })
+        }
+    }
+
+    fn stream_ref(&mut self) -> Result<StreamRef, QueryError> {
+        let name = self.ident()?;
+        let window_ms = if self.eat_sym(Sym::LBracket) {
+            self.expect_kw("RANGE")?;
+            let n = self.integer()?;
+            let unit_ms: i64 = if self.eat_kw("SECONDS") || self.eat_kw("SECOND") {
+                1000
+            } else if self.eat_kw("MINUTES") || self.eat_kw("MINUTE") {
+                60_000
+            } else if self.eat_kw("MILLISECONDS") || self.eat_kw("MS") {
+                1
+            } else {
+                1000 // default unit: seconds
+            };
+            self.expect_sym(Sym::RBracket)?;
+            Some((n * unit_ms) as u64)
+        } else {
+            None
+        };
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(StreamRef { name, alias, window_ms })
+    }
+
+    // ---- Expressions (precedence: OR < AND < NOT < cmp < add < mul) -----
+
+    fn expr(&mut self) -> Result<AstExpr, QueryError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary { op: "OR".into(), left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr, QueryError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary { op: "AND".into(), left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr, QueryError> {
+        if self.eat_kw("NOT") {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<AstExpr, QueryError> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Sym(Sym::Eq)) => "=",
+            Some(Token::Sym(Sym::Ne)) => "!=",
+            Some(Token::Sym(Sym::Lt)) => "<",
+            Some(Token::Sym(Sym::Le)) => "<=",
+            Some(Token::Sym(Sym::Gt)) => ">",
+            Some(Token::Sym(Sym::Ge)) => ">=",
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.add_expr()?;
+        Ok(AstExpr::Binary { op: op.into(), left: Box::new(left), right: Box::new(right) })
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr, QueryError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym(Sym::Plus)) => "+",
+                Some(Token::Sym(Sym::Minus)) => "-",
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = AstExpr::Binary { op: op.into(), left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr, QueryError> {
+        let mut left = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym(Sym::Star)) => "*",
+                Some(Token::Sym(Sym::Slash)) => "/",
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.atom()?;
+            left = AstExpr::Binary { op: op.into(), left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<AstExpr, QueryError> {
+        match self.peek().cloned() {
+            Some(Token::Int(v)) => {
+                self.pos += 1;
+                Ok(AstExpr::Int(v))
+            }
+            Some(Token::Float(v)) => {
+                self.pos += 1;
+                Ok(AstExpr::Float(v))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(AstExpr::Str(s))
+            }
+            Some(Token::Sym(Sym::Minus)) => {
+                self.pos += 1;
+                match self.atom()? {
+                    AstExpr::Int(v) => Ok(AstExpr::Int(-v)),
+                    AstExpr::Float(v) => Ok(AstExpr::Float(-v)),
+                    other => Ok(AstExpr::Binary {
+                        op: "-".into(),
+                        left: Box::new(AstExpr::Int(0)),
+                        right: Box::new(other),
+                    }),
+                }
+            }
+            Some(Token::Sym(Sym::LParen)) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(_)) => Ok(AstExpr::Column(self.column_ref()?)),
+            _ => Err(self.err("expected an expression atom")),
+        }
+    }
+
+    // ---- INSERT SP -------------------------------------------------------
+
+    fn insert_sp(&mut self) -> Result<InsertSpStmt, QueryError> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("SP")?;
+        // Optional `[AS] name`, then INTO.
+        self.eat_kw("AS");
+        let mut name = None;
+        if !self.peek_kw("INTO") {
+            name = Some(self.ident()?);
+        }
+        self.expect_kw("INTO")?;
+        self.expect_kw("STREAM")?;
+        let stream = match self.peek().cloned() {
+            Some(Token::Int(v)) => {
+                self.pos += 1;
+                v.to_string()
+            }
+            _ => self.ident()?,
+        };
+        self.expect_kw("LET")?;
+
+        let mut ddp: Option<(String, String, String)> = None;
+        let mut srp: Option<String> = None;
+        let mut sign = Sign::Positive;
+        let mut immutable = false;
+        loop {
+            // Optional `name.` prefix before the field keyword.
+            if let (Some(Token::Ident(_)), Some(Token::Sym(Sym::Dot))) =
+                (self.peek(), self.tokens.get(self.pos + 1))
+            {
+                self.pos += 2;
+            }
+            if self.eat_kw("DDP") {
+                self.expect_sym(Sym::Eq)?;
+                self.expect_sym(Sym::LParen)?;
+                let s = self.string()?;
+                self.expect_sym(Sym::Comma)?;
+                let t = self.string()?;
+                self.expect_sym(Sym::Comma)?;
+                let a = self.string()?;
+                self.expect_sym(Sym::RParen)?;
+                ddp = Some((s, t, a));
+            } else if self.eat_kw("SRP") {
+                self.expect_sym(Sym::Eq)?;
+                srp = Some(self.string()?);
+            } else if self.eat_kw("SIGN") {
+                self.expect_sym(Sym::Eq)?;
+                if self.eat_kw("POSITIVE") {
+                    sign = Sign::Positive;
+                } else if self.eat_kw("NEGATIVE") {
+                    sign = Sign::Negative;
+                } else {
+                    return Err(self.err("SIGN must be positive or negative"));
+                }
+            } else if self.eat_kw("IMMUTABLE") {
+                self.expect_sym(Sym::Eq)?;
+                if self.eat_kw("TRUE") {
+                    immutable = true;
+                } else if self.eat_kw("FALSE") {
+                    immutable = false;
+                } else {
+                    return Err(self.err("IMMUTABLE must be true or false"));
+                }
+            } else {
+                return Err(self.err("expected DDP, SRP, SIGN or IMMUTABLE"));
+            }
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        let ddp = ddp.ok_or_else(|| self.err("INSERT SP requires a DDP clause"))?;
+        let srp = srp.ok_or_else(|| self.err("INSERT SP requires an SRP clause"))?;
+        Ok(InsertSpStmt { name, stream, ddp, srp, sign, immutable })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(src: &str) -> SelectStmt {
+        match parse(src).unwrap_or_else(|e| panic!("{e}")) {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    fn insert_sp(src: &str) -> InsertSpStmt {
+        match parse(src).unwrap_or_else(|e| panic!("{e}")) {
+            Statement::InsertSp(s) => s,
+            other => panic!("expected INSERT SP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select_project() {
+        let s = select("SELECT obj_id, x FROM LocationUpdates WHERE speed > 5");
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from[0].name, "LocationUpdates");
+        assert!(s.predicate.is_some());
+        assert!(!s.distinct);
+        assert!(s.group_by.is_none());
+    }
+
+    #[test]
+    fn select_star_with_window() {
+        let s = select("SELECT * FROM HeartRate [RANGE 10 SECONDS]");
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+        assert_eq!(s.from[0].window_ms, Some(10_000));
+    }
+
+    #[test]
+    fn window_units() {
+        assert_eq!(select("SELECT * FROM s [RANGE 2 MINUTES]").from[0].window_ms, Some(120_000));
+        assert_eq!(select("SELECT * FROM s [RANGE 500 MS]").from[0].window_ms, Some(500));
+        assert_eq!(select("SELECT * FROM s [RANGE 3]").from[0].window_ms, Some(3000));
+    }
+
+    #[test]
+    fn join_query_with_aliases() {
+        let s = select(
+            "SELECT a.Patient_id, b.Temperature FROM HeartRate [RANGE 10 SECONDS] AS a, \
+             BodyTemperature [RANGE 10 SECONDS] AS b WHERE a.Patient_id = b.Patient_id",
+        );
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].alias.as_deref(), Some("a"));
+        assert_eq!(s.from[1].alias.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let s = select("SELECT AVG(Beats_per_min) FROM HeartRate [RANGE 60 SECONDS] GROUP BY Patient_id");
+        assert!(matches!(
+            s.items[0],
+            SelectItem::Aggregate { func: AggFunc::Avg, column: Some(_) }
+        ));
+        assert_eq!(s.group_by.as_ref().unwrap().column, "Patient_id");
+        let c = select("SELECT COUNT(*) FROM s");
+        assert!(matches!(
+            c.items[0],
+            SelectItem::Aggregate { func: AggFunc::Count, column: None }
+        ));
+    }
+
+    #[test]
+    fn distinct_flag() {
+        assert!(select("SELECT DISTINCT x FROM s").distinct);
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        let s = select("SELECT * FROM s WHERE a = 1 OR b = 2 AND NOT c = 3");
+        // OR binds loosest: top node must be OR.
+        match s.predicate.unwrap() {
+            AstExpr::Binary { op, .. } => assert_eq!(op, "OR"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_in_predicates() {
+        let s = select("SELECT * FROM s WHERE x + 2 * y >= 10");
+        assert!(s.predicate.is_some());
+    }
+
+    #[test]
+    fn insert_sp_full_form() {
+        let sp = insert_sp(
+            "INSERT SP p1 INTO STREAM HeartRate \
+             LET DDP = ('HeartRate', '<120-133>', '*'), SRP = 'general_physician', \
+             SIGN = positive, IMMUTABLE = true",
+        );
+        assert_eq!(sp.name.as_deref(), Some("p1"));
+        assert_eq!(sp.stream, "HeartRate");
+        assert_eq!(sp.ddp.1, "<120-133>");
+        assert_eq!(sp.srp, "general_physician");
+        assert_eq!(sp.sign, Sign::Positive);
+        assert!(sp.immutable);
+    }
+
+    #[test]
+    fn insert_sp_minimal_and_qualified_fields() {
+        let sp = insert_sp(
+            "INSERT SP INTO STREAM 1 LET p.DDP = ('*', '*', 'Temperature|Beats_per_min'), \
+             p.SRP = 'doctor|nurse_on_duty', p.SIGN = negative",
+        );
+        assert_eq!(sp.name, None);
+        assert_eq!(sp.stream, "1");
+        assert_eq!(sp.sign, Sign::Negative);
+        assert!(!sp.immutable);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("DELETE FROM s").is_err());
+        assert!(parse("SELECT FROM s").is_err());
+        assert!(parse("SELECT * FROM a, b, c").is_err());
+        assert!(parse("SELECT * FROM s WHERE").is_err());
+        assert!(parse("INSERT SP INTO STREAM s LET SRP = 'x'").is_err());
+        assert!(parse("SELECT * FROM s extra garbage ,").is_err());
+        assert!(parse("SELECT * FROM s [RANGE x]").is_err());
+    }
+
+    #[test]
+    fn union_queries_parse() {
+        let s = select("SELECT x FROM a UNION SELECT y FROM b WHERE y > 1");
+        let next = s.union_with.as_ref().expect("union arm");
+        assert_eq!(next.from[0].name, "b");
+        assert!(next.predicate.is_some());
+        assert!(s.union_with.as_ref().unwrap().union_with.is_none());
+        // Chained unions nest to the right.
+        let c = select("SELECT x FROM a UNION SELECT x FROM b UNION SELECT x FROM c");
+        assert!(c.union_with.unwrap().union_with.is_some());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse("SELECT * FROM s;").is_ok());
+    }
+}

@@ -1,0 +1,174 @@
+//! Physical plan instantiation: logical plans → engine operator DAGs.
+
+use std::collections::HashMap;
+
+use sp_core::StreamId;
+use sp_engine::{
+    DupElim, Granularity, GroupBy, PlanBuilder, Project, SAIntersect, SAJoin, SecurityShield,
+    Select, SourceRef, Union, Upstream,
+};
+
+use crate::logical::LogicalPlan;
+
+/// Options controlling physical instantiation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InstantiateOptions {
+    /// Enforcement granularity for every Security Shield in the plan:
+    /// `Tuple` drops unauthorized tuples wholesale; `Attribute` passes
+    /// tuples visible through attribute-scoped grants, masking the
+    /// attributes the query may not read (§III-A's attribute granularity).
+    pub granularity: Granularity,
+}
+
+/// Instantiates `plan` into `builder`, reusing sources in `sources` so
+/// that several queries over the same stream share one analyzer per
+/// builder. Returns the upstream handle of the plan's root operator.
+pub fn instantiate(
+    plan: &LogicalPlan,
+    builder: &mut PlanBuilder,
+    sources: &mut HashMap<StreamId, SourceRef>,
+) -> Upstream {
+    instantiate_with(plan, builder, sources, InstantiateOptions::default())
+}
+
+/// [`instantiate`] with explicit options.
+pub fn instantiate_with(
+    plan: &LogicalPlan,
+    builder: &mut PlanBuilder,
+    sources: &mut HashMap<StreamId, SourceRef>,
+    opts: InstantiateOptions,
+) -> Upstream {
+    match plan {
+        LogicalPlan::Scan { stream, schema, .. } => {
+            let source = *sources
+                .entry(*stream)
+                .or_insert_with(|| builder.source(*stream, schema.clone()));
+            Upstream::Source(source)
+        }
+        LogicalPlan::Shield { input, roles } => {
+            let upstream = instantiate_with(input, builder, sources, opts);
+            Upstream::Node(builder.add(
+                SecurityShield::new(roles.clone()).with_granularity(opts.granularity),
+                upstream,
+            ))
+        }
+        LogicalPlan::Select { input, predicate } => {
+            let upstream = instantiate_with(input, builder, sources, opts);
+            Upstream::Node(builder.add(Select::new(predicate.clone()), upstream))
+        }
+        LogicalPlan::Project { input, indices } => {
+            let upstream = instantiate_with(input, builder, sources, opts);
+            Upstream::Node(builder.add(Project::new(indices.clone()), upstream))
+        }
+        LogicalPlan::Join { left, right, left_key, right_key, window_ms, variant } => {
+            let left_arity = left.schema().arity();
+            let l = instantiate_with(left, builder, sources, opts);
+            let r = instantiate_with(right, builder, sources, opts);
+            Upstream::Node(builder.add_binary(
+                SAJoin::new(*variant, *window_ms, *left_key, *right_key, left_arity),
+                l,
+                r,
+            ))
+        }
+        LogicalPlan::Union { left, right } => {
+            let l = instantiate_with(left, builder, sources, opts);
+            let r = instantiate_with(right, builder, sources, opts);
+            Upstream::Node(builder.add_binary(Union::new(), l, r))
+        }
+        LogicalPlan::Intersect { left, right, window_ms } => {
+            let l = instantiate_with(left, builder, sources, opts);
+            let r = instantiate_with(right, builder, sources, opts);
+            Upstream::Node(builder.add_binary(SAIntersect::new(*window_ms), l, r))
+        }
+        LogicalPlan::DupElim { input, keys, window_ms } => {
+            let upstream = instantiate_with(input, builder, sources, opts);
+            Upstream::Node(builder.add(DupElim::new(keys.clone(), *window_ms), upstream))
+        }
+        LogicalPlan::GroupBy { input, group, agg, agg_attr, window_ms } => {
+            let upstream = instantiate_with(input, builder, sources, opts);
+            Upstream::Node(builder.add(
+                GroupBy::new(*group, *agg, *agg_attr, *window_ms),
+                upstream,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{
+        RoleCatalog, RoleSet, Schema, SecurityPunctuation, StreamElement, Timestamp, Tuple,
+        TupleId, Value, ValueType,
+    };
+    use sp_engine::{CmpOp, Expr};
+    use std::sync::Arc;
+
+    #[test]
+    fn logical_plan_runs_end_to_end() {
+        let schema = Schema::of("loc", &[("id", ValueType::Int), ("x", ValueType::Int)]);
+        let plan = LogicalPlan::Project {
+            indices: vec![1],
+            input: Box::new(LogicalPlan::Select {
+                predicate: Expr::cmp(CmpOp::Gt, Expr::Attr(1), Expr::Const(Value::Int(5))),
+                input: Box::new(LogicalPlan::Shield {
+                    roles: RoleSet::from([1]),
+                    input: Box::new(LogicalPlan::Scan {
+                        stream: StreamId(1),
+                        schema: schema.clone(),
+                        window_ms: 1000,
+                    }),
+                }),
+            }),
+        };
+
+        let mut catalog = RoleCatalog::new();
+        catalog.register_synthetic_roles(4);
+        let mut builder = PlanBuilder::new(Arc::new(catalog));
+        let mut sources = HashMap::new();
+        let root = instantiate(&plan, &mut builder, &mut sources);
+        let sink = builder.sink(root);
+        let mut exec = builder.build();
+
+        exec.push(
+            StreamId(1),
+            StreamElement::punctuation(SecurityPunctuation::grant_all(
+                RoleSet::from([1]),
+                Timestamp(0),
+            )),
+        );
+        for (tid, x) in [(1u64, 10i64), (2, 3), (3, 9)] {
+            exec.push(
+                StreamId(1),
+                StreamElement::tuple(Tuple::new(
+                    StreamId(1),
+                    TupleId(tid),
+                    Timestamp(tid),
+                    vec![Value::Int(tid as i64), Value::Int(x)],
+                )),
+            );
+        }
+        let vals: Vec<i64> = exec
+            .sink(sink)
+            .tuples()
+            .map(|t| t.value(0).unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(vals, vec![10, 9]);
+    }
+
+    #[test]
+    fn scans_are_shared_between_plans() {
+        let schema = Schema::of("loc", &[("id", ValueType::Int)]);
+        let scan = LogicalPlan::Scan { stream: StreamId(1), schema, window_ms: 1000 };
+        let q1 = LogicalPlan::Shield { input: Box::new(scan.clone()), roles: RoleSet::from([1]) };
+        let q2 = LogicalPlan::Shield { input: Box::new(scan), roles: RoleSet::from([2]) };
+
+        let mut builder = PlanBuilder::new(Arc::new(RoleCatalog::new()));
+        let mut sources = HashMap::new();
+        let r1 = instantiate(&q1, &mut builder, &mut sources);
+        let r2 = instantiate(&q2, &mut builder, &mut sources);
+        let _ = builder.sink(r1);
+        let _ = builder.sink(r2);
+        assert_eq!(sources.len(), 1, "one source for both queries");
+    }
+}

@@ -1,0 +1,602 @@
+//! Translates parsed statements into security-aware logical plans.
+//!
+//! Every registered continuous query inherits the roles of its query
+//! specifier (§II-B); the planner places one Security Shield directly above
+//! each scan (the conservative pre-filtering position) and leaves better
+//! placements to the optimizer (§VI).
+
+use std::sync::Arc;
+
+use sp_core::{
+    DataDescription, RoleSet, Schema, SecurityPunctuation, SecurityRestriction, Timestamp, Value,
+};
+use sp_engine::{ArithOp, CmpOp, Expr, JoinVariant};
+use sp_pattern::Pattern;
+
+use crate::ast::{AstExpr, ColumnRef, InsertSpStmt, SelectItem, SelectStmt};
+use crate::catalog::Catalog;
+use crate::lexer::QueryError;
+use crate::logical::LogicalPlan;
+
+/// Default sliding window when a query does not specify `[RANGE ...]`.
+pub const DEFAULT_WINDOW_MS: u64 = 10_000;
+
+/// One side of the FROM clause, resolved.
+struct FromStream {
+    alias: String,
+    schema: Arc<Schema>,
+}
+
+/// Resolves a column reference to (stream index, attribute index).
+fn resolve_column(
+    streams: &[FromStream],
+    col: &ColumnRef,
+) -> Result<(usize, usize), QueryError> {
+    match &col.stream {
+        Some(qualifier) => {
+            let si = streams
+                .iter()
+                .position(|s| s.alias == *qualifier || s.schema.name() == qualifier)
+                .ok_or_else(|| {
+                    QueryError::new(format!("unknown stream qualifier {qualifier:?}"), 0)
+                })?;
+            let ai = streams[si].schema.index_of(&col.column).ok_or_else(|| {
+                QueryError::new(
+                    format!("unknown column {:?} in stream {qualifier:?}", col.column),
+                    0,
+                )
+            })?;
+            Ok((si, ai))
+        }
+        None => {
+            let mut found = None;
+            for (si, s) in streams.iter().enumerate() {
+                if let Some(ai) = s.schema.index_of(&col.column) {
+                    if found.is_some() {
+                        return Err(QueryError::new(
+                            format!("ambiguous column {:?}", col.column),
+                            0,
+                        ));
+                    }
+                    found = Some((si, ai));
+                }
+            }
+            found.ok_or_else(|| QueryError::new(format!("unknown column {:?}", col.column), 0))
+        }
+    }
+}
+
+/// The conjuncts of a predicate, flattened.
+fn conjuncts(expr: &AstExpr) -> Vec<&AstExpr> {
+    match expr {
+        AstExpr::Binary { op, left, right } if op == "AND" => {
+            let mut out = conjuncts(left);
+            out.extend(conjuncts(right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// The stream indices referenced by an expression (0, 1 or both).
+fn streams_used(streams: &[FromStream], expr: &AstExpr, out: &mut Vec<usize>) -> Result<(), QueryError> {
+    match expr {
+        AstExpr::Column(c) => {
+            let (si, _) = resolve_column(streams, c)?;
+            if !out.contains(&si) {
+                out.push(si);
+            }
+            Ok(())
+        }
+        AstExpr::Int(_) | AstExpr::Float(_) | AstExpr::Str(_) => Ok(()),
+        AstExpr::Binary { left, right, .. } => {
+            streams_used(streams, left, out)?;
+            streams_used(streams, right, out)
+        }
+        AstExpr::Not(inner) => streams_used(streams, inner, out),
+    }
+}
+
+/// Lowers an AST expression to an engine [`Expr`], mapping each column
+/// through `attr_of` (side, attribute) → plan attribute index.
+fn lower_expr(
+    streams: &[FromStream],
+    expr: &AstExpr,
+    attr_of: &dyn Fn(usize, usize) -> usize,
+) -> Result<Expr, QueryError> {
+    Ok(match expr {
+        AstExpr::Column(c) => {
+            let (si, ai) = resolve_column(streams, c)?;
+            Expr::Attr(attr_of(si, ai))
+        }
+        AstExpr::Int(v) => Expr::Const(Value::Int(*v)),
+        AstExpr::Float(v) => Expr::Const(Value::Float(*v)),
+        AstExpr::Str(s) => Expr::Const(Value::text(s)),
+        AstExpr::Not(inner) => Expr::not(lower_expr(streams, inner, attr_of)?),
+        AstExpr::Binary { op, left, right } => {
+            let l = lower_expr(streams, left, attr_of)?;
+            let r = lower_expr(streams, right, attr_of)?;
+            match op.as_str() {
+                "AND" => Expr::and(l, r),
+                "OR" => Expr::or(l, r),
+                "=" => Expr::cmp(CmpOp::Eq, l, r),
+                "!=" => Expr::cmp(CmpOp::Ne, l, r),
+                "<" => Expr::cmp(CmpOp::Lt, l, r),
+                "<=" => Expr::cmp(CmpOp::Le, l, r),
+                ">" => Expr::cmp(CmpOp::Gt, l, r),
+                ">=" => Expr::cmp(CmpOp::Ge, l, r),
+                "+" => Expr::arith(ArithOp::Add, l, r),
+                "-" => Expr::arith(ArithOp::Sub, l, r),
+                "*" => Expr::arith(ArithOp::Mul, l, r),
+                "/" => Expr::arith(ArithOp::Div, l, r),
+                other => return Err(QueryError::new(format!("unknown operator {other:?}"), 0)),
+            }
+        }
+    })
+}
+
+/// Plans a SELECT statement for a query holding `roles`.
+///
+/// # Errors
+///
+/// Fails on unknown streams/columns, unsupported shapes, or ambiguity.
+pub fn plan_select(
+    catalog: &Catalog,
+    stmt: &SelectStmt,
+    roles: &RoleSet,
+) -> Result<LogicalPlan, QueryError> {
+    if stmt.from.is_empty() {
+        return Err(QueryError::new("FROM clause is empty", 0));
+    }
+    let mut streams = Vec::new();
+    let mut scans = Vec::new();
+    for sref in &stmt.from {
+        let def = catalog
+            .stream(&sref.name)
+            .ok_or_else(|| QueryError::new(format!("unknown stream {:?}", sref.name), 0))?;
+        streams.push(FromStream {
+            alias: sref.alias.clone().unwrap_or_else(|| sref.name.clone()),
+            schema: def.schema.clone(),
+        });
+        scans.push(LogicalPlan::Shield {
+            input: Box::new(LogicalPlan::Scan {
+                stream: def.id,
+                schema: def.schema.clone(),
+                window_ms: sref.window_ms.unwrap_or(DEFAULT_WINDOW_MS),
+            }),
+            roles: roles.clone(),
+        });
+    }
+
+    // Split the predicate into per-stream conjuncts, a join condition, and
+    // post-join residue.
+    let mut per_stream: Vec<Vec<&AstExpr>> = vec![Vec::new(); streams.len()];
+    let mut join_keys: Option<(usize, usize)> = None;
+    let mut residue: Vec<&AstExpr> = Vec::new();
+    if let Some(pred) = &stmt.predicate {
+        for conj in conjuncts(pred) {
+            let mut used = Vec::new();
+            streams_used(&streams, conj, &mut used)?;
+            match used.as_slice() {
+                [] | [_] => {
+                    let si = used.first().copied().unwrap_or(0);
+                    per_stream[si].push(conj);
+                }
+                _ => {
+                    // Cross-stream conjunct: an equality becomes the join
+                    // condition (first one wins); everything else is
+                    // evaluated post-join.
+                    if join_keys.is_none() {
+                        if let AstExpr::Binary { op, left, right } = conj {
+                            if op == "="
+                                && matches!(**left, AstExpr::Column(_))
+                                && matches!(**right, AstExpr::Column(_))
+                            {
+                                let (AstExpr::Column(lc), AstExpr::Column(rc)) =
+                                    (&**left, &**right)
+                                else {
+                                    unreachable!()
+                                };
+                                let (lsi, lai) = resolve_column(&streams, lc)?;
+                                let (rsi, rai) = resolve_column(&streams, rc)?;
+                                if lsi != rsi {
+                                    join_keys = Some(if lsi == 0 { (lai, rai) } else { (rai, lai) });
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    residue.push(conj);
+                }
+            }
+        }
+    }
+
+    // Per-stream selections above each shield.
+    let mut sides: Vec<LogicalPlan> = Vec::new();
+    for (si, scan) in scans.into_iter().enumerate() {
+        let mut side = scan;
+        if !per_stream[si].is_empty() {
+            let combined = per_stream[si]
+                .iter()
+                .map(|c| lower_expr(&streams, c, &|_, ai| ai))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .reduce(Expr::and)
+                .expect("non-empty conjunct list");
+            side = LogicalPlan::Select { input: Box::new(side), predicate: combined };
+        }
+        sides.push(side);
+    }
+
+    // Join or single pipeline.
+    let mut plan = if streams.len() == 2 {
+        let (left_key, right_key) = join_keys.ok_or_else(|| {
+            QueryError::new("two-stream queries need an equijoin predicate (a.x = b.y)", 0)
+        })?;
+        let window_ms = stmt
+            .from
+            .iter()
+            .filter_map(|s| s.window_ms)
+            .max()
+            .unwrap_or(DEFAULT_WINDOW_MS);
+        let right = sides.pop().expect("two sides");
+        let left = sides.pop().expect("two sides");
+        let left_arity = streams[0].schema.arity();
+        let join = LogicalPlan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_key,
+            right_key,
+            window_ms,
+            variant: JoinVariant::Index,
+        };
+        // Post-join residue maps (side, attr) → concatenated index.
+        if residue.is_empty() {
+            join
+        } else {
+            let combined = residue
+                .iter()
+                .map(|c| {
+                    lower_expr(&streams, c, &|si, ai| if si == 0 { ai } else { left_arity + ai })
+                })
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .reduce(Expr::and)
+                .expect("non-empty residue");
+            LogicalPlan::Select { input: Box::new(join), predicate: combined }
+        }
+    } else {
+        sides.pop().expect("one side")
+    };
+
+    let left_arity = streams[0].schema.arity();
+    let attr_of = |si: usize, ai: usize| if si == 0 { ai } else { left_arity + ai };
+    let window_ms = stmt
+        .from
+        .iter()
+        .filter_map(|s| s.window_ms)
+        .max()
+        .unwrap_or(DEFAULT_WINDOW_MS);
+
+    // Aggregation.
+    let aggregate = stmt.items.iter().find_map(|item| match item {
+        SelectItem::Aggregate { func, column } => Some((*func, column.clone())),
+        _ => None,
+    });
+    if let Some((func, column)) = aggregate {
+        if stmt.items.len() > 1
+            && !(stmt.items.len() == 2
+                && stmt
+                    .items
+                    .iter()
+                    .any(|i| matches!(i, SelectItem::Column(_))))
+        {
+            return Err(QueryError::new(
+                "aggregate queries support at most one aggregate plus the group column",
+                0,
+            ));
+        }
+        let group = stmt
+            .group_by
+            .as_ref()
+            .map(|g| resolve_column(&streams, g).map(|(si, ai)| attr_of(si, ai)))
+            .transpose()?;
+        let agg_attr = match &column {
+            Some(c) => {
+                let (si, ai) = resolve_column(&streams, c)?;
+                attr_of(si, ai)
+            }
+            None => group.unwrap_or(0), // COUNT(*) counts any attribute
+        };
+        plan = LogicalPlan::GroupBy {
+            input: Box::new(plan),
+            group,
+            agg: func,
+            agg_attr,
+            window_ms,
+        };
+        // The group-by node emits [group, aggregate]; project the SELECT
+        // list's shape onto it (e.g. `SELECT COUNT(x)` must not leak the
+        // grouping column, and `SELECT AVG(x), id` must keep that order).
+        let indices: Vec<usize> = stmt
+            .items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Aggregate { .. } => 1,
+                _ => 0,
+            })
+            .collect();
+        if indices != [0, 1] {
+            plan = LogicalPlan::Project { input: Box::new(plan), indices };
+        }
+        return Ok(plan);
+    }
+
+    // Final projection.
+    let wildcard = stmt.items.iter().any(|i| matches!(i, SelectItem::Wildcard));
+    if !wildcard {
+        let mut indices = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Column(c) => {
+                    let (si, ai) = resolve_column(&streams, c)?;
+                    indices.push(attr_of(si, ai));
+                }
+                SelectItem::Wildcard | SelectItem::Aggregate { .. } => unreachable!(),
+            }
+        }
+        plan = LogicalPlan::Project { input: Box::new(plan), indices };
+    }
+
+    // DISTINCT applies to the projected columns (SQL semantics), so the
+    // duplicate elimination sits above the projection.
+    if stmt.distinct {
+        plan = LogicalPlan::DupElim { input: Box::new(plan), keys: Vec::new(), window_ms };
+    }
+
+    // UNION with a follow-up query of matching output arity.
+    if let Some(next) = &stmt.union_with {
+        let right = plan_select(catalog, next, roles)?;
+        if right.schema().arity() != plan.schema().arity() {
+            return Err(QueryError::new(
+                format!(
+                    "UNION arms have different arities ({} vs {})",
+                    plan.schema().arity(),
+                    right.schema().arity()
+                ),
+                0,
+            ));
+        }
+        plan = LogicalPlan::Union { left: Box::new(plan), right: Box::new(right) };
+    }
+    Ok(plan)
+}
+
+/// Lowers an `INSERT SP` statement into a [`SecurityPunctuation`] ready to
+/// be injected into the target stream at time `ts`.
+///
+/// # Errors
+///
+/// Fails on unknown streams or invalid pattern syntax.
+pub fn plan_insert_sp(
+    catalog: &Catalog,
+    stmt: &InsertSpStmt,
+    ts: Timestamp,
+) -> Result<(sp_core::StreamId, SecurityPunctuation), QueryError> {
+    let def = catalog
+        .stream(&stmt.stream)
+        .ok_or_else(|| QueryError::new(format!("unknown stream {:?}", stmt.stream), 0))?;
+    let compile = |src: &str| {
+        Pattern::compile(src).map_err(|e| QueryError::new(e.to_string(), 0))
+    };
+    let sp = SecurityPunctuation {
+        ddp: DataDescription {
+            stream: compile(&stmt.ddp.0)?,
+            tuple: compile(&stmt.ddp.1)?,
+            attrs: compile(&stmt.ddp.2)?,
+        },
+        srp: SecurityRestriction::role_pattern(compile(&stmt.srp)?),
+        sign: stmt.sign,
+        immutable: stmt.immutable,
+        ts,
+    };
+    Ok((def.id, sp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use sp_core::{StreamId, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.roles.register_synthetic_roles(8);
+        c.register_stream(
+            StreamId(1),
+            Schema::of(
+                "LocationUpdates",
+                &[
+                    ("obj_id", ValueType::Int),
+                    ("x", ValueType::Float),
+                    ("y", ValueType::Float),
+                    ("speed", ValueType::Float),
+                ],
+            ),
+        )
+        .unwrap();
+        c.register_stream(
+            StreamId(2),
+            Schema::of(
+                "Regions",
+                &[("obj_id", ValueType::Int), ("region", ValueType::Int)],
+            ),
+        )
+        .unwrap();
+        c
+    }
+
+    fn plan(src: &str) -> LogicalPlan {
+        let c = catalog();
+        let stmt = match parse(src).unwrap() {
+            crate::ast::Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        plan_select(&c, &stmt, &RoleSet::from([1])).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn select_project_plan_shape() {
+        let p = plan("SELECT obj_id, x FROM LocationUpdates WHERE speed > 5");
+        // project → select → shield → scan
+        assert_eq!(p.op_name(), "project");
+        let sel = p.children()[0];
+        assert_eq!(sel.op_name(), "select");
+        let ss = sel.children()[0];
+        assert_eq!(ss.op_name(), "ss");
+        assert_eq!(ss.children()[0].op_name(), "scan");
+        assert_eq!(p.schema().arity(), 2);
+    }
+
+    #[test]
+    fn wildcard_keeps_everything() {
+        let p = plan("SELECT * FROM LocationUpdates");
+        assert_eq!(p.op_name(), "ss");
+        assert_eq!(p.schema().arity(), 4);
+    }
+
+    #[test]
+    fn join_plan_splits_predicates() {
+        let p = plan(
+            "SELECT a.obj_id, b.region FROM LocationUpdates [RANGE 5 SECONDS] AS a, \
+             Regions [RANGE 5 SECONDS] AS b \
+             WHERE a.obj_id = b.obj_id AND a.speed > 1 AND b.region = 7",
+        );
+        assert_eq!(p.op_name(), "project");
+        let join = p.children()[0];
+        assert_eq!(join.op_name(), "sajoin");
+        // Each side: select above shield above scan.
+        for side in join.children() {
+            assert_eq!(side.op_name(), "select");
+            assert_eq!(side.children()[0].op_name(), "ss");
+        }
+        // Projection indices span the concatenated schema.
+        assert_eq!(p.schema().arity(), 2);
+    }
+
+    #[test]
+    fn cross_stream_residue_goes_above_join() {
+        let p = plan(
+            "SELECT a.obj_id FROM LocationUpdates AS a, Regions AS b \
+             WHERE a.obj_id = b.obj_id AND a.x > b.region",
+        );
+        let select = p.children()[0];
+        assert_eq!(select.op_name(), "select", "residue select above join");
+        assert_eq!(select.children()[0].op_name(), "sajoin");
+    }
+
+    #[test]
+    fn group_by_aggregate() {
+        // A lone aggregate projects away the grouping column.
+        let p = plan("SELECT AVG(speed) FROM LocationUpdates [RANGE 60 SECONDS] GROUP BY obj_id");
+        assert_eq!(p.op_name(), "project");
+        assert_eq!(p.children()[0].op_name(), "groupby");
+        assert_eq!(p.schema().arity(), 1);
+
+        // Group column plus aggregate keeps the natural order unprojected.
+        let p = plan("SELECT obj_id, AVG(speed) FROM LocationUpdates GROUP BY obj_id");
+        assert_eq!(p.op_name(), "groupby");
+        assert_eq!(p.schema().arity(), 2);
+
+        // Reversed order gets an explicit projection.
+        let p = plan("SELECT AVG(speed), obj_id FROM LocationUpdates GROUP BY obj_id");
+        assert_eq!(p.op_name(), "project");
+        let names: Vec<String> = p.schema().fields().iter().map(|f| f.name.to_string()).collect();
+        assert!(names[0].contains("avg"), "{names:?}");
+    }
+
+    #[test]
+    fn distinct_plans_dupelim_above_projection() {
+        // DISTINCT applies to the projected columns: δ sits above π.
+        let p = plan("SELECT DISTINCT obj_id FROM LocationUpdates");
+        assert_eq!(p.op_name(), "dupelim");
+        assert_eq!(p.children()[0].op_name(), "project");
+        assert_eq!(p.schema().arity(), 1);
+    }
+
+    #[test]
+    fn union_plans_and_checks_arity() {
+        let p = plan("SELECT obj_id FROM LocationUpdates UNION SELECT obj_id FROM Regions");
+        assert_eq!(p.op_name(), "union");
+        assert_eq!(p.schema().arity(), 1);
+
+        let c = catalog();
+        let stmt = match parse("SELECT obj_id, x FROM LocationUpdates UNION SELECT obj_id FROM Regions").unwrap() {
+            crate::ast::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let err = plan_select(&c, &stmt, &RoleSet::from([1])).unwrap_err();
+        assert!(err.to_string().contains("arities"), "{err}");
+    }
+
+    #[test]
+    fn errors_on_unknowns() {
+        let c = catalog();
+        let parse_sel = |s: &str| match parse(s).unwrap() {
+            crate::ast::Statement::Select(sel) => sel,
+            _ => unreachable!(),
+        };
+        assert!(plan_select(&c, &parse_sel("SELECT * FROM Nope"), &RoleSet::new()).is_err());
+        assert!(
+            plan_select(&c, &parse_sel("SELECT zzz FROM LocationUpdates"), &RoleSet::new())
+                .is_err()
+        );
+        assert!(plan_select(
+            &c,
+            &parse_sel("SELECT obj_id FROM LocationUpdates, Regions"),
+            &RoleSet::new()
+        )
+        .is_err(), "ambiguous column and missing join predicate");
+        assert!(plan_select(
+            &c,
+            &parse_sel("SELECT x FROM LocationUpdates AS a, Regions AS b WHERE a.x > 1"),
+            &RoleSet::new()
+        )
+        .is_err(), "join without equijoin predicate");
+    }
+
+    #[test]
+    fn insert_sp_lowering() {
+        let c = catalog();
+        let stmt = match parse(
+            "INSERT SP INTO STREAM LocationUpdates LET DDP = ('*', '<10-20>', '*'), SRP = 'r1|r2'",
+        )
+        .unwrap()
+        {
+            crate::ast::Statement::InsertSp(s) => s,
+            _ => unreachable!(),
+        };
+        let (sid, sp) = plan_insert_sp(&c, &stmt, Timestamp(5)).unwrap();
+        assert_eq!(sid, StreamId(1));
+        assert_eq!(sp.ts, Timestamp(5));
+        let roles = sp.srp.resolve(&c.roles);
+        assert_eq!(roles.len(), 2);
+        assert!(sp.ddp.tuple.matches_u64(15));
+        assert!(!sp.ddp.tuple.matches_u64(25));
+    }
+
+    #[test]
+    fn insert_sp_unknown_stream_fails() {
+        let c = catalog();
+        let stmt = crate::ast::InsertSpStmt {
+            name: None,
+            stream: "Nope".into(),
+            ddp: ("*".into(), "*".into(), "*".into()),
+            srp: "*".into(),
+            sign: sp_core::Sign::Positive,
+            immutable: false,
+        };
+        assert!(plan_insert_sp(&c, &stmt, Timestamp(0)).is_err());
+    }
+}

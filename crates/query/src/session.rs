@@ -1,0 +1,337 @@
+//! The DSMS facade: register streams, roles and subjects, submit CQL
+//! queries, inject punctuations, run the engine.
+//!
+//! This is the top-level API the examples use:
+//!
+//! ```
+//! use sp_core::{Schema, StreamId, ValueType};
+//! use sp_query::Dsms;
+//!
+//! let mut dsms = Dsms::new();
+//! dsms.register_stream(StreamId(1), Schema::of("S", &[("x", ValueType::Int)])).unwrap();
+//! dsms.register_role("doctor").unwrap();
+//! let alice = dsms.register_subject("alice", &["doctor"]).unwrap();
+//! let q = dsms.submit("SELECT x FROM S", alice).unwrap();
+//! let mut running = dsms.start();
+//! // push StreamElements, then read running.results(q)
+//! # let _ = (q, &mut running);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sp_core::{
+    QueryId, RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement, StreamId, SubjectId,
+    Timestamp,
+};
+use sp_engine::{Executor, PlanBuilder, SinkRef};
+
+use crate::ast::Statement;
+use crate::catalog::Catalog;
+use crate::cost::CostModel;
+use crate::lexer::QueryError;
+use crate::logical::LogicalPlan;
+use crate::optimizer::{Optimizer, OptimizerReport};
+use crate::parser::parse;
+use crate::physical::{instantiate_with, InstantiateOptions};
+use crate::planner::{plan_insert_sp, plan_select};
+
+/// A registered continuous query awaiting execution.
+#[derive(Debug)]
+pub struct PlannedQuery {
+    /// Query id.
+    pub id: QueryId,
+    /// The (optimized) logical plan.
+    pub plan: LogicalPlan,
+    /// The roles the query inherited from its specifier.
+    pub roles: RoleSet,
+    /// What the optimizer did.
+    pub report: OptimizerReport,
+}
+
+/// The data stream management system under construction.
+#[derive(Debug, Default)]
+pub struct Dsms {
+    /// Streams, roles and query registrations.
+    pub catalog: Catalog,
+    /// The cost model used for optimization.
+    pub cost_model: CostModel,
+    /// Disable optimization (plans run exactly as written).
+    pub optimize: bool,
+    /// Enforcement granularity for every query's shields (§III-A): `Tuple`
+    /// (default) drops unauthorized tuples; `Attribute` masks unauthorized
+    /// attributes instead, releasing tuples visible through
+    /// attribute-scoped grants.
+    pub granularity: sp_engine::Granularity,
+    queries: Vec<PlannedQuery>,
+}
+
+impl Dsms {
+    /// An empty DSMS with optimization enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { optimize: true, ..Self::default() }
+    }
+
+    /// Registers a stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names or ids.
+    pub fn register_stream(&mut self, id: StreamId, schema: Arc<Schema>) -> Result<(), QueryError> {
+        self.catalog.register_stream(id, schema)
+    }
+
+    /// Registers a role, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicates.
+    pub fn register_role(&mut self, name: &str) -> Result<RoleId, QueryError> {
+        self.catalog
+            .roles
+            .register_role(name)
+            .map_err(|e| QueryError::new(e.to_string(), 0))
+    }
+
+    /// Registers a subject with activated roles.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicates or unknown roles.
+    pub fn register_subject(&mut self, name: &str, roles: &[&str]) -> Result<SubjectId, QueryError> {
+        self.catalog
+            .roles
+            .register_subject(name, roles)
+            .map_err(|e| QueryError::new(e.to_string(), 0))
+    }
+
+    /// Parses, plans and (optionally) optimizes a continuous SELECT query
+    /// on behalf of `subject`; the query inherits the subject's roles.
+    ///
+    /// # Errors
+    ///
+    /// Fails on syntax errors, unknown streams/columns, or unknown subjects.
+    pub fn submit(&mut self, sql: &str, subject: SubjectId) -> Result<QueryId, QueryError> {
+        let Statement::Select(stmt) = parse(sql)? else {
+            return Err(QueryError::new("expected a SELECT statement", 0));
+        };
+        let (id, roles) = self.catalog.register_query(subject)?;
+        let plan = plan_select(&self.catalog, &stmt, &roles)?;
+        let (plan, report) = if self.optimize {
+            Optimizer::new(self.cost_model.clone()).optimize(&plan)
+        } else {
+            (plan, OptimizerReport::default())
+        };
+        self.queries.push(PlannedQuery { id, plan, roles, report });
+        Ok(id)
+    }
+
+    /// Lowers an `INSERT SP` statement into a punctuation for injection at
+    /// time `ts`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on syntax errors or unknown streams.
+    pub fn insert_sp(
+        &self,
+        sql: &str,
+        ts: Timestamp,
+    ) -> Result<(StreamId, SecurityPunctuation), QueryError> {
+        let Statement::InsertSp(stmt) = parse(sql)? else {
+            return Err(QueryError::new("expected an INSERT SP statement", 0));
+        };
+        plan_insert_sp(&self.catalog, &stmt, ts)
+    }
+
+    /// Registered queries (in submission order).
+    #[must_use]
+    pub fn queries(&self) -> &[PlannedQuery] {
+        &self.queries
+    }
+
+    /// Withdraws a registered query before `start`, releasing its
+    /// subject's role-assignment pin (§II-A). Returns false if the query
+    /// id is unknown.
+    pub fn withdraw(&mut self, id: QueryId) -> bool {
+        let Some(pos) = self.queries.iter().position(|q| q.id == id) else {
+            return false;
+        };
+        self.queries.remove(pos);
+        self.catalog.deregister_query(id);
+        true
+    }
+
+    /// Builds the shared physical plan and starts the engine.
+    #[must_use]
+    pub fn start(&self) -> RunningDsms {
+        let mut builder = PlanBuilder::new(Arc::new(self.catalog.roles.clone()));
+        let mut sources = HashMap::new();
+        let mut sinks = HashMap::new();
+        let opts = InstantiateOptions { granularity: self.granularity };
+        for q in &self.queries {
+            let root = instantiate_with(&q.plan, &mut builder, &mut sources, opts);
+            sinks.insert(q.id, builder.sink(root));
+        }
+        RunningDsms { executor: builder.build(), sinks }
+    }
+}
+
+/// A running DSMS instance.
+pub struct RunningDsms {
+    /// The engine executor.
+    pub executor: Executor,
+    sinks: HashMap<QueryId, SinkRef>,
+}
+
+impl RunningDsms {
+    /// Feeds one raw stream element.
+    pub fn push(&mut self, stream: StreamId, elem: StreamElement) {
+        self.executor.push(stream, elem);
+    }
+
+    /// The result sink of a query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query id was not registered before `start`.
+    #[must_use]
+    pub fn results(&self, query: QueryId) -> &sp_engine::Sink {
+        self.executor.sink(self.sinks[&query])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{Tuple, TupleId, Value, ValueType};
+
+    fn dsms() -> Dsms {
+        let mut d = Dsms::new();
+        d.register_stream(
+            StreamId(1),
+            Schema::of(
+                "LocationUpdates",
+                &[
+                    ("obj_id", ValueType::Int),
+                    ("x", ValueType::Float),
+                    ("speed", ValueType::Float),
+                ],
+            ),
+        )
+        .unwrap();
+        d.register_role("family").unwrap();
+        d.register_role("store").unwrap();
+        d
+    }
+
+    fn tup(tid: u64, ts: u64, x: f64, speed: f64) -> StreamElement {
+        StreamElement::tuple(Tuple::new(
+            StreamId(1),
+            TupleId(tid),
+            Timestamp(ts),
+            vec![Value::Int(tid as i64), Value::Float(x), Value::Float(speed)],
+        ))
+    }
+
+    #[test]
+    fn end_to_end_query_with_cql_punctuations() {
+        let mut d = dsms();
+        let alice = d.register_subject("alice", &["family"]).unwrap();
+        let q = d.submit("SELECT obj_id, x FROM LocationUpdates WHERE speed > 1", alice).unwrap();
+
+        let (sid, sp) = d
+            .insert_sp(
+                "INSERT SP INTO STREAM LocationUpdates LET DDP = ('*', '*', '*'), SRP = 'family'",
+                Timestamp(0),
+            )
+            .unwrap();
+
+        let mut running = d.start();
+        running.push(sid, StreamElement::punctuation(sp));
+        running.push(StreamId(1), tup(1, 1, 5.0, 2.0));
+        running.push(StreamId(1), tup(2, 2, 6.0, 0.5)); // filtered by speed
+        let results: Vec<u64> = running.results(q).tuples().map(|t| t.tid.raw()).collect();
+        assert_eq!(results, vec![1]);
+    }
+
+    #[test]
+    fn unauthorized_subject_sees_nothing() {
+        let mut d = dsms();
+        let bob = d.register_subject("bob", &["store"]).unwrap();
+        let q = d.submit("SELECT obj_id FROM LocationUpdates", bob).unwrap();
+        let (sid, sp) = d
+            .insert_sp(
+                "INSERT SP INTO STREAM LocationUpdates LET DDP = ('*', '*', '*'), SRP = 'family'",
+                Timestamp(0),
+            )
+            .unwrap();
+        let mut running = d.start();
+        running.push(sid, StreamElement::punctuation(sp));
+        running.push(StreamId(1), tup(1, 1, 5.0, 2.0));
+        assert_eq!(running.results(q).tuple_count(), 0);
+    }
+
+    #[test]
+    fn multiple_queries_share_the_source() {
+        let mut d = dsms();
+        let alice = d.register_subject("alice", &["family"]).unwrap();
+        let bob = d.register_subject("bob", &["store"]).unwrap();
+        let qa = d.submit("SELECT obj_id FROM LocationUpdates", alice).unwrap();
+        let qb = d.submit("SELECT obj_id FROM LocationUpdates", bob).unwrap();
+        let (sid, sp) = d
+            .insert_sp(
+                "INSERT SP INTO STREAM LocationUpdates LET DDP = ('*', '*', '*'), SRP = 'store'",
+                Timestamp(0),
+            )
+            .unwrap();
+        let mut running = d.start();
+        running.push(sid, StreamElement::punctuation(sp));
+        running.push(StreamId(1), tup(7, 1, 0.0, 0.0));
+        assert_eq!(running.results(qa).tuple_count(), 0);
+        assert_eq!(running.results(qb).tuple_count(), 1);
+    }
+
+    #[test]
+    fn submit_rejects_non_select() {
+        let mut d = dsms();
+        let alice = d.register_subject("alice", &["family"]).unwrap();
+        assert!(d
+            .submit("INSERT SP INTO STREAM LocationUpdates LET DDP = ('*','*','*'), SRP='x'", alice)
+            .is_err());
+    }
+
+    #[test]
+    fn withdraw_releases_the_subject_pin() {
+        let mut d = dsms();
+        let alice = d.register_subject("alice", &["family"]).unwrap();
+        let q = d.submit("SELECT obj_id FROM LocationUpdates", alice).unwrap();
+        // Pinned while registered.
+        assert!(d.catalog.roles.reassign_subject_roles(alice, &["store"]).is_err());
+        assert!(d.withdraw(q));
+        assert!(!d.withdraw(q), "second withdrawal is a no-op");
+        assert!(d.catalog.roles.reassign_subject_roles(alice, &["store"]).is_ok());
+        assert!(d.queries().is_empty());
+    }
+
+    #[test]
+    fn optimizer_report_is_recorded() {
+        let mut d = dsms();
+        d.register_stream(
+            StreamId(2),
+            Schema::of("Regions", &[("obj_id", ValueType::Int), ("region", ValueType::Int)]),
+        )
+        .unwrap();
+        let alice = d.register_subject("alice", &["family"]).unwrap();
+        let _q = d
+            .submit(
+                "SELECT a.obj_id FROM LocationUpdates [RANGE 10 SECONDS] AS a, \
+                 Regions [RANGE 10 SECONDS] AS b WHERE a.obj_id = b.obj_id",
+                alice,
+            )
+            .unwrap();
+        let q = &d.queries()[0];
+        assert!(q.report.final_cost <= q.report.initial_cost);
+        assert!(q.plan.shield_count() >= 1);
+    }
+}

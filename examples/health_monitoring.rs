@@ -1,0 +1,149 @@
+//! Privacy protection of personal health data — the paper's Example 2 and
+//! running example (Fig. 4).
+//!
+//! A patient with a home health-monitoring device streams HeartRate and
+//! BodyTemperature readings. The patient's own policy (streamed as security
+//! punctuations) authorizes only her doctor and the nurse-on-duty. A
+//! hospital-side (server) policy further refines access. When vitals spike
+//! far above the norm, the device escalates: it injects a policy that also
+//! grants the emergency-room role, so the closest ER gains access exactly
+//! for the abnormal segment — and loses it when vitals normalize.
+//!
+//! The demo also runs a windowed SAJoin of the two vitals streams: joined
+//! readings flow only to subjects compatible with *both* base policies.
+//!
+//! Run with: `cargo run --example health_monitoring`
+
+use sp_core::{StreamElement, Timestamp, Tuple};
+use sp_mog::health::{
+    body_temperature_schema, heart_rate_schema, streams, HealthSim, HOSPITAL_ROLES,
+};
+use sp_query::Dsms;
+
+fn main() {
+    let mut dsms = Dsms::new();
+    dsms.register_stream(streams::HEART_RATE, heart_rate_schema()).expect("stream");
+    dsms.register_stream(streams::BODY_TEMPERATURE, body_temperature_schema()).expect("stream");
+    for role in HOSPITAL_ROLES {
+        dsms.register_role(role).expect("role");
+    }
+    dsms.register_role("emergency_room").expect("role");
+    dsms.register_role("insurance_company").expect("role");
+
+    let dr_lee = dsms.register_subject("dr_lee", &["doctor"]).expect("subject");
+    let er_desk = dsms.register_subject("er_desk", &["emergency_room"]).expect("subject");
+    let actuary = dsms.register_subject("actuary", &["insurance_company"]).expect("subject");
+
+    // Continuous queries: the doctor watches raw heart rates; the ER and
+    // the insurance company try to do the same; the doctor additionally
+    // correlates heart rate with temperature via a windowed join.
+    let q_doctor = dsms
+        .submit("SELECT Patient_id, Beats_per_min FROM HeartRate", dr_lee)
+        .expect("query");
+    let q_er = dsms
+        .submit("SELECT Patient_id, Beats_per_min FROM HeartRate", er_desk)
+        .expect("query");
+    let q_insurance = dsms
+        .submit("SELECT Patient_id, Beats_per_min FROM HeartRate", actuary)
+        .expect("query");
+    let q_join = dsms
+        .submit(
+            "SELECT h.Patient_id, h.Beats_per_min, t.Temperature \
+             FROM HeartRate [RANGE 5 SECONDS] AS h, BodyTemperature [RANGE 5 SECONDS] AS t \
+             WHERE h.Patient_id = t.Patient_id",
+            dr_lee,
+        )
+        .expect("query");
+
+    println!("doctor's join plan (after optimization):\n{}", dsms.queries()[3].plan);
+
+    let mut running = dsms.start();
+
+    // Patient 120's standing policy, written in the paper's CQL extension:
+    // doctor or nurse-on-duty only, for her tuples on any vitals stream.
+    let normal_policy = |ts: Timestamp, dsms: &Dsms| {
+        dsms.insert_sp(
+            "INSERT SP INTO STREAM HeartRate \
+             LET DDP = ('*', '120', '*'), SRP = 'doctor|nurse_on_duty'",
+            ts,
+        )
+        .expect("sp parses")
+    };
+    // The escalation policy adds the ER while vitals are abnormal.
+    let emergency_policy = |ts: Timestamp, dsms: &Dsms| {
+        dsms.insert_sp(
+            "INSERT SP INTO STREAM HeartRate \
+             LET DDP = ('*', '120', '*'), SRP = 'doctor|nurse_on_duty|emergency_room'",
+            ts,
+        )
+        .expect("sp parses")
+    };
+
+    let mut sim = HealthSim::new(120, 1, 1000, 2026);
+    let mut was_emergency = false;
+    let mut escalations = 0u32;
+    for _ in 0..60 {
+        let (hr, bt, _) = sim.tick();
+        let beats = hr[0].value(1).and_then(sp_core::Value::as_i64).unwrap_or(0);
+        let emergency = beats > 110;
+        let ts = hr[0].ts;
+
+        // The device adapts its punctuations to the patient's condition.
+        if emergency != was_emergency {
+            let (sid, sp) = if emergency {
+                escalations += 1;
+                println!("!! {ts}: {beats} bpm — escalating access to the ER");
+                emergency_policy(ts.minus(1), &dsms)
+            } else {
+                println!("   {ts}: {beats} bpm — back to normal, ER access revoked");
+                normal_policy(ts.minus(1), &dsms)
+            };
+            running.push(sid, StreamElement::punctuation(sp));
+            was_emergency = emergency;
+        } else if ts.millis() == 1000 {
+            // Initial policy before the first reading.
+            let (sid, sp) = normal_policy(Timestamp::ZERO, &dsms);
+            running.push(sid, StreamElement::punctuation(sp));
+        }
+
+        // Temperature stream carries the same policy, injected separately.
+        let (tsid, tsp) = dsms
+            .insert_sp(
+                "INSERT SP INTO STREAM BodyTemperature \
+                 LET DDP = ('*', '120', '*'), SRP = 'doctor|nurse_on_duty'",
+                ts.minus(1),
+            )
+            .expect("sp parses");
+        running.push(tsid, StreamElement::punctuation(tsp));
+
+        push_tuples(&mut running, streams::HEART_RATE, hr);
+        push_tuples(&mut running, streams::BODY_TEMPERATURE, bt);
+    }
+
+    let doctor = running.results(q_doctor).tuple_count();
+    let er = running.results(q_er).tuple_count();
+    let insurance = running.results(q_insurance).tuple_count();
+    let joined = running.results(q_join).tuple_count();
+
+    println!("---");
+    println!("readings seen by the doctor:            {doctor:>4}");
+    println!("readings seen by the emergency room:    {er:>4}");
+    println!("readings seen by the insurance company: {insurance:>4}");
+    println!("joined HR×Temp readings (doctor):       {joined:>4}");
+    println!("escalation episodes: {escalations}");
+
+    assert_eq!(doctor, 60, "the doctor always has access");
+    assert_eq!(insurance, 0, "third parties never gain access");
+    assert!(er < doctor, "the ER sees only abnormal segments");
+    assert!(joined > 0, "the join produces doctor-visible results");
+    if escalations > 0 {
+        assert!(er > 0, "escalated segments reached the ER");
+    }
+    println!("OK: access followed the patient's streaming policy exactly.");
+}
+
+fn push_tuples(running: &mut sp_query::RunningDsms, sid: sp_core::StreamId, tuples: Vec<Tuple>) {
+    for t in tuples {
+        running.push(sid, StreamElement::tuple(t));
+    }
+}

@@ -1,0 +1,135 @@
+//! Security-aware query optimization in action (§VI of the paper).
+//!
+//! Builds the three canonical Security Shield placements for a windowed
+//! join query — pre-filtering, post-filtering and optimizer-chosen
+//! intermediate placement — costs them with the §VI-A model, shows the
+//! Table II rules the optimizer applied, and then *executes* the
+//! unoptimized and optimized plans on the same punctuated stream to verify
+//! they release exactly the same tuples.
+//!
+//! Run with: `cargo run --example optimizer_demo`
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sp_core::{
+    RoleCatalog, RoleSet, Schema, SecurityPunctuation, StreamElement, StreamId, Timestamp, Tuple,
+    TupleId, Value, ValueType,
+};
+use sp_engine::{JoinVariant, PlanBuilder};
+use sp_query::{instantiate, CostModel, InputStats, LogicalPlan, Optimizer};
+
+fn schema(name: &str) -> Arc<Schema> {
+    Schema::of(name, &[("obj_id", ValueType::Int), ("v", ValueType::Int)])
+}
+
+fn scan(id: u32, name: &str) -> LogicalPlan {
+    LogicalPlan::Scan { stream: StreamId(id), schema: schema(name), window_ms: 10_000 }
+}
+
+fn shield(input: LogicalPlan, roles: &RoleSet) -> LogicalPlan {
+    LogicalPlan::Shield { input: Box::new(input), roles: roles.clone() }
+}
+
+fn join(left: LogicalPlan, right: LogicalPlan) -> LogicalPlan {
+    LogicalPlan::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        left_key: 0,
+        right_key: 0,
+        window_ms: 10_000,
+        variant: JoinVariant::Index,
+    }
+}
+
+fn main() {
+    let roles = RoleSet::from([1]);
+    let mut model = CostModel::default();
+    model.set_stream(StreamId(1), InputStats { lambda: 2000.0, lambda_sp: 200.0 });
+    model.set_stream(StreamId(2), InputStats { lambda: 2000.0, lambda_sp: 200.0 });
+
+    // The three placements of §IV-A.
+    let post_filtering = shield(join(scan(1, "gps_a"), scan(2, "gps_b")), &roles);
+    let pre_filtering = join(
+        shield(scan(1, "gps_a"), &roles),
+        shield(scan(2, "gps_b"), &roles),
+    );
+
+    println!("== post-filtering plan (SS fixed at the top) ==");
+    println!("{post_filtering}");
+    println!("cost: {:.0}\n", model.cost(&post_filtering).cost);
+
+    println!("== pre-filtering plan (SS fixed at the inputs) ==");
+    println!("{pre_filtering}");
+    println!("cost: {:.0}\n", model.cost(&pre_filtering).cost);
+
+    let optimizer = Optimizer::new(model.clone());
+    let (best, report) = optimizer.optimize(&post_filtering);
+    println!("== optimizer-chosen plan ==");
+    println!("{best}");
+    println!(
+        "cost: {:.0} (from {:.0}; {} candidates examined)",
+        report.final_cost, report.initial_cost, report.candidates_examined
+    );
+    println!("rules applied: {:?}\n", report.applied);
+    assert!(report.final_cost <= report.initial_cost);
+
+    // Execute both the naive and the optimized plan on identical input and
+    // compare outputs — the rewrites are behaviour-preserving.
+    let released_naive = execute(&post_filtering);
+    let released_best = execute(&best);
+    println!(
+        "released tuples: naive = {}, optimized = {}",
+        released_naive.len(),
+        released_best.len()
+    );
+    assert_eq!(released_naive, released_best, "rewrites preserve results");
+    println!("OK: the optimized plan is cheaper and result-equivalent.");
+}
+
+/// Runs a plan over a fixed two-stream punctuated workload, returning the
+/// released (joined) tuple signatures.
+fn execute(plan: &LogicalPlan) -> Vec<String> {
+    let mut catalog = RoleCatalog::new();
+    catalog.register_synthetic_roles(8);
+    let mut builder = PlanBuilder::new(Arc::new(catalog));
+    let mut sources = HashMap::new();
+    let root = instantiate(plan, &mut builder, &mut sources);
+    let sink = builder.sink(root);
+    let mut exec = builder.build();
+
+    for ts in 0..200u64 {
+        let stream = StreamId(1 + (ts % 2) as u32);
+        if ts % 10 == 0 {
+            // Alternate segments between an authorized and an
+            // unauthorized policy, on BOTH streams.
+            let roles = if ts % 20 == 0 {
+                RoleSet::from([1, 2])
+            } else {
+                RoleSet::from([3])
+            };
+            for sid in [StreamId(1), StreamId(2)] {
+                exec.push(
+                    sid,
+                    StreamElement::punctuation(SecurityPunctuation::grant_all(
+                        roles.clone(),
+                        Timestamp(ts),
+                    )),
+                );
+            }
+        }
+        exec.push(
+            stream,
+            StreamElement::tuple(Tuple::new(
+                stream,
+                TupleId(ts % 7),
+                Timestamp(ts),
+                vec![Value::Int((ts % 7) as i64), Value::Int(ts as i64)],
+            )),
+        );
+    }
+
+    let mut out: Vec<String> = exec.sink(sink).tuples().map(|t| t.to_string()).collect();
+    out.sort();
+    out
+}

@@ -1,0 +1,71 @@
+//! Robustness fuzzing: the CQL parser, the pattern compiler and the wire
+//! decoder are the system's untrusted-input surfaces; none of them may
+//! panic, whatever bytes arrive.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// Arbitrary text through the CQL lexer + parser: errors allowed,
+    /// panics not.
+    #[test]
+    fn cql_parser_never_panics(src in "\\PC{0,120}") {
+        let _ = sp_query::parse(&src);
+    }
+
+    /// Mutated almost-valid CQL: prefixes/suffixes of real statements.
+    #[test]
+    fn cql_parser_handles_truncations(cut in 0usize..200) {
+        let full = "SELECT a.obj_id, AVG(b.speed) FROM LocationUpdates [RANGE 10 SECONDS] AS a, \
+                    Regions [RANGE 5 SECONDS] AS b \
+                    WHERE a.obj_id = b.obj_id AND a.x > 1.5 OR NOT b.region != 7 \
+                    GROUP BY obj_id UNION SELECT x FROM y;";
+        let cut = cut.min(full.len());
+        // Find a char boundary at or below the cut.
+        let mut boundary = cut;
+        while !full.is_char_boundary(boundary) {
+            boundary -= 1;
+        }
+        let _ = sp_query::parse(&full[..boundary]);
+    }
+
+    /// Arbitrary text through the pattern compiler.
+    #[test]
+    fn pattern_compiler_never_panics(src in "\\PC{0,60}") {
+        if let Ok(p) = sp_pattern::Pattern::compile(&src) {
+            // And matching is safe on arbitrary inputs too.
+            let _ = p.matches("probe-123");
+            let _ = p.matches("");
+            let _ = p.matches_u64(u64::MAX);
+        }
+    }
+
+    /// Metacharacter-dense pattern soup (more likely to hit parser edges
+    /// than fully random text).
+    #[test]
+    fn pattern_metachar_soup_never_panics(src in r"[\\()\[\]<>{}|*+?.\-0-9a-c]{0,40}") {
+        if let Ok(p) = sp_pattern::Pattern::compile(&src) {
+            let _ = p.matches("abc012");
+        }
+    }
+
+    /// INSERT SP statements with arbitrary embedded pattern strings: the
+    /// planner surfaces pattern errors as query errors, never panics.
+    #[test]
+    fn insert_sp_with_arbitrary_patterns(ddp in "[^'\\\\]{0,20}", srp in "[^'\\\\]{0,20}") {
+        let sql = format!(
+            "INSERT SP INTO STREAM s LET DDP = ('*', '{ddp}', '*'), SRP = '{srp}'"
+        );
+        if let Ok(sp_query::Statement::InsertSp(stmt)) = sp_query::parse(&sql) {
+            let mut catalog = sp_query::Catalog::new();
+            catalog
+                .register_stream(
+                    sp_core::StreamId(1),
+                    sp_core::Schema::of("s", &[("x", sp_core::ValueType::Int)]),
+                )
+                .unwrap();
+            let _ = sp_query::plan_insert_sp(&catalog, &stmt, sp_core::Timestamp(0));
+        }
+    }
+}
