@@ -104,8 +104,13 @@ impl EnforcementMechanism for SpMechanism {
                     }
                 }
             }
-            // Enforcement.
-            self.shield.process(0, e, &mut self.emitter);
+            // Enforcement. A shield error means the element cannot be
+            // safely released — drop it and whatever the shield staged
+            // (fail closed).
+            if self.shield.process(0, e, &mut self.emitter).is_err() {
+                let _ = self.emitter.take();
+                continue;
+            }
             for released in self.emitter.drain() {
                 if let Element::Tuple(t) = released {
                     self.stats.released += 1;

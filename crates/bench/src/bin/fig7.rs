@@ -6,11 +6,22 @@
 //! * 7c — policy memory (KB) vs policy size |R|;
 //! * 7d — processing cost per 100 tuples (µs) vs policy size |R|.
 //!
-//! Usage: `cargo run --release -p sp-bench --bin fig7 -- [a|b|c|d|all]`
+//! Usage: `cargo run --release -p sp-bench --bin fig7 -- [a|b|c|d|r|all]`
+//!
+//! `r` prints the hostile-stream degradation report: the same workload is
+//! replayed through the wire with seeded faults (drops, reorders, byte
+//! corruption) into a hardened plan, and every fail-closed loss counter is
+//! reported — nothing is dropped silently.
 
 use sp_bench::mechanisms::{all_mechanisms, catalog, drive, probe_roles, MechRun};
 use sp_bench::workloads::fig7_workload;
 use sp_bench::{log_rows, print_table, us_per, warn_if_debug, Row};
+use sp_core::wire::{FrameDecoder, Message};
+use sp_core::{RoleSet, StreamId};
+use sp_engine::{
+    DegradationStats, FaultInjector, FaultPlan, PlanBuilder, QuarantinePolicy, ReorderBuffer,
+    SecurityShield,
+};
 
 const RATIOS: [usize; 5] = [1, 10, 25, 50, 100];
 const POLICY_SIZES: [u32; 5] = [1, 10, 25, 50, 100];
@@ -45,13 +56,109 @@ fn main() {
         "b" => ratio_sweep(false),
         "c" => policy_size_sweep(true),
         "d" => policy_size_sweep(false),
+        "r" => degradation_report(),
         _ => {
             ratio_sweep(true);
             ratio_sweep(false);
             policy_size_sweep(true);
             policy_size_sweep(false);
+            degradation_report();
         }
     }
+}
+
+/// Hostile-stream degradation: replays the Fig. 7 workload over the wire
+/// under seeded faults into a hardened shielded plan and prints what was
+/// refused — corrupted frames, late arrivals, quarantined tuples. The
+/// fail-closed contract is that every loss shows up in a counter.
+fn degradation_report() {
+    let catalog = catalog(128);
+    let workload = fig7_workload(10, 3, 0.5, 42);
+    let input: Vec<(StreamId, sp_core::StreamElement)> = workload
+        .elements
+        .iter()
+        .map(|e| (workload.stream, e.clone()))
+        .collect();
+
+    // Element-level faults: drop/duplicate/delay/reorder sps and tuples.
+    // Moderate rates — a lossy network, not a bit-flood — so the report
+    // shows partial degradation rather than total loss.
+    let plan = FaultPlan {
+        drop_sp: 0.10,
+        drop_tuple: 0.02,
+        dup_sp: 0.05,
+        dup_tuple: 0.02,
+        // Delays long enough to push an sp a whole tick (200 elements)
+        // or more behind its segment — past the reorder buffer's slack.
+        delay_sp: 0.15,
+        delay_slots: 450,
+        reorder: 0.05,
+        reorder_window: 4,
+        corrupt_byte: 0.000_02,
+        ..FaultPlan::none(0xF16_7)
+    };
+    let mut injector = FaultInjector::new(plan);
+    let faulty = injector.apply(&input);
+
+    // Wire-level faults: frame the stream and flip bytes; the decoder
+    // resynchronizes past corrupted frames and counts them.
+    let mut bytes = Vec::new();
+    for chunk in faulty.chunks(16) {
+        let elems: Vec<_> = chunk.iter().map(|(_, e)| e.clone()).collect();
+        Message::new(workload.stream, elems).encode(&mut bytes);
+    }
+    injector.corrupt(&mut bytes);
+    let mut decoder = FrameDecoder::new();
+    let messages = decoder.decode_stream(&bytes);
+
+    // A K-slack reorder buffer restores timestamp order, dropping
+    // hopelessly late arrivals, before the hardened analyzer.
+    let mut b = PlanBuilder::new(catalog);
+    let src = b.source(workload.stream, workload.schema.clone());
+    // The workload ticks every 50 ms, so a 40 ms policy TTL means a lost
+    // tick-opening sp strands its tuples on the previous tick's policy —
+    // exactly the case that must quarantine rather than inherit.
+    b.harden_source(
+        src,
+        QuarantinePolicy { ttl_ms: 40, slack_ms: 100, capacity: 1_024 },
+    );
+    let ss = b.add(SecurityShield::new(RoleSet::from([0])), src);
+    let sink = b.sink(ss);
+    let mut exec = b.build();
+
+    let mut reorder = ReorderBuffer::new(25);
+    let mut ordered = Vec::new();
+    for msg in messages {
+        for elem in msg.elements {
+            reorder.push(elem, &mut ordered);
+        }
+    }
+    reorder.flush(&mut ordered);
+    let mut engine_errors = 0u64;
+    for elem in ordered {
+        if exec.push(workload.stream, elem).is_err() {
+            engine_errors += 1;
+        }
+    }
+    if exec.finish().is_err() {
+        engine_errors += 1;
+    }
+
+    let mut deg: DegradationStats = exec.degradation();
+    deg.reorder_dropped = reorder.dropped;
+    deg.corrupted_frames = decoder.corrupted_frames;
+
+    println!("\nFig 7r: fail-closed degradation under a hostile replay");
+    println!("  faults injected     {}", injector.stats().total());
+    println!("  wire bytes skipped  {}", decoder.skipped_bytes);
+    println!("  engine errors       {engine_errors}");
+    println!("  {deg}");
+    println!(
+        "  released {} of {} tuples; total refused (fail-closed): {}",
+        exec.sink(sink).tuple_count(),
+        workload.tuples,
+        deg.total_dropped(),
+    );
 }
 
 /// Figures 7a (output rate) and 7b (processing cost per tuple).

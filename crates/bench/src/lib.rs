@@ -18,13 +18,11 @@
 use std::io::Write as _;
 use std::time::Duration;
 
-use serde::Serialize;
-
 pub mod mechanisms;
 pub mod workloads;
 
 /// One measured table row, serialized to the results log.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Experiment id, e.g. "fig7a".
     pub experiment: &'static str,
@@ -38,6 +36,51 @@ pub struct Row {
     pub metric: &'static str,
     /// The measurement.
     pub measured: f64,
+}
+
+impl Row {
+    /// Renders the row as one JSON object. Hand-rolled (the build
+    /// environment has no crates.io access for serde); fields are flat
+    /// strings and one float, so escaping strings suffices.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"experiment":{},"param":{},"value":{},"series":{},"metric":{},"measured":{}}}"#,
+            json_str(self.experiment),
+            json_str(self.param),
+            json_str(&self.value),
+            json_str(&self.series),
+            json_str(self.metric),
+            json_f64(self.measured),
+        )
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no NaN/Infinity; null keeps the line parseable.
+        "null".to_string()
+    }
 }
 
 /// Appends rows to `target/bench-results.jsonl` (best-effort).
@@ -54,9 +97,7 @@ pub fn log_rows(rows: &[Row]) {
         return;
     };
     for row in rows {
-        if let Ok(line) = serde_json::to_string(row) {
-            let _ = writeln!(file, "{line}");
-        }
+        let _ = writeln!(file, "{}", row.to_json());
     }
 }
 
@@ -112,11 +153,13 @@ mod tests {
             experiment: "fig7a",
             param: "sp_ratio",
             value: "1/10".into(),
-            series: "sp".into(),
+            series: "sp \"quoted\"\\".into(),
             metric: "tuples_per_ms",
             measured: 12.5,
         };
-        let json = serde_json::to_string(&row).unwrap();
-        assert!(json.contains("fig7a"));
+        let json = row.to_json();
+        assert!(json.contains(r#""experiment":"fig7a""#), "{json}");
+        assert!(json.contains(r#""series":"sp \"quoted\"\\""#), "{json}");
+        assert!(json.contains(r#""measured":12.5"#), "{json}");
     }
 }

@@ -94,6 +94,8 @@ impl From<SecurityPunctuation> for StreamElement {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::ids::{StreamId, TupleId};
     use crate::roleset::RoleSet;

@@ -106,6 +106,8 @@ impl fmt::Display for Timestamp {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

@@ -326,6 +326,8 @@ pub type SharedPolicy = Arc<Policy>;
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn rs(ids: &[u32]) -> RoleSet {

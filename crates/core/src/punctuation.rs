@@ -392,6 +392,8 @@ pub fn combine_batch(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::ids::{RoleId, StreamId, TupleId};
     use crate::value::{Value, ValueType};

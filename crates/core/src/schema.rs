@@ -144,6 +144,8 @@ impl fmt::Display for Schema {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn sample() -> Schema {

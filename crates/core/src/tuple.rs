@@ -129,6 +129,8 @@ impl fmt::Display for Tuple {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::value::ValueType;
 

@@ -149,6 +149,8 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Text(a), Value::Text(b)) => a.as_ref().cmp(b.as_ref()),
+            // Audited: rank 2 is exactly Int | Float, both convert.
+            #[allow(clippy::expect_used)]
             (a, b) if rank(a) == 2 && rank(b) == 2 => {
                 let fa = a.as_f64().expect("rank 2 is numeric");
                 let fb = b.as_f64().expect("rank 2 is numeric");
@@ -231,6 +233,8 @@ impl From<&str> for Value {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

@@ -5,6 +5,8 @@
 //!   checked on random role sets.
 //! * Punctuation wire encoding round-trips.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

@@ -1,0 +1,127 @@
+//! Wire-decoder hardening properties: `Message::decode` and
+//! [`FrameDecoder`] must never panic, must round-trip clean frames
+//! exactly, and must resynchronize past corruption without ever producing
+//! a frame that was not sent (CRC-32 protects every body).
+
+use proptest::prelude::*;
+use sp_core::wire::{FrameDecoder, Message};
+use sp_core::{
+    RoleId, RoleSet, SecurityPunctuation, StreamElement, StreamId, Timestamp, Tuple, TupleId,
+    Value,
+};
+
+fn arb_element() -> impl Strategy<Value = StreamElement> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), prop::collection::vec(any::<i64>(), 0..4)).prop_map(
+            |(tid, ts, vals)| {
+                StreamElement::tuple(Tuple::new(
+                    StreamId(1),
+                    TupleId(tid),
+                    Timestamp(ts),
+                    vals.into_iter().map(Value::Int).collect::<Vec<_>>(),
+                ))
+            }
+        ),
+        (prop::collection::vec(0u32..64, 0..6), any::<u64>()).prop_map(|(roles, ts)| {
+            StreamElement::punctuation(SecurityPunctuation::grant_all(
+                roles.into_iter().map(RoleId).collect::<RoleSet>(),
+                Timestamp(ts),
+            ))
+        }),
+    ]
+}
+
+/// A few frames, each tagged with a distinct stream id so decoded frames
+/// can be matched back to what was sent.
+fn arb_frames() -> impl Strategy<Value = Vec<Message>> {
+    prop::collection::vec(prop::collection::vec(arb_element(), 0..6), 1..6).prop_map(|batches| {
+        batches
+            .into_iter()
+            .enumerate()
+            .map(|(i, elems)| Message::new(StreamId(i as u32), elems))
+            .collect()
+    })
+}
+
+fn encode_all(frames: &[Message]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for f in frames {
+        f.encode(&mut bytes);
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Clean input: every frame decodes back, in order, with no losses.
+    #[test]
+    fn clean_streams_round_trip(frames in arb_frames()) {
+        let bytes = encode_all(&frames);
+        let mut dec = FrameDecoder::new();
+        let decoded = dec.decode_stream(&bytes);
+        prop_assert_eq!(&decoded, &frames);
+        prop_assert_eq!(dec.corrupted_frames, 0);
+        prop_assert_eq!(dec.skipped_bytes, 0);
+    }
+
+    /// Any single bit flip anywhere in the stream: no panic, and every
+    /// decoded frame is one that was actually sent — corruption may lose
+    /// frames but must never fabricate or alter one.
+    #[test]
+    fn single_bit_flip_never_fabricates_frames(
+        frames in arb_frames(),
+        pos_ratio in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_all(&frames);
+        let pos = ((bytes.len() as f64 - 1.0) * pos_ratio) as usize;
+        bytes[pos] ^= 1 << bit;
+        let mut dec = FrameDecoder::new();
+        let decoded = dec.decode_stream(&bytes);
+        prop_assert!(decoded.len() <= frames.len());
+        for d in &decoded {
+            prop_assert!(frames.contains(d), "decoder fabricated a frame");
+        }
+        // At most one frame is hit by one flipped bit.
+        prop_assert!(decoded.len() + 1 >= frames.len());
+    }
+
+    /// Truncation at any point yields a clean prefix, never a panic.
+    #[test]
+    fn truncation_yields_prefix(frames in arb_frames(), cut_ratio in 0.0f64..1.0) {
+        let bytes = encode_all(&frames);
+        let cut = ((bytes.len() as f64) * cut_ratio) as usize;
+        let mut dec = FrameDecoder::new();
+        let decoded = dec.decode_stream(&bytes[..cut]);
+        prop_assert!(decoded.len() <= frames.len());
+        prop_assert_eq!(&decoded[..], &frames[..decoded.len()], "prefix property");
+    }
+
+    /// Arbitrary byte soup never panics the decoder, and everything not
+    /// decoded is accounted for in `skipped_bytes`.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = FrameDecoder::new();
+        let decoded = dec.decode_stream(&bytes);
+        // Random bytes essentially never satisfy a CRC-32 check.
+        prop_assert!(decoded.is_empty());
+        prop_assert_eq!(dec.skipped_bytes as usize, bytes.len());
+    }
+
+    /// Garbage *between* valid frames: both frames still decode.
+    #[test]
+    fn interleaved_garbage_is_skipped(
+        frames in arb_frames(),
+        garbage in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&garbage);
+            f.encode(&mut bytes);
+        }
+        let mut dec = FrameDecoder::new();
+        let decoded = dec.decode_stream(&bytes);
+        prop_assert_eq!(&decoded, &frames);
+    }
+}

@@ -10,13 +10,40 @@
 //! policies*: a segment policy identical to the previous one is not
 //! re-emitted, saving downstream sp processing.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use sp_core::{
-    combine_batch, Policy, RoleCatalog, Schema, SecurityPunctuation, StreamElement,
+    combine_batch, Policy, RoleCatalog, Schema, SecurityPunctuation, StreamElement, Timestamp,
+    Tuple,
 };
 
 use crate::element::{Element, PolicyEntry, SegmentPolicy};
+use crate::stats::DegradationStats;
+
+/// Hardened-mode parameters: how fresh a policy must be to govern a
+/// tuple, and how long an uncovered tuple may wait for its policy.
+///
+/// All times are stream timestamps (milliseconds), so behaviour is
+/// deterministic and replayable — no wall clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinePolicy {
+    /// A policy with timestamp `p` governs tuples with
+    /// `p <= ts <= p + ttl_ms`. Tuples outside every policy's window are
+    /// quarantined instead of inheriting a stale policy.
+    pub ttl_ms: u64,
+    /// How long (in stream time) a quarantined tuple may wait for its
+    /// sp-batch before being dropped.
+    pub slack_ms: u64,
+    /// Maximum quarantined tuples held; the oldest is dropped when full.
+    pub capacity: usize,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        Self { ttl_ms: 1_000, slack_ms: 1_000, capacity: 1_024 }
+    }
+}
 
 /// Per-stream punctuation analyzer.
 #[derive(Debug)]
@@ -37,6 +64,24 @@ pub struct SpAnalyzer {
     pub sps_filtered: u64,
     /// Segment policies suppressed because they repeated the previous one.
     pub sps_merged: u64,
+    /// Hardened fail-closed mode; `None` (the default) preserves the
+    /// paper's pass-through behaviour.
+    hardening: Option<QuarantinePolicy>,
+    /// Timestamp of the governing policy (hardened mode only).
+    current_ts: Option<Timestamp>,
+    /// High-water mark over every element timestamp seen.
+    clock: u64,
+    /// Tuples awaiting a governing policy, in arrival order.
+    quarantine: VecDeque<Arc<Tuple>>,
+    /// Sp-batches discarded for arriving older than the governing policy.
+    pub stale_sp_batches: u64,
+    /// Tuples ever sent to quarantine.
+    pub quarantined: u64,
+    /// Quarantined tuples released by a policy that arrived in time.
+    pub quarantine_released: u64,
+    /// Quarantined tuples dropped: timed out, evicted by the capacity
+    /// bound, or passed over by a newer policy. Never emitted unshielded.
+    pub quarantine_dropped: u64,
 }
 
 impl SpAnalyzer {
@@ -52,6 +97,43 @@ impl SpAnalyzer {
             incremental: false,
             sps_filtered: 0,
             sps_merged: 0,
+            hardening: None,
+            current_ts: None,
+            clock: 0,
+            quarantine: VecDeque::new(),
+            stale_sp_batches: 0,
+            quarantined: 0,
+            quarantine_released: 0,
+            quarantine_dropped: 0,
+        }
+    }
+
+    /// Switches this analyzer into hardened fail-closed mode: a tuple not
+    /// governed by a fresh-enough policy is quarantined instead of
+    /// forwarded, a late sp-batch cannot roll authorizations back, and the
+    /// bounded buffer plus stream-time timeout cap the memory a hostile
+    /// stream can pin.
+    pub fn harden(&mut self, policy: QuarantinePolicy) {
+        self.hardening = Some(policy);
+    }
+
+    /// Whether hardened fail-closed mode is active.
+    #[must_use]
+    pub fn is_hardened(&self) -> bool {
+        self.hardening.is_some()
+    }
+
+    /// Fail-closed degradation counters accumulated by this stream.
+    #[must_use]
+    pub fn degradation(&self) -> DegradationStats {
+        DegradationStats {
+            sps_filtered: self.sps_filtered,
+            sps_merged: self.sps_merged,
+            stale_sp_batches: self.stale_sp_batches,
+            quarantined: self.quarantined,
+            quarantine_released: self.quarantine_released,
+            quarantine_dropped: self.quarantine_dropped,
+            ..DegradationStats::new()
         }
     }
 
@@ -86,6 +168,7 @@ impl SpAnalyzer {
                     self.sps_filtered += 1;
                     return;
                 }
+                self.advance_clock(sp.ts.0);
                 if let Some(first) = self.batch.first() {
                     if sp.ts != first.ts {
                         self.flush(out);
@@ -94,9 +177,42 @@ impl SpAnalyzer {
                 self.batch.push(sp);
             }
             StreamElement::Tuple(tuple) => {
+                self.advance_clock(tuple.ts.0);
                 self.flush(out);
-                out.push(Element::Tuple(tuple));
+                match self.hardening {
+                    Some(qp) if !self.governs(tuple.ts, qp.ttl_ms) => {
+                        self.quarantined += 1;
+                        if self.quarantine.len() >= qp.capacity {
+                            self.quarantine.pop_front();
+                            self.quarantine_dropped += 1;
+                        }
+                        self.quarantine.push_back(tuple);
+                    }
+                    _ => out.push(Element::Tuple(tuple)),
+                }
             }
+        }
+    }
+
+    /// Whether the governing policy covers a tuple at `ts`: the policy must
+    /// precede the tuple and still be within its freshness window.
+    fn governs(&self, ts: Timestamp, ttl_ms: u64) -> bool {
+        self.current_ts.is_some_and(|p| p <= ts && ts.0 - p.0 <= ttl_ms)
+    }
+
+    /// Advances stream time and expires quarantined tuples whose slack ran
+    /// out before their policy arrived.
+    fn advance_clock(&mut self, ts: u64) {
+        if ts > self.clock {
+            self.clock = ts;
+        }
+        if let Some(qp) = self.hardening {
+            // Reordered arrivals mean the queue is not ts-sorted, so scan
+            // it all rather than popping from the front.
+            let clock = self.clock;
+            let before = self.quarantine.len();
+            self.quarantine.retain(|t| t.ts.0.saturating_add(qp.slack_ms) >= clock);
+            self.quarantine_dropped += (before - self.quarantine.len()) as u64;
         }
     }
 
@@ -107,6 +223,13 @@ impl SpAnalyzer {
         }
         let batch = std::mem::take(&mut self.batch);
         let ts = batch[0].ts;
+        if self.hardening.is_some() && self.current_ts.is_some_and(|cur| ts < cur) {
+            // A batch older than the governing policy must not roll
+            // authorizations back — a delayed or replayed grant could widen
+            // access retroactively. Fail closed: discard the whole batch.
+            self.stale_sp_batches += 1;
+            return;
+        }
         // Group the batch by tuple scope: sps with identical tuple patterns
         // combine into one policy entry.
         let mut groups: Vec<(&str, Vec<Arc<SecurityPunctuation>>)> = Vec::new();
@@ -152,22 +275,44 @@ impl SpAnalyzer {
         let seg = Arc::new(SegmentPolicy::new(entries, ts));
         // Similar-policy combining: skip emission when the authorizations
         // are unchanged (timestamps aside).
-        if self.last_emitted.as_ref().is_some_and(|prev| {
+        let merged = self.last_emitted.as_ref().is_some_and(|prev| {
             prev.entries().len() == seg.entries().len()
                 && prev.entries().iter().zip(seg.entries()).all(|(a, b)| {
                     a.scope == b.scope && a.policy.same_authorizations(&b.policy)
                 })
-        }) {
+        });
+        if merged {
             self.sps_merged += 1;
-            return;
+        } else {
+            self.last_emitted = Some(seg.clone());
+            out.push(Element::Policy(seg));
         }
-        self.last_emitted = Some(seg.clone());
-        out.push(Element::Policy(seg));
+        if let Some(qp) = self.hardening {
+            // Even a merge-suppressed batch re-asserts its authorizations
+            // at `ts`, so it refreshes the governing timestamp.
+            self.current_ts = Some(ts);
+            // Settle the quarantine against the new policy: release tuples
+            // it governs, condemn tuples now permanently ungovernable (the
+            // governing timestamp only advances, so a tuple older than it
+            // can never be covered), keep the rest waiting.
+            for t in std::mem::take(&mut self.quarantine) {
+                if ts <= t.ts && t.ts.0 - ts.0 <= qp.ttl_ms {
+                    self.quarantine_released += 1;
+                    out.push(Element::Tuple(t));
+                } else if t.ts < ts {
+                    self.quarantine_dropped += 1;
+                } else {
+                    self.quarantine.push_back(t);
+                }
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::{
         DataDescription, RoleId, RoleSet, StreamId, Timestamp, Tuple, TupleId, Value, ValueType,
@@ -348,5 +493,99 @@ mod tests {
         assert!(out.is_empty(), "batch still open");
         a.flush(&mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    fn hardened(ttl: u64, slack: u64, cap: usize) -> SpAnalyzer {
+        let mut a = setup();
+        a.harden(QuarantinePolicy { ttl_ms: ttl, slack_ms: slack, capacity: cap });
+        a
+    }
+
+    #[test]
+    fn hardened_quarantines_uncovered_tuples() {
+        let mut a = hardened(10, 100, 16);
+        // No policy yet: the tuple must not pass.
+        let out = push_all(&mut a, vec![tup(1, 5)]);
+        assert!(out.is_empty(), "unshielded tuple held back");
+        assert_eq!(a.quarantined, 1);
+        // Its sp arrives late but within slack: released after the policy.
+        let out = push_all(&mut a, vec![sp(&[1], 5), tup(2, 6)]);
+        let kinds: Vec<bool> = out.iter().map(Element::is_tuple).collect();
+        assert_eq!(kinds, vec![false, true, true], "policy, then releases");
+        assert_eq!(a.quarantine_released, 1);
+        assert_eq!(a.quarantine_dropped, 0);
+    }
+
+    #[test]
+    fn hardened_drops_quarantined_tuples_on_timeout() {
+        let mut a = hardened(10, 20, 16);
+        // Tuple at ts 5 with no policy; stream time then advances past
+        // 5 + slack without its sp ever arriving.
+        let out = push_all(&mut a, vec![tup(1, 5), tup(2, 40)]);
+        assert!(out.is_empty(), "neither tuple has a policy");
+        assert_eq!(a.quarantine_dropped, 1, "ts-5 tuple timed out");
+        assert_eq!(a.quarantined, 2);
+        // A much later policy governs only the survivor... which has also
+        // timed out by the time ts 80 rolls around.
+        let out = push_all(&mut a, vec![sp(&[1], 80), tup(3, 81)]);
+        assert_eq!(out.iter().filter(|e| e.is_tuple()).count(), 1);
+        assert_eq!(a.quarantine_dropped, 2);
+    }
+
+    #[test]
+    fn hardened_caps_quarantine_capacity() {
+        let mut a = hardened(10, 1_000, 2);
+        let out = push_all(&mut a, vec![tup(1, 1), tup(2, 2), tup(3, 3)]);
+        assert!(out.is_empty());
+        assert_eq!(a.quarantine_dropped, 1, "oldest evicted at capacity");
+        assert_eq!(a.quarantine.len(), 2);
+    }
+
+    #[test]
+    fn hardened_rejects_stale_sp_batches() {
+        let mut a = hardened(100, 100, 16);
+        let out = push_all(&mut a, vec![sp(&[1, 2], 50), tup(1, 55)]);
+        assert_eq!(out.len(), 2);
+        // A delayed batch from ts 10 must not replace the ts-50 policy.
+        let out = push_all(&mut a, vec![sp(&[3], 10), tup(2, 56)]);
+        let policies = out.iter().filter(|e| e.as_policy().is_some()).count();
+        assert_eq!(policies, 0, "stale batch discarded");
+        assert_eq!(a.stale_sp_batches, 1);
+        // The ts-56 tuple is still governed by the ts-50 policy.
+        assert_eq!(out.iter().filter(|e| e.is_tuple()).count(), 1);
+    }
+
+    #[test]
+    fn hardened_expires_policy_after_ttl() {
+        let mut a = hardened(10, 5, 16);
+        let out = push_all(&mut a, vec![sp(&[1], 10), tup(1, 15), tup(2, 30)]);
+        // ts-15 governed (within ttl); ts-30 is 20 past the policy: held.
+        assert_eq!(out.iter().filter(|e| e.is_tuple()).count(), 1);
+        assert_eq!(a.quarantined, 1);
+    }
+
+    #[test]
+    fn merge_suppressed_batch_still_refreshes_governing_ts() {
+        let mut a = hardened(10, 100, 16);
+        let out = push_all(
+            &mut a,
+            vec![sp(&[1], 10), tup(1, 11), sp(&[1], 30), tup(2, 31)],
+        );
+        // Second batch repeats {r1}: no policy re-emitted, but the ts-31
+        // tuple is governed by the refreshed ts-30 policy.
+        assert_eq!(out.iter().filter(|e| e.as_policy().is_some()).count(), 1);
+        assert_eq!(out.iter().filter(|e| e.is_tuple()).count(), 2);
+        assert_eq!(a.sps_merged, 1);
+        assert_eq!(a.quarantined, 0);
+    }
+
+    #[test]
+    fn degradation_reports_all_counters() {
+        let mut a = hardened(10, 20, 16);
+        let _ = push_all(&mut a, vec![tup(1, 5), tup(2, 40), sp(&[1], 50), tup(3, 51)]);
+        let d = a.degradation();
+        assert_eq!(d.quarantined, 2);
+        assert_eq!(d.quarantine_dropped, 2);
+        assert_eq!(d.total_dropped(), 2);
     }
 }

@@ -277,6 +277,8 @@ impl fmt::Display for Element {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::{RoleId, RoleSet, StreamId, TupleId, Value};
 

@@ -1,0 +1,126 @@
+//! Typed engine errors.
+//!
+//! Streaming input is adversarial by assumption: frames arrive corrupted,
+//! punctuations go missing, operators built from user queries can fail.
+//! Every runtime path that ingests stream data reports failures through
+//! [`EngineError`] instead of panicking, so a hostile stream can at worst
+//! terminate one query with a diagnosable error — never the process.
+
+use std::fmt;
+
+/// An error surfaced by the streaming engine at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An element arrived on a port the operator does not have.
+    BadPort {
+        /// Operator name.
+        operator: String,
+        /// The offending port.
+        port: usize,
+        /// The operator's input arity.
+        arity: usize,
+    },
+    /// An element failed the operator's structural expectations.
+    MalformedElement {
+        /// Operator name.
+        operator: String,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A worker thread's operator panicked; the panic was contained and
+    /// converted (parallel runtime).
+    OperatorPanic {
+        /// Operator (or stage) name.
+        operator: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A runtime channel disconnected before the stream completed,
+    /// usually because a peer stage failed.
+    ChannelDisconnected {
+        /// The stage that observed the disconnect.
+        stage: String,
+    },
+    /// Workers failed to drain within the shutdown deadline.
+    ShutdownTimeout {
+        /// Number of workers still running at the deadline.
+        pending_workers: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadPort { operator, port, arity } => write!(
+                f,
+                "operator {operator:?} received input on port {port} but has arity {arity}"
+            ),
+            Self::MalformedElement { operator, reason } => {
+                write!(f, "operator {operator:?} rejected element: {reason}")
+            }
+            Self::OperatorPanic { operator, message } => {
+                write!(f, "operator {operator:?} panicked: {message}")
+            }
+            Self::ChannelDisconnected { stage } => {
+                write!(f, "stage {stage:?} lost its channel before end of stream")
+            }
+            Self::ShutdownTimeout { pending_workers } => {
+                write!(f, "{pending_workers} worker(s) still running at shutdown deadline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl EngineError {
+    /// Builds [`EngineError::OperatorPanic`] from a `catch_unwind` payload,
+    /// extracting the message when the panic carried one.
+    #[must_use]
+    pub fn from_panic(operator: &str, payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Self::OperatorPanic {
+            operator: operator.to_string(),
+            message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::BadPort {
+            operator: "sajoin".into(),
+            port: 3,
+            arity: 2,
+        };
+        assert!(e.to_string().contains("port 3"));
+        let e = EngineError::ShutdownTimeout { pending_workers: 2 };
+        assert!(e.to_string().contains("2 worker"));
+    }
+
+    #[test]
+    fn panic_payloads_extract() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("boom");
+        let e = EngineError::from_panic("select", boxed.as_ref());
+        assert_eq!(
+            e,
+            EngineError::OperatorPanic {
+                operator: "select".into(),
+                message: "boom".into()
+            }
+        );
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(format!("bad {}", 7));
+        let e = EngineError::from_panic("x", boxed.as_ref());
+        assert!(matches!(e, EngineError::OperatorPanic { message, .. } if message == "bad 7"));
+    }
+}

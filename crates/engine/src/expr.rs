@@ -250,6 +250,8 @@ impl Expr {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::{StreamId, Timestamp, TupleId, ValueType};
 

@@ -1,0 +1,563 @@
+//! Deterministic fault injection and the chaos harness.
+//!
+//! Streaming access control must degrade safely when the stream itself
+//! misbehaves: security punctuations can be lost, duplicated, delayed or
+//! reordered relative to the tuples they govern, and frames can arrive
+//! corrupted. This module provides the tooling the robustness tests use to
+//! exercise those conditions **reproducibly**:
+//!
+//! * [`FaultPlan`] — a seeded description of which faults to inject at
+//!   what rates, with sps and tuples controlled independently (losing an
+//!   sp is the security-relevant event; losing a tuple is merely lossy).
+//! * [`FaultInjector`] — applies a plan to a recorded input, producing a
+//!   perturbed input plus [`FaultStats`] describing exactly what was done.
+//!   The same seed always yields the same perturbation.
+//! * [`run_chaos`] — the harness: runs a plan-under-test across many
+//!   seeded fault scenarios and checks the engine's two degradation
+//!   invariants — it must never panic, and it must **fail closed**: the
+//!   set of tuples released under faults must be a subset of the tuples
+//!   released on the clean input. A lost or late sp may suppress output;
+//!   it must never reveal extra output.
+//!
+//! Randomness is a private splitmix64 generator so the engine crate takes
+//! no dependency for it and scenario derivation is stable across runs.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sp_core::{StreamElement, StreamId};
+
+use crate::ops::sink::Sink;
+use crate::plan::{PlanBuilder, SinkRef};
+
+/// Minimal deterministic RNG (splitmix64): one `u64` of state, full
+/// 64-bit output, good enough for fault placement.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+
+    /// Uniform in `[1, n]` (n >= 1).
+    fn up_to(&mut self, n: usize) -> usize {
+        1 + (self.next_u64() as usize) % n.max(1)
+    }
+}
+
+/// A seeded description of the faults to inject into a recorded stream.
+///
+/// All `*_prob` fields are per-element probabilities in `[0, 1]`.
+/// Punctuations and tuples are perturbed independently — the interesting
+/// degradation cases are exactly the asymmetric ones (sp lost, tuples
+/// intact).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault placement decisions.
+    pub seed: u64,
+    /// Probability an sp is silently dropped.
+    pub drop_sp: f64,
+    /// Probability a tuple is silently dropped.
+    pub drop_tuple: f64,
+    /// Probability an sp is duplicated (duplicate arrives adjacent).
+    pub dup_sp: f64,
+    /// Probability a tuple is duplicated (duplicate arrives adjacent).
+    pub dup_tuple: f64,
+    /// Probability an sp is delayed — displaced later in arrival order.
+    pub delay_sp: f64,
+    /// Maximum displacement (in elements) of a delayed sp.
+    pub delay_slots: usize,
+    /// Probability any element is displaced later in arrival order.
+    pub reorder: f64,
+    /// Maximum displacement (in elements) of a reordered element.
+    pub reorder_window: usize,
+    /// Per-byte corruption probability for [`FaultInjector::corrupt`]
+    /// (wire-level tests).
+    pub corrupt_byte: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (identity perturbation).
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_sp: 0.0,
+            drop_tuple: 0.0,
+            dup_sp: 0.0,
+            dup_tuple: 0.0,
+            delay_sp: 0.0,
+            delay_slots: 0,
+            reorder: 0.0,
+            reorder_window: 0,
+            corrupt_byte: 0.0,
+        }
+    }
+
+    /// Derives a randomized-but-deterministic scenario from a seed: every
+    /// fault kind enabled at a seed-dependent rate. Two calls with the
+    /// same seed produce the same plan.
+    #[must_use]
+    pub fn scenario(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xC0FF_EE00_5EED_5EED);
+        Self {
+            seed,
+            drop_sp: rng.next_f64() * 0.35,
+            drop_tuple: rng.next_f64() * 0.25,
+            dup_sp: rng.next_f64() * 0.25,
+            dup_tuple: rng.next_f64() * 0.25,
+            delay_sp: rng.next_f64() * 0.35,
+            delay_slots: rng.up_to(6),
+            reorder: rng.next_f64() * 0.3,
+            reorder_window: rng.up_to(4),
+            corrupt_byte: rng.next_f64() * 0.02,
+        }
+    }
+}
+
+/// Counts of the faults an injector actually applied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Punctuations removed from the stream.
+    pub dropped_sps: u64,
+    /// Tuples removed from the stream.
+    pub dropped_tuples: u64,
+    /// Punctuations duplicated.
+    pub duplicated_sps: u64,
+    /// Tuples duplicated.
+    pub duplicated_tuples: u64,
+    /// Punctuations displaced later by the delay fault.
+    pub delayed_sps: u64,
+    /// Elements displaced by the reorder fault.
+    pub reordered: u64,
+    /// Bytes corrupted by [`FaultInjector::corrupt`].
+    pub corrupted_bytes: u64,
+}
+
+impl FaultStats {
+    /// Total number of injected faults.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.dropped_sps
+            + self.dropped_tuples
+            + self.duplicated_sps
+            + self.duplicated_tuples
+            + self.delayed_sps
+            + self.reordered
+            + self.corrupted_bytes
+    }
+
+    /// Accumulates another stats block into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.dropped_sps += other.dropped_sps;
+        self.dropped_tuples += other.dropped_tuples;
+        self.duplicated_sps += other.duplicated_sps;
+        self.duplicated_tuples += other.duplicated_tuples;
+        self.delayed_sps += other.delayed_sps;
+        self.reordered += other.reordered;
+        self.corrupted_bytes += other.corrupted_bytes;
+    }
+}
+
+/// Applies a [`FaultPlan`] to recorded input, deterministically.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// An injector for the given plan.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { rng: SplitMix64::new(plan.seed), plan, stats: FaultStats::default() }
+    }
+
+    /// What this injector has done so far.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Produces the perturbed copy of `input`.
+    ///
+    /// Drops and duplicates are applied per element (duplicates arrive
+    /// adjacent, as network-level duplicates do); then sps are delayed;
+    /// then the generic reorder displacement runs over everything.
+    #[must_use]
+    pub fn apply(
+        &mut self,
+        input: &[(StreamId, StreamElement)],
+    ) -> Vec<(StreamId, StreamElement)> {
+        let mut out: Vec<(StreamId, StreamElement)> = Vec::with_capacity(input.len());
+        for (sid, elem) in input {
+            let is_sp = matches!(elem, StreamElement::Punctuation(_));
+            let (p_drop, p_dup) = if is_sp {
+                (self.plan.drop_sp, self.plan.dup_sp)
+            } else {
+                (self.plan.drop_tuple, self.plan.dup_tuple)
+            };
+            if self.rng.chance(p_drop) {
+                if is_sp {
+                    self.stats.dropped_sps += 1;
+                } else {
+                    self.stats.dropped_tuples += 1;
+                }
+                continue;
+            }
+            out.push((*sid, elem.clone()));
+            if self.rng.chance(p_dup) {
+                if is_sp {
+                    self.stats.duplicated_sps += 1;
+                } else {
+                    self.stats.duplicated_tuples += 1;
+                }
+                out.push((*sid, elem.clone()));
+            }
+        }
+        let delayed =
+            self.displace(&mut out, self.plan.delay_sp, self.plan.delay_slots, true);
+        self.stats.delayed_sps += delayed;
+        let reordered =
+            self.displace(&mut out, self.plan.reorder, self.plan.reorder_window, false);
+        self.stats.reordered += reordered;
+        out
+    }
+
+    /// Displaces elements later in arrival order by up to `window` slots.
+    fn displace(
+        &mut self,
+        out: &mut Vec<(StreamId, StreamElement)>,
+        prob: f64,
+        window: usize,
+        sp_only: bool,
+    ) -> u64 {
+        if prob <= 0.0 || window == 0 || out.len() < 2 {
+            return 0;
+        }
+        let mut moved = 0;
+        let mut i = 0;
+        while i < out.len() {
+            let applies = !sp_only || matches!(out[i].1, StreamElement::Punctuation(_));
+            if applies && self.rng.chance(prob) {
+                let j = (i + self.rng.up_to(window)).min(out.len() - 1);
+                if j > i {
+                    let e = out.remove(i);
+                    out.insert(j, e);
+                    moved += 1;
+                }
+            }
+            i += 1;
+        }
+        moved
+    }
+
+    /// Corrupts `bytes` in place: each byte is XORed with a random
+    /// non-zero mask with probability `corrupt_byte`. For exercising the
+    /// wire layer's CRC and resync paths.
+    pub fn corrupt(&mut self, bytes: &mut [u8]) {
+        for b in bytes.iter_mut() {
+            if self.rng.chance(self.plan.corrupt_byte) {
+                let mask = (self.rng.next_u64() as u8) | 1;
+                *b ^= mask;
+                self.stats.corrupted_bytes += 1;
+            }
+        }
+    }
+}
+
+/// Outcome of a [`run_chaos`] campaign.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    /// Number of fault scenarios executed.
+    pub scenarios: u64,
+    /// Scenarios where the executor reported a typed [`crate::EngineError`]
+    /// (acceptable: fail-closed degradation, not a failure).
+    pub engine_errors: u64,
+    /// Scenarios where the engine panicked (always a failure).
+    pub panics: u64,
+    /// Human-readable invariant violations (panics, leaked tuples).
+    pub violations: Vec<String>,
+    /// Aggregate faults injected across all scenarios.
+    pub faults: FaultStats,
+}
+
+impl ChaosReport {
+    /// True when every scenario upheld both invariants.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.panics == 0 && self.violations.is_empty()
+    }
+
+    /// One-line summary for harness output.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} scenarios, {} faults injected, {} engine errors, {} panics, {} violations",
+            self.scenarios,
+            self.faults.total(),
+            self.engine_errors,
+            self.panics,
+            self.violations.len()
+        )
+    }
+}
+
+fn released_keys(sink: &Sink) -> HashSet<String> {
+    sink.tuples().map(|t| t.to_string()).collect()
+}
+
+/// Runs `scenarios` seeded fault scenarios of the plan produced by
+/// `build` over `input`, checking the degradation invariants.
+///
+/// `build` must return a fresh builder (and the sinks to audit) each call
+/// — operators hold state, so every scenario needs its own plan instance.
+/// Scenario `s` uses [`FaultPlan::scenario`] derived from `base_seed` and
+/// `s`; the whole campaign is reproducible from `base_seed`.
+///
+/// Invariants checked per scenario:
+///
+/// 1. **No panics** — the engine must survive arbitrary drop / duplicate
+///    / delay / reorder perturbations of its input.
+/// 2. **Fail closed** — for every sink, the released tuple set under
+///    faults must be a subset of the clean run's released set.
+pub fn run_chaos<B>(
+    input: &[(StreamId, StreamElement)],
+    scenarios: u64,
+    base_seed: u64,
+    mut build: B,
+) -> ChaosReport
+where
+    B: FnMut() -> (PlanBuilder, Vec<SinkRef>),
+{
+    let mut report = ChaosReport { scenarios, ..ChaosReport::default() };
+
+    // Fault-free baseline.
+    let (builder, sink_refs) = build();
+    let mut exec = builder.build();
+    if let Err(e) = exec.push_all(input.iter().cloned()) {
+        report.violations.push(format!("baseline run failed: {e}"));
+        return report;
+    }
+    let baseline: Vec<HashSet<String>> =
+        sink_refs.iter().map(|r| released_keys(exec.sink(*r))).collect();
+
+    for s in 0..scenarios {
+        let plan = FaultPlan::scenario(base_seed ^ (s.wrapping_mul(0x0123_4567_89AB_CDEF) | s));
+        let mut injector = FaultInjector::new(plan);
+        let faulty = injector.apply(input);
+        report.faults.absorb(injector.stats());
+
+        let (builder, sink_refs) = build();
+        let outcome = catch_unwind(AssertUnwindSafe(move || {
+            let mut exec = builder.build();
+            let err = exec.push_all(faulty).err();
+            let sets: Vec<HashSet<String>> =
+                sink_refs.iter().map(|r| released_keys(exec.sink(*r))).collect();
+            (err, sets)
+        }));
+        match outcome {
+            Err(_) => {
+                report.panics += 1;
+                report.violations.push(format!("scenario {s}: engine panicked"));
+            }
+            Ok((err, sets)) => {
+                if err.is_some() {
+                    report.engine_errors += 1;
+                }
+                for (i, set) in sets.iter().enumerate() {
+                    if !set.is_subset(&baseline[i]) {
+                        let mut leaked: Vec<&String> =
+                            set.difference(&baseline[i]).collect();
+                        leaked.sort();
+                        leaked.truncate(3);
+                        report.violations.push(format!(
+                            "scenario {s} sink {i}: {} tuple(s) released that the \
+                             fault-free run withheld, e.g. {leaked:?}",
+                            set.difference(&baseline[i]).count(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use sp_core::{RoleSet, SecurityPunctuation, Timestamp, Tuple, TupleId, Value};
+
+    fn sp(ts: u64) -> (StreamId, StreamElement) {
+        (
+            StreamId(1),
+            StreamElement::punctuation(SecurityPunctuation::grant_all(
+                RoleSet::from([1]),
+                Timestamp(ts),
+            )),
+        )
+    }
+
+    fn tup(tid: u64, ts: u64) -> (StreamId, StreamElement) {
+        (
+            StreamId(1),
+            StreamElement::tuple(Tuple::new(
+                StreamId(1),
+                TupleId(tid),
+                Timestamp(ts),
+                vec![Value::Int(tid as i64)],
+            )),
+        )
+    }
+
+    fn recorded(n: u64) -> Vec<(StreamId, StreamElement)> {
+        let mut input = Vec::new();
+        for seg in 0..n {
+            let base = seg * 100;
+            input.push(sp(base));
+            for k in 1..=4 {
+                input.push(tup(seg * 10 + k, base + k));
+            }
+        }
+        input
+    }
+
+    #[test]
+    fn identity_plan_is_identity() {
+        let input = recorded(5);
+        let mut inj = FaultInjector::new(FaultPlan::none(7));
+        let out = inj.apply(&input);
+        assert_eq!(out.len(), input.len());
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_perturbation() {
+        let input = recorded(10);
+        let plan = FaultPlan::scenario(42);
+        let a = FaultInjector::new(plan).apply(&input);
+        let mut second = FaultInjector::new(plan);
+        let b = second.apply(&input);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0, y.0);
+            match (&x.1, &y.1) {
+                (StreamElement::Tuple(t), StreamElement::Tuple(u)) => assert_eq!(t, u),
+                (StreamElement::Punctuation(p), StreamElement::Punctuation(q)) => {
+                    assert_eq!(p.ts, q.ts);
+                }
+                _ => panic!("same seed diverged"),
+            }
+        }
+        assert!(second.stats().total() > 0, "scenario plans inject faults");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(FaultPlan::scenario(1), FaultPlan::scenario(2));
+    }
+
+    #[test]
+    fn drop_all_sps_drops_only_sps() {
+        let input = recorded(6);
+        let sps = input
+            .iter()
+            .filter(|(_, e)| matches!(e, StreamElement::Punctuation(_)))
+            .count() as u64;
+        let mut plan = FaultPlan::none(3);
+        plan.drop_sp = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        let out = inj.apply(&input);
+        assert_eq!(inj.stats().dropped_sps, sps);
+        assert_eq!(inj.stats().dropped_tuples, 0);
+        assert!(out.iter().all(|(_, e)| matches!(e, StreamElement::Tuple(_))));
+    }
+
+    #[test]
+    fn duplicates_arrive_adjacent() {
+        let input = recorded(4);
+        let mut plan = FaultPlan::none(9);
+        plan.dup_tuple = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        let out = inj.apply(&input);
+        let sp_count = input
+            .iter()
+            .filter(|(_, e)| matches!(e, StreamElement::Punctuation(_)))
+            .count();
+        let tuples = input.len() - sp_count;
+        assert_eq!(out.len(), input.len() + tuples);
+        assert_eq!(inj.stats().duplicated_tuples as usize, tuples);
+        // Every tuple is immediately followed by its duplicate.
+        let mut i = 0;
+        while i < out.len() {
+            if let StreamElement::Tuple(t) = &out[i].1 {
+                match &out[i + 1].1 {
+                    StreamElement::Tuple(u) => assert_eq!(t, u),
+                    StreamElement::Punctuation(_) => panic!("duplicate not adjacent"),
+                }
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_displacement_is_bounded() {
+        let input = recorded(8);
+        let mut plan = FaultPlan::none(17);
+        plan.reorder = 0.5;
+        plan.reorder_window = 3;
+        let mut inj = FaultInjector::new(plan);
+        let out = inj.apply(&input);
+        assert_eq!(out.len(), input.len());
+        assert!(inj.stats().reordered > 0);
+        // Conservation: same multiset of timestamps.
+        let ts_of = |e: &StreamElement| match e {
+            StreamElement::Tuple(t) => t.ts.0,
+            StreamElement::Punctuation(p) => p.ts.0,
+        };
+        let mut a: Vec<u64> = input.iter().map(|(_, e)| ts_of(e)).collect();
+        let mut b: Vec<u64> = out.iter().map(|(_, e)| ts_of(e)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corruption_flips_counted_bytes() {
+        let mut plan = FaultPlan::none(23);
+        plan.corrupt_byte = 0.5;
+        let mut inj = FaultInjector::new(plan);
+        let clean: Vec<u8> = (0..200u16).map(|b| b as u8).collect();
+        let mut bytes = clean.clone();
+        inj.corrupt(&mut bytes);
+        let flipped = clean.iter().zip(&bytes).filter(|(a, b)| a != b).count() as u64;
+        assert!(flipped > 0);
+        assert_eq!(flipped, inj.stats().corrupted_bytes);
+    }
+}

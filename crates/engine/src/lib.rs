@@ -16,8 +16,13 @@
 //!   SAJoin (⋈, nested-loop PF/FP and SPIndex variants), duplicate
 //!   elimination (δ), group-by with attribute subgroups;
 //! * [`plan`] — plan DAGs with shared subplans and the push-based executor;
-//! * [`parallel`] — a pipeline-parallel runner (one thread per operator)
-//!   that reproduces the sequential executor's results exactly;
+//! * [`parallel`] — a pipeline-parallel runner (one thread per operator,
+//!   bounded channels, panic containment) that reproduces the sequential
+//!   executor's results exactly;
+//! * [`error`] — typed runtime errors: hostile input fails a query, not
+//!   the process;
+//! * [`fault`] — deterministic seeded fault injection (drop / duplicate /
+//!   reorder / delay / corrupt) and the chaos harness over whole plans;
 //! * [`reorder`] — a K-slack buffer restoring timestamp order for
 //!   out-of-order arrivals (the substrate §II-B defers to prior work);
 //! * [`predicate_index`] — the CACQ-style grouped filter over SS states
@@ -27,7 +32,9 @@
 
 pub mod analyzer;
 pub mod element;
+pub mod error;
 pub mod expr;
+pub mod fault;
 pub mod operator;
 pub mod ops;
 pub mod parallel;
@@ -37,9 +44,11 @@ pub mod reorder;
 pub mod stats;
 pub mod window;
 
-pub use analyzer::SpAnalyzer;
+pub use analyzer::{QuarantinePolicy, SpAnalyzer};
 pub use element::{Element, PolicyEntry, SegmentPolicy};
+pub use error::EngineError;
 pub use expr::{ArithOp, CmpOp, Expr};
+pub use fault::{ChaosReport, FaultInjector, FaultPlan, FaultStats};
 pub use operator::{run_unary, Emitter, Operator};
 pub use ops::{
     AggFunc, DupElim, Granularity, GroupBy, JoinVariant, MatchMode, Project, SAIntersect,
@@ -49,5 +58,5 @@ pub use parallel::{run_parallel, ParallelResults};
 pub use predicate_index::{PredicateIndex, QuerySet};
 pub use reorder::ReorderBuffer;
 pub use plan::{Executor, NodeRef, PlanBuilder, SinkRef, SourceRef, Upstream};
-pub use stats::{CostKind, OperatorStats};
+pub use stats::{CostKind, DegradationStats, OperatorStats};
 pub use window::WindowSpec;

@@ -1,6 +1,7 @@
 //! The stream operator abstraction and output collector.
 
 use crate::element::Element;
+use crate::error::EngineError;
 use crate::stats::OperatorStats;
 
 /// Collects the elements an operator emits during one `process` call; the
@@ -63,7 +64,12 @@ pub trait Operator: Send {
     }
 
     /// Processes one input element, emitting any outputs.
-    fn process(&mut self, port: usize, elem: Element, out: &mut Emitter);
+    ///
+    /// Stream data is untrusted: implementations must report malformed
+    /// input through [`EngineError`] rather than panicking, so a hostile
+    /// stream can fail one query without taking the engine down.
+    fn process(&mut self, port: usize, elem: Element, out: &mut Emitter)
+        -> Result<(), EngineError>;
 
     /// Cost counters.
     fn stats(&self) -> &OperatorStats;
@@ -87,11 +93,18 @@ pub trait Operator: Send {
 
 /// Test/bench helper: runs a sequence of elements through a single operator
 /// and returns everything it emits.
+///
+/// # Panics
+///
+/// Panics if the operator reports an [`EngineError`]; harness code wants
+/// the loud failure. Production paths go through the executor, which
+/// propagates instead.
+#[allow(clippy::expect_used)] // harness helper: a loud failure is the point
 pub fn run_unary(op: &mut dyn Operator, input: impl IntoIterator<Item = Element>) -> Vec<Element> {
     let mut out = Emitter::new();
     let mut collected = Vec::new();
     for elem in input {
-        op.process(0, elem, &mut out);
+        op.process(0, elem, &mut out).expect("operator failed in run_unary");
         collected.extend(out.drain());
     }
     collected
@@ -99,6 +112,8 @@ pub fn run_unary(op: &mut dyn Operator, input: impl IntoIterator<Item = Element>
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::{StreamId, Timestamp, Tuple, TupleId};
 
@@ -110,9 +125,15 @@ mod tests {
         fn name(&self) -> &str {
             "echo"
         }
-        fn process(&mut self, _port: usize, elem: Element, out: &mut Emitter) {
+        fn process(
+            &mut self,
+            _port: usize,
+            elem: Element,
+            out: &mut Emitter,
+        ) -> Result<(), EngineError> {
             self.stats.tuples_in += 1;
             out.push(elem);
+            Ok(())
         }
         fn stats(&self) -> &OperatorStats {
             &self.stats

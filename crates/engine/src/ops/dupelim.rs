@@ -28,6 +28,7 @@ use std::sync::Arc;
 use sp_core::{Policy, RoleSet, SharedPolicy, Timestamp, Tuple, Value};
 
 use crate::element::{Element, SegmentPolicy};
+use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
 use crate::stats::{CostKind, OperatorStats};
 use crate::window::WindowSpec;
@@ -138,7 +139,15 @@ impl Operator for DupElim {
         "dupelim"
     }
 
-    fn process(&mut self, _port: usize, elem: Element, out: &mut Emitter) {
+    fn process(
+        &mut self,
+        port: usize,
+        elem: Element,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port != 0 {
+            return Err(EngineError::BadPort { operator: "dupelim".into(), port, arity: 1 });
+        }
         match elem {
             Element::Policy(seg) => {
                 let start = std::time::Instant::now();
@@ -205,6 +214,7 @@ impl Operator for DupElim {
                 }
             }
         }
+        Ok(())
     }
 
     fn stats(&self) -> &OperatorStats {
@@ -228,6 +238,8 @@ impl Operator for DupElim {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::operator::run_unary;
     use sp_core::{RoleId, StreamId, TupleId};

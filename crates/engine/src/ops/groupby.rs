@@ -14,6 +14,7 @@ use std::sync::Arc;
 use sp_core::{Policy, RoleSet, SharedPolicy, Timestamp, Tuple, Value};
 
 use crate::element::{Element, SegmentPolicy};
+use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
 use crate::stats::{CostKind, OperatorStats};
 use crate::window::WindowSpec;
@@ -256,7 +257,15 @@ impl Operator for GroupBy {
         "groupby"
     }
 
-    fn process(&mut self, _port: usize, elem: Element, out: &mut Emitter) {
+    fn process(
+        &mut self,
+        port: usize,
+        elem: Element,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port != 0 {
+            return Err(EngineError::BadPort { operator: "groupby".into(), port, arity: 1 });
+        }
         match elem {
             Element::Policy(seg) => {
                 let start = std::time::Instant::now();
@@ -295,6 +304,7 @@ impl Operator for GroupBy {
                 self.stats.charge(CostKind::Tuple, start.elapsed());
             }
         }
+        Ok(())
     }
 
     fn stats(&self) -> &OperatorStats {
@@ -318,6 +328,8 @@ impl Operator for GroupBy {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::operator::run_unary;
     use sp_core::{RoleId, StreamId, TupleId};

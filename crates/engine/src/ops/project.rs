@@ -10,6 +10,7 @@
 //! segment's tuples downstream.
 
 use crate::element::Element;
+use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
 use crate::stats::{CostKind, OperatorStats};
 
@@ -40,7 +41,15 @@ impl Operator for Project {
         "project"
     }
 
-    fn process(&mut self, _port: usize, elem: Element, out: &mut Emitter) {
+    fn process(
+        &mut self,
+        port: usize,
+        elem: Element,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port != 0 {
+            return Err(EngineError::BadPort { operator: "project".into(), port, arity: 1 });
+        }
         match elem {
             Element::Policy(seg) => {
                 let start = std::time::Instant::now();
@@ -65,6 +74,7 @@ impl Operator for Project {
                 self.stats.charge(CostKind::Tuple, start.elapsed());
             }
         }
+        Ok(())
     }
 
     fn stats(&self) -> &OperatorStats {
@@ -74,6 +84,8 @@ impl Operator for Project {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::element::SegmentPolicy;
     use crate::operator::run_unary;

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use sp_core::{Policy, RoleId, SharedPolicy, Timestamp, Tuple};
 
 use crate::element::{Element, SegmentPolicy};
+use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
 use crate::stats::{CostKind, OperatorStats};
 use crate::window::WindowSpec;
@@ -145,9 +146,8 @@ impl Side {
 
     /// Opens a new segment for `policy`, replacing a trailing empty one.
     fn open_segment(&mut self, policy: Arc<SegmentPolicy>, use_index: bool) {
-        if let Some(last) = self.segments.back() {
-            if last.tuples.is_empty() {
-                let last = self.segments.pop_back().expect("back exists");
+        if self.segments.back().is_some_and(|last| last.tuples.is_empty()) {
+            if let Some(last) = self.segments.pop_back() {
                 if use_index {
                     self.remove_index_entries(&last);
                 }
@@ -179,6 +179,8 @@ impl Side {
             self.next_segment_id += 1;
             self.segments.push_back(Segment { id, policy: None, tuples: VecDeque::new() });
         }
+        // Audited: a segment was pushed just above if none existed.
+        #[allow(clippy::expect_used)]
         let seg = self.segments.back_mut().expect("segment exists");
         let policy = match &seg.policy {
             Some(p) => p.policy_for(&tuple),
@@ -326,6 +328,8 @@ impl SAJoin {
             // segment still governing future arrivals.
             if front.tuples.is_empty() && side.segments.len() > 1 {
                 let sp_start = std::time::Instant::now();
+                // Audited: len > 1 was just checked.
+                #[allow(clippy::expect_used)]
                 let seg = side.segments.pop_front().expect("front exists");
                 if use_index {
                     if let Some(policy) = &seg.policy {
@@ -349,11 +353,15 @@ impl SAJoin {
         let side = if from_left { &mut self.left } else { &mut self.right };
         let start = std::time::Instant::now();
         while side.tuple_count > capacity {
+            // Audited: tuple_count > 0 implies at least one segment.
+            #[allow(clippy::expect_used)]
             let front = side.segments.front_mut().expect("non-empty when over capacity");
             if front.tuples.pop_front().is_some() {
                 side.tuple_count -= 1;
             }
             if front.tuples.is_empty() && side.segments.len() > 1 {
+                // Audited: len > 1 was just checked.
+                #[allow(clippy::expect_used)]
                 let seg = side.segments.pop_front().expect("front exists");
                 if use_index {
                     if let Some(policy) = &seg.policy {
@@ -493,7 +501,15 @@ impl Operator for SAJoin {
         2
     }
 
-    fn process(&mut self, port: usize, elem: Element, out: &mut Emitter) {
+    fn process(
+        &mut self,
+        port: usize,
+        elem: Element,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port >= 2 {
+            return Err(EngineError::BadPort { operator: "sajoin".into(), port, arity: 2 });
+        }
         let from_left = port == 0;
         match elem {
             Element::Policy(seg) => {
@@ -514,6 +530,8 @@ impl Operator for SAJoin {
                 let insert_start = std::time::Instant::now();
                 let side = if from_left { &mut self.left } else { &mut self.right };
                 side.insert_tuple(tuple.clone());
+                // Audited: insert_tuple just appended to the back segment.
+                #[allow(clippy::expect_used)]
                 let policy = side
                     .segments
                     .back()
@@ -527,6 +545,7 @@ impl Operator for SAJoin {
                 self.probe(from_left, &tuple, &policy, out);
             }
         }
+        Ok(())
     }
 
     fn stats(&self) -> &OperatorStats {
@@ -540,6 +559,8 @@ impl Operator for SAJoin {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::{RoleSet, StreamId, TupleId, Value};
 
@@ -563,7 +584,7 @@ mod tests {
         let mut em = Emitter::new();
         let mut collected = Vec::new();
         for (port, elem) in input {
-            join.process(port, elem, &mut em);
+            join.process(port, elem, &mut em).unwrap();
             collected.extend(em.drain());
         }
         collected

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use crate::element::{Element, SegmentPolicy};
+use crate::error::EngineError;
 use crate::expr::Expr;
 use crate::operator::{Emitter, Operator};
 use crate::stats::{CostKind, OperatorStats};
@@ -41,7 +42,15 @@ impl Operator for Select {
         "select"
     }
 
-    fn process(&mut self, _port: usize, elem: Element, out: &mut Emitter) {
+    fn process(
+        &mut self,
+        port: usize,
+        elem: Element,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port != 0 {
+            return Err(EngineError::BadPort { operator: "select".into(), port, arity: 1 });
+        }
         match elem {
             Element::Policy(seg) => {
                 let start = std::time::Instant::now();
@@ -65,6 +74,7 @@ impl Operator for Select {
                 self.stats.charge(CostKind::Tuple, start.elapsed());
             }
         }
+        Ok(())
     }
 
     fn stats(&self) -> &OperatorStats {
@@ -78,6 +88,8 @@ impl Operator for Select {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::expr::CmpOp;
     use crate::operator::run_unary;

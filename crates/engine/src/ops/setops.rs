@@ -20,6 +20,7 @@ use std::sync::Arc;
 use sp_core::{Policy, SharedPolicy, Timestamp, Tuple};
 
 use crate::element::{Element, SegmentPolicy};
+use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
 use crate::stats::{CostKind, OperatorStats};
 use crate::window::WindowSpec;
@@ -56,7 +57,15 @@ impl Operator for Union {
         2
     }
 
-    fn process(&mut self, port: usize, elem: Element, out: &mut Emitter) {
+    fn process(
+        &mut self,
+        port: usize,
+        elem: Element,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port >= 2 {
+            return Err(EngineError::BadPort { operator: "union".into(), port, arity: 2 });
+        }
         match elem {
             Element::Policy(seg) => {
                 let start = std::time::Instant::now();
@@ -108,6 +117,7 @@ impl Operator for Union {
                 self.stats.charge(CostKind::Tuple, start.elapsed());
             }
         }
+        Ok(())
     }
 
     fn stats(&self) -> &OperatorStats {
@@ -176,7 +186,15 @@ impl Operator for SAIntersect {
         2
     }
 
-    fn process(&mut self, port: usize, elem: Element, out: &mut Emitter) {
+    fn process(
+        &mut self,
+        port: usize,
+        elem: Element,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port >= 2 {
+            return Err(EngineError::BadPort { operator: "intersect".into(), port, arity: 2 });
+        }
         match elem {
             Element::Policy(seg) => {
                 let start = std::time::Instant::now();
@@ -241,6 +259,7 @@ impl Operator for SAIntersect {
                 self.stats.charge(CostKind::Join, start.elapsed());
             }
         }
+        Ok(())
     }
 
     fn stats(&self) -> &OperatorStats {
@@ -258,6 +277,8 @@ impl Operator for SAIntersect {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::{RoleId, StreamId, TupleId, Value};
 
@@ -281,7 +302,7 @@ mod tests {
         let mut emitter = Emitter::new();
         let mut out = Vec::new();
         for (port, e) in feed {
-            op.process(port, e, &mut emitter);
+            op.process(port, e, &mut emitter).unwrap();
             out.extend(emitter.drain());
         }
         out

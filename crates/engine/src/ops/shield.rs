@@ -20,6 +20,7 @@ use std::sync::Arc;
 use sp_core::{RoleSet, SharedPolicy};
 
 use crate::element::{Element, SegmentPolicy};
+use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
 use crate::stats::{CostKind, OperatorStats};
 
@@ -238,7 +239,15 @@ impl Operator for SecurityShield {
         "ss"
     }
 
-    fn process(&mut self, _port: usize, elem: Element, out: &mut Emitter) {
+    fn process(
+        &mut self,
+        port: usize,
+        elem: Element,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port != 0 {
+            return Err(EngineError::BadPort { operator: "ss".into(), port, arity: 1 });
+        }
         match elem {
             Element::Policy(seg) => {
                 let start = self.timed.then(std::time::Instant::now);
@@ -286,6 +295,9 @@ impl Operator for SecurityShield {
                             Combined(SharedPolicy),
                         }
                         let hit = {
+                            // Audited: the PerTuple verdict is only produced
+                            // while a segment is current.
+                            #[allow(clippy::expect_used)]
                             let seg =
                                 self.current.as_ref().expect("PerTuple implies a segment");
                             match seg.resolve_ref(&tuple) {
@@ -341,6 +353,7 @@ impl Operator for SecurityShield {
                 }
             }
         }
+        Ok(())
     }
 
     fn stats(&self) -> &OperatorStats {
@@ -375,6 +388,8 @@ impl Operator for SecurityShield {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::operator::run_unary;
     use sp_core::{Policy, RoleId, StreamId, Timestamp, Tuple, TupleId, Value};

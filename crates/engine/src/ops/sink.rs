@@ -5,6 +5,7 @@ use std::sync::Arc;
 use sp_core::Tuple;
 
 use crate::element::{Element, SegmentPolicy};
+use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
 use crate::stats::OperatorStats;
 
@@ -55,12 +56,21 @@ impl Operator for Sink {
         "sink"
     }
 
-    fn process(&mut self, _port: usize, elem: Element, _out: &mut Emitter) {
+    fn process(
+        &mut self,
+        port: usize,
+        elem: Element,
+        _out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port != 0 {
+            return Err(EngineError::BadPort { operator: "sink".into(), port, arity: 1 });
+        }
         match &elem {
             Element::Tuple(_) => self.stats.tuples_in += 1,
             Element::Policy(_) => self.stats.sps_in += 1,
         }
         self.elements.push(elem);
+        Ok(())
     }
 
     fn stats(&self) -> &OperatorStats {
@@ -80,6 +90,8 @@ impl Operator for Sink {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::{Policy, RoleSet, StreamId, Timestamp, TupleId};
 
@@ -91,7 +103,8 @@ mod tests {
             0,
             Element::tuple(Tuple::new(StreamId(0), TupleId(1), Timestamp(0), vec![])),
             &mut em,
-        );
+        )
+        .unwrap();
         sink.process(
             0,
             Element::policy(SegmentPolicy::uniform(Policy::tuple_level(
@@ -99,7 +112,9 @@ mod tests {
                 Timestamp(1),
             ))),
             &mut em,
-        );
+        )
+        .unwrap();
+        assert!(sink.process(1, Element::tuple(Tuple::new(StreamId(0), TupleId(9), Timestamp(2), vec![])), &mut em).is_err());
         assert_eq!(sink.elements().len(), 2);
         assert_eq!(sink.tuple_count(), 1);
         assert_eq!(sink.policies().count(), 1);

@@ -1,10 +1,10 @@
-//! Pipeline-parallel plan execution.
+//! Pipeline-parallel plan execution, hardened for hostile streams.
 //!
 //! The reference [`Executor`](crate::plan::Executor) is single-threaded —
 //! ideal for deterministic cost accounting, which is what the paper's
 //! experiments measure. This module adds a **pipeline-parallel** runner:
-//! every operator runs on its own thread, connected by crossbeam channels,
-//! the way a multi-threaded DSMS would deploy a plan.
+//! every operator runs on its own thread, connected by channels, the way a
+//! multi-threaded DSMS would deploy a plan.
 //!
 //! Determinism is preserved exactly. Every element leaving a source is
 //! tagged with a global sequence number; operators emit outputs under the
@@ -15,19 +15,48 @@
 //! equivalence tests below — while overlapping the work of pipeline
 //! stages.
 //!
+//! Robustness properties (the reason this runner differs from a naive
+//! thread-per-operator sketch):
+//!
+//! * **bounded channels** — unary edges are bounded ([`EDGE_CAPACITY`]),
+//!   so a slow operator exerts backpressure on the feeder instead of
+//!   letting queues grow without limit. Binary-merge input ports are the
+//!   one deliberate exception: an ordered two-way merge must be able to
+//!   buffer the non-selected port arbitrarily (bounding both ports can
+//!   deadlock diamond fan-ins), so those edges are unbounded.
+//! * **panic containment** — each `process` call runs under
+//!   `catch_unwind`; a panicking operator surfaces as
+//!   [`EngineError::OperatorPanic`] from [`run_parallel`] instead of a
+//!   poisoned join or a silent hang.
+//! * **drain with timeout** — feeding uses a stall deadline and shutdown
+//!   polls worker completion against [`DRAIN_TIMEOUT`], so a wedged graph
+//!   returns [`EngineError::ShutdownTimeout`] rather than blocking the
+//!   caller forever.
+//!
 //! The runner executes *finite recorded inputs* (feed everything, close,
 //! drain), the mode used by tests and benchmarks.
 
 use std::collections::HashMap;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
 
 use sp_core::{StreamElement, StreamId};
 
 use crate::element::Element;
+use crate::error::EngineError;
 use crate::operator::{Emitter, Operator as _};
 use crate::ops::sink::Sink;
 use crate::plan::{PlanBuilder, SinkRef, Target};
+
+/// Capacity of bounded (unary / sink) edges.
+pub const EDGE_CAPACITY: usize = 256;
+
+/// How long a bounded edge may refuse an element before the run is
+/// declared wedged.
+pub const STALL_DEADLINE: Duration = Duration::from_secs(10);
+
+/// How long shutdown waits for workers to drain after the input closes.
+pub const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A sequence-tagged element travelling an edge.
 #[derive(Debug, Clone)]
@@ -49,21 +78,55 @@ impl ParallelResults {
     }
 }
 
+/// One outgoing edge: bounded for unary/sink consumers, unbounded for
+/// binary-merge ports (see the module docs for why).
+#[derive(Clone)]
+enum EdgeTx {
+    Bounded(SyncSender<Envelope>),
+    Unbounded(Sender<Envelope>),
+}
+
+impl EdgeTx {
+    /// Sends with backpressure. Returns `Ok(false)` when the receiver is
+    /// gone (a downstream worker finished or failed — not an error for
+    /// the sender), `Err` when a bounded edge stalls past the deadline.
+    fn send(&self, env: Envelope) -> Result<bool, EngineError> {
+        match self {
+            EdgeTx::Unbounded(tx) => Ok(tx.send(env).is_ok()),
+            EdgeTx::Bounded(tx) => {
+                let mut env = env;
+                let deadline = Instant::now() + STALL_DEADLINE;
+                loop {
+                    match tx.try_send(env) {
+                        Ok(()) => return Ok(true),
+                        Err(TrySendError::Disconnected(_)) => return Ok(false),
+                        Err(TrySendError::Full(back)) => {
+                            if Instant::now() >= deadline {
+                                return Err(EngineError::ShutdownTimeout {
+                                    pending_workers: 1,
+                                });
+                            }
+                            env = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The pre-resolved outgoing edges of one worker: exactly the senders this
 /// worker needs, and nothing more. Holding only these keeps channel
 /// closure cascading topologically — a worker exits when its inputs close,
 /// which closes its outputs in turn. (Handing every worker senders to
 /// every channel would deadlock: no channel could ever close.)
 struct Wires {
-    senders: Vec<Sender<Envelope>>,
+    senders: Vec<EdgeTx>,
 }
 
 impl Wires {
-    fn resolve(
-        targets: &[Target],
-        node_tx: &[Vec<Sender<Envelope>>],
-        sink_tx: &[Sender<Envelope>],
-    ) -> Self {
+    fn resolve(targets: &[Target], node_tx: &[Vec<EdgeTx>], sink_tx: &[EdgeTx]) -> Self {
         let senders = targets
             .iter()
             .map(|t| match *t {
@@ -74,11 +137,12 @@ impl Wires {
         Self { senders }
     }
 
-    fn send(&self, seq: u64, elem: &Element) {
+    fn send(&self, seq: u64, elem: &Element) -> Result<(), EngineError> {
         for tx in &self.senders {
-            // A closed downstream (its thread finished early) is fine.
-            let _ = tx.send(Envelope { seq, elem: elem.clone() });
+            // `Ok(false)` (closed downstream) is fine; a stall is not.
+            tx.send(Envelope { seq, elem: elem.clone() })?;
         }
+        Ok(())
     }
 }
 
@@ -106,34 +170,101 @@ impl PeekRx {
         self.head.as_ref().map(|e| e.seq)
     }
 
-    fn take(&mut self) -> Envelope {
-        self.head.take().expect("peeked head")
+    fn take(&mut self) -> Option<Envelope> {
+        self.head.take()
     }
+}
+
+/// Runs one element through an operator with panic containment, then
+/// forwards whatever it emitted.
+fn process_contained(
+    node: &mut crate::plan::Node,
+    op_name: &str,
+    port: usize,
+    env: Envelope,
+    emitter: &mut Emitter,
+    wires: &Wires,
+) -> Result<(), EngineError> {
+    let seq = env.seq;
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        node.op.process(port, env.elem, emitter)
+    }));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => return Err(e),
+        Err(payload) => return Err(EngineError::from_panic(op_name, payload.as_ref())),
+    }
+    for e in emitter.drain() {
+        wires.send(seq, &e)?;
+    }
+    Ok(())
+}
+
+/// Joins a set of worker handles against [`DRAIN_TIMEOUT`], converting
+/// worker panics (which containment should have caught already) and
+/// propagating the first worker error.
+fn join_with_deadline<T>(
+    handles: Vec<(String, std::thread::JoinHandle<Result<T, EngineError>>)>,
+    deadline: Instant,
+) -> Result<Vec<T>, EngineError> {
+    // Wait (bounded) for all workers to finish before joining any: join()
+    // itself blocks indefinitely, so only poll-then-join is deadline-safe.
+    loop {
+        let pending = handles.iter().filter(|(_, h)| !h.is_finished()).count();
+        if pending == 0 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            // Leaves the stragglers detached; they hold only their own
+            // channels, which die with them.
+            return Err(EngineError::ShutdownTimeout { pending_workers: pending });
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut out = Vec::with_capacity(handles.len());
+    for (name, handle) in handles {
+        match handle.join() {
+            Ok(Ok(value)) => out.push(value),
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => return Err(EngineError::from_panic(&name, payload.as_ref())),
+        }
+    }
+    Ok(out)
 }
 
 /// Runs the plan in `builder` over a finite recorded input with one thread
 /// per operator, returning every sink's collected output.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a worker thread panics (the panic is propagated).
-#[must_use]
+/// Returns the first [`EngineError`] any worker reports: a typed operator
+/// failure, a contained operator panic ([`EngineError::OperatorPanic`]),
+/// or [`EngineError::ShutdownTimeout`] when the graph wedges. The runner
+/// itself never panics on worker failure and never blocks forever.
 pub fn run_parallel(
     builder: PlanBuilder,
     inputs: impl IntoIterator<Item = (StreamId, StreamElement)>,
-) -> ParallelResults {
+) -> Result<ParallelResults, EngineError> {
     let (nodes, mut sources, sinks) = builder.into_parts();
 
-    // Channels: one per (node, port) and one per sink.
-    let mut node_tx: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(nodes.len());
+    // Channels: one per (node, port) and one per sink. Binary ports are
+    // unbounded (ordered-merge requirement), everything else bounded.
+    let mut node_tx: Vec<Vec<EdgeTx>> = Vec::with_capacity(nodes.len());
     let mut node_rx: Vec<Vec<Receiver<Envelope>>> = Vec::with_capacity(nodes.len());
     for node in &nodes {
+        let arity = node.op.arity();
         let mut txs = Vec::new();
         let mut rxs = Vec::new();
-        for _ in 0..node.op.arity() {
-            let (tx, rx) = unbounded();
-            txs.push(tx);
-            rxs.push(rx);
+        for _ in 0..arity {
+            if arity > 1 {
+                let (tx, rx) = channel();
+                txs.push(EdgeTx::Unbounded(tx));
+                rxs.push(rx);
+            } else {
+                let (tx, rx) = sync_channel(EDGE_CAPACITY);
+                txs.push(EdgeTx::Bounded(tx));
+                rxs.push(rx);
+            }
         }
         node_tx.push(txs);
         node_rx.push(rxs);
@@ -141,8 +272,8 @@ pub fn run_parallel(
     let mut sink_tx = Vec::with_capacity(sinks.len());
     let mut sink_rx = Vec::with_capacity(sinks.len());
     for _ in &sinks {
-        let (tx, rx) = unbounded();
-        sink_tx.push(tx);
+        let (tx, rx) = sync_channel(EDGE_CAPACITY);
+        sink_tx.push(EdgeTx::Bounded(tx));
         sink_rx.push(rx);
     }
     // Resolve each worker's outgoing edges, then drop the master sender
@@ -158,40 +289,35 @@ pub fn run_parallel(
     drop(node_tx);
     drop(sink_tx);
 
-    std::thread::scope(|scope| {
-        // Operator threads.
-        let mut node_handles = Vec::new();
-        let mut node_rx_iter = node_rx.into_iter();
-        let mut node_wires_iter = node_wires.into_iter();
-        for mut node in nodes {
-            let rxs = node_rx_iter.next().expect("one rx set per node");
-            let wires = node_wires_iter.next().expect("one wire set per node");
-            node_handles.push(scope.spawn(move || {
+    // Operator threads.
+    let mut node_handles = Vec::new();
+    let mut node_rx_iter = node_rx.into_iter();
+    let mut node_wires_iter = node_wires.into_iter();
+    for mut node in nodes {
+        let Some(rxs) = node_rx_iter.next() else { break };
+        let Some(wires) = node_wires_iter.next() else { break };
+        let op_name = node.op.name().to_string();
+        let thread_name = op_name.clone();
+        node_handles.push((
+            op_name.clone(),
+            std::thread::spawn(move || -> Result<(), EngineError> {
                 let mut emitter = Emitter::new();
-                let process = |node: &mut crate::plan::Node,
-                                   port: usize,
-                                   env: Envelope,
-                                   emitter: &mut Emitter| {
-                    let seq = env.seq;
-                    node.op.process(port, env.elem, emitter);
-                    for e in emitter.drain() {
-                        wires.send(seq, &e);
-                    }
-                };
                 let mut ports: Vec<PeekRx> = rxs.into_iter().map(PeekRx::new).collect();
                 if ports.len() == 1 {
                     // Unary: plain FIFO.
-                    let mut port0 = ports.pop().expect("one port");
+                    let Some(mut port0) = ports.pop() else {
+                        return Err(EngineError::ChannelDisconnected { stage: thread_name });
+                    };
                     while port0.peek_seq().is_some() {
-                        let env = port0.take();
-                        process(&mut node, 0, env, &mut emitter);
+                        let Some(env) = port0.take() else { break };
+                        process_contained(&mut node, &op_name, 0, env, &mut emitter, &wires)?;
                     }
                 } else {
                     // Binary: merge the two ports in global sequence order.
                     // Each port is FIFO from a single upstream, so the
                     // smaller head is always safe to process; blocking on
-                    // an empty port cannot deadlock (upstreams never wait
-                    // on us — channels are unbounded).
+                    // an empty port cannot deadlock (these input edges are
+                    // unbounded — upstreams never wait on us).
                     loop {
                         let s0 = ports[0].peek_seq();
                         let s1 = ports[1].peek_seq();
@@ -201,68 +327,90 @@ pub fn run_parallel(
                             (None, Some(_)) => 1,
                             (Some(a), Some(b)) => usize::from(b < a),
                         };
-                        let env = ports[port].take();
-                        process(&mut node, port, env, &mut emitter);
+                        let Some(env) = ports[port].take() else { break };
+                        process_contained(&mut node, &op_name, port, env, &mut emitter, &wires)?;
                     }
                 }
                 // Dropping this worker's wires closes its downstream
                 // edges once every other sender to them is gone.
-            }));
-        }
+                Ok(())
+            }),
+        ));
+    }
 
-        // Sink threads: single FIFO upstream each; collect in order.
-        let mut sink_handles = Vec::new();
-        let mut sink_rx_iter = sink_rx.into_iter();
-        for mut sink in sinks {
-            let rx = sink_rx_iter.next().expect("one rx per sink");
-            sink_handles.push(scope.spawn(move || {
+    // Sink threads: single FIFO upstream each; collect in order.
+    let mut sink_handles = Vec::new();
+    let mut sink_rx_iter = sink_rx.into_iter();
+    for mut sink in sinks {
+        let Some(rx) = sink_rx_iter.next() else { break };
+        sink_handles.push((
+            "sink".to_string(),
+            std::thread::spawn(move || -> Result<Sink, EngineError> {
                 let mut emitter = Emitter::new();
                 for env in rx {
-                    sink.process(0, env.elem, &mut emitter);
+                    sink.process(0, env.elem, &mut emitter)?;
                 }
-                sink
-            }));
-        }
+                Ok(sink)
+            }),
+        ));
+    }
 
-        // Feed: run analyzers inline, tag with the global sequence.
-        let mut by_stream: HashMap<StreamId, Vec<usize>> = HashMap::new();
-        for (i, s) in sources.iter().enumerate() {
-            by_stream.entry(s.stream).or_default().push(i);
-        }
-        let mut seq = 0u64;
-        let mut staged = Vec::new();
-        for (stream, elem) in inputs {
-            let Some(ids) = by_stream.get(&stream) else { continue };
-            for &sid in ids {
-                let source = &mut sources[sid];
-                staged.clear();
-                source.analyzer.push(elem.clone(), &mut staged);
-                for e in &staged {
-                    seq += 1;
-                    source_wires[sid].send(seq, e);
+    // Feed: run analyzers inline, tag with the global sequence. Feeding
+    // errors (a stalled edge) still fall through to the drain below so
+    // worker threads are reaped, not leaked.
+    let mut by_stream: HashMap<StreamId, Vec<usize>> = HashMap::new();
+    for (i, s) in sources.iter().enumerate() {
+        by_stream.entry(s.stream).or_default().push(i);
+    }
+    let mut feed_error = None;
+    let mut seq = 0u64;
+    let mut staged = Vec::new();
+    'feed: for (stream, elem) in inputs {
+        let Some(ids) = by_stream.get(&stream) else { continue };
+        for &sid in ids {
+            let source = &mut sources[sid];
+            staged.clear();
+            source.analyzer.push(elem.clone(), &mut staged);
+            for e in &staged {
+                seq += 1;
+                if let Err(e) = source_wires[sid].send(seq, e) {
+                    feed_error = Some(e);
+                    break 'feed;
                 }
             }
         }
-        // Close the graph: drop the feeder's senders; workers cascade.
-        drop(source_wires);
+    }
+    // Close the graph: drop the feeder's senders; workers cascade.
+    drop(source_wires);
 
-        for handle in node_handles {
-            handle.join().expect("operator thread panicked");
-        }
-        let mut out = Vec::new();
-        for handle in sink_handles {
-            out.push(handle.join().expect("sink thread panicked"));
-        }
-        ParallelResults { sinks: out }
-    })
+    let deadline = Instant::now() + DRAIN_TIMEOUT;
+    let joined_nodes = join_with_deadline(node_handles, deadline);
+    let joined_sinks = join_with_deadline(sink_handles, deadline);
+    if let Some(e) = feed_error {
+        return Err(e);
+    }
+    joined_nodes?;
+    Ok(ParallelResults { sinks: joined_sinks? })
+}
+
+impl std::fmt::Debug for ParallelResults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelResults")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::expr::{CmpOp, Expr};
+    use crate::operator::Operator;
     use crate::ops::{JoinVariant, SAJoin, SecurityShield, Select};
     use crate::plan::PlanBuilder;
+    use crate::stats::OperatorStats;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use sp_core::{
@@ -345,11 +493,11 @@ mod tests {
         let input = workload(3, 400);
         let (seq_builder, seq_sink) = pipeline_builder();
         let mut exec = seq_builder.build();
-        exec.push_all(input.clone());
+        exec.push_all(input.clone()).unwrap();
         let expected = render(exec.sink(seq_sink));
 
         let (par_builder, par_sink) = pipeline_builder();
-        let results = run_parallel(par_builder, input);
+        let results = run_parallel(par_builder, input).unwrap();
         assert_eq!(render(results.sink(par_sink)), expected);
         assert!(!expected.is_empty());
     }
@@ -359,11 +507,11 @@ mod tests {
         let input = workload(9, 500);
         let (seq_builder, seq_sink) = join_builder();
         let mut exec = seq_builder.build();
-        exec.push_all(input.clone());
+        exec.push_all(input.clone()).unwrap();
         let expected = render(exec.sink(seq_sink));
 
         let (par_builder, par_sink) = join_builder();
-        let results = run_parallel(par_builder, input);
+        let results = run_parallel(par_builder, input).unwrap();
         assert_eq!(render(results.sink(par_sink)), expected);
         assert!(!expected.is_empty(), "join workload should produce results");
     }
@@ -386,11 +534,11 @@ mod tests {
         let input = workload(5, 300);
         let (b, s1, s2) = build();
         let mut exec = b.build();
-        exec.push_all(input.clone());
+        exec.push_all(input.clone()).unwrap();
         let (e1, e2) = (render(exec.sink(s1)), render(exec.sink(s2)));
 
         let (b, p1, p2) = build();
-        let results = run_parallel(b, input);
+        let results = run_parallel(b, input).unwrap();
         assert_eq!(render(results.sink(p1)), e1);
         assert_eq!(render(results.sink(p2)), e2);
     }
@@ -398,7 +546,7 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_sinks() {
         let (b, sink) = pipeline_builder();
-        let results = run_parallel(b, Vec::new());
+        let results = run_parallel(b, Vec::new()).unwrap();
         assert_eq!(results.sink(sink).tuple_count(), 0);
     }
 
@@ -408,12 +556,113 @@ mod tests {
         let mut previous: Option<Vec<String>> = None;
         for _ in 0..4 {
             let (b, sink) = join_builder();
-            let results = run_parallel(b, input.clone());
+            let results = run_parallel(b, input.clone()).unwrap();
             let got = render(results.sink(sink));
             if let Some(prev) = &previous {
                 assert_eq!(&got, prev);
             }
             previous = Some(got);
         }
+    }
+
+    /// An operator that panics when it sees a tuple with a chosen id.
+    struct PanicOn {
+        id: i64,
+        stats: OperatorStats,
+    }
+
+    impl Operator for PanicOn {
+        fn name(&self) -> &str {
+            "panic-on"
+        }
+        fn process(
+            &mut self,
+            _port: usize,
+            elem: Element,
+            out: &mut Emitter,
+        ) -> Result<(), EngineError> {
+            if let Element::Tuple(t) = &elem {
+                if t.value(0).and_then(Value::as_i64) == Some(self.id) {
+                    panic!("injected operator failure");
+                }
+            }
+            out.push(elem);
+            Ok(())
+        }
+        fn stats(&self) -> &OperatorStats {
+            &self.stats
+        }
+    }
+
+    #[test]
+    fn operator_panic_surfaces_as_engine_error() {
+        // Silence the default "thread panicked" stderr noise for the
+        // deliberately-injected panic.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut b = PlanBuilder::new(catalog());
+        let src = b.source(StreamId(1), schema());
+        let boom = b.add(PanicOn { id: 3, stats: OperatorStats::new() }, src);
+        let _sink = b.sink(boom);
+        let input = workload(3, 400);
+        let started = Instant::now();
+        let result = run_parallel(b, input);
+        std::panic::set_hook(prev_hook);
+        match result {
+            Err(EngineError::OperatorPanic { operator, message }) => {
+                assert_eq!(operator, "panic-on");
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("expected OperatorPanic, got {other:?}"),
+        }
+        // No hang: the failed worker's closed channels cascade shutdown
+        // long before the drain deadline.
+        assert!(started.elapsed() < DRAIN_TIMEOUT / 2);
+    }
+
+    #[test]
+    fn operator_error_propagates_without_hanging(){
+        // BadPort from a deliberately mis-wired plan: route a stream into
+        // port 1 of a unary operator via a binary add on the same op is
+        // not expressible through the builder, so exercise the error path
+        // directly through a failing operator instead.
+        struct FailOn {
+            id: i64,
+            stats: OperatorStats,
+        }
+        impl Operator for FailOn {
+            fn name(&self) -> &str {
+                "fail-on"
+            }
+            fn process(
+                &mut self,
+                _port: usize,
+                elem: Element,
+                out: &mut Emitter,
+            ) -> Result<(), EngineError> {
+                if let Element::Tuple(t) = &elem {
+                    if t.value(0).and_then(Value::as_i64) == Some(self.id) {
+                        return Err(EngineError::MalformedElement {
+                            operator: "fail-on".into(),
+                            reason: "injected failure".into(),
+                        });
+                    }
+                }
+                out.push(elem);
+                Ok(())
+            }
+            fn stats(&self) -> &OperatorStats {
+                &self.stats
+            }
+        }
+        let mut b = PlanBuilder::new(catalog());
+        let src = b.source(StreamId(1), schema());
+        let fail = b.add(FailOn { id: 2, stats: OperatorStats::new() }, src);
+        let _sink = b.sink(fail);
+        let result = run_parallel(b, workload(7, 300));
+        assert!(
+            matches!(result, Err(EngineError::MalformedElement { .. })),
+            "{result:?}"
+        );
     }
 }

@@ -17,6 +17,7 @@ use sp_core::{RoleCatalog, Schema, StreamElement, StreamId};
 
 use crate::analyzer::SpAnalyzer;
 use crate::element::Element;
+use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
 use crate::ops::sink::Sink;
 use crate::stats::OperatorStats;
@@ -122,6 +123,13 @@ impl PlanBuilder {
         self.sources[source.0].analyzer.set_incremental(incremental);
     }
 
+    /// Switches a source into hardened fail-closed mode (see
+    /// [`SpAnalyzer::harden`]): uncovered tuples are quarantined, late
+    /// sp-batches discarded.
+    pub fn harden_source(&mut self, source: SourceRef, policy: crate::QuarantinePolicy) {
+        self.sources[source.0].analyzer.harden(policy);
+    }
+
     /// Adds a unary operator downstream of `input`.
     pub fn add(&mut self, op: impl Operator + 'static, input: impl Into<Upstream>) -> NodeRef {
         debug_assert_eq!(op.arity(), 1, "use add_binary for binary operators");
@@ -196,9 +204,15 @@ pub struct Executor {
 impl Executor {
     /// Feeds one raw stream element into every source registered for its
     /// stream and runs the plan to quiescence.
-    pub fn push(&mut self, stream: StreamId, elem: StreamElement) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] an operator reports; pending
+    /// work queued behind the failing element is discarded (fail-closed:
+    /// nothing is released past a failed operator).
+    pub fn push(&mut self, stream: StreamId, elem: StreamElement) -> Result<(), EngineError> {
         let Some(source_ids) = self.by_stream.get(&stream) else {
-            return;
+            return Ok(());
         };
         let mut staged = Vec::new();
         for &sid in source_ids {
@@ -211,32 +225,45 @@ impl Executor {
                 }
             }
         }
-        self.drain();
+        self.drain()
     }
 
     /// Feeds a whole batch, then drains.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first [`EngineError`].
     pub fn push_all(
         &mut self,
         items: impl IntoIterator<Item = (StreamId, StreamElement)>,
-    ) {
+    ) -> Result<(), EngineError> {
         for (stream, elem) in items {
-            self.push(stream, elem);
+            self.push(stream, elem)?;
         }
+        Ok(())
     }
 
-    fn drain(&mut self) {
+    fn drain(&mut self) -> Result<(), EngineError> {
         let mut emitter = Emitter::new();
         while let Some((target, elem)) = self.queue.pop_front() {
             match target {
                 Target::Sink(i) => {
-                    self.sinks[i].process(0, elem, &mut emitter);
+                    let result = self.sinks[i].process(0, elem, &mut emitter);
                     debug_assert!(emitter.is_empty(), "sinks do not emit");
+                    if let Err(e) = result {
+                        self.queue.clear();
+                        return Err(e);
+                    }
                 }
                 Target::Node(n, port) => {
                     let node = &mut self.nodes[n];
                     let start = std::time::Instant::now();
-                    node.op.process(port, elem, &mut emitter);
+                    let result = node.op.process(port, elem, &mut emitter);
                     node.elapsed += start.elapsed();
+                    if let Err(e) = result {
+                        self.queue.clear();
+                        return Err(e);
+                    }
                     let outputs = node.outputs.clone();
                     for e in emitter.drain() {
                         for &t in &outputs {
@@ -246,6 +273,7 @@ impl Executor {
                 }
             }
         }
+        Ok(())
     }
 
     /// The sink's collected results.
@@ -287,6 +315,36 @@ impl Executor {
     #[must_use]
     pub fn analyzer(&self, s: SourceRef) -> &SpAnalyzer {
         &self.sources[s.0].analyzer
+    }
+
+    /// Flushes any trailing sp-batches held by the analyzers and runs the
+    /// plan to quiescence, so end-of-stream policies are not lost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] an operator reports.
+    pub fn finish(&mut self) -> Result<(), EngineError> {
+        let mut staged = Vec::new();
+        for source in &mut self.sources {
+            staged.clear();
+            source.analyzer.flush(&mut staged);
+            for e in &staged {
+                for &t in &source.outputs {
+                    self.queue.push_back((t, e.clone()));
+                }
+            }
+        }
+        self.drain()
+    }
+
+    /// Fail-closed degradation counters summed over every source analyzer.
+    #[must_use]
+    pub fn degradation(&self) -> crate::stats::DegradationStats {
+        let mut total = crate::stats::DegradationStats::new();
+        for source in &self.sources {
+            total.absorb(&source.analyzer.degradation());
+        }
+        total
     }
 
     /// Replaces the security predicate of the operator at `n` (runtime
@@ -338,6 +396,8 @@ impl Executor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::expr::{CmpOp, Expr};
     use crate::ops::select::Select;
@@ -390,7 +450,7 @@ mod tests {
             (StreamId(1), tup(2, 2, 3)),  // filtered by select
             (StreamId(1), sp(&[2], 3)),
             (StreamId(1), tup(3, 4, 10)), // shielded
-        ]);
+        ]).unwrap();
 
         let tuples: Vec<u64> = exec.sink(sink).tuples().map(|t| t.tid.raw()).collect();
         assert_eq!(tuples, vec![1]);
@@ -421,7 +481,7 @@ mod tests {
             (StreamId(1), tup(2, 3, 1)),
             (StreamId(1), sp(&[1, 2], 4)),
             (StreamId(1), tup(3, 5, 1)),
-        ]);
+        ]).unwrap();
 
         let q1_ids: Vec<u64> = exec.sink(q1).tuples().map(|t| t.tid.raw()).collect();
         let q2_ids: Vec<u64> = exec.sink(q2).tuples().map(|t| t.tid.raw()).collect();
@@ -436,7 +496,7 @@ mod tests {
         let ss = b.add(SecurityShield::new(RoleSet::from([1])), src);
         let _sink = b.sink(ss);
         let mut exec = b.build();
-        exec.push_all([(StreamId(1), sp(&[1], 0)), (StreamId(1), tup(1, 1, 2))]);
+        exec.push_all([(StreamId(1), sp(&[1], 0)), (StreamId(1), tup(1, 1, 2))]).unwrap();
         let report = exec.report();
         assert!(report.contains("ss"), "{report}");
         assert!(report.contains("sink"), "{report}");
@@ -449,9 +509,9 @@ mod tests {
         let src = b.source(StreamId(1), schema());
         let sink = b.sink(src);
         let mut exec = b.build();
-        exec.push(StreamId(99), tup(1, 1, 1));
+        exec.push(StreamId(99), tup(1, 1, 1)).unwrap();
         assert_eq!(exec.sink(sink).tuple_count(), 0);
-        exec.push(StreamId(1), tup(1, 1, 1));
+        exec.push(StreamId(1), tup(1, 1, 1)).unwrap();
         assert_eq!(exec.sink(sink).tuple_count(), 1);
     }
 
@@ -466,10 +526,50 @@ mod tests {
         let ss = b.add(SecurityShield::new(RoleSet::from([2])), src);
         let sink = b.sink(ss);
         let mut exec = b.build();
-        exec.push_all([(StreamId(1), sp(&[1, 2], 1)), (StreamId(1), tup(1, 2, 1))]);
+        exec.push_all([(StreamId(1), sp(&[1, 2], 1)), (StreamId(1), tup(1, 2, 1))]).unwrap();
         // Server policy removed role 2, so query with role 2 sees nothing.
         assert_eq!(exec.sink(sink).tuple_count(), 0);
         assert!(exec.total_state_mem_bytes() > 0);
         assert_eq!(exec.analyzer(src).sps_filtered, 0);
+    }
+
+    #[test]
+    fn hardened_source_fails_closed_end_to_end() {
+        let mut b = PlanBuilder::new(catalog());
+        let src = b.source(StreamId(1), schema());
+        b.harden_source(
+            src,
+            crate::QuarantinePolicy { ttl_ms: 10, slack_ms: 10, capacity: 8 },
+        );
+        let ss = b.add(SecurityShield::new(RoleSet::from([1])), src);
+        let sink = b.sink(ss);
+        let mut exec = b.build();
+        exec.push_all([
+            (StreamId(1), tup(1, 1, 1)),  // no policy yet: quarantined
+            (StreamId(1), sp(&[1], 1)),   // its sp arrives within slack
+            (StreamId(1), tup(2, 2, 1)),  // governed
+            (StreamId(1), tup(3, 50, 1)), // 39 past the policy: quarantined
+            (StreamId(1), tup(4, 90, 1)), // expires tuple 3, quarantined
+        ])
+        .unwrap();
+        let ids: Vec<u64> = exec.sink(sink).tuples().map(|t| t.tid.raw()).collect();
+        assert_eq!(ids, vec![1, 2], "only governed tuples released");
+        let d = exec.degradation();
+        assert_eq!(d.quarantine_released, 1);
+        assert_eq!(d.quarantined, 3);
+        assert!(d.quarantine_dropped >= 1, "tuple 3 timed out");
+        assert!(d.total_dropped() >= 1);
+    }
+
+    #[test]
+    fn finish_flushes_trailing_batches() {
+        let mut b = PlanBuilder::new(catalog());
+        let src = b.source(StreamId(1), schema());
+        let sink = b.sink(src);
+        let mut exec = b.build();
+        exec.push(StreamId(1), sp(&[1], 9)).unwrap();
+        assert_eq!(exec.sink(sink).stats().sps_in, 0, "batch still open");
+        exec.finish().unwrap();
+        assert_eq!(exec.sink(sink).stats().sps_in, 1);
     }
 }

@@ -92,6 +92,8 @@ impl PredicateIndex {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::Timestamp;
 

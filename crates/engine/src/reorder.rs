@@ -96,11 +96,8 @@ impl ReorderBuffer {
     }
 
     fn release_up_to(&mut self, watermark: Timestamp, out: &mut Vec<StreamElement>) {
-        while let Some((&key, _)) = self.pending.first_key_value() {
-            if key.0 > watermark {
-                break;
-            }
-            let elem = self.pending.remove(&key).expect("key exists");
+        while self.pending.first_key_value().is_some_and(|(key, _)| key.0 <= watermark) {
+            let Some((key, elem)) = self.pending.pop_first() else { break };
             out.push(elem);
             self.released_to = Some(key.0.max(self.released_to.unwrap_or(Timestamp::ZERO)));
         }
@@ -109,6 +106,8 @@ impl ReorderBuffer {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::{RoleSet, SecurityPunctuation, StreamId, Tuple, TupleId, Value};
 

@@ -102,9 +102,100 @@ impl OperatorStats {
     }
 }
 
+/// Counters describing **fail-closed degradation**: what the engine
+/// refused to release (rather than guessed at) when the stream
+/// misbehaved — lost/late sps, out-of-order arrivals, corrupted frames.
+///
+/// Aggregated per stream by the SP Analyzer and summed across a plan by
+/// `Executor::degradation`; the evaluation harness prints them so every
+/// run makes its losses visible instead of silently under-reporting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// Punctuations dropped because their DDP named another stream.
+    pub sps_filtered: u64,
+    /// Segment policies suppressed as identical to the previous one.
+    pub sps_merged: u64,
+    /// Sp-batches discarded for arriving older than the current policy
+    /// (hardened mode: a late batch must not roll authorizations back).
+    pub stale_sp_batches: u64,
+    /// Tuples held back because no fresh-enough policy governed them.
+    pub quarantined: u64,
+    /// Quarantined tuples released when their policy arrived in time.
+    pub quarantine_released: u64,
+    /// Quarantined tuples dropped — timed out, or evicted by the
+    /// quarantine capacity bound. Never released unshielded.
+    pub quarantine_dropped: u64,
+    /// Elements dropped by a `ReorderBuffer` for arriving too late.
+    pub reorder_dropped: u64,
+    /// Wire frames lost to corruption (from `sp_core::wire::FrameDecoder`).
+    pub corrupted_frames: u64,
+}
+
+impl DegradationStats {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates another block of counters into this one.
+    pub fn absorb(&mut self, other: &DegradationStats) {
+        self.sps_filtered += other.sps_filtered;
+        self.sps_merged += other.sps_merged;
+        self.stale_sp_batches += other.stale_sp_batches;
+        self.quarantined += other.quarantined;
+        self.quarantine_released += other.quarantine_released;
+        self.quarantine_dropped += other.quarantine_dropped;
+        self.reorder_dropped += other.reorder_dropped;
+        self.corrupted_frames += other.corrupted_frames;
+    }
+
+    /// Total elements lost (not merely delayed) to degradation.
+    #[must_use]
+    pub fn total_dropped(&self) -> u64 {
+        self.sps_filtered + self.stale_sp_batches + self.quarantine_dropped
+            + self.reorder_dropped + self.corrupted_frames
+    }
+}
+
+impl std::fmt::Display for DegradationStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sps filtered {} / merged {} / stale {}; quarantine in {} out {} dropped {}; \
+             reorder dropped {}; corrupted frames {}",
+            self.sps_filtered,
+            self.sps_merged,
+            self.stale_sp_batches,
+            self.quarantined,
+            self.quarantine_released,
+            self.quarantine_dropped,
+            self.reorder_dropped,
+            self.corrupted_frames,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
+
+    #[test]
+    fn degradation_absorbs_and_totals() {
+        let mut a = DegradationStats::new();
+        a.quarantined = 3;
+        a.quarantine_dropped = 2;
+        let mut b = DegradationStats::new();
+        b.quarantine_dropped = 1;
+        b.reorder_dropped = 4;
+        b.corrupted_frames = 5;
+        a.absorb(&b);
+        assert_eq!(a.quarantine_dropped, 3);
+        assert_eq!(a.total_dropped(), 3 + 4 + 5);
+        assert!(a.to_string().contains("dropped 3"));
+    }
 
     #[test]
     fn charge_and_read() {

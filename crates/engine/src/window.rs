@@ -50,6 +50,8 @@ impl From<u64> for WindowSpec {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

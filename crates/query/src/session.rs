@@ -173,7 +173,7 @@ impl Dsms {
             let root = instantiate_with(&q.plan, &mut builder, &mut sources, opts);
             sinks.insert(q.id, builder.sink(root));
         }
-        RunningDsms { executor: builder.build(), sinks }
+        RunningDsms { executor: builder.build(), sinks, errors: Vec::new() }
     }
 }
 
@@ -182,12 +182,42 @@ pub struct RunningDsms {
     /// The engine executor.
     pub executor: Executor,
     sinks: HashMap<QueryId, SinkRef>,
+    errors: Vec<sp_engine::EngineError>,
 }
 
 impl RunningDsms {
     /// Feeds one raw stream element.
+    ///
+    /// Engine errors are absorbed, not propagated: the executor fails
+    /// closed (in-flight elements of the failed push are discarded, never
+    /// released), and the error is recorded for [`RunningDsms::errors`].
+    /// Use [`RunningDsms::try_push`] to propagate instead.
     pub fn push(&mut self, stream: StreamId, elem: StreamElement) {
-        self.executor.push(stream, elem);
+        if let Err(e) = self.executor.push(stream, elem) {
+            self.errors.push(e);
+        }
+    }
+
+    /// Feeds one raw stream element, propagating engine errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's typed error when the plan rejects the element
+    /// (malformed input, operator failure). The executor has already
+    /// dropped the in-flight elements of this push — nothing from a
+    /// failed push is released.
+    pub fn try_push(
+        &mut self,
+        stream: StreamId,
+        elem: StreamElement,
+    ) -> Result<(), sp_engine::EngineError> {
+        self.executor.push(stream, elem)
+    }
+
+    /// Engine errors absorbed by [`RunningDsms::push`] so far.
+    #[must_use]
+    pub fn errors(&self) -> &[sp_engine::EngineError] {
+        &self.errors
     }
 
     /// The result sink of a query.

@@ -95,12 +95,12 @@ fn main() {
     // 3a. Sequential reference run.
     let (builder, sink) = build_plan();
     let mut exec = builder.build();
-    exec.push_all(replayed.clone());
+    exec.push_all(replayed.clone()).expect("sequential replay");
     let sequential: Vec<String> = exec.sink(sink).tuples().map(|t| t.to_string()).collect();
 
     // 3b. Pipeline-parallel run: one thread per operator.
     let (builder, psink) = build_plan();
-    let results = run_parallel(builder, replayed);
+    let results = run_parallel(builder, replayed).expect("parallel replay");
     let parallel: Vec<String> = results.sink(psink).tuples().map(|t| t.to_string()).collect();
 
     println!(

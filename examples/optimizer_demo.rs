@@ -115,7 +115,7 @@ fn execute(plan: &LogicalPlan) -> Vec<String> {
                         roles.clone(),
                         Timestamp(ts),
                     )),
-                );
+                ).unwrap();
             }
         }
         exec.push(
@@ -126,7 +126,7 @@ fn execute(plan: &LogicalPlan) -> Vec<String> {
                 Timestamp(ts),
                 vec![Value::Int((ts % 7) as i64), Value::Int(ts as i64)],
             )),
-        );
+        ).unwrap();
     }
 
     let mut out: Vec<String> = exec.sink(sink).tuples().map(|t| t.to_string()).collect();

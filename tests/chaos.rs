@@ -1,0 +1,210 @@
+//! Chaos campaign: the engine and all three enforcement mechanisms must
+//! **fail closed** under hostile stream conditions.
+//!
+//! Every test perturbs a recorded punctuated workload with seeded faults
+//! (dropped / duplicated / delayed / reordered sps and tuples) and checks
+//! the two degradation invariants from `sp_engine::fault`:
+//!
+//! 1. no panic, ever;
+//! 2. the set of tuples released under faults is a subset of the tuples
+//!    released on the clean input — losing an sp may suppress output but
+//!    must never reveal tuples the clean run withheld.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use sp_baselines::{
+    run_mechanism, EnforcementMechanism, SpMechanism, StoreAndProbe, TupleEmbedded,
+};
+use sp_core::{
+    DataDescription, RoleCatalog, RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement,
+    StreamId, Timestamp, Tuple, TupleId, Value, ValueType,
+};
+use sp_engine::fault::{run_chaos, FaultInjector, FaultPlan};
+use sp_engine::{CmpOp, Expr, PlanBuilder, QuarantinePolicy, SecurityShield, Select};
+
+/// Stream-time gap between consecutive sp-batches. Must exceed the
+/// quarantine TTL so a lost sp leaves its segment *ungoverned* (tuples
+/// quarantined and dropped) instead of inheriting the previous policy.
+const SEGMENT_MS: u64 = 1_000;
+/// Policy freshness window for hardened sources. Larger than the widest
+/// in-segment tuple offset, so the clean run releases every granted tuple.
+const TTL_MS: u64 = 500;
+const TUPLES_PER_SEGMENT: u64 = 14;
+const SEGMENTS: u64 = 24;
+
+fn schema() -> Arc<Schema> {
+    Schema::of("loc", &[("id", ValueType::Int), ("v", ValueType::Int)])
+}
+
+fn catalog() -> Arc<RoleCatalog> {
+    let mut c = RoleCatalog::new();
+    c.register_synthetic_roles(16);
+    Arc::new(c)
+}
+
+fn tuple(tid: u64, ts: u64) -> StreamElement {
+    StreamElement::tuple(Tuple::new(
+        StreamId(1),
+        TupleId(tid),
+        Timestamp(ts),
+        vec![Value::Int(tid as i64), Value::Int((tid % 7) as i64)],
+    ))
+}
+
+/// Segment `k` grants role `k % 3` plus the always-on role 3. Tuples sit
+/// well inside the TTL window of their own sp and far outside every other
+/// segment's window.
+fn segmented_workload() -> Vec<(StreamId, StreamElement)> {
+    let mut out = Vec::new();
+    for k in 0..SEGMENTS {
+        let base = (k + 1) * SEGMENT_MS;
+        let mut roles = RoleSet::from([3]);
+        roles.insert(RoleId((k % 3) as u32));
+        out.push((
+            StreamId(1),
+            StreamElement::punctuation(SecurityPunctuation::grant_all(roles, Timestamp(base))),
+        ));
+        for i in 1..=TUPLES_PER_SEGMENT {
+            out.push((StreamId(1), tuple(k * 100 + i, base + i * 10)));
+        }
+    }
+    out
+}
+
+/// The engine invariant, at the acceptance bar: 60 seeded fault scenarios
+/// over a fig-7-style shielded plan (shared select feeding two queries
+/// with different roles) with a hardened, fail-closed source.
+#[test]
+fn engine_fails_closed_across_60_seeded_scenarios() {
+    let input = segmented_workload();
+    let schema = schema();
+    let catalog = catalog();
+    let report = run_chaos(&input, 60, 0xDEC0_DE01, || {
+        let mut b = PlanBuilder::new(catalog.clone());
+        let src = b.source(StreamId(1), schema.clone());
+        b.harden_source(
+            src,
+            QuarantinePolicy { ttl_ms: TTL_MS, slack_ms: 400, capacity: 64 },
+        );
+        let sel = b.add(
+            Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Int(0)))),
+            src,
+        );
+        let q0 = b.add(SecurityShield::new(RoleSet::from([0])), sel);
+        let q3 = b.add(SecurityShield::new(RoleSet::from([3])), sel);
+        let s0 = b.sink(q0);
+        let s3 = b.sink(q3);
+        (b, vec![s0, s3])
+    });
+    assert!(report.passed(), "{}\n{:?}", report.summary(), report.violations);
+    assert_eq!(report.scenarios, 60);
+    assert!(report.faults.total() > 0, "campaign must actually inject faults");
+}
+
+/// The workload for the cross-mechanism equivalence campaign: each sp is
+/// *scoped* to its own segment's disjoint tuple-id range, so under any
+/// drop/delay/reorder a tuple is either governed by its own policy or by
+/// none — every mechanism denies ungoverned tuples.
+fn scoped_workload() -> Vec<StreamElement> {
+    let mut out = Vec::new();
+    for k in 0..SEGMENTS {
+        let base = (k + 1) * SEGMENT_MS;
+        // Roles alternate so faults flip real grant/deny decisions.
+        let roles: RoleSet = if k % 2 == 0 {
+            RoleSet::from([0, 1])
+        } else {
+            RoleSet::from([1, 2])
+        };
+        out.push(StreamElement::punctuation(
+            SecurityPunctuation::grant_all(roles, Timestamp(base))
+                .with_ddp(DataDescription::tuple_range(k * 100, k * 100 + 99)),
+        ));
+        for i in 1..=TUPLES_PER_SEGMENT {
+            out.push(tuple(k * 100 + i, base + i * 10));
+        }
+    }
+    out
+}
+
+/// Runs the 50-scenario fail-closed campaign against one mechanism.
+fn mechanism_chaos(make: &dyn Fn() -> Box<dyn EnforcementMechanism>) {
+    let elements = scoped_workload();
+    let input: Vec<(StreamId, StreamElement)> =
+        elements.iter().map(|e| (StreamId(1), e.clone())).collect();
+
+    let mut m = make();
+    let baseline: HashSet<String> = run_mechanism(m.as_mut(), elements)
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    assert!(!baseline.is_empty(), "clean run must release something");
+    assert!(m.denied() > 0, "clean run must deny something");
+
+    for s in 0..50u64 {
+        let plan = FaultPlan::scenario(0xBA5E ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut injector = FaultInjector::new(plan);
+        let faulty = injector.apply(&input);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut m = make();
+            run_mechanism(m.as_mut(), faulty.into_iter().map(|(_, e)| e))
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<HashSet<String>>()
+        }));
+        let released = match outcome {
+            Ok(set) => set,
+            Err(_) => panic!("scenario {s}: mechanism panicked"),
+        };
+        let leaked: Vec<&String> = released.difference(&baseline).collect();
+        assert!(
+            leaked.is_empty(),
+            "scenario {s}: {} tuple(s) leaked that the clean run withheld, e.g. {:?}",
+            leaked.len(),
+            &leaked[..leaked.len().min(3)],
+        );
+    }
+}
+
+#[test]
+fn store_and_probe_fails_closed_under_chaos() {
+    let catalog = catalog();
+    let schema = schema();
+    mechanism_chaos(&|| {
+        Box::new(StoreAndProbe::new(
+            catalog.clone(),
+            schema.clone(),
+            RoleSet::from([0]),
+            512,
+        ))
+    });
+}
+
+#[test]
+fn tuple_embedded_fails_closed_under_chaos() {
+    let catalog = catalog();
+    let schema = schema();
+    mechanism_chaos(&|| {
+        Box::new(TupleEmbedded::new(
+            catalog.clone(),
+            schema.clone(),
+            RoleSet::from([0]),
+            512,
+        ))
+    });
+}
+
+#[test]
+fn sp_mechanism_fails_closed_under_chaos() {
+    let catalog = catalog();
+    let schema = schema();
+    mechanism_chaos(&|| {
+        Box::new(SpMechanism::new(
+            catalog.clone(),
+            schema.clone(),
+            RoleSet::from([0]),
+            512,
+        ))
+    });
+}

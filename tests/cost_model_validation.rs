@@ -70,7 +70,7 @@ fn measure(plan: &LogicalPlan) -> Duration {
                         roles,
                         Timestamp(ts),
                     )),
-                );
+                ).unwrap();
             }
             let id = (ts % 40) as i64;
             exec.push(
@@ -81,7 +81,7 @@ fn measure(plan: &LogicalPlan) -> Duration {
                     Timestamp(ts),
                     vec![Value::Int(id), Value::Int((ts % 10) as i64)],
                 )),
-            );
+            ).unwrap();
         }
         best = best.min(start.elapsed());
     }

@@ -159,8 +159,8 @@ fn server_policy_and_immutability() {
         let ss = builder.add(sp_engine::SecurityShield::new(roles), src);
         let sink = builder.sink(ss);
         let mut exec = builder.build();
-        exec.push(sid, StreamElement::punctuation(sp));
-        exec.push(streams::HEART_RATE, hr_tuple(1, 1, 70));
+        exec.push(sid, StreamElement::punctuation(sp)).unwrap();
+        exec.push(streams::HEART_RATE, hr_tuple(1, 1, 70)).unwrap();
 
         let released = exec.sink(sink).tuple_count();
         if immutable {
@@ -375,7 +375,7 @@ fn out_of_order_ingestion_with_reorder_buffer() {
 
     let (mut exec_a, sink_a) = build();
     for e in &ordered {
-        exec_a.push(StreamId(1), e.clone());
+        exec_a.push(StreamId(1), e.clone()).unwrap();
     }
 
     let (mut exec_b, sink_b) = build();
@@ -386,7 +386,7 @@ fn out_of_order_ingestion_with_reorder_buffer() {
     }
     buffer.flush(&mut staged);
     for e in staged {
-        exec_b.push(StreamId(1), e);
+        exec_b.push(StreamId(1), e).unwrap();
     }
 
     let a: Vec<u64> = exec_a.sink(sink_a).tuples().map(|t| t.tid.raw()).collect();
@@ -423,19 +423,19 @@ fn runtime_role_reassignment_updates_shield() {
         ))
     };
 
-    exec.push(StreamId(1), grant(&[2], 0));
-    exec.push(StreamId(1), tup(1, 1));
+    exec.push(StreamId(1), grant(&[2], 0)).unwrap();
+    exec.push(StreamId(1), tup(1, 1)).unwrap();
     assert_eq!(exec.sink(sink).tuple_count(), 0, "role 1 not authorized");
 
     // The subject's roles change to {2}: the shield is updated in place
     // and the buffered segment policy re-evaluated.
     assert!(exec.update_predicate(ss, &RoleSet::from([2])));
-    exec.push(StreamId(1), tup(2, 2));
+    exec.push(StreamId(1), tup(2, 2)).unwrap();
     assert_eq!(exec.sink(sink).tuple_count(), 1, "new role sees the segment");
 
     // And back again.
     assert!(exec.update_predicate(ss, &RoleSet::from([3])));
-    exec.push(StreamId(1), tup(3, 3));
+    exec.push(StreamId(1), tup(3, 3)).unwrap();
     assert_eq!(exec.sink(sink).tuple_count(), 1);
 }
 
@@ -477,12 +477,12 @@ fn incremental_policies_through_the_engine() {
         )
     };
 
-    exec.push(StreamId(1), grant(&[1], 1));
-    exec.push(StreamId(1), tup(1, 2)); // visible
-    exec.push(StreamId(1), grant(&[2], 3)); // ADDS role 2; role 1 keeps access
-    exec.push(StreamId(1), tup(2, 4)); // still visible
-    exec.push(StreamId(1), revoke(&[1], 5)); // revokes role 1
-    exec.push(StreamId(1), tup(3, 6)); // no longer visible
+    exec.push(StreamId(1), grant(&[1], 1)).unwrap();
+    exec.push(StreamId(1), tup(1, 2)).unwrap(); // visible
+    exec.push(StreamId(1), grant(&[2], 3)).unwrap(); // ADDS role 2; role 1 keeps access
+    exec.push(StreamId(1), tup(2, 4)).unwrap(); // still visible
+    exec.push(StreamId(1), revoke(&[1], 5)).unwrap(); // revokes role 1
+    exec.push(StreamId(1), tup(3, 6)).unwrap(); // no longer visible
     let ids: Vec<u64> = exec.sink(sink).tuples().map(|t| t.tid.raw()).collect();
     assert_eq!(ids, vec![1, 2]);
 }

@@ -44,7 +44,7 @@ fn execute(plan: &LogicalPlan, seed: u64) -> Vec<String> {
             exec.push(
                 stream,
                 StreamElement::punctuation(SecurityPunctuation::grant_all(roles, Timestamp(ts))),
-            );
+            ).unwrap();
         }
         let id = rng.gen_range(0..6i64);
         exec.push(
@@ -55,7 +55,7 @@ fn execute(plan: &LogicalPlan, seed: u64) -> Vec<String> {
                 Timestamp(ts),
                 vec![Value::Int(id), Value::Int(rng.gen_range(0..10))],
             )),
-        );
+        ).unwrap();
     }
     // Canonical rendering: values + timestamp. The join's carried sid/tid
     // come from its left base tuple and legitimately swap under join
@@ -228,7 +228,7 @@ fn sajoin_variants_agree_at_scale() {
             let sink = builder.sink(root);
             let mut exec = builder.build();
             for (port, elem) in &workload {
-                exec.push(StreamId(1 + *port as u32), elem.clone());
+                exec.push(StreamId(1 + *port as u32), elem.clone()).unwrap();
             }
             let mut got: Vec<String> = exec
                 .sink(sink)
@@ -261,7 +261,7 @@ fn sp_bench_workload(sigma: f64) -> Vec<(usize, StreamElement)> {
             if port == 0 || rng.gen_bool(sigma) {
                 roles.insert(RoleId(0));
             }
-            roles.insert(RoleId(rng.gen_range(1..60) + (port as u32) * 60));
+            roles.insert(RoleId(rng.gen_range(1..60u32) + (port as u32) * 60));
             out.push((
                 port,
                 StreamElement::punctuation(SecurityPunctuation::grant_all(

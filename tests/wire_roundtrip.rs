@@ -130,7 +130,7 @@ fn wire_replay_preserves_query_results() {
 
     let (mut direct, dsink) = build();
     for e in &workload.elements {
-        direct.push(StreamId(1), e.clone());
+        direct.push(StreamId(1), e.clone()).unwrap();
     }
 
     let (mut replayed, rsink) = build();
@@ -138,7 +138,7 @@ fn wire_replay_preserves_query_results() {
         let bytes = Message::new(StreamId(1), chunk.to_vec()).encode_to_vec();
         let msg = Message::decode(&mut bytes.as_slice()).expect("round trip");
         for e in msg.elements {
-            replayed.push(msg.stream, e);
+            replayed.push(msg.stream, e).unwrap();
         }
     }
 

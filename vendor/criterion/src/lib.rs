@@ -1,0 +1,241 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, throughput
+//! annotation, and the `criterion_group!` / `criterion_main!` macros — as
+//! a plain wall-clock runner. No statistical analysis, HTML reports, or
+//! baseline comparison; each benchmark prints its mean time per iteration
+//! (and throughput when configured). Good enough to keep `cargo bench`
+//! compiling and producing comparable numbers without crates.io access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to each benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Work-per-iteration annotation for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's display identity: function name plus parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for measurement.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Wall-clock budget for warm-up.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Reports print as benchmarks run.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: let the closure run until the warm-up budget expires,
+        // growing the iteration count to estimate a per-sample size.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut bencher);
+            if bencher.elapsed < Duration::from_millis(1) {
+                bencher.iterations = (bencher.iterations * 2).min(1 << 20);
+            }
+        }
+
+        // Measurement: collect samples within the time budget.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            total += bencher.elapsed;
+            iters += bencher.iterations;
+            if measure_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+
+        if iters == 0 {
+            println!("  {id}: no iterations recorded");
+            return;
+        }
+        let ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        match self.throughput {
+            Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+                let per_sec = n as f64 * 1e9 / ns_per_iter;
+                println!("  {id}: {ns_per_iter:.1} ns/iter ({per_sec:.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) if ns_per_iter > 0.0 => {
+                let per_sec = n as f64 * 1e9 / ns_per_iter;
+                println!("  {id}: {ns_per_iter:.1} ns/iter ({per_sec:.0} B/s)");
+            }
+            _ => println!("  {id}: {ns_per_iter:.1} ns/iter"),
+        }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_reports_and_terminates() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        group.bench_with_input(BenchmarkId::new("mul", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,86 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use core::marker::PhantomData;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// One arbitrary value. Implementations bias occasionally toward edge
+    /// values (zero, extremes) since uniform draws almost never hit them.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> AnyStrategy<T> {
+    /// Const-constructible so modules can expose `ANY` constants.
+    pub const fn new() -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<T> Default for AnyStrategy<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy::new()
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                // 1-in-8 draws pick an edge value.
+                if rng.gen_bool(0.125) {
+                    let edges = [<$t>::MIN, <$t>::MAX, 0, 1];
+                    edges[rng.gen_range(0..edges.len())]
+                } else {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ints_hit_edges_eventually() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let strat = any::<u64>();
+        let mut saw_extreme = false;
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            saw_extreme |= v == u64::MAX || v == 0;
+        }
+        assert!(saw_extreme);
+    }
+}

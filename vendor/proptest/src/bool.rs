@@ -1,0 +1,6 @@
+//! Boolean strategies.
+
+use crate::arbitrary::AnyStrategy;
+
+/// A fair coin, as `prop::bool::ANY`.
+pub const ANY: AnyStrategy<bool> = AnyStrategy::new();

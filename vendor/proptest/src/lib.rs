@@ -1,0 +1,136 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! reimplements the proptest API subset the workspace's property tests
+//! use: the [`strategy::Strategy`] trait (`prop_map`, `boxed`,
+//! `prop_recursive`), range / tuple / `Just` / regex-string strategies,
+//! `prop_oneof!`, `proptest::collection::vec`, `proptest::option::of`,
+//! `proptest::bool::ANY`, [`string::string_regex`], and the `proptest!` /
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **generation-only** — no shrinking; a failing case reports its case
+//!   number and the deterministic run seed instead of a minimized input;
+//! * **deterministic** — every run draws from a seed derived from the
+//!   configured case count, so failures reproduce exactly;
+//! * regression files (`*.proptest-regressions`) are ignored.
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines property tests (block form) or runs one inline (closure form).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($cfg:expr, |($($args:tt)*)| $body:block) => {
+        $crate::__proptest_case!{ @cfg ($cfg) @args [] $($args)* ; $body }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!{ @cfg ($cfg) @args [] $($args)* ; $body }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: parses the argument list into
+/// (pattern, strategy) pairs, then emits the case loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (@cfg ($cfg:expr) @args [$((($p:pat) ($s:expr)))*] ; $body:block) => {{
+        let __config: $crate::test_runner::ProptestConfig = $cfg;
+        let __strategy = ($( $s, )*);
+        let mut __rng = $crate::test_runner::fresh_rng(&__config);
+        for __case in 0..__config.cases {
+            let __values =
+                $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+            let __outcome = ::std::panic::catch_unwind(
+                ::core::panic::AssertUnwindSafe(move || {
+                    let ($($p,)*) = __values;
+                    $body
+                }),
+            );
+            if let Err(__payload) = __outcome {
+                eprintln!(
+                    "proptest: case {}/{} failed (deterministic seed {:#x})",
+                    __case + 1,
+                    __config.cases,
+                    __config.seed(),
+                );
+                ::std::panic::resume_unwind(__payload);
+            }
+        }
+    }};
+    (@cfg ($cfg:expr) @args [$($acc:tt)*] $p:ident: $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!{
+            @cfg ($cfg)
+            @args [$($acc)* (($p) ($crate::arbitrary::any::<$t>()))]
+            $($rest)*
+        }
+    };
+    (@cfg ($cfg:expr) @args [$($acc:tt)*] $p:ident: $t:ty; $body:block) => {
+        $crate::__proptest_case!{
+            @cfg ($cfg)
+            @args [$($acc)* (($p) ($crate::arbitrary::any::<$t>()))]
+            ; $body
+        }
+    };
+    (@cfg ($cfg:expr) @args [$($acc:tt)*] $p:pat in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!{ @cfg ($cfg) @args [$($acc)* (($p) ($s))] $($rest)* }
+    };
+    (@cfg ($cfg:expr) @args [$($acc:tt)*] $p:pat in $s:expr; $body:block) => {
+        $crate::__proptest_case!{ @cfg ($cfg) @args [$($acc)* (($p) ($s))] ; $body }
+    };
+}

@@ -1,0 +1,14 @@
+//! The names tests import with `use proptest::prelude::*`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Module-style access (`prop::bool::ANY`, `prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::string;
+}

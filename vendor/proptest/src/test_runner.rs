@@ -1,0 +1,36 @@
+//! Run configuration and the deterministic RNG behind `proptest!`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` run. Only `cases` is honoured by this
+/// stand-in; the remaining knobs of the real crate are absent.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// The deterministic seed this run draws from. Derived from the case
+    /// count so a given test binary reproduces byte-for-byte.
+    pub fn seed(&self) -> u64 {
+        0x5EED_CAFE_0000_0000 ^ u64::from(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator positioned at the start of the configured run.
+pub fn fresh_rng(config: &ProptestConfig) -> SmallRng {
+    SmallRng::seed_from_u64(config.seed())
+}
