@@ -87,15 +87,16 @@ impl EnforcementMechanism for SpMechanism {
                     self.current_fresh = true;
                 }
                 Element::Tuple(_) => {
-                    if self.current_fresh || self.window.is_empty() {
-                        self.window.push_back((self.current.clone(), 1));
-                        self.current_fresh = false;
-                    } else {
-                        self.window.back_mut().expect("non-empty").1 += 1;
+                    match self.window.back_mut() {
+                        Some(back) if !self.current_fresh => back.1 += 1,
+                        _ => {
+                            self.window.push_back((self.current.clone(), 1));
+                            self.current_fresh = false;
+                        }
                     }
                     self.window_total += 1;
                     while self.window_total > self.in_flight {
-                        let front = self.window.front_mut().expect("non-empty");
+                        let Some(front) = self.window.front_mut() else { break };
                         front.1 -= 1;
                         self.window_total -= 1;
                         if front.1 == 0 {
@@ -125,10 +126,7 @@ impl EnforcementMechanism for SpMechanism {
         // Policies are shared between the tuples of a segment: each
         // in-flight segment policy is counted once (bitmap encoding — the
         // sp model's compact form), plus the shield's own state.
-        self.window
-            .iter()
-            .filter_map(|(p, _)| p.as_ref().map(|p| p.mem_bytes()))
-            .sum::<usize>()
+        self.window.iter().filter_map(|(p, _)| p.as_ref().map(|p| p.mem_bytes())).sum::<usize>()
             + self.shield.state_mem_bytes()
     }
 
@@ -147,6 +145,8 @@ impl EnforcementMechanism for SpMechanism {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::mechanism::run_mechanism;
     use sp_core::{RoleId, SecurityPunctuation, StreamId, Timestamp, TupleId, Value, ValueType};
@@ -181,10 +181,8 @@ mod tests {
     #[test]
     fn enforces_like_a_shield() {
         let mut m = setup(&[1]);
-        let out = run_mechanism(
-            &mut m,
-            vec![sp(&[1], 0), tup(1, 1), sp(&[2], 2), tup(2, 3), tup(3, 4)],
-        );
+        let out =
+            run_mechanism(&mut m, vec![sp(&[1], 0), tup(1, 1), sp(&[2], 2), tup(2, 3), tup(3, 4)]);
         let ids: Vec<u64> = out.iter().map(|t| t.tid.raw()).collect();
         assert_eq!(ids, vec![1]);
         assert_eq!(m.released(), 1);
@@ -203,10 +201,7 @@ mod tests {
         // One shared policy + 100 pointers: far below 100 copies.
         let bytes = m.policy_mem_bytes();
         let one_policy = 64 / 8 + std::mem::size_of::<sp_core::Policy>();
-        assert!(
-            bytes < 100 * one_policy,
-            "sharing must beat per-tuple copies ({bytes} bytes)"
-        );
+        assert!(bytes < 100 * one_policy, "sharing must beat per-tuple copies ({bytes} bytes)");
         assert_eq!(m.name(), "security-punctuations");
         assert!(m.elapsed() > Duration::ZERO);
     }

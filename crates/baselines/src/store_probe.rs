@@ -89,8 +89,7 @@ impl StoreAndProbe {
                         self.exact.insert(tid, key.clone());
                     }
                 }
-                self.table
-                    .insert(key, TableEntry { scope: sp.ddp.tuple.clone(), policy });
+                self.table.insert(key, TableEntry { scope: sp.ddp.tuple.clone(), policy });
             }
         }
     }
@@ -147,9 +146,8 @@ impl EnforcementMechanism for StoreAndProbe {
         match elem {
             StreamElement::Punctuation(sp) => self.update(&sp),
             StreamElement::Tuple(tuple) => {
-                let authorized = self
-                    .probe(&tuple)
-                    .is_some_and(|roles| roles.intersects(&self.query_roles));
+                let authorized =
+                    self.probe(&tuple).is_some_and(|roles| roles.intersects(&self.query_roles));
                 if authorized {
                     self.stats.released += 1;
                     out.push(tuple);
@@ -188,6 +186,8 @@ impl EnforcementMechanism for StoreAndProbe {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::mechanism::run_mechanism;
     use sp_core::{DataDescription, RoleId, StreamId, TupleId, Value, ValueType};
@@ -236,10 +236,7 @@ mod tests {
     #[test]
     fn exact_probe_matches_object_policies() {
         let mut m = setup(&[1]);
-        let out = run_mechanism(
-            &mut m,
-            vec![sp_for(7, &[1], 0), tup(7, 1), tup(8, 2)],
-        );
+        let out = run_mechanism(&mut m, vec![sp_for(7, &[1], 0), tup(7, 1), tup(8, 2)]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].tid.raw(), 7);
         assert_eq!(m.table_len(), 1);
@@ -260,10 +257,7 @@ mod tests {
     #[test]
     fn same_ts_policies_union() {
         let mut m = setup(&[2]);
-        let out = run_mechanism(
-            &mut m,
-            vec![sp_for(7, &[1], 3), sp_for(7, &[2], 3), tup(7, 4)],
-        );
+        let out = run_mechanism(&mut m, vec![sp_for(7, &[1], 3), sp_for(7, &[2], 3), tup(7, 4)]);
         assert_eq!(out.len(), 1);
     }
 

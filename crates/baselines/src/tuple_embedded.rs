@@ -106,11 +106,7 @@ impl EnforcementMechanism for TupleEmbedded {
                         self.current_ts = sp.ts;
                     }
                     let scope = sp.ddp.tuple.clone();
-                    match self
-                        .current
-                        .iter_mut()
-                        .find(|(s, _)| s.source() == scope.source())
-                    {
+                    match self.current.iter_mut().find(|(s, _)| s.source() == scope.source()) {
                         Some((_, existing)) => *existing = existing.union(&policy),
                         None => self.current.push((scope, policy)),
                     }
@@ -158,6 +154,8 @@ impl EnforcementMechanism for TupleEmbedded {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::mechanism::run_mechanism;
     use sp_core::{RoleId, SecurityPunctuation, StreamId, TupleId, Value, ValueType};
@@ -198,10 +196,7 @@ mod tests {
     #[test]
     fn stamps_current_policy_on_tuples() {
         let mut m = setup(&[1]);
-        let out = run_mechanism(
-            &mut m,
-            vec![sp(&[1], 0), tup(1, 1), sp(&[2], 2), tup(2, 3)],
-        );
+        let out = run_mechanism(&mut m, vec![sp(&[1], 0), tup(1, 1), sp(&[2], 2), tup(2, 3)]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].tid.raw(), 1);
     }

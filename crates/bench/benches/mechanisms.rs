@@ -21,23 +21,18 @@ fn bench_mechanisms(c: &mut Criterion) {
         // Enumerate mechanisms by index so each iteration gets a fresh one.
         for idx in 0..3usize {
             let name = ["store_and_probe", "tuple_embedded", "security_punctuations"][idx];
-            group.bench_with_input(
-                BenchmarkId::new(name, sp_every),
-                &workload,
-                |b, workload| {
-                    b.iter(|| {
-                        let mut mechs =
-                            all_mechanisms(&catalog, &workload.schema, &probe_roles());
-                        let mut mech = mechs.swap_remove(idx);
-                        let mut out = Vec::with_capacity(256);
-                        for elem in &workload.elements {
-                            mech.process(elem.clone(), &mut out);
-                            out.clear();
-                        }
-                        mech.released()
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, sp_every), &workload, |b, workload| {
+                b.iter(|| {
+                    let mut mechs = all_mechanisms(&catalog, &workload.schema, &probe_roles());
+                    let mut mech = mechs.swap_remove(idx);
+                    let mut out = Vec::with_capacity(256);
+                    for elem in &workload.elements {
+                        mech.process(elem.clone(), &mut out);
+                        out.clear();
+                    }
+                    mech.released()
+                });
+            });
         }
     }
     group.finish();

@@ -10,8 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use sp_bench::workloads::fig8_workload;
 use sp_core::{RoleSet, Value};
 use sp_engine::{
-    CmpOp, Element, Emitter, Expr, MatchMode, Operator, Project, SecurityShield, Select,
-    SpAnalyzer,
+    CmpOp, Element, Emitter, Expr, MatchMode, Operator, Project, SecurityShield, Select, SpAnalyzer,
 };
 
 fn resolved_elements(sp_every: usize) -> Vec<Element> {
@@ -30,7 +29,7 @@ fn run(op: &mut dyn Operator, elements: &[Element]) -> usize {
     let mut emitter = Emitter::new();
     let mut produced = 0;
     for e in elements {
-        op.process(0, e.clone(), &mut emitter);
+        op.process(0, e.clone(), &mut emitter).expect("bench operator failed");
         produced += emitter.take().len();
     }
     produced
@@ -60,36 +59,28 @@ fn bench_operators(c: &mut Criterion) {
             &elements,
             |b, elems| {
                 b.iter(|| {
-                    let mut ss = SecurityShield::new(RoleSet::all_below(100))
-                        .with_mode(MatchMode::Scan);
+                    let mut ss =
+                        SecurityShield::new(RoleSet::all_below(100)).with_mode(MatchMode::Scan);
                     run(&mut ss, elems)
                 });
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("select", sp_every),
-            &elements,
-            |b, elems| {
-                b.iter(|| {
-                    let mut sel = Select::new(Expr::cmp(
-                        CmpOp::Ge,
-                        Expr::Attr(1),
-                        Expr::Const(Value::Float(500.0)),
-                    ));
-                    run(&mut sel, elems)
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("project", sp_every),
-            &elements,
-            |b, elems| {
-                b.iter(|| {
-                    let mut proj = Project::new(vec![0, 1]);
-                    run(&mut proj, elems)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("select", sp_every), &elements, |b, elems| {
+            b.iter(|| {
+                let mut sel = Select::new(Expr::cmp(
+                    CmpOp::Ge,
+                    Expr::Attr(1),
+                    Expr::Const(Value::Float(500.0)),
+                ));
+                run(&mut sel, elems)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("project", sp_every), &elements, |b, elems| {
+            b.iter(|| {
+                let mut proj = Project::new(vec![0, 1]);
+                run(&mut proj, elems)
+            });
+        });
     }
     group.finish();
 }
@@ -114,30 +105,14 @@ fn bench_predicate_index(c: &mut Criterion) {
         let policies: Vec<Policy> = (0..64u32)
             .map(|r| Policy::tuple_level(RoleSet::from([r, (r + 13) % 64]), Timestamp(0)))
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("indexed", n_queries),
-            &policies,
-            |b, policies| {
-                b.iter(|| {
-                    policies
-                        .iter()
-                        .map(|p| index.matching_queries(p).len())
-                        .sum::<usize>()
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("naive", n_queries),
-            &policies,
-            |b, policies| {
-                b.iter(|| {
-                    policies
-                        .iter()
-                        .map(|p| index.matching_queries_naive(p).len())
-                        .sum::<usize>()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("indexed", n_queries), &policies, |b, policies| {
+            b.iter(|| policies.iter().map(|p| index.matching_queries(p).len()).sum::<usize>());
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n_queries), &policies, |b, policies| {
+            b.iter(|| {
+                policies.iter().map(|p| index.matching_queries_naive(p).len()).sum::<usize>()
+            });
+        });
     }
     group.finish();
 }

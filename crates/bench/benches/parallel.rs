@@ -37,33 +37,22 @@ fn bench_runners(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(500));
     let workload = fig8_workload(10, 31);
-    let input: Vec<(StreamId, StreamElement)> = workload
-        .elements
-        .iter()
-        .map(|e| (StreamId(1), e.clone()))
-        .collect();
+    let input: Vec<(StreamId, StreamElement)> =
+        workload.elements.iter().map(|e| (StreamId(1), e.clone())).collect();
     group.throughput(Throughput::Elements(workload.tuples as u64));
     for n_queries in [1u32, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("sequential", n_queries),
-            &input,
-            |b, input| {
-                b.iter(|| {
-                    let mut exec = build(n_queries, &workload.schema).build();
-                    exec.push_all(input.iter().cloned());
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("parallel", n_queries),
-            &input,
-            |b, input| {
-                b.iter(|| {
-                    let builder = build(n_queries, &workload.schema);
-                    let _ = run_parallel(builder, input.iter().cloned());
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sequential", n_queries), &input, |b, input| {
+            b.iter(|| {
+                let mut exec = build(n_queries, &workload.schema).build();
+                exec.push_all(input.iter().cloned()).expect("bench plan failed");
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n_queries), &input, |b, input| {
+            b.iter(|| {
+                let builder = build(n_queries, &workload.schema);
+                let _ = run_parallel(builder, input.iter().cloned());
+            });
+        });
     }
     group.finish();
 }

@@ -43,22 +43,18 @@ fn bench_sajoin(c: &mut Criterion) {
             ("nested_fp", JoinVariant::NestedLoopFP),
             ("index", JoinVariant::Index),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, sigma),
-                &feed,
-                |b, feed| {
-                    b.iter(|| {
-                        let mut join = SAJoin::new(variant, 2000, 1, 1, 2);
-                        let mut emitter = Emitter::new();
-                        let mut out = 0usize;
-                        for (port, elem) in feed {
-                            join.process(*port, elem.clone(), &mut emitter);
-                            out += emitter.take().len();
-                        }
-                        out
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, sigma), &feed, |b, feed| {
+                b.iter(|| {
+                    let mut join = SAJoin::new(variant, 2000, 1, 1, 2);
+                    let mut emitter = Emitter::new();
+                    let mut out = 0usize;
+                    for (port, elem) in feed {
+                        join.process(*port, elem.clone(), &mut emitter).expect("bench join failed");
+                        out += emitter.take().len();
+                    }
+                    out
+                });
+            });
         }
     }
     group.finish();

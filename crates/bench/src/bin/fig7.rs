@@ -11,7 +11,10 @@
 //! `r` prints the hostile-stream degradation report: the same workload is
 //! replayed through the wire with seeded faults (drops, reorders, byte
 //! corruption) into a hardened plan, and every fail-closed loss counter is
-//! reported — nothing is dropped silently.
+//! reported — nothing is dropped silently. It then reruns the workload
+//! under a crash supervisor with injected pipeline kills, reporting the
+//! recovery counters and the checkpoint overhead at the default epoch
+//! interval (target: under 10%).
 
 use sp_bench::mechanisms::{all_mechanisms, catalog, drive, probe_roles, MechRun};
 use sp_bench::workloads::fig7_workload;
@@ -19,15 +22,14 @@ use sp_bench::{log_rows, print_table, us_per, warn_if_debug, Row};
 use sp_core::wire::{FrameDecoder, Message};
 use sp_core::{RoleSet, StreamId};
 use sp_engine::{
-    DegradationStats, FaultInjector, FaultPlan, PlanBuilder, QuarantinePolicy, ReorderBuffer,
-    SecurityShield,
+    run_supervised, DegradationStats, FaultInjector, FaultPlan, MemStore, PlanBuilder,
+    QuarantinePolicy, ReorderBuffer, SecurityShield, SupervisorConfig,
 };
 
 const RATIOS: [usize; 5] = [1, 10, 25, 50, 100];
 const POLICY_SIZES: [u32; 5] = [1, 10, 25, 50, 100];
 /// Fixed sp:tuple ratio for the policy-size experiments (paper: 1/10).
 const MEM_RATIO: usize = 10;
-
 
 /// Runs mechanism `idx` over the workload three times (fresh instance each
 /// run), keeping the fastest run — one-shot wall timings are noisy.
@@ -74,11 +76,8 @@ fn main() {
 fn degradation_report() {
     let catalog = catalog(128);
     let workload = fig7_workload(10, 3, 0.5, 42);
-    let input: Vec<(StreamId, sp_core::StreamElement)> = workload
-        .elements
-        .iter()
-        .map(|e| (workload.stream, e.clone()))
-        .collect();
+    let input: Vec<(StreamId, sp_core::StreamElement)> =
+        workload.elements.iter().map(|e| (workload.stream, e.clone())).collect();
 
     // Element-level faults: drop/duplicate/delay/reorder sps and tuples.
     // Moderate rates — a lossy network, not a bit-flood — so the report
@@ -95,7 +94,7 @@ fn degradation_report() {
         reorder: 0.05,
         reorder_window: 4,
         corrupt_byte: 0.000_02,
-        ..FaultPlan::none(0xF16_7)
+        ..FaultPlan::none(0xF167)
     };
     let mut injector = FaultInjector::new(plan);
     let faulty = injector.apply(&input);
@@ -118,10 +117,7 @@ fn degradation_report() {
     // The workload ticks every 50 ms, so a 40 ms policy TTL means a lost
     // tick-opening sp strands its tuples on the previous tick's policy —
     // exactly the case that must quarantine rather than inherit.
-    b.harden_source(
-        src,
-        QuarantinePolicy { ttl_ms: 40, slack_ms: 100, capacity: 1_024 },
-    );
+    b.harden_source(src, QuarantinePolicy { ttl_ms: 40, slack_ms: 100, capacity: 1_024 });
     let ss = b.add(SecurityShield::new(RoleSet::from([0])), src);
     let sink = b.sink(ss);
     let mut exec = b.build();
@@ -159,6 +155,107 @@ fn degradation_report() {
         workload.tuples,
         deg.total_dropped(),
     );
+
+    recovery_report();
+}
+
+/// Fastest of three runs of `f` — one-shot wall timings are noisy.
+fn time_best_of_3(mut f: impl FnMut()) -> std::time::Duration {
+    (0..3)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("three runs")
+}
+
+/// Crash-recovery degradation: the Fig. 7 workload under a crash
+/// supervisor that loses the whole pipeline at three separate points, and
+/// the wall-clock cost of checkpointing at the default epoch interval.
+fn recovery_report() {
+    let catalog = catalog(128);
+    let workload = fig7_workload(10, 3, 0.5, 42);
+    let input: Vec<(StreamId, sp_core::StreamElement)> =
+        workload.elements.iter().map(|e| (workload.stream, e.clone())).collect();
+    let stream = workload.stream;
+    let schema = &workload.schema;
+    let build_with_sink = || {
+        let mut b = PlanBuilder::new(catalog.clone());
+        let src = b.source(stream, schema.clone());
+        b.harden_source(src, QuarantinePolicy { ttl_ms: 40, slack_ms: 100, capacity: 1_024 });
+        let ss = b.add(SecurityShield::new(RoleSet::from([0])), src);
+        let sink = b.sink(ss);
+        (b, sink)
+    };
+    let builder = || build_with_sink().0;
+    // SinkRefs are positional, so one taken from an identically-built plan
+    // addresses the same sink in every builder() executor.
+    let (_, sink) = build_with_sink();
+    let cfg = SupervisorConfig::default();
+
+    // Checkpoint overhead: the same uninterrupted run with and without a
+    // supervisor cutting epochs at the default interval.
+    let plain = time_best_of_3(|| {
+        let mut exec = builder().build();
+        for (s, e) in &input {
+            let _ = exec.push(*s, e.clone());
+        }
+        let _ = exec.finish();
+    });
+    let supervised = time_best_of_3(|| {
+        let mut store = MemStore::default();
+        let _ = run_supervised(builder, &input, &cfg, &mut store, &mut |_, _| false);
+    });
+    let overhead =
+        (supervised.as_secs_f64() - plain.as_secs_f64()) / plain.as_secs_f64().max(1e-9) * 100.0;
+
+    // Crash recovery: kill the pipeline at three spread-out positions;
+    // each death drops the live executor and restores the last durable
+    // checkpoint, replaying the epoch's input from the source log.
+    let len = input.len() as u64;
+    let mut pending = vec![len / 4, len / 2, 3 * len / 4];
+    let mut oracle = move |_e: u64, p: u64| {
+        if pending.first().is_some_and(|&k| p == k) {
+            pending.remove(0);
+            return true;
+        }
+        false
+    };
+    let mut store = MemStore::default();
+    let run = run_supervised(builder, &input, &cfg, &mut store, &mut oracle)
+        .expect("in-memory store never fails");
+    let deg = run.degradation();
+
+    println!("\nFig 7r: crash recovery under supervision (3 injected kills)");
+    println!("  run completed       {}", run.completed());
+    println!(
+        "  released            {} of {} tuples",
+        run.executor.sink(sink).tuple_count(),
+        workload.tuples
+    );
+    println!("  {deg}");
+    println!(
+        "  checkpoint overhead {overhead:.1}% at epoch interval {} (target < 10%)",
+        cfg.epoch_interval
+    );
+    let row = |metric: &'static str, measured: f64| Row {
+        experiment: "fig7r",
+        param: "recovery",
+        value: "3-kills".into(),
+        series: "supervised".into(),
+        metric,
+        measured,
+    };
+    log_rows(&[
+        row("checkpoint_overhead_pct", overhead),
+        row("checkpoints_taken", deg.checkpoints_taken as f64),
+        row("checkpoints_restored", deg.checkpoints_restored as f64),
+        row("epochs_replayed", deg.epochs_replayed as f64),
+        row("recovery_dropped", deg.recovery_dropped as f64),
+        row("restart_attempts", deg.restart_attempts as f64),
+    ]);
 }
 
 /// Figures 7a (output rate) and 7b (processing cost per tuple).

@@ -17,8 +17,7 @@ use sp_bench::workloads::fig8_workload;
 use sp_bench::{log_rows, print_table, us_per, warn_if_debug, Row};
 use sp_core::{RoleSet, Value};
 use sp_engine::{
-    CmpOp, Element, Emitter, Expr, MatchMode, Operator, Project, SecurityShield, Select,
-    SpAnalyzer,
+    CmpOp, Element, Emitter, Expr, MatchMode, Operator, Project, SecurityShield, Select, SpAnalyzer,
 };
 use sp_mog::Workload;
 
@@ -61,7 +60,7 @@ fn measure(mut make: impl FnMut() -> Box<dyn Operator>, elements: &[Element], tu
         let mut emitter = Emitter::new();
         let start = std::time::Instant::now();
         for e in elements {
-            op.process(0, e.clone(), &mut emitter);
+            op.process(0, e.clone(), &mut emitter).expect("bench operator failed");
             let _ = emitter.take();
         }
         best = best.min(us_per(start.elapsed(), tuples));
@@ -87,11 +86,8 @@ fn ratio_sweep() {
 
         let project_us = measure(|| Box::new(Project::new(vec![0, 1])), &elements, tuples);
         let select_us = measure(|| Box::new(region_select()), &elements, tuples);
-        let ss_us = measure(
-            || Box::new(SecurityShield::new(RoleSet::from([0]))),
-            &elements,
-            tuples,
-        );
+        let ss_us =
+            measure(|| Box::new(SecurityShield::new(RoleSet::from([0]))), &elements, tuples);
 
         for (series, v) in [("project", project_us), ("select", select_us), ("ss", ss_us)] {
             rows.push(Row {

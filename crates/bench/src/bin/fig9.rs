@@ -18,10 +18,8 @@ const WINDOW_MS: u64 = 4000;
 
 fn main() {
     warn_if_debug();
-    let tuples_per_side: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4000);
+    let tuples_per_side: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
 
     let mut table = Vec::new();
     let mut rows = Vec::new();
@@ -46,11 +44,7 @@ fn main() {
             }
         }
 
-        for variant in [
-            JoinVariant::NestedLoopPF,
-            JoinVariant::NestedLoopFP,
-            JoinVariant::Index,
-        ] {
+        for variant in [JoinVariant::NestedLoopPF, JoinVariant::NestedLoopFP, JoinVariant::Index] {
             // Best of three runs (fresh operator each time).
             let mut best: Option<(SAJoin, u64)> = None;
             for _ in 0..3 {
@@ -58,12 +52,12 @@ fn main() {
                 let mut emitter = Emitter::new();
                 let mut results = 0u64;
                 for (port, elem) in &feed {
-                    join.process(*port, elem.clone(), &mut emitter);
+                    join.process(*port, elem.clone(), &mut emitter).expect("bench join failed");
                     results += emitter.take().iter().filter(|e| e.is_tuple()).count() as u64;
                 }
-                let better = best.as_ref().is_none_or(|(b, _)| {
-                    join.stats().total_time() < b.stats().total_time()
-                });
+                let better = best
+                    .as_ref()
+                    .is_none_or(|(b, _)| join.stats().total_time() < b.stats().total_time());
                 if better {
                     best = Some((join, results));
                 }

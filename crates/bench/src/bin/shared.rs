@@ -85,7 +85,7 @@ fn run(
     let mut exec = builder.build();
     let start = Instant::now();
     for e in elements {
-        exec.push(stream, e.clone());
+        exec.push(stream, e.clone()).expect("bench plan failed");
     }
     let elapsed = start.elapsed().as_secs_f64() * 1000.0;
     let counts = sinks.iter().map(|&s| exec.sink(s).tuple_count()).collect();
@@ -94,10 +94,7 @@ fn run(
 
 fn main() {
     warn_if_debug();
-    let n_queries: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let n_queries: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
 
     // Workload: whole-segment sps whose roles are drawn from the query
     // role range, so each query sees a different subset.
@@ -113,11 +110,7 @@ fn main() {
             Some(r) => assert_eq!(&counts, r, "{variant} changed per-query results"),
         }
         let total: usize = counts.iter().sum();
-        table.push(vec![
-            variant.to_owned(),
-            format!("{ms:.1}"),
-            format!("{total}"),
-        ]);
+        table.push(vec![variant.to_owned(), format!("{ms:.1}"), format!("{total}")]);
         rows.push(Row {
             experiment: "shared",
             param: "variant",

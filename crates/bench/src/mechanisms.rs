@@ -30,12 +30,7 @@ pub fn all_mechanisms(
             query_roles.clone(),
             IN_FLIGHT,
         )),
-        Box::new(SpMechanism::new(
-            catalog.clone(),
-            schema.clone(),
-            query_roles.clone(),
-            IN_FLIGHT,
-        )),
+        Box::new(SpMechanism::new(catalog.clone(), schema.clone(), query_roles.clone(), IN_FLIGHT)),
     ]
 }
 
@@ -69,10 +64,7 @@ pub struct MechRun {
 }
 
 /// Drives a mechanism over a workload, collecting the Fig. 7 metrics.
-pub fn drive(
-    mech: &mut dyn EnforcementMechanism,
-    elements: &[StreamElement],
-) -> MechRun {
+pub fn drive(mech: &mut dyn EnforcementMechanism, elements: &[StreamElement]) -> MechRun {
     let mut out = Vec::with_capacity(1024);
     for elem in elements {
         mech.process(elem.clone(), &mut out);

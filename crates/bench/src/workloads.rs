@@ -64,10 +64,8 @@ pub struct JoinWorkload {
 /// Builds the Fig. 9 workload.
 #[must_use]
 pub fn fig9_workload(sigma_sp: f64, tuples_per_side: usize, seed: u64) -> JoinWorkload {
-    let schema = Schema::of(
-        "RegionUpdates",
-        &[("obj_id", ValueType::Int), ("region", ValueType::Int)],
-    );
+    let schema =
+        Schema::of("RegionUpdates", &[("obj_id", ValueType::Int), ("region", ValueType::Int)]);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut feed = Vec::with_capacity(tuples_per_side * 2 + tuples_per_side / 4);
     let sp_every = 10usize;

@@ -128,8 +128,7 @@ mod tests {
     fn conversions_and_display() {
         let t: StreamElement = Tuple::new(StreamId(0), TupleId(1), Timestamp(2), vec![]).into();
         assert!(t.to_string().starts_with('['));
-        let sp: StreamElement =
-            SecurityPunctuation::grant_all(RoleSet::new(), Timestamp(0)).into();
+        let sp: StreamElement = SecurityPunctuation::grant_all(RoleSet::new(), Timestamp(0)).into();
         assert!(sp.to_string().starts_with('<'));
     }
 }

@@ -43,5 +43,5 @@ pub use rbac::{AccessModel, RbacError, Right, RoleCatalog, Subject};
 pub use roleset::RoleSet;
 pub use schema::{Field, Schema};
 pub use tuple::Tuple;
-pub use wire::{decode_tuple, encode_tuple, Message, WireError};
 pub use value::{Value, ValueType};
+pub use wire::{decode_tuple, encode_tuple, Message, WireError};

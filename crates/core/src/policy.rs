@@ -156,8 +156,7 @@ impl Policy {
     /// attribute-scoped grant only).
     #[must_use]
     pub fn allows_any_attr(&self, subject: &RoleSet) -> bool {
-        self.allows(subject)
-            || self.attr_roles.iter().any(|(_, set)| set.intersects(subject))
+        self.allows(subject) || self.attr_roles.iter().any(|(_, set)| set.intersects(subject))
     }
 
     /// True if nobody is authorized at all.
@@ -282,9 +281,7 @@ impl Policy {
     /// the mask for attribute-granularity shielding.
     #[must_use]
     pub fn masked_attrs(&self, arity: usize, subject: &RoleSet) -> Vec<usize> {
-        (0..arity)
-            .filter(|&i| !self.allows_attr(i as u16, subject))
-            .collect()
+        (0..arity).filter(|&i| !self.allows_attr(i as u16, subject)).collect()
     }
 
     /// Approximate heap footprint in bytes with the bitmap role encoding
@@ -293,11 +290,7 @@ impl Policy {
     pub fn mem_bytes(&self) -> usize {
         std::mem::size_of::<Policy>()
             + self.tuple_roles.mem_bytes()
-            + self
-                .attr_roles
-                .iter()
-                .map(|(_, s)| 2 + s.mem_bytes())
-                .sum::<usize>()
+            + self.attr_roles.iter().map(|(_, s)| 2 + s.mem_bytes()).sum::<usize>()
     }
 
     /// Approximate footprint with a conventional *explicit role list*
@@ -309,11 +302,60 @@ impl Policy {
     pub fn mem_bytes_list(&self) -> usize {
         std::mem::size_of::<Policy>()
             + self.tuple_roles.len() * 4
-            + self
-                .attr_roles
-                .iter()
-                .map(|(_, s)| 2 + s.len() * 4)
-                .sum::<usize>()
+            + self.attr_roles.iter().map(|(_, s)| 2 + s.len() * 4).sum::<usize>()
+    }
+
+    /// Serializes the resolved policy: `[u64 ts][u8 flags][tuple roles]
+    /// [u16 attr-grant count][(u16 attr, roles)…]`, big-endian throughout.
+    ///
+    /// The encoding is canonical — equal policies produce identical bytes
+    /// (attribute grants are kept sorted by construction, role sets trim
+    /// trailing zero words) — so checkpoints can be compared byte-wise.
+    pub fn encode(&self, buf: &mut impl bytes::BufMut) {
+        buf.put_u64(self.ts.millis());
+        buf.put_u8(u8::from(self.immutable));
+        self.tuple_roles.encode(buf);
+        buf.put_u16(self.attr_roles.len() as u16);
+        for (attr, set) in &self.attr_roles {
+            buf.put_u16(*attr);
+            set.encode(buf);
+        }
+    }
+
+    /// Deserializes a policy produced by [`Policy::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or a malformed flags byte.
+    pub fn decode(buf: &mut impl bytes::Buf) -> Result<Self, String> {
+        if buf.remaining() < 8 + 1 {
+            return Err("truncated policy header".into());
+        }
+        let ts = Timestamp(buf.get_u64());
+        let immutable = match buf.get_u8() {
+            0 => false,
+            1 => true,
+            other => return Err(format!("bad policy flags byte {other}")),
+        };
+        let tuple_roles = RoleSet::decode(buf)?;
+        if buf.remaining() < 2 {
+            return Err("truncated attr grant count".into());
+        }
+        let n = buf.get_u16() as usize;
+        let mut attr_roles = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            if buf.remaining() < 2 {
+                return Err("truncated attr grant".into());
+            }
+            let attr = buf.get_u16();
+            if let Some(&(prev, _)) = attr_roles.last() {
+                if prev >= attr {
+                    return Err("attr grants not strictly sorted".into());
+                }
+            }
+            attr_roles.push((attr, RoleSet::decode(buf)?));
+        }
+        Ok(Self { ts, immutable, tuple_roles, attr_roles })
     }
 
     fn prune(&mut self) {

@@ -374,10 +374,7 @@ pub fn combine_batch(
     schema: &Schema,
 ) -> Policy {
     let ts = batch.first().map_or(Timestamp::ZERO, |sp| sp.ts);
-    debug_assert!(
-        batch.iter().all(|sp| sp.ts == ts),
-        "an sp-batch shares one timestamp"
-    );
+    debug_assert!(batch.iter().all(|sp| sp.ts == ts), "an sp-batch shares one timestamp");
     let mut policy = Policy::deny_all(ts);
     // Positive grants first, then negative revocations: within one policy a
     // denial wins regardless of the order the sps were listed in.
@@ -414,7 +411,12 @@ mod tests {
     }
 
     fn tuple(tid: u64) -> Tuple {
-        Tuple::new(StreamId(1), TupleId(tid), Timestamp(100), vec![Value::Int(tid as i64), Value::Int(70)])
+        Tuple::new(
+            StreamId(1),
+            TupleId(tid),
+            Timestamp(100),
+            vec![Value::Int(tid as i64), Value::Int(70)],
+        )
     }
 
     #[test]
@@ -440,14 +442,12 @@ mod tests {
     #[test]
     fn attribute_level_policy_selects_attrs() {
         // "Only a doctor or nurse-on-duty can query the heart beat."
-        let sp = SecurityPunctuation::grant_all(
-            RoleSet::from([1, 2]),
-            Timestamp(1),
-        )
-        .with_ddp(DataDescription {
-            attrs: Pattern::compile("Beats_per_min|Temperature").unwrap(),
-            ..DataDescription::everything()
-        });
+        let sp = SecurityPunctuation::grant_all(RoleSet::from([1, 2]), Timestamp(1)).with_ddp(
+            DataDescription {
+                attrs: Pattern::compile("Beats_per_min|Temperature").unwrap(),
+                ..DataDescription::everything()
+            },
+        );
         assert_eq!(sp.governed_attrs(&schema()), Some(vec![1]));
     }
 
@@ -487,7 +487,9 @@ mod tests {
         let s = schema();
         let sp = SecurityPunctuation {
             ddp: DataDescription::everything(),
-            srp: SecurityRestriction::role_pattern(Pattern::compile("doctor|nurse_on_duty").unwrap()),
+            srp: SecurityRestriction::role_pattern(
+                Pattern::compile("doctor|nurse_on_duty").unwrap(),
+            ),
             sign: Sign::Positive,
             immutable: false,
             ts: Timestamp(2),
@@ -518,7 +520,8 @@ mod tests {
     fn immutable_flag_propagates() {
         let c = catalog();
         let s = schema();
-        let sp = SecurityPunctuation::grant_all(RoleSet::single(RoleId(0)), Timestamp(1)).immutable();
+        let sp =
+            SecurityPunctuation::grant_all(RoleSet::single(RoleId(0)), Timestamp(1)).immutable();
         let p = combine_batch(&[Arc::new(sp)], &c, &s);
         assert!(p.immutable);
     }

@@ -73,10 +73,9 @@ impl fmt::Display for RbacError {
             RbacError::UnknownRole(n) => write!(f, "unknown role {n:?}"),
             RbacError::DuplicateSubject(n) => write!(f, "subject {n:?} already registered"),
             RbacError::UnknownSubject(id) => write!(f, "unknown subject #{id}"),
-            RbacError::SubjectPinned(id) => write!(
-                f,
-                "subject #{id} has registered queries; role assignment is frozen"
-            ),
+            RbacError::SubjectPinned(id) => {
+                write!(f, "subject #{id} has registered queries; role assignment is frozen")
+            }
         }
     }
 }
@@ -197,19 +196,13 @@ impl RoleCatalog {
         }
         let mut set = RoleSet::new();
         for role in roles {
-            let id = self
-                .lookup_role(role)
-                .ok_or_else(|| RbacError::UnknownRole((*role).to_owned()))?;
+            let id =
+                self.lookup_role(role).ok_or_else(|| RbacError::UnknownRole((*role).to_owned()))?;
             set.insert(id);
         }
         let id = SubjectId(self.subjects.len() as u32);
         let name: Arc<str> = Arc::from(name);
-        self.subjects.push(Subject {
-            id,
-            name: name.clone(),
-            roles: set,
-            active_queries: 0,
-        });
+        self.subjects.push(Subject { id, name: name.clone(), roles: set, active_queries: 0 });
         self.subject_index.insert(name, id);
         Ok(id)
     }
@@ -232,9 +225,7 @@ impl RoleCatalog {
     ///
     /// Fails if the subject is unknown.
     pub fn subject_roles(&self, id: SubjectId) -> Result<&RoleSet, RbacError> {
-        self.subject(id)
-            .map(|s| &s.roles)
-            .ok_or(RbacError::UnknownSubject(id))
+        self.subject(id).map(|s| &s.roles).ok_or(RbacError::UnknownSubject(id))
     }
 
     /// Marks a query registration for `id` (pins its role assignment).
@@ -243,10 +234,7 @@ impl RoleCatalog {
     ///
     /// Fails if the subject is unknown.
     pub fn pin_subject(&mut self, id: SubjectId) -> Result<(), RbacError> {
-        let s = self
-            .subjects
-            .get_mut(id.0 as usize)
-            .ok_or(RbacError::UnknownSubject(id))?;
+        let s = self.subjects.get_mut(id.0 as usize).ok_or(RbacError::UnknownSubject(id))?;
         s.active_queries += 1;
         Ok(())
     }
@@ -257,10 +245,7 @@ impl RoleCatalog {
     ///
     /// Fails if the subject is unknown.
     pub fn unpin_subject(&mut self, id: SubjectId) -> Result<(), RbacError> {
-        let s = self
-            .subjects
-            .get_mut(id.0 as usize)
-            .ok_or(RbacError::UnknownSubject(id))?;
+        let s = self.subjects.get_mut(id.0 as usize).ok_or(RbacError::UnknownSubject(id))?;
         s.active_queries = s.active_queries.saturating_sub(1);
         Ok(())
     }
@@ -278,15 +263,11 @@ impl RoleCatalog {
     ) -> Result<(), RbacError> {
         let mut set = RoleSet::new();
         for role in roles {
-            let rid = self
-                .lookup_role(role)
-                .ok_or_else(|| RbacError::UnknownRole((*role).to_owned()))?;
+            let rid =
+                self.lookup_role(role).ok_or_else(|| RbacError::UnknownRole((*role).to_owned()))?;
             set.insert(rid);
         }
-        let s = self
-            .subjects
-            .get_mut(id.0 as usize)
-            .ok_or(RbacError::UnknownSubject(id))?;
+        let s = self.subjects.get_mut(id.0 as usize).ok_or(RbacError::UnknownSubject(id))?;
         if s.active_queries > 0 {
             return Err(RbacError::SubjectPinned(id));
         }
@@ -303,7 +284,14 @@ mod tests {
 
     fn hospital() -> RoleCatalog {
         let mut c = RoleCatalog::new();
-        for r in ["cardiologist", "general_physician", "doctor", "dermatologist", "nurse_on_duty", "employee"] {
+        for r in [
+            "cardiologist",
+            "general_physician",
+            "doctor",
+            "dermatologist",
+            "nurse_on_duty",
+            "employee",
+        ] {
             c.register_role(r).unwrap();
         }
         c
@@ -321,10 +309,7 @@ mod tests {
     #[test]
     fn duplicate_role_rejected() {
         let mut c = hospital();
-        assert!(matches!(
-            c.register_role("doctor"),
-            Err(RbacError::DuplicateRole(_))
-        ));
+        assert!(matches!(c.register_role("doctor"), Err(RbacError::DuplicateRole(_))));
     }
 
     #[test]
@@ -379,15 +364,9 @@ mod tests {
             c.register_subject("bob", &["doctor"]),
             Err(RbacError::DuplicateSubject(_))
         ));
-        assert!(matches!(
-            c.register_subject("eve", &["janitor"]),
-            Err(RbacError::UnknownRole(_))
-        ));
+        assert!(matches!(c.register_subject("eve", &["janitor"]), Err(RbacError::UnknownRole(_))));
         assert!(c.register_subject("empty", &[]).is_err());
-        assert!(matches!(
-            c.subject_roles(SubjectId(99)),
-            Err(RbacError::UnknownSubject(_))
-        ));
+        assert!(matches!(c.subject_roles(SubjectId(99)), Err(RbacError::UnknownSubject(_))));
     }
 
     #[test]

@@ -31,11 +31,7 @@ impl Eq for RoleSet {}
 impl std::hash::Hash for RoleSet {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         // Consistent with semantic equality: skip trailing zero words.
-        let end = self
-            .words
-            .iter()
-            .rposition(|&w| w != 0)
-            .map_or(0, |i| i + 1);
+        let end = self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
         self.words[..end].hash(state);
     }
 }
@@ -111,18 +107,16 @@ impl RoleSet {
     /// and SAJoin operators. Early-exits on the first overlapping word.
     #[must_use]
     pub fn intersects(&self, other: &RoleSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// True if every role of `self` is in `other`.
     #[must_use]
     pub fn is_subset(&self, other: &RoleSet) -> bool {
-        self.words.iter().enumerate().all(|(i, &w)| {
-            w & !other.words.get(i).copied().unwrap_or(0) == 0
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
     }
 
     /// In-place union (`union()` of the paper's policy operations).
@@ -214,6 +208,35 @@ impl RoleSet {
     #[must_use]
     pub fn mem_bytes(&self) -> usize {
         std::mem::size_of::<RoleSet>() + self.words.capacity() * 8
+    }
+
+    /// Serializes the bitmap as `[u16 word count][u64 words…]`, big-endian.
+    ///
+    /// Trailing zero words are trimmed, so semantically equal sets always
+    /// produce identical bytes — required for byte-comparable snapshots.
+    pub fn encode(&self, buf: &mut impl bytes::BufMut) {
+        let end = self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        buf.put_u16(end as u16);
+        for &w in &self.words[..end] {
+            buf.put_u64(w);
+        }
+    }
+
+    /// Deserializes a bitmap produced by [`RoleSet::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn decode(buf: &mut impl bytes::Buf) -> Result<Self, String> {
+        if buf.remaining() < 2 {
+            return Err("truncated role set header".into());
+        }
+        let n = buf.get_u16() as usize;
+        if buf.remaining() < n * 8 {
+            return Err("truncated role set words".into());
+        }
+        let words = (0..n).map(|_| buf.get_u64()).collect();
+        Ok(Self { words })
     }
 
     /// Drops trailing zero words (keeps footprint proportional to content).

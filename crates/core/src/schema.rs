@@ -55,10 +55,7 @@ impl Schema {
     /// Convenience constructor from `(name, type)` pairs.
     #[must_use]
     pub fn of(name: &str, fields: &[(&str, ValueType)]) -> Arc<Self> {
-        Arc::new(Self::new(
-            name,
-            fields.iter().map(|(n, t)| Field::new(n, *t)).collect(),
-        ))
+        Arc::new(Self::new(name, fields.iter().map(|(n, t)| Field::new(n, *t)).collect()))
     }
 
     /// The stream name this schema describes.
@@ -100,10 +97,7 @@ impl Schema {
     #[must_use]
     pub fn project(&self, indices: &[usize]) -> Schema {
         let fields = indices.iter().map(|&i| self.fields[i].clone()).collect();
-        Schema {
-            name: Arc::from(format!("{}_proj", self.name).as_str()),
-            fields,
-        }
+        Schema { name: Arc::from(format!("{}_proj", self.name).as_str()), fields }
     }
 
     /// Derives the concatenated schema of a join output: fields of `self`
@@ -122,10 +116,7 @@ impl Schema {
                 fields.push(f.clone());
             }
         }
-        Schema {
-            name: Arc::from(format!("{}_{}", self.name, right.name).as_str()),
-            fields,
-        }
+        Schema { name: Arc::from(format!("{}_{}", self.name, right.name).as_str()), fields }
     }
 }
 
@@ -204,9 +195,6 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(
-            sample().to_string(),
-            "HeartRate(Patient_id: INT, Beats_per_min: INT)"
-        );
+        assert_eq!(sample().to_string(), "HeartRate(Patient_id: INT, Beats_per_min: INT)");
     }
 }

@@ -79,12 +79,7 @@ impl Tuple {
                 *slot = Value::Null;
             }
         }
-        Tuple {
-            sid: self.sid,
-            tid: self.tid,
-            ts: self.ts,
-            values: values.into_boxed_slice(),
-        }
+        Tuple { sid: self.sid, tid: self.tid, ts: self.ts, values: values.into_boxed_slice() }
     }
 
     /// Concatenates two tuples into a join output. The result takes the
@@ -174,12 +169,8 @@ mod tests {
 
     #[test]
     fn join_concatenates_and_takes_later_ts() {
-        let right = Tuple::new(
-            StreamId(2),
-            TupleId(120),
-            Timestamp(2000),
-            vec![Value::Float(98.6)],
-        );
+        let right =
+            Tuple::new(StreamId(2), TupleId(120), Timestamp(2000), vec![Value::Float(98.6)]);
         let j = tup().join(&right);
         assert_eq!(j.arity(), 3);
         assert_eq!(j.ts, Timestamp(2000));

@@ -91,7 +91,7 @@ fn err(msg: &str) -> WireError {
 }
 
 /// Encodes one value.
-fn encode_value(v: &Value, buf: &mut impl BufMut) {
+pub fn encode_value(v: &Value, buf: &mut impl BufMut) {
     match v {
         Value::Null => buf.put_u8(0),
         Value::Int(x) => {
@@ -114,7 +114,12 @@ fn encode_value(v: &Value, buf: &mut impl BufMut) {
     }
 }
 
-fn decode_value(buf: &mut impl Buf) -> Result<Value, WireError> {
+/// Decodes one value.
+///
+/// # Errors
+///
+/// Fails on truncation, malformed UTF-8, or an unknown type tag.
+pub fn decode_value(buf: &mut impl Buf) -> Result<Value, WireError> {
     if buf.remaining() < 1 {
         return Err(err("missing value tag"));
     }
@@ -142,9 +147,7 @@ fn decode_value(buf: &mut impl Buf) -> Result<Value, WireError> {
             }
             let mut bytes = vec![0u8; len];
             buf.copy_to_slice(&mut bytes);
-            String::from_utf8(bytes)
-                .map(Value::text)
-                .map_err(|_| err("invalid UTF-8 text"))
+            String::from_utf8(bytes).map(Value::text).map_err(|_| err("invalid UTF-8 text"))
         }
         4 => {
             if buf.remaining() < 1 {
@@ -411,10 +414,8 @@ mod tests {
         // The paper's claim: the policy rides in the same message with
         // little extra demand. One sp amortized over a 10-tuple segment
         // adds a small fraction of the message size.
-        let data_only = Message::new(
-            StreamId(7),
-            (0..10).map(|i| StreamElement::tuple(tuple(i))).collect(),
-        );
+        let data_only =
+            Message::new(StreamId(7), (0..10).map(|i| StreamElement::tuple(tuple(i))).collect());
         let mut with_sp_elems = vec![StreamElement::punctuation(sp(1))];
         with_sp_elems.extend((0..10).map(|i| StreamElement::tuple(tuple(i))));
         let with_sp = Message::new(StreamId(7), with_sp_elems);

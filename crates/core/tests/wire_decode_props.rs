@@ -6,8 +6,7 @@
 use proptest::prelude::*;
 use sp_core::wire::{FrameDecoder, Message};
 use sp_core::{
-    RoleId, RoleSet, SecurityPunctuation, StreamElement, StreamId, Timestamp, Tuple, TupleId,
-    Value,
+    RoleId, RoleSet, SecurityPunctuation, StreamElement, StreamId, Timestamp, Tuple, TupleId, Value,
 };
 
 fn arb_element() -> impl Strategy<Value = StreamElement> {

@@ -243,10 +243,7 @@ impl SpAnalyzer {
         // Incremental mode: a single unscoped batch modifies the previous
         // uniform policy instead of replacing it.
         let incremental_base = if self.incremental && groups.len() == 1 && groups[0].0 == "*" {
-            self.last_emitted
-                .as_ref()
-                .and_then(|seg| seg.as_uniform())
-                .map(|p| (**p).clone())
+            self.last_emitted.as_ref().and_then(|seg| seg.as_uniform()).map(|p| (**p).clone())
         } else {
             None
         };
@@ -277,9 +274,11 @@ impl SpAnalyzer {
         // are unchanged (timestamps aside).
         let merged = self.last_emitted.as_ref().is_some_and(|prev| {
             prev.entries().len() == seg.entries().len()
-                && prev.entries().iter().zip(seg.entries()).all(|(a, b)| {
-                    a.scope == b.scope && a.policy.same_authorizations(&b.policy)
-                })
+                && prev
+                    .entries()
+                    .iter()
+                    .zip(seg.entries())
+                    .all(|(a, b)| a.scope == b.scope && a.policy.same_authorizations(&b.policy))
         });
         if merged {
             self.sps_merged += 1;
@@ -307,6 +306,97 @@ impl SpAnalyzer {
             }
         }
     }
+
+    /// Serializes the analyzer's dynamic state: the pending sp-batch, the
+    /// last emitted segment policy (the similar-policy-combining cache and
+    /// incremental-mode base), the governing policy timestamp, the stream
+    /// clock, the quarantine queue, and the degradation counters.
+    /// Configuration — schema, catalog, server policy, incremental flag,
+    /// hardening parameters — is not serialized; it is rebuilt from the
+    /// plan on recovery.
+    pub fn snapshot(&self, buf: &mut Vec<u8>) {
+        use bytes::BufMut;
+        buf.put_u32(self.batch.len() as u32);
+        for sp in &self.batch {
+            sp.encode(buf);
+        }
+        crate::checkpoint::encode_opt_segment(self.last_emitted.as_ref(), buf);
+        match self.current_ts {
+            Some(ts) => {
+                buf.put_u8(1);
+                buf.put_u64(ts.0);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u64(self.clock);
+        buf.put_u32(self.quarantine.len() as u32);
+        for t in &self.quarantine {
+            sp_core::wire::encode_tuple(t, buf);
+        }
+        for counter in [
+            self.sps_filtered,
+            self.sps_merged,
+            self.stale_sp_batches,
+            self.quarantined,
+            self.quarantine_released,
+            self.quarantine_dropped,
+        ] {
+            buf.put_u64(counter);
+        }
+    }
+
+    /// Restores state serialized by [`SpAnalyzer::snapshot`] into an
+    /// analyzer built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails closed ([`crate::EngineError::CheckpointCorrupt`]) on any
+    /// truncation, trailing bytes, or malformed field.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), crate::EngineError> {
+        use crate::checkpoint as ckpt;
+        use bytes::Buf;
+        let mut slice = bytes;
+        let buf = &mut slice;
+        let mut apply = || -> Result<(), ckpt::CodecError> {
+            ckpt::need(buf, 4, "analyzer batch length")?;
+            let n = buf.get_u32() as usize;
+            let mut batch = Vec::with_capacity(n);
+            for _ in 0..n {
+                batch.push(Arc::new(SecurityPunctuation::decode(buf)?));
+            }
+            self.batch = batch;
+            self.last_emitted = ckpt::decode_opt_segment(buf)?;
+            ckpt::need(buf, 1, "analyzer governing-ts flag")?;
+            self.current_ts = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    ckpt::need(buf, 8, "analyzer governing ts")?;
+                    Some(Timestamp(buf.get_u64()))
+                }
+                b => return Err(format!("bad governing-ts flag {b}")),
+            };
+            ckpt::need(buf, 8, "analyzer clock")?;
+            self.clock = buf.get_u64();
+            ckpt::need(buf, 4, "analyzer quarantine length")?;
+            let n = buf.get_u32() as usize;
+            let mut quarantine = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                quarantine.push_back(Arc::new(
+                    sp_core::wire::decode_tuple(buf).map_err(|e| e.to_string())?,
+                ));
+            }
+            self.quarantine = quarantine;
+            ckpt::need(buf, 6 * 8, "analyzer counters")?;
+            self.sps_filtered = buf.get_u64();
+            self.sps_merged = buf.get_u64();
+            self.stale_sp_batches = buf.get_u64();
+            self.quarantined = buf.get_u64();
+            self.quarantine_released = buf.get_u64();
+            self.quarantine_dropped = buf.get_u64();
+            ckpt::done(buf)
+        };
+        apply().map_err(|e| ckpt::corrupt("analyzer", e))
+    }
 }
 
 #[cfg(test)]
@@ -321,10 +411,7 @@ mod tests {
     fn setup() -> SpAnalyzer {
         let mut catalog = RoleCatalog::new();
         catalog.register_synthetic_roles(8);
-        SpAnalyzer::new(
-            Schema::of("loc", &[("id", ValueType::Int)]),
-            Arc::new(catalog),
-        )
+        SpAnalyzer::new(Schema::of("loc", &[("id", ValueType::Int)]), Arc::new(catalog))
     }
 
     fn sp(roles: &[u32], ts: u64) -> StreamElement {
@@ -402,9 +489,7 @@ mod tests {
         let mut a = setup();
         a.set_server_policy(Some(Policy::tuple_level(RoleSet::from([1]), Timestamp(0))));
         let out = push_all(&mut a, vec![sp(&[1, 2], 1), tup(1, 2)]);
-        let p = out[0].as_policy().unwrap().policy_for(
-            out[1].as_tuple().unwrap(),
-        );
+        let p = out[0].as_policy().unwrap().policy_for(out[1].as_tuple().unwrap());
         assert!(p.allows(&RoleSet::from([1])));
         assert!(!p.allows(&RoleSet::from([2])), "server removed role 2");
     }
@@ -567,10 +652,7 @@ mod tests {
     #[test]
     fn merge_suppressed_batch_still_refreshes_governing_ts() {
         let mut a = hardened(10, 100, 16);
-        let out = push_all(
-            &mut a,
-            vec![sp(&[1], 10), tup(1, 11), sp(&[1], 30), tup(2, 31)],
-        );
+        let out = push_all(&mut a, vec![sp(&[1], 10), tup(1, 11), sp(&[1], 30), tup(2, 31)]);
         // Second batch repeats {r1}: no policy re-emitted, but the ts-31
         // tuple is governed by the refreshed ts-30 policy.
         assert_eq!(out.iter().filter(|e| e.as_policy().is_some()).count(), 1);

@@ -265,12 +265,7 @@ impl fmt::Display for Element {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Element::Tuple(t) => write!(f, "{t}"),
-            Element::Policy(p) => write!(
-                f,
-                "<policy @{} ({} entries)>",
-                p.ts,
-                p.entries().len()
-            ),
+            Element::Policy(p) => write!(f, "<policy @{} ({} entries)>", p.ts, p.entries().len()),
         }
     }
 }

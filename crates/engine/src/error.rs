@@ -46,6 +46,25 @@ pub enum EngineError {
         /// Number of workers still running at the deadline.
         pending_workers: usize,
     },
+    /// A checkpoint (or one operator's snapshot within it) failed to
+    /// decode during recovery. Restore is fail-closed: a corrupt snapshot
+    /// aborts the restore rather than starting with partial policy state.
+    CheckpointCorrupt {
+        /// The component whose snapshot failed ("supervisor", an operator
+        /// name, "analyzer", …).
+        stage: String,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The supervisor exhausted its restart budget and entered the
+    /// terminal fail-closed state; the rest of the input was refused.
+    RecoveryExhausted {
+        /// Restart attempts made before giving up.
+        attempts: u32,
+        /// Input elements refused (never processed) after the terminal
+        /// failure.
+        refused: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -67,6 +86,14 @@ impl fmt::Display for EngineError {
             Self::ShutdownTimeout { pending_workers } => {
                 write!(f, "{pending_workers} worker(s) still running at shutdown deadline")
             }
+            Self::CheckpointCorrupt { stage, reason } => {
+                write!(f, "checkpoint snapshot for {stage:?} is corrupt: {reason}")
+            }
+            Self::RecoveryExhausted { attempts, refused } => write!(
+                f,
+                "recovery exhausted after {attempts} restart attempt(s); \
+                 {refused} element(s) refused fail-closed"
+            ),
         }
     }
 }
@@ -83,10 +110,13 @@ impl EngineError {
             .map(|s| (*s).to_string())
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "non-string panic payload".to_string());
-        Self::OperatorPanic {
-            operator: operator.to_string(),
-            message,
-        }
+        Self::OperatorPanic { operator: operator.to_string(), message }
+    }
+
+    /// Builds [`EngineError::CheckpointCorrupt`] from a codec error string.
+    #[must_use]
+    pub fn corrupt(stage: &str, reason: impl Into<String>) -> Self {
+        Self::CheckpointCorrupt { stage: stage.to_string(), reason: reason.into() }
     }
 }
 
@@ -98,11 +128,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = EngineError::BadPort {
-            operator: "sajoin".into(),
-            port: 3,
-            arity: 2,
-        };
+        let e = EngineError::BadPort { operator: "sajoin".into(), port: 3, arity: 2 };
         assert!(e.to_string().contains("port 3"));
         let e = EngineError::ShutdownTimeout { pending_workers: 2 };
         assert!(e.to_string().contains("2 worker"));
@@ -114,10 +140,7 @@ mod tests {
         let e = EngineError::from_panic("select", boxed.as_ref());
         assert_eq!(
             e,
-            EngineError::OperatorPanic {
-                operator: "select".into(),
-                message: "boom".into()
-            }
+            EngineError::OperatorPanic { operator: "select".into(), message: "boom".into() }
         );
         let boxed: Box<dyn std::any::Any + Send> = Box::new(format!("bad {}", 7));
         let e = EngineError::from_panic("x", boxed.as_ref());

@@ -166,14 +166,14 @@ impl Expr {
                     },
                 }
             }
-            Expr::And(l, r) => {
-                Value::Bool(l.eval(tuple).as_bool().unwrap_or(false)
-                    && r.eval(tuple).as_bool().unwrap_or(false))
-            }
-            Expr::Or(l, r) => {
-                Value::Bool(l.eval(tuple).as_bool().unwrap_or(false)
-                    || r.eval(tuple).as_bool().unwrap_or(false))
-            }
+            Expr::And(l, r) => Value::Bool(
+                l.eval(tuple).as_bool().unwrap_or(false)
+                    && r.eval(tuple).as_bool().unwrap_or(false),
+            ),
+            Expr::Or(l, r) => Value::Bool(
+                l.eval(tuple).as_bool().unwrap_or(false)
+                    || r.eval(tuple).as_bool().unwrap_or(false),
+            ),
             Expr::Not(inner) => Value::Bool(!inner.eval(tuple).as_bool().unwrap_or(false)),
         }
     }
@@ -208,16 +208,12 @@ impl Expr {
         match self {
             Expr::Attr(i) => Expr::Attr(mapping(*i)),
             Expr::Const(v) => Expr::Const(v.clone()),
-            Expr::Cmp(op, l, r) => Expr::Cmp(
-                *op,
-                Arc::new(l.remap_attrs(mapping)),
-                Arc::new(r.remap_attrs(mapping)),
-            ),
-            Expr::Arith(op, l, r) => Expr::Arith(
-                *op,
-                Arc::new(l.remap_attrs(mapping)),
-                Arc::new(r.remap_attrs(mapping)),
-            ),
+            Expr::Cmp(op, l, r) => {
+                Expr::Cmp(*op, Arc::new(l.remap_attrs(mapping)), Arc::new(r.remap_attrs(mapping)))
+            }
+            Expr::Arith(op, l, r) => {
+                Expr::Arith(*op, Arc::new(l.remap_attrs(mapping)), Arc::new(r.remap_attrs(mapping)))
+            }
             Expr::And(l, r) => Expr::and(l.remap_attrs(mapping), r.remap_attrs(mapping)),
             Expr::Or(l, r) => Expr::or(l.remap_attrs(mapping), r.remap_attrs(mapping)),
             Expr::Not(inner) => Expr::not(inner.remap_attrs(mapping)),
@@ -228,9 +224,9 @@ impl Expr {
     #[must_use]
     pub fn display(&self, schema: &Schema) -> String {
         match self {
-            Expr::Attr(i) => schema
-                .field(*i)
-                .map_or_else(|| format!("#{i}"), |f| f.name.to_string()),
+            Expr::Attr(i) => {
+                schema.field(*i).map_or_else(|| format!("#{i}"), |f| f.name.to_string())
+            }
             Expr::Const(v) => match v {
                 Value::Text(s) => format!("'{s}'"),
                 other => other.to_string(),

@@ -206,10 +206,7 @@ impl FaultInjector {
     /// adjacent, as network-level duplicates do); then sps are delayed;
     /// then the generic reorder displacement runs over everything.
     #[must_use]
-    pub fn apply(
-        &mut self,
-        input: &[(StreamId, StreamElement)],
-    ) -> Vec<(StreamId, StreamElement)> {
+    pub fn apply(&mut self, input: &[(StreamId, StreamElement)]) -> Vec<(StreamId, StreamElement)> {
         let mut out: Vec<(StreamId, StreamElement)> = Vec::with_capacity(input.len());
         for (sid, elem) in input {
             let is_sp = matches!(elem, StreamElement::Punctuation(_));
@@ -236,11 +233,9 @@ impl FaultInjector {
                 out.push((*sid, elem.clone()));
             }
         }
-        let delayed =
-            self.displace(&mut out, self.plan.delay_sp, self.plan.delay_slots, true);
+        let delayed = self.displace(&mut out, self.plan.delay_sp, self.plan.delay_slots, true);
         self.stats.delayed_sps += delayed;
-        let reordered =
-            self.displace(&mut out, self.plan.reorder, self.plan.reorder_window, false);
+        let reordered = self.displace(&mut out, self.plan.reorder, self.plan.reorder_window, false);
         self.stats.reordered += reordered;
         out
     }
@@ -388,8 +383,7 @@ where
                 }
                 for (i, set) in sets.iter().enumerate() {
                     if !set.is_subset(&baseline[i]) {
-                        let mut leaked: Vec<&String> =
-                            set.difference(&baseline[i]).collect();
+                        let mut leaked: Vec<&String> = set.difference(&baseline[i]).collect();
                         leaked.sort();
                         leaked.truncate(3);
                         report.violations.push(format!(
@@ -484,10 +478,8 @@ mod tests {
     #[test]
     fn drop_all_sps_drops_only_sps() {
         let input = recorded(6);
-        let sps = input
-            .iter()
-            .filter(|(_, e)| matches!(e, StreamElement::Punctuation(_)))
-            .count() as u64;
+        let sps =
+            input.iter().filter(|(_, e)| matches!(e, StreamElement::Punctuation(_))).count() as u64;
         let mut plan = FaultPlan::none(3);
         plan.drop_sp = 1.0;
         let mut inj = FaultInjector::new(plan);
@@ -504,10 +496,8 @@ mod tests {
         plan.dup_tuple = 1.0;
         let mut inj = FaultInjector::new(plan);
         let out = inj.apply(&input);
-        let sp_count = input
-            .iter()
-            .filter(|(_, e)| matches!(e, StreamElement::Punctuation(_)))
-            .count();
+        let sp_count =
+            input.iter().filter(|(_, e)| matches!(e, StreamElement::Punctuation(_))).count();
         let tuples = input.len() - sp_count;
         assert_eq!(out.len(), input.len() + tuples);
         assert_eq!(inj.stats().duplicated_tuples as usize, tuples);

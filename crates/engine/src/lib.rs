@@ -25,12 +25,20 @@
 //!   reorder / delay / corrupt) and the chaos harness over whole plans;
 //! * [`reorder`] — a K-slack buffer restoring timestamp order for
 //!   out-of-order arrivals (the substrate §II-B defers to prior work);
+//! * [`checkpoint`] — epoch checkpoints: canonical per-operator snapshots,
+//!   CRC-framed [`Checkpoint`] records, and append-only durable stores
+//!   that fall back past torn or corrupted frames;
+//! * [`supervisor`] — crash supervision: periodic epoch cuts, restart
+//!   with restore + deterministic replay, bounded exponential backoff,
+//!   and a terminal fail-closed state that refuses input rather than
+//!   leak it;
 //! * [`predicate_index`] — the CACQ-style grouped filter over SS states
 //!   that §V-A suggests for many-query shields.
 
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod checkpoint;
 pub mod element;
 pub mod error;
 pub mod expr;
@@ -42,21 +50,26 @@ pub mod plan;
 pub mod predicate_index;
 pub mod reorder;
 pub mod stats;
+pub mod supervisor;
 pub mod window;
 
 pub use analyzer::{QuarantinePolicy, SpAnalyzer};
+pub use checkpoint::{Checkpoint, CheckpointStore, FileStore, MemStore};
 pub use element::{Element, PolicyEntry, SegmentPolicy};
 pub use error::EngineError;
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use fault::{ChaosReport, FaultInjector, FaultPlan, FaultStats};
 pub use operator::{run_unary, Emitter, Operator};
 pub use ops::{
-    AggFunc, DupElim, Granularity, GroupBy, JoinVariant, MatchMode, Project, SAIntersect,
-    SAJoin, SecurityShield, Select, Sink, Union,
+    AggFunc, DupElim, Granularity, GroupBy, JoinVariant, MatchMode, Project, SAIntersect, SAJoin,
+    SecurityShield, Select, Sink, Union,
 };
-pub use parallel::{run_parallel, ParallelResults};
+pub use parallel::{run_parallel, run_parallel_checkpointed, ParallelResults};
+pub use plan::{Executor, NodeRef, PlanBuilder, SinkRef, SourceRef, Upstream};
 pub use predicate_index::{PredicateIndex, QuerySet};
 pub use reorder::ReorderBuffer;
-pub use plan::{Executor, NodeRef, PlanBuilder, SinkRef, SourceRef, Upstream};
 pub use stats::{CostKind, DegradationStats, OperatorStats};
+pub use supervisor::{
+    run_supervised, RecoveryReport, SupervisedRun, SupervisorConfig, DEFAULT_EPOCH_INTERVAL,
+};
 pub use window::WindowSpec;

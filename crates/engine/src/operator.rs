@@ -89,6 +89,40 @@ pub trait Operator: Send {
     fn update_predicate(&mut self, _roles: &sp_core::RoleSet) -> bool {
         false
     }
+
+    /// Serializes the operator's mutable state for an epoch checkpoint.
+    ///
+    /// The encoding must be **canonical**: two operators in the same state
+    /// produce identical bytes (maps are written in sorted order, derived
+    /// caches are excluded), so checkpoints can be compared byte-wise
+    /// across runs and runtimes. Configuration (predicates, windows,
+    /// roles) is *not* serialized — a restore target is rebuilt from the
+    /// same plan, so only runtime state travels. Wall-clock cost buckets
+    /// are excluded for the same reason; logical counters are included via
+    /// [`OperatorStats::encode_counters`](crate::stats::OperatorStats::encode_counters).
+    ///
+    /// Stateless operators use the default empty snapshot.
+    fn snapshot(&self, buf: &mut Vec<u8>) {
+        let _ = buf;
+    }
+
+    /// Restores state from bytes produced by [`Operator::snapshot`] on an
+    /// identically-configured operator.
+    ///
+    /// Restore is fail-closed: on any decode error the operator must
+    /// return [`EngineError::CheckpointCorrupt`] and the caller must
+    /// discard the whole executor rather than run with partial state.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot is truncated or malformed.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(EngineError::corrupt(self.name(), "stateless operator given non-empty snapshot"))
+        }
+    }
 }
 
 /// Test/bench helper: runs a sequence of elements through a single operator

@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use sp_core::{Policy, RoleSet, SharedPolicy, Timestamp, Tuple, Value};
 
+use crate::checkpoint as ckpt;
 use crate::element::{Element, SegmentPolicy};
 use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
@@ -83,10 +84,7 @@ impl DupElim {
         if self.key_attrs.is_empty() {
             tuple.values().to_vec()
         } else {
-            self.key_attrs
-                .iter()
-                .map(|&i| tuple.value(i).cloned().unwrap_or(Value::Null))
-                .collect()
+            self.key_attrs.iter().map(|&i| tuple.value(i).cloned().unwrap_or(Value::Null)).collect()
         }
     }
 
@@ -120,10 +118,8 @@ impl DupElim {
         // Output policies carry the released tuple's timestamp (keeping
         // output sps ordered) and repeat only when authorizations change.
         let policy = Policy::tuple_level(roles, ts);
-        let repeated = self
-            .last_policy
-            .as_ref()
-            .is_some_and(|prev| prev.same_authorizations(&policy));
+        let repeated =
+            self.last_policy.as_ref().is_some_and(|prev| prev.same_authorizations(&policy));
         if !repeated {
             self.stats.sps_out += 1;
             out.push(Element::policy(SegmentPolicy::uniform(policy.clone())));
@@ -173,8 +169,7 @@ impl Operator for DupElim {
                 let new_roles = p_new.tuple_roles().clone();
                 let action = match self.output.get_mut(&key) {
                     None => {
-                        self.output
-                            .insert(key, OutEntry { roles: new_roles.clone(), support: 1 });
+                        self.output.insert(key, OutEntry { roles: new_roles.clone(), support: 1 });
                         Some(new_roles)
                     }
                     Some(entry) => {
@@ -234,6 +229,78 @@ impl Operator for DupElim {
             .sum();
         window + output
     }
+
+    /// Snapshot: counters, the input window, the output state (one entry
+    /// per distinct value, serialized in byte-sorted key order so equal
+    /// states always snapshot to identical bytes), the current segment
+    /// policy, and the last emitted policy.
+    fn snapshot(&self, buf: &mut Vec<u8>) {
+        use bytes::BufMut;
+        self.stats.encode_counters(buf);
+        buf.put_u32(self.buffer.len() as u32);
+        for (t, p) in &self.buffer {
+            ckpt::encode_tuple_policy(t, p, buf);
+        }
+        let mut entries: Vec<Vec<u8>> = self
+            .output
+            .iter()
+            .map(|(key, entry)| {
+                let mut e = Vec::new();
+                e.put_u16(key.len() as u16);
+                for v in key {
+                    sp_core::wire::encode_value(v, &mut e);
+                }
+                entry.roles.encode(&mut e);
+                e.put_u64(entry.support as u64);
+                e
+            })
+            .collect();
+        entries.sort_unstable();
+        buf.put_u32(entries.len() as u32);
+        for e in entries {
+            buf.extend_from_slice(&e);
+        }
+        ckpt::encode_opt_segment(self.current.as_ref(), buf);
+        ckpt::encode_opt_policy(self.last_policy.as_ref(), buf);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        use bytes::Buf;
+        let mut slice = bytes;
+        let buf = &mut slice;
+        let mut apply = || -> Result<(), ckpt::CodecError> {
+            self.stats.decode_counters(buf)?;
+            ckpt::need(buf, 4, "dupelim buffer length")?;
+            let n = buf.get_u32() as usize;
+            let mut buffer = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                buffer.push_back(ckpt::decode_tuple_policy(buf)?);
+            }
+            self.buffer = buffer;
+            ckpt::need(buf, 4, "dupelim output length")?;
+            let n = buf.get_u32() as usize;
+            let mut output = HashMap::with_capacity(n);
+            for _ in 0..n {
+                ckpt::need(buf, 2, "dupelim key arity")?;
+                let arity = buf.get_u16() as usize;
+                let mut key = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    key.push(sp_core::wire::decode_value(buf).map_err(|e| e.to_string())?);
+                }
+                let roles = RoleSet::decode(buf)?;
+                ckpt::need(buf, 8, "dupelim support count")?;
+                let support = buf.get_u64() as usize;
+                if output.insert(key, OutEntry { roles, support }).is_some() {
+                    return Err("duplicate dupelim output key".into());
+                }
+            }
+            self.output = output;
+            self.current = ckpt::decode_opt_segment(buf)?;
+            self.last_policy = ckpt::decode_opt_policy(buf)?;
+            ckpt::done(buf)
+        };
+        apply().map_err(|e| EngineError::corrupt("dupelim", e))
+    }
 }
 
 #[cfg(test)]
@@ -245,12 +312,7 @@ mod tests {
     use sp_core::{RoleId, StreamId, TupleId};
 
     fn tup(tid: u64, ts: u64, v: i64) -> Element {
-        Element::tuple(Tuple::new(
-            StreamId(0),
-            TupleId(tid),
-            Timestamp(ts),
-            vec![Value::Int(v)],
-        ))
+        Element::tuple(Tuple::new(StreamId(0), TupleId(tid), Timestamp(ts), vec![Value::Int(v)]))
     }
 
     fn pol(roles: &[u32], ts: u64) -> Element {
@@ -267,13 +329,8 @@ mod tests {
         for e in out {
             match e {
                 Element::Policy(p) => {
-                    current = p
-                        .as_uniform()
-                        .unwrap()
-                        .tuple_roles()
-                        .iter()
-                        .map(|r| r.raw())
-                        .collect();
+                    current =
+                        p.as_uniform().unwrap().tuple_roles().iter().map(|r| r.raw()).collect();
                 }
                 Element::Tuple(t) => {
                     results.push((t.value(0).unwrap().as_i64().unwrap(), current.clone()));
@@ -286,20 +343,14 @@ mod tests {
     #[test]
     fn distinct_values_pass_once() {
         let mut de = DupElim::new(vec![0], 1000);
-        let out = run_unary(
-            &mut de,
-            vec![pol(&[1], 0), tup(1, 1, 5), tup(2, 2, 5), tup(3, 3, 6)],
-        );
+        let out = run_unary(&mut de, vec![pol(&[1], 0), tup(1, 1, 5), tup(2, 2, 5), tup(3, 3, 6)]);
         assert_eq!(released(&out), vec![(5, vec![1]), (6, vec![1])]);
     }
 
     #[test]
     fn case1_disjoint_policies_rerelease() {
         let mut de = DupElim::new(vec![0], 1000);
-        let out = run_unary(
-            &mut de,
-            vec![pol(&[1], 0), tup(1, 1, 5), pol(&[2], 2), tup(2, 3, 5)],
-        );
+        let out = run_unary(&mut de, vec![pol(&[1], 0), tup(1, 1, 5), pol(&[2], 2), tup(2, 3, 5)]);
         // Audience {2} never saw 5: re-released under {2}.
         assert_eq!(released(&out), vec![(5, vec![1]), (5, vec![2])]);
     }
@@ -307,10 +358,8 @@ mod tests {
     #[test]
     fn case2_subset_policy_suppressed() {
         let mut de = DupElim::new(vec![0], 1000);
-        let out = run_unary(
-            &mut de,
-            vec![pol(&[1, 2], 0), tup(1, 1, 5), pol(&[2], 2), tup(2, 3, 5)],
-        );
+        let out =
+            run_unary(&mut de, vec![pol(&[1, 2], 0), tup(1, 1, 5), pol(&[2], 2), tup(2, 3, 5)]);
         // Audience {2} already saw 5 via the first release.
         assert_eq!(released(&out), vec![(5, vec![1, 2])]);
     }
@@ -318,10 +367,8 @@ mod tests {
     #[test]
     fn case3_partial_overlap_releases_delta() {
         let mut de = DupElim::new(vec![0], 1000);
-        let out = run_unary(
-            &mut de,
-            vec![pol(&[1, 2], 0), tup(1, 1, 5), pol(&[2, 3], 2), tup(2, 3, 5)],
-        );
+        let out =
+            run_unary(&mut de, vec![pol(&[1, 2], 0), tup(1, 1, 5), pol(&[2, 3], 2), tup(2, 3, 5)]);
         // Role 3 is the only newcomer.
         assert_eq!(released(&out), vec![(5, vec![1, 2]), (5, vec![3])]);
     }
@@ -347,10 +394,7 @@ mod tests {
     #[test]
     fn expiry_forgets_values() {
         let mut de = DupElim::new(vec![0], 100);
-        let out = run_unary(
-            &mut de,
-            vec![pol(&[1], 0), tup(1, 1, 5), tup(2, 250, 5)],
-        );
+        let out = run_unary(&mut de, vec![pol(&[1], 0), tup(1, 1, 5), tup(2, 250, 5)]);
         // First copy expired before the second arrived → released again.
         assert_eq!(released(&out).len(), 2);
         assert!(de.state_mem_bytes() > 0);
@@ -370,24 +414,15 @@ mod tests {
     fn row_window_forgets_by_count() {
         use crate::window::WindowSpec;
         let mut de = DupElim::new(vec![0], 0).with_window(WindowSpec::Rows(1));
-        let out = run_unary(
-            &mut de,
-            vec![pol(&[1], 0), tup(1, 1, 5), tup(2, 2, 6), tup(3, 3, 5)],
-        );
+        let out = run_unary(&mut de, vec![pol(&[1], 0), tup(1, 1, 5), tup(2, 2, 6), tup(3, 3, 5)]);
         // Value 5 was evicted by value 6, so its reappearance re-releases.
-        assert_eq!(
-            released(&out),
-            vec![(5, vec![1]), (6, vec![1]), (5, vec![1])]
-        );
+        assert_eq!(released(&out), vec![(5, vec![1]), (6, vec![1]), (5, vec![1])]);
     }
 
     #[test]
     fn whole_tuple_key_when_no_attrs_given() {
         let mut de = DupElim::new(vec![], 1000);
-        let out = run_unary(
-            &mut de,
-            vec![pol(&[1], 0), tup(1, 1, 5), tup(2, 2, 5)],
-        );
+        let out = run_unary(&mut de, vec![pol(&[1], 0), tup(1, 1, 5), tup(2, 2, 5)]);
         assert_eq!(released(&out).len(), 1);
         assert_eq!(de.name(), "dupelim");
     }

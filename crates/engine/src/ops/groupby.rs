@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use sp_core::{Policy, RoleSet, SharedPolicy, Timestamp, Tuple, Value};
 
+use crate::checkpoint as ckpt;
 use crate::element::{Element, SegmentPolicy};
 use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
@@ -106,16 +107,8 @@ impl AggState {
                     Value::Float(self.sum / self.count as f64)
                 }
             }
-            AggFunc::Min => self
-                .values
-                .keys()
-                .next()
-                .map_or(Value::Null, |k| k.0.clone()),
-            AggFunc::Max => self
-                .values
-                .keys()
-                .next_back()
-                .map_or(Value::Null, |k| k.0.clone()),
+            AggFunc::Min => self.values.keys().next().map_or(Value::Null, |k| k.0.clone()),
+            AggFunc::Max => self.values.keys().next_back().map_or(Value::Null, |k| k.0.clone()),
         }
     }
 }
@@ -176,9 +169,7 @@ impl GroupBy {
     }
 
     fn asg_index(&self, group: &Value, roles: &RoleSet) -> Option<usize> {
-        self.asgs
-            .iter()
-            .position(|a| &a.group == group && &a.roles == roles)
+        self.asgs.iter().position(|a| &a.group == group && &a.roles == roles)
     }
 
     /// Emits the updated aggregate of the ASG at `idx`, preceded by the
@@ -207,10 +198,8 @@ impl GroupBy {
             ts,
             vec![asg.group.clone(), asg.state.result(self.agg)],
         );
-        let repeated = self
-            .last_policy
-            .as_ref()
-            .is_some_and(|prev| prev.same_authorizations(&policy));
+        let repeated =
+            self.last_policy.as_ref().is_some_and(|prev| prev.same_authorizations(&policy));
         if !repeated {
             self.stats.sps_out += 1;
             out.push(Element::policy(SegmentPolicy::uniform(policy.clone())));
@@ -317,12 +306,83 @@ impl Operator for GroupBy {
             .iter()
             .map(|(t, _)| t.mem_bytes() + std::mem::size_of::<SharedPolicy>())
             .sum();
-        let asgs: usize = self
-            .asgs
-            .iter()
-            .map(|a| std::mem::size_of::<Asg>() + a.roles.mem_bytes())
-            .sum();
+        let asgs: usize =
+            self.asgs.iter().map(|a| std::mem::size_of::<Asg>() + a.roles.mem_bytes()).sum();
         window + asgs
+    }
+
+    /// Snapshot: counters, the input window, every attribute subgroup with
+    /// its full aggregate state (the float sum via `to_bits` so restore is
+    /// bit-exact; the Min/Max multiset in its `BTreeMap` order, which is
+    /// already canonical), the current segment policy, and the last emitted
+    /// policy. ASGs keep their `Vec` order: replay is deterministic, so
+    /// order evolves identically in recovered and uninterrupted runs.
+    fn snapshot(&self, buf: &mut Vec<u8>) {
+        use bytes::BufMut;
+        self.stats.encode_counters(buf);
+        buf.put_u32(self.buffer.len() as u32);
+        for (t, p) in &self.buffer {
+            ckpt::encode_tuple_policy(t, p, buf);
+        }
+        buf.put_u32(self.asgs.len() as u32);
+        for asg in &self.asgs {
+            sp_core::wire::encode_value(&asg.group, buf);
+            asg.roles.encode(buf);
+            buf.put_u64(asg.state.count);
+            buf.put_u64(asg.state.sum.to_bits());
+            buf.put_u32(asg.state.values.len() as u32);
+            for (v, n) in &asg.state.values {
+                sp_core::wire::encode_value(&v.0, buf);
+                buf.put_u64(*n as u64);
+            }
+        }
+        ckpt::encode_opt_segment(self.current.as_ref(), buf);
+        ckpt::encode_opt_policy(self.last_policy.as_ref(), buf);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        use bytes::Buf;
+        let mut slice = bytes;
+        let buf = &mut slice;
+        let mut apply = || -> Result<(), ckpt::CodecError> {
+            self.stats.decode_counters(buf)?;
+            ckpt::need(buf, 4, "groupby buffer length")?;
+            let n = buf.get_u32() as usize;
+            let mut buffer = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                buffer.push_back(ckpt::decode_tuple_policy(buf)?);
+            }
+            self.buffer = buffer;
+            ckpt::need(buf, 4, "groupby asg count")?;
+            let n = buf.get_u32() as usize;
+            let mut asgs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let group = sp_core::wire::decode_value(buf).map_err(|e| e.to_string())?;
+                let roles = RoleSet::decode(buf)?;
+                ckpt::need(buf, 8 + 8 + 4, "groupby aggregate state")?;
+                let count = buf.get_u64();
+                let sum = f64::from_bits(buf.get_u64());
+                let m = buf.get_u32() as usize;
+                let mut values = BTreeMap::new();
+                for _ in 0..m {
+                    let v = sp_core::wire::decode_value(buf).map_err(|e| e.to_string())?;
+                    ckpt::need(buf, 8, "groupby multiset count")?;
+                    let c = buf.get_u64() as usize;
+                    if c == 0 {
+                        return Err("zero-count multiset entry".into());
+                    }
+                    if values.insert(OrdValue(v), c).is_some() {
+                        return Err("duplicate multiset value".into());
+                    }
+                }
+                asgs.push(Asg { group, roles, state: AggState { count, sum, values } });
+            }
+            self.asgs = asgs;
+            self.current = ckpt::decode_opt_segment(buf)?;
+            self.last_policy = ckpt::decode_opt_policy(buf)?;
+            ckpt::done(buf)
+        };
+        apply().map_err(|e| EngineError::corrupt("groupby", e))
     }
 }
 
@@ -357,13 +417,8 @@ mod tests {
         for e in out {
             match e {
                 Element::Policy(p) => {
-                    current = p
-                        .as_uniform()
-                        .unwrap()
-                        .tuple_roles()
-                        .iter()
-                        .map(|r| r.raw())
-                        .collect();
+                    current =
+                        p.as_uniform().unwrap().tuple_roles().iter().map(|r| r.raw()).collect();
                 }
                 Element::Tuple(t) => res.push((
                     t.value(0).unwrap().clone(),
@@ -378,10 +433,8 @@ mod tests {
     #[test]
     fn count_per_group() {
         let mut gb = GroupBy::new(Some(0), AggFunc::Count, 1, 1000);
-        let out = run_unary(
-            &mut gb,
-            vec![pol(&[1], 0), tup(1, 7, 10), tup(2, 7, 20), tup(3, 8, 30)],
-        );
+        let out =
+            run_unary(&mut gb, vec![pol(&[1], 0), tup(1, 7, 10), tup(2, 7, 20), tup(3, 8, 30)]);
         let r = results(&out);
         assert_eq!(r[0], (Value::Int(7), Value::Int(1), vec![1]));
         assert_eq!(r[1], (Value::Int(7), Value::Int(2), vec![1]));
@@ -419,10 +472,7 @@ mod tests {
             (AggFunc::Max, Value::Int(20)),
         ] {
             let mut gb = GroupBy::new(None, f, 1, 1000);
-            let out = run_unary(
-                &mut gb,
-                vec![pol(&[1], 0), tup(1, 0, 10), tup(2, 0, 20)],
-            );
+            let out = run_unary(&mut gb, vec![pol(&[1], 0), tup(1, 0, 10), tup(2, 0, 20)]);
             let r = results(&out);
             assert_eq!(r.last().unwrap().1, expect, "{}", f.name());
         }
@@ -431,10 +481,8 @@ mod tests {
     #[test]
     fn expiry_retracts_and_reemits() {
         let mut gb = GroupBy::new(None, AggFunc::Count, 1, 100);
-        let out = run_unary(
-            &mut gb,
-            vec![pol(&[1], 0), tup(1, 0, 10), tup(50, 0, 20), tup(250, 0, 30)],
-        );
+        let out =
+            run_unary(&mut gb, vec![pol(&[1], 0), tup(1, 0, 10), tup(50, 0, 20), tup(250, 0, 30)]);
         let r = results(&out);
         // counts: 1, 2, then both expired and re-emitted count after
         // retraction of remaining... the last arrival first expires the two
@@ -478,10 +526,8 @@ mod tests {
     fn row_window_aggregates_last_n() {
         use crate::window::WindowSpec;
         let mut gb = GroupBy::new(None, AggFunc::Sum, 1, 0).with_window(WindowSpec::Rows(2));
-        let out = run_unary(
-            &mut gb,
-            vec![pol(&[1], 0), tup(1, 0, 10), tup(2, 0, 20), tup(3, 0, 30)],
-        );
+        let out =
+            run_unary(&mut gb, vec![pol(&[1], 0), tup(1, 0, 10), tup(2, 0, 20), tup(3, 0, 30)]);
         let r = results(&out);
         // Sums: 10, 30, then insertion of 30 evicts 10 first → 20+30=50.
         let sums: Vec<&Value> = r.iter().map(|(_, v, _)| v).collect();
@@ -491,10 +537,7 @@ mod tests {
     #[test]
     fn global_aggregate_when_no_group_attr() {
         let mut gb = GroupBy::new(None, AggFunc::Sum, 1, 1000);
-        let out = run_unary(
-            &mut gb,
-            vec![pol(&[1], 0), tup(1, 3, 10), tup(2, 4, 20)],
-        );
+        let out = run_unary(&mut gb, vec![pol(&[1], 0), tup(1, 3, 10), tup(2, 4, 20)]);
         let r = results(&out);
         assert_eq!(r.last().unwrap().1, Value::Float(30.0));
         assert!(r.iter().all(|(g, _, _)| g.is_null()));

@@ -56,10 +56,7 @@ impl Operator for Project {
                 self.stats.sps_in += 1;
                 let remapped = seg.map_policies(|p| {
                     p.remap_attrs(|old| {
-                        self.indices
-                            .iter()
-                            .position(|&k| k == old as usize)
-                            .map(|new| new as u16)
+                        self.indices.iter().position(|&k| k == old as usize).map(|new| new as u16)
                     })
                 });
                 self.stats.sps_out += 1;
@@ -80,6 +77,20 @@ impl Operator for Project {
     fn stats(&self) -> &OperatorStats {
         &self.stats
     }
+
+    /// Snapshot: counters only — projection holds no stream state.
+    fn snapshot(&self, buf: &mut Vec<u8>) {
+        self.stats.encode_counters(buf);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        let mut slice = bytes;
+        let buf = &mut slice;
+        self.stats
+            .decode_counters(buf)
+            .and_then(|()| crate::checkpoint::done(buf))
+            .map_err(|e| EngineError::corrupt("project", e))
+    }
 }
 
 #[cfg(test)]
@@ -98,10 +109,8 @@ mod tests {
     #[test]
     fn projects_values_in_order() {
         let mut proj = Project::new(vec![2, 0]);
-        let out = run_unary(
-            &mut proj,
-            vec![tup(vec![Value::Int(1), Value::Int(2), Value::Int(3)])],
-        );
+        let out =
+            run_unary(&mut proj, vec![tup(vec![Value::Int(1), Value::Int(2), Value::Int(3)])]);
         let t = out[0].as_tuple().unwrap();
         assert_eq!(t.values(), &[Value::Int(3), Value::Int(1)]);
         assert_eq!(proj.indices(), &[2, 0]);
@@ -113,9 +122,11 @@ mod tests {
         let seg = SegmentPolicy::uniform(Policy::tuple_level(RoleSet::from([1]), Timestamp(0)));
         let out = run_unary(&mut proj, vec![Element::policy(seg)]);
         assert_eq!(out.len(), 1);
-        assert!(out[0].as_policy().unwrap().policy_for(
-            &Tuple::new(StreamId(0), TupleId(0), Timestamp(0), vec![])
-        ).allows(&RoleSet::from([1])));
+        assert!(out[0]
+            .as_policy()
+            .unwrap()
+            .policy_for(&Tuple::new(StreamId(0), TupleId(0), Timestamp(0), vec![]))
+            .allows(&RoleSet::from([1])));
     }
 
     #[test]

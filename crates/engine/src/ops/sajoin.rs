@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use sp_core::{Policy, RoleId, SharedPolicy, Timestamp, Tuple};
 
+use crate::checkpoint as ckpt;
 use crate::element::{Element, SegmentPolicy};
 use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
@@ -99,11 +100,7 @@ impl SpIndex {
     }
 
     fn entries(&self, role: RoleId) -> impl Iterator<Item = u64> + '_ {
-        self.r_nodes
-            .get(role.raw() as usize)
-            .into_iter()
-            .flatten()
-            .copied()
+        self.r_nodes.get(role.raw() as usize).into_iter().flatten().copied()
     }
 
     fn mem_bytes(&self) -> usize {
@@ -284,17 +281,10 @@ impl SAJoin {
     /// timestamp-ordered — base policies of window tuples can be older
     /// than policies already emitted, and downstream operators rightly
     /// ignore punctuations that appear stale (§V-A).
-    fn emit(
-        &mut self,
-        out: &mut Emitter,
-        joined: Tuple,
-        mut policy: Policy,
-    ) {
+    fn emit(&mut self, out: &mut Emitter, joined: Tuple, mut policy: Policy) {
         policy.ts = joined.ts;
-        let repeated = self
-            .last_policy
-            .as_ref()
-            .is_some_and(|prev| prev.same_authorizations(&policy));
+        let repeated =
+            self.last_policy.as_ref().is_some_and(|prev| prev.same_authorizations(&policy));
         if !repeated {
             self.stats.sps_out += 1;
             out.push(Element::policy(SegmentPolicy::uniform(policy.clone())));
@@ -315,11 +305,7 @@ impl SAJoin {
         let side = if from_left { &mut self.left } else { &mut self.right };
         while let Some(front) = side.segments.front_mut() {
             let tuple_start = std::time::Instant::now();
-            while front
-                .tuples
-                .front()
-                .is_some_and(|(t, _)| t.ts <= horizon)
-            {
+            while front.tuples.front().is_some_and(|(t, _)| t.ts <= horizon) {
                 front.tuples.pop_front();
                 side.tuple_count -= 1;
             }
@@ -448,8 +434,7 @@ impl SAJoin {
                                 self.probed.push(seg_id);
                                 for (u, upol) in &seg.tuples {
                                     if policy.tuple_roles().intersects(upol.tuple_roles())
-                                        && u.value(opp_key)
-                                            .is_some_and(|v| v.sql_eq(&key_value))
+                                        && u.value(opp_key).is_some_and(|v| v.sql_eq(&key_value))
                                     {
                                         matches.push((u.clone(), upol.clone()));
                                     }
@@ -461,8 +446,7 @@ impl SAJoin {
                             // policies* is smaller than the current r-node
                             // role — that entry was already processed when
                             // the probe visited the smaller common role.
-                            let common_first =
-                                up.tuple_roles().first_common(policy.tuple_roles());
+                            let common_first = up.tuple_roles().first_common(policy.tuple_roles());
                             if common_first.is_some_and(|r| r < role) {
                                 continue;
                             }
@@ -538,8 +522,7 @@ impl Operator for SAJoin {
                     .and_then(|s| s.tuples.back())
                     .map(|(_, p)| p.clone())
                     .expect("tuple was just inserted");
-                self.stats
-                    .charge(CostKind::TupleMaintenance, insert_start.elapsed());
+                self.stats.charge(CostKind::TupleMaintenance, insert_start.elapsed());
                 self.trim_rows(from_left);
                 // Step 3: probe the opposite window.
                 self.probe(from_left, &tuple, &policy, out);
@@ -554,6 +537,85 @@ impl Operator for SAJoin {
 
     fn state_mem_bytes(&self) -> usize {
         self.left.mem_bytes() + self.right.mem_bytes()
+    }
+
+    /// Snapshot: counters, both sides' s-punctuated segment lists (segment
+    /// id, governing policy, tuples with resolved policies) and segment-id
+    /// allocators, and the last emitted output policy. The SPIndex and the
+    /// per-side tuple counts are *derived* state, rebuilt on restore rather
+    /// than serialized; `probed` is per-probe scratch.
+    fn snapshot(&self, buf: &mut Vec<u8>) {
+        use bytes::BufMut;
+        self.stats.encode_counters(buf);
+        for side in [&self.left, &self.right] {
+            buf.put_u64(side.next_segment_id);
+            buf.put_u32(side.segments.len() as u32);
+            for seg in &side.segments {
+                buf.put_u64(seg.id);
+                ckpt::encode_opt_segment(seg.policy.as_ref(), buf);
+                buf.put_u32(seg.tuples.len() as u32);
+                for (t, p) in &seg.tuples {
+                    ckpt::encode_tuple_policy(t, p, buf);
+                }
+            }
+        }
+        ckpt::encode_opt_policy(self.last_policy.as_ref(), buf);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        use bytes::Buf;
+        let use_index = self.variant == JoinVariant::Index;
+        let mut slice = bytes;
+        let buf = &mut slice;
+        let mut apply = || -> Result<(), ckpt::CodecError> {
+            self.stats.decode_counters(buf)?;
+            for side in [&mut self.left, &mut self.right] {
+                ckpt::need(buf, 8 + 4, "sajoin side header")?;
+                let next_segment_id = buf.get_u64();
+                let n = buf.get_u32() as usize;
+                let mut segments = VecDeque::with_capacity(n);
+                let mut tuple_count = 0usize;
+                let mut index = SpIndex::default();
+                let mut prev_id = None;
+                for _ in 0..n {
+                    ckpt::need(buf, 8, "sajoin segment id")?;
+                    let id = buf.get_u64();
+                    // `segment_by_id` binary-searches on ids, and the id
+                    // allocator must stay ahead of every live segment.
+                    if prev_id.is_some_and(|p| id <= p) {
+                        return Err("sajoin segment ids out of order".into());
+                    }
+                    if id >= next_segment_id {
+                        return Err("sajoin segment id beyond allocator".into());
+                    }
+                    prev_id = Some(id);
+                    let policy = ckpt::decode_opt_segment(buf)?;
+                    ckpt::need(buf, 4, "sajoin segment tuple count")?;
+                    let m = buf.get_u32() as usize;
+                    let mut tuples = VecDeque::with_capacity(m);
+                    for _ in 0..m {
+                        tuples.push_back(ckpt::decode_tuple_policy(buf)?);
+                    }
+                    tuple_count += tuples.len();
+                    if use_index {
+                        if let Some(policy) = &policy {
+                            for entry in policy.entries() {
+                                index.insert(id, entry.policy.tuple_roles().iter());
+                            }
+                        }
+                    }
+                    segments.push_back(Segment { id, policy, tuples });
+                }
+                side.segments = segments;
+                side.index = index;
+                side.next_segment_id = next_segment_id;
+                side.tuple_count = tuple_count;
+            }
+            self.last_policy = ckpt::decode_opt_policy(buf)?;
+            ckpt::done(buf)
+        };
+        self.probed.clear();
+        apply().map_err(|e| EngineError::corrupt("sajoin", e))
     }
 }
 
@@ -593,12 +655,7 @@ mod tests {
     fn joined_pairs(out: &[Element]) -> Vec<(i64, i64)> {
         out.iter()
             .filter_map(|e| e.as_tuple())
-            .map(|t| {
-                (
-                    t.value(1).unwrap().as_i64().unwrap(),
-                    t.value(3).unwrap().as_i64().unwrap(),
-                )
-            })
+            .map(|t| (t.value(1).unwrap().as_i64().unwrap(), t.value(3).unwrap().as_i64().unwrap()))
             .collect()
     }
 
@@ -622,10 +679,7 @@ mod tests {
             assert_eq!(joined_pairs(&out), vec![(10, 20)], "{variant:?}");
             // Output punctuation precedes the result and is the policy
             // intersection.
-            let seg = out
-                .iter()
-                .find_map(|e| e.as_policy())
-                .expect("output policy emitted");
+            let seg = out.iter().find_map(|e| e.as_policy()).expect("output policy emitted");
             let p = seg.as_uniform().unwrap();
             assert!(p.allows(&RoleSet::from([1])));
             assert!(!p.allows(&RoleSet::from([2])));
@@ -749,7 +803,8 @@ mod tests {
         for ts in 0..300u64 {
             let port = usize::from(rng.gen_bool(0.5));
             if rng.gen_bool(0.2) {
-                let roles: Vec<u32> = (0..rng.gen_range(1..4)).map(|_| rng.gen_range(0..6)).collect();
+                let roles: Vec<u32> =
+                    (0..rng.gen_range(1..4)).map(|_| rng.gen_range(0..6)).collect();
                 input.push((port, pol(&roles, ts)));
             } else {
                 input.push((port, tup(port as u32, ts, ts, rng.gen_range(0..5))));
@@ -861,7 +916,7 @@ mod tests {
                     (1, tup(2, 5, 1, 42)),  // governed by entry 1 ({1,2})
                     (1, tup(2, 50, 2, 42)), // governed by entry 2 ({1,3})
                     (0, pol(&[1], 0)),
-                    (0, tup(1, 7, 3, 42)),  // probe with roles {1}
+                    (0, tup(1, 7, 3, 42)), // probe with roles {1}
                 ],
             );
             let pairs = joined_pairs(&out);
@@ -875,10 +930,7 @@ mod tests {
         let seg = SegmentPolicy::new(
             vec![crate::element::PolicyEntry {
                 scope: sp_pattern::Pattern::numeric_range(0, 10),
-                policy: std::sync::Arc::new(Policy::tuple_level(
-                    RoleSet::from([1]),
-                    Timestamp(0),
-                )),
+                policy: std::sync::Arc::new(Policy::tuple_level(RoleSet::from([1]), Timestamp(0))),
             }],
             Timestamp(0),
         );

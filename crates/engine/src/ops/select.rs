@@ -84,6 +84,23 @@ impl Operator for Select {
     fn state_mem_bytes(&self) -> usize {
         self.pending_policy.as_ref().map_or(0, |p| p.mem_bytes())
     }
+
+    /// Snapshot: counters plus the policy awaiting its first passing tuple.
+    fn snapshot(&self, buf: &mut Vec<u8>) {
+        self.stats.encode_counters(buf);
+        crate::checkpoint::encode_opt_segment(self.pending_policy.as_ref(), buf);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        let mut slice = bytes;
+        let buf = &mut slice;
+        let mut apply = || -> Result<(), crate::checkpoint::CodecError> {
+            self.stats.decode_counters(buf)?;
+            self.pending_policy = crate::checkpoint::decode_opt_segment(buf)?;
+            crate::checkpoint::done(buf)
+        };
+        apply().map_err(|e| EngineError::corrupt("select", e))
+    }
 }
 
 #[cfg(test)]
@@ -96,12 +113,7 @@ mod tests {
     use sp_core::{Policy, RoleSet, StreamId, Timestamp, Tuple, TupleId, Value};
 
     fn tup(tid: u64, v: i64) -> Element {
-        Element::tuple(Tuple::new(
-            StreamId(0),
-            TupleId(tid),
-            Timestamp(tid),
-            vec![Value::Int(v)],
-        ))
+        Element::tuple(Tuple::new(StreamId(0), TupleId(tid), Timestamp(tid), vec![Value::Int(v)]))
     }
 
     fn pol(ts: u64) -> Element {
@@ -138,10 +150,7 @@ mod tests {
     #[test]
     fn discards_sp_when_whole_segment_filtered() {
         let mut sel = Select::new(gt(5));
-        let out = run_unary(
-            &mut sel,
-            vec![pol(0), tup(1, 1), pol(10), tup(2, 9)],
-        );
+        let out = run_unary(&mut sel, vec![pol(0), tup(1, 1), pol(10), tup(2, 9)]);
         // Only the second policy survives.
         let policies: Vec<_> = out.iter().filter_map(|e| e.as_policy()).collect();
         assert_eq!(policies.len(), 1);

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use sp_core::{Policy, SharedPolicy, Timestamp, Tuple};
 
+use crate::checkpoint as ckpt;
 use crate::element::{Element, SegmentPolicy};
 use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
@@ -70,9 +71,7 @@ impl Operator for Union {
             Element::Policy(seg) => {
                 let start = std::time::Instant::now();
                 self.stats.sps_in += 1;
-                let newer = self.current[port]
-                    .as_ref()
-                    .is_none_or(|cur| seg.ts >= cur.ts);
+                let newer = self.current[port].as_ref().is_none_or(|cur| seg.ts >= cur.ts);
                 if newer {
                     // Invalidate the announcement if it was this port's.
                     if matches!(&self.announced, Some((p, _)) if *p == port) {
@@ -125,11 +124,66 @@ impl Operator for Union {
     }
 
     fn state_mem_bytes(&self) -> usize {
-        self.current
-            .iter()
-            .flatten()
-            .map(|p| p.mem_bytes())
-            .sum()
+        self.current.iter().flatten().map(|p| p.mem_bytes()).sum()
+    }
+
+    /// Snapshot: counters, per-port current policies, the last downstream
+    /// announcement (port + policy), and the announcement timestamp floor.
+    fn snapshot(&self, buf: &mut Vec<u8>) {
+        use bytes::BufMut;
+        self.stats.encode_counters(buf);
+        ckpt::encode_opt_segment(self.current[0].as_ref(), buf);
+        ckpt::encode_opt_segment(self.current[1].as_ref(), buf);
+        match &self.announced {
+            Some((port, seg)) => {
+                buf.put_u8(1);
+                buf.put_u8(*port as u8);
+                ckpt::encode_segment_policy(seg, buf);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u64(self.last_announced_ts.0);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        use bytes::Buf;
+        let mut slice = bytes;
+        let buf = &mut slice;
+        let mut apply = || -> Result<(), ckpt::CodecError> {
+            self.stats.decode_counters(buf)?;
+            self.current[0] = ckpt::decode_opt_segment(buf)?;
+            self.current[1] = ckpt::decode_opt_segment(buf)?;
+            ckpt::need(buf, 1, "union announced flag")?;
+            self.announced = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    ckpt::need(buf, 1, "union announced port")?;
+                    let port = usize::from(buf.get_u8());
+                    if port >= 2 {
+                        return Err(format!("union announced port {port} out of range"));
+                    }
+                    let seg = ckpt::decode_segment_policy(buf)?;
+                    Some((port, Arc::new(seg)))
+                }
+                b => return Err(format!("bad union announced flag {b}")),
+            };
+            ckpt::need(buf, 8, "union announcement timestamp")?;
+            self.last_announced_ts = Timestamp(buf.get_u64());
+            ckpt::done(buf)
+        };
+        apply().map_err(|e| EngineError::corrupt("union", e))?;
+        // The announcement-validity check in `process` compares by pointer;
+        // re-share the current policy's Arc when the decoded announcement
+        // matches it by value so recovery does not force a spurious
+        // re-announcement.
+        if let Some((port, seg)) = &mut self.announced {
+            if let Some(cur) = &self.current[*port] {
+                if **cur == **seg {
+                    *seg = Arc::clone(cur);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -166,14 +220,10 @@ impl SAIntersect {
     fn invalidate(&mut self, side: usize, now: Timestamp) {
         let Some(horizon) = self.window.horizon(now) else { return };
         let start = std::time::Instant::now();
-        while self.windows[side]
-            .front()
-            .is_some_and(|(t, _)| t.ts <= horizon)
-        {
+        while self.windows[side].front().is_some_and(|(t, _)| t.ts <= horizon) {
             self.windows[side].pop_front();
         }
-        self.stats
-            .charge(CostKind::TupleMaintenance, start.elapsed());
+        self.stats.charge(CostKind::TupleMaintenance, start.elapsed());
     }
 }
 
@@ -199,9 +249,7 @@ impl Operator for SAIntersect {
             Element::Policy(seg) => {
                 let start = std::time::Instant::now();
                 self.stats.sps_in += 1;
-                let newer = self.current[port]
-                    .as_ref()
-                    .is_none_or(|cur| seg.ts >= cur.ts);
+                let newer = self.current[port].as_ref().is_none_or(|cur| seg.ts >= cur.ts);
                 if newer {
                     self.current[port] = Some(seg);
                 }
@@ -222,8 +270,7 @@ impl Operator for SAIntersect {
                         self.windows[port].pop_front();
                     }
                 }
-                self.stats
-                    .charge(CostKind::TupleMaintenance, maint.elapsed());
+                self.stats.charge(CostKind::TupleMaintenance, maint.elapsed());
                 // Probe the opposite window for value-equal partners. The
                 // governing policy of an intersection result is the union
                 // over all partners of the pairwise intersections — "roles
@@ -273,6 +320,45 @@ impl Operator for SAIntersect {
             .map(|(t, _)| t.mem_bytes() + std::mem::size_of::<SharedPolicy>())
             .sum()
     }
+
+    /// Snapshot: counters, both windows (tuple + governing policy each),
+    /// per-port current policies, and the last emitted result policy.
+    fn snapshot(&self, buf: &mut Vec<u8>) {
+        use bytes::BufMut;
+        self.stats.encode_counters(buf);
+        for side in &self.windows {
+            buf.put_u32(side.len() as u32);
+            for (t, p) in side {
+                ckpt::encode_tuple_policy(t, p, buf);
+            }
+        }
+        ckpt::encode_opt_segment(self.current[0].as_ref(), buf);
+        ckpt::encode_opt_segment(self.current[1].as_ref(), buf);
+        ckpt::encode_opt_policy(self.last_policy.as_ref(), buf);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        use bytes::Buf;
+        let mut slice = bytes;
+        let buf = &mut slice;
+        let mut apply = || -> Result<(), ckpt::CodecError> {
+            self.stats.decode_counters(buf)?;
+            for side in &mut self.windows {
+                ckpt::need(buf, 4, "intersect window length")?;
+                let n = buf.get_u32() as usize;
+                let mut w = VecDeque::with_capacity(n);
+                for _ in 0..n {
+                    w.push_back(ckpt::decode_tuple_policy(buf)?);
+                }
+                *side = w;
+            }
+            self.current[0] = ckpt::decode_opt_segment(buf)?;
+            self.current[1] = ckpt::decode_opt_segment(buf)?;
+            self.last_policy = ckpt::decode_opt_policy(buf)?;
+            ckpt::done(buf)
+        };
+        apply().map_err(|e| EngineError::corrupt("intersect", e))
+    }
 }
 
 #[cfg(test)]
@@ -283,12 +369,7 @@ mod tests {
     use sp_core::{RoleId, StreamId, TupleId, Value};
 
     fn tup(sid: u32, tid: u64, ts: u64, v: i64) -> Element {
-        Element::tuple(Tuple::new(
-            StreamId(sid),
-            TupleId(tid),
-            Timestamp(ts),
-            vec![Value::Int(v)],
-        ))
+        Element::tuple(Tuple::new(StreamId(sid), TupleId(tid), Timestamp(ts), vec![Value::Int(v)]))
     }
 
     fn pol(roles: &[u32], ts: u64) -> Element {

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use sp_core::{RoleSet, SharedPolicy};
 
+use crate::checkpoint as ckpt;
 use crate::element::{Element, SegmentPolicy};
 use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
@@ -158,9 +159,7 @@ impl SecurityShield {
         }
         let (granularity, mode) = shields
             .first()
-            .map_or((Granularity::Tuple, MatchMode::Bitmap), |s| {
-                (s.granularity, s.mode)
-            });
+            .map_or((Granularity::Tuple, MatchMode::Bitmap), |s| (s.granularity, s.mode));
         SecurityShield::new(roles).with_granularity(granularity).with_mode(mode)
     }
 
@@ -192,8 +191,8 @@ impl SecurityShield {
         match seg.as_uniform() {
             Some(policy) => {
                 if self.authorized(policy) {
-                    let mask_from = (self.granularity == Granularity::Attribute)
-                        .then(|| policy.clone());
+                    let mask_from =
+                        (self.granularity == Granularity::Attribute).then(|| policy.clone());
                     Verdict::Pass { mask_from }
                 } else {
                     Verdict::Fail
@@ -254,10 +253,7 @@ impl Operator for SecurityShield {
                 self.stats.sps_in += 1;
                 // An sp-batch with a newer timestamp replaces the buffered
                 // policy (§V-A); older ones are ignored.
-                let replace = self
-                    .current
-                    .as_ref()
-                    .is_none_or(|cur| seg.ts >= cur.ts);
+                let replace = self.current.as_ref().is_none_or(|cur| seg.ts >= cur.ts);
                 if replace {
                     self.verdict = self.evaluate_segment(&seg);
                     self.current = Some(seg.clone());
@@ -267,9 +263,7 @@ impl Operator for SecurityShield {
                         // predicate: downstream of ψ_p nothing may observe
                         // access beyond p (least privilege), and narrowing
                         // makes the Table II push-down rules exact.
-                        _ => Some(Arc::new(
-                            seg.map_policies(|p| p.restrict_to(&self.roles)),
-                        )),
+                        _ => Some(Arc::new(seg.map_policies(|p| p.restrict_to(&self.roles)))),
                     };
                 }
                 if let Some(start) = start {
@@ -298,8 +292,7 @@ impl Operator for SecurityShield {
                             // Audited: the PerTuple verdict is only produced
                             // while a segment is current.
                             #[allow(clippy::expect_used)]
-                            let seg =
-                                self.current.as_ref().expect("PerTuple implies a segment");
+                            let seg = self.current.as_ref().expect("PerTuple implies a segment");
                             match seg.resolve_ref(&tuple) {
                                 crate::element::Resolved::None => Hit::Deny,
                                 crate::element::Resolved::One(policy) => {
@@ -308,9 +301,7 @@ impl Operator for SecurityShield {
                                     // allocation — a pointer compare
                                     // reuses the previous verdict.
                                     match &self.tuple_cache {
-                                        Some((cached, verdict))
-                                            if Arc::ptr_eq(cached, policy) =>
-                                        {
+                                        Some((cached, verdict)) if Arc::ptr_eq(cached, policy) => {
                                             Hit::Cached(verdict.clone())
                                         }
                                         _ => Hit::Evaluate(policy.clone()),
@@ -361,11 +352,37 @@ impl Operator for SecurityShield {
     }
 
     fn state_mem_bytes(&self) -> usize {
-        self.roles.mem_bytes()
-            + self
-                .current
-                .as_ref()
-                .map_or(0, |seg| seg.mem_bytes())
+        self.roles.mem_bytes() + self.current.as_ref().map_or(0, |seg| seg.mem_bytes())
+    }
+
+    /// Snapshot: counters, the buffered segment policy, and the pending
+    /// (not-yet-emitted) narrowed policy. The verdict and both caches are
+    /// derived state, re-evaluated on restore.
+    fn snapshot(&self, buf: &mut Vec<u8>) {
+        self.stats.encode_counters(buf);
+        ckpt::encode_opt_segment(self.current.as_ref(), buf);
+        ckpt::encode_opt_segment(self.pending_policy.as_ref(), buf);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        let mut slice = bytes;
+        let buf = &mut slice;
+        let mut apply = || -> Result<(), ckpt::CodecError> {
+            self.stats.decode_counters(buf)?;
+            self.current = ckpt::decode_opt_segment(buf)?;
+            self.pending_policy = ckpt::decode_opt_segment(buf)?;
+            ckpt::done(buf)
+        };
+        apply().map_err(|e| EngineError::corrupt("ss", e))?;
+        self.verdict = match self.current.clone() {
+            Some(seg) => self.evaluate_segment(&seg),
+            None => {
+                self.mask_cache = None;
+                self.tuple_cache = None;
+                Verdict::Deny
+            }
+        };
+        Ok(())
     }
 
     /// Runtime role reassignment (§IX future work): swaps the predicate
@@ -412,10 +429,7 @@ mod tests {
     }
 
     fn tuples_of(elems: &[Element]) -> Vec<u64> {
-        elems
-            .iter()
-            .filter_map(|e| e.as_tuple().map(|t| t.tid.raw()))
-            .collect()
+        elems.iter().filter_map(|e| e.as_tuple().map(|t| t.tid.raw())).collect()
     }
 
     #[test]
@@ -439,10 +453,7 @@ mod tests {
     #[test]
     fn failing_segment_discards_tuples_and_sps() {
         let mut ss = SecurityShield::new(RoleSet::from([9]));
-        let out = run_unary(
-            &mut ss,
-            vec![pol(&[1], 0), tup(1, 1), pol(&[9], 2), tup(2, 3)],
-        );
+        let out = run_unary(&mut ss, vec![pol(&[1], 0), tup(1, 1), pol(&[9], 2), tup(2, 3)]);
         assert_eq!(tuples_of(&out), vec![2]);
         // Only the passing segment's policy is forwarded.
         assert_eq!(out.iter().filter(|e| e.as_policy().is_some()).count(), 1);
@@ -452,20 +463,14 @@ mod tests {
     #[test]
     fn newer_policy_overrides_older() {
         let mut ss = SecurityShield::new(RoleSet::from([1]));
-        let out = run_unary(
-            &mut ss,
-            vec![pol(&[1], 10), tup(1, 11), pol(&[2], 12), tup(2, 13)],
-        );
+        let out = run_unary(&mut ss, vec![pol(&[1], 10), tup(1, 11), pol(&[2], 12), tup(2, 13)]);
         assert_eq!(tuples_of(&out), vec![1]);
     }
 
     #[test]
     fn stale_policy_is_ignored() {
         let mut ss = SecurityShield::new(RoleSet::from([1]));
-        let out = run_unary(
-            &mut ss,
-            vec![pol(&[1], 10), pol(&[2], 5), tup(1, 11)],
-        );
+        let out = run_unary(&mut ss, vec![pol(&[1], 10), pol(&[2], 5), tup(1, 11)]);
         assert_eq!(tuples_of(&out), vec![1], "older sp must not override");
     }
 
@@ -488,18 +493,12 @@ mod tests {
         let seg = SegmentPolicy::new(
             vec![crate::element::PolicyEntry {
                 scope: Pattern::numeric_range(0, 5),
-                policy: std::sync::Arc::new(Policy::tuple_level(
-                    RoleSet::from([1]),
-                    Timestamp(0),
-                )),
+                policy: std::sync::Arc::new(Policy::tuple_level(RoleSet::from([1]), Timestamp(0))),
             }],
             Timestamp(0),
         );
         let mut ss = SecurityShield::new(RoleSet::from([1]));
-        let out = run_unary(
-            &mut ss,
-            vec![Element::policy(seg), tup(3, 1), tup(9, 2)],
-        );
+        let out = run_unary(&mut ss, vec![Element::policy(seg), tup(3, 1), tup(9, 2)]);
         assert_eq!(tuples_of(&out), vec![3], "tuple 9 is outside the scope");
     }
 
@@ -508,13 +507,10 @@ mod tests {
         let policy = Policy::tuple_level(RoleSet::new(), Timestamp(0))
             .with_attr_grant(1, RoleSet::from([1]));
         let seg = SegmentPolicy::uniform(policy);
-        let mut ss = SecurityShield::new(RoleSet::from([1]))
-            .with_granularity(Granularity::Attribute);
+        let mut ss =
+            SecurityShield::new(RoleSet::from([1])).with_granularity(Granularity::Attribute);
         let out = run_unary(&mut ss, vec![Element::policy(seg), tup(42, 1)]);
-        let t = out
-            .iter()
-            .find_map(|e| e.as_tuple())
-            .expect("tuple passes via attribute grant");
+        let t = out.iter().find_map(|e| e.as_tuple()).expect("tuple passes via attribute grant");
         assert!(t.value(0).unwrap().is_null(), "unauthorized attr masked");
         assert_eq!(t.value(1), Some(&Value::Int(7)));
 
@@ -543,10 +539,7 @@ mod tests {
     #[test]
     fn policy_emitted_once_per_segment() {
         let mut ss = SecurityShield::new(RoleSet::from([1]));
-        let out = run_unary(
-            &mut ss,
-            vec![pol(&[1], 0), tup(1, 1), tup(2, 2), tup(3, 3)],
-        );
+        let out = run_unary(&mut ss, vec![pol(&[1], 0), tup(1, 1), tup(2, 2), tup(3, 3)]);
         assert_eq!(out.iter().filter(|e| e.as_policy().is_some()).count(), 1);
         assert_eq!(tuples_of(&out).len(), 3);
     }

@@ -347,6 +347,74 @@ impl Executor {
         total
     }
 
+    /// Takes a consistent cut of the whole plan at an epoch boundary. Must
+    /// be called at quiescence (no queued work): the sequential executor
+    /// runs every pushed element to completion, so any point between
+    /// `push` calls is a consistent cut.
+    #[must_use]
+    pub fn checkpoint(&self, epoch: u64, input_pos: u64) -> crate::checkpoint::Checkpoint {
+        debug_assert!(self.queue.is_empty(), "checkpoint requires quiescence");
+        let mut analyzers = Vec::with_capacity(self.sources.len());
+        for source in &self.sources {
+            let mut buf = Vec::new();
+            source.analyzer.snapshot(&mut buf);
+            analyzers.push(buf);
+        }
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mut buf = Vec::new();
+            node.op.snapshot(&mut buf);
+            nodes.push(buf);
+        }
+        let mut sinks = Vec::with_capacity(self.sinks.len());
+        for sink in &self.sinks {
+            let mut buf = Vec::new();
+            Operator::snapshot(sink, &mut buf);
+            sinks.push(buf);
+        }
+        crate::checkpoint::Checkpoint { epoch, input_pos, analyzers, nodes, sinks }
+    }
+
+    /// Restores every analyzer, operator, and sink from a checkpoint taken
+    /// on a plan built by the same builder.
+    ///
+    /// # Errors
+    ///
+    /// Fails closed ([`EngineError::CheckpointCorrupt`]) when the
+    /// checkpoint's shape does not match this plan or any section fails to
+    /// decode; the executor must then be discarded — state may be partially
+    /// restored.
+    pub fn restore(&mut self, ckpt: &crate::checkpoint::Checkpoint) -> Result<(), EngineError> {
+        if ckpt.analyzers.len() != self.sources.len()
+            || ckpt.nodes.len() != self.nodes.len()
+            || ckpt.sinks.len() != self.sinks.len()
+        {
+            return Err(EngineError::corrupt(
+                "plan",
+                format!(
+                    "checkpoint shape {}/{}/{} does not match plan {}/{}/{}",
+                    ckpt.analyzers.len(),
+                    ckpt.nodes.len(),
+                    ckpt.sinks.len(),
+                    self.sources.len(),
+                    self.nodes.len(),
+                    self.sinks.len(),
+                ),
+            ));
+        }
+        self.queue.clear();
+        for (source, bytes) in self.sources.iter_mut().zip(&ckpt.analyzers) {
+            source.analyzer.restore(bytes)?;
+        }
+        for (node, bytes) in self.nodes.iter_mut().zip(&ckpt.nodes) {
+            node.op.restore(bytes)?;
+        }
+        for (sink, bytes) in self.sinks.iter_mut().zip(&ckpt.sinks) {
+            Operator::restore(sink, bytes)?;
+        }
+        Ok(())
+    }
+
     /// Replaces the security predicate of the operator at `n` (runtime
     /// role reassignment, §IX future work). Returns false if that operator
     /// has no predicate.
@@ -364,7 +432,15 @@ impl Executor {
         let _ = writeln!(
             out,
             "{:<3} {:<10} {:>10} {:>10} {:>8} {:>8} {:>9} {:>10} {:>10}",
-            "#", "op", "tuples in", "tuples out", "sps in", "sps out", "shielded", "time µs", "state B"
+            "#",
+            "op",
+            "tuples in",
+            "tuples out",
+            "sps in",
+            "sps out",
+            "shielded",
+            "time µs",
+            "state B"
         );
         for (i, node) in self.nodes.iter().enumerate() {
             let s = node.op.stats();
@@ -436,10 +512,8 @@ mod tests {
     fn select_shield_pipeline() {
         let mut b = PlanBuilder::new(catalog());
         let src = b.source(StreamId(1), schema());
-        let sel = b.add(
-            Select::new(Expr::cmp(CmpOp::Gt, Expr::Attr(1), Expr::Const(Value::Int(5)))),
-            src,
-        );
+        let sel = b
+            .add(Select::new(Expr::cmp(CmpOp::Gt, Expr::Attr(1), Expr::Const(Value::Int(5)))), src);
         let ss = b.add(SecurityShield::new(RoleSet::from([1])), sel);
         let sink = b.sink(ss);
         let mut exec = b.build();
@@ -450,7 +524,8 @@ mod tests {
             (StreamId(1), tup(2, 2, 3)),  // filtered by select
             (StreamId(1), sp(&[2], 3)),
             (StreamId(1), tup(3, 4, 10)), // shielded
-        ]).unwrap();
+        ])
+        .unwrap();
 
         let tuples: Vec<u64> = exec.sink(sink).tuples().map(|t| t.tid.raw()).collect();
         assert_eq!(tuples, vec![1]);
@@ -464,10 +539,8 @@ mod tests {
         // (Fig. 5): SS operators placed per-query after the shared part.
         let mut b = PlanBuilder::new(catalog());
         let src = b.source(StreamId(1), schema());
-        let shared = b.add(
-            Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Int(0)))),
-            src,
-        );
+        let shared = b
+            .add(Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Int(0)))), src);
         let ss1 = b.add(SecurityShield::new(RoleSet::from([1])), shared);
         let ss2 = b.add(SecurityShield::new(RoleSet::from([2])), shared);
         let q1 = b.sink(ss1);
@@ -481,7 +554,8 @@ mod tests {
             (StreamId(1), tup(2, 3, 1)),
             (StreamId(1), sp(&[1, 2], 4)),
             (StreamId(1), tup(3, 5, 1)),
-        ]).unwrap();
+        ])
+        .unwrap();
 
         let q1_ids: Vec<u64> = exec.sink(q1).tuples().map(|t| t.tid.raw()).collect();
         let q2_ids: Vec<u64> = exec.sink(q2).tuples().map(|t| t.tid.raw()).collect();
@@ -519,10 +593,7 @@ mod tests {
     fn server_policy_installed_through_builder() {
         let mut b = PlanBuilder::new(catalog());
         let src = b.source(StreamId(1), schema());
-        b.set_server_policy(
-            src,
-            Some(Policy::tuple_level(RoleSet::from([1]), Timestamp(0))),
-        );
+        b.set_server_policy(src, Some(Policy::tuple_level(RoleSet::from([1]), Timestamp(0))));
         let ss = b.add(SecurityShield::new(RoleSet::from([2])), src);
         let sink = b.sink(ss);
         let mut exec = b.build();
@@ -537,10 +608,7 @@ mod tests {
     fn hardened_source_fails_closed_end_to_end() {
         let mut b = PlanBuilder::new(catalog());
         let src = b.source(StreamId(1), schema());
-        b.harden_source(
-            src,
-            crate::QuarantinePolicy { ttl_ms: 10, slack_ms: 10, capacity: 8 },
-        );
+        b.harden_source(src, crate::QuarantinePolicy { ttl_ms: 10, slack_ms: 10, capacity: 8 });
         let ss = b.add(SecurityShield::new(RoleSet::from([1])), src);
         let sink = b.sink(ss);
         let mut exec = b.build();

@@ -143,9 +143,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut index = PredicateIndex::new();
         for _ in 0..64 {
-            let pred: RoleSet = (0..rng.gen_range(1..5))
-                .map(|_| RoleId(rng.gen_range(0..40)))
-                .collect();
+            let pred: RoleSet =
+                (0..rng.gen_range(1..5)).map(|_| RoleId(rng.gen_range(0..40))).collect();
             index.register(pred);
         }
         for _ in 0..200 {

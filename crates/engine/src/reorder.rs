@@ -95,6 +95,73 @@ impl ReorderBuffer {
         }
     }
 
+    /// Serializes the buffer's dynamic state (pending elements with their
+    /// ordering keys, arrival counter, watermark bookkeeping, drop
+    /// counter). The slack is configuration and is not serialized.
+    pub fn snapshot(&self, buf: &mut Vec<u8>) {
+        use bytes::BufMut;
+        buf.put_u32(self.pending.len() as u32);
+        for ((ts, kind, arrival), elem) in &self.pending {
+            buf.put_u64(ts.0);
+            buf.put_u8(*kind);
+            buf.put_u64(*arrival);
+            crate::checkpoint::encode_stream_element(elem, buf);
+        }
+        buf.put_u64(self.arrivals);
+        buf.put_u64(self.max_seen.0);
+        match self.released_to {
+            Some(ts) => {
+                buf.put_u8(1);
+                buf.put_u64(ts.0);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u64(self.dropped);
+    }
+
+    /// Restores state serialized by [`ReorderBuffer::snapshot`] into a
+    /// buffer built with the same slack.
+    ///
+    /// # Errors
+    ///
+    /// Fails closed ([`crate::EngineError::CheckpointCorrupt`]) on any
+    /// truncation, trailing bytes, or malformed field.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), crate::EngineError> {
+        use crate::checkpoint as ckpt;
+        use bytes::Buf;
+        let mut slice = bytes;
+        let buf = &mut slice;
+        let mut apply = || -> Result<(), ckpt::CodecError> {
+            ckpt::need(buf, 4, "reorder pending length")?;
+            let n = buf.get_u32() as usize;
+            let mut pending = BTreeMap::new();
+            for _ in 0..n {
+                ckpt::need(buf, 8 + 1 + 8, "reorder pending key")?;
+                let key = (Timestamp(buf.get_u64()), buf.get_u8(), buf.get_u64());
+                let elem = ckpt::decode_stream_element(buf)?;
+                if pending.insert(key, elem).is_some() {
+                    return Err("duplicate reorder pending key".into());
+                }
+            }
+            self.pending = pending;
+            ckpt::need(buf, 8 + 8 + 1, "reorder watermark state")?;
+            self.arrivals = buf.get_u64();
+            self.max_seen = Timestamp(buf.get_u64());
+            self.released_to = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    ckpt::need(buf, 8, "reorder released-to ts")?;
+                    Some(Timestamp(buf.get_u64()))
+                }
+                b => return Err(format!("bad released-to flag {b}")),
+            };
+            ckpt::need(buf, 8, "reorder dropped counter")?;
+            self.dropped = buf.get_u64();
+            ckpt::done(buf)
+        };
+        apply().map_err(|e| ckpt::corrupt("reorder", e))
+    }
+
     fn release_up_to(&mut self, watermark: Timestamp, out: &mut Vec<StreamElement>) {
         while self.pending.first_key_value().is_some_and(|(key, _)| key.0 <= watermark) {
             let Some((key, elem)) = self.pending.pop_first() else { break };
@@ -196,10 +263,7 @@ mod tests {
         buf.push(a, &mut out);
         buf.push(b, &mut out);
         buf.flush(&mut out);
-        let tids: Vec<u64> = out
-            .iter()
-            .filter_map(|e| e.as_tuple().map(|t| t.tid.raw()))
-            .collect();
+        let tids: Vec<u64> = out.iter().filter_map(|e| e.as_tuple().map(|t| t.tid.raw())).collect();
         assert_eq!(tids, vec![100, 200]);
     }
 

@@ -87,6 +87,36 @@ impl OperatorStats {
         self.tuple_time + self.sp_time + self.join_time + self.sp_maint_time + self.tuple_maint_time
     }
 
+    /// Serializes the five logical counters (big-endian `u64`s) for an
+    /// epoch checkpoint. The wall-clock cost buckets are deliberately
+    /// excluded: they are host-dependent measurements, not replayable
+    /// state, and including them would break byte-identical checkpoint
+    /// comparison across runs.
+    pub fn encode_counters(&self, buf: &mut Vec<u8>) {
+        for v in [self.tuples_in, self.tuples_out, self.sps_in, self.sps_out, self.tuples_shielded]
+        {
+            buf.extend_from_slice(&v.to_be_bytes());
+        }
+    }
+
+    /// Restores the logical counters written by
+    /// [`OperatorStats::encode_counters`], leaving time buckets untouched.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn decode_counters(&mut self, buf: &mut impl bytes::Buf) -> Result<(), String> {
+        if buf.remaining() < 5 * 8 {
+            return Err("truncated operator counters".into());
+        }
+        self.tuples_in = buf.get_u64();
+        self.tuples_out = buf.get_u64();
+        self.sps_in = buf.get_u64();
+        self.sps_out = buf.get_u64();
+        self.tuples_shielded = buf.get_u64();
+        Ok(())
+    }
+
     /// Merges another operator's counters into this one.
     pub fn merge(&mut self, other: &OperatorStats) {
         self.tuples_in += other.tuples_in;
@@ -129,6 +159,17 @@ pub struct DegradationStats {
     pub reorder_dropped: u64,
     /// Wire frames lost to corruption (from `sp_core::wire::FrameDecoder`).
     pub corrupted_frames: u64,
+    /// Epoch checkpoints persisted by a supervisor.
+    pub checkpoints_taken: u64,
+    /// Checkpoints restored into a rebuilt pipeline after a crash.
+    pub checkpoints_restored: u64,
+    /// Epochs re-processed from source replay during recovery.
+    pub epochs_replayed: u64,
+    /// Input elements refused (never processed) because recovery entered
+    /// its terminal fail-closed state. Lost, never leaked.
+    pub recovery_dropped: u64,
+    /// Pipeline restart attempts made by a supervisor.
+    pub restart_attempts: u64,
 }
 
 impl DegradationStats {
@@ -148,13 +189,22 @@ impl DegradationStats {
         self.quarantine_dropped += other.quarantine_dropped;
         self.reorder_dropped += other.reorder_dropped;
         self.corrupted_frames += other.corrupted_frames;
+        self.checkpoints_taken += other.checkpoints_taken;
+        self.checkpoints_restored += other.checkpoints_restored;
+        self.epochs_replayed += other.epochs_replayed;
+        self.recovery_dropped += other.recovery_dropped;
+        self.restart_attempts += other.restart_attempts;
     }
 
     /// Total elements lost (not merely delayed) to degradation.
     #[must_use]
     pub fn total_dropped(&self) -> u64 {
-        self.sps_filtered + self.stale_sp_batches + self.quarantine_dropped
-            + self.reorder_dropped + self.corrupted_frames
+        self.sps_filtered
+            + self.stale_sp_batches
+            + self.quarantine_dropped
+            + self.reorder_dropped
+            + self.corrupted_frames
+            + self.recovery_dropped
     }
 }
 
@@ -163,7 +213,8 @@ impl std::fmt::Display for DegradationStats {
         write!(
             f,
             "sps filtered {} / merged {} / stale {}; quarantine in {} out {} dropped {}; \
-             reorder dropped {}; corrupted frames {}",
+             reorder dropped {}; corrupted frames {}; checkpoints taken {} restored {}; \
+             epochs replayed {}; recovery dropped {}; restarts {}",
             self.sps_filtered,
             self.sps_merged,
             self.stale_sp_batches,
@@ -172,6 +223,11 @@ impl std::fmt::Display for DegradationStats {
             self.quarantine_dropped,
             self.reorder_dropped,
             self.corrupted_frames,
+            self.checkpoints_taken,
+            self.checkpoints_restored,
+            self.epochs_replayed,
+            self.recovery_dropped,
+            self.restart_attempts,
         )
     }
 }

@@ -9,19 +9,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-use sp_core::{
-    RoleCatalog, Schema, Timestamp, Tuple, TupleId, Value, ValueType,
-};
+use sp_core::{RoleCatalog, Schema, Timestamp, Tuple, TupleId, Value, ValueType};
 
 /// The roles of Fig. 4b, in registration order.
-pub const HOSPITAL_ROLES: [&str; 6] = [
-    "cardiologist",
-    "general_physician",
-    "doctor",
-    "dermatologist",
-    "nurse_on_duty",
-    "employee",
-];
+pub const HOSPITAL_ROLES: [&str; 6] =
+    ["cardiologist", "general_physician", "doctor", "dermatologist", "nurse_on_duty", "employee"];
 
 /// Registers the hospital roles into a fresh catalog.
 #[must_use]
@@ -47,10 +39,7 @@ pub mod streams {
 /// Schema of the HeartRate stream (s1).
 #[must_use]
 pub fn heart_rate_schema() -> Arc<Schema> {
-    Schema::of(
-        "HeartRate",
-        &[("Patient_id", ValueType::Int), ("Beats_per_min", ValueType::Int)],
-    )
+    Schema::of("HeartRate", &[("Patient_id", ValueType::Int), ("Beats_per_min", ValueType::Int)])
 }
 
 /// Schema of the BodyTemperature stream (s2).
@@ -67,11 +56,7 @@ pub fn body_temperature_schema() -> Arc<Schema> {
 pub fn breathing_rate_schema() -> Arc<Schema> {
     Schema::of(
         "BreathingRate",
-        &[
-            ("Patient_id", ValueType::Int),
-            ("Frequency", ValueType::Int),
-            ("Depth", ValueType::Int),
-        ],
+        &[("Patient_id", ValueType::Int), ("Frequency", ValueType::Int), ("Depth", ValueType::Int)],
     )
 }
 
@@ -112,11 +97,8 @@ impl HealthSim {
         for &pid in &self.patients {
             // Mostly normal vitals with occasional abnormal spikes.
             let spike = self.rng.gen_bool(0.05);
-            let beats = if spike {
-                self.rng.gen_range(120..180)
-            } else {
-                self.rng.gen_range(55..95)
-            };
+            let beats =
+                if spike { self.rng.gen_range(120..180) } else { self.rng.gen_range(55..95) };
             let temp = if spike {
                 self.rng.gen_range(101.0..105.0)
             } else {

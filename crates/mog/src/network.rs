@@ -59,24 +59,16 @@ impl RoadNetwork {
             for x in 0..nx {
                 let jx = rng.gen_range(-0.25..0.25) * spacing;
                 let jy = rng.gen_range(-0.25..0.25) * spacing;
-                nodes.push(Node {
-                    x: f64::from(x) * spacing + jx,
-                    y: f64::from(y) * spacing + jy,
-                });
+                nodes.push(Node { x: f64::from(x) * spacing + jx, y: f64::from(y) * spacing + jy });
             }
         }
 
         let mut adjacency = vec![Vec::new(); nodes.len()];
-        let add = |adjacency: &mut Vec<Vec<Edge>>,
-                       rng: &mut SmallRng,
-                       a: usize,
-                       b: usize| {
+        let add = |adjacency: &mut Vec<Vec<Edge>>, rng: &mut SmallRng, a: usize, b: usize| {
             let dx = nodes[a].x - nodes[b].x;
             let dy = nodes[a].y - nodes[b].y;
             let length = (dx * dx + dy * dy).sqrt().max(1.0);
-            let speed = *[14.0, 25.0, 33.0]
-                .get(rng.gen_range(0..3usize))
-                .expect("index in range");
+            let speed = *[14.0, 25.0, 33.0].get(rng.gen_range(0..3usize)).expect("index in range");
             adjacency[a].push(Edge { to: b as u32, length, speed });
             adjacency[b].push(Edge { to: a as u32, length, speed });
         };

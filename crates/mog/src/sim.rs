@@ -154,12 +154,7 @@ impl MovingObjectSim {
                 self.stream,
                 TupleId(i as u64),
                 self.now,
-                vec![
-                    Value::Int(i as i64),
-                    Value::Float(x),
-                    Value::Float(y),
-                    Value::Float(speed),
-                ],
+                vec![Value::Int(i as i64), Value::Float(x), Value::Float(y), Value::Float(speed)],
             ));
         }
         updates

@@ -18,9 +18,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-use sp_core::{
-    RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement, StreamId, Timestamp,
-};
+use sp_core::{RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement, StreamId, Timestamp};
 
 use crate::network::RoadNetwork;
 use crate::sim::MovingObjectSim;
@@ -118,13 +116,14 @@ pub fn location_stream(cfg: &WorkloadConfig) -> Workload {
     let mut sim = MovingObjectSim::new(network, stream, cfg.objects, cfg.tick_ms, cfg.seed);
     let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9));
 
-    let mut elements = Vec::with_capacity(cfg.tuple_count() + cfg.tuple_count() / cfg.sp_every.max(1) + 1);
+    let mut elements =
+        Vec::with_capacity(cfg.tuple_count() + cfg.tuple_count() / cfg.sp_every.max(1) + 1);
     let (mut tuples, mut sps) = (0usize, 0usize);
     let mut since_sp = usize::MAX; // force an sp before the first tuple
-    // Elements are restamped with a strictly increasing clock: distinct
-    // policies MUST have distinct timestamps (a batch of equal-timestamp
-    // sps denotes a single policy, §III-A), and objects reporting within
-    // one simulation tick would otherwise collide.
+                                   // Elements are restamped with a strictly increasing clock: distinct
+                                   // policies MUST have distinct timestamps (a batch of equal-timestamp
+                                   // sps denotes a single policy, §III-A), and objects reporting within
+                                   // one simulation tick would otherwise collide.
     let mut clock: u64 = 0;
     if cfg.scoped_sps {
         assert!(
@@ -163,13 +162,7 @@ pub fn location_stream(cfg: &WorkloadConfig) -> Workload {
             since_sp += 1;
         }
     }
-    Workload {
-        elements,
-        schema: MovingObjectSim::location_schema(),
-        stream,
-        tuples,
-        sps,
-    }
+    Workload { elements, schema: MovingObjectSim::location_schema(), stream, tuples, sps }
 }
 
 /// Generates two punctuated location streams for the SAJoin experiment:

@@ -64,10 +64,7 @@ impl ClassSet {
     /// Returns true if `c` is matched by this class.
     #[must_use]
     pub fn contains(&self, c: char) -> bool {
-        let inside = self
-            .ranges
-            .iter()
-            .any(|&(lo, hi)| (lo..=hi).contains(&c));
+        let inside = self.ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c));
         inside != self.negated
     }
 
@@ -131,9 +128,7 @@ impl Ast {
     pub fn is_match_all(&self) -> bool {
         match self {
             Ast::Repeat { node, min: 0, max: None } => matches!(**node, Ast::AnyChar),
-            Ast::Concat(parts) => {
-                !parts.is_empty() && parts.iter().all(Ast::is_match_all)
-            }
+            Ast::Concat(parts) => !parts.is_empty() && parts.iter().all(Ast::is_match_all),
             Ast::Alt(branches) => branches.iter().any(Ast::is_match_all),
             _ => false,
         }
@@ -303,11 +298,7 @@ mod tests {
     fn naive_repeat_zero_width_terminates() {
         // (a?)* on "aaa" must terminate and match.
         let ast = Ast::Repeat {
-            node: Box::new(Ast::Repeat {
-                node: Box::new(Ast::Char('a')),
-                min: 0,
-                max: Some(1),
-            }),
+            node: Box::new(Ast::Repeat { node: Box::new(Ast::Char('a')), min: 0, max: Some(1) }),
             min: 0,
             max: None,
         };

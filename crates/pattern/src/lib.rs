@@ -50,11 +50,7 @@ pub struct PatternError {
 
 impl fmt::Display for PatternError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "invalid pattern {:?} at offset {}: {}",
-            self.pattern, self.offset, self.message
-        )
+        write!(f, "invalid pattern {:?} at offset {}: {}", self.pattern, self.offset, self.message)
     }
 }
 
@@ -142,10 +138,7 @@ impl Pattern {
             }
             escaped.push(c);
         }
-        Self {
-            source: Arc::from(escaped.as_str()),
-            matcher: Matcher::Literal(Arc::from(name)),
-        }
+        Self { source: Arc::from(escaped.as_str()), matcher: Matcher::Literal(Arc::from(name)) }
     }
 
     /// A pattern matching any decimal integer in `lo..=hi`. Never fails.
@@ -156,10 +149,7 @@ impl Pattern {
     #[must_use]
     pub fn numeric_range(lo: u64, hi: u64) -> Self {
         assert!(lo <= hi, "numeric range bounds out of order");
-        Self {
-            source: Arc::from(format!("<{lo}-{hi}>").as_str()),
-            matcher: Matcher::Range(lo, hi),
-        }
+        Self { source: Arc::from(format!("<{lo}-{hi}>").as_str()), matcher: Matcher::Range(lo, hi) }
     }
 
     /// The original pattern source text.
@@ -269,10 +259,8 @@ fn select_matcher(ast: &Ast) -> Matcher {
         return Matcher::Range(*lo, *hi);
     }
     if let Ast::Alt(branches) = ast {
-        let lits: Option<Vec<Box<str>>> = branches
-            .iter()
-            .map(|b| b.as_literal().map(String::into_boxed_str))
-            .collect();
+        let lits: Option<Vec<Box<str>>> =
+            branches.iter().map(|b| b.as_literal().map(String::into_boxed_str)).collect();
         if let Some(mut lits) = lits {
             lits.sort_unstable();
             lits.dedup();
@@ -289,22 +277,10 @@ mod tests {
     #[test]
     fn fast_path_selection() {
         assert!(matches!(Pattern::compile("*").unwrap().matcher, Matcher::All));
-        assert!(matches!(
-            Pattern::compile("HeartRate").unwrap().matcher,
-            Matcher::Literal(_)
-        ));
-        assert!(matches!(
-            Pattern::compile("a|b|c").unwrap().matcher,
-            Matcher::Literals(_)
-        ));
-        assert!(matches!(
-            Pattern::compile("<1-9>").unwrap().matcher,
-            Matcher::Range(1, 9)
-        ));
-        assert!(matches!(
-            Pattern::compile("a.c").unwrap().matcher,
-            Matcher::Vm(_)
-        ));
+        assert!(matches!(Pattern::compile("HeartRate").unwrap().matcher, Matcher::Literal(_)));
+        assert!(matches!(Pattern::compile("a|b|c").unwrap().matcher, Matcher::Literals(_)));
+        assert!(matches!(Pattern::compile("<1-9>").unwrap().matcher, Matcher::Range(1, 9)));
+        assert!(matches!(Pattern::compile("a.c").unwrap().matcher, Matcher::Vm(_)));
     }
 
     #[test]

@@ -25,11 +25,7 @@ struct Parser<'s> {
 
 impl Parser<'_> {
     fn err(&self, msg: &str) -> PatternError {
-        PatternError {
-            pattern: self.src.to_owned(),
-            offset: self.pos,
-            message: msg.to_owned(),
-        }
+        PatternError { pattern: self.src.to_owned(), offset: self.pos, message: msg.to_owned() }
     }
 
     fn peek(&self) -> Option<char> {
@@ -200,9 +196,7 @@ impl Parser<'_> {
                     None => Err(self.err("dangling escape at end of pattern")),
                 }
             }
-            Some(c) if "*+?{}".contains(c) => {
-                Err(self.err("quantifier with nothing to repeat"))
-            }
+            Some(c) if "*+?{}".contains(c) => Err(self.err("quantifier with nothing to repeat")),
             Some(c) if ")]>".contains(c) => Err(self.err("unbalanced closing delimiter")),
             Some(c) => {
                 self.bump();
@@ -243,9 +237,9 @@ impl Parser<'_> {
 
     fn class_char(&mut self) -> Result<char, PatternError> {
         match self.bump() {
-            Some('\\') => self
-                .bump()
-                .ok_or_else(|| self.err("dangling escape inside character class")),
+            Some('\\') => {
+                self.bump().ok_or_else(|| self.err("dangling escape inside character class"))
+            }
             Some(c) => Ok(c),
             None => Err(self.err("unclosed character class")),
         }
@@ -257,17 +251,11 @@ fn digit_class(negated: bool) -> ClassSet {
 }
 
 fn word_class(negated: bool) -> ClassSet {
-    ClassSet {
-        ranges: vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')],
-        negated,
-    }
+    ClassSet { ranges: vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')], negated }
 }
 
 fn space_class(negated: bool) -> ClassSet {
-    ClassSet {
-        ranges: vec![('\t', '\r'), (' ', ' ')],
-        negated,
-    }
+    ClassSet { ranges: vec![('\t', '\r'), (' ', ' ')], negated }
 }
 
 #[cfg(test)]

@@ -38,11 +38,7 @@ impl Catalog {
     /// # Errors
     ///
     /// Fails if the name or id is already registered.
-    pub fn register_stream(
-        &mut self,
-        id: StreamId,
-        schema: Arc<Schema>,
-    ) -> Result<(), QueryError> {
+    pub fn register_stream(&mut self, id: StreamId, schema: Arc<Schema>) -> Result<(), QueryError> {
         let name = schema.name().to_owned();
         if self.streams.iter().any(|s| s.name == name || s.id == id) {
             return Err(QueryError::new(
@@ -57,9 +53,7 @@ impl Catalog {
     /// Looks up a stream by name (or by numeric id rendered as text).
     #[must_use]
     pub fn stream(&self, name: &str) -> Option<&StreamDef> {
-        self.streams
-            .iter()
-            .find(|s| s.name == name || s.id.raw().to_string() == name)
+        self.streams.iter().find(|s| s.name == name || s.id.raw().to_string() == name)
     }
 
     /// All registered streams.
@@ -81,9 +75,7 @@ impl Catalog {
             .subject_roles(subject)
             .map_err(|e| QueryError::new(e.to_string(), 0))?
             .clone();
-        self.roles
-            .pin_subject(subject)
-            .map_err(|e| QueryError::new(e.to_string(), 0))?;
+        self.roles.pin_subject(subject).map_err(|e| QueryError::new(e.to_string(), 0))?;
         let id = QueryId(self.queries.len() as u32);
         self.queries.push((id, subject));
         Ok((id, roles))
@@ -106,6 +98,8 @@ impl Catalog {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::ValueType;
 

@@ -132,8 +132,7 @@ impl CostModel {
             LogicalPlan::Shield { input, roles } => {
                 let inp = self.cost(input);
                 // λ + λ_sp (NR_sp + NR)
-                let own =
-                    inp.lambda + inp.lambda_sp * (self.roles_per_sp + roles.len() as f64);
+                let own = inp.lambda + inp.lambda_sp * (self.roles_per_sp + roles.len() as f64);
                 let sel = self.shield_selectivity(roles.len());
                 PlanCost {
                     cost: inp.cost + own,
@@ -179,9 +178,8 @@ impl CostModel {
                             + self.roles_per_sp * (l.lambda_sp + r.lambda_sp)
                     }
                 };
-                let out_lambda =
-                    l.lambda * n2 * self.join_selectivity * self.sigma_sp
-                        + r.lambda * n1 * self.join_selectivity * self.sigma_sp;
+                let out_lambda = l.lambda * n2 * self.join_selectivity * self.sigma_sp
+                    + r.lambda * n1 * self.join_selectivity * self.sigma_sp;
                 PlanCost {
                     cost: l.cost + r.cost + own,
                     lambda: out_lambda,
@@ -241,6 +239,8 @@ impl CostModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::{RoleSet, Schema, Value, ValueType};
 

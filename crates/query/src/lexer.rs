@@ -211,6 +211,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, QueryError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

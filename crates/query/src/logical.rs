@@ -106,18 +106,10 @@ impl LogicalPlan {
     pub fn schema(&self) -> Arc<Schema> {
         match self {
             LogicalPlan::Scan { schema, .. } => schema.clone(),
-            LogicalPlan::Shield { input, .. } | LogicalPlan::Select { input, .. } => {
-                input.schema()
-            }
-            LogicalPlan::Project { input, indices } => {
-                Arc::new(input.schema().project(indices))
-            }
-            LogicalPlan::Join { left, right, .. } => {
-                Arc::new(left.schema().join(&right.schema()))
-            }
-            LogicalPlan::Union { left, .. } | LogicalPlan::Intersect { left, .. } => {
-                left.schema()
-            }
+            LogicalPlan::Shield { input, .. } | LogicalPlan::Select { input, .. } => input.schema(),
+            LogicalPlan::Project { input, indices } => Arc::new(input.schema().project(indices)),
+            LogicalPlan::Join { left, right, .. } => Arc::new(left.schema().join(&right.schema())),
+            LogicalPlan::Union { left, .. } | LogicalPlan::Intersect { left, .. } => left.schema(),
             LogicalPlan::DupElim { input, .. } => input.schema(),
             LogicalPlan::GroupBy { input, group, agg, agg_attr, .. } => {
                 let in_schema = input.schema();
@@ -165,18 +157,25 @@ impl LogicalPlan {
     /// Panics if the child count does not match.
     #[must_use]
     pub fn with_children(&self, mut children: Vec<LogicalPlan>) -> LogicalPlan {
+        /// Pops the (left, right) pair of a binary node.
+        fn pop2(children: &mut Vec<LogicalPlan>) -> (Box<LogicalPlan>, Box<LogicalPlan>) {
+            match (children.pop(), children.pop()) {
+                (Some(right), Some(left)) if children.is_empty() => {
+                    (Box::new(left), Box::new(right))
+                }
+                _ => panic!("binary node takes exactly two children"),
+            }
+        }
         match self {
             LogicalPlan::Scan { .. } => {
                 assert!(children.is_empty(), "scan has no children");
                 self.clone()
             }
             LogicalPlan::Join { left_key, right_key, window_ms, variant, .. } => {
-                assert_eq!(children.len(), 2);
-                let right = children.pop().expect("two children");
-                let left = children.pop().expect("two children");
+                let (left, right) = pop2(&mut children);
                 LogicalPlan::Join {
-                    left: Box::new(left),
-                    right: Box::new(right),
+                    left,
+                    right,
                     left_key: *left_key,
                     right_key: *right_key,
                     window_ms: *window_ms,
@@ -184,24 +183,18 @@ impl LogicalPlan {
                 }
             }
             LogicalPlan::Union { .. } => {
-                assert_eq!(children.len(), 2);
-                let right = children.pop().expect("two children");
-                let left = children.pop().expect("two children");
-                LogicalPlan::Union { left: Box::new(left), right: Box::new(right) }
+                let (left, right) = pop2(&mut children);
+                LogicalPlan::Union { left, right }
             }
             LogicalPlan::Intersect { window_ms, .. } => {
-                assert_eq!(children.len(), 2);
-                let right = children.pop().expect("two children");
-                let left = children.pop().expect("two children");
-                LogicalPlan::Intersect {
-                    left: Box::new(left),
-                    right: Box::new(right),
-                    window_ms: *window_ms,
-                }
+                let (left, right) = pop2(&mut children);
+                LogicalPlan::Intersect { left, right, window_ms: *window_ms }
             }
             other => {
-                assert_eq!(children.len(), 1);
-                let input = Box::new(children.pop().expect("one child"));
+                let input = match children.pop() {
+                    Some(only) if children.is_empty() => Box::new(only),
+                    _ => panic!("unary node takes exactly one child"),
+                };
                 match other {
                     LogicalPlan::Shield { roles, .. } => {
                         LogicalPlan::Shield { input, roles: roles.clone() }
@@ -281,9 +274,7 @@ impl LogicalPlan {
                 let names: Vec<String> = indices
                     .iter()
                     .map(|&i| {
-                        schema
-                            .field(i)
-                            .map_or_else(|| format!("#{i}"), |fd| fd.name.to_string())
+                        schema.field(i).map_or_else(|| format!("#{i}"), |fd| fd.name.to_string())
                     })
                     .collect();
                 writeln!(f, "project π[{}]", names.join(", "))?;
@@ -326,6 +317,8 @@ impl fmt::Display for LogicalPlan {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::ValueType;
     use sp_engine::CmpOp;

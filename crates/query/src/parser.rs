@@ -3,9 +3,7 @@
 use sp_core::Sign;
 use sp_engine::AggFunc;
 
-use crate::ast::{
-    AstExpr, ColumnRef, InsertSpStmt, SelectItem, SelectStmt, Statement, StreamRef,
-};
+use crate::ast::{AstExpr, ColumnRef, InsertSpStmt, SelectItem, SelectStmt, Statement, StreamRef};
 use crate::lexer::{lex, QueryError, Sym, Token};
 
 /// Parses one statement.
@@ -142,22 +140,14 @@ impl Parser {
         if from.len() > 2 {
             return Err(self.err("at most two streams are supported in FROM"));
         }
-        let predicate = if self.eat_kw("WHERE") {
-            Some(self.expr()?)
-        } else {
-            None
-        };
+        let predicate = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
         let group_by = if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
             Some(self.column_ref()?)
         } else {
             None
         };
-        let union_with = if self.eat_kw("UNION") {
-            Some(Box::new(self.select()?))
-        } else {
-            None
-        };
+        let union_with = if self.eat_kw("UNION") { Some(Box::new(self.select()?)) } else { None };
         Ok(SelectStmt { items, distinct, from, predicate, group_by, union_with })
     }
 
@@ -181,11 +171,8 @@ impl Parser {
             if let Some(func) = Self::agg_func(name) {
                 if self.tokens.get(self.pos + 1) == Some(&Token::Sym(Sym::LParen)) {
                     self.pos += 2; // func (
-                    let column = if self.eat_sym(Sym::Star) {
-                        None
-                    } else {
-                        Some(self.column_ref()?)
-                    };
+                    let column =
+                        if self.eat_sym(Sym::Star) { None } else { Some(self.column_ref()?) };
                     self.expect_sym(Sym::RParen)?;
                     return Ok(SelectItem::Aggregate { func, column });
                 }
@@ -223,11 +210,7 @@ impl Parser {
         } else {
             None
         };
-        let alias = if self.eat_kw("AS") {
-            Some(self.ident()?)
-        } else {
-            None
-        };
+        let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
         Ok(StreamRef { name, alias, window_ms })
     }
 
@@ -237,7 +220,8 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("OR") {
             let right = self.and_expr()?;
-            left = AstExpr::Binary { op: "OR".into(), left: Box::new(left), right: Box::new(right) };
+            left =
+                AstExpr::Binary { op: "OR".into(), left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -246,7 +230,8 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("AND") {
             let right = self.not_expr()?;
-            left = AstExpr::Binary { op: "AND".into(), left: Box::new(left), right: Box::new(right) };
+            left =
+                AstExpr::Binary { op: "AND".into(), left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -421,6 +406,8 @@ impl Parser {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn select(src: &str) -> SelectStmt {
@@ -474,17 +461,16 @@ mod tests {
 
     #[test]
     fn aggregates_and_group_by() {
-        let s = select("SELECT AVG(Beats_per_min) FROM HeartRate [RANGE 60 SECONDS] GROUP BY Patient_id");
+        let s = select(
+            "SELECT AVG(Beats_per_min) FROM HeartRate [RANGE 60 SECONDS] GROUP BY Patient_id",
+        );
         assert!(matches!(
             s.items[0],
             SelectItem::Aggregate { func: AggFunc::Avg, column: Some(_) }
         ));
         assert_eq!(s.group_by.as_ref().unwrap().column, "Patient_id");
         let c = select("SELECT COUNT(*) FROM s");
-        assert!(matches!(
-            c.items[0],
-            SelectItem::Aggregate { func: AggFunc::Count, column: None }
-        ));
+        assert!(matches!(c.items[0], SelectItem::Aggregate { func: AggFunc::Count, column: None }));
     }
 
     #[test]

@@ -40,9 +40,8 @@ pub fn instantiate_with(
 ) -> Upstream {
     match plan {
         LogicalPlan::Scan { stream, schema, .. } => {
-            let source = *sources
-                .entry(*stream)
-                .or_insert_with(|| builder.source(*stream, schema.clone()));
+            let source =
+                *sources.entry(*stream).or_insert_with(|| builder.source(*stream, schema.clone()));
             Upstream::Source(source)
         }
         LogicalPlan::Shield { input, roles } => {
@@ -86,16 +85,15 @@ pub fn instantiate_with(
         }
         LogicalPlan::GroupBy { input, group, agg, agg_attr, window_ms } => {
             let upstream = instantiate_with(input, builder, sources, opts);
-            Upstream::Node(builder.add(
-                GroupBy::new(*group, *agg, *agg_attr, *window_ms),
-                upstream,
-            ))
+            Upstream::Node(builder.add(GroupBy::new(*group, *agg, *agg_attr, *window_ms), upstream))
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::{
         RoleCatalog, RoleSet, Schema, SecurityPunctuation, StreamElement, Timestamp, Tuple,
@@ -136,7 +134,8 @@ mod tests {
                 RoleSet::from([1]),
                 Timestamp(0),
             )),
-        );
+        )
+        .unwrap();
         for (tid, x) in [(1u64, 10i64), (2, 3), (3, 9)] {
             exec.push(
                 StreamId(1),
@@ -146,13 +145,11 @@ mod tests {
                     Timestamp(tid),
                     vec![Value::Int(tid as i64), Value::Int(x)],
                 )),
-            );
+            )
+            .unwrap();
         }
-        let vals: Vec<i64> = exec
-            .sink(sink)
-            .tuples()
-            .map(|t| t.value(0).unwrap().as_i64().unwrap())
-            .collect();
+        let vals: Vec<i64> =
+            exec.sink(sink).tuples().map(|t| t.value(0).unwrap().as_i64().unwrap()).collect();
         assert_eq!(vals, vec![10, 9]);
     }
 

@@ -28,10 +28,7 @@ struct FromStream {
 }
 
 /// Resolves a column reference to (stream index, attribute index).
-fn resolve_column(
-    streams: &[FromStream],
-    col: &ColumnRef,
-) -> Result<(usize, usize), QueryError> {
+fn resolve_column(streams: &[FromStream], col: &ColumnRef) -> Result<(usize, usize), QueryError> {
     match &col.stream {
         Some(qualifier) => {
             let si = streams
@@ -79,7 +76,11 @@ fn conjuncts(expr: &AstExpr) -> Vec<&AstExpr> {
 }
 
 /// The stream indices referenced by an expression (0, 1 or both).
-fn streams_used(streams: &[FromStream], expr: &AstExpr, out: &mut Vec<usize>) -> Result<(), QueryError> {
+fn streams_used(
+    streams: &[FromStream],
+    expr: &AstExpr,
+    out: &mut Vec<usize>,
+) -> Result<(), QueryError> {
     match expr {
         AstExpr::Column(c) => {
             let (si, _) = resolve_column(streams, c)?;
@@ -200,7 +201,8 @@ pub fn plan_select(
                                 let (lsi, lai) = resolve_column(&streams, lc)?;
                                 let (rsi, rai) = resolve_column(&streams, rc)?;
                                 if lsi != rsi {
-                                    join_keys = Some(if lsi == 0 { (lai, rai) } else { (rai, lai) });
+                                    join_keys =
+                                        Some(if lsi == 0 { (lai, rai) } else { (rai, lai) });
                                     continue;
                                 }
                             }
@@ -216,14 +218,11 @@ pub fn plan_select(
     let mut sides: Vec<LogicalPlan> = Vec::new();
     for (si, scan) in scans.into_iter().enumerate() {
         let mut side = scan;
-        if !per_stream[si].is_empty() {
-            let combined = per_stream[si]
-                .iter()
-                .map(|c| lower_expr(&streams, c, &|_, ai| ai))
-                .collect::<Result<Vec<_>, _>>()?
-                .into_iter()
-                .reduce(Expr::and)
-                .expect("non-empty conjunct list");
+        let lowered = per_stream[si]
+            .iter()
+            .map(|c| lower_expr(&streams, c, &|_, ai| ai))
+            .collect::<Result<Vec<_>, _>>()?;
+        if let Some(combined) = lowered.into_iter().reduce(Expr::and) {
             side = LogicalPlan::Select { input: Box::new(side), predicate: combined };
         }
         sides.push(side);
@@ -234,14 +233,11 @@ pub fn plan_select(
         let (left_key, right_key) = join_keys.ok_or_else(|| {
             QueryError::new("two-stream queries need an equijoin predicate (a.x = b.y)", 0)
         })?;
-        let window_ms = stmt
-            .from
-            .iter()
-            .filter_map(|s| s.window_ms)
-            .max()
-            .unwrap_or(DEFAULT_WINDOW_MS);
-        let right = sides.pop().expect("two sides");
-        let left = sides.pop().expect("two sides");
+        let window_ms =
+            stmt.from.iter().filter_map(|s| s.window_ms).max().unwrap_or(DEFAULT_WINDOW_MS);
+        let (Some(right), Some(left)) = (sides.pop(), sides.pop()) else {
+            return Err(QueryError::new("internal: join requires two planned sides", 0));
+        };
         let left_arity = streams[0].schema.arity();
         let join = LogicalPlan::Join {
             left: Box::new(left),
@@ -252,32 +248,21 @@ pub fn plan_select(
             variant: JoinVariant::Index,
         };
         // Post-join residue maps (side, attr) → concatenated index.
-        if residue.is_empty() {
-            join
-        } else {
-            let combined = residue
-                .iter()
-                .map(|c| {
-                    lower_expr(&streams, c, &|si, ai| if si == 0 { ai } else { left_arity + ai })
-                })
-                .collect::<Result<Vec<_>, _>>()?
-                .into_iter()
-                .reduce(Expr::and)
-                .expect("non-empty residue");
-            LogicalPlan::Select { input: Box::new(join), predicate: combined }
+        let lowered = residue
+            .iter()
+            .map(|c| lower_expr(&streams, c, &|si, ai| if si == 0 { ai } else { left_arity + ai }))
+            .collect::<Result<Vec<_>, _>>()?;
+        match lowered.into_iter().reduce(Expr::and) {
+            Some(combined) => LogicalPlan::Select { input: Box::new(join), predicate: combined },
+            None => join,
         }
     } else {
-        sides.pop().expect("one side")
+        sides.pop().ok_or_else(|| QueryError::new("query references no stream", 0))?
     };
 
     let left_arity = streams[0].schema.arity();
     let attr_of = |si: usize, ai: usize| if si == 0 { ai } else { left_arity + ai };
-    let window_ms = stmt
-        .from
-        .iter()
-        .filter_map(|s| s.window_ms)
-        .max()
-        .unwrap_or(DEFAULT_WINDOW_MS);
+    let window_ms = stmt.from.iter().filter_map(|s| s.window_ms).max().unwrap_or(DEFAULT_WINDOW_MS);
 
     // Aggregation.
     let aggregate = stmt.items.iter().find_map(|item| match item {
@@ -287,10 +272,7 @@ pub fn plan_select(
     if let Some((func, column)) = aggregate {
         if stmt.items.len() > 1
             && !(stmt.items.len() == 2
-                && stmt
-                    .items
-                    .iter()
-                    .any(|i| matches!(i, SelectItem::Column(_))))
+                && stmt.items.iter().any(|i| matches!(i, SelectItem::Column(_))))
         {
             return Err(QueryError::new(
                 "aggregate queries support at most one aggregate plus the group column",
@@ -309,13 +291,8 @@ pub fn plan_select(
             }
             None => group.unwrap_or(0), // COUNT(*) counts any attribute
         };
-        plan = LogicalPlan::GroupBy {
-            input: Box::new(plan),
-            group,
-            agg: func,
-            agg_attr,
-            window_ms,
-        };
+        plan =
+            LogicalPlan::GroupBy { input: Box::new(plan), group, agg: func, agg_attr, window_ms };
         // The group-by node emits [group, aggregate]; project the SELECT
         // list's shape onto it (e.g. `SELECT COUNT(x)` must not leak the
         // grouping column, and `SELECT AVG(x), id` must keep that order).
@@ -387,9 +364,7 @@ pub fn plan_insert_sp(
     let def = catalog
         .stream(&stmt.stream)
         .ok_or_else(|| QueryError::new(format!("unknown stream {:?}", stmt.stream), 0))?;
-    let compile = |src: &str| {
-        Pattern::compile(src).map_err(|e| QueryError::new(e.to_string(), 0))
-    };
+    let compile = |src: &str| Pattern::compile(src).map_err(|e| QueryError::new(e.to_string(), 0));
     let sp = SecurityPunctuation {
         ddp: DataDescription {
             stream: compile(&stmt.ddp.0)?,
@@ -406,6 +381,8 @@ pub fn plan_insert_sp(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::parser::parse;
     use sp_core::{StreamId, ValueType};
@@ -428,10 +405,7 @@ mod tests {
         .unwrap();
         c.register_stream(
             StreamId(2),
-            Schema::of(
-                "Regions",
-                &[("obj_id", ValueType::Int), ("region", ValueType::Int)],
-            ),
+            Schema::of("Regions", &[("obj_id", ValueType::Int), ("region", ValueType::Int)]),
         )
         .unwrap();
         c
@@ -532,10 +506,13 @@ mod tests {
         assert_eq!(p.schema().arity(), 1);
 
         let c = catalog();
-        let stmt = match parse("SELECT obj_id, x FROM LocationUpdates UNION SELECT obj_id FROM Regions").unwrap() {
-            crate::ast::Statement::Select(s) => s,
-            _ => unreachable!(),
-        };
+        let stmt =
+            match parse("SELECT obj_id, x FROM LocationUpdates UNION SELECT obj_id FROM Regions")
+                .unwrap()
+            {
+                crate::ast::Statement::Select(s) => s,
+                _ => unreachable!(),
+            };
         let err = plan_select(&c, &stmt, &RoleSet::from([1])).unwrap_err();
         assert!(err.to_string().contains("arities"), "{err}");
     }
@@ -548,22 +525,26 @@ mod tests {
             _ => unreachable!(),
         };
         assert!(plan_select(&c, &parse_sel("SELECT * FROM Nope"), &RoleSet::new()).is_err());
+        assert!(plan_select(&c, &parse_sel("SELECT zzz FROM LocationUpdates"), &RoleSet::new())
+            .is_err());
         assert!(
-            plan_select(&c, &parse_sel("SELECT zzz FROM LocationUpdates"), &RoleSet::new())
-                .is_err()
+            plan_select(
+                &c,
+                &parse_sel("SELECT obj_id FROM LocationUpdates, Regions"),
+                &RoleSet::new()
+            )
+            .is_err(),
+            "ambiguous column and missing join predicate"
         );
-        assert!(plan_select(
-            &c,
-            &parse_sel("SELECT obj_id FROM LocationUpdates, Regions"),
-            &RoleSet::new()
-        )
-        .is_err(), "ambiguous column and missing join predicate");
-        assert!(plan_select(
-            &c,
-            &parse_sel("SELECT x FROM LocationUpdates AS a, Regions AS b WHERE a.x > 1"),
-            &RoleSet::new()
-        )
-        .is_err(), "join without equijoin predicate");
+        assert!(
+            plan_select(
+                &c,
+                &parse_sel("SELECT x FROM LocationUpdates AS a, Regions AS b WHERE a.x > 1"),
+                &RoleSet::new()
+            )
+            .is_err(),
+            "join without equijoin predicate"
+        );
     }
 
     #[test]

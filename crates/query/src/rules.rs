@@ -106,10 +106,7 @@ pub fn apply(rule: Rule, plan: &LogicalPlan) -> Option<LogicalPlan> {
                 return None;
             };
             Some(LogicalPlan::Select {
-                input: Box::new(LogicalPlan::Shield {
-                    input: inner.clone(),
-                    roles: roles.clone(),
-                }),
+                input: Box::new(LogicalPlan::Shield { input: inner.clone(), roles: roles.clone() }),
                 predicate: predicate.clone(),
             })
         }
@@ -132,10 +129,7 @@ pub fn apply(rule: Rule, plan: &LogicalPlan) -> Option<LogicalPlan> {
                 return None;
             };
             Some(LogicalPlan::Project {
-                input: Box::new(LogicalPlan::Shield {
-                    input: inner.clone(),
-                    roles: roles.clone(),
-                }),
+                input: Box::new(LogicalPlan::Shield { input: inner.clone(), roles: roles.clone() }),
                 indices: indices.clone(),
             })
         }
@@ -175,16 +169,12 @@ pub fn apply(rule: Rule, plan: &LogicalPlan) -> Option<LogicalPlan> {
         }
         Rule::PushShieldBelowGroupBy => {
             let LogicalPlan::Shield { input, roles } = plan else { return None };
-            let LogicalPlan::GroupBy { input: inner, group, agg, agg_attr, window_ms } =
-                &**input
+            let LogicalPlan::GroupBy { input: inner, group, agg, agg_attr, window_ms } = &**input
             else {
                 return None;
             };
             Some(LogicalPlan::GroupBy {
-                input: Box::new(LogicalPlan::Shield {
-                    input: inner.clone(),
-                    roles: roles.clone(),
-                }),
+                input: Box::new(LogicalPlan::Shield { input: inner.clone(), roles: roles.clone() }),
                 group: *group,
                 agg: *agg,
                 agg_attr: *agg_attr,
@@ -200,10 +190,7 @@ pub fn apply(rule: Rule, plan: &LogicalPlan) -> Option<LogicalPlan> {
                 return None; // commuting equal shields is a no-op
             }
             Some(LogicalPlan::Shield {
-                input: Box::new(LogicalPlan::Shield {
-                    input: inner.clone(),
-                    roles: p1.clone(),
-                }),
+                input: Box::new(LogicalPlan::Shield { input: inner.clone(), roles: p1.clone() }),
                 roles: p2.clone(),
             })
         }
@@ -233,9 +220,8 @@ pub fn apply(rule: Rule, plan: &LogicalPlan) -> Option<LogicalPlan> {
             };
             // Avoid re-firing forever: don't push if the inputs are already
             // shielded with this predicate.
-            let shielded = |p: &LogicalPlan| {
-                matches!(p, LogicalPlan::Shield { roles: r, .. } if r == roles)
-            };
+            let shielded =
+                |p: &LogicalPlan| matches!(p, LogicalPlan::Shield { roles: r, .. } if r == roles);
             if shielded(left) && shielded(right) {
                 return None;
             }
@@ -289,14 +275,8 @@ pub fn apply(rule: Rule, plan: &LogicalPlan) -> Option<LogicalPlan> {
             let LogicalPlan::Shield { input, roles } = plan else { return None };
             let LogicalPlan::Union { left, right } = &**input else { return None };
             Some(LogicalPlan::Union {
-                left: Box::new(LogicalPlan::Shield {
-                    input: left.clone(),
-                    roles: roles.clone(),
-                }),
-                right: Box::new(LogicalPlan::Shield {
-                    input: right.clone(),
-                    roles: roles.clone(),
-                }),
+                left: Box::new(LogicalPlan::Shield { input: left.clone(), roles: roles.clone() }),
+                right: Box::new(LogicalPlan::Shield { input: right.clone(), roles: roles.clone() }),
             })
         }
         Rule::PullShieldAboveUnion => {
@@ -320,9 +300,8 @@ pub fn apply(rule: Rule, plan: &LogicalPlan) -> Option<LogicalPlan> {
             let LogicalPlan::Intersect { left, right, window_ms } = &**input else {
                 return None;
             };
-            let shielded = |p: &LogicalPlan| {
-                matches!(p, LogicalPlan::Shield { roles: r, .. } if r == roles)
-            };
+            let shielded =
+                |p: &LogicalPlan| matches!(p, LogicalPlan::Shield { roles: r, .. } if r == roles);
             if shielded(left) && shielded(right) {
                 return None;
             }
@@ -342,8 +321,7 @@ pub fn apply(rule: Rule, plan: &LogicalPlan) -> Option<LogicalPlan> {
             })
         }
         Rule::CommuteJoin => {
-            let LogicalPlan::Join { left, right, left_key, right_key, window_ms, variant } =
-                plan
+            let LogicalPlan::Join { left, right, left_key, right_key, window_ms, variant } = plan
             else {
                 return None;
             };
@@ -469,6 +447,8 @@ pub fn merged_predicate(predicates: &[RoleSet]) -> RoleSet {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use sp_core::{Schema, StreamId, Value, ValueType};
     use sp_engine::{CmpOp, Expr, JoinVariant};
@@ -507,10 +487,8 @@ mod tests {
 
     #[test]
     fn shield_project_commute() {
-        let original = shield(
-            LogicalPlan::Project { input: Box::new(scan("s")), indices: vec![1] },
-            &[2],
-        );
+        let original =
+            shield(LogicalPlan::Project { input: Box::new(scan("s")), indices: vec![1] }, &[2]);
         let pushed = apply(Rule::PushShieldBelowProject, &original).unwrap();
         assert_eq!(pushed.op_name(), "project");
         let pulled = apply(Rule::PullShieldAboveProject, &pushed).unwrap();
@@ -595,10 +573,7 @@ mod tests {
     fn commute_join_restores_column_order() {
         let join = LogicalPlan::Join {
             left: Box::new(scan("l")),
-            right: Box::new(LogicalPlan::Project {
-                input: Box::new(scan("r")),
-                indices: vec![0],
-            }),
+            right: Box::new(LogicalPlan::Project { input: Box::new(scan("r")), indices: vec![0] }),
             left_key: 0,
             right_key: 0,
             window_ms: 100,
@@ -673,17 +648,12 @@ mod tests {
         let plan = shield(select(scan("s")), &[1]);
         let neighbours = all_rewrites(&plan);
         assert!(!neighbours.is_empty());
-        assert!(neighbours
-            .iter()
-            .any(|(r, _)| *r == Rule::PushShieldBelowSelect));
+        assert!(neighbours.iter().any(|(r, _)| *r == Rule::PushShieldBelowSelect));
     }
 
     #[test]
     fn merged_predicate_unions() {
-        let merged = merged_predicate(&[
-            [1u32].into(),
-            [2u32, 3].into(),
-        ]);
+        let merged = merged_predicate(&[[1u32].into(), [2u32, 3].into()]);
         assert_eq!(merged.len(), 3);
     }
 }

@@ -37,15 +37,12 @@ fn main() {
     // Continuous queries: the doctor watches raw heart rates; the ER and
     // the insurance company try to do the same; the doctor additionally
     // correlates heart rate with temperature via a windowed join.
-    let q_doctor = dsms
-        .submit("SELECT Patient_id, Beats_per_min FROM HeartRate", dr_lee)
-        .expect("query");
-    let q_er = dsms
-        .submit("SELECT Patient_id, Beats_per_min FROM HeartRate", er_desk)
-        .expect("query");
-    let q_insurance = dsms
-        .submit("SELECT Patient_id, Beats_per_min FROM HeartRate", actuary)
-        .expect("query");
+    let q_doctor =
+        dsms.submit("SELECT Patient_id, Beats_per_min FROM HeartRate", dr_lee).expect("query");
+    let q_er =
+        dsms.submit("SELECT Patient_id, Beats_per_min FROM HeartRate", er_desk).expect("query");
+    let q_insurance =
+        dsms.submit("SELECT Patient_id, Beats_per_min FROM HeartRate", actuary).expect("query");
     let q_join = dsms
         .submit(
             "SELECT h.Patient_id, h.Beats_per_min, t.Temperature \

@@ -14,9 +14,7 @@
 
 use std::sync::Arc;
 
-use sp_core::{
-    DataDescription, RoleSet, SecurityPunctuation, StreamElement, StreamId, Tuple,
-};
+use sp_core::{DataDescription, RoleSet, SecurityPunctuation, StreamElement, StreamId, Tuple};
 use sp_mog::{MovingObjectSim, RoadNetwork};
 use sp_pattern::Pattern;
 use sp_query::Dsms;
@@ -102,11 +100,7 @@ fn main() {
 
     let store_seen = running.results(q_store).tuple_count();
     let family_seen = running.results(q_family).tuple_count();
-    let opted_out_seen = running
-        .results(q_store)
-        .tuples()
-        .filter(|t| t.tid.raw() % 3 == 0)
-        .count();
+    let opted_out_seen = running.results(q_store).tuples().filter(|t| t.tid.raw() % 3 == 0).count();
 
     println!("---");
     println!("location updates in the store's region: {in_region_total}");

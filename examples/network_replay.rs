@@ -18,9 +18,7 @@
 use std::sync::Arc;
 
 use sp_core::{wire::Message, RoleSet, StreamElement, StreamId, Value};
-use sp_engine::{
-    run_parallel, CmpOp, Expr, PlanBuilder, SecurityShield, Select, SinkRef,
-};
+use sp_engine::{run_parallel, CmpOp, Expr, PlanBuilder, SecurityShield, Select, SinkRef};
 use sp_mog::{location_stream, WorkloadConfig};
 
 /// Tuples per network message (one device batch).
@@ -61,12 +59,9 @@ fn main() {
     let data_only: usize = messages
         .iter()
         .map(|m| {
-            Message::new(
-                m.stream,
-                m.elements.iter().filter(|e| e.is_tuple()).cloned().collect(),
-            )
-            .encode_to_vec()
-            .len()
+            Message::new(m.stream, m.elements.iter().filter(|e| e.is_tuple()).cloned().collect())
+                .encode_to_vec()
+                .len()
         })
         .sum();
     println!(

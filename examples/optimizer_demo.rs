@@ -50,10 +50,7 @@ fn main() {
 
     // The three placements of §IV-A.
     let post_filtering = shield(join(scan(1, "gps_a"), scan(2, "gps_b")), &roles);
-    let pre_filtering = join(
-        shield(scan(1, "gps_a"), &roles),
-        shield(scan(2, "gps_b"), &roles),
-    );
+    let pre_filtering = join(shield(scan(1, "gps_a"), &roles), shield(scan(2, "gps_b"), &roles));
 
     println!("== post-filtering plan (SS fixed at the top) ==");
     println!("{post_filtering}");
@@ -103,11 +100,7 @@ fn execute(plan: &LogicalPlan) -> Vec<String> {
         if ts % 10 == 0 {
             // Alternate segments between an authorized and an
             // unauthorized policy, on BOTH streams.
-            let roles = if ts % 20 == 0 {
-                RoleSet::from([1, 2])
-            } else {
-                RoleSet::from([3])
-            };
+            let roles = if ts % 20 == 0 { RoleSet::from([1, 2]) } else { RoleSet::from([3]) };
             for sid in [StreamId(1), StreamId(2)] {
                 exec.push(
                     sid,
@@ -115,7 +108,8 @@ fn execute(plan: &LogicalPlan) -> Vec<String> {
                         roles.clone(),
                         Timestamp(ts),
                     )),
-                ).unwrap();
+                )
+                .unwrap();
             }
         }
         exec.push(
@@ -126,7 +120,8 @@ fn execute(plan: &LogicalPlan) -> Vec<String> {
                 Timestamp(ts),
                 vec![Value::Int((ts % 7) as i64), Value::Int(ts as i64)],
             )),
-        ).unwrap();
+        )
+        .unwrap();
     }
 
     let mut out: Vec<String> = exec.sink(sink).tuples().map(|t| t.to_string()).collect();

@@ -18,11 +18,7 @@ fn main() {
         stream,
         Schema::of(
             "LocationUpdates",
-            &[
-                ("obj_id", ValueType::Int),
-                ("x", ValueType::Float),
-                ("y", ValueType::Float),
-            ],
+            &[("obj_id", ValueType::Int), ("x", ValueType::Float), ("y", ValueType::Float)],
         ),
     )
     .expect("stream registers");
@@ -33,12 +29,10 @@ fn main() {
 
     // 2. Each subject registers a continuous query; the query inherits the
     //    subject's roles (its "security predicate").
-    let q_family = dsms
-        .submit("SELECT obj_id, x, y FROM LocationUpdates", spouse)
-        .expect("query plans");
-    let q_store = dsms
-        .submit("SELECT obj_id, x, y FROM LocationUpdates", shop)
-        .expect("query plans");
+    let q_family =
+        dsms.submit("SELECT obj_id, x, y FROM LocationUpdates", spouse).expect("query plans");
+    let q_store =
+        dsms.submit("SELECT obj_id, x, y FROM LocationUpdates", shop).expect("query plans");
     println!("family query plan:\n{}", dsms.queries()[0].plan);
     println!("store query plan:\n{}", dsms.queries()[1].plan);
 
@@ -79,16 +73,8 @@ fn main() {
     running.push(stream, tuple(7, 12, 13.0, 21.0));
 
     // 4. Inspect what each query was allowed to see.
-    let family: Vec<String> = running
-        .results(q_family)
-        .tuples()
-        .map(|t| format!("{t}"))
-        .collect();
-    let store: Vec<String> = running
-        .results(q_store)
-        .tuples()
-        .map(|t| format!("{t}"))
-        .collect();
+    let family: Vec<String> = running.results(q_family).tuples().map(|t| format!("{t}")).collect();
+    let store: Vec<String> = running.results(q_store).tuples().map(|t| format!("{t}")).collect();
 
     println!("family sees {} updates:", family.len());
     for t in &family {

@@ -84,14 +84,9 @@ fn engine_fails_closed_across_60_seeded_scenarios() {
     let report = run_chaos(&input, 60, 0xDEC0_DE01, || {
         let mut b = PlanBuilder::new(catalog.clone());
         let src = b.source(StreamId(1), schema.clone());
-        b.harden_source(
-            src,
-            QuarantinePolicy { ttl_ms: TTL_MS, slack_ms: 400, capacity: 64 },
-        );
-        let sel = b.add(
-            Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Int(0)))),
-            src,
-        );
+        b.harden_source(src, QuarantinePolicy { ttl_ms: TTL_MS, slack_ms: 400, capacity: 64 });
+        let sel = b
+            .add(Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Int(0)))), src);
         let q0 = b.add(SecurityShield::new(RoleSet::from([0])), sel);
         let q3 = b.add(SecurityShield::new(RoleSet::from([3])), sel);
         let s0 = b.sink(q0);
@@ -112,11 +107,7 @@ fn scoped_workload() -> Vec<StreamElement> {
     for k in 0..SEGMENTS {
         let base = (k + 1) * SEGMENT_MS;
         // Roles alternate so faults flip real grant/deny decisions.
-        let roles: RoleSet = if k % 2 == 0 {
-            RoleSet::from([0, 1])
-        } else {
-            RoleSet::from([1, 2])
-        };
+        let roles: RoleSet = if k % 2 == 0 { RoleSet::from([0, 1]) } else { RoleSet::from([1, 2]) };
         out.push(StreamElement::punctuation(
             SecurityPunctuation::grant_all(roles, Timestamp(base))
                 .with_ddp(DataDescription::tuple_range(k * 100, k * 100 + 99)),
@@ -135,10 +126,8 @@ fn mechanism_chaos(make: &dyn Fn() -> Box<dyn EnforcementMechanism>) {
         elements.iter().map(|e| (StreamId(1), e.clone())).collect();
 
     let mut m = make();
-    let baseline: HashSet<String> = run_mechanism(m.as_mut(), elements)
-        .iter()
-        .map(|t| t.to_string())
-        .collect();
+    let baseline: HashSet<String> =
+        run_mechanism(m.as_mut(), elements).iter().map(|t| t.to_string()).collect();
     assert!(!baseline.is_empty(), "clean run must release something");
     assert!(m.denied() > 0, "clean run must deny something");
 
@@ -172,12 +161,7 @@ fn store_and_probe_fails_closed_under_chaos() {
     let catalog = catalog();
     let schema = schema();
     mechanism_chaos(&|| {
-        Box::new(StoreAndProbe::new(
-            catalog.clone(),
-            schema.clone(),
-            RoleSet::from([0]),
-            512,
-        ))
+        Box::new(StoreAndProbe::new(catalog.clone(), schema.clone(), RoleSet::from([0]), 512))
     });
 }
 
@@ -186,12 +170,7 @@ fn tuple_embedded_fails_closed_under_chaos() {
     let catalog = catalog();
     let schema = schema();
     mechanism_chaos(&|| {
-        Box::new(TupleEmbedded::new(
-            catalog.clone(),
-            schema.clone(),
-            RoleSet::from([0]),
-            512,
-        ))
+        Box::new(TupleEmbedded::new(catalog.clone(), schema.clone(), RoleSet::from([0]), 512))
     });
 }
 
@@ -200,11 +179,178 @@ fn sp_mechanism_fails_closed_under_chaos() {
     let catalog = catalog();
     let schema = schema();
     mechanism_chaos(&|| {
-        Box::new(SpMechanism::new(
-            catalog.clone(),
-            schema.clone(),
-            RoleSet::from([0]),
-            512,
-        ))
+        Box::new(SpMechanism::new(catalog.clone(), schema.clone(), RoleSet::from([0]), 512))
     });
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery chaos: kill the supervised pipeline at random epochs and
+// require recovery to uphold the same fail-closed contract.
+//
+// Two invariants per kill:
+//
+// 1. *recovery subset*: tuples released across the crash and restart are a
+//    subset of what the uninterrupted run released — recovery may lose
+//    tuples (counted in `recovery_dropped`) but never reveal one;
+// 2. *zero policy-state divergence*: once recovered to the end of the
+//    input, analyzer and operator snapshots are byte-identical to the
+//    uninterrupted run's (sinks excepted: their counters are per-life).
+// ---------------------------------------------------------------------------
+
+/// The supervised fig-7-style plan: hardened source, shared select, two
+/// shields. Must be deterministic — checkpoint sections are positional.
+fn supervised_builder() -> (PlanBuilder, Vec<sp_engine::SinkRef>) {
+    let mut b = PlanBuilder::new(catalog());
+    let src = b.source(StreamId(1), schema());
+    b.harden_source(src, QuarantinePolicy { ttl_ms: TTL_MS, slack_ms: 400, capacity: 64 });
+    let sel =
+        b.add(Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Int(0)))), src);
+    let q0 = b.add(SecurityShield::new(RoleSet::from([0])), sel);
+    let q3 = b.add(SecurityShield::new(RoleSet::from([3])), sel);
+    let s0 = b.sink(q0);
+    let s3 = b.sink(q3);
+    (b, vec![s0, s3])
+}
+
+/// Everything the plan's sinks released, tagged by sink so the subset
+/// check distinguishes the two queries.
+fn supervised_released(exec: &sp_engine::Executor) -> HashSet<String> {
+    let (_, sinks) = supervised_builder();
+    sinks
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| exec.sink(*s).tuples().map(move |t| format!("{i}:{}", t.tid.raw())))
+        .collect()
+}
+
+/// The uninterrupted run: its released set and final operator state.
+fn supervised_baseline(
+    input: &[(StreamId, StreamElement)],
+    cfg: &sp_engine::SupervisorConfig,
+) -> (HashSet<String>, sp_engine::Checkpoint) {
+    let mut store = sp_engine::MemStore::default();
+    let clean = sp_engine::run_supervised(
+        || supervised_builder().0,
+        input,
+        cfg,
+        &mut store,
+        &mut |_, _| false,
+    )
+    .expect("store never fails");
+    assert!(clean.completed(), "clean supervised run must complete");
+    let released = supervised_released(&clean.executor);
+    assert!(!released.is_empty(), "clean run must release something");
+    (released, clean.executor.checkpoint(0, 0))
+}
+
+#[test]
+fn recovery_upholds_subset_invariant_across_random_epoch_kills() {
+    let input = segmented_workload();
+    let cfg = sp_engine::SupervisorConfig { epoch_interval: 16, ..Default::default() };
+    let total_epochs = input.len() as u64 / cfg.epoch_interval;
+    assert!(total_epochs >= 20, "workload must span enough epochs to sample");
+    let (baseline, clean_final) = supervised_baseline(&input, &cfg);
+
+    // Seeded LCG choice of at least 20 distinct kill epochs.
+    let mut rng = 0x5EED_CAFE_u64;
+    let mut kill_epochs = std::collections::BTreeSet::new();
+    while kill_epochs.len() < 20 {
+        rng = rng.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        kill_epochs.insert(1 + (rng >> 33) % total_epochs);
+    }
+
+    for &ke in &kill_epochs {
+        let mut store = sp_engine::MemStore::default();
+        let mut killed = false;
+        let mut oracle = move |e: u64, _p: u64| {
+            if !killed && e == ke {
+                killed = true;
+                return true;
+            }
+            false
+        };
+        let run = sp_engine::run_supervised(
+            || supervised_builder().0,
+            &input,
+            &cfg,
+            &mut store,
+            &mut oracle,
+        )
+        .expect("store never fails");
+        assert!(run.completed(), "kill at epoch {ke}: recovery must complete");
+        assert_eq!(run.report.checkpoints_restored, 1, "kill at epoch {ke}");
+        assert!(run.report.epochs_replayed <= 1, "kill at epoch {ke}: replay stays bounded");
+
+        // 1. Recovery subset: nothing released that the clean run withheld.
+        let released = supervised_released(&run.executor);
+        let leaked: Vec<&String> = released.difference(&baseline).collect();
+        assert!(
+            leaked.is_empty(),
+            "kill at epoch {ke}: {} tuple(s) leaked that the clean run withheld, e.g. {:?}",
+            leaked.len(),
+            &leaked[..leaked.len().min(3)],
+        );
+
+        // 2. Zero policy-state divergence at the end of the input.
+        let fin = run.executor.checkpoint(0, 0);
+        assert_eq!(fin.analyzers, clean_final.analyzers, "kill at epoch {ke}: analyzer state");
+        assert_eq!(fin.nodes, clean_final.nodes, "kill at epoch {ke}: operator state");
+    }
+}
+
+/// Multiple kills per life, and a killer that outlasts the restart budget:
+/// even the terminal fail-closed exit must not leak.
+#[test]
+fn repeated_and_exhausting_kills_stay_fail_closed() {
+    let input = segmented_workload();
+    let cfg = sp_engine::SupervisorConfig { epoch_interval: 16, ..Default::default() };
+    let (baseline, clean_final) = supervised_baseline(&input, &cfg);
+
+    // Two kills in one supervised run, at epoch pairs spread over the input.
+    for (e1, e2) in [(1u64, 9u64), (3, 4), (7, 19), (12, 21)] {
+        let mut store = sp_engine::MemStore::default();
+        let (mut hit1, mut hit2) = (false, false);
+        let mut oracle = move |e: u64, _p: u64| {
+            if !hit1 && e == e1 {
+                hit1 = true;
+                return true;
+            }
+            if hit1 && !hit2 && e == e2 {
+                hit2 = true;
+                return true;
+            }
+            false
+        };
+        let run = sp_engine::run_supervised(
+            || supervised_builder().0,
+            &input,
+            &cfg,
+            &mut store,
+            &mut oracle,
+        )
+        .expect("store never fails");
+        assert!(run.completed(), "kills at epochs {e1},{e2}");
+        assert_eq!(run.report.restart_attempts, 2, "kills at epochs {e1},{e2}");
+        let released = supervised_released(&run.executor);
+        assert!(released.is_subset(&baseline), "kills at epochs {e1},{e2}: leak");
+        let fin = run.executor.checkpoint(0, 0);
+        assert_eq!(fin.analyzers, clean_final.analyzers, "kills at epochs {e1},{e2}");
+        assert_eq!(fin.nodes, clean_final.nodes, "kills at epochs {e1},{e2}");
+    }
+
+    // A crash the supervisor can never get past: terminal fail-closed.
+    let mut store = sp_engine::MemStore::default();
+    let cfg = sp_engine::SupervisorConfig { max_restarts: 3, ..cfg };
+    let run = sp_engine::run_supervised(
+        || supervised_builder().0,
+        &input,
+        &cfg,
+        &mut store,
+        &mut |_, p| p == 100,
+    )
+    .expect("store never fails");
+    assert!(!run.completed(), "persistent killer must exhaust the budget");
+    assert!(run.report.recovery_dropped > 0, "rest of the input refused");
+    let released = supervised_released(&run.executor);
+    assert!(released.is_subset(&baseline), "terminal fail-closed exit leaked");
 }

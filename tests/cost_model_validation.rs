@@ -8,8 +8,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sp_core::{
-    RoleCatalog, RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement, StreamId,
-    Timestamp, Tuple, TupleId, Value, ValueType,
+    RoleCatalog, RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement, StreamId, Timestamp,
+    Tuple, TupleId, Value, ValueType,
 };
 use sp_engine::{JoinVariant, PlanBuilder};
 use sp_query::{instantiate, CostModel, LogicalPlan};
@@ -59,18 +59,15 @@ fn measure(plan: &LogicalPlan) -> Duration {
             if ts % 20 == 0 {
                 // Only one segment in five carries the probe role: the
                 // shield is selective, so pre-filtering pays off.
-                let roles: RoleSet = if ts % 100 == 0 {
-                    [1u32].into()
-                } else {
-                    [5u32].into()
-                };
+                let roles: RoleSet = if ts % 100 == 0 { [1u32].into() } else { [5u32].into() };
                 exec.push(
                     stream,
                     StreamElement::punctuation(SecurityPunctuation::grant_all(
                         roles,
                         Timestamp(ts),
                     )),
-                ).unwrap();
+                )
+                .unwrap();
             }
             let id = (ts % 40) as i64;
             exec.push(
@@ -81,7 +78,8 @@ fn measure(plan: &LogicalPlan) -> Duration {
                     Timestamp(ts),
                     vec![Value::Int(id), Value::Int((ts % 10) as i64)],
                 )),
-            ).unwrap();
+            )
+            .unwrap();
         }
         best = best.min(start.elapsed());
     }
@@ -91,10 +89,7 @@ fn measure(plan: &LogicalPlan) -> Duration {
 #[test]
 fn model_predicts_shield_placement_ordering_around_joins() {
     let post = shield(join(scan(1, "a"), scan(2, "b")), &[1]);
-    let pre = shield(
-        join(shield(scan(1, "a"), &[1]), shield(scan(2, "b"), &[1])),
-        &[1],
-    );
+    let pre = shield(join(shield(scan(1, "a"), &[1]), shield(scan(2, "b"), &[1])), &[1]);
 
     let model = CostModel::default();
     let predicted_post = model.cost(&post).cost;

@@ -5,12 +5,8 @@
 
 use std::sync::Arc;
 
-use sp_core::{
-    Policy, RoleSet, Schema, StreamElement, StreamId, Timestamp, Tuple, TupleId, Value,
-};
-use sp_mog::health::{
-    body_temperature_schema, heart_rate_schema, streams, HOSPITAL_ROLES,
-};
+use sp_core::{Policy, RoleSet, Schema, StreamElement, StreamId, Timestamp, Tuple, TupleId, Value};
+use sp_mog::health::{body_temperature_schema, heart_rate_schema, streams, HOSPITAL_ROLES};
 use sp_query::Dsms;
 
 fn hospital_dsms() -> Dsms {
@@ -151,10 +147,7 @@ fn server_policy_and_immutability() {
         // Build by hand to install the server policy on the source.
         let mut builder = sp_engine::PlanBuilder::new(Arc::new(dsms.catalog.roles.clone()));
         let src = builder.source(streams::HEART_RATE, heart_rate_schema());
-        builder.set_server_policy(
-            src,
-            Some(Policy::tuple_level(doctor_only, Timestamp(0))),
-        );
+        builder.set_server_policy(src, Some(Policy::tuple_level(doctor_only, Timestamp(0))));
         let roles = dsms.queries()[0].roles.clone();
         let ss = builder.add(sp_engine::SecurityShield::new(roles), src);
         let sink = builder.sink(ss);
@@ -239,11 +232,8 @@ fn cql_aggregate_respects_subgroups() {
     }
     // The latest visible count for patient 120 is 3 (a lone aggregate
     // projects away the grouping column).
-    let counts: Vec<i64> = running
-        .results(q)
-        .tuples()
-        .map(|t| t.value(0).unwrap().as_i64().unwrap())
-        .collect();
+    let counts: Vec<i64> =
+        running.results(q).tuples().map(|t| t.value(0).unwrap().as_i64().unwrap()).collect();
     assert_eq!(counts, vec![1, 2, 3]);
 
     // Under a policy invisible to the doctor, the count restarts fresh —
@@ -256,11 +246,8 @@ fn cql_aggregate_respects_subgroups() {
         .unwrap();
     running.push(sid2, StreamElement::punctuation(sp2));
     running.push(streams::HEART_RATE, hr_tuple(120, 11, 99));
-    let after: Vec<i64> = running
-        .results(q)
-        .tuples()
-        .map(|t| t.value(0).unwrap().as_i64().unwrap())
-        .collect();
+    let after: Vec<i64> =
+        running.results(q).tuples().map(|t| t.value(0).unwrap().as_i64().unwrap()).collect();
     assert_eq!(after, vec![1, 2, 3], "unauthorized tuple contributed nothing");
 }
 
@@ -325,8 +312,7 @@ fn dynamic_policy_changes_are_immediate() {
 fn out_of_order_ingestion_with_reorder_buffer() {
     use sp_engine::ReorderBuffer;
 
-    let schema: Arc<Schema> =
-        Schema::of("s", &[("id", sp_core::ValueType::Int)]);
+    let schema: Arc<Schema> = Schema::of("s", &[("id", sp_core::ValueType::Int)]);
     let build = || {
         let mut catalog = sp_core::RoleCatalog::new();
         catalog.register_synthetic_roles(4);
@@ -351,16 +337,8 @@ fn out_of_order_ingestion_with_reorder_buffer() {
             vec![Value::Int(ts as i64)],
         ))
     };
-    let ordered = vec![
-        sp(1, &[1]),
-        tup(2),
-        tup(3),
-        sp(10, &[2]),
-        tup(11),
-        sp(20, &[1]),
-        tup(21),
-        tup(22),
-    ];
+    let ordered =
+        vec![sp(1, &[1]), tup(2), tup(3), sp(10, &[2]), tup(11), sp(20, &[1]), tup(21), tup(22)];
     // Locally disordered arrival of the same elements.
     let disordered = vec![
         ordered[1].clone(),
@@ -499,9 +477,7 @@ fn attribute_granularity_masks_through_cql() {
             dsms.granularity = sp_engine::Granularity::Attribute;
         }
         let nurse = dsms.register_subject("n", &["nurse_on_duty"]).unwrap();
-        let q = dsms
-            .submit("SELECT Patient_id, Beats_per_min FROM HeartRate", nurse)
-            .unwrap();
+        let q = dsms.submit("SELECT Patient_id, Beats_per_min FROM HeartRate", nurse).unwrap();
         // Attribute-level sp: nurses may read ONLY the heart beat.
         let (sid, sp) = dsms
             .insert_sp(
@@ -517,10 +493,7 @@ fn attribute_granularity_masks_through_cql() {
         if attribute_mode {
             let released: Vec<_> = running.results(q).tuples().collect();
             assert_eq!(released.len(), 1, "attribute grant admits the tuple");
-            assert!(
-                released[0].value(0).unwrap().is_null(),
-                "Patient_id masked for the nurse"
-            );
+            assert!(released[0].value(0).unwrap().is_null(), "Patient_id masked for the nurse");
             assert_eq!(released[0].value(1), Some(&Value::Int(72)));
         } else {
             assert_eq!(

@@ -9,8 +9,8 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sp_core::{
-    RoleCatalog, RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement, StreamId,
-    Timestamp, Tuple, TupleId, Value, ValueType,
+    RoleCatalog, RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement, StreamId, Timestamp,
+    Tuple, TupleId, Value, ValueType,
 };
 use sp_engine::{AggFunc, CmpOp, Expr, JoinVariant, PlanBuilder};
 use sp_query::{all_rewrites, instantiate, LogicalPlan};
@@ -38,13 +38,13 @@ fn execute(plan: &LogicalPlan, seed: u64) -> Vec<String> {
     for ts in 1..=240u64 {
         let stream = StreamId(1 + (ts % 2) as u32);
         if rng.gen_bool(0.25) {
-            let roles: RoleSet = (0..rng.gen_range(0..3))
-                .map(|_| RoleId(rng.gen_range(0..5)))
-                .collect();
+            let roles: RoleSet =
+                (0..rng.gen_range(0..3)).map(|_| RoleId(rng.gen_range(0..5))).collect();
             exec.push(
                 stream,
                 StreamElement::punctuation(SecurityPunctuation::grant_all(roles, Timestamp(ts))),
-            ).unwrap();
+            )
+            .unwrap();
         }
         let id = rng.gen_range(0..6i64);
         exec.push(
@@ -55,16 +55,14 @@ fn execute(plan: &LogicalPlan, seed: u64) -> Vec<String> {
                 Timestamp(ts),
                 vec![Value::Int(id), Value::Int(rng.gen_range(0..10))],
             )),
-        ).unwrap();
+        )
+        .unwrap();
     }
     // Canonical rendering: values + timestamp. The join's carried sid/tid
     // come from its left base tuple and legitimately swap under join
     // commutation; they are bookkeeping, not data.
-    let mut out: Vec<String> = exec
-        .sink(sink)
-        .tuples()
-        .map(|t| format!("{:?}@{}", t.values(), t.ts))
-        .collect();
+    let mut out: Vec<String> =
+        exec.sink(sink).tuples().map(|t| format!("{:?}@{}", t.values(), t.ts)).collect();
     out.sort();
     out
 }
@@ -146,12 +144,9 @@ fn shield_groupby_commute_preserves_visibility() {
         agg_attr: 1,
         window_ms: 100_000,
     };
-    let above = LogicalPlan::Shield {
-        input: Box::new(base.clone()),
-        roles: RoleSet::from([1]),
-    };
-    let below = sp_query::apply(sp_query::Rule::PushShieldBelowGroupBy, &above)
-        .expect("rule fires");
+    let above = LogicalPlan::Shield { input: Box::new(base.clone()), roles: RoleSet::from([1]) };
+    let below =
+        sp_query::apply(sp_query::Rule::PushShieldBelowGroupBy, &above).expect("rule fires");
     for seed in [1u64, 7, 42] {
         let a = execute(&above, seed);
         let b = execute(&below, seed);
@@ -217,8 +212,7 @@ fn sajoin_variants_agree_at_scale() {
         // Reuse the harness workload so σ_sp actually varies policies.
         let workload = sp_bench_workload(sigma);
         let mut outs = Vec::new();
-        for variant in [JoinVariant::NestedLoopPF, JoinVariant::NestedLoopFP, JoinVariant::Index]
-        {
+        for variant in [JoinVariant::NestedLoopPF, JoinVariant::NestedLoopFP, JoinVariant::Index] {
             let plan = mk(variant);
             let mut catalog = RoleCatalog::new();
             catalog.register_synthetic_roles(128);
@@ -230,11 +224,8 @@ fn sajoin_variants_agree_at_scale() {
             for (port, elem) in &workload {
                 exec.push(StreamId(1 + *port as u32), elem.clone()).unwrap();
             }
-            let mut got: Vec<String> = exec
-                .sink(sink)
-                .tuples()
-                .map(|t| format!("{:?}@{}", t.values(), t.ts))
-                .collect();
+            let mut got: Vec<String> =
+                exec.sink(sink).tuples().map(|t| format!("{:?}@{}", t.values(), t.ts)).collect();
             got.sort();
             outs.push(got);
         }

@@ -198,9 +198,6 @@ fn scoped_negative_and_override_sequence() {
     let expected = reference_released(&segments, &query);
     assert_eq!(expected, vec![2, 15]);
     let mut mech = SpMechanism::new(catalog(), schema(), query, 64);
-    let got: Vec<u64> = run_mechanism(&mut mech, elements)
-        .iter()
-        .map(|t| t.tid.raw())
-        .collect();
+    let got: Vec<u64> = run_mechanism(&mut mech, elements).iter().map(|t| t.tid.raw()).collect();
     assert_eq!(got, expected);
 }

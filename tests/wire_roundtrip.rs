@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use sp_core::{
-    wire::Message, DataDescription, RoleId, RoleSet, SecurityPunctuation, StreamElement,
-    StreamId, Timestamp, Tuple, TupleId, Value,
+    wire::Message, DataDescription, RoleId, RoleSet, SecurityPunctuation, StreamElement, StreamId,
+    Timestamp, Tuple, TupleId, Value,
 };
 use sp_pattern::Pattern;
 
@@ -23,15 +23,9 @@ fn arb_value() -> impl Strategy<Value = Value> {
 }
 
 fn arb_tuple() -> impl Strategy<Value = Tuple> {
-    (
-        any::<u32>(),
-        any::<u64>(),
-        any::<u64>(),
-        prop::collection::vec(arb_value(), 0..6),
+    (any::<u32>(), any::<u64>(), any::<u64>(), prop::collection::vec(arb_value(), 0..6)).prop_map(
+        |(sid, tid, ts, values)| Tuple::new(StreamId(sid), TupleId(tid), Timestamp(ts), values),
     )
-        .prop_map(|(sid, tid, ts, values)| {
-            Tuple::new(StreamId(sid), TupleId(tid), Timestamp(ts), values)
-        })
 }
 
 fn arb_sp() -> impl Strategy<Value = SecurityPunctuation> {
