@@ -1,0 +1,233 @@
+//! Figure 10 (substrate extension, §VIII outlook): security-aware
+//! overload management under sustained offered load.
+//!
+//! Sweeps offered load at 1×, 2× and 4× of the shedder's drain capacity
+//! (stream-time arrival compression via the workload's burst shaping) and
+//! reports, per load level:
+//!
+//! * **throughput** — tuples the plan processed per wall-clock second;
+//! * **shed ratio** — fraction of offered tuples the semantic load
+//!   shedder discarded (sps are control traffic and are never shed);
+//! * **p99 enqueue latency** — 99th-percentile wall time of a single
+//!   `push` into the plan;
+//! * the **admission controller's** rejections at the ingestion boundary
+//!   and the **degradation ladder's** peak rung / transition counts.
+//!
+//! Results go to stdout, `target/bench-results.jsonl` (per-metric rows)
+//! and `target/BENCH_overload.json` (one machine-readable document).
+//!
+//! Usage: `cargo run --release -p sp-bench --bin fig10`
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use sp_bench::{log_rows, print_table, warn_if_debug, Row};
+use sp_core::{RoleSet, StreamElement};
+use sp_engine::{
+    AdmissionConfig, AdmissionController, DegradationStats, PlanBuilder, QuarantinePolicy,
+    SecurityShield, ShedPolicy, Shedder, ShedderConfig, WatermarkConfig,
+};
+use sp_mog::{location_stream, BurstConfig, WorkloadConfig};
+
+/// Virtual-queue drain rate of the shedder under test.
+const DRAIN_PER_MS: u64 = 2;
+/// (arrival amplitude in tuples per stream-ms, label) — relative to
+/// `DRAIN_PER_MS` these are 1×, 2× and 4× offered load.
+const LOADS: [(u64, &str); 3] = [(2, "1x"), (4, "2x"), (8, "4x")];
+/// Admission budget: 4 tuples per stream-ms with a burst allowance, so
+/// the 4× load is the first to overrun the ingestion boundary.
+const ADMIT_TOKENS_PER_SEC: u64 = 4_000;
+
+struct LoadResult {
+    label: &'static str,
+    amplitude: u64,
+    offered: u64,
+    released: u64,
+    admission_rejected: u64,
+    throughput_ktps: f64,
+    p99_enqueue_us: f64,
+    deg: DegradationStats,
+}
+
+impl LoadResult {
+    fn shed_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.deg.shed_tuples as f64 / self.offered as f64
+        }
+    }
+}
+
+fn workload(amplitude: u64) -> sp_mog::Workload {
+    location_stream(&WorkloadConfig {
+        objects: 40,
+        ticks: 60,
+        sp_every: 20,
+        policy_roles: 3,
+        role_universe: 64,
+        grant_selectivity: 1.0,
+        scoped_sps: false,
+        tick_ms: 100,
+        // Permanently ON: a *sustained* offered load, not an episode.
+        burst: Some(BurstConfig { on_ticks: 1, off_ticks: 0, amplitude }),
+        seed: 0x10AD,
+    })
+}
+
+fn shed_cfg() -> ShedderConfig {
+    ShedderConfig {
+        capacity: 96,
+        drain_per_ms: DRAIN_PER_MS,
+        watermarks: WatermarkConfig::default(),
+        policy: ShedPolicy::RandomP { p: 0.5, seed: 0x000F_1610 },
+    }
+}
+
+fn run_load(amplitude: u64, label: &'static str) -> LoadResult {
+    let w = workload(amplitude);
+    let catalog = {
+        let mut c = sp_core::RoleCatalog::new();
+        c.register_synthetic_roles(128);
+        std::sync::Arc::new(c)
+    };
+    let mut b = PlanBuilder::new(catalog);
+    let src = b.source(w.stream, w.schema.clone());
+    b.harden_source(src, QuarantinePolicy { ttl_ms: 500, slack_ms: 400, capacity: 1_024 });
+    let sh = b.add(Shedder::new(shed_cfg()), src);
+    let q = b.add(SecurityShield::new(RoleSet::from([0])), sh);
+    let sink = b.sink(q);
+    let mut exec = b.build();
+
+    let mut admission = AdmissionController::new(AdmissionConfig {
+        tokens_per_sec: ADMIT_TOKENS_PER_SEC,
+        burst: 64,
+        enqueue_deadline_ms: 10,
+    });
+
+    let mut push_ns: Vec<u64> = Vec::with_capacity(w.elements.len());
+    let start = Instant::now();
+    for e in &w.elements {
+        let is_tuple = matches!(e, StreamElement::Tuple(_));
+        if admission.admit(w.stream, is_tuple, e.ts()).is_err() {
+            continue; // refused at the boundary, never enqueued
+        }
+        let t0 = Instant::now();
+        let _ = exec.push(w.stream, e.clone());
+        push_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    let _ = exec.finish();
+    let elapsed = start.elapsed();
+
+    push_ns.sort_unstable();
+    let p99 = push_ns.get((push_ns.len().saturating_sub(1)) * 99 / 100).copied().unwrap_or(0)
+        as f64
+        / 1_000.0;
+
+    let mut deg = exec.degradation();
+    deg.absorb(&admission.degradation());
+    LoadResult {
+        label,
+        amplitude,
+        offered: w.tuples as u64,
+        released: exec.sink(sink).tuple_count() as u64,
+        admission_rejected: admission.rejected(),
+        throughput_ktps: w.tuples as f64 / elapsed.as_secs_f64().max(1e-9) / 1_000.0,
+        p99_enqueue_us: p99,
+        deg,
+    }
+}
+
+/// Renders the whole sweep as one JSON document (hand-rolled: flat
+/// numeric fields only, no escaping needed beyond the fixed labels).
+fn to_json(results: &[LoadResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"fig10_overload\",\n");
+    out.push_str(&format!("  \"drain_per_ms\": {DRAIN_PER_MS},\n"));
+    out.push_str("  \"loads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"offered\": \"{}\", \"amplitude\": {}, \"tuples\": {}, ",
+                "\"released\": {}, \"shed_tuples\": {}, \"shed_critical\": {}, ",
+                "\"shed_ratio\": {:.4}, \"admission_rejected\": {}, ",
+                "\"throughput_ktuples_per_s\": {:.2}, \"p99_enqueue_us\": {:.2}, ",
+                "\"overload_peak\": {}, \"ladder_escalations\": {}, ",
+                "\"ladder_recoveries\": {}}}{}\n"
+            ),
+            r.label,
+            r.amplitude,
+            r.offered,
+            r.released,
+            r.deg.shed_tuples,
+            r.deg.shed_critical,
+            r.shed_ratio(),
+            r.admission_rejected,
+            r.throughput_ktps,
+            r.p99_enqueue_us,
+            r.deg.overload_peak,
+            r.deg.ladder_escalations,
+            r.deg.ladder_recoveries,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    warn_if_debug();
+    let results: Vec<LoadResult> = LOADS.iter().map(|&(amp, label)| run_load(amp, label)).collect();
+
+    let header =
+        ["load", "throughput kt/s", "shed ratio", "p99 push µs", "admit rejected", "peak rung"];
+    let table: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                format!("{:.1}", r.throughput_ktps),
+                format!("{:.3}", r.shed_ratio()),
+                format!("{:.2}", r.p99_enqueue_us),
+                r.admission_rejected.to_string(),
+                r.deg.overload_peak.to_string(),
+            ]
+        })
+        .collect();
+    print_table("Fig 10: overload management vs offered load (×drain capacity)", &header, &table);
+
+    println!("\nFig 10r: per-load degradation (fail-closed loss accounting)");
+    for r in &results {
+        println!("  [{}] released {} of {} tuples", r.label, r.released, r.offered);
+        println!("  [{}] {}", r.label, r.deg);
+    }
+
+    let mut rows = Vec::new();
+    for r in &results {
+        let mk = |metric: &'static str, measured: f64| Row {
+            experiment: "fig10",
+            param: "offered_load",
+            value: r.label.to_string(),
+            series: "sp-overload".into(),
+            metric,
+            measured,
+        };
+        rows.push(mk("throughput_ktuples_per_s", r.throughput_ktps));
+        rows.push(mk("shed_ratio", r.shed_ratio()));
+        rows.push(mk("p99_enqueue_us", r.p99_enqueue_us));
+        rows.push(mk("admission_rejected", r.admission_rejected as f64));
+        rows.push(mk("overload_peak", r.deg.overload_peak as f64));
+        rows.push(mk("ladder_escalations", r.deg.ladder_escalations as f64));
+        rows.push(mk("ladder_recoveries", r.deg.ladder_recoveries as f64));
+    }
+    log_rows(&rows);
+
+    let json = to_json(&results);
+    if std::fs::create_dir_all("target").is_ok() {
+        if let Ok(mut f) = std::fs::File::create("target/BENCH_overload.json") {
+            let _ = f.write_all(json.as_bytes());
+            println!("\nwrote target/BENCH_overload.json");
+        }
+    }
+}

@@ -255,6 +255,12 @@ fn recovery_report() {
         row("epochs_replayed", deg.epochs_replayed as f64),
         row("recovery_dropped", deg.recovery_dropped as f64),
         row("restart_attempts", deg.restart_attempts as f64),
+        // Overload counters ride along so the report shape matches the
+        // fig10 sweep; this plan has no shedder or admission control, so
+        // nonzero values here would flag a regression.
+        row("shed_tuples", deg.shed_tuples as f64),
+        row("admission_rejected", deg.admission_rejected as f64),
+        row("overload_peak", deg.overload_peak as f64),
     ]);
 }
 

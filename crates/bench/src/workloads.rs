@@ -25,6 +25,7 @@ pub fn fig7_workload(sp_every: usize, policy_roles: u32, selectivity: f64, seed:
         grant_selectivity: selectivity,
         scoped_sps: true,
         tick_ms: 50,
+        burst: None,
         seed,
     })
 }
@@ -41,6 +42,7 @@ pub fn fig8_workload(sp_every: usize, seed: u64) -> Workload {
         grant_selectivity: 0.5,
         scoped_sps: false,
         tick_ms: 50,
+        burst: None,
         seed,
     })
 }

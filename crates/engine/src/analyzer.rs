@@ -307,6 +307,38 @@ impl SpAnalyzer {
         }
     }
 
+    /// Canonical encoding of the analyzer's **policy table** alone — the
+    /// pending sp-batch, the last emitted segment policy, and the
+    /// governing policy timestamp — excluding every tuple-dependent
+    /// field (stream clock, quarantine contents, degradation counters).
+    ///
+    /// This is the overload suite's leak-detection probe: load shedding
+    /// and admission control may refuse *data tuples*, but must never
+    /// shed, delay, or reorder security punctuations, so this encoding
+    /// must be byte-identical between an overloaded run and an unloaded
+    /// run over the same input. Comparing only policy state (rather than
+    /// the full [`SpAnalyzer::snapshot`]) keeps the check valid even for
+    /// admission-controlled runs, where fewer tuples reaching the
+    /// analyzer legitimately changes the clock and quarantine.
+    #[must_use]
+    pub fn policy_table_bytes(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut buf = Vec::new();
+        buf.put_u32(self.batch.len() as u32);
+        for sp in &self.batch {
+            sp.encode(&mut buf);
+        }
+        crate::checkpoint::encode_opt_segment(self.last_emitted.as_ref(), &mut buf);
+        match self.current_ts {
+            Some(ts) => {
+                buf.put_u8(1);
+                buf.put_u64(ts.0);
+            }
+            None => buf.put_u8(0),
+        }
+        buf
+    }
+
     /// Serializes the analyzer's dynamic state: the pending sp-batch, the
     /// last emitted segment policy (the similar-policy-combining cache and
     /// incremental-mode base), the governing policy timestamp, the stream

@@ -65,6 +65,17 @@ pub enum EngineError {
         /// failure.
         refused: u64,
     },
+    /// The ingestion boundary refused an element because the session is
+    /// over its admitted rate (token bucket empty beyond the enqueue
+    /// deadline). Unlike the other variants this is *not* a pipeline
+    /// death: the element was never enqueued and the caller should retry
+    /// after the indicated delay. Security punctuations are never refused
+    /// this way — only data tuples pay admission tokens.
+    Overloaded {
+        /// Milliseconds (stream time) until a token accrues and a retry
+        /// can succeed.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -94,6 +105,9 @@ impl fmt::Display for EngineError {
                 "recovery exhausted after {attempts} restart attempt(s); \
                  {refused} element(s) refused fail-closed"
             ),
+            Self::Overloaded { retry_after_ms } => {
+                write!(f, "session overloaded; retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -132,6 +146,8 @@ mod tests {
         assert!(e.to_string().contains("port 3"));
         let e = EngineError::ShutdownTimeout { pending_workers: 2 };
         assert!(e.to_string().contains("2 worker"));
+        let e = EngineError::Overloaded { retry_after_ms: 40 };
+        assert!(e.to_string().contains("retry after 40 ms"));
     }
 
     #[test]

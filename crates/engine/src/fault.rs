@@ -31,18 +31,20 @@ use crate::ops::sink::Sink;
 use crate::plan::{PlanBuilder, SinkRef};
 
 /// Minimal deterministic RNG (splitmix64): one `u64` of state, full
-/// 64-bit output, good enough for fault placement.
+/// 64-bit output, good enough for fault placement. Shared with the
+/// overload module (shedding-decision randomness) so the engine crate
+/// still takes no RNG dependency.
 #[derive(Debug, Clone)]
-struct SplitMix64 {
-    state: u64,
+pub(crate) struct SplitMix64 {
+    pub(crate) state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Self { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -51,16 +53,16 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[0, 1)`.
-    fn next_f64(&mut self) -> f64 {
+    pub(crate) fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    fn chance(&mut self, p: f64) -> bool {
+    pub(crate) fn chance(&mut self, p: f64) -> bool {
         p > 0.0 && self.next_f64() < p
     }
 
     /// Uniform in `[1, n]` (n >= 1).
-    fn up_to(&mut self, n: usize) -> usize {
+    pub(crate) fn up_to(&mut self, n: usize) -> usize {
         1 + (self.next_u64() as usize) % n.max(1)
     }
 }
@@ -94,6 +96,21 @@ pub struct FaultPlan {
     /// Per-byte corruption probability for [`FaultInjector::corrupt`]
     /// (wire-level tests).
     pub corrupt_byte: f64,
+    /// Probability an arrival **burst** starts at a tuple: the window of
+    /// up to `burst_len` following tuples is replayed adjacently (a flood
+    /// of duplicates in one arrival instant — what a retrying upstream or
+    /// a drained network buffer produces). Overload tests drive shedders
+    /// with this.
+    pub burst: f64,
+    /// Maximum burst window (in elements).
+    pub burst_len: usize,
+    /// Probability a **stall** starts at an element: a block of up to
+    /// `stall_len` elements is held back and delivered en bloc after the
+    /// elements that followed it (a paused-then-flushed connection).
+    /// Relative order inside the block is preserved.
+    pub stall: f64,
+    /// Maximum stalled-block length (in elements).
+    pub stall_len: usize,
 }
 
 impl FaultPlan {
@@ -111,6 +128,10 @@ impl FaultPlan {
             reorder: 0.0,
             reorder_window: 0,
             corrupt_byte: 0.0,
+            burst: 0.0,
+            burst_len: 0,
+            stall: 0.0,
+            stall_len: 0,
         }
     }
 
@@ -131,6 +152,10 @@ impl FaultPlan {
             reorder: rng.next_f64() * 0.3,
             reorder_window: rng.up_to(4),
             corrupt_byte: rng.next_f64() * 0.02,
+            burst: rng.next_f64() * 0.05,
+            burst_len: rng.up_to(8),
+            stall: rng.next_f64() * 0.05,
+            stall_len: rng.up_to(6),
         }
     }
 }
@@ -152,6 +177,12 @@ pub struct FaultStats {
     pub reordered: u64,
     /// Bytes corrupted by [`FaultInjector::corrupt`].
     pub corrupted_bytes: u64,
+    /// Arrival bursts injected.
+    pub bursts: u64,
+    /// Extra tuple arrivals the bursts produced.
+    pub burst_tuples: u64,
+    /// Stalled-and-flushed blocks injected.
+    pub stalls: u64,
 }
 
 impl FaultStats {
@@ -165,6 +196,8 @@ impl FaultStats {
             + self.delayed_sps
             + self.reordered
             + self.corrupted_bytes
+            + self.bursts
+            + self.stalls
     }
 
     /// Accumulates another stats block into this one.
@@ -176,6 +209,9 @@ impl FaultStats {
         self.delayed_sps += other.delayed_sps;
         self.reordered += other.reordered;
         self.corrupted_bytes += other.corrupted_bytes;
+        self.bursts += other.bursts;
+        self.burst_tuples += other.burst_tuples;
+        self.stalls += other.stalls;
     }
 }
 
@@ -237,7 +273,67 @@ impl FaultInjector {
         self.stats.delayed_sps += delayed;
         let reordered = self.displace(&mut out, self.plan.reorder, self.plan.reorder_window, false);
         self.stats.reordered += reordered;
+        self.inject_bursts(&mut out);
+        self.inject_stalls(&mut out);
         out
+    }
+
+    /// Injects arrival bursts: with probability `burst` at each tuple, the
+    /// tuples of the following window are replayed adjacently after it —
+    /// the arrival-rate spike a retrying upstream produces. Only tuples
+    /// are replayed (replaying an sp would merely duplicate policy state;
+    /// the flood that matters for overload is data).
+    fn inject_bursts(&mut self, out: &mut Vec<(StreamId, StreamElement)>) {
+        if self.plan.burst <= 0.0 || self.plan.burst_len == 0 {
+            return;
+        }
+        let mut i = 0;
+        while i < out.len() {
+            let is_tuple = matches!(out[i].1, StreamElement::Tuple(_));
+            if is_tuple && self.rng.chance(self.plan.burst) {
+                let w = self.rng.up_to(self.plan.burst_len);
+                let end = (i + w).min(out.len());
+                let copies: Vec<(StreamId, StreamElement)> = out[i..end]
+                    .iter()
+                    .filter(|(_, e)| matches!(e, StreamElement::Tuple(_)))
+                    .cloned()
+                    .collect();
+                self.stats.bursts += 1;
+                self.stats.burst_tuples += copies.len() as u64;
+                let inserted = copies.len();
+                out.splice(end..end, copies);
+                // Skip past the inserted copies so one trigger cannot
+                // cascade into an unbounded avalanche.
+                i = end + inserted;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Injects stalls: with probability `stall` at each element, a block
+    /// of up to `stall_len` elements is held back and delivered after the
+    /// elements that followed it (order inside the block preserved) — a
+    /// paused connection flushing its buffer late.
+    fn inject_stalls(&mut self, out: &mut [(StreamId, StreamElement)]) {
+        if self.plan.stall <= 0.0 || self.plan.stall_len == 0 {
+            return;
+        }
+        let mut i = 0;
+        while i + 1 < out.len() {
+            if self.rng.chance(self.plan.stall) {
+                let w = self.rng.up_to(self.plan.stall_len);
+                let end = (i + w).min(out.len());
+                let shift = w.min(out.len() - end);
+                if shift > 0 && end > i {
+                    out[i..end + shift].rotate_left(end - i);
+                    self.stats.stalls += 1;
+                }
+                i = end + shift;
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Displaces elements later in arrival order by up to `window` slots.
@@ -536,6 +632,59 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bursts_replay_tuples_only_and_count() {
+        let input = recorded(6);
+        let mut plan = FaultPlan::none(11);
+        plan.burst = 1.0;
+        plan.burst_len = 3;
+        let mut inj = FaultInjector::new(plan);
+        let out = inj.apply(&input);
+        assert!(inj.stats().bursts > 0);
+        assert_eq!(out.len(), input.len() + inj.stats().burst_tuples as usize);
+        // Bursts only replay existing tuples: the set of distinct tuple
+        // ids and the sp count are unchanged.
+        let ids = |v: &[(StreamId, StreamElement)]| {
+            v.iter()
+                .filter_map(|(_, e)| match e {
+                    StreamElement::Tuple(t) => Some(t.tid.raw()),
+                    StreamElement::Punctuation(_) => None,
+                })
+                .collect::<std::collections::HashSet<u64>>()
+        };
+        assert_eq!(ids(&input), ids(&out));
+        let sps = |v: &[(StreamId, StreamElement)]| {
+            v.iter().filter(|(_, e)| matches!(e, StreamElement::Punctuation(_))).count()
+        };
+        assert_eq!(sps(&input), sps(&out), "bursts never touch sps");
+    }
+
+    #[test]
+    fn stalls_displace_blocks_conserving_the_multiset() {
+        let input = recorded(8);
+        let mut plan = FaultPlan::none(13);
+        plan.stall = 0.4;
+        plan.stall_len = 4;
+        let mut inj = FaultInjector::new(plan);
+        let out = inj.apply(&input);
+        assert_eq!(out.len(), input.len());
+        assert!(inj.stats().stalls > 0);
+        let ts_of = |e: &StreamElement| match e {
+            StreamElement::Tuple(t) => t.ts.0,
+            StreamElement::Punctuation(p) => p.ts.0,
+        };
+        let mut a: Vec<u64> = input.iter().map(|(_, e)| ts_of(e)).collect();
+        let mut b: Vec<u64> = out.iter().map(|(_, e)| ts_of(e)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_ne!(
+            input.iter().map(|(_, e)| ts_of(e)).collect::<Vec<_>>(),
+            out.iter().map(|(_, e)| ts_of(e)).collect::<Vec<_>>(),
+            "stalls displaced something"
+        );
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //!   reorder / delay / corrupt) and the chaos harness over whole plans;
 //! * [`reorder`] — a K-slack buffer restoring timestamp order for
 //!   out-of-order arrivals (the substrate §II-B defers to prior work);
+//! * [`slack`] — the shared lateness bound ([`slack::Slack`]) used by both
+//!   the reorder buffer and the load shedder, so "late" means one thing;
+//! * [`overload`] — security-aware overload management: the degradation
+//!   ladder, semantic load shedding (sps are lossless control traffic,
+//!   only data tuples shed), classed control/data bounded queues, and
+//!   token-bucket admission control at the ingestion boundary;
 //! * [`checkpoint`] — epoch checkpoints: canonical per-operator snapshots,
 //!   CRC-framed [`Checkpoint`] records, and append-only durable stores
 //!   that fall back past torn or corrupted frames;
@@ -45,10 +51,12 @@ pub mod expr;
 pub mod fault;
 pub mod operator;
 pub mod ops;
+pub mod overload;
 pub mod parallel;
 pub mod plan;
 pub mod predicate_index;
 pub mod reorder;
+pub mod slack;
 pub mod stats;
 pub mod supervisor;
 pub mod window;
@@ -64,10 +72,16 @@ pub use ops::{
     AggFunc, DupElim, Granularity, GroupBy, JoinVariant, MatchMode, Project, SAIntersect, SAJoin,
     SecurityShield, Select, Sink, Union,
 };
+pub use overload::{
+    classed_channel, AdmissionConfig, AdmissionController, ClassedReceiver, ClassedSender,
+    DataRejected, DegradationLadder, LadderTransition, OverloadLevel, ShedPolicy, Shedder,
+    ShedderConfig, WatermarkConfig,
+};
 pub use parallel::{run_parallel, run_parallel_checkpointed, ParallelResults};
 pub use plan::{Executor, NodeRef, PlanBuilder, SinkRef, SourceRef, Upstream};
 pub use predicate_index::{PredicateIndex, QuerySet};
 pub use reorder::ReorderBuffer;
+pub use slack::Slack;
 pub use stats::{CostKind, DegradationStats, OperatorStats};
 pub use supervisor::{
     run_supervised, RecoveryReport, SupervisedRun, SupervisorConfig, DEFAULT_EPOCH_INTERVAL,

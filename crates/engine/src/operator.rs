@@ -74,6 +74,15 @@ pub trait Operator: Send {
     /// Cost counters.
     fn stats(&self) -> &OperatorStats;
 
+    /// Fail-closed degradation counters this operator contributes, if it
+    /// participates in degradation (load shedders report shed counts and
+    /// ladder state here). The executor sums these into the plan-wide
+    /// [`crate::stats::DegradationStats`]; operators that never degrade
+    /// use the default `None`.
+    fn degradation(&self) -> Option<crate::stats::DegradationStats> {
+        None
+    }
+
     /// Approximate heap footprint of the operator state in bytes.
     fn state_mem_bytes(&self) -> usize {
         0

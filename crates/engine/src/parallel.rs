@@ -18,10 +18,17 @@
 //! Robustness properties (the reason this runner differs from a naive
 //! thread-per-operator sketch):
 //!
-//! * **bounded channels** — unary edges are bounded ([`EDGE_CAPACITY`]),
-//!   so a slow operator exerts backpressure on the feeder instead of
-//!   letting queues grow without limit. Binary-merge input ports are the
-//!   one deliberate exception: an ordered two-way merge must be able to
+//! * **classed bounded channels** — unary/sink edges are
+//!   [`classed_channel`]s: **data tuples** are bounded at
+//!   [`EDGE_CAPACITY`] so a slow operator exerts backpressure on the
+//!   feeder instead of letting queues grow without limit, while **control
+//!   traffic** — security punctuations and epoch barrier markers — is
+//!   always admitted. A stuffed pipe can therefore never block or delay
+//!   an sp behind data backpressure: policy updates and checkpoint
+//!   barriers propagate even through a fully backlogged edge. Classing
+//!   changes admission only, never order (both classes share one FIFO),
+//!   so determinism is untouched. Binary-merge input ports are the one
+//!   deliberate exception: an ordered two-way merge must be able to
 //!   buffer the non-selected port arbitrarily (bounding both ports can
 //!   deadlock diamond fan-ins), so those edges are unbounded.
 //! * **panic containment** — each `process` call runs under
@@ -50,7 +57,7 @@
 //! same input position.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::{Duration, Instant};
 
 use sp_core::{StreamElement, StreamId};
@@ -60,9 +67,11 @@ use crate::element::Element;
 use crate::error::EngineError;
 use crate::operator::{Emitter, Operator as _};
 use crate::ops::sink::Sink;
+use crate::overload::{classed_channel, ClassedReceiver, ClassedSender, DataRejected};
 use crate::plan::{PlanBuilder, SinkRef, Target};
 
-/// Capacity of bounded (unary / sink) edges.
+/// Data-class capacity of bounded (unary / sink) edges. Control traffic
+/// (sps, epoch barriers) does not count against it.
 pub const EDGE_CAPACITY: usize = 256;
 
 /// How long a bounded edge may refuse an element before the run is
@@ -86,6 +95,15 @@ enum Payload {
 struct Envelope {
     seq: u64,
     payload: Payload,
+}
+
+impl Envelope {
+    /// Control traffic — security punctuations and epoch barriers — is
+    /// lossless: it bypasses the data bound on classed edges and can
+    /// never be refused or delayed by a full queue.
+    fn is_control(&self) -> bool {
+        matches!(self.payload, Payload::Epoch(_) | Payload::Elem(Element::Policy(_)))
+    }
 }
 
 /// Addresses one snapshot section within an epoch's checkpoint.
@@ -112,29 +130,34 @@ impl ParallelResults {
     }
 }
 
-/// One outgoing edge: bounded for unary/sink consumers, unbounded for
-/// binary-merge ports (see the module docs for why).
+/// One outgoing edge: classed-bounded for unary/sink consumers, unbounded
+/// for binary-merge ports (see the module docs for why).
 #[derive(Clone)]
 enum EdgeTx {
-    Bounded(SyncSender<Envelope>),
+    Bounded(ClassedSender<Envelope>),
     Unbounded(Sender<Envelope>),
 }
 
 impl EdgeTx {
     /// Sends with backpressure. Returns `Ok(false)` when the receiver is
     /// gone (a downstream worker finished or failed — not an error for
-    /// the sender), `Err` when a bounded edge stalls past the deadline.
+    /// the sender), `Err` when a bounded edge's *data* class stalls past
+    /// the deadline. Control envelopes (sps, epoch barriers) are always
+    /// admitted immediately — they cannot stall behind a full data bound.
     fn send(&self, env: Envelope) -> Result<bool, EngineError> {
         match self {
             EdgeTx::Unbounded(tx) => Ok(tx.send(env).is_ok()),
             EdgeTx::Bounded(tx) => {
+                if env.is_control() {
+                    return Ok(tx.send_control(env).is_ok());
+                }
                 let mut env = env;
                 let deadline = Instant::now() + STALL_DEADLINE;
                 loop {
-                    match tx.try_send(env) {
+                    match tx.try_send_data(env) {
                         Ok(()) => return Ok(true),
-                        Err(TrySendError::Disconnected(_)) => return Ok(false),
-                        Err(TrySendError::Full(back)) => {
+                        Err(DataRejected::Disconnected(_)) => return Ok(false),
+                        Err(DataRejected::Full(back)) => {
                             if Instant::now() >= deadline {
                                 return Err(EngineError::ShutdownTimeout { pending_workers: 1 });
                             }
@@ -143,6 +166,29 @@ impl EdgeTx {
                         }
                     }
                 }
+            }
+        }
+    }
+}
+
+/// The receiving end of an edge, mirroring [`EdgeTx`].
+enum EdgeRx {
+    Bounded(ClassedReceiver<Envelope>),
+    Unbounded(Receiver<Envelope>),
+}
+
+impl EdgeRx {
+    /// Blocking receive; `None` once every sender is gone and the queue
+    /// is drained. Popping a data envelope frees its data-capacity slot.
+    fn recv(&self) -> Option<Envelope> {
+        match self {
+            EdgeRx::Unbounded(rx) => rx.recv().ok(),
+            EdgeRx::Bounded(rx) => {
+                let env = rx.recv()?;
+                if !env.is_control() {
+                    rx.data_popped();
+                }
+                Some(env)
             }
         }
     }
@@ -180,13 +226,13 @@ impl Wires {
 
 /// A port receiver with one-envelope lookahead, for seq-ordered merging.
 struct PeekRx {
-    rx: Receiver<Envelope>,
+    rx: EdgeRx,
     head: Option<Envelope>,
     closed: bool,
 }
 
 impl PeekRx {
-    fn new(rx: Receiver<Envelope>) -> Self {
+    fn new(rx: EdgeRx) -> Self {
         Self { rx, head: None, closed: false }
     }
 
@@ -195,8 +241,8 @@ impl PeekRx {
     fn peek_seq(&mut self) -> Option<u64> {
         if self.head.is_none() && !self.closed {
             match self.rx.recv() {
-                Ok(env) => self.head = Some(env),
-                Err(_) => self.closed = true,
+                Some(env) => self.head = Some(env),
+                None => self.closed = true,
             }
         }
         self.head.as_ref().map(|e| e.seq)
@@ -393,9 +439,10 @@ fn run_parallel_inner(
     let (nodes, mut sources, sinks) = builder.into_parts();
 
     // Channels: one per (node, port) and one per sink. Binary ports are
-    // unbounded (ordered-merge requirement), everything else bounded.
+    // unbounded (ordered-merge requirement), everything else a classed
+    // channel: data bounded, control (sps/barriers) always admitted.
     let mut node_tx: Vec<Vec<EdgeTx>> = Vec::with_capacity(nodes.len());
-    let mut node_rx: Vec<Vec<Receiver<Envelope>>> = Vec::with_capacity(nodes.len());
+    let mut node_rx: Vec<Vec<EdgeRx>> = Vec::with_capacity(nodes.len());
     for node in &nodes {
         let arity = node.op.arity();
         let mut txs = Vec::new();
@@ -404,11 +451,11 @@ fn run_parallel_inner(
             if arity > 1 {
                 let (tx, rx) = channel();
                 txs.push(EdgeTx::Unbounded(tx));
-                rxs.push(rx);
+                rxs.push(EdgeRx::Unbounded(rx));
             } else {
-                let (tx, rx) = sync_channel(EDGE_CAPACITY);
+                let (tx, rx) = classed_channel(EDGE_CAPACITY);
                 txs.push(EdgeTx::Bounded(tx));
-                rxs.push(rx);
+                rxs.push(EdgeRx::Bounded(rx));
             }
         }
         node_tx.push(txs);
@@ -417,9 +464,9 @@ fn run_parallel_inner(
     let mut sink_tx = Vec::with_capacity(sinks.len());
     let mut sink_rx = Vec::with_capacity(sinks.len());
     for _ in &sinks {
-        let (tx, rx) = sync_channel(EDGE_CAPACITY);
+        let (tx, rx) = classed_channel(EDGE_CAPACITY);
         sink_tx.push(EdgeTx::Bounded(tx));
-        sink_rx.push(rx);
+        sink_rx.push(EdgeRx::Bounded(rx));
     }
     // Resolve each worker's outgoing edges, then drop the master sender
     // tables so only the per-edge clones keep channels open.
@@ -548,7 +595,7 @@ fn run_parallel_inner(
             "sink".to_string(),
             std::thread::spawn(move || -> Result<Sink, EngineError> {
                 let mut emitter = Emitter::new();
-                for env in rx {
+                while let Some(env) = rx.recv() {
                     match env.payload {
                         Payload::Elem(elem) => sink.process(0, elem, &mut emitter)?,
                         Payload::Epoch(epoch) => {

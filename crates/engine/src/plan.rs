@@ -337,12 +337,18 @@ impl Executor {
         self.drain()
     }
 
-    /// Fail-closed degradation counters summed over every source analyzer.
+    /// Fail-closed degradation counters summed over every source analyzer
+    /// and every degradation-participating operator (load shedders).
     #[must_use]
     pub fn degradation(&self) -> crate::stats::DegradationStats {
         let mut total = crate::stats::DegradationStats::new();
         for source in &self.sources {
             total.absorb(&source.analyzer.degradation());
+        }
+        for node in &self.nodes {
+            if let Some(d) = node.op.degradation() {
+                total.absorb(&d);
+            }
         }
         total
     }

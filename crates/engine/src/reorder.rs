@@ -13,16 +13,25 @@
 //! tuples, so an sp carrying the same timestamp as its first tuple still
 //! precedes it, preserving the "sps precede the tuples they govern"
 //! invariant (§III-A).
+//!
+//! The staleness arithmetic is the shared [`Slack`] type — the overload
+//! shedder's oldest-first policy consults the *same* definition, so the
+//! two mechanisms cannot drift. Note the placement contract documented on
+//! [`crate::slack`]: a shedder sits downstream of this buffer, so a shed
+//! tuple never counts toward K-slack eviction — the watermark here
+//! advances on arrival, before any shedding decision exists.
 
 use std::collections::BTreeMap;
 
 use sp_core::{StreamElement, Timestamp};
 
+use crate::slack::Slack;
+
 /// A slack-based reorder buffer for one input stream.
 #[derive(Debug)]
 pub struct ReorderBuffer {
-    /// Maximum tolerated disorder, in timestamp units.
-    slack: u64,
+    /// Maximum tolerated disorder.
+    slack: Slack,
     /// Buffered elements keyed by (timestamp, punctuation-first, arrival).
     pending: BTreeMap<(Timestamp, u8, u64), StreamElement>,
     arrivals: u64,
@@ -37,6 +46,13 @@ impl ReorderBuffer {
     /// A buffer tolerating up to `slack` timestamp units of disorder.
     #[must_use]
     pub fn new(slack: u64) -> Self {
+        Self::with_slack(Slack::new(slack))
+    }
+
+    /// A buffer using a shared [`Slack`] tolerance (the same value a
+    /// downstream shedder's oldest-first policy consults).
+    #[must_use]
+    pub fn with_slack(slack: Slack) -> Self {
         Self {
             slack,
             pending: BTreeMap::new(),
@@ -45,6 +61,12 @@ impl ReorderBuffer {
             released_to: None,
             dropped: 0,
         }
+    }
+
+    /// The configured disorder tolerance.
+    #[must_use]
+    pub fn slack(&self) -> Slack {
+        self.slack
     }
 
     /// Number of buffered elements.
@@ -78,7 +100,7 @@ impl ReorderBuffer {
         if ts > self.max_seen {
             self.max_seen = ts;
         }
-        let watermark = self.max_seen.minus(self.slack);
+        let watermark = self.slack.watermark(self.max_seen);
         self.release_up_to(watermark, out);
     }
 
@@ -234,6 +256,22 @@ mod tests {
         buf.flush(&mut out);
         assert!(out[0].is_punctuation(), "sp released before its tuple");
         assert!(out[1].is_tuple());
+    }
+
+    #[test]
+    fn shared_slack_type_round_trips() {
+        let buf = ReorderBuffer::with_slack(Slack::new(5));
+        assert_eq!(buf.slack(), Slack::new(5));
+        assert_eq!(ReorderBuffer::new(5).slack(), buf.slack());
+        // The buffer's drop rule and Slack::is_late agree: an element is
+        // dropped exactly when it is late relative to released state.
+        let mut b = ReorderBuffer::new(2);
+        let mut out = Vec::new();
+        b.push(tup(10), &mut out);
+        b.push(tup(20), &mut out); // releases 10, watermark 18
+        assert!(b.slack().is_late(Timestamp(5), Timestamp(20)));
+        b.push(tup(5), &mut out);
+        assert_eq!(b.dropped, 1);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Shared timestamp-slack arithmetic.
+//!
+//! Two mechanisms consult a ts-slack: the K-slack [`ReorderBuffer`]
+//! (how much disorder to absorb before releasing in timestamp order) and
+//! the overload [`Shedder`]'s oldest-first policy (how far behind the
+//! stream clock a tuple may lag before it is the first candidate to
+//! shed). Both MUST agree on what "late by more than the slack" means —
+//! if they drift, the shedder could classify as stale a tuple the reorder
+//! buffer would still have released, or vice versa. [`Slack`] is the one
+//! shared definition: `watermark = max timestamp seen − slack`, and an
+//! element is late exactly when its timestamp is strictly below the
+//! watermark.
+//!
+//! **Interaction contract** (shedding vs. K-slack eviction): a tuple shed
+//! by a [`Shedder`] must **not** count toward K-slack eviction. The
+//! reorder buffer's watermark advances on *arrival* (`max_seen`), before
+//! any shedding decision, so the shedder is always placed *downstream* of
+//! the reorder buffer (and of the SP Analyzer). A shed tuple therefore
+//! never drags the watermark forward and never evicts a sibling from the
+//! buffer; conversely the reorder buffer never re-orders around a shed —
+//! the element simply vanishes after ordering was already restored.
+//!
+//! [`ReorderBuffer`]: crate::reorder::ReorderBuffer
+//! [`Shedder`]: crate::overload::Shedder
+
+use sp_core::Timestamp;
+
+/// A disorder/staleness tolerance in timestamp units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Slack(u64);
+
+impl Slack {
+    /// No tolerance: anything behind the maximum seen timestamp is late.
+    pub const ZERO: Slack = Slack(0);
+
+    /// A slack of `units` timestamp units.
+    #[must_use]
+    pub const fn new(units: u64) -> Self {
+        Slack(units)
+    }
+
+    /// The tolerance in timestamp units.
+    #[must_use]
+    pub const fn units(self) -> u64 {
+        self.0
+    }
+
+    /// The release watermark for a stream whose maximum seen timestamp is
+    /// `max_seen`: everything at or below it is safe to release in order.
+    #[must_use]
+    pub fn watermark(self, max_seen: Timestamp) -> Timestamp {
+        max_seen.minus(self.0)
+    }
+
+    /// True when an element stamped `ts` is *late*: strictly below the
+    /// watermark derived from `max_seen`. This is the single definition
+    /// both the reorder buffer (drop: order can no longer be restored)
+    /// and the shedder's oldest-first policy (shed: least valuable under
+    /// load) use.
+    #[must_use]
+    pub fn is_late(self, ts: Timestamp, max_seen: Timestamp) -> bool {
+        ts < self.watermark(max_seen)
+    }
+}
+
+impl From<u64> for Slack {
+    fn from(units: u64) -> Self {
+        Slack(units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_saturates_at_zero() {
+        let s = Slack::new(10);
+        assert_eq!(s.watermark(Timestamp(4)), Timestamp(0));
+        assert_eq!(s.watermark(Timestamp(25)), Timestamp(15));
+        assert_eq!(Slack::ZERO.watermark(Timestamp(7)), Timestamp(7));
+    }
+
+    #[test]
+    fn late_is_strictly_below_watermark() {
+        let s = Slack::new(5);
+        let max = Timestamp(20);
+        assert!(s.is_late(Timestamp(14), max));
+        assert!(!s.is_late(Timestamp(15), max), "at the watermark is not late");
+        assert!(!s.is_late(Timestamp(20), max));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let s: Slack = 7u64.into();
+        assert_eq!(s.units(), 7);
+        assert_eq!(s, Slack::new(7));
+    }
+}

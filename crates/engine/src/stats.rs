@@ -170,6 +170,27 @@ pub struct DegradationStats {
     pub recovery_dropped: u64,
     /// Pipeline restart attempts made by a supervisor.
     pub restart_attempts: u64,
+    /// Data tuples dropped by a load shedder. Policies/sps are control
+    /// traffic and are never counted here — a shedder that drops one is
+    /// broken, and the overload proptests prove the harness catches it.
+    pub shed_tuples: u64,
+    /// Tuples shed at the top rungs of the degradation ladder
+    /// (CriticalShedding discards predicate-unmatched tuples, FailClosed
+    /// refuses all data). A subset of [`DegradationStats::shed_tuples`].
+    pub shed_critical: u64,
+    /// Data tuples refused by the admission controller at the ingestion
+    /// boundary (typed `Overloaded { retry_after }`, never buffered).
+    pub admission_rejected: u64,
+    /// Degradation-ladder escalations (one per upward rung transition).
+    pub ladder_escalations: u64,
+    /// Degradation-ladder recoveries (one per downward rung transition).
+    pub ladder_recoveries: u64,
+    /// Highest ladder rung reached: 0 Normal, 1 Shedding,
+    /// 2 CriticalShedding, 3 FailClosed. `absorb` takes the max.
+    pub overload_peak: u64,
+    /// Current ladder rung at the time the stats were read (same scale as
+    /// [`DegradationStats::overload_peak`]). `absorb` takes the max.
+    pub overload_level: u64,
 }
 
 impl DegradationStats {
@@ -194,6 +215,13 @@ impl DegradationStats {
         self.epochs_replayed += other.epochs_replayed;
         self.recovery_dropped += other.recovery_dropped;
         self.restart_attempts += other.restart_attempts;
+        self.shed_tuples += other.shed_tuples;
+        self.shed_critical += other.shed_critical;
+        self.admission_rejected += other.admission_rejected;
+        self.ladder_escalations += other.ladder_escalations;
+        self.ladder_recoveries += other.ladder_recoveries;
+        self.overload_peak = self.overload_peak.max(other.overload_peak);
+        self.overload_level = self.overload_level.max(other.overload_level);
     }
 
     /// Total elements lost (not merely delayed) to degradation.
@@ -205,6 +233,8 @@ impl DegradationStats {
             + self.reorder_dropped
             + self.corrupted_frames
             + self.recovery_dropped
+            + self.shed_tuples
+            + self.admission_rejected
     }
 }
 
@@ -214,7 +244,8 @@ impl std::fmt::Display for DegradationStats {
             f,
             "sps filtered {} / merged {} / stale {}; quarantine in {} out {} dropped {}; \
              reorder dropped {}; corrupted frames {}; checkpoints taken {} restored {}; \
-             epochs replayed {}; recovery dropped {}; restarts {}",
+             epochs replayed {}; recovery dropped {}; restarts {}; shed {} (critical {}); \
+             admission rejected {}; ladder up {} down {} peak {} level {}",
             self.sps_filtered,
             self.sps_merged,
             self.stale_sp_batches,
@@ -228,6 +259,13 @@ impl std::fmt::Display for DegradationStats {
             self.epochs_replayed,
             self.recovery_dropped,
             self.restart_attempts,
+            self.shed_tuples,
+            self.shed_critical,
+            self.admission_rejected,
+            self.ladder_escalations,
+            self.ladder_recoveries,
+            self.overload_peak,
+            self.overload_level,
         )
     }
 }
@@ -251,6 +289,32 @@ mod tests {
         assert_eq!(a.quarantine_dropped, 3);
         assert_eq!(a.total_dropped(), 3 + 4 + 5);
         assert!(a.to_string().contains("dropped 3"));
+    }
+
+    #[test]
+    fn overload_counters_absorb_and_total() {
+        let mut a = DegradationStats::new();
+        a.shed_tuples = 10;
+        a.shed_critical = 4;
+        a.overload_peak = 3;
+        a.overload_level = 0;
+        let mut b = DegradationStats::new();
+        b.shed_tuples = 5;
+        b.admission_rejected = 7;
+        b.ladder_escalations = 2;
+        b.ladder_recoveries = 2;
+        b.overload_peak = 1;
+        b.overload_level = 1;
+        a.absorb(&b);
+        assert_eq!(a.shed_tuples, 15);
+        assert_eq!(a.admission_rejected, 7);
+        assert_eq!(a.overload_peak, 3, "peak takes the max");
+        assert_eq!(a.overload_level, 1, "level takes the max");
+        assert_eq!(a.total_dropped(), 15 + 7);
+        let line = a.to_string();
+        assert!(line.contains("shed 15 (critical 4)"), "{line}");
+        assert!(line.contains("admission rejected 7"), "{line}");
+        assert!(line.contains("ladder up 2 down 2 peak 3"), "{line}");
     }
 
     #[test]

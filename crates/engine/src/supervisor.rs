@@ -19,6 +19,14 @@
 //! but must never leak one: replay starts from a policy state at least as
 //! restrictive as the live state it replaces, and sinks restart empty.
 //!
+//! **Overload during recovery**: load shedders
+//! ([`Shedder`](crate::overload::Shedder)) are ordinary operators with
+//! canonical snapshots, so their virtual queue, degradation-ladder level,
+//! and shed counters ride through kill/restore like any other state — a
+//! recovered run keeps making byte-identical shed decisions, and
+//! [`SupervisedRun::degradation`] reports the ladder's peak and current
+//! rung alongside the recovery counters.
+//!
 //! Restarts use bounded exponential backoff. Delays are *recorded*, not
 //! slept, so supervised runs stay deterministic and fast under test; an
 //! embedding that wants real pauses can sleep on
@@ -430,6 +438,71 @@ mod tests {
         let d = run.degradation();
         assert!(d.recovery_dropped > 0);
         assert_eq!(u64::from(run.report.restart_attempts), d.restart_attempts);
+    }
+
+    fn shedded_builder_with_sink() -> (PlanBuilder, crate::plan::SinkRef) {
+        use crate::overload::{ShedPolicy, Shedder, ShedderConfig};
+        let mut b = PlanBuilder::new(catalog());
+        let src = b.source(StreamId(1), schema());
+        let shed = b.add(
+            Shedder::new(ShedderConfig {
+                capacity: 8,
+                drain_per_ms: 0,
+                policy: ShedPolicy::RandomP { p: 0.5, seed: 11 },
+                ..ShedderConfig::default()
+            }),
+            src,
+        );
+        let ss = b.add(SecurityShield::new(RoleSet::from([1])), shed);
+        let sink = b.sink(ss);
+        (b, sink)
+    }
+
+    #[test]
+    fn shedder_state_and_counters_survive_crash_recovery() {
+        let input = workload(100);
+        let cfg = SupervisorConfig { epoch_interval: 16, ..Default::default() };
+        let shedded = || shedded_builder_with_sink().0;
+
+        let mut clean_store = MemStore::default();
+        let clean =
+            run_supervised(shedded, &input, &cfg, &mut clean_store, &mut |_, _| false).unwrap();
+        let clean_d = clean.executor.degradation();
+        assert!(clean_d.shed_tuples > 0, "workload must actually overload the shedder");
+        assert!(clean_d.ladder_escalations > 0);
+
+        let mut store = MemStore::default();
+        let mut killed = false;
+        let mut oracle = move |_e: u64, p: u64| {
+            if !killed && p == 42 {
+                killed = true;
+                return true;
+            }
+            false
+        };
+        let run = run_supervised(shedded, &input, &cfg, &mut store, &mut oracle).unwrap();
+        assert!(run.completed());
+
+        // The shedder's virtual queue, rng, ladder, and counters were
+        // restored from the checkpoint, so the recovered run made the
+        // same decisions and ends with identical overload counters.
+        let d = run.executor.degradation();
+        assert_eq!(d.shed_tuples, clean_d.shed_tuples);
+        assert_eq!(d.ladder_escalations, clean_d.ladder_escalations);
+        assert_eq!(d.ladder_recoveries, clean_d.ladder_recoveries);
+        assert_eq!(d.overload_peak, clean_d.overload_peak);
+        assert_eq!(d.overload_level, clean_d.overload_level);
+        // And the run-level report folds recovery counters on top.
+        let full = run.degradation();
+        assert_eq!(full.checkpoints_restored, 1);
+        assert_eq!(full.shed_tuples, clean_d.shed_tuples);
+        // Released set matches the uninterrupted shedded run exactly
+        // (suffix, since the sink restarts empty at the restore point).
+        let (_, sink) = shedded_builder_with_sink();
+        let clean_rel: Vec<u64> = clean.executor.sink(sink).tuples().map(|t| t.tid.raw()).collect();
+        let (_, sink) = shedded_builder_with_sink();
+        let got: Vec<u64> = run.executor.sink(sink).tuples().map(|t| t.tid.raw()).collect();
+        assert!(clean_rel.ends_with(&got), "recovered releases diverged");
     }
 
     #[test]

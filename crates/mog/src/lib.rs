@@ -24,4 +24,4 @@ pub mod workload;
 pub use health::{hospital_catalog, HealthSim, HOSPITAL_ROLES};
 pub use network::{Edge, Node, RoadNetwork};
 pub use sim::MovingObjectSim;
-pub use workload::{join_streams, location_stream, Workload, WorkloadConfig};
+pub use workload::{join_streams, location_stream, BurstConfig, Workload, WorkloadConfig};

@@ -23,6 +23,46 @@ use sp_core::{RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement, Strea
 use crate::network::RoadNetwork;
 use crate::sim::MovingObjectSim;
 
+/// Bursty (on/off) arrival shaping for overload experiments.
+///
+/// Stream time is virtual: the generator stamps elements with a
+/// monotone clock, and downstream components (the load shedder's
+/// drain model, the reorder buffer) read arrival rate off that clock.
+/// A burst therefore *compresses* stream time — during an ON phase,
+/// `amplitude` tuples share each clock millisecond instead of one, so
+/// the offered load seen by a shedder draining `k` tuples per ms is
+/// `amplitude`× the sustained rate. OFF phases revert to one tuple
+/// per ms, letting queues drain. Tuple and sp counts are unchanged;
+/// only inter-arrival spacing moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstConfig {
+    /// Simulation ticks per ON (burst) phase.
+    pub on_ticks: usize,
+    /// Simulation ticks per OFF (lull) phase following each burst.
+    pub off_ticks: usize,
+    /// Arrival-rate multiplier during ON phases: this many tuples share
+    /// each stream-time millisecond (values < 1 behave as 1 = no burst).
+    pub amplitude: u64,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        Self { on_ticks: 5, off_ticks: 5, amplitude: 4 }
+    }
+}
+
+impl BurstConfig {
+    /// True when simulation tick `tick` falls in an ON phase.
+    #[must_use]
+    pub fn is_on(&self, tick: usize) -> bool {
+        let cycle = self.on_ticks + self.off_ticks;
+        if cycle == 0 {
+            return false;
+        }
+        tick % cycle < self.on_ticks
+    }
+}
+
 /// Workload parameters.
 #[derive(Debug, Clone)]
 pub struct WorkloadConfig {
@@ -48,6 +88,9 @@ pub struct WorkloadConfig {
     pub scoped_sps: bool,
     /// Simulation tick length in milliseconds.
     pub tick_ms: u64,
+    /// Optional on/off burst shaping: compresses stream time during ON
+    /// phases so arrival rate spikes without changing tuple counts.
+    pub burst: Option<BurstConfig>,
     /// RNG seed (workloads are fully deterministic).
     pub seed: u64,
 }
@@ -63,6 +106,7 @@ impl Default for WorkloadConfig {
             grant_selectivity: 0.5,
             scoped_sps: false,
             tick_ms: 100,
+            burst: None,
             seed: 42,
         }
     }
@@ -120,18 +164,27 @@ pub fn location_stream(cfg: &WorkloadConfig) -> Workload {
         Vec::with_capacity(cfg.tuple_count() + cfg.tuple_count() / cfg.sp_every.max(1) + 1);
     let (mut tuples, mut sps) = (0usize, 0usize);
     let mut since_sp = usize::MAX; // force an sp before the first tuple
-                                   // Elements are restamped with a strictly increasing clock: distinct
-                                   // policies MUST have distinct timestamps (a batch of equal-timestamp
-                                   // sps denotes a single policy, §III-A), and objects reporting within
-                                   // one simulation tick would otherwise collide.
+                                   // Elements are restamped with a monotone clock. Punctuations always
+                                   // get a fresh millisecond: distinct policies MUST have distinct
+                                   // timestamps (a batch of equal-timestamp sps denotes a single
+                                   // policy, §III-A). Tuples normally do too, but during a burst ON
+                                   // phase `amplitude` consecutive tuples share one millisecond —
+                                   // that clock compression IS the rate spike.
     let mut clock: u64 = 0;
+    // Tuples left to emit on the current clock millisecond before it
+    // must advance (burst ON phases set this to amplitude - 1).
+    let mut burst_credit: u64 = 0;
     if cfg.scoped_sps {
         assert!(
             cfg.sp_every >= 1 && cfg.objects.is_multiple_of(cfg.sp_every),
             "scoped sps need sp_every to divide the object count"
         );
     }
-    for _ in 0..cfg.ticks {
+    for tick in 0..cfg.ticks {
+        let amplitude = match &cfg.burst {
+            Some(b) if b.is_on(tick) => b.amplitude.max(1),
+            _ => 1,
+        };
         for tuple in sim.tick() {
             if since_sp >= cfg.sp_every.max(1) {
                 // The next segment's policy: one tuple-granularity sp whose
@@ -149,8 +202,16 @@ pub fn location_stream(cfg: &WorkloadConfig) -> Workload {
                 elements.push(StreamElement::punctuation(sp));
                 sps += 1;
                 since_sp = 0;
+                // The sp consumed a fresh millisecond; tuples sharing it
+                // would predate their own policy's effect on a re-sort.
+                burst_credit = 0;
             }
-            clock += 1;
+            if burst_credit > 0 {
+                burst_credit -= 1;
+            } else {
+                clock += 1;
+                burst_credit = amplitude - 1;
+            }
             let restamped = sp_core::Tuple::new(
                 tuple.sid,
                 tuple.tid,
@@ -254,6 +315,79 @@ mod tests {
         let b = location_stream(&WorkloadConfig::default());
         assert_eq!(a.elements.len(), b.elements.len());
         assert_eq!(a.elements, b.elements);
+    }
+
+    #[test]
+    fn bursts_change_spacing_not_counts() {
+        let steady = WorkloadConfig { objects: 20, ticks: 20, ..Default::default() };
+        let bursty = WorkloadConfig {
+            burst: Some(BurstConfig { on_ticks: 4, off_ticks: 4, amplitude: 8 }),
+            ..steady.clone()
+        };
+        let s = location_stream(&steady);
+        let b = location_stream(&bursty);
+        // Same work, different arrival shape.
+        assert_eq!(s.tuples, b.tuples);
+        assert_eq!(s.sps, b.sps);
+        assert_eq!(s.elements.len(), b.elements.len());
+        // Burst compression means the same workload spans less stream
+        // time — that is the rate spike downstream queues see.
+        let last = |w: &Workload| w.elements.last().unwrap().ts().0;
+        assert!(last(&b) < last(&s), "bursty {} vs steady {}", last(&b), last(&s));
+    }
+
+    #[test]
+    fn burst_timestamps_stay_monotone_and_sps_stay_distinct() {
+        let cfg = WorkloadConfig {
+            objects: 20,
+            ticks: 16,
+            sp_every: 5,
+            burst: Some(BurstConfig { on_ticks: 3, off_ticks: 2, amplitude: 16 }),
+            ..Default::default()
+        };
+        let w = location_stream(&cfg);
+        let mut prev = 0u64;
+        let mut sp_ts = Vec::new();
+        for e in &w.elements {
+            assert!(e.ts().0 >= prev, "clock went backwards");
+            prev = e.ts().0;
+            if let StreamElement::Punctuation(sp) = e {
+                sp_ts.push(sp.ts.0);
+            }
+        }
+        // Distinct policies must keep distinct timestamps even under
+        // maximal clock compression (equal-ts sps merge into one batch).
+        let mut dedup = sp_ts.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sp_ts.len());
+    }
+
+    #[test]
+    fn on_phase_packs_amplitude_tuples_per_millisecond() {
+        let amp = 8u64;
+        let cfg = WorkloadConfig {
+            objects: 32,
+            ticks: 2,
+            sp_every: 1000, // one sp up front, then pure data
+            burst: Some(BurstConfig { on_ticks: 2, off_ticks: 0, amplitude: amp }),
+            ..Default::default()
+        };
+        let w = location_stream(&cfg);
+        let mut per_ms: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for e in &w.elements {
+            if matches!(e, StreamElement::Tuple(_)) {
+                *per_ms.entry(e.ts().0).or_insert(0) += 1;
+            }
+        }
+        assert!(per_ms.values().any(|&n| n == amp), "no full-amplitude millisecond");
+        assert!(per_ms.values().all(|&n| n <= amp));
+    }
+
+    #[test]
+    fn bursty_workloads_are_deterministic() {
+        let cfg =
+            WorkloadConfig { burst: Some(BurstConfig::default()), ..WorkloadConfig::default() };
+        assert_eq!(location_stream(&cfg).elements, location_stream(&cfg).elements);
     }
 
     #[test]

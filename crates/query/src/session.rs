@@ -63,6 +63,13 @@ pub struct Dsms {
     /// attributes instead, releasing tuples visible through
     /// attribute-scoped grants.
     pub granularity: sp_engine::Granularity,
+    /// Optional ingestion admission control: when set, each started
+    /// session rate-limits data tuples per stream with a token bucket
+    /// (burst allowance + deadline-based debt) and refuses the excess
+    /// with [`sp_engine::EngineError::Overloaded`]. Security punctuations
+    /// always bypass admission — overload can delay or drop data, never
+    /// policy updates.
+    pub admission: Option<sp_engine::AdmissionConfig>,
     queries: Vec<PlannedQuery>,
 }
 
@@ -174,7 +181,13 @@ impl Dsms {
             let root = instantiate_with(&q.plan, &mut builder, &mut sources, opts);
             sinks.insert(q.id, builder.sink(root));
         }
-        RunningDsms { executor: builder.build(), sinks, errors: Vec::new(), input_pos: 0 }
+        RunningDsms {
+            executor: builder.build(),
+            sinks,
+            errors: Vec::new(),
+            input_pos: 0,
+            admission: self.admission.map(sp_engine::AdmissionController::new),
+        }
     }
 
     /// Restarts the DSMS from the latest durable checkpoint in `store`,
@@ -213,6 +226,7 @@ pub struct RunningDsms {
     sinks: HashMap<QueryId, SinkRef>,
     errors: Vec<sp_engine::EngineError>,
     input_pos: u64,
+    admission: Option<sp_engine::AdmissionController>,
 }
 
 impl RunningDsms {
@@ -244,7 +258,23 @@ impl RunningDsms {
         // Count the element even when the push fails: a checkpoint taken
         // afterwards must not invite a replay of the rejected element.
         self.input_pos += 1;
+        if let Some(ac) = &mut self.admission {
+            let is_tuple = matches!(elem, StreamElement::Tuple(_));
+            ac.admit(stream, is_tuple, elem.ts())?;
+        }
         self.executor.push(stream, elem)
+    }
+
+    /// Degradation counters for the whole session: every operator's
+    /// losses (shedding, quarantine, reorder drops, ladder state) plus
+    /// the ingestion admission controller's rejections.
+    #[must_use]
+    pub fn degradation(&self) -> sp_engine::DegradationStats {
+        let mut d = self.executor.degradation();
+        if let Some(ac) = &self.admission {
+            d.absorb(&ac.degradation());
+        }
+        d
     }
 
     /// How many raw input elements this session has consumed — after
@@ -488,5 +518,89 @@ mod tests {
         let q = &d.queries()[0];
         assert!(q.report.final_cost <= q.report.initial_cost);
         assert!(q.plan.shield_count() >= 1);
+    }
+
+    #[test]
+    fn admission_refuses_excess_tuples_with_retry_hint() {
+        let mut d = dsms();
+        let alice = d.register_subject("alice", &["family"]).unwrap();
+        let q = d.submit("SELECT obj_id FROM LocationUpdates", alice).unwrap();
+        let (sid, sp) = d
+            .insert_sp(
+                "INSERT SP INTO STREAM LocationUpdates LET DDP = ('*', '*', '*'), SRP = 'family'",
+                Timestamp(0),
+            )
+            .unwrap();
+        // 1 token/sec, burst of 2, no debt allowance: the third tuple in
+        // the same millisecond must be refused with a retry hint.
+        d.admission = Some(sp_engine::AdmissionConfig {
+            tokens_per_sec: 1,
+            burst: 2,
+            enqueue_deadline_ms: 0,
+        });
+        let mut running = d.start();
+        running.push(sid, StreamElement::punctuation(sp));
+        assert!(running.try_push(StreamId(1), tup(1, 1, 5.0, 2.0)).is_ok());
+        assert!(running.try_push(StreamId(1), tup(2, 1, 5.0, 2.0)).is_ok());
+        let err = running.try_push(StreamId(1), tup(3, 1, 5.0, 2.0)).unwrap_err();
+        match err {
+            sp_engine::EngineError::Overloaded { retry_after_ms } => {
+                assert!(retry_after_ms > 0);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // The admitted tuples were released; the refused one never
+        // entered the plan.
+        let results: Vec<u64> = running.results(q).tuples().map(|t| t.tid.raw()).collect();
+        assert_eq!(results, vec![1, 2]);
+        assert_eq!(running.degradation().admission_rejected, 1);
+    }
+
+    #[test]
+    fn admission_never_refuses_punctuations() {
+        let mut d = dsms();
+        let alice = d.register_subject("alice", &["family"]).unwrap();
+        let q = d.submit("SELECT obj_id FROM LocationUpdates", alice).unwrap();
+        d.admission = Some(sp_engine::AdmissionConfig {
+            tokens_per_sec: 1,
+            burst: 1,
+            enqueue_deadline_ms: 0,
+        });
+        let mut running = d.start();
+        // Exhaust the bucket with the single burst token.
+        assert!(running.try_push(StreamId(1), tup(1, 1, 5.0, 2.0)).is_ok());
+        assert!(running.try_push(StreamId(1), tup(2, 1, 5.0, 2.0)).is_err());
+        // A punctuation still goes through at zero balance: overload may
+        // drop data, never policy updates.
+        let (sid, sp) = d
+            .insert_sp(
+                "INSERT SP INTO STREAM LocationUpdates LET DDP = ('*', '*', '*'), SRP = 'family'",
+                Timestamp(1),
+            )
+            .unwrap();
+        assert!(running.try_push(sid, StreamElement::punctuation(sp)).is_ok());
+        // The sp arrived after the tuples, so nothing is released — but
+        // the policy state advanced, which is what matters here.
+        assert_eq!(running.results(q).tuple_count(), 0);
+    }
+
+    #[test]
+    fn push_records_admission_errors() {
+        let mut d = dsms();
+        let alice = d.register_subject("alice", &["family"]).unwrap();
+        let _q = d.submit("SELECT obj_id FROM LocationUpdates", alice).unwrap();
+        d.admission = Some(sp_engine::AdmissionConfig {
+            tokens_per_sec: 1,
+            burst: 1,
+            enqueue_deadline_ms: 0,
+        });
+        let mut running = d.start();
+        running.push(StreamId(1), tup(1, 1, 5.0, 2.0));
+        running.push(StreamId(1), tup(2, 1, 5.0, 2.0));
+        assert_eq!(running.errors().len(), 1);
+        assert!(matches!(running.errors()[0], sp_engine::EngineError::Overloaded { .. }));
+        // input_pos still counts the rejected element so a later
+        // checkpoint does not invite its replay.
+        assert_eq!(running.input_pos(), 2);
     }
 }

@@ -22,7 +22,11 @@ use sp_core::{
     StreamId, Timestamp, Tuple, TupleId, Value, ValueType,
 };
 use sp_engine::fault::{run_chaos, FaultInjector, FaultPlan};
-use sp_engine::{CmpOp, Expr, PlanBuilder, QuarantinePolicy, SecurityShield, Select};
+use sp_engine::{
+    CmpOp, Expr, PlanBuilder, QuarantinePolicy, SecurityShield, Select, ShedPolicy, Shedder,
+    ShedderConfig, WatermarkConfig,
+};
+use sp_mog::{location_stream, BurstConfig, WorkloadConfig};
 
 /// Stream-time gap between consecutive sp-batches. Must exceed the
 /// quarantine TTL so a lost sp leaves its segment *ungoverned* (tuples
@@ -353,4 +357,214 @@ fn repeated_and_exhausting_kills_stay_fail_closed() {
     assert!(run.report.recovery_dropped > 0, "rest of the input refused");
     let released = supervised_released(&run.executor);
     assert!(released.is_subset(&baseline), "terminal fail-closed exit leaked");
+}
+
+// ---------------------------------------------------------------------------
+// Overload chaos: bursty arrivals drive a load-shedding plan up the
+// degradation ladder (through FailClosed and back), alone and combined
+// with the seeded fault campaign and with mid-burst crash recovery. The
+// invariant is the same fail-closed contract: overload may suppress
+// output, never widen it, and sps are never shed.
+// ---------------------------------------------------------------------------
+
+/// A bursty moving-object workload: every policy grants the probe role 0,
+/// so the unshedded clean run releases every tuple — the tightest
+/// possible baseline for the subset check. ON phases compress 32 tuples
+/// into each stream-time millisecond; the shedder drains 2/ms, so bursts
+/// overload it ~16× and lulls (1 tuple/ms) let the queue fully drain.
+fn bursty_workload() -> (Vec<(StreamId, StreamElement)>, Arc<Schema>) {
+    let w = location_stream(&WorkloadConfig {
+        objects: 20,
+        ticks: 36,
+        sp_every: 20,
+        policy_roles: 3,
+        role_universe: 64,
+        grant_selectivity: 1.0,
+        scoped_sps: false,
+        tick_ms: 100,
+        burst: Some(BurstConfig { on_ticks: 4, off_ticks: 8, amplitude: 32 }),
+        seed: 7,
+    });
+    let stream = w.stream;
+    let schema = w.schema.clone();
+    (w.elements.into_iter().map(|e| (stream, e)).collect(), schema)
+}
+
+fn burst_shed_cfg() -> ShedderConfig {
+    ShedderConfig {
+        capacity: 48,
+        drain_per_ms: 2,
+        watermarks: WatermarkConfig::default(),
+        // p is kept light so shedding alone cannot hold occupancy below
+        // the critical rungs — the test needs the full climb.
+        policy: ShedPolicy::RandomP { p: 0.25, seed: 0xB00 },
+    }
+}
+
+/// Hardened source → (optional shedder) → probe-role shield → sink.
+fn bursty_builder(
+    schema: &Arc<Schema>,
+    shed: Option<ShedderConfig>,
+) -> (PlanBuilder, sp_engine::SinkRef) {
+    let mut b = PlanBuilder::new(catalog());
+    let src = b.source(StreamId(1), schema.clone());
+    b.harden_source(src, QuarantinePolicy { ttl_ms: TTL_MS, slack_ms: 400, capacity: 256 });
+    let shield = SecurityShield::new(RoleSet::from([0]));
+    let q = match shed {
+        Some(cfg) => {
+            let sh = b.add(Shedder::new(cfg), src);
+            b.add(shield, sh)
+        }
+        None => b.add(shield, src),
+    };
+    let s = b.sink(q);
+    (b, s)
+}
+
+fn run_bursty(
+    input: &[(StreamId, StreamElement)],
+    schema: &Arc<Schema>,
+    shed: Option<ShedderConfig>,
+) -> (HashSet<String>, sp_engine::DegradationStats) {
+    let (b, s) = bursty_builder(schema, shed);
+    let mut exec = b.build();
+    for (sid, e) in input {
+        exec.push(*sid, e.clone()).expect("clean input must not error");
+    }
+    (exec.sink(s).tuples().map(|t| t.to_string()).collect(), exec.degradation())
+}
+
+/// The acceptance scenario: bursts push the ladder all the way to
+/// FailClosed, the lulls bring it all the way back to Normal, and the
+/// whole episode is visible in the degradation counters — while the
+/// released set stays inside the unshedded baseline.
+#[test]
+fn burst_overload_reaches_fail_closed_and_recovers_to_normal() {
+    let (input, schema) = bursty_workload();
+    let (baseline, base_deg) = run_bursty(&input, &schema, None);
+    assert!(!baseline.is_empty(), "clean run must release something");
+    assert_eq!(base_deg.shed_tuples, 0, "unshedded plan must not shed");
+
+    let (released, deg) = run_bursty(&input, &schema, Some(burst_shed_cfg()));
+    assert!(
+        released.is_subset(&baseline),
+        "overloaded run released tuples the unloaded run withheld"
+    );
+    assert!(deg.shed_tuples > 0, "bursts must force shedding");
+    assert!(deg.shed_critical > 0, "bursts must reach the critical rungs");
+    assert_eq!(deg.overload_peak, 3, "ladder must reach FailClosed: {deg}");
+    assert_eq!(deg.overload_level, 0, "ladder must recover to Normal: {deg}");
+    assert!(deg.ladder_escalations >= 3, "full climb: {deg}");
+    assert!(deg.ladder_recoveries >= 3, "full descent: {deg}");
+}
+
+/// Bursts *and* seeded faults together: 30 drop/duplicate/delay/reorder
+/// scenarios through the shedding plan. The released set must stay inside
+/// the clean **unshedded** baseline — faults shift which tuples the
+/// shedder picks, so the unloaded run is the only sound reference.
+#[test]
+fn shedded_plan_fails_closed_under_bursts_and_faults() {
+    let (input, schema) = bursty_workload();
+    let (baseline, _) = run_bursty(&input, &schema, None);
+
+    let mut total_faults = 0u64;
+    for s in 0..30u64 {
+        let plan = FaultPlan::scenario(0x05ED_10AD ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut injector = FaultInjector::new(plan);
+        let faulty = injector.apply(&input);
+        total_faults += injector.stats().total();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (b, sk) = bursty_builder(&schema, Some(burst_shed_cfg()));
+            let mut exec = b.build();
+            for (sid, e) in faulty {
+                // Hostile input may be refused; refusal is fail-closed.
+                let _ = exec.push(sid, e);
+            }
+            let released: HashSet<String> = exec.sink(sk).tuples().map(|t| t.to_string()).collect();
+            (released, exec.degradation())
+        }));
+        let (released, deg) = match outcome {
+            Ok(r) => r,
+            Err(_) => panic!("scenario {s}: shedded plan panicked"),
+        };
+        let leaked: Vec<&String> = released.difference(&baseline).collect();
+        assert!(
+            leaked.is_empty(),
+            "scenario {s}: {} tuple(s) leaked under burst+faults, e.g. {:?}",
+            leaked.len(),
+            &leaked[..leaked.len().min(3)],
+        );
+        assert_eq!(deg.overload_level, 0, "scenario {s}: ladder must recover");
+    }
+    assert!(total_faults > 0, "campaign must actually inject faults");
+}
+
+/// Mid-burst crash: kill the supervised shedding pipeline while the
+/// ladder is elevated. Recovery restores the shedder byte-exactly, so
+/// the recovered run repeats the same shed decisions — released tuples
+/// stay a subset of the uninterrupted shedded run, and the full
+/// FailClosed→Normal episode still shows in the counters.
+#[test]
+fn mid_burst_kill_recovers_with_identical_shed_decisions() {
+    let (input, schema) = bursty_workload();
+    let cfg = sp_engine::SupervisorConfig { epoch_interval: 32, ..Default::default() };
+
+    let mut store = sp_engine::MemStore::default();
+    let clean = sp_engine::run_supervised(
+        || bursty_builder(&schema, Some(burst_shed_cfg())).0,
+        &input,
+        &cfg,
+        &mut store,
+        &mut |_, _| false,
+    )
+    .expect("store never fails");
+    assert!(clean.completed());
+    let clean_deg = clean.executor.degradation();
+    assert_eq!(clean_deg.overload_peak, 3, "setup: bursts must reach FailClosed");
+    let (_, sink) = bursty_builder(&schema, Some(burst_shed_cfg()));
+    let baseline: HashSet<String> =
+        clean.executor.sink(sink).tuples().map(|t| t.to_string()).collect();
+
+    // Epoch 9 × 32 elements lands inside the second burst (ticks 12–15).
+    for kill_epoch in [2u64, 9, 17] {
+        let mut store = sp_engine::MemStore::default();
+        let mut killed = false;
+        let mut oracle = move |e: u64, _p: u64| {
+            if !killed && e == kill_epoch {
+                killed = true;
+                return true;
+            }
+            false
+        };
+        let run = sp_engine::run_supervised(
+            || bursty_builder(&schema, Some(burst_shed_cfg())).0,
+            &input,
+            &cfg,
+            &mut store,
+            &mut oracle,
+        )
+        .expect("store never fails");
+        assert!(run.completed(), "kill at epoch {kill_epoch}: recovery must complete");
+        assert_eq!(run.report.checkpoints_restored, 1, "kill at epoch {kill_epoch}");
+
+        let released: HashSet<String> =
+            run.executor.sink(sink).tuples().map(|t| t.to_string()).collect();
+        assert!(
+            released.is_subset(&baseline),
+            "kill at epoch {kill_epoch}: recovery leaked past the shedded baseline"
+        );
+        // Byte-exact shedder restore ⇒ identical end-of-run shed story.
+        let deg = run.executor.degradation();
+        assert_eq!(deg.shed_tuples, clean_deg.shed_tuples, "kill at epoch {kill_epoch}");
+        assert_eq!(deg.overload_peak, 3, "kill at epoch {kill_epoch}");
+        assert_eq!(deg.overload_level, 0, "kill at epoch {kill_epoch}");
+        assert_eq!(
+            deg.ladder_escalations, clean_deg.ladder_escalations,
+            "kill at epoch {kill_epoch}"
+        );
+        assert_eq!(
+            deg.ladder_recoveries, clean_deg.ladder_recoveries,
+            "kill at epoch {kill_epoch}"
+        );
+    }
 }
