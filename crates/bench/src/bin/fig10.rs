@@ -24,8 +24,8 @@ use std::time::Instant;
 use sp_bench::{log_rows, print_table, warn_if_debug, Row};
 use sp_core::{RoleSet, StreamElement};
 use sp_engine::{
-    AdmissionConfig, AdmissionController, DegradationStats, PlanBuilder, QuarantinePolicy,
-    SecurityShield, ShedPolicy, Shedder, ShedderConfig, WatermarkConfig,
+    AdmissionConfig, AdmissionController, DegradationStats, Histogram, PlanBuilder,
+    QuarantinePolicy, SecurityShield, ShedPolicy, Shedder, ShedderConfig, WatermarkConfig,
 };
 use sp_mog::{location_stream, BurstConfig, WorkloadConfig};
 
@@ -105,7 +105,9 @@ fn run_load(amplitude: u64, label: &'static str) -> LoadResult {
         enqueue_deadline_ms: 10,
     });
 
-    let mut push_ns: Vec<u64> = Vec::with_capacity(w.elements.len());
+    // Telemetry-style log-scale histogram: constant memory regardless of
+    // run length, and the same percentile machinery the engine exports.
+    let mut push_ns = Histogram::new();
     let start = Instant::now();
     for e in &w.elements {
         let is_tuple = matches!(e, StreamElement::Tuple(_));
@@ -114,15 +116,12 @@ fn run_load(amplitude: u64, label: &'static str) -> LoadResult {
         }
         let t0 = Instant::now();
         let _ = exec.push(w.stream, e.clone());
-        push_ns.push(t0.elapsed().as_nanos() as u64);
+        push_ns.record(t0.elapsed().as_nanos() as u64);
     }
     let _ = exec.finish();
     let elapsed = start.elapsed();
 
-    push_ns.sort_unstable();
-    let p99 = push_ns.get((push_ns.len().saturating_sub(1)) * 99 / 100).copied().unwrap_or(0)
-        as f64
-        / 1_000.0;
+    let p99 = push_ns.percentile(99.0) as f64 / 1_000.0;
 
     let mut deg = exec.degradation();
     deg.absorb(&admission.degradation());

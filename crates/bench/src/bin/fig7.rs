@@ -6,7 +6,7 @@
 //! * 7c — policy memory (KB) vs policy size |R|;
 //! * 7d — processing cost per 100 tuples (µs) vs policy size |R|.
 //!
-//! Usage: `cargo run --release -p sp-bench --bin fig7 -- [a|b|c|d|r|all]`
+//! Usage: `cargo run --release -p sp-bench --bin fig7 -- [a|b|c|d|r|t|all]`
 //!
 //! `r` prints the hostile-stream degradation report: the same workload is
 //! replayed through the wire with seeded faults (drops, reorders, byte
@@ -15,6 +15,12 @@
 //! under a crash supervisor with injected pipeline kills, reporting the
 //! recovery counters and the checkpoint overhead at the default epoch
 //! interval (target: under 10%).
+//!
+//! `t` measures the telemetry layer itself: the same shielded workload
+//! with the flight recorder and metrics histograms off vs on, reporting
+//! the overhead (target: under 5%) and writing the Prometheus exposition
+//! to `target/telemetry.prom` plus a machine-readable summary to
+//! `target/BENCH_telemetry.json`.
 
 use sp_bench::mechanisms::{all_mechanisms, catalog, drive, probe_roles, MechRun};
 use sp_bench::workloads::fig7_workload;
@@ -23,7 +29,7 @@ use sp_core::wire::{FrameDecoder, Message};
 use sp_core::{RoleSet, StreamId};
 use sp_engine::{
     run_supervised, DegradationStats, FaultInjector, FaultPlan, MemStore, PlanBuilder,
-    QuarantinePolicy, ReorderBuffer, SecurityShield, SupervisorConfig,
+    QuarantinePolicy, ReorderBuffer, SecurityShield, SupervisorConfig, TelemetryConfig,
 };
 
 const RATIOS: [usize; 5] = [1, 10, 25, 50, 100];
@@ -59,14 +65,106 @@ fn main() {
         "c" => policy_size_sweep(true),
         "d" => policy_size_sweep(false),
         "r" => degradation_report(),
+        "t" => telemetry_report(),
         _ => {
             ratio_sweep(true);
             ratio_sweep(false);
             policy_size_sweep(true);
             policy_size_sweep(false);
             degradation_report();
+            telemetry_report();
         }
     }
+}
+
+/// Telemetry overhead: the same shielded workload with the audit trail
+/// and metrics histograms disarmed vs armed. The flight recorder and the
+/// log-scale histograms are designed to cost a few arithmetic ops per
+/// decision, so the armed run must stay within 5% of the bare one.
+fn telemetry_report() {
+    let catalog = catalog(128);
+    let workload = fig7_workload(10, 3, 0.5, 42);
+    let input: Vec<(StreamId, sp_core::StreamElement)> =
+        workload.elements.iter().map(|e| (workload.stream, e.clone())).collect();
+    let stream = workload.stream;
+    let schema = &workload.schema;
+    let builder = |telemetry: Option<TelemetryConfig>| {
+        let mut b = PlanBuilder::new(catalog.clone());
+        let src = b.source(stream, schema.clone());
+        b.harden_source(src, QuarantinePolicy { ttl_ms: 40, slack_ms: 100, capacity: 1_024 });
+        let ss = b.add(SecurityShield::new(RoleSet::from([0])), src);
+        let _sink = b.sink(ss);
+        if let Some(cfg) = telemetry {
+            b.enable_telemetry(cfg);
+        }
+        b
+    };
+    let drive = |telemetry: Option<TelemetryConfig>| {
+        let mut exec = builder(telemetry).build();
+        for (s, e) in &input {
+            let _ = exec.push(*s, e.clone());
+        }
+        let _ = exec.finish();
+    };
+
+    let plain = time_best_of_3(|| drive(None));
+    let armed = time_best_of_3(|| drive(Some(TelemetryConfig::enabled())));
+    let overhead =
+        (armed.as_secs_f64() - plain.as_secs_f64()) / plain.as_secs_f64().max(1e-9) * 100.0;
+
+    // One more armed run kept alive so the exposition and trail can be
+    // inspected after the timing loop.
+    let mut exec = builder(Some(TelemetryConfig::enabled())).build();
+    for (s, e) in &input {
+        let _ = exec.push(*s, e.clone());
+    }
+    let _ = exec.finish();
+    let trail = exec.audit_trail();
+    let audit_records = trail.len() as u64 + trail.evicted();
+    let prom = exec.metrics_prometheus();
+
+    println!("\nFig 7t: telemetry overhead (audit trail + metrics histograms)");
+    println!("  bare run            {:>10.2} ms", plain.as_secs_f64() * 1e3);
+    println!("  telemetry on        {:>10.2} ms", armed.as_secs_f64() * 1e3);
+    println!("  overhead            {overhead:>9.1}% (target < 5%)");
+    println!("  decisions audited   {audit_records} ({} evicted)", trail.evicted());
+    println!("  exposition          {} lines", prom.lines().count());
+
+    if std::fs::create_dir_all("target").is_ok() {
+        let _ = std::fs::write("target/telemetry.prom", &prom);
+        println!("  wrote target/telemetry.prom");
+        let json = format!(
+            concat!(
+                "{{\n  \"experiment\": \"fig7t_telemetry\",\n",
+                "  \"tuples\": {},\n  \"bare_ms\": {:.3},\n  \"telemetry_ms\": {:.3},\n",
+                "  \"overhead_pct\": {:.2},\n  \"audit_records\": {},\n",
+                "  \"audit_evicted\": {},\n  \"exposition_lines\": {}\n}}\n"
+            ),
+            workload.tuples,
+            plain.as_secs_f64() * 1e3,
+            armed.as_secs_f64() * 1e3,
+            overhead,
+            audit_records,
+            trail.evicted(),
+            prom.lines().count(),
+        );
+        let _ = std::fs::write("target/BENCH_telemetry.json", json);
+        println!("  wrote target/BENCH_telemetry.json");
+    }
+
+    let row = |metric: &'static str, measured: f64| Row {
+        experiment: "fig7t",
+        param: "telemetry",
+        value: "on-vs-off".into(),
+        series: "sp".into(),
+        metric,
+        measured,
+    };
+    log_rows(&[
+        row("telemetry_overhead_pct", overhead),
+        row("audit_records", audit_records as f64),
+        row("exposition_lines", prom.lines().count() as f64),
+    ]);
 }
 
 /// Hostile-stream degradation: replays the Fig. 7 workload over the wire

@@ -1,0 +1,34 @@
+//! Lints a Prometheus text exposition file and exits nonzero on any
+//! violation — CI's check that the engine's metrics endpoint speaks
+//! valid exposition format.
+//!
+//! Usage: `cargo run -p sp-bench --bin promlint -- [path]`
+//!
+//! `path` defaults to `target/telemetry.prom`, which `fig7 t` writes.
+
+use std::process::ExitCode;
+
+use sp_bench::prom::lint;
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "target/telemetry.prom".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("promlint: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errors = lint(&text);
+    if errors.is_empty() {
+        let samples = text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count();
+        println!("promlint: {path} OK ({samples} samples)");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("promlint: {path}: {e}");
+        }
+        eprintln!("promlint: {} violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}

@@ -19,6 +19,7 @@ use std::io::Write as _;
 use std::time::Duration;
 
 pub mod mechanisms;
+pub mod prom;
 pub mod workloads;
 
 /// One measured table row, serialized to the results log.

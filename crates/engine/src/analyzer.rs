@@ -20,6 +20,7 @@ use sp_core::{
 
 use crate::element::{Element, PolicyEntry, SegmentPolicy};
 use crate::stats::DegradationStats;
+use crate::telemetry::{AuditEvent, FlightRecorder, QuarantineReason, NO_TUPLE};
 
 /// Hardened-mode parameters: how fresh a policy must be to govern a
 /// tuple, and how long an uncovered tuple may wait for its policy.
@@ -82,6 +83,9 @@ pub struct SpAnalyzer {
     /// Quarantined tuples dropped: timed out, evicted by the capacity
     /// bound, or passed over by a newer policy. Never emitted unshielded.
     pub quarantine_dropped: u64,
+    /// Security flight recorder: quarantine decisions and stale-sp
+    /// discards, each with its [`QuarantineReason`]. Disabled by default.
+    recorder: FlightRecorder,
 }
 
 impl SpAnalyzer {
@@ -105,7 +109,20 @@ impl SpAnalyzer {
             quarantined: 0,
             quarantine_released: 0,
             quarantine_dropped: 0,
+            recorder: FlightRecorder::disabled(),
         }
+    }
+
+    /// Enables the security flight recorder with the given ring capacity
+    /// (0 disables it again).
+    pub fn set_audit(&mut self, capacity: usize) {
+        self.recorder = FlightRecorder::new(capacity);
+    }
+
+    /// The flight recorder, when enabled.
+    #[must_use]
+    pub fn audit(&self) -> Option<&FlightRecorder> {
+        self.recorder.enabled().then_some(&self.recorder)
     }
 
     /// Switches this analyzer into hardened fail-closed mode: a tuple not
@@ -182,9 +199,22 @@ impl SpAnalyzer {
                 match self.hardening {
                     Some(qp) if !self.governs(tuple.ts, qp.ttl_ms) => {
                         self.quarantined += 1;
+                        self.recorder.record(
+                            tuple.tid.raw(),
+                            tuple.ts.0,
+                            AuditEvent::Quarantined { reason: QuarantineReason::Uncovered },
+                        );
                         if self.quarantine.len() >= qp.capacity {
-                            self.quarantine.pop_front();
-                            self.quarantine_dropped += 1;
+                            if let Some(evicted) = self.quarantine.pop_front() {
+                                self.quarantine_dropped += 1;
+                                self.recorder.record(
+                                    evicted.tid.raw(),
+                                    evicted.ts.0,
+                                    AuditEvent::QuarantineDropped {
+                                        reason: QuarantineReason::CapacityEvicted,
+                                    },
+                                );
+                            }
                         }
                         self.quarantine.push_back(tuple);
                     }
@@ -210,6 +240,22 @@ impl SpAnalyzer {
             // Reordered arrivals mean the queue is not ts-sorted, so scan
             // it all rather than popping from the front.
             let clock = self.clock;
+            if self.recorder.enabled() {
+                // Separate pre-pass: `retain`'s closure cannot reach the
+                // recorder, and this path costs nothing when auditing is
+                // off.
+                for t in &self.quarantine {
+                    if t.ts.0.saturating_add(qp.slack_ms) < clock {
+                        self.recorder.record(
+                            t.tid.raw(),
+                            t.ts.0,
+                            AuditEvent::QuarantineDropped {
+                                reason: QuarantineReason::SlackExpired,
+                            },
+                        );
+                    }
+                }
+            }
             let before = self.quarantine.len();
             self.quarantine.retain(|t| t.ts.0.saturating_add(qp.slack_ms) >= clock);
             self.quarantine_dropped += (before - self.quarantine.len()) as u64;
@@ -228,6 +274,7 @@ impl SpAnalyzer {
             // authorizations back — a delayed or replayed grant could widen
             // access retroactively. Fail closed: discard the whole batch.
             self.stale_sp_batches += 1;
+            self.recorder.record(NO_TUPLE, ts.0, AuditEvent::StaleSpDiscarded);
             return;
         }
         // Group the batch by tuple scope: sps with identical tuple patterns
@@ -297,9 +344,15 @@ impl SpAnalyzer {
             for t in std::mem::take(&mut self.quarantine) {
                 if ts <= t.ts && t.ts.0 - ts.0 <= qp.ttl_ms {
                     self.quarantine_released += 1;
+                    self.recorder.record(t.tid.raw(), t.ts.0, AuditEvent::QuarantineReleased);
                     out.push(Element::Tuple(t));
                 } else if t.ts < ts {
                     self.quarantine_dropped += 1;
+                    self.recorder.record(
+                        t.tid.raw(),
+                        t.ts.0,
+                        AuditEvent::QuarantineDropped { reason: QuarantineReason::PassedOver },
+                    );
                 } else {
                     self.quarantine.push_back(t);
                 }
@@ -427,7 +480,10 @@ impl SpAnalyzer {
             self.quarantine_dropped = buf.get_u64();
             ckpt::done(buf)
         };
-        apply().map_err(|e| ckpt::corrupt("analyzer", e))
+        apply().map_err(|e| ckpt::corrupt("analyzer", e))?;
+        // Audit state is not checkpointed; replay repopulates the ring.
+        self.recorder.clear();
+        Ok(())
     }
 }
 

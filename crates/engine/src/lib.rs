@@ -39,7 +39,10 @@
 //!   and a terminal fail-closed state that refuses input rather than
 //!   leak it;
 //! * [`predicate_index`] — the CACQ-style grouped filter over SS states
-//!   that §V-A suggests for many-query shields.
+//!   that §V-A suggests for many-query shields;
+//! * [`telemetry`] — the security-decision audit trail (deterministic
+//!   per-operator flight recorders), mergeable log₂ histograms with
+//!   Prometheus/JSON export, and a feature-gated span facade.
 
 #![warn(missing_docs)]
 
@@ -59,6 +62,7 @@ pub mod reorder;
 pub mod slack;
 pub mod stats;
 pub mod supervisor;
+pub mod telemetry;
 pub mod window;
 
 pub use analyzer::{QuarantinePolicy, SpAnalyzer};
@@ -85,5 +89,9 @@ pub use slack::Slack;
 pub use stats::{CostKind, DegradationStats, OperatorStats};
 pub use supervisor::{
     run_supervised, RecoveryReport, SupervisedRun, SupervisorConfig, DEFAULT_EPOCH_INTERVAL,
+};
+pub use telemetry::{
+    AuditEvent, AuditOp, AuditRecord, AuditTrail, FlightRecorder, Histogram, MetricsRegistry,
+    QuarantineReason, TelemetryConfig,
 };
 pub use window::WindowSpec;

@@ -99,6 +99,23 @@ pub trait Operator: Send {
         false
     }
 
+    /// Enables the operator's security flight recorder with the given
+    /// ring capacity. Returns false (the default) for operators that make
+    /// no access-control decisions and therefore record nothing.
+    ///
+    /// Audit state is observability, not operator state: it is excluded
+    /// from [`Operator::snapshot`] and cleared by [`Operator::restore`],
+    /// so deterministic replay after a crash repopulates the ring without
+    /// duplicating pre-crash records.
+    fn set_audit(&mut self, _capacity: usize) -> bool {
+        false
+    }
+
+    /// The operator's flight recorder, when it has one and it is enabled.
+    fn audit(&self) -> Option<&crate::telemetry::FlightRecorder> {
+        None
+    }
+
     /// Serializes the operator's mutable state for an epoch checkpoint.
     ///
     /// The encoding must be **canonical**: two operators in the same state

@@ -24,6 +24,7 @@ use crate::element::{Element, SegmentPolicy};
 use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
 use crate::stats::{CostKind, OperatorStats};
+use crate::telemetry::{AuditEvent, FlightRecorder, NO_SP};
 
 /// Enforcement granularity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,6 +62,10 @@ enum Verdict {
     PerTuple,
 }
 
+/// Cached scoped-segment decision: the resolved policy allocation, the
+/// release mask (if attribute granularity), and the authorizing role.
+type TupleVerdictCache = (SharedPolicy, Option<Arc<[usize]>>, u32);
+
 /// The Security Shield operator.
 #[derive(Debug)]
 pub struct SecurityShield {
@@ -82,8 +87,14 @@ pub struct SecurityShield {
     /// one segment resolve to the *same shared policy allocation*, so a
     /// pointer compare reuses the previous decision ("once an sp has been
     /// processed, the decision applies to all tuples that follow it").
-    /// Keeping the `Arc` alive makes the identity check sound.
-    tuple_cache: Option<(SharedPolicy, Option<Arc<[usize]>>)>,
+    /// Keeping the `Arc` alive makes the identity check sound. The third
+    /// component is the authorizing role for the audit trail.
+    tuple_cache: Option<TupleVerdictCache>,
+    /// Authorizing role of the current uniform segment (for audit
+    /// records); `u32::MAX` when denying or per-tuple.
+    seg_role: u32,
+    /// Security flight recorder (disabled unless telemetry is on).
+    recorder: FlightRecorder,
     stats: OperatorStats,
 }
 
@@ -102,6 +113,8 @@ impl SecurityShield {
             pending_policy: None,
             mask_cache: None,
             tuple_cache: None,
+            seg_role: u32::MAX,
+            recorder: FlightRecorder::disabled(),
             stats: OperatorStats::new(),
         }
     }
@@ -185,12 +198,31 @@ impl SecurityShield {
         }
     }
 
+    /// First predicate role the policy grants at tuple level, falling
+    /// back to the first predicate role (attribute-scoped grants), or
+    /// `u32::MAX` for an empty predicate. This is the role an audit
+    /// record cites as the release justification.
+    fn authorizing_role(&self, policy: &SharedPolicy) -> u32 {
+        let mut fallback = u32::MAX;
+        for role in self.roles.iter() {
+            if fallback == u32::MAX {
+                fallback = role.raw();
+            }
+            if policy.tuple_roles().contains(role) {
+                return role.raw();
+            }
+        }
+        fallback
+    }
+
     fn evaluate_segment(&mut self, seg: &Arc<SegmentPolicy>) -> Verdict {
         self.mask_cache = None;
         self.tuple_cache = None;
+        self.seg_role = u32::MAX;
         match seg.as_uniform() {
             Some(policy) => {
                 if self.authorized(policy) {
+                    self.seg_role = self.authorizing_role(policy);
                     let mask_from =
                         (self.granularity == Granularity::Attribute).then(|| policy.clone());
                     Verdict::Pass { mask_from }
@@ -273,18 +305,23 @@ impl Operator for SecurityShield {
             Element::Tuple(tuple) => {
                 let start = self.timed.then(std::time::Instant::now);
                 self.stats.tuples_in += 1;
+                let (tid_raw, ts_raw) = (tuple.tid.raw(), tuple.ts.0);
+                let mut audit_role = u32::MAX;
                 let decision = match &self.verdict {
                     Verdict::Deny | Verdict::Fail => None,
-                    Verdict::Pass { mask_from } => match mask_from.clone() {
-                        None => Some(Arc::from([])),
-                        Some(policy) => Some(self.cached_mask(&policy, tuple.arity())),
-                    },
+                    Verdict::Pass { mask_from } => {
+                        audit_role = self.seg_role;
+                        match mask_from.clone() {
+                            None => Some(Arc::from([])),
+                            Some(policy) => Some(self.cached_mask(&policy, tuple.arity())),
+                        }
+                    }
                     Verdict::PerTuple => {
                         // Resolve with a scoped borrow, deferring any
                         // mutation of the verdict cache.
                         enum Hit {
                             Deny,
-                            Cached(Option<Arc<[usize]>>),
+                            Cached(Option<Arc<[usize]>>, u32),
                             Evaluate(SharedPolicy),
                             Combined(SharedPolicy),
                         }
@@ -301,8 +338,10 @@ impl Operator for SecurityShield {
                                     // allocation — a pointer compare
                                     // reuses the previous verdict.
                                     match &self.tuple_cache {
-                                        Some((cached, verdict)) if Arc::ptr_eq(cached, policy) => {
-                                            Hit::Cached(verdict.clone())
+                                        Some((cached, verdict, role))
+                                            if Arc::ptr_eq(cached, policy) =>
+                                        {
+                                            Hit::Cached(verdict.clone(), *role)
                                         }
                                         _ => Hit::Evaluate(policy.clone()),
                                     }
@@ -314,13 +353,21 @@ impl Operator for SecurityShield {
                         };
                         match hit {
                             Hit::Deny => None,
-                            Hit::Cached(verdict) => verdict,
-                            Hit::Evaluate(policy) => {
-                                let verdict = self.judge(&policy, tuple.arity());
-                                self.tuple_cache = Some((policy, verdict.clone()));
+                            Hit::Cached(verdict, role) => {
+                                audit_role = role;
                                 verdict
                             }
-                            Hit::Combined(policy) => self.judge(&policy, tuple.arity()),
+                            Hit::Evaluate(policy) => {
+                                let verdict = self.judge(&policy, tuple.arity());
+                                let role = self.authorizing_role(&policy);
+                                self.tuple_cache = Some((policy, verdict.clone(), role));
+                                audit_role = role;
+                                verdict
+                            }
+                            Hit::Combined(policy) => {
+                                audit_role = self.authorizing_role(&policy);
+                                self.judge(&policy, tuple.arity())
+                            }
                         }
                     }
                 };
@@ -331,13 +378,27 @@ impl Operator for SecurityShield {
                             out.push(Element::Policy(policy));
                         }
                         self.stats.tuples_out += 1;
+                        if self.recorder.enabled() {
+                            let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
+                            self.recorder.record(
+                                tid_raw,
+                                ts_raw,
+                                AuditEvent::Released { role: audit_role, sp_ts },
+                            );
+                        }
                         if masked.is_empty() {
                             out.push(Element::Tuple(tuple));
                         } else {
                             out.push(Element::tuple(tuple.mask(&masked)));
                         }
                     }
-                    None => self.stats.tuples_shielded += 1,
+                    None => {
+                        self.stats.tuples_shielded += 1;
+                        if self.recorder.enabled() {
+                            let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
+                            self.recorder.record(tid_raw, ts_raw, AuditEvent::Suppressed { sp_ts });
+                        }
+                    }
                 }
                 if let Some(start) = start {
                     self.stats.charge(CostKind::Tuple, start.elapsed());
@@ -349,6 +410,15 @@ impl Operator for SecurityShield {
 
     fn stats(&self) -> &OperatorStats {
         &self.stats
+    }
+
+    fn set_audit(&mut self, capacity: usize) -> bool {
+        self.recorder = FlightRecorder::new(capacity);
+        true
+    }
+
+    fn audit(&self) -> Option<&FlightRecorder> {
+        self.recorder.enabled().then_some(&self.recorder)
     }
 
     fn state_mem_bytes(&self) -> usize {
@@ -374,11 +444,14 @@ impl Operator for SecurityShield {
             ckpt::done(buf)
         };
         apply().map_err(|e| EngineError::corrupt("ss", e))?;
+        // Audit state is not checkpointed; replay repopulates the ring.
+        self.recorder.clear();
         self.verdict = match self.current.clone() {
             Some(seg) => self.evaluate_segment(&seg),
             None => {
                 self.mask_cache = None;
                 self.tuple_cache = None;
+                self.seg_role = u32::MAX;
                 Verdict::Deny
             }
         };

@@ -451,6 +451,11 @@ pub struct Shedder {
     /// Deliberately-broken mode for negative tests: sheds security
     /// punctuations under load. See [`Shedder::break_sp_shedding`].
     broken_sheds_sps: bool,
+    /// Security flight recorder: shed decisions and ladder transitions.
+    recorder: crate::telemetry::FlightRecorder,
+    /// How many entries of `ladder.transitions()` are already audited,
+    /// so each transition is recorded exactly once.
+    audited_transitions: usize,
     stats: OperatorStats,
 }
 
@@ -473,6 +478,8 @@ impl Shedder {
             shed_tuples: 0,
             shed_critical: 0,
             broken_sheds_sps: false,
+            recorder: crate::telemetry::FlightRecorder::disabled(),
+            audited_transitions: 0,
             stats: OperatorStats::new(),
             cfg,
         }
@@ -533,6 +540,20 @@ impl Shedder {
         let level = self.ladder.observe(self.occupancy_pct(), at);
         if level == OverloadLevel::Normal && before != OverloadLevel::Normal {
             self.fair.clear();
+        }
+        if self.recorder.enabled() {
+            // Audit every rung the observation crossed, exactly once.
+            for t in &self.ladder.transitions()[self.audited_transitions..] {
+                self.recorder.record(
+                    crate::telemetry::NO_TUPLE,
+                    t.at.0,
+                    crate::telemetry::AuditEvent::LadderTransition {
+                        from: t.from.code(),
+                        to: t.to.code(),
+                    },
+                );
+            }
+            self.audited_transitions = self.ladder.transitions().len();
         }
         level
     }
@@ -621,6 +642,11 @@ impl Operator for Shedder {
                     if level >= OverloadLevel::CriticalShedding {
                         self.shed_critical += 1;
                     }
+                    self.recorder.record(
+                        t.tid.raw(),
+                        t.ts.0,
+                        crate::telemetry::AuditEvent::Shed { level: level.code() },
+                    );
                 } else {
                     self.admit(&t);
                     self.stats.tuples_out += 1;
@@ -636,6 +662,16 @@ impl Operator for Shedder {
 
     fn stats(&self) -> &OperatorStats {
         &self.stats
+    }
+
+    fn set_audit(&mut self, capacity: usize) -> bool {
+        self.recorder = crate::telemetry::FlightRecorder::new(capacity);
+        self.audited_transitions = self.ladder.transitions().len();
+        true
+    }
+
+    fn audit(&self) -> Option<&crate::telemetry::FlightRecorder> {
+        self.recorder.enabled().then_some(&self.recorder)
     }
 
     fn degradation(&self) -> Option<DegradationStats> {
@@ -696,6 +732,11 @@ impl Operator for Shedder {
         self.current = ckpt::decode_opt_segment(buf).map_err(fail)?;
         self.stats.decode_counters(buf).map_err(fail)?;
         ckpt::done(buf).map_err(fail)?;
+        // Audit state is not checkpointed: clear the ring and skip the
+        // restored (pre-crash) ladder transitions so replay records only
+        // transitions it actually re-observes.
+        self.recorder.clear();
+        self.audited_transitions = self.ladder.transitions().len();
         Ok(())
     }
 }

@@ -69,6 +69,7 @@ use crate::operator::{Emitter, Operator as _};
 use crate::ops::sink::Sink;
 use crate::overload::{classed_channel, ClassedReceiver, ClassedSender, DataRejected};
 use crate::plan::{PlanBuilder, SinkRef, Target};
+use crate::telemetry::{AuditOp, AuditTrail, FlightRecorder};
 
 /// Data-class capacity of bounded (unary / sink) edges. Control traffic
 /// (sps, epoch barriers) does not count against it.
@@ -117,9 +118,13 @@ enum Section {
 /// A snapshot section reported by the feeder or a worker.
 type SectionMsg = (u64, Section, Vec<u8>);
 
+/// A flight-recorder section shipped back by a finishing worker.
+type AuditMsg = (AuditOp, FlightRecorder);
+
 /// Results of a parallel run.
 pub struct ParallelResults {
     sinks: Vec<Sink>,
+    audit: AuditTrail,
 }
 
 impl ParallelResults {
@@ -127,6 +132,15 @@ impl ParallelResults {
     #[must_use]
     pub fn sink(&self, s: SinkRef) -> &Sink {
         &self.sinks[s.index()]
+    }
+
+    /// The plan-wide security audit trail, assembled in the same canonical
+    /// section order as [`Executor::audit_trail`](crate::plan::Executor::audit_trail),
+    /// so sequential and parallel runs of one plan encode identically.
+    /// Empty unless the builder enabled telemetry with an audit capacity.
+    #[must_use]
+    pub fn audit_trail(&self) -> &AuditTrail {
+        &self.audit
     }
 }
 
@@ -436,7 +450,7 @@ fn run_parallel_inner(
     inputs: impl IntoIterator<Item = (StreamId, StreamElement)>,
     epoch_interval: Option<u64>,
 ) -> Result<RunOk, RunErr> {
-    let (nodes, mut sources, sinks) = builder.into_parts();
+    let (nodes, mut sources, sinks, _telemetry) = builder.into_parts();
 
     // Channels: one per (node, port) and one per sink. Binary ports are
     // unbounded (ordered-merge requirement), everything else a classed
@@ -481,6 +495,10 @@ fn run_parallel_inner(
     // `(epoch, section, bytes)` here; the coordinating thread drains the
     // receiver after the run and assembles complete cuts.
     let (sections_tx, sections_rx) = channel::<SectionMsg>();
+    // Audit plumbing: each worker ships its operator's flight recorder
+    // (if armed) back once its input closes; analyzers are read inline by
+    // the coordinating thread after the feed loop.
+    let (audit_tx, audit_rx) = channel::<AuditMsg>();
     let mut collection = CkptCollection {
         analyzers: sources.len(),
         nodes: nodes.len(),
@@ -498,6 +516,7 @@ fn run_parallel_inner(
         let op_name = node.op.name().to_string();
         let thread_name = op_name.clone();
         let sections = sections_tx.clone();
+        let audits = audit_tx.clone();
         node_handles.push((
             op_name.clone(),
             std::thread::spawn(move || -> Result<(), EngineError> {
@@ -577,6 +596,13 @@ fn run_parallel_inner(
                             }
                         }
                     }
+                }
+                // Input closed cleanly: ship this operator's audit section
+                // home. (A failed worker returns above and loses its
+                // records — the run's trail is only published on success.)
+                #[allow(clippy::cast_possible_truncation)] // plan slots fit u32
+                if let Some(rec) = node.op.audit() {
+                    let _ = audits.send((AuditOp::Node(slot as u32), rec.clone()));
                 }
                 // Dropping this worker's wires closes its downstream
                 // edges once every other sender to them is gone.
@@ -673,6 +699,21 @@ fn run_parallel_inner(
     // drain whatever arrived.
     drop(sections_tx);
     collection.sections.extend(sections_rx.try_iter());
+    // Assemble the audit trail: analyzer recorders live on this thread
+    // (the feeder runs them inline); worker recorders arrived over the
+    // audit channel. `push_section` keeps canonical order, so the trail
+    // encodes identically to the sequential executor's.
+    drop(audit_tx);
+    let mut audit = AuditTrail::new();
+    #[allow(clippy::cast_possible_truncation)] // plan slots fit u32
+    for (sid, source) in sources.iter().enumerate() {
+        if let Some(rec) = source.analyzer.audit() {
+            audit.push_section(AuditOp::Source(sid as u32), rec.clone());
+        }
+    }
+    for (op, rec) in audit_rx.try_iter() {
+        audit.push_section(op, rec);
+    }
     if let Some(e) = feed_error {
         return Err(Box::new((e, collection)));
     }
@@ -680,7 +721,7 @@ fn run_parallel_inner(
         return Err(Box::new((e, collection)));
     }
     match joined_sinks {
-        Ok(sinks) => Ok((ParallelResults { sinks }, collection)),
+        Ok(sinks) => Ok((ParallelResults { sinks, audit }, collection)),
         Err(e) => Err(Box::new((e, collection))),
     }
 }

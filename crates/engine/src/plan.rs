@@ -21,6 +21,9 @@ use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
 use crate::ops::sink::Sink;
 use crate::stats::OperatorStats;
+use crate::telemetry::{
+    span::span, AuditOp, AuditTrail, Histogram, MetricsRegistry, TelemetryConfig,
+};
 
 /// Reference to a plan node (an operator added to a builder).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,13 +95,41 @@ pub struct PlanBuilder {
     pub(crate) nodes: Vec<Node>,
     pub(crate) sources: Vec<Source>,
     pub(crate) sinks: Vec<Sink>,
+    telemetry: TelemetryConfig,
 }
 
 impl PlanBuilder {
     /// A builder using the given role catalog for punctuation resolution.
     #[must_use]
     pub fn new(catalog: Arc<RoleCatalog>) -> Self {
-        Self { catalog, nodes: Vec::new(), sources: Vec::new(), sinks: Vec::new() }
+        Self {
+            catalog,
+            nodes: Vec::new(),
+            sources: Vec::new(),
+            sinks: Vec::new(),
+            telemetry: TelemetryConfig::disabled(),
+        }
+    }
+
+    /// Configures telemetry (audit trail + metrics) for the built plan.
+    /// Applies to every source and node, including ones added after this
+    /// call. Off by default.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = config;
+    }
+
+    /// Propagates the audit capacity to every analyzer and operator.
+    /// Runs at finalization so late-added nodes are covered too.
+    fn apply_telemetry(&mut self) {
+        if self.telemetry.audit_capacity == 0 {
+            return;
+        }
+        for source in &mut self.sources {
+            source.analyzer.set_audit(self.telemetry.audit_capacity);
+        }
+        for node in &mut self.nodes {
+            node.op.set_audit(self.telemetry.audit_capacity);
+        }
     }
 
     /// Registers a source stream.
@@ -171,23 +202,29 @@ impl PlanBuilder {
     }
 
     /// Decomposes the builder for alternative runtimes (parallel executor).
-    pub(crate) fn into_parts(self) -> (Vec<Node>, Vec<Source>, Vec<Sink>) {
-        (self.nodes, self.sources, self.sinks)
+    pub(crate) fn into_parts(mut self) -> (Vec<Node>, Vec<Source>, Vec<Sink>, TelemetryConfig) {
+        self.apply_telemetry();
+        (self.nodes, self.sources, self.sinks, self.telemetry)
     }
 
     /// Finalizes the plan into an executor.
     #[must_use]
-    pub fn build(self) -> Executor {
+    pub fn build(mut self) -> Executor {
+        self.apply_telemetry();
         let mut by_stream: HashMap<StreamId, Vec<usize>> = HashMap::new();
         for (i, s) in self.sources.iter().enumerate() {
             by_stream.entry(s.stream).or_default().push(i);
         }
+        let latency = vec![Histogram::new(); self.nodes.len()];
         Executor {
             nodes: self.nodes,
             sources: self.sources,
             sinks: self.sinks,
             by_stream,
             queue: VecDeque::new(),
+            telemetry: self.telemetry,
+            latency,
+            queue_depth: Histogram::new(),
         }
     }
 }
@@ -199,6 +236,11 @@ pub struct Executor {
     sinks: Vec<Sink>,
     by_stream: HashMap<StreamId, Vec<usize>>,
     queue: VecDeque<(Target, Element)>,
+    telemetry: TelemetryConfig,
+    /// Per-node `process` latency in nanoseconds (metrics mode only).
+    latency: Vec<Histogram>,
+    /// Work-queue depth sampled at each dequeue (metrics mode only).
+    queue_depth: Histogram,
 }
 
 impl Executor {
@@ -211,6 +253,7 @@ impl Executor {
     /// work queued behind the failing element is discarded (fail-closed:
     /// nothing is released past a failed operator).
     pub fn push(&mut self, stream: StreamId, elem: StreamElement) -> Result<(), EngineError> {
+        let _span = span("executor.push");
         let Some(source_ids) = self.by_stream.get(&stream) else {
             return Ok(());
         };
@@ -259,7 +302,13 @@ impl Executor {
                     let node = &mut self.nodes[n];
                     let start = std::time::Instant::now();
                     let result = node.op.process(port, elem, &mut emitter);
-                    node.elapsed += start.elapsed();
+                    let elapsed = start.elapsed();
+                    node.elapsed += elapsed;
+                    if self.telemetry.metrics {
+                        #[allow(clippy::cast_possible_truncation)] // < 585 years
+                        self.latency[n].record(elapsed.as_nanos() as u64);
+                        self.queue_depth.record(self.queue.len() as u64);
+                    }
                     if let Err(e) = result {
                         self.queue.clear();
                         return Err(e);
@@ -324,6 +373,7 @@ impl Executor {
     ///
     /// Propagates the first [`EngineError`] an operator reports.
     pub fn finish(&mut self) -> Result<(), EngineError> {
+        let _span = span("executor.finish");
         let mut staged = Vec::new();
         for source in &mut self.sources {
             staged.clear();
@@ -353,12 +403,146 @@ impl Executor {
         total
     }
 
+    /// Arms audit recording on every analyzer and every auditing operator.
+    ///
+    /// Recorders start empty; the supervisor calls this after each rebuild
+    /// or restore so the flight recorder never replays pre-crash history.
+    pub fn set_audit(&mut self, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        for source in &mut self.sources {
+            source.analyzer.set_audit(capacity);
+        }
+        for node in &mut self.nodes {
+            node.op.set_audit(capacity);
+        }
+    }
+
+    /// Assembles the plan-wide audit trail in canonical section order:
+    /// analyzers (by source index) first, then operators (by node index).
+    ///
+    /// Sections whose recorder is disabled are omitted, so a sequential run
+    /// and a pipeline-parallel run of the same plan yield byte-identical
+    /// [`AuditTrail::encode_to_vec`] output.
+    #[must_use]
+    pub fn audit_trail(&self) -> AuditTrail {
+        let mut trail = AuditTrail::new();
+        for (i, source) in self.sources.iter().enumerate() {
+            if let Some(rec) = source.analyzer.audit() {
+                trail.push_section(AuditOp::Source(i as u32), rec.clone());
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(rec) = node.op.audit() {
+                trail.push_section(AuditOp::Node(i as u32), rec.clone());
+            }
+        }
+        trail
+    }
+
+    /// Builds a point-in-time metrics snapshot: per-operator tuple/sp
+    /// counters, fail-closed degradation counters, audit-trail pressure,
+    /// and — when metrics collection is enabled — per-node process-latency
+    /// and queue-depth histograms.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let labels = format!("op=\"{}\",node=\"{i}\"", node.op.name());
+            let s = node.op.stats();
+            reg.add_counter(
+                "sp_tuples_in_total",
+                "Tuples entering an operator",
+                &labels,
+                s.tuples_in,
+            );
+            reg.add_counter(
+                "sp_tuples_out_total",
+                "Tuples emitted by an operator",
+                &labels,
+                s.tuples_out,
+            );
+            reg.add_counter(
+                "sp_sps_in_total",
+                "Security punctuations entering an operator",
+                &labels,
+                s.sps_in,
+            );
+            reg.add_counter(
+                "sp_sps_out_total",
+                "Security punctuations emitted by an operator",
+                &labels,
+                s.sps_out,
+            );
+            reg.add_counter(
+                "sp_tuples_shielded_total",
+                "Tuples suppressed by the Security Shield",
+                &labels,
+                s.tuples_shielded,
+            );
+            if self.telemetry.metrics {
+                reg.merge_histogram(
+                    "sp_operator_latency_ns",
+                    "Per-call operator process latency in nanoseconds",
+                    &labels,
+                    &self.latency[i],
+                );
+            }
+        }
+        if self.telemetry.metrics {
+            reg.merge_histogram(
+                "sp_queue_depth",
+                "Executor work-queue depth sampled at each dequeue",
+                "",
+                &self.queue_depth,
+            );
+        }
+        for (kind, value) in self.degradation().named_counters() {
+            reg.add_counter(
+                "sp_degradation_total",
+                "Fail-closed degradation counters (kind label selects the counter)",
+                &format!("kind=\"{kind}\""),
+                value,
+            );
+        }
+        let trail = self.audit_trail();
+        if trail.sections().next().is_some() {
+            reg.add_counter(
+                "sp_audit_records",
+                "Audit records currently held by flight recorders",
+                "",
+                trail.len() as u64,
+            );
+            reg.add_counter(
+                "sp_audit_evicted_total",
+                "Audit records evicted from bounded flight recorders",
+                "",
+                trail.evicted(),
+            );
+        }
+        reg
+    }
+
+    /// The metrics snapshot rendered in Prometheus text exposition format.
+    #[must_use]
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics().render_prometheus()
+    }
+
+    /// The metrics snapshot rendered as a JSON document.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.metrics().render_json()
+    }
+
     /// Takes a consistent cut of the whole plan at an epoch boundary. Must
     /// be called at quiescence (no queued work): the sequential executor
     /// runs every pushed element to completion, so any point between
     /// `push` calls is a consistent cut.
     #[must_use]
     pub fn checkpoint(&self, epoch: u64, input_pos: u64) -> crate::checkpoint::Checkpoint {
+        let _span = span("executor.checkpoint");
         debug_assert!(self.queue.is_empty(), "checkpoint requires quiescence");
         let mut analyzers = Vec::with_capacity(self.sources.len());
         for source in &self.sources {
@@ -391,6 +575,7 @@ impl Executor {
     /// decode; the executor must then be discarded — state may be partially
     /// restored.
     pub fn restore(&mut self, ckpt: &crate::checkpoint::Checkpoint) -> Result<(), EngineError> {
+        let _span = span("executor.restore");
         if ckpt.analyzers.len() != self.sources.len()
             || ckpt.nodes.len() != self.nodes.len()
             || ckpt.sinks.len() != self.sinks.len()

@@ -224,6 +224,38 @@ impl DegradationStats {
         self.overload_level = self.overload_level.max(other.overload_level);
     }
 
+    /// Every counter paired with a stable metric name, in declaration
+    /// order — the telemetry layer's export surface, so a new counter
+    /// added here shows up in the Prometheus/JSON snapshots without
+    /// further wiring. The last two (`overload_peak`, `overload_level`)
+    /// are gauges combined by max in [`DegradationStats::absorb`], not
+    /// monotone counts.
+    #[must_use]
+    pub fn named_counters(&self) -> [(&'static str, u64); 20] {
+        [
+            ("sps_filtered", self.sps_filtered),
+            ("sps_merged", self.sps_merged),
+            ("stale_sp_batches", self.stale_sp_batches),
+            ("quarantined", self.quarantined),
+            ("quarantine_released", self.quarantine_released),
+            ("quarantine_dropped", self.quarantine_dropped),
+            ("reorder_dropped", self.reorder_dropped),
+            ("corrupted_frames", self.corrupted_frames),
+            ("checkpoints_taken", self.checkpoints_taken),
+            ("checkpoints_restored", self.checkpoints_restored),
+            ("epochs_replayed", self.epochs_replayed),
+            ("recovery_dropped", self.recovery_dropped),
+            ("restart_attempts", self.restart_attempts),
+            ("shed_tuples", self.shed_tuples),
+            ("shed_critical", self.shed_critical),
+            ("admission_rejected", self.admission_rejected),
+            ("ladder_escalations", self.ladder_escalations),
+            ("ladder_recoveries", self.ladder_recoveries),
+            ("overload_peak", self.overload_peak),
+            ("overload_level", self.overload_level),
+        ]
+    }
+
     /// Total elements lost (not merely delayed) to degradation.
     #[must_use]
     pub fn total_dropped(&self) -> u64 {

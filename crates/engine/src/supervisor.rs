@@ -41,6 +41,7 @@ use crate::checkpoint::CheckpointStore;
 use crate::error::EngineError;
 use crate::plan::{Executor, PlanBuilder};
 use crate::stats::DegradationStats;
+use crate::telemetry::{span::span, AuditEvent, AuditOp, AuditTrail, FlightRecorder, NO_TUPLE};
 
 /// Supervision parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +54,9 @@ pub struct SupervisorConfig {
     pub backoff_base_ms: u64,
     /// Backoff ceiling, in milliseconds.
     pub backoff_cap_ms: u64,
+    /// Flight-recorder capacity armed on every rebuilt executor (and on
+    /// the supervisor's own recorder). `0` disables audit recording.
+    pub audit_capacity: usize,
 }
 
 /// Default checkpoint cadence: frequent enough that replay stays short,
@@ -66,6 +70,7 @@ impl Default for SupervisorConfig {
             max_restarts: 5,
             backoff_base_ms: 10,
             backoff_cap_ms: 1_000,
+            audit_capacity: 0,
         }
     }
 }
@@ -122,6 +127,10 @@ pub struct SupervisedRun {
     pub report: RecoveryReport,
     /// `None` on success; the terminal error otherwise.
     pub failure: Option<EngineError>,
+    /// The supervisor's own flight recorder: restore and terminal
+    /// fail-closed events. Disabled (and empty) unless
+    /// [`SupervisorConfig::audit_capacity`] is non-zero.
+    pub audit: FlightRecorder,
 }
 
 impl SupervisedRun {
@@ -138,6 +147,17 @@ impl SupervisedRun {
         let mut stats = self.executor.degradation();
         self.report.absorb_into(&mut stats);
         stats
+    }
+
+    /// The full audit trail: the final executor's per-operator sections
+    /// plus the supervisor's own restore / fail-closed section.
+    #[must_use]
+    pub fn audit_trail(&self) -> AuditTrail {
+        let mut trail = self.executor.audit_trail();
+        if self.audit.enabled() {
+            trail.push_section(AuditOp::Supervisor, self.audit.clone());
+        }
+        trail
     }
 }
 
@@ -170,7 +190,9 @@ pub fn run_supervised(
 ) -> Result<SupervisedRun, EngineError> {
     let interval = config.epoch_interval.max(1);
     let mut report = RecoveryReport::default();
+    let mut audit = FlightRecorder::new(config.audit_capacity);
     let mut exec = build().build();
+    exec.set_audit(config.audit_capacity);
     let mut epoch = 0u64;
     let mut pos = 0usize;
 
@@ -208,13 +230,14 @@ pub fn run_supervised(
                     epoch += 1;
                     store.save(&exec.checkpoint(epoch, pos as u64))?;
                     report.checkpoints_taken += 1;
-                    return Ok(SupervisedRun { executor: exec, report, failure: None });
+                    return Ok(SupervisedRun { executor: exec, report, failure: None, audit });
                 }
                 Err(e) => death = Some(e),
             }
         }
 
         // ---- the pipeline died: recover --------------------------------
+        let _span = span("supervisor.recover");
         // Audited: the loop only reaches here with `death` set.
         let err = death.unwrap_or(EngineError::ChannelDisconnected { stage: "supervisor".into() });
         report.deaths.push(err.to_string());
@@ -224,20 +247,27 @@ pub fn run_supervised(
             let resume = store.load_latest().map_or(0, |c| c.input_pos);
             let refused = (input.len() as u64).saturating_sub(resume);
             report.recovery_dropped += refused;
+            audit.record(NO_TUPLE, resume, AuditEvent::RecoveryFailClosed { refused });
             let failure =
                 EngineError::RecoveryExhausted { attempts: report.restart_attempts - 1, refused };
-            return Ok(SupervisedRun { executor: exec, report, failure: Some(failure) });
+            return Ok(SupervisedRun { executor: exec, report, failure: Some(failure), audit });
         }
         report.backoff_ms.push(config.backoff_ms(report.restart_attempts));
 
         let crash_pos = pos as u64;
         exec = build().build();
+        exec.set_audit(config.audit_capacity);
         match store.load_latest() {
             Some(ckpt) => match exec.restore(&ckpt) {
                 Ok(()) => {
                     report.checkpoints_restored += 1;
                     report.epochs_replayed +=
                         crash_pos.saturating_sub(ckpt.input_pos).div_ceil(interval);
+                    audit.record(
+                        NO_TUPLE,
+                        ckpt.input_pos,
+                        AuditEvent::Restored { epoch: ckpt.epoch },
+                    );
                     epoch = ckpt.epoch;
                     pos = ckpt.input_pos as usize;
                 }
@@ -250,6 +280,7 @@ pub fn run_supervised(
                     // the restart budget bounds the loop).
                     report.deaths.push(e.to_string());
                     exec = build().build();
+                    exec.set_audit(config.audit_capacity);
                     epoch = 0;
                     pos = 0;
                     report.epochs_replayed += crash_pos.div_ceil(interval);

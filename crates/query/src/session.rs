@@ -70,6 +70,12 @@ pub struct Dsms {
     /// always bypass admission — overload can delay or drop data, never
     /// policy updates.
     pub admission: Option<sp_engine::AdmissionConfig>,
+    /// Optional telemetry: when set, every started session arms the
+    /// security audit trail (a bounded flight recorder on each analyzer
+    /// and shield) and the per-operator metrics histograms; read them
+    /// back via [`RunningDsms::audit_trail`] and
+    /// [`RunningDsms::metrics_prometheus`] / [`RunningDsms::metrics_json`].
+    pub telemetry: Option<sp_engine::TelemetryConfig>,
     queries: Vec<PlannedQuery>,
 }
 
@@ -180,6 +186,9 @@ impl Dsms {
         for q in &self.queries {
             let root = instantiate_with(&q.plan, &mut builder, &mut sources, opts);
             sinks.insert(q.id, builder.sink(root));
+        }
+        if let Some(cfg) = self.telemetry {
+            builder.enable_telemetry(cfg);
         }
         RunningDsms {
             executor: builder.build(),
@@ -313,6 +322,28 @@ impl RunningDsms {
     #[must_use]
     pub fn results(&self, query: QueryId) -> &sp_engine::Sink {
         self.executor.sink(self.sinks[&query])
+    }
+
+    /// The session's security audit trail: every release, suppression,
+    /// and quarantine decision made so far, in canonical operator order.
+    /// Empty unless [`Dsms::telemetry`] was set before `start`.
+    #[must_use]
+    pub fn audit_trail(&self) -> sp_engine::AuditTrail {
+        self.executor.audit_trail()
+    }
+
+    /// The session's metrics snapshot in Prometheus text exposition
+    /// format (counters always; latency/queue histograms when
+    /// [`Dsms::telemetry`] enabled metrics collection).
+    #[must_use]
+    pub fn metrics_prometheus(&self) -> String {
+        self.executor.metrics_prometheus()
+    }
+
+    /// The session's metrics snapshot as a JSON document.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.executor.metrics_json()
     }
 }
 

@@ -1,0 +1,107 @@
+//! Security-decision audit trail over the location-privacy workload.
+//!
+//! Re-runs the context-aware-spam scenario of `location_privacy.rs` with
+//! telemetry armed: every access-control decision the engine makes —
+//! which tuples were released, to which role, under which in-stream
+//! policy, and which were suppressed — lands in a bounded flight
+//! recorder. Afterwards the example prints a human-readable excerpt of
+//! the trail ("tuple 42 released to role family_member via DDP @1999ms")
+//! and a Prometheus-format metrics snapshot.
+//!
+//! Run with: `cargo run --release --example audit_trail`
+
+use std::sync::Arc;
+
+use sp_core::{DataDescription, RoleSet, SecurityPunctuation, StreamElement, StreamId};
+use sp_engine::TelemetryConfig;
+use sp_mog::{MovingObjectSim, RoadNetwork};
+use sp_pattern::Pattern;
+use sp_query::Dsms;
+
+const OBJECTS: usize = 24;
+const TICKS: usize = 10;
+
+fn main() {
+    let mut dsms = Dsms::new();
+    let stream = StreamId(1);
+    dsms.register_stream(stream, MovingObjectSim::location_schema()).expect("stream");
+    dsms.register_role("retail_store").expect("role");
+    dsms.register_role("family_member").expect("role");
+    let store = dsms.register_subject("mall_kiosk", &["retail_store"]).expect("subject");
+    let family = dsms.register_subject("parent", &["family_member"]).expect("subject");
+    let q_store = dsms.submit("SELECT obj_id, x, y FROM LocationUpdates", store).expect("query");
+    let q_family = dsms
+        .submit("SELECT obj_id, x, y FROM LocationUpdates WHERE obj_id = 0", family)
+        .expect("query");
+
+    // Arm the flight recorder and the latency/queue histograms.
+    dsms.telemetry = Some(TelemetryConfig::enabled());
+
+    let store_role = dsms.catalog.roles.lookup_role("retail_store").expect("role exists");
+    let family_role = dsms.catalog.roles.lookup_role("family_member").expect("role exists");
+
+    let mut running = dsms.start();
+
+    // Every third device opts out of marketing: its sps never grant the
+    // retail_store role, so the store's shield suppresses its tuples.
+    let policy_for = |obj: u64, ts: sp_core::Timestamp| {
+        let mut roles = RoleSet::new();
+        roles.insert(family_role);
+        if !obj.is_multiple_of(3) {
+            roles.insert(store_role);
+        }
+        SecurityPunctuation {
+            ddp: DataDescription {
+                tuple: Pattern::numeric_range(obj, obj),
+                ..DataDescription::everything()
+            },
+            ..SecurityPunctuation::grant_all(roles, ts)
+        }
+    };
+
+    let network = Arc::new(RoadNetwork::grid(8, 8, 100.0, 7));
+    let mut sim = MovingObjectSim::new(network, stream, OBJECTS, 1000, 7);
+    for _ in 0..TICKS {
+        for update in sim.tick() {
+            let sp = policy_for(update.tid.raw(), update.ts.minus(1));
+            running.push(stream, StreamElement::punctuation(sp));
+            running.push(stream, StreamElement::tuple(update));
+        }
+    }
+
+    let store_seen = running.results(q_store).tuple_count();
+    let family_seen = running.results(q_family).tuple_count();
+    println!("store received {store_seen} updates, parent received {family_seen}");
+
+    // ---- the audit trail -------------------------------------------------
+    let trail = running.audit_trail();
+    assert!(!trail.is_empty(), "telemetry was armed; the trail must not be empty");
+    let rendered = trail.render(Some(&dsms.catalog.roles));
+    let lines: Vec<&str> = rendered.lines().collect();
+    println!("\naudit trail: {} records ({} evicted from the ring)", trail.len(), trail.evicted());
+    println!("first decisions on the store's shield:");
+    for line in lines.iter().filter(|l| l.contains("released")).take(6) {
+        println!("  {line}");
+    }
+    println!("suppressions (opted-out devices):");
+    for line in lines.iter().filter(|l| l.contains("suppressed")).take(4) {
+        println!("  {line}");
+    }
+
+    // Every release the sinks saw is accounted for in the trail.
+    let released_records = lines.iter().filter(|l| l.contains("released")).count();
+    assert_eq!(released_records, store_seen + family_seen, "one audit record per release");
+
+    // ---- metrics ---------------------------------------------------------
+    let prom = running.metrics_prometheus();
+    println!("\nmetrics excerpt (Prometheus exposition):");
+    for line in prom
+        .lines()
+        .filter(|l| l.starts_with("sp_tuples_shielded_total") || l.contains("latency_ns_count"))
+        .take(8)
+    {
+        println!("  {line}");
+    }
+    assert!(prom.contains("sp_operator_latency_ns_bucket"), "metrics mode must emit histograms");
+    println!("\nOK: every security decision is on the record.");
+}
