@@ -2,11 +2,18 @@
 //! mechanisms (§VII-B).
 //!
 //! * 7a — output rate (tuples/ms) vs sp:tuple ratio;
-//! * 7b — processing cost per tuple (µs) vs sp:tuple ratio;
+//! * 7p — processing cost per tuple (µs) vs sp:tuple ratio;
 //! * 7c — policy memory (KB) vs policy size |R|;
 //! * 7d — processing cost per 100 tuples (µs) vs policy size |R|.
 //!
-//! Usage: `cargo run --release -p sp-bench --bin fig7 -- [a|b|c|d|r|t|all]`
+//! Usage: `cargo run --release -p sp-bench --bin fig7 -- [a|p|c|d|b|r|t|all]`
+//!
+//! `b` measures segment-batch execution: the same select+shield-heavy
+//! plan driven tuple-at-a-time vs in segment batches, reporting the
+//! throughput gain (target ≥ 1.5×) and writing a machine-readable
+//! summary to `target/BENCH_batch.json`. It doubles as a release lint:
+//! the process exits nonzero if the batched run releases a different
+//! tuple multiset than the tuple-at-a-time run.
 //!
 //! `r` prints the hostile-stream degradation report: the same workload is
 //! replayed through the wire with seeded faults (drops, reorders, byte
@@ -61,9 +68,10 @@ fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     match which.as_str() {
         "a" => ratio_sweep(true),
-        "b" => ratio_sweep(false),
+        "p" => ratio_sweep(false),
         "c" => policy_size_sweep(true),
         "d" => policy_size_sweep(false),
+        "b" => batch_report(),
         "r" => degradation_report(),
         "t" => telemetry_report(),
         _ => {
@@ -71,10 +79,127 @@ fn main() {
             ratio_sweep(false);
             policy_size_sweep(true);
             policy_size_sweep(false);
+            batch_report();
             degradation_report();
             telemetry_report();
         }
     }
+}
+
+/// Batch-execution gain: one select+shield-heavy plan, driven once in
+/// tuple-at-a-time mode and once in segment batches. Shield wall-clock
+/// sampling is off in both modes so the comparison isolates the dataflow
+/// (routing, dispatch, fan-out clones) rather than clock-read counts.
+///
+/// Doubles as a **release lint**: the two modes must release the same
+/// tuple multiset per sink — any divergence exits nonzero, failing CI.
+fn batch_report() {
+    use sp_engine::{CmpOp, Expr, Select};
+    use std::collections::HashMap;
+
+    let catalog = catalog(128);
+    // sp:tuple = 1/50 → long same-segment tuple runs, the shape batch
+    // execution exploits (and the common case in the paper's workloads).
+    let workload = fig7_workload(50, 3, 0.5, 4242);
+    let input: Vec<(StreamId, sp_core::StreamElement)> =
+        workload.elements.iter().map(|e| (workload.stream, e.clone())).collect();
+    let stream = workload.stream;
+    let schema = &workload.schema;
+    let builder = || {
+        let mut b = PlanBuilder::new(catalog.clone());
+        let src = b.source(stream, schema.clone());
+        let sel = b.add(
+            Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(0), Expr::Const(sp_core::Value::Int(0)))),
+            src,
+        );
+        let ss = b.add(SecurityShield::new(RoleSet::from([0])).without_timing(), sel);
+        let sink = b.sink(ss);
+        (b, sink)
+    };
+
+    // Released tuple multiset of one run (tid → count), for the lint.
+    let run = |batching: bool| {
+        let (b, sink) = builder();
+        let mut exec = b.build();
+        exec.set_batching(batching);
+        if batching {
+            exec.push_all(input.iter().cloned()).expect("clean input");
+        } else {
+            for (s, e) in &input {
+                exec.push(*s, e.clone()).expect("clean input");
+            }
+        }
+        exec.finish().expect("clean finish");
+        let mut released: HashMap<u64, u64> = HashMap::new();
+        for t in exec.sink(sink).tuples() {
+            *released.entry(t.tid.raw()).or_insert(0) += 1;
+        }
+        released
+    };
+    let tuple_released = run(false);
+    let batched_released = run(true);
+
+    let tuple_ms = time_best_of_3(|| {
+        run(false);
+    });
+    let batched_ms = time_best_of_3(|| {
+        run(true);
+    });
+    let speedup = tuple_ms.as_secs_f64() / batched_ms.as_secs_f64().max(1e-9);
+    let released: u64 = tuple_released.values().sum();
+
+    println!("\nFig 7 batch: segment-batch vs tuple-at-a-time execution");
+    println!("  tuples              {:>10}", workload.tuples);
+    println!("  released            {released:>10}");
+    println!("  tuple-at-a-time     {:>10.2} ms", tuple_ms.as_secs_f64() * 1e3);
+    println!("  segment batches     {:>10.2} ms", batched_ms.as_secs_f64() * 1e3);
+    println!("  speedup             {speedup:>9.2}x (target >= 1.5x)");
+
+    let multiset_ok = tuple_released == batched_released;
+    if std::fs::create_dir_all("target").is_ok() {
+        let json = format!(
+            concat!(
+                "{{\n  \"experiment\": \"fig7_batch\",\n",
+                "  \"tuples\": {},\n  \"released\": {},\n",
+                "  \"tuple_mode_ms\": {:.3},\n  \"batched_ms\": {:.3},\n",
+                "  \"speedup\": {:.3},\n  \"multiset_identical\": {}\n}}\n"
+            ),
+            workload.tuples,
+            released,
+            tuple_ms.as_secs_f64() * 1e3,
+            batched_ms.as_secs_f64() * 1e3,
+            speedup,
+            multiset_ok,
+        );
+        let _ = std::fs::write("target/BENCH_batch.json", json);
+        println!("  wrote target/BENCH_batch.json");
+    }
+
+    let row = |metric: &'static str, measured: f64| Row {
+        experiment: "fig7batch",
+        param: "mode",
+        value: "batched-vs-tuple".into(),
+        series: "sp".into(),
+        metric,
+        measured,
+    };
+    log_rows(&[
+        row("speedup", speedup),
+        row("tuple_mode_ms", tuple_ms.as_secs_f64() * 1e3),
+        row("batched_ms", batched_ms.as_secs_f64() * 1e3),
+        row("released", released as f64),
+    ]);
+
+    if !multiset_ok {
+        eprintln!(
+            "LINT FAILURE: batched execution released a different tuple multiset \
+             than tuple-at-a-time execution ({} vs {} distinct tids)",
+            batched_released.len(),
+            tuple_released.len(),
+        );
+        std::process::exit(1);
+    }
+    println!("  release lint        identical multisets (pass)");
 }
 
 /// Telemetry overhead: the same shielded workload with the audit trail

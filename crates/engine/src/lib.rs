@@ -9,6 +9,10 @@
 //!   segment policies;
 //! * [`analyzer`] — the SP Analyzer: sp-batch resolution, server-policy
 //!   combination, similar-policy merging;
+//! * [`batch`] — segment-run batches ([`batch::ElementBatch`]): the
+//!   executor and parallel runner move kind-homogeneous runs of elements
+//!   cut at sp-batch / punctuation / epoch boundaries, amortizing
+//!   dispatch, queueing, and telemetry over whole runs;
 //! * [`expr`] — scalar expressions for predicates and join conditions;
 //! * [`operator`] / [`stats`] — the pipelined operator abstraction with
 //!   per-cause cost accounting;
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod batch;
 pub mod checkpoint;
 pub mod element;
 pub mod error;
@@ -66,6 +71,7 @@ pub mod telemetry;
 pub mod window;
 
 pub use analyzer::{QuarantinePolicy, SpAnalyzer};
+pub use batch::ElementBatch;
 pub use checkpoint::{Checkpoint, CheckpointStore, FileStore, MemStore};
 pub use element::{Element, PolicyEntry, SegmentPolicy};
 pub use error::EngineError;

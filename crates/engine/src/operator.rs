@@ -1,11 +1,13 @@
 //! The stream operator abstraction and output collector.
 
+use crate::batch::ElementBatch;
 use crate::element::Element;
 use crate::error::EngineError;
 use crate::stats::OperatorStats;
 
-/// Collects the elements an operator emits during one `process` call; the
-/// executor then routes them to downstream operators.
+/// Collects the elements an operator emits during one `process` or
+/// `process_batch` call; the executor then routes them to downstream
+/// operators.
 #[derive(Debug, Default)]
 pub struct Emitter {
     buf: Vec<Element>,
@@ -16,6 +18,19 @@ impl Emitter {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty emitter with room for `capacity` elements, so hot loops
+    /// reusing one emitter avoid regrowing it per drain.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Ensures space for at least `additional` more elements (batch fast
+    /// paths reserve once per run instead of growing per element).
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
     }
 
     /// Emits one element downstream.
@@ -70,6 +85,39 @@ pub trait Operator: Send {
     /// stream can fail one query without taking the engine down.
     fn process(&mut self, port: usize, elem: Element, out: &mut Emitter)
         -> Result<(), EngineError>;
+
+    /// Processes a whole run of elements that arrived on one port.
+    ///
+    /// The default loops [`Operator::process`], so every operator is
+    /// batch-capable by construction. Hot operators override this with
+    /// vectorized fast paths (the Security Shield releases or suppresses a
+    /// whole segment run under one cached verdict; select/project run
+    /// tight loops without per-element clock reads).
+    ///
+    /// **Equivalence contract**: an override must be observationally
+    /// identical to the default — same emitted elements in the same
+    /// order, same logical counters, same audit records, same snapshot
+    /// bytes — for *any* batch, including mixed-kind ones (the routers
+    /// only build kind-homogeneous batches, but the differential tests
+    /// drive arbitrary cuts). Only wall-clock cost buckets, which are
+    /// excluded from canonical encodings, may differ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`]; elements after the failing
+    /// one are not processed (fail-closed, matching the executor's
+    /// discard-on-error semantics).
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: ElementBatch,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        for elem in batch {
+            self.process(port, elem, out)?;
+        }
+        Ok(())
+    }
 
     /// Cost counters.
     fn stats(&self) -> &OperatorStats;

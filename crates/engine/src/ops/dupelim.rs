@@ -163,10 +163,11 @@ impl Operator for DupElim {
                     None => Arc::new(Policy::deny_all(Timestamp::ZERO)),
                 };
                 let key = self.key_of(&tuple);
-                self.buffer.push_back((tuple.clone(), p_new.clone()));
-                self.trim_rows();
-
+                // Take the roles first so the policy Arc can move into the
+                // window without an extra refcount round-trip.
                 let new_roles = p_new.tuple_roles().clone();
+                self.buffer.push_back((tuple.clone(), p_new));
+                self.trim_rows();
                 let action = match self.output.get_mut(&key) {
                     None => {
                         self.output.insert(key, OutEntry { roles: new_roles.clone(), support: 1 });

@@ -88,10 +88,12 @@ impl AggState {
         if let Some(x) = v.as_f64() {
             self.sum -= x;
         }
-        if let Some(n) = self.values.get_mut(&OrdValue(v.clone())) {
+        // One key construction for both the lookup and the removal.
+        let key = OrdValue(v.clone());
+        if let Some(n) = self.values.get_mut(&key) {
             *n -= 1;
             if *n == 0 {
-                self.values.remove(&OrdValue(v.clone()));
+                self.values.remove(&key);
             }
         }
     }
@@ -228,8 +230,9 @@ impl GroupBy {
         let Some((t, p)) = self.buffer.pop_front() else { return };
         let group = self.group_of(&t);
         if let Some(idx) = self.asg_index(&group, p.tuple_roles()) {
-            let v = t.value(self.agg_attr).cloned().unwrap_or(Value::Null);
-            self.asgs[idx].state.retract(&v);
+            let null = Value::Null;
+            let v = t.value(self.agg_attr).unwrap_or(&null);
+            self.asgs[idx].state.retract(v);
             if self.asgs[idx].state.count == 0 {
                 self.asgs.swap_remove(idx);
             } else {
@@ -274,22 +277,24 @@ impl Operator for GroupBy {
                     None => Arc::new(Policy::deny_all(Timestamp::ZERO)),
                 };
                 let group = self.group_of(&tuple);
-                let v = tuple.value(self.agg_attr).cloned().unwrap_or(Value::Null);
                 let idx = match self.asg_index(&group, policy.tuple_roles()) {
                     Some(i) => i,
                     None => {
+                        // `group` is not needed again: move it into the ASG.
                         self.asgs.push(Asg {
-                            group: group.clone(),
+                            group,
                             roles: policy.tuple_roles().clone(),
                             state: AggState::default(),
                         });
                         self.asgs.len() - 1
                     }
                 };
-                self.asgs[idx].state.add(&v);
-                self.buffer.push_back((tuple.clone(), policy));
-                self.trim_rows(tuple.ts, out);
-                self.emit_asg(idx, tuple.ts, out);
+                let null = Value::Null;
+                self.asgs[idx].state.add(tuple.value(self.agg_attr).unwrap_or(&null));
+                let ts = tuple.ts;
+                self.buffer.push_back((tuple, policy));
+                self.trim_rows(ts, out);
+                self.emit_asg(idx, ts, out);
                 self.stats.charge(CostKind::Tuple, start.elapsed());
             }
         }

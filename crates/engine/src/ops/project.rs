@@ -34,6 +34,19 @@ impl Project {
     pub fn indices(&self) -> &[usize] {
         &self.indices
     }
+
+    /// Remaps one segment policy's attribute-scoped grants to the output
+    /// attribute positions.
+    fn remap_policy(&mut self, seg: &crate::element::SegmentPolicy, out: &mut Emitter) {
+        self.stats.sps_in += 1;
+        let remapped = seg.map_policies(|p| {
+            p.remap_attrs(|old| {
+                self.indices.iter().position(|&k| k == old as usize).map(|new| new as u16)
+            })
+        });
+        self.stats.sps_out += 1;
+        out.push(Element::policy(remapped));
+    }
 }
 
 impl Operator for Project {
@@ -53,14 +66,7 @@ impl Operator for Project {
         match elem {
             Element::Policy(seg) => {
                 let start = std::time::Instant::now();
-                self.stats.sps_in += 1;
-                let remapped = seg.map_policies(|p| {
-                    p.remap_attrs(|old| {
-                        self.indices.iter().position(|&k| k == old as usize).map(|new| new as u16)
-                    })
-                });
-                self.stats.sps_out += 1;
-                out.push(Element::policy(remapped));
+                self.remap_policy(&seg, out);
                 self.stats.charge(CostKind::Sp, start.elapsed());
             }
             Element::Tuple(tuple) => {
@@ -71,6 +77,46 @@ impl Operator for Project {
                 self.stats.charge(CostKind::Tuple, start.elapsed());
             }
         }
+        Ok(())
+    }
+
+    /// Vectorized fast path: a tuple run projects in one tight loop with
+    /// bulk counter updates, one output reservation, and a single clock
+    /// pair for the whole batch.
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: crate::batch::ElementBatch,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port != 0 {
+            return Err(EngineError::BadPort { operator: "project".into(), port, arity: 1 });
+        }
+        let start = std::time::Instant::now();
+        let cost = if batch.is_control() { CostKind::Sp } else { CostKind::Tuple };
+        if batch.is_tuples() && !batch.is_control() {
+            let n = batch.len();
+            self.stats.tuples_in += n as u64;
+            self.stats.tuples_out += n as u64;
+            out.reserve(n);
+            for elem in batch {
+                if let Element::Tuple(tuple) = elem {
+                    out.push(Element::tuple(tuple.project(&self.indices)));
+                }
+            }
+        } else {
+            for elem in batch {
+                match elem {
+                    Element::Policy(seg) => self.remap_policy(&seg, out),
+                    Element::Tuple(tuple) => {
+                        self.stats.tuples_in += 1;
+                        self.stats.tuples_out += 1;
+                        out.push(Element::tuple(tuple.project(&self.indices)));
+                    }
+                }
+            }
+        }
+        self.stats.charge(cost, start.elapsed());
         Ok(())
     }
 

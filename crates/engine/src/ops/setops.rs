@@ -262,22 +262,16 @@ impl Operator for SAIntersect {
                     Some(seg) => seg.policy_for(&tuple),
                     None => Arc::new(Policy::deny_all(Timestamp::ZERO)),
                 };
-                // Insert into own window (count windows trim here).
-                let maint = std::time::Instant::now();
-                self.windows[port].push_back((tuple.clone(), policy.clone()));
-                if let Some(capacity) = self.window.capacity() {
-                    while self.windows[port].len() > capacity {
-                        self.windows[port].pop_front();
-                    }
-                }
-                self.stats.charge(CostKind::TupleMaintenance, maint.elapsed());
                 // Probe the opposite window for value-equal partners. The
                 // governing policy of an intersection result is the union
                 // over all partners of the pairwise intersections — "roles
                 // that may see this tuple AND at least one matching
                 // partner". (Stopping at the first partner would tie the
                 // result's visibility to window order and break the
-                // Table II shield push-down equivalence.)
+                // Table II shield push-down equivalence.) Probing before
+                // the own-side insert is equivalent — a tuple never probes
+                // its own window — and lets the policy Arc move into the
+                // window instead of being cloned.
                 let start = std::time::Instant::now();
                 let mut combined = sp_core::RoleSet::new();
                 for (u, up) in &self.windows[1 - port] {
@@ -287,6 +281,17 @@ impl Operator for SAIntersect {
                         combined.union_with(&pair);
                     }
                 }
+                let probe_cost = start.elapsed();
+                // Insert into own window (count windows trim here).
+                let maint = std::time::Instant::now();
+                self.windows[port].push_back((tuple.clone(), policy));
+                if let Some(capacity) = self.window.capacity() {
+                    while self.windows[port].len() > capacity {
+                        self.windows[port].pop_front();
+                    }
+                }
+                self.stats.charge(CostKind::TupleMaintenance, maint.elapsed());
+                let start = std::time::Instant::now();
                 if !combined.is_empty() {
                     let out_policy = Policy::tuple_level(combined, tuple.ts);
                     let repeated = self
@@ -303,7 +308,7 @@ impl Operator for SAIntersect {
                 } else {
                     self.stats.tuples_shielded += 1;
                 }
-                self.stats.charge(CostKind::Join, start.elapsed());
+                self.stats.charge(CostKind::Join, probe_cost + start.elapsed());
             }
         }
         Ok(())

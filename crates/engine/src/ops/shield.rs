@@ -263,6 +263,124 @@ impl SecurityShield {
             }
         }
     }
+
+    /// Absorbs one arriving segment policy (the `process` policy arm,
+    /// minus timing).
+    fn absorb_policy(&mut self, seg: Arc<SegmentPolicy>) {
+        self.stats.sps_in += 1;
+        // An sp-batch with a newer timestamp replaces the buffered
+        // policy (§V-A); older ones are ignored.
+        let replace = self.current.as_ref().is_none_or(|cur| seg.ts >= cur.ts);
+        if replace {
+            self.verdict = self.evaluate_segment(&seg);
+            self.pending_policy = match self.verdict {
+                Verdict::Fail | Verdict::Deny => None,
+                // Forward the policy narrowed to this shield's
+                // predicate: downstream of ψ_p nothing may observe
+                // access beyond p (least privilege), and narrowing
+                // makes the Table II push-down rules exact.
+                _ => Some(Arc::new(seg.map_policies(|p| p.restrict_to(&self.roles)))),
+            };
+            self.current = Some(seg);
+        }
+    }
+
+    /// Judges one tuple under the current verdict (the `process` tuple
+    /// arm, minus timing).
+    fn shield_tuple(&mut self, tuple: Arc<sp_core::Tuple>, out: &mut Emitter) {
+        self.stats.tuples_in += 1;
+        let (tid_raw, ts_raw) = (tuple.tid.raw(), tuple.ts.0);
+        let mut audit_role = u32::MAX;
+        let decision = match &self.verdict {
+            Verdict::Deny | Verdict::Fail => None,
+            Verdict::Pass { mask_from } => {
+                audit_role = self.seg_role;
+                match mask_from.clone() {
+                    None => Some(Arc::from([])),
+                    Some(policy) => Some(self.cached_mask(&policy, tuple.arity())),
+                }
+            }
+            Verdict::PerTuple => {
+                // Resolve with a scoped borrow, deferring any
+                // mutation of the verdict cache.
+                enum Hit {
+                    Deny,
+                    Cached(Option<Arc<[usize]>>, u32),
+                    Evaluate(SharedPolicy),
+                    Combined(SharedPolicy),
+                }
+                let hit = {
+                    // Audited: the PerTuple verdict is only produced
+                    // while a segment is current.
+                    #[allow(clippy::expect_used)]
+                    let seg = self.current.as_ref().expect("PerTuple implies a segment");
+                    match seg.resolve_ref(&tuple) {
+                        crate::element::Resolved::None => Hit::Deny,
+                        crate::element::Resolved::One(policy) => {
+                            // Hot path: consecutive tuples of one
+                            // segment resolve to the same policy
+                            // allocation — a pointer compare
+                            // reuses the previous verdict.
+                            match &self.tuple_cache {
+                                Some((cached, verdict, role)) if Arc::ptr_eq(cached, policy) => {
+                                    Hit::Cached(verdict.clone(), *role)
+                                }
+                                _ => Hit::Evaluate(policy.clone()),
+                            }
+                        }
+                        crate::element::Resolved::Many => Hit::Combined(seg.policy_for(&tuple)),
+                    }
+                };
+                match hit {
+                    Hit::Deny => None,
+                    Hit::Cached(verdict, role) => {
+                        audit_role = role;
+                        verdict
+                    }
+                    Hit::Evaluate(policy) => {
+                        let verdict = self.judge(&policy, tuple.arity());
+                        let role = self.authorizing_role(&policy);
+                        self.tuple_cache = Some((policy, verdict.clone(), role));
+                        audit_role = role;
+                        verdict
+                    }
+                    Hit::Combined(policy) => {
+                        audit_role = self.authorizing_role(&policy);
+                        self.judge(&policy, tuple.arity())
+                    }
+                }
+            }
+        };
+        match decision {
+            Some(masked) => {
+                if let Some(policy) = self.pending_policy.take() {
+                    self.stats.sps_out += 1;
+                    out.push(Element::Policy(policy));
+                }
+                self.stats.tuples_out += 1;
+                if self.recorder.enabled() {
+                    let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
+                    self.recorder.record(
+                        tid_raw,
+                        ts_raw,
+                        AuditEvent::Released { role: audit_role, sp_ts },
+                    );
+                }
+                if masked.is_empty() {
+                    out.push(Element::Tuple(tuple));
+                } else {
+                    out.push(Element::tuple(tuple.mask(&masked)));
+                }
+            }
+            None => {
+                self.stats.tuples_shielded += 1;
+                if self.recorder.enabled() {
+                    let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
+                    self.recorder.record(tid_raw, ts_raw, AuditEvent::Suppressed { sp_ts });
+                }
+            }
+        }
+    }
 }
 
 impl Operator for SecurityShield {
@@ -282,128 +400,112 @@ impl Operator for SecurityShield {
         match elem {
             Element::Policy(seg) => {
                 let start = self.timed.then(std::time::Instant::now);
-                self.stats.sps_in += 1;
-                // An sp-batch with a newer timestamp replaces the buffered
-                // policy (§V-A); older ones are ignored.
-                let replace = self.current.as_ref().is_none_or(|cur| seg.ts >= cur.ts);
-                if replace {
-                    self.verdict = self.evaluate_segment(&seg);
-                    self.current = Some(seg.clone());
-                    self.pending_policy = match self.verdict {
-                        Verdict::Fail | Verdict::Deny => None,
-                        // Forward the policy narrowed to this shield's
-                        // predicate: downstream of ψ_p nothing may observe
-                        // access beyond p (least privilege), and narrowing
-                        // makes the Table II push-down rules exact.
-                        _ => Some(Arc::new(seg.map_policies(|p| p.restrict_to(&self.roles)))),
-                    };
-                }
+                self.absorb_policy(seg);
                 if let Some(start) = start {
                     self.stats.charge(CostKind::Sp, start.elapsed());
                 }
             }
             Element::Tuple(tuple) => {
                 let start = self.timed.then(std::time::Instant::now);
-                self.stats.tuples_in += 1;
-                let (tid_raw, ts_raw) = (tuple.tid.raw(), tuple.ts.0);
-                let mut audit_role = u32::MAX;
-                let decision = match &self.verdict {
-                    Verdict::Deny | Verdict::Fail => None,
-                    Verdict::Pass { mask_from } => {
-                        audit_role = self.seg_role;
-                        match mask_from.clone() {
-                            None => Some(Arc::from([])),
-                            Some(policy) => Some(self.cached_mask(&policy, tuple.arity())),
-                        }
-                    }
-                    Verdict::PerTuple => {
-                        // Resolve with a scoped borrow, deferring any
-                        // mutation of the verdict cache.
-                        enum Hit {
-                            Deny,
-                            Cached(Option<Arc<[usize]>>, u32),
-                            Evaluate(SharedPolicy),
-                            Combined(SharedPolicy),
-                        }
-                        let hit = {
-                            // Audited: the PerTuple verdict is only produced
-                            // while a segment is current.
-                            #[allow(clippy::expect_used)]
-                            let seg = self.current.as_ref().expect("PerTuple implies a segment");
-                            match seg.resolve_ref(&tuple) {
-                                crate::element::Resolved::None => Hit::Deny,
-                                crate::element::Resolved::One(policy) => {
-                                    // Hot path: consecutive tuples of one
-                                    // segment resolve to the same policy
-                                    // allocation — a pointer compare
-                                    // reuses the previous verdict.
-                                    match &self.tuple_cache {
-                                        Some((cached, verdict, role))
-                                            if Arc::ptr_eq(cached, policy) =>
-                                        {
-                                            Hit::Cached(verdict.clone(), *role)
-                                        }
-                                        _ => Hit::Evaluate(policy.clone()),
-                                    }
-                                }
-                                crate::element::Resolved::Many => {
-                                    Hit::Combined(seg.policy_for(&tuple))
-                                }
-                            }
-                        };
-                        match hit {
-                            Hit::Deny => None,
-                            Hit::Cached(verdict, role) => {
-                                audit_role = role;
-                                verdict
-                            }
-                            Hit::Evaluate(policy) => {
-                                let verdict = self.judge(&policy, tuple.arity());
-                                let role = self.authorizing_role(&policy);
-                                self.tuple_cache = Some((policy, verdict.clone(), role));
-                                audit_role = role;
-                                verdict
-                            }
-                            Hit::Combined(policy) => {
-                                audit_role = self.authorizing_role(&policy);
-                                self.judge(&policy, tuple.arity())
-                            }
-                        }
-                    }
-                };
-                match decision {
-                    Some(masked) => {
-                        if let Some(policy) = self.pending_policy.take() {
-                            self.stats.sps_out += 1;
-                            out.push(Element::Policy(policy));
-                        }
-                        self.stats.tuples_out += 1;
-                        if self.recorder.enabled() {
-                            let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
-                            self.recorder.record(
-                                tid_raw,
-                                ts_raw,
-                                AuditEvent::Released { role: audit_role, sp_ts },
-                            );
-                        }
-                        if masked.is_empty() {
-                            out.push(Element::Tuple(tuple));
-                        } else {
-                            out.push(Element::tuple(tuple.mask(&masked)));
-                        }
-                    }
-                    None => {
-                        self.stats.tuples_shielded += 1;
-                        if self.recorder.enabled() {
-                            let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
-                            self.recorder.record(tid_raw, ts_raw, AuditEvent::Suppressed { sp_ts });
-                        }
-                    }
-                }
+                self.shield_tuple(tuple, out);
                 if let Some(start) = start {
                     self.stats.charge(CostKind::Tuple, start.elapsed());
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Vectorized fast path: a tuple-only run is judged under one cached
+    /// verdict — the whole run is released (uniform pass, tuple
+    /// granularity) or suppressed (deny/fail) with O(1) counter updates
+    /// and one clock pair for the entire batch. Attribute-masked and
+    /// scoped (per-tuple) segments, and any batch containing policies,
+    /// fall back to the per-element cores, so outputs, counters, audit
+    /// records, and snapshots are identical to element-at-a-time
+    /// processing for every batch shape.
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: crate::batch::ElementBatch,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port != 0 {
+            return Err(EngineError::BadPort { operator: "ss".into(), port, arity: 1 });
+        }
+        let start = self.timed.then(std::time::Instant::now);
+        let cost = if batch.is_control() { CostKind::Sp } else { CostKind::Tuple };
+        if batch.is_control() {
+            // Policy run (or a mixed test batch): per-element cores.
+            for elem in batch {
+                match elem {
+                    Element::Policy(seg) => self.absorb_policy(seg),
+                    Element::Tuple(tuple) => self.shield_tuple(tuple, out),
+                }
+            }
+        } else {
+            // Tuple-only run: no policy can arrive mid-batch, so one
+            // verdict governs the entire run.
+            let n = batch.len() as u64;
+            match &self.verdict {
+                Verdict::Deny | Verdict::Fail => {
+                    self.stats.tuples_in += n;
+                    self.stats.tuples_shielded += n;
+                    if self.recorder.enabled() {
+                        let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
+                        for elem in &batch {
+                            if let Some(t) = elem.as_tuple() {
+                                self.recorder.record(
+                                    t.tid.raw(),
+                                    t.ts.0,
+                                    AuditEvent::Suppressed { sp_ts },
+                                );
+                            }
+                        }
+                    }
+                }
+                Verdict::Pass { mask_from: None } => {
+                    self.stats.tuples_in += n;
+                    self.stats.tuples_out += n;
+                    if let Some(policy) = self.pending_policy.take() {
+                        self.stats.sps_out += 1;
+                        out.push(Element::Policy(policy));
+                    }
+                    out.reserve(batch.len());
+                    if self.recorder.enabled() {
+                        let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
+                        let role = self.seg_role;
+                        for elem in batch {
+                            if let Some(t) = elem.as_tuple() {
+                                self.recorder.record(
+                                    t.tid.raw(),
+                                    t.ts.0,
+                                    AuditEvent::Released { role, sp_ts },
+                                );
+                            }
+                            out.push(elem);
+                        }
+                    } else {
+                        for elem in batch {
+                            out.push(elem);
+                        }
+                    }
+                }
+                // Attribute masks and scoped segments need per-tuple
+                // resolution; caches inside the core keep it O(1) per
+                // tuple.
+                Verdict::Pass { mask_from: Some(_) } | Verdict::PerTuple => {
+                    for elem in batch {
+                        match elem {
+                            Element::Tuple(tuple) => self.shield_tuple(tuple, out),
+                            Element::Policy(seg) => self.absorb_policy(seg),
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(start) = start {
+            self.stats.charge(cost, start.elapsed());
         }
         Ok(())
     }

@@ -73,6 +73,31 @@ impl Operator for Sink {
         Ok(())
     }
 
+    /// Vectorized fast path: bulk counter updates and one reservation,
+    /// then an extend — a homogeneous batch counts entirely as tuples or
+    /// entirely as sps.
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: crate::batch::ElementBatch,
+        _out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port != 0 {
+            return Err(EngineError::BadPort { operator: "sink".into(), port, arity: 1 });
+        }
+        let mut tuples = 0u64;
+        for elem in &batch {
+            match elem {
+                Element::Tuple(_) => tuples += 1,
+                Element::Policy(_) => self.stats.sps_in += 1,
+            }
+        }
+        self.stats.tuples_in += tuples;
+        self.elements.reserve(batch.len());
+        self.elements.extend(batch);
+        Ok(())
+    }
+
     fn stats(&self) -> &OperatorStats {
         &self.stats
     }

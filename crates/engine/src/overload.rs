@@ -611,51 +611,26 @@ impl Operator for Shedder {
         if port != 0 {
             return Err(EngineError::BadPort { operator: "shed".into(), port, arity: 1 });
         }
-        match elem {
-            Element::Policy(p) => {
-                self.stats.sps_in += 1;
-                self.advance_clock(p.ts);
-                self.current = Some(Arc::clone(&p));
-                let level = self.sync_ladder(p.ts);
-                if self.broken_sheds_sps && level > OverloadLevel::Normal {
-                    // Negative control: silently losing an sp. The
-                    // invariant tests exist to catch exactly this.
-                    return Ok(());
-                }
-                self.stats.sps_out += 1;
-                out.push(Element::Policy(p));
-            }
-            Element::Tuple(t) => {
-                self.stats.tuples_in += 1;
-                self.advance_clock(t.ts);
-                // Drain-driven recovery first, so a long quiet gap lets
-                // the ladder step down before this tuple is judged.
-                let level = self.sync_ladder(t.ts);
-                let shed = match level {
-                    OverloadLevel::Normal => false,
-                    OverloadLevel::Shedding => self.policy_sheds(&t),
-                    OverloadLevel::CriticalShedding => !self.critical_passes(&t),
-                    OverloadLevel::FailClosed => true,
-                };
-                if shed {
-                    self.shed_tuples += 1;
-                    if level >= OverloadLevel::CriticalShedding {
-                        self.shed_critical += 1;
-                    }
-                    self.recorder.record(
-                        t.tid.raw(),
-                        t.ts.0,
-                        crate::telemetry::AuditEvent::Shed { level: level.code() },
-                    );
-                } else {
-                    self.admit(&t);
-                    self.stats.tuples_out += 1;
-                    out.push(Element::Tuple(t));
-                    // Escalation check after the enqueue this tuple
-                    // caused.
-                    self.sync_ladder(self.clock);
-                }
-            }
+        self.handle(elem, out);
+        Ok(())
+    }
+
+    /// Batch path: one port check, then the per-element state machine.
+    /// The virtual queue, drain clock, and ladder are judged per element
+    /// in batch order — identical accounting to element-at-a-time
+    /// processing (shed decisions depend on the *order* of arrivals,
+    /// which batching preserves, never on batch boundaries).
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: crate::batch::ElementBatch,
+        out: &mut Emitter,
+    ) -> Result<(), EngineError> {
+        if port != 0 {
+            return Err(EngineError::BadPort { operator: "shed".into(), port, arity: 1 });
+        }
+        for elem in batch {
+            self.handle(elem, out);
         }
         Ok(())
     }
@@ -738,6 +713,59 @@ impl Operator for Shedder {
         self.recorder.clear();
         self.audited_transitions = self.ladder.transitions().len();
         Ok(())
+    }
+}
+
+impl Shedder {
+    /// The per-element admission state machine (shared by `process` and
+    /// `process_batch`).
+    fn handle(&mut self, elem: Element, out: &mut Emitter) {
+        match elem {
+            Element::Policy(p) => {
+                self.stats.sps_in += 1;
+                self.advance_clock(p.ts);
+                self.current = Some(Arc::clone(&p));
+                let level = self.sync_ladder(p.ts);
+                if self.broken_sheds_sps && level > OverloadLevel::Normal {
+                    // Negative control: silently losing an sp. The
+                    // invariant tests exist to catch exactly this.
+                    return;
+                }
+                self.stats.sps_out += 1;
+                out.push(Element::Policy(p));
+            }
+            Element::Tuple(t) => {
+                self.stats.tuples_in += 1;
+                self.advance_clock(t.ts);
+                // Drain-driven recovery first, so a long quiet gap lets
+                // the ladder step down before this tuple is judged.
+                let level = self.sync_ladder(t.ts);
+                let shed = match level {
+                    OverloadLevel::Normal => false,
+                    OverloadLevel::Shedding => self.policy_sheds(&t),
+                    OverloadLevel::CriticalShedding => !self.critical_passes(&t),
+                    OverloadLevel::FailClosed => true,
+                };
+                if shed {
+                    self.shed_tuples += 1;
+                    if level >= OverloadLevel::CriticalShedding {
+                        self.shed_critical += 1;
+                    }
+                    self.recorder.record(
+                        t.tid.raw(),
+                        t.ts.0,
+                        crate::telemetry::AuditEvent::Shed { level: level.code() },
+                    );
+                } else {
+                    self.admit(&t);
+                    self.stats.tuples_out += 1;
+                    out.push(Element::Tuple(t));
+                    // Escalation check after the enqueue this tuple
+                    // caused.
+                    self.sync_ladder(self.clock);
+                }
+            }
+        }
     }
 }
 

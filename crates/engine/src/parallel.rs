@@ -6,7 +6,7 @@
 //! every operator runs on its own thread, connected by channels, the way a
 //! multi-threaded DSMS would deploy a plan.
 //!
-//! Determinism is preserved exactly. Every element leaving a source is
+//! Determinism is preserved exactly. Every batch leaving a source is
 //! tagged with a global sequence number; operators emit outputs under the
 //! sequence number of the input that produced them; edges are per-port
 //! FIFO channels; and binary operators merge their two input channels in
@@ -14,6 +14,17 @@
 //! byte-identical results to the sequential executor — verified by the
 //! equivalence tests below — while overlapping the work of pipeline
 //! stages.
+//!
+//! Edges carry [`ElementBatch`]es, not single elements. The feeder cuts
+//! each push's analyzer output into kind-homogeneous runs (one sequence
+//! number per run) when the source has a single consumer; a multi-consumer
+//! source sends per-element singletons, because a downstream seq-ordered
+//! merge of a fan-out must see the same element-major interleaving the
+//! sequential executor routes. Workers likewise forward their emitted
+//! outputs as runs under the input's sequence number; since every output
+//! of one input already shared a sequence number in element-at-a-time
+//! routing and the port-0 tie-break drains equal-seq entries port-major,
+//! batching changes neither per-edge element order nor merge decisions.
 //!
 //! Robustness properties (the reason this runner differs from a naive
 //! thread-per-operator sketch):
@@ -62,6 +73,7 @@ use std::time::{Duration, Instant};
 
 use sp_core::{StreamElement, StreamId};
 
+use crate::batch::{coalesce_runs, ElementBatch};
 use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::element::Element;
 use crate::error::EngineError;
@@ -71,8 +83,9 @@ use crate::overload::{classed_channel, ClassedReceiver, ClassedSender, DataRejec
 use crate::plan::{PlanBuilder, SinkRef, Target};
 use crate::telemetry::{AuditOp, AuditTrail, FlightRecorder};
 
-/// Data-class capacity of bounded (unary / sink) edges. Control traffic
-/// (sps, epoch barriers) does not count against it.
+/// Data-class capacity of bounded (unary / sink) edges, counted in batch
+/// envelopes. Control traffic (sps, epoch barriers) does not count
+/// against it.
 pub const EDGE_CAPACITY: usize = 256;
 
 /// How long a bounded edge may refuse an element before the run is
@@ -82,10 +95,11 @@ pub const STALL_DEADLINE: Duration = Duration::from_secs(10);
 /// How long shutdown waits for workers to drain after the input closes.
 pub const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// What travels an edge: a stream element, or an epoch barrier marker.
+/// What travels an edge: a run of stream elements, or an epoch barrier
+/// marker.
 #[derive(Debug, Clone)]
 enum Payload {
-    Elem(Element),
+    Batch(ElementBatch),
     /// Epoch barrier: every operator snapshots when this marker arrives
     /// (on both ports, for binary operators) and forwards it once.
     Epoch(u64),
@@ -101,9 +115,14 @@ struct Envelope {
 impl Envelope {
     /// Control traffic — security punctuations and epoch barriers — is
     /// lossless: it bypasses the data bound on classed edges and can
-    /// never be refused or delayed by a full queue.
+    /// never be refused or delayed by a full queue. Batches are
+    /// kind-homogeneous, so a whole batch classes as either control
+    /// (policies) or data (tuples).
     fn is_control(&self) -> bool {
-        matches!(self.payload, Payload::Epoch(_) | Payload::Elem(Element::Policy(_)))
+        match &self.payload {
+            Payload::Epoch(_) => true,
+            Payload::Batch(b) => b.is_control(),
+        }
     }
 }
 
@@ -236,6 +255,20 @@ impl Wires {
         }
         Ok(())
     }
+
+    /// Sends one batch to every consumer, cloning only for fan-out: the
+    /// last sender takes the batch by move, so single-consumer edges (the
+    /// common case) forward without copying.
+    fn send_batch(&self, seq: u64, batch: ElementBatch) -> Result<(), EngineError> {
+        let Some((last, rest)) = self.senders.split_last() else {
+            return Ok(());
+        };
+        for tx in rest {
+            tx.send(Envelope { seq, payload: Payload::Batch(batch.clone()) })?;
+        }
+        last.send(Envelope { seq, payload: Payload::Batch(batch) })?;
+        Ok(())
+    }
 }
 
 /// A port receiver with one-envelope lookahead, for seq-ordered merging.
@@ -272,29 +305,27 @@ impl PeekRx {
     }
 }
 
-/// Runs one element through an operator with panic containment, then
-/// forwards whatever it emitted.
+/// Runs one input batch through an operator with panic containment, then
+/// forwards whatever it emitted as kind-homogeneous runs under the
+/// input's sequence number.
 fn process_contained(
     node: &mut crate::plan::Node,
     op_name: &str,
     port: usize,
     seq: u64,
-    elem: Element,
+    batch: ElementBatch,
     emitter: &mut Emitter,
     wires: &Wires,
 ) -> Result<(), EngineError> {
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        node.op.process(port, elem, emitter)
+        node.op.process_batch(port, batch, emitter)
     }));
     match outcome {
         Ok(Ok(())) => {}
         Ok(Err(e)) => return Err(e),
         Err(payload) => return Err(EngineError::from_panic(op_name, payload.as_ref())),
     }
-    for e in emitter.drain() {
-        wires.send(seq, &Payload::Elem(e))?;
-    }
-    Ok(())
+    coalesce_runs(emitter.drain(), |run| wires.send_batch(seq, run))
 }
 
 /// Snapshots a node at an epoch barrier, reports the section, and
@@ -520,7 +551,7 @@ fn run_parallel_inner(
         node_handles.push((
             op_name.clone(),
             std::thread::spawn(move || -> Result<(), EngineError> {
-                let mut emitter = Emitter::new();
+                let mut emitter = Emitter::with_capacity(64);
                 let mut ports: Vec<PeekRx> = rxs.into_iter().map(PeekRx::new).collect();
                 if ports.len() == 1 {
                     // Unary: plain FIFO.
@@ -530,12 +561,12 @@ fn run_parallel_inner(
                     while port0.peek_seq().is_some() {
                         let Some(env) = port0.take() else { break };
                         match env.payload {
-                            Payload::Elem(elem) => process_contained(
+                            Payload::Batch(batch) => process_contained(
                                 &mut node,
                                 &op_name,
                                 0,
                                 env.seq,
-                                elem,
+                                batch,
                                 &mut emitter,
                                 &wires,
                             )?,
@@ -579,12 +610,12 @@ fn run_parallel_inner(
                         };
                         let Some(env) = ports[port].take() else { break };
                         match env.payload {
-                            Payload::Elem(elem) => process_contained(
+                            Payload::Batch(batch) => process_contained(
                                 &mut node,
                                 &op_name,
                                 port,
                                 env.seq,
-                                elem,
+                                batch,
                                 &mut emitter,
                                 &wires,
                             )?,
@@ -620,10 +651,10 @@ fn run_parallel_inner(
         sink_handles.push((
             "sink".to_string(),
             std::thread::spawn(move || -> Result<Sink, EngineError> {
-                let mut emitter = Emitter::new();
+                let mut emitter = Emitter::with_capacity(8);
                 while let Some(env) = rx.recv() {
                     match env.payload {
-                        Payload::Elem(elem) => sink.process(0, elem, &mut emitter)?,
+                        Payload::Batch(batch) => sink.process_batch(0, batch, &mut emitter)?,
                         Payload::Epoch(epoch) => {
                             let mut bytes = Vec::new();
                             crate::operator::Operator::snapshot(&sink, &mut bytes);
@@ -643,22 +674,52 @@ fn run_parallel_inner(
     for (i, s) in sources.iter().enumerate() {
         by_stream.entry(s.stream).or_default().push(i);
     }
+    // Stages one raw element through a source's analyzer and ships the
+    // resolved run. A single-consumer source coalesces the run into
+    // kind-homogeneous batches, one seq per batch; a fan-out source sends
+    // per-element singletons, each under a fresh seq, preserving the
+    // element-major interleaving a downstream seq-ordered merge expects.
+    fn feed_source(
+        source: &mut crate::plan::Source,
+        wires: &Wires,
+        raw: StreamElement,
+        staged: &mut Vec<Element>,
+        seq: &mut u64,
+    ) -> Result<(), EngineError> {
+        source.analyzer.push(raw, staged);
+        if source.outputs.len() == 1 {
+            coalesce_runs(staged.drain(..), |run| {
+                *seq += 1;
+                wires.send_batch(*seq, run)
+            })
+        } else {
+            for e in staged.drain(..) {
+                *seq += 1;
+                wires.send_batch(*seq, ElementBatch::single(e))?;
+            }
+            Ok(())
+        }
+    }
+
     let mut feed_error = None;
     let mut seq = 0u64;
     let mut raw_pos = 0u64;
     let mut staged = Vec::new();
     'feed: for (stream, elem) in inputs {
         if let Some(ids) = by_stream.get(&stream) {
-            for &sid in ids {
-                let source = &mut sources[sid];
-                staged.clear();
-                source.analyzer.push(elem.clone(), &mut staged);
-                for e in &staged {
-                    seq += 1;
-                    if let Err(e) = source_wires[sid].send(seq, &Payload::Elem(e.clone())) {
-                        feed_error = Some(e);
-                        break 'feed;
-                    }
+            // Clone the raw element only for multiply-registered streams:
+            // the last source takes it by move.
+            let mut elem = Some(elem);
+            for (k, &sid) in ids.iter().enumerate() {
+                let Some(raw) = (if k + 1 == ids.len() { elem.take() } else { elem.clone() })
+                else {
+                    break;
+                };
+                if let Err(e) =
+                    feed_source(&mut sources[sid], &source_wires[sid], raw, &mut staged, &mut seq)
+                {
+                    feed_error = Some(e);
+                    break 'feed;
                 }
             }
         }

@@ -6,7 +6,26 @@
 //! consumers — the multi-query sharing of Fig. 5) are expressed by adding
 //! several edges from one node. Execution is push-based and deterministic:
 //! [`Executor::push`] runs an arriving raw element through the analyzer and
-//! then drains a FIFO work queue of `(operator, port, element)` items.
+//! then drains a FIFO work queue of `(target, batch)` items.
+//!
+//! **Batch execution.** The queue moves [`ElementBatch`]es — contiguous
+//! kind-homogeneous runs of elements — rather than single elements. Runs
+//! are formed by coalescing: a routed element joins the queue's tail batch
+//! when the tail targets the same destination and holds the same element
+//! kind, and otherwise starts a new batch. Coalescing only ever merges
+//! *adjacent* queue entries, which preserves the tuple-at-a-time engine's
+//! per-operator input order exactly (adjacent same-target entries were
+//! processed back-to-back anyway, and their outputs are appended to the
+//! queue tail in the same order either way) — so released tuples, final
+//! policy tables, snapshots, and audit trails are byte-identical to
+//! per-element execution. Fan-out to several consumers routes
+//! element-major (each element to every target before the next element),
+//! which makes coalescing degrade to singleton batches across a split and
+//! keeps cross-branch interleaving at downstream binary merges unchanged.
+//! [`Executor::push_all`] additionally *defers* drains across inputs on
+//! binary-free plans (where per-operator input order alone fixes every
+//! observable), letting whole segments accumulate into one run between
+//! punctuation cuts; [`MAX_DEFERRED_INPUTS`] bounds queue growth.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -16,6 +35,7 @@ use std::time::Duration;
 use sp_core::{RoleCatalog, Schema, StreamElement, StreamId};
 
 use crate::analyzer::SpAnalyzer;
+use crate::batch::ElementBatch;
 use crate::element::Element;
 use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
@@ -46,8 +66,15 @@ impl SinkRef {
     }
 }
 
+/// Upper bound on raw inputs staged between drains by
+/// [`Executor::push_all`] in deferred-batching mode, bounding work-queue
+/// growth. One segment of the paper's workloads (an sp-batch plus its
+/// governed tuples) comfortably fits, so segment runs still coalesce
+/// whole.
+pub const MAX_DEFERRED_INPUTS: usize = 256;
+
 /// An edge destination inside the plan.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Target {
     /// Operator node index and input port.
     Node(usize, usize),
@@ -216,16 +243,66 @@ impl PlanBuilder {
             by_stream.entry(s.stream).or_default().push(i);
         }
         let latency = vec![Histogram::new(); self.nodes.len()];
+        let has_binary = self.nodes.iter().any(|n| n.op.arity() > 1);
         Executor {
             nodes: self.nodes,
             sources: self.sources,
             sinks: self.sinks,
             by_stream,
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(64),
+            staged: Vec::with_capacity(16),
+            emitter: Emitter::with_capacity(64),
             telemetry: self.telemetry,
             latency,
             queue_depth: Histogram::new(),
+            batching: true,
+            has_binary,
         }
+    }
+}
+
+/// Routes one emitted element to a target: coalesce into the queue's tail
+/// batch when the tail has the same target and element kind, else start a
+/// new singleton batch. Merging only ever touches the *tail*, so the
+/// per-target element order is exactly the order routed here.
+fn route(
+    queue: &mut VecDeque<(Target, ElementBatch)>,
+    target: Target,
+    elem: Element,
+    coalesce: bool,
+) {
+    if coalesce {
+        if let Some((t, batch)) = queue.back_mut() {
+            if *t == target && batch.accepts(&elem) {
+                batch.push(elem);
+                return;
+            }
+        }
+    }
+    queue.push_back((target, ElementBatch::single(elem)));
+}
+
+/// Routes a run of elements to every target, element-major: each element
+/// visits all targets before the next element, cloning for all targets
+/// but the last (which takes the element by move). Element-major order
+/// keeps cross-branch interleaving at downstream merges identical to
+/// tuple-at-a-time routing; across a multi-target split, tail coalescing
+/// then naturally degrades to singleton batches, while single-consumer
+/// chains — the common case — coalesce whole runs.
+fn enqueue_fanout(
+    queue: &mut VecDeque<(Target, ElementBatch)>,
+    targets: &[Target],
+    elems: impl Iterator<Item = Element>,
+    coalesce: bool,
+) {
+    let Some((&last, rest)) = targets.split_last() else {
+        return;
+    };
+    for elem in elems {
+        for &t in rest {
+            route(queue, t, elem.clone(), coalesce);
+        }
+        route(queue, last, elem, coalesce);
     }
 }
 
@@ -235,12 +312,25 @@ pub struct Executor {
     sources: Vec<Source>,
     sinks: Vec<Sink>,
     by_stream: HashMap<StreamId, Vec<usize>>,
-    queue: VecDeque<(Target, Element)>,
+    queue: VecDeque<(Target, ElementBatch)>,
+    /// Reusable analyzer-output scratch (avoids a fresh allocation per push).
+    staged: Vec<Element>,
+    /// Reusable operator-output scratch.
+    emitter: Emitter,
     telemetry: TelemetryConfig,
     /// Per-node `process` latency in nanoseconds (metrics mode only).
     latency: Vec<Histogram>,
     /// Work-queue depth sampled at each dequeue (metrics mode only).
     queue_depth: Histogram,
+    /// Batch coalescing + deferred draining enabled (default). Disabled,
+    /// the executor routes singleton batches and drains eagerly — the
+    /// tuple-at-a-time reference mode.
+    batching: bool,
+    /// Whether any node is binary. Binary merges observe the *interleaving*
+    /// of their two input sequences, so deferred draining is only safe on
+    /// binary-free plans, where each operator's input sequence alone
+    /// determines every observable.
+    has_binary: bool,
 }
 
 impl Executor {
@@ -254,74 +344,123 @@ impl Executor {
     /// nothing is released past a failed operator).
     pub fn push(&mut self, stream: StreamId, elem: StreamElement) -> Result<(), EngineError> {
         let _span = span("executor.push");
-        let Some(source_ids) = self.by_stream.get(&stream) else {
-            return Ok(());
-        };
-        let mut staged = Vec::new();
-        for &sid in source_ids {
-            let source = &mut self.sources[sid];
-            staged.clear();
-            source.analyzer.push(elem.clone(), &mut staged);
-            for e in &staged {
-                for &t in &source.outputs {
-                    self.queue.push_back((t, e.clone()));
-                }
-            }
-        }
+        self.stage(stream, elem);
         self.drain()
     }
 
     /// Feeds a whole batch, then drains.
     ///
+    /// On binary-free plans with batching enabled, inputs are *staged*
+    /// and the plan drained only every [`MAX_DEFERRED_INPUTS`] inputs (and
+    /// once at the end), so whole segment runs coalesce into single
+    /// batches. This is output-equivalent to draining per input: without a
+    /// binary merge, each operator's input sequence — which deferral
+    /// preserves exactly — determines every observable. Plans with a
+    /// binary node drain per input, where within-push coalescing still
+    /// applies.
+    ///
     /// # Errors
     ///
-    /// Stops at and returns the first [`EngineError`].
+    /// Stops at and returns the first [`EngineError`]. In deferred mode
+    /// the failure discards all staged work, including outputs of inputs
+    /// staged before the failing one — strictly more fail-closed than the
+    /// per-input path (never releases more).
     pub fn push_all(
         &mut self,
         items: impl IntoIterator<Item = (StreamId, StreamElement)>,
     ) -> Result<(), EngineError> {
-        for (stream, elem) in items {
-            self.push(stream, elem)?;
+        if !self.batching || self.has_binary {
+            for (stream, elem) in items {
+                self.push(stream, elem)?;
+            }
+            return Ok(());
         }
-        Ok(())
+        let _span = span("executor.push_all");
+        let mut pending = 0usize;
+        for (stream, elem) in items {
+            self.stage(stream, elem);
+            pending += 1;
+            if pending >= MAX_DEFERRED_INPUTS {
+                self.drain()?;
+                pending = 0;
+            }
+        }
+        self.drain()
+    }
+
+    /// Enables or disables batch coalescing and deferred draining (on by
+    /// default). Disabled, the executor routes singleton batches through
+    /// `process_batch` and drains after every input — the tuple-at-a-time
+    /// reference mode the differential equivalence suite and the `fig7 b`
+    /// benchmark baseline compare against.
+    pub fn set_batching(&mut self, batching: bool) {
+        self.batching = batching;
+    }
+
+    /// Runs one raw element through the analyzers of every source
+    /// registered for its stream and routes the resolved elements into the
+    /// work queue (no draining). The raw element is cloned only for
+    /// multiply-registered streams: the last source takes it by move.
+    fn stage(&mut self, stream: StreamId, elem: StreamElement) {
+        let Some(source_ids) = self.by_stream.get(&stream) else {
+            return;
+        };
+        let Some((&last_sid, rest)) = source_ids.split_last() else {
+            return;
+        };
+        let mut staged = std::mem::take(&mut self.staged);
+        for &sid in rest {
+            let source = &mut self.sources[sid];
+            source.analyzer.push(elem.clone(), &mut staged);
+            enqueue_fanout(&mut self.queue, &source.outputs, staged.drain(..), self.batching);
+        }
+        let source = &mut self.sources[last_sid];
+        source.analyzer.push(elem, &mut staged);
+        enqueue_fanout(&mut self.queue, &source.outputs, staged.drain(..), self.batching);
+        self.staged = staged;
     }
 
     fn drain(&mut self) -> Result<(), EngineError> {
-        let mut emitter = Emitter::new();
-        while let Some((target, elem)) = self.queue.pop_front() {
+        let mut emitter = std::mem::take(&mut self.emitter);
+        while let Some((target, batch)) = self.queue.pop_front() {
             match target {
                 Target::Sink(i) => {
-                    let result = self.sinks[i].process(0, elem, &mut emitter);
+                    let result = self.sinks[i].process_batch(0, batch, &mut emitter);
                     debug_assert!(emitter.is_empty(), "sinks do not emit");
                     if let Err(e) = result {
                         self.queue.clear();
+                        let _ = emitter.take();
+                        self.emitter = emitter;
                         return Err(e);
                     }
                 }
                 Target::Node(n, port) => {
                     let node = &mut self.nodes[n];
+                    let len = batch.len() as u64;
                     let start = std::time::Instant::now();
-                    let result = node.op.process(port, elem, &mut emitter);
+                    let result = node.op.process_batch(port, batch, &mut emitter);
                     let elapsed = start.elapsed();
                     node.elapsed += elapsed;
                     if self.telemetry.metrics {
+                        // One clock pair per batch; the histogram records
+                        // the per-element average `len` times so counts
+                        // still mean "elements processed".
                         #[allow(clippy::cast_possible_truncation)] // < 585 years
-                        self.latency[n].record(elapsed.as_nanos() as u64);
+                        self.latency[n].record_n(elapsed.as_nanos() as u64 / len.max(1), len);
                         self.queue_depth.record(self.queue.len() as u64);
                     }
                     if let Err(e) = result {
                         self.queue.clear();
+                        let _ = emitter.take();
+                        self.emitter = emitter;
                         return Err(e);
                     }
-                    let outputs = node.outputs.clone();
-                    for e in emitter.drain() {
-                        for &t in &outputs {
-                            self.queue.push_back((t, e.clone()));
-                        }
-                    }
+                    let outputs = &self.nodes[n].outputs;
+                    enqueue_fanout(&mut self.queue, outputs, emitter.drain(), self.batching);
                 }
             }
         }
+        self.emitter = emitter;
         Ok(())
     }
 
@@ -374,16 +513,13 @@ impl Executor {
     /// Propagates the first [`EngineError`] an operator reports.
     pub fn finish(&mut self) -> Result<(), EngineError> {
         let _span = span("executor.finish");
-        let mut staged = Vec::new();
+        let coalesce = self.batching;
+        let mut staged = std::mem::take(&mut self.staged);
         for source in &mut self.sources {
-            staged.clear();
             source.analyzer.flush(&mut staged);
-            for e in &staged {
-                for &t in &source.outputs {
-                    self.queue.push_back((t, e.clone()));
-                }
-            }
+            enqueue_fanout(&mut self.queue, &source.outputs, staged.drain(..), coalesce);
         }
+        self.staged = staged;
         self.drain()
     }
 

@@ -548,6 +548,20 @@ impl Histogram {
         self.sum = self.sum.saturating_add(v);
     }
 
+    /// Records `n` samples of value `v` in one update — the batched
+    /// executor samples telemetry once per element batch with a count
+    /// instead of once per element, so the hot loop pays one histogram
+    /// update per run.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_index(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+    }
+
     /// Bucket-wise sum of `other` into `self`.
     pub fn merge(&mut self, other: &Self) {
         self.count += other.count;

@@ -102,6 +102,78 @@ fn engine_fails_closed_across_60_seeded_scenarios() {
     assert!(report.faults.total() > 0, "campaign must actually inject faults");
 }
 
+/// Batch execution under chaos: the same seeded fault scenarios, run once
+/// with segment-batched dataflow (`push_all`, the default) and once in
+/// tuple-at-a-time mode. Faults land mid-batch — dropped/duplicated/
+/// reordered sps move the batch-cut points — so this pins the equivalence
+/// argument exactly where it is most fragile. When both modes accept the
+/// whole faulty input their sink contents must be **identical**; when the
+/// hostile input is refused, the batched run (which discards deferred
+/// work on error, strictly more fail-closed) must release a subset of the
+/// tuple-mode run.
+#[test]
+fn batched_execution_matches_tuple_mode_under_faults() {
+    let input = segmented_workload();
+    let schema = schema();
+    let catalog = catalog();
+    let builder = |catalog: &Arc<RoleCatalog>, schema: &Arc<Schema>| {
+        let mut b = PlanBuilder::new(catalog.clone());
+        let src = b.source(StreamId(1), schema.clone());
+        b.harden_source(src, QuarantinePolicy { ttl_ms: TTL_MS, slack_ms: 400, capacity: 64 });
+        let sel = b
+            .add(Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Int(0)))), src);
+        let q0 = b.add(SecurityShield::new(RoleSet::from([0])), sel);
+        let q3 = b.add(SecurityShield::new(RoleSet::from([3])), sel);
+        let s0 = b.sink(q0);
+        let s3 = b.sink(q3);
+        (b, vec![s0, s3])
+    };
+
+    let mut clean_scenarios = 0u64;
+    for s in 0..30u64 {
+        let plan = FaultPlan::scenario(0xBA7C_4ED0 ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut injector = FaultInjector::new(plan);
+        let faulty = injector.apply(&input);
+
+        let run = |batching: bool| {
+            let faulty = faulty.clone();
+            let (b, sinks) = builder(&catalog, &schema);
+            catch_unwind(AssertUnwindSafe(move || {
+                let mut exec = b.build();
+                exec.set_batching(batching);
+                let ok = exec.push_all(faulty).is_ok();
+                let sets: Vec<HashSet<String>> = sinks
+                    .iter()
+                    .map(|r| exec.sink(*r).tuples().map(|t| t.to_string()).collect())
+                    .collect();
+                (ok, sets)
+            }))
+            .unwrap_or_else(|_| panic!("scenario {s}: engine panicked (batching={batching})"))
+        };
+
+        let (ok_batched, batched) = run(true);
+        let (ok_tuple, tuple_mode) = run(false);
+        assert_eq!(ok_batched, ok_tuple, "scenario {s}: modes disagree on input acceptance");
+        for (i, (bset, tset)) in batched.iter().zip(&tuple_mode).enumerate() {
+            if ok_batched {
+                assert_eq!(
+                    bset, tset,
+                    "scenario {s} sink {i}: batched and tuple mode released different sets"
+                );
+            } else {
+                assert!(
+                    bset.is_subset(tset),
+                    "scenario {s} sink {i}: batched error path leaked past tuple mode"
+                );
+            }
+        }
+        if ok_batched {
+            clean_scenarios += 1;
+        }
+    }
+    assert!(clean_scenarios > 0, "some scenarios must exercise the exact-equality arm");
+}
+
 /// The workload for the cross-mechanism equivalence campaign: each sp is
 /// *scoped* to its own segment's disjoint tuple-id range, so under any
 /// drop/delay/reorder a tuple is either governed by its own policy or by
