@@ -44,4 +44,7 @@ pub use roleset::RoleSet;
 pub use schema::{Field, Schema};
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};
-pub use wire::{decode_tuple, encode_tuple, Message, WireError};
+pub use wire::{
+    decode_tuple, encode_tuple, Control, Message, QuarantineCode, StreamDecoder, WireError,
+    WireFrame,
+};

@@ -355,6 +355,332 @@ impl FrameDecoder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Control frames (server <-> client session protocol)
+// ---------------------------------------------------------------------------
+
+/// Frame boundary marker for [`Control`] frames. Distinct from [`MAGIC`]
+/// so a resynchronizing decoder can tell session control apart from data
+/// without any shared connection state.
+pub const MAGIC_CTRL: u8 = 0x5A;
+
+const CTRL_HELLO: u8 = 0;
+const CTRL_HELLO_ACK: u8 = 1;
+const CTRL_ACK: u8 = 2;
+const CTRL_OVERLOADED: u8 = 3;
+const CTRL_QUARANTINED: u8 = 4;
+const CTRL_DRAINING: u8 = 5;
+
+/// Why a server quarantined a tenant session (carried in
+/// [`Control::Quarantined`]). Quarantine is fail-closed: once set, every
+/// further frame from the tenant is refused, never half-processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineCode {
+    /// The tenant's pipeline panicked; its state is untrusted.
+    Panicked,
+    /// The connection exceeded the corrupted-frame budget (a
+    /// byte-garbage-spewing client is a security event, not line noise).
+    Garbage,
+    /// The session could not be restored from its checkpoint.
+    ResumeFailed,
+}
+
+impl QuarantineCode {
+    /// Wire encoding of the code.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Self::Panicked => 0,
+            Self::Garbage => 1,
+            Self::ResumeFailed => 2,
+        }
+    }
+
+    /// Decodes a code, rejecting unknown values.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unassigned code byte.
+    pub fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(Self::Panicked),
+            1 => Ok(Self::Garbage),
+            2 => Ok(Self::ResumeFailed),
+            other => Err(WireError(format!("unknown quarantine code {other}"))),
+        }
+    }
+}
+
+/// A session control frame.
+///
+/// [`Message`] frames carry the punctuated data stream client → server;
+/// `Control` frames carry the session protocol around it: the opening
+/// handshake, per-frame acknowledgements with the server's consumed
+/// position (the exactly-once replay cursor), admission backpressure with
+/// retry hints, fail-closed quarantine notices, and the graceful-drain
+/// goodbye. Framing is identical to data frames
+/// (`[MAGIC_CTRL][u32 len][u32 CRC-32][body]`), so the same resync logic
+/// protects both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Client → server: open (or re-open) a tenant session.
+    /// `acked` is the highest server position the client has seen — the
+    /// server replies with the authoritative [`Control::HelloAck`].
+    Hello {
+        /// The tenant this connection ingests for.
+        tenant: u32,
+        /// The client's last known acknowledged position (advisory).
+        acked: u64,
+    },
+    /// Server → client: session open. The client must resume sending
+    /// from element `resume_from` of its input log — positions before it
+    /// were already consumed (possibly by a previous incarnation of the
+    /// server, restored from checkpoint).
+    HelloAck {
+        /// Replay cursor: first input-log position not yet consumed.
+        resume_from: u64,
+    },
+    /// Server → client: the frame was consumed; `pos` is the session's
+    /// input position after it (counting admission-shed tuples, which
+    /// must not be replayed).
+    Ack {
+        /// Input position after the frame.
+        pos: u64,
+    },
+    /// Server → client: admission refused at least one tuple of the
+    /// frame. The frame is still *consumed* up to `pos`; the client
+    /// should back off for at least `retry_after_ms` of stream time
+    /// before sending more.
+    Overloaded {
+        /// Minimum stream-time delay before the bucket holds a token.
+        retry_after_ms: u64,
+        /// Input position after the frame (shed tuples included).
+        pos: u64,
+    },
+    /// Server → client: the tenant session is quarantined; nothing
+    /// further will be processed (fail closed).
+    Quarantined {
+        /// Why the session was quarantined.
+        code: QuarantineCode,
+    },
+    /// Server → client: the server is draining; the session was
+    /// checkpointed at `pos` and the connection is closing.
+    Draining {
+        /// Input position of the drain checkpoint.
+        pos: u64,
+    },
+}
+
+impl Control {
+    /// Serializes the control frame:
+    /// `[MAGIC_CTRL][u32 body length][u32 CRC-32][body]`.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        let mut body: Vec<u8> = Vec::with_capacity(16);
+        match self {
+            Self::Hello { tenant, acked } => {
+                body.put_u8(CTRL_HELLO);
+                body.put_u32(*tenant);
+                body.put_u64(*acked);
+            }
+            Self::HelloAck { resume_from } => {
+                body.put_u8(CTRL_HELLO_ACK);
+                body.put_u64(*resume_from);
+            }
+            Self::Ack { pos } => {
+                body.put_u8(CTRL_ACK);
+                body.put_u64(*pos);
+            }
+            Self::Overloaded { retry_after_ms, pos } => {
+                body.put_u8(CTRL_OVERLOADED);
+                body.put_u64(*retry_after_ms);
+                body.put_u64(*pos);
+            }
+            Self::Quarantined { code } => {
+                body.put_u8(CTRL_QUARANTINED);
+                body.put_u8(code.as_u8());
+            }
+            Self::Draining { pos } => {
+                body.put_u8(CTRL_DRAINING);
+                body.put_u64(*pos);
+            }
+        }
+        buf.put_u8(MAGIC_CTRL);
+        buf.put_u32(body.len() as u32);
+        buf.put_u32(crc32(&body));
+        buf.put_slice(&body);
+    }
+
+    /// Serializes into a fresh byte vector.
+    #[must_use]
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(24);
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decodes a checksum-verified control frame body.
+    fn decode_body(mut body: &[u8]) -> Result<Self, WireError> {
+        let buf = &mut body;
+        if buf.remaining() < 1 {
+            return Err(err("truncated control tag"));
+        }
+        let tag = buf.get_u8();
+        let need = |buf: &&[u8], n: usize| -> Result<(), WireError> {
+            if buf.remaining() < n {
+                Err(err("truncated control body"))
+            } else {
+                Ok(())
+            }
+        };
+        let ctrl = match tag {
+            CTRL_HELLO => {
+                need(buf, 12)?;
+                Self::Hello { tenant: buf.get_u32(), acked: buf.get_u64() }
+            }
+            CTRL_HELLO_ACK => {
+                need(buf, 8)?;
+                Self::HelloAck { resume_from: buf.get_u64() }
+            }
+            CTRL_ACK => {
+                need(buf, 8)?;
+                Self::Ack { pos: buf.get_u64() }
+            }
+            CTRL_OVERLOADED => {
+                need(buf, 16)?;
+                Self::Overloaded { retry_after_ms: buf.get_u64(), pos: buf.get_u64() }
+            }
+            CTRL_QUARANTINED => {
+                need(buf, 1)?;
+                Self::Quarantined { code: QuarantineCode::from_u8(buf.get_u8())? }
+            }
+            CTRL_DRAINING => {
+                need(buf, 8)?;
+                Self::Draining { pos: buf.get_u64() }
+            }
+            other => return Err(WireError(format!("unknown control tag {other}"))),
+        };
+        if buf.remaining() != 0 {
+            return Err(err("trailing bytes in control body"));
+        }
+        Ok(ctrl)
+    }
+}
+
+/// One decoded frame from a mixed control/data byte stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame {
+    /// A data frame.
+    Message(Message),
+    /// A session control frame.
+    Control(Control),
+}
+
+/// Incremental decoder for a socket byte stream of [`Message`] and
+/// [`Control`] frames.
+///
+/// Unlike [`FrameDecoder`] (which decodes a complete recorded buffer and
+/// treats a trailing truncated frame as corrupt), `StreamDecoder` is
+/// built for live delivery: bytes arrive in arbitrary chunks, so an
+/// incomplete frame is *retained* until the rest arrives. Corruption is
+/// still fail-closed — a frame whose checksum or body fails to verify is
+/// skipped by scanning to the next plausible boundary, costing exactly
+/// its own elements — and a frame header whose claimed length exceeds
+/// `max_frame_len` is treated as corruption immediately rather than
+/// waiting forever for bytes that will never come (a one-byte lie must
+/// not stall the connection past its read deadline).
+#[derive(Debug)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    max_frame_len: usize,
+    /// Frames skipped because of checksum/body failure or an absurd
+    /// claimed length.
+    pub corrupted_frames: u64,
+    /// Bytes discarded while scanning for a frame boundary.
+    pub skipped_bytes: u64,
+}
+
+/// Frame header size: magic + length + CRC.
+const FRAME_HEADER: usize = 1 + 4 + 4;
+
+impl StreamDecoder {
+    /// A decoder refusing frames whose body claims more than
+    /// `max_frame_len` bytes.
+    #[must_use]
+    pub fn new(max_frame_len: usize) -> Self {
+        Self { buf: Vec::new(), max_frame_len, corrupted_frames: 0, skipped_bytes: 0 }
+    }
+
+    /// Bytes buffered waiting for the rest of a frame.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Feeds a chunk of received bytes, returning every frame that
+    /// completed. Never panics on arbitrary input; counters accumulate
+    /// across the connection's lifetime.
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<WireFrame> {
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        loop {
+            while pos < self.buf.len() && self.buf[pos] != MAGIC && self.buf[pos] != MAGIC_CTRL {
+                pos += 1;
+                self.skipped_bytes += 1;
+            }
+            if self.buf.len() - pos < FRAME_HEADER {
+                break; // incomplete header: wait for more bytes
+            }
+            let len = u32::from_be_bytes([
+                self.buf[pos + 1],
+                self.buf[pos + 2],
+                self.buf[pos + 3],
+                self.buf[pos + 4],
+            ]) as usize;
+            if len > self.max_frame_len {
+                self.corrupted_frames += 1;
+                self.skipped_bytes += 1;
+                pos += 1;
+                continue;
+            }
+            if self.buf.len() - pos < FRAME_HEADER + len {
+                break; // incomplete body: wait for more bytes
+            }
+            let crc = u32::from_be_bytes([
+                self.buf[pos + 5],
+                self.buf[pos + 6],
+                self.buf[pos + 7],
+                self.buf[pos + 8],
+            ]);
+            let body = &self.buf[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+            if crc32(body) != crc {
+                self.corrupted_frames += 1;
+                self.skipped_bytes += 1;
+                pos += 1;
+                continue;
+            }
+            let decoded = if self.buf[pos] == MAGIC {
+                Message::decode_body(body).map(WireFrame::Message)
+            } else {
+                Control::decode_body(body).map(WireFrame::Control)
+            };
+            match decoded {
+                Ok(frame) => {
+                    out.push(frame);
+                    pos += FRAME_HEADER + len;
+                }
+                Err(_) => {
+                    self.corrupted_frames += 1;
+                    self.skipped_bytes += 1;
+                    pos += 1;
+                }
+            }
+        }
+        self.buf.drain(..pos);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -514,6 +840,105 @@ mod tests {
         let recovered = dec.decode_stream(&stream);
         assert_eq!(recovered, vec![msg]);
         assert!(dec.corrupted_frames >= 1);
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        let frames = [
+            Control::Hello { tenant: 7, acked: 42 },
+            Control::HelloAck { resume_from: 9000 },
+            Control::Ack { pos: u64::MAX },
+            Control::Overloaded { retry_after_ms: 125, pos: 3 },
+            Control::Quarantined { code: QuarantineCode::Garbage },
+            Control::Quarantined { code: QuarantineCode::Panicked },
+            Control::Quarantined { code: QuarantineCode::ResumeFailed },
+            Control::Draining { pos: 17 },
+        ];
+        for ctrl in frames {
+            let bytes = ctrl.encode_to_vec();
+            let mut dec = StreamDecoder::new(1024);
+            let got = dec.feed(&bytes);
+            assert_eq!(got, vec![WireFrame::Control(ctrl)]);
+            assert_eq!(dec.corrupted_frames, 0);
+        }
+    }
+
+    #[test]
+    fn stream_decoder_reassembles_one_byte_chunks() {
+        let msg = Message::new(
+            StreamId(7),
+            vec![StreamElement::punctuation(sp(1)), StreamElement::tuple(tuple(11))],
+        );
+        let mut bytes = Control::Hello { tenant: 1, acked: 0 }.encode_to_vec();
+        msg.encode(&mut bytes);
+        Control::Ack { pos: 2 }.encode(&mut bytes);
+        let mut dec = StreamDecoder::new(1 << 16);
+        let mut got = Vec::new();
+        for b in &bytes {
+            got.extend(dec.feed(std::slice::from_ref(b)));
+        }
+        assert_eq!(
+            got,
+            vec![
+                WireFrame::Control(Control::Hello { tenant: 1, acked: 0 }),
+                WireFrame::Message(msg),
+                WireFrame::Control(Control::Ack { pos: 2 }),
+            ]
+        );
+        assert_eq!(dec.corrupted_frames, 0);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn stream_decoder_resyncs_past_garbage_and_corruption() {
+        let a = Message::new(StreamId(1), vec![StreamElement::tuple(tuple(1))]);
+        let b = Message::new(StreamId(2), vec![StreamElement::tuple(tuple(2))]);
+        let mut bytes = vec![0xDE, 0xAD];
+        a.encode(&mut bytes);
+        let corrupt_at = bytes.len() + 12;
+        b.encode(&mut bytes); // will be corrupted
+        bytes[corrupt_at] ^= 0xFF;
+        bytes.extend_from_slice(&[MAGIC, 0x01]); // torn header tail
+        let c = Message::new(StreamId(3), vec![StreamElement::tuple(tuple(3))]);
+        c.encode(&mut bytes);
+        let mut dec = StreamDecoder::new(1 << 16);
+        let got = dec.feed(&bytes);
+        let ids: Vec<u32> = got
+            .iter()
+            .filter_map(|f| match f {
+                WireFrame::Message(m) => Some(m.stream.raw()),
+                WireFrame::Control(_) => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 3], "only the damaged frame is lost");
+        assert!(dec.corrupted_frames >= 1);
+    }
+
+    #[test]
+    fn stream_decoder_rejects_absurd_length_instead_of_stalling() {
+        // A frame header claiming a body far beyond the cap must count as
+        // corruption immediately, not buffer forever.
+        let mut bytes = vec![MAGIC];
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        let msg = Message::new(StreamId(5), vec![StreamElement::tuple(tuple(9))]);
+        msg.encode(&mut bytes);
+        let mut dec = StreamDecoder::new(1 << 16);
+        let got = dec.feed(&bytes);
+        assert_eq!(got, vec![WireFrame::Message(msg)]);
+        assert!(dec.corrupted_frames >= 1);
+    }
+
+    #[test]
+    fn stream_decoder_retains_partial_frame_across_feeds() {
+        let msg = Message::new(StreamId(4), vec![StreamElement::tuple(tuple(6))]);
+        let bytes = msg.encode_to_vec();
+        let mut dec = StreamDecoder::new(1 << 16);
+        let (head, tail) = bytes.split_at(bytes.len() / 2);
+        assert!(dec.feed(head).is_empty());
+        assert!(dec.buffered() > 0);
+        assert_eq!(dec.feed(tail), vec![WireFrame::Message(msg)]);
+        assert_eq!(dec.corrupted_frames, 0);
     }
 
     #[test]

@@ -378,6 +378,179 @@ impl FaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Socket-layer faults
+// ---------------------------------------------------------------------------
+
+/// A seeded description of transport-level faults for a framed byte
+/// stream: how a hostile or merely unlucky network *delivers* the bytes a
+/// client sent. Where [`FaultPlan`] perturbs the element sequence,
+/// `SocketFaultPlan` perturbs the delivery of the encoded frames — torn
+/// into arbitrary chunks (partial writes), interleaved with garbage,
+/// bit-corrupted, stalled, or cut mid-frame by a disconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocketFaultPlan {
+    /// Seed for all delivery decisions.
+    pub seed: u64,
+    /// Maximum delivery chunk in bytes; every write is torn into chunks
+    /// of `1..=chunk_max` bytes (0 = deliver in one piece).
+    pub chunk_max: usize,
+    /// Probability a chunk boundary also injects garbage bytes.
+    pub garbage: f64,
+    /// Maximum garbage run length in bytes.
+    pub garbage_max: usize,
+    /// Per-byte corruption probability on delivered payload bytes.
+    pub corrupt_byte: f64,
+    /// Probability a chunk boundary inserts a delivery stall.
+    pub stall: f64,
+    /// Maximum stall length in (simulated) milliseconds.
+    pub stall_ms_max: u64,
+    /// Probability, per chunk, that the connection dies mid-delivery:
+    /// the remaining bytes of this `deliver` call are dropped on the
+    /// floor and the client must reconnect and replay from its
+    /// acknowledged position.
+    pub disconnect: f64,
+}
+
+impl SocketFaultPlan {
+    /// A plan that delivers every byte verbatim in one chunk.
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            chunk_max: 0,
+            garbage: 0.0,
+            garbage_max: 0,
+            corrupt_byte: 0.0,
+            stall: 0.0,
+            stall_ms_max: 0,
+            disconnect: 0.0,
+        }
+    }
+
+    /// Derives a randomized-but-deterministic delivery scenario from a
+    /// seed: small torn chunks, occasional garbage, rare corruption and
+    /// disconnects. Two calls with the same seed produce the same plan.
+    #[must_use]
+    pub fn scenario(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x50C6_E7FA_017B_17E5);
+        Self {
+            seed,
+            chunk_max: rng.up_to(96),
+            garbage: rng.next_f64() * 0.10,
+            garbage_max: rng.up_to(24),
+            corrupt_byte: rng.next_f64() * 0.002,
+            stall: rng.next_f64() * 0.05,
+            stall_ms_max: rng.up_to(5) as u64,
+            disconnect: rng.next_f64() * 0.01,
+        }
+    }
+}
+
+/// Counters of the socket faults an injector actually applied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SocketFaultStats {
+    /// Delivery chunks produced (tears).
+    pub chunks: u64,
+    /// Garbage bytes injected between chunks.
+    pub garbage_bytes: u64,
+    /// Payload bytes bit-corrupted in flight.
+    pub corrupted_bytes: u64,
+    /// Stalls inserted.
+    pub stalls: u64,
+    /// Mid-delivery disconnects.
+    pub disconnects: u64,
+    /// Payload bytes dropped by disconnects (never delivered).
+    pub dropped_bytes: u64,
+}
+
+/// One step of a scripted hostile delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketEvent {
+    /// Write these bytes to the transport.
+    Deliver(Vec<u8>),
+    /// Pause delivery for this many milliseconds (a stalled link).
+    StallMs(u64),
+    /// Drop the connection; any bytes after this event in the original
+    /// payload were lost and it is the *client's* job to reconnect and
+    /// replay from its acknowledged position.
+    Disconnect,
+}
+
+/// Turns an outgoing byte payload into a hostile delivery script,
+/// deterministically per seed. The injector holds the RNG and counters
+/// across calls, so one injector scripts a whole connection (or several,
+/// across reconnects).
+#[derive(Debug)]
+pub struct SocketFaultInjector {
+    plan: SocketFaultPlan,
+    rng: SplitMix64,
+    stats: SocketFaultStats,
+}
+
+impl SocketFaultInjector {
+    /// An injector for the given plan.
+    #[must_use]
+    pub fn new(plan: SocketFaultPlan) -> Self {
+        Self {
+            rng: SplitMix64::new(plan.seed ^ 0x7EA2_B0B5),
+            plan,
+            stats: SocketFaultStats::default(),
+        }
+    }
+
+    /// What this injector has done so far.
+    #[must_use]
+    pub fn stats(&self) -> &SocketFaultStats {
+        &self.stats
+    }
+
+    /// Scripts the delivery of `bytes`: a sequence of chunk writes with
+    /// optional garbage, corruption and stalls, possibly cut short by a
+    /// disconnect (in which case the remaining bytes are dropped and the
+    /// script ends with [`SocketEvent::Disconnect`]).
+    pub fn deliver(&mut self, bytes: &[u8]) -> Vec<SocketEvent> {
+        let mut events = Vec::new();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            if self.rng.chance(self.plan.disconnect) {
+                self.stats.disconnects += 1;
+                self.stats.dropped_bytes += (bytes.len() - pos) as u64;
+                events.push(SocketEvent::Disconnect);
+                return events;
+            }
+            if self.rng.chance(self.plan.stall) && self.plan.stall_ms_max > 0 {
+                self.stats.stalls += 1;
+                events.push(SocketEvent::StallMs(
+                    self.rng.up_to(self.plan.stall_ms_max as usize) as u64
+                ));
+            }
+            if self.rng.chance(self.plan.garbage) && self.plan.garbage_max > 0 {
+                let n = self.rng.up_to(self.plan.garbage_max);
+                let garbage: Vec<u8> = (0..n).map(|_| self.rng.next_u64() as u8).collect();
+                self.stats.garbage_bytes += garbage.len() as u64;
+                events.push(SocketEvent::Deliver(garbage));
+            }
+            let chunk = if self.plan.chunk_max == 0 {
+                bytes.len() - pos
+            } else {
+                self.rng.up_to(self.plan.chunk_max).min(bytes.len() - pos)
+            };
+            let mut payload = bytes[pos..pos + chunk].to_vec();
+            for b in payload.iter_mut() {
+                if self.rng.chance(self.plan.corrupt_byte) {
+                    *b ^= (self.rng.next_u64() as u8) | 1;
+                    self.stats.corrupted_bytes += 1;
+                }
+            }
+            self.stats.chunks += 1;
+            events.push(SocketEvent::Deliver(payload));
+            pos += chunk;
+        }
+        events
+    }
+}
+
 /// Outcome of a [`run_chaos`] campaign.
 #[derive(Debug, Default)]
 pub struct ChaosReport {
@@ -685,6 +858,87 @@ mod tests {
             out.iter().map(|(_, e)| ts_of(e)).collect::<Vec<_>>(),
             "stalls displaced something"
         );
+    }
+
+    #[test]
+    fn socket_none_plan_delivers_verbatim() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        let mut inj = SocketFaultInjector::new(SocketFaultPlan::none(5));
+        let events = inj.deliver(&bytes);
+        assert_eq!(events, vec![SocketEvent::Deliver(bytes)]);
+        assert_eq!(inj.stats().chunks, 1);
+        assert_eq!(inj.stats().disconnects, 0);
+    }
+
+    #[test]
+    fn socket_scenario_is_deterministic() {
+        let bytes: Vec<u8> = (0..512u16).map(|b| b as u8).collect();
+        let plan = SocketFaultPlan::scenario(77);
+        let a = SocketFaultInjector::new(plan).deliver(&bytes);
+        let b = SocketFaultInjector::new(plan).deliver(&bytes);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn socket_tearing_conserves_payload_bytes() {
+        let bytes: Vec<u8> = (0..2048u16).map(|b| b as u8).collect();
+        let mut plan = SocketFaultPlan::none(13);
+        plan.chunk_max = 7;
+        plan.stall = 0.1;
+        plan.stall_ms_max = 3;
+        let mut inj = SocketFaultInjector::new(plan);
+        let events = inj.deliver(&bytes);
+        let delivered: Vec<u8> = events
+            .iter()
+            .filter_map(|e| match e {
+                SocketEvent::Deliver(c) => Some(c.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(delivered, bytes, "tearing must not lose or reorder payload");
+        assert!(inj.stats().chunks > 100);
+        assert!(inj.stats().stalls > 0);
+    }
+
+    #[test]
+    fn socket_disconnect_drops_the_tail_and_counts_it() {
+        let bytes = vec![0xABu8; 4096];
+        let mut plan = SocketFaultPlan::none(21);
+        plan.chunk_max = 16;
+        plan.disconnect = 0.05;
+        let mut inj = SocketFaultInjector::new(plan);
+        let events = inj.deliver(&bytes);
+        assert_eq!(events.last(), Some(&SocketEvent::Disconnect));
+        let delivered: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                SocketEvent::Deliver(c) => Some(c.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(delivered as u64 + inj.stats().dropped_bytes, 4096);
+        assert_eq!(inj.stats().disconnects, 1);
+    }
+
+    #[test]
+    fn socket_garbage_rides_between_chunks() {
+        let bytes = vec![0x11u8; 256];
+        let mut plan = SocketFaultPlan::none(31);
+        plan.chunk_max = 8;
+        plan.garbage = 0.5;
+        plan.garbage_max = 4;
+        let mut inj = SocketFaultInjector::new(plan);
+        let events = inj.deliver(&bytes);
+        let total: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                SocketEvent::Deliver(c) => Some(c.len()),
+                _ => None,
+            })
+            .sum();
+        assert!(inj.stats().garbage_bytes > 0);
+        assert_eq!(total as u64, 256 + inj.stats().garbage_bytes);
     }
 
     #[test]

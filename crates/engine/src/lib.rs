@@ -76,7 +76,10 @@ pub use checkpoint::{Checkpoint, CheckpointStore, FileStore, MemStore};
 pub use element::{Element, PolicyEntry, SegmentPolicy};
 pub use error::EngineError;
 pub use expr::{ArithOp, CmpOp, Expr};
-pub use fault::{ChaosReport, FaultInjector, FaultPlan, FaultStats};
+pub use fault::{
+    ChaosReport, FaultInjector, FaultPlan, FaultStats, SocketEvent, SocketFaultInjector,
+    SocketFaultPlan, SocketFaultStats,
+};
 pub use operator::{run_unary, Emitter, Operator};
 pub use ops::{
     AggFunc, DupElim, Granularity, GroupBy, JoinVariant, MatchMode, Project, SAIntersect, SAJoin,

@@ -1,0 +1,132 @@
+//! Demo entry point: a multi-tenant front door over the moving-objects
+//! workload, with an embedded fleet of load clients.
+//!
+//! ```text
+//! sp-server [--port N] [--tenants N] [--objects N] [--ticks N] [--serve-secs N]
+//! ```
+//!
+//! Default mode starts the server plus `--tenants` concurrent clients,
+//! each replaying its own punctuated location stream, then drains and
+//! prints per-tenant results. With `--serve-secs N` (and `--tenants 0`)
+//! it instead serves external clients for N seconds before draining.
+//! The `/metrics` + `/healthz` listener is always on.
+
+use std::sync::Arc;
+
+use sp_core::{StreamElement, StreamId};
+use sp_engine::{AdmissionConfig, TelemetryConfig};
+use sp_mog::{location_stream, MovingObjectSim, WorkloadConfig};
+use sp_query::Dsms;
+use sp_server::{ClientConfig, LoadClient, Server, ServerConfig, SessionFactory, StoreMap};
+
+/// Builds each tenant's DSMS: the LocationUpdates stream, one analyst
+/// query over it, stream-time admission control and full telemetry.
+fn demo_factory() -> SessionFactory {
+    Arc::new(|tenant: u32| {
+        let mut dsms = Dsms::new();
+        let _ = dsms.register_stream(StreamId(1), MovingObjectSim::location_schema());
+        let _ = dsms.register_role("analyst");
+        if let Ok(subject) = dsms.register_subject(&format!("tenant-{tenant}"), &["analyst"]) {
+            let _ = dsms
+                .submit("SELECT obj_id, speed FROM LocationUpdates WHERE speed >= 10.0", subject);
+        }
+        dsms.admission =
+            Some(AdmissionConfig { tokens_per_sec: 2_000, burst: 256, enqueue_deadline_ms: 50 });
+        dsms.telemetry = Some(TelemetryConfig::enabled());
+        dsms
+    })
+}
+
+fn arg(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn main() {
+    let port = arg("--port", 0) as u16;
+    let tenants = arg("--tenants", 4) as u32;
+    let objects = arg("--objects", 60) as usize;
+    let ticks = arg("--ticks", 40) as usize;
+    let serve_secs = arg("--serve-secs", 0);
+
+    let cfg = ServerConfig {
+        port,
+        metrics: true,
+        checkpoint_every_frames: 32,
+        ..ServerConfig::default()
+    };
+    let handle = match Server::start(cfg, demo_factory(), StoreMap::new()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("sp-server listening on {}", handle.addr);
+    if let Some(m) = handle.metrics_addr {
+        println!("metrics:   http://{m}/metrics");
+        println!("readiness: http://{m}/healthz");
+    }
+
+    let mut joins = Vec::new();
+    for tenant in 0..tenants {
+        let addr = handle.addr;
+        let workload = location_stream(&WorkloadConfig {
+            objects,
+            ticks,
+            sp_every: 10,
+            grant_selectivity: 0.6,
+            seed: 42 + u64::from(tenant),
+            ..WorkloadConfig::default()
+        });
+        let input: Vec<(StreamId, StreamElement)> =
+            workload.elements.into_iter().map(|e| (workload.stream, e)).collect();
+        joins.push(std::thread::spawn(move || {
+            let client = LoadClient::new(ClientConfig { tenant, ..ClientConfig::default() });
+            (tenant, client.run(addr, &input))
+        }));
+    }
+    for j in joins {
+        if let Ok((tenant, r)) = j.join() {
+            println!(
+                "tenant {tenant}: {} frames, {} acks, {} overloads, pos {}{}",
+                r.frames_sent,
+                r.acks,
+                r.overloads,
+                r.final_pos,
+                if r.completed { "" } else { " (incomplete)" },
+            );
+        }
+    }
+    if tenants == 0 && serve_secs > 0 {
+        std::thread::sleep(std::time::Duration::from_secs(serve_secs));
+    }
+
+    let report = handle.drain();
+    println!(
+        "drained clean={} conns={} frames={} corrupted={} p99 handle {}us",
+        report.clean,
+        report.connections_total,
+        report.frames,
+        report.corrupted_frames,
+        report.latency.percentile(99.0),
+    );
+    for t in &report.tenants {
+        println!(
+            "  tenant {}: pos {} tuples {} sps {} shed {} released {:?} ckpts {} quarantined {}",
+            t.tenant,
+            t.input_pos,
+            t.tuples_ingested,
+            t.sps_ingested,
+            t.admission_rejected,
+            t.released.iter().map(|(q, v)| (*q, v.len())).collect::<Vec<_>>(),
+            t.checkpoints_taken,
+            t.quarantined,
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Server tuning knobs.
+
+/// Deliberate panic injection for chaos tests: the named tenant's worker
+/// panics when its session reaches the given input position. Exercises
+/// the supervisor's promise that a panicking pipeline quarantines only
+/// its own tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPanic {
+    /// The tenant whose worker should panic.
+    pub tenant: u32,
+    /// Input position (element count) at which the panic fires.
+    pub at_pos: u64,
+}
+
+/// Configuration of the front-door server.
+///
+/// Per-tenant *engine* behavior (admission control, telemetry, queries)
+/// is configured by the session factory that builds each tenant's
+/// [`sp_query::Dsms`]; this struct configures the *transport*: deadlines,
+/// connection limits, frame bounds and the fail-closed garbage budget.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Port to bind on 127.0.0.1 (0 = ephemeral).
+    pub port: u16,
+    /// Maximum concurrent connections; excess connects are refused with
+    /// a retry hint, never silently dropped.
+    pub max_conns: usize,
+    /// Per-read socket deadline in milliseconds. Bounds how long a stall
+    /// (or a length-lying frame header) can hold a connection thread.
+    pub read_timeout_ms: u64,
+    /// A connection silent this long is reaped (idle deadline).
+    pub idle_timeout_ms: u64,
+    /// Largest frame body accepted; a header claiming more is treated as
+    /// corruption immediately.
+    pub max_frame_len: usize,
+    /// Corrupted frames tolerated per connection before the tenant's
+    /// session is quarantined (fail closed): resync absorbs line noise,
+    /// but a byte-garbage-spewing client is a security event.
+    pub garbage_quarantine: u64,
+    /// Checkpoint the tenant session every N consumed frames
+    /// (0 = checkpoint only on drain). Periodic checkpoints bound how
+    /// much replay a hard kill costs.
+    pub checkpoint_every_frames: u64,
+    /// Spin up a `/metrics` + `/healthz` listener on an ephemeral port.
+    pub metrics: bool,
+    /// Chaos-test knob: deliberate worker panic (see [`ChaosPanic`]).
+    pub chaos_panic: Option<ChaosPanic>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            max_conns: 256,
+            read_timeout_ms: 25,
+            idle_timeout_ms: 2_000,
+            max_frame_len: 1 << 20,
+            garbage_quarantine: 64,
+            checkpoint_every_frames: 0,
+            metrics: false,
+            chaos_panic: None,
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Dedicated `/metrics` + `/healthz` listener.
+//!
+//! A deliberately tiny HTTP/1.0 responder on its own port, so operators
+//! can scrape telemetry without speaking the framed ingest protocol and
+//! without competing with data connections for the accept queue.
+//! Readiness fails closed: a draining (or gone) server answers 503.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::server::ServerState;
+
+/// Binds the observability listener on an ephemeral loopback port and
+/// serves it until the server drains.
+pub(crate) fn spawn(state: Arc<ServerState>) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let join = std::thread::Builder::new().name("sp-metrics".into()).spawn(move || loop {
+        if state.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => serve_one(&state, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    })?;
+    Ok((addr, join))
+}
+
+fn serve_one(state: &ServerState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut req = [0u8; 1024];
+    let n = stream.read(&mut req).unwrap_or(0);
+    let line = String::from_utf8_lossy(&req[..n]);
+    let path = line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", state.metrics().render_prometheus()),
+        "/healthz" => {
+            let (ready, text) = state.healthz();
+            (if ready { "200 OK" } else { "503 Service Unavailable" }, "text/plain", text)
+        }
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let resp = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(resp.as_bytes());
+}

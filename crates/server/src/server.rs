@@ -1,0 +1,509 @@
+//! The TCP front door: accept loop, connection supervision, deadlines,
+//! and graceful drain.
+//!
+//! One thread per connection reads CRC-framed bytes under a read
+//! deadline, resynchronizes past garbage with [`StreamDecoder`], and
+//! round-trips each decoded data frame through the owning tenant's
+//! worker. Responses (`Ack` / `Overloaded` / `Quarantined` / `Draining`)
+//! travel back as control frames. Connections that stay silent past the
+//! idle deadline are reaped; connections that spew garbage past the
+//! budget quarantine their tenant (fail closed); a draining server
+//! checkpoints every tenant before closing.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sp_core::wire::{Control, StreamDecoder, WireFrame};
+use sp_core::QuarantineCode;
+use sp_engine::telemetry::Histogram;
+use sp_engine::MetricsRegistry;
+
+use crate::config::ServerConfig;
+use crate::tenant::{
+    spawn_tenant, Cmd, FrameOutcome, SessionFactory, StoreMap, TenantHandle, TenantReport,
+};
+
+fn unpoison<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Shared server state: configuration, tenant registry, counters.
+pub(crate) struct ServerState {
+    pub cfg: ServerConfig,
+    pub factory: SessionFactory,
+    pub stores: StoreMap,
+    pub tenants: Mutex<HashMap<u32, Arc<TenantHandle>>>,
+    pub draining: AtomicBool,
+    pub conns: AtomicUsize,
+    pub connections_total: AtomicU64,
+    pub conns_refused: AtomicU64,
+    pub idle_reaped: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    pub corrupted_frames: AtomicU64,
+    pub frames: AtomicU64,
+    /// Per-frame server-side handling latency (decode → reply), µs.
+    pub latency: Mutex<Histogram>,
+}
+
+impl ServerState {
+    fn tenant(&self, id: u32) -> Arc<TenantHandle> {
+        let mut map = unpoison(self.tenants.lock());
+        Arc::clone(map.entry(id).or_insert_with(|| {
+            Arc::new(spawn_tenant(id, &self.factory, self.stores.store(id), self.cfg))
+        }))
+    }
+
+    /// Server-level metrics plus every live tenant's engine metrics,
+    /// merged into one registry.
+    pub(crate) fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let c = |v: &AtomicU64| v.load(Ordering::SeqCst);
+        reg.add_counter(
+            "sp_server_connections_total",
+            "Connections accepted since start",
+            "",
+            c(&self.connections_total),
+        );
+        reg.add_counter(
+            "sp_server_connections_refused_total",
+            "Connections refused at the concurrency cap or while draining",
+            "",
+            c(&self.conns_refused),
+        );
+        reg.add_counter(
+            "sp_server_idle_reaped_total",
+            "Connections closed by the idle deadline",
+            "",
+            c(&self.idle_reaped),
+        );
+        reg.add_counter(
+            "sp_server_protocol_errors_total",
+            "Connections closed for protocol violations",
+            "",
+            c(&self.protocol_errors),
+        );
+        reg.add_counter(
+            "sp_server_corrupted_frames_total",
+            "Frames lost to corruption across all connections",
+            "",
+            c(&self.corrupted_frames),
+        );
+        reg.add_counter(
+            "sp_server_frames_total",
+            "Data frames consumed by tenant sessions",
+            "",
+            c(&self.frames),
+        );
+        let quarantined = {
+            let map = unpoison(self.tenants.lock());
+            map.values().filter(|t| t.quarantined.load(Ordering::SeqCst)).count() as u64
+        };
+        reg.add_counter(
+            "sp_server_tenants_quarantined",
+            "Tenant sessions currently quarantined (fail closed)",
+            "",
+            quarantined,
+        );
+        let lat = unpoison(self.latency.lock()).clone();
+        reg.merge_histogram(
+            "sp_server_frame_handle_us",
+            "Server-side frame handling latency in microseconds",
+            "",
+            &lat,
+        );
+        let handles: Vec<Arc<TenantHandle>> =
+            unpoison(self.tenants.lock()).values().cloned().collect();
+        for h in handles {
+            let (tx, rx) = mpsc::sync_channel(1);
+            if h.tx.send(Cmd::Metrics { reply: tx }).is_ok() {
+                if let Ok(m) = rx.recv_timeout(Duration::from_secs(2)) {
+                    reg.merge(&m);
+                }
+            }
+        }
+        reg
+    }
+
+    /// Readiness: `(ready, status line)`. Fail closed — anything other
+    /// than a live, accepting server is not ready.
+    pub(crate) fn healthz(&self) -> (bool, String) {
+        let draining = self.draining.load(Ordering::SeqCst);
+        let map = unpoison(self.tenants.lock());
+        let quarantined = map.values().filter(|t| t.quarantined.load(Ordering::SeqCst)).count();
+        let tenants = map.len();
+        drop(map);
+        if draining {
+            (false, format!("draining tenants={tenants} quarantined={quarantined}\n"))
+        } else {
+            (true, format!("ok tenants={tenants} quarantined={quarantined}\n"))
+        }
+    }
+}
+
+/// What a finished server hands back.
+#[derive(Debug, Default)]
+pub struct DrainReport {
+    /// Final per-tenant reports (empty after a hard [`ServerHandle::kill`]).
+    pub tenants: Vec<TenantReport>,
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: u64,
+    /// Connections refused (cap reached or draining).
+    pub conns_refused: u64,
+    /// Connections reaped by the idle deadline.
+    pub idle_reaped: u64,
+    /// Connections closed for protocol violations.
+    pub protocol_errors: u64,
+    /// Frames lost to corruption across all connections.
+    pub corrupted_frames: u64,
+    /// Data frames consumed.
+    pub frames: u64,
+    /// Per-frame server-side handling latency, µs.
+    pub latency: Histogram,
+    /// True when every tenant drained through its checkpoint path.
+    pub clean: bool,
+}
+
+impl DrainReport {
+    /// The report of one tenant, if present.
+    #[must_use]
+    pub fn tenant(&self, id: u32) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.tenant == id)
+    }
+}
+
+/// A running front-door server.
+pub struct ServerHandle {
+    /// Ingestion address (127.0.0.1, ephemeral port by default).
+    pub addr: SocketAddr,
+    /// `/metrics` + `/healthz` address when enabled.
+    pub metrics_addr: Option<SocketAddr>,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    metrics_join: Option<JoinHandle<()>>,
+}
+
+/// The front-door server: binds, accepts, supervises.
+pub struct Server;
+
+impl Server {
+    /// Starts the server on 127.0.0.1.
+    ///
+    /// `stores` is the durable side: pass the same [`StoreMap`] to a
+    /// later incarnation and every tenant resumes from its checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the listener cannot bind.
+    pub fn start(
+        cfg: ServerConfig,
+        factory: SessionFactory,
+        stores: StoreMap,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            cfg,
+            factory,
+            stores,
+            tenants: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            connections_total: AtomicU64::new(0),
+            conns_refused: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            corrupted_frames: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            latency: Mutex::new(Histogram::new()),
+        });
+        let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (metrics_addr, metrics_join) = if cfg.metrics {
+            let (a, j) = crate::metrics::spawn(Arc::clone(&state))?;
+            (Some(a), Some(j))
+        } else {
+            (None, None)
+        };
+        let accept_state = Arc::clone(&state);
+        let accept_joins = Arc::clone(&conn_joins);
+        let acceptor = std::thread::Builder::new().name("sp-acceptor".into()).spawn(move || {
+            accept_loop(&listener, &accept_state, &accept_joins);
+        })?;
+        Ok(ServerHandle {
+            addr,
+            metrics_addr,
+            state,
+            acceptor: Some(acceptor),
+            conn_joins,
+            metrics_join,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    joins: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if state.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                state.connections_total.fetch_add(1, Ordering::SeqCst);
+                let live = state.conns.load(Ordering::SeqCst);
+                if live >= state.cfg.max_conns || state.draining.load(Ordering::SeqCst) {
+                    // Refuse loudly with a retry hint, then close: a
+                    // full house is backpressure, not a black hole.
+                    state.conns_refused.fetch_add(1, Ordering::SeqCst);
+                    let hint = Control::Overloaded { retry_after_ms: 50, pos: 0 };
+                    let _ = stream.write_all(&hint.encode_to_vec());
+                    continue;
+                }
+                state.conns.fetch_add(1, Ordering::SeqCst);
+                let conn_state = Arc::clone(state);
+                if let Ok(j) = std::thread::Builder::new()
+                    .name("sp-conn".into())
+                    .spawn(move || handle_conn(&conn_state, stream))
+                {
+                    unpoison(joins.lock()).push(j);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_ctrl(stream: &mut TcpStream, ctrl: &Control) -> std::io::Result<()> {
+    stream.write_all(&ctrl.encode_to_vec())
+}
+
+/// Round-trips one frame through the tenant worker. A dead or wedged
+/// worker reads as quarantine — the connection must never hang forever
+/// on a tenant that stopped replying.
+fn round_trip(
+    handle: &TenantHandle,
+    stream: sp_core::StreamId,
+    elements: Vec<sp_core::StreamElement>,
+) -> FrameOutcome {
+    let (tx, rx) = mpsc::sync_channel(1);
+    if handle.tx.send(Cmd::Frame { stream, elements, reply: tx }).is_err() {
+        return FrameOutcome::Quarantined { code: QuarantineCode::Panicked };
+    }
+    match rx.recv_timeout(Duration::from_secs(10)) {
+        Ok(outcome) => outcome,
+        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+            FrameOutcome::Quarantined { code: QuarantineCode::Panicked }
+        }
+    }
+}
+
+fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let cfg = state.cfg;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))));
+    let mut dec = StreamDecoder::new(cfg.max_frame_len);
+    let mut tenant: Option<Arc<TenantHandle>> = None;
+    let mut idle_ms = 0u64;
+    let mut buf = [0u8; 16 * 1024];
+    'conn: loop {
+        if state.draining.load(Ordering::SeqCst) {
+            let pos = tenant.as_ref().map_or(0, |t| t.pos.load(Ordering::SeqCst));
+            let _ = write_ctrl(&mut stream, &Control::Draining { pos });
+            break;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                idle_ms = 0;
+                n
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                idle_ms += cfg.read_timeout_ms;
+                if idle_ms >= cfg.idle_timeout_ms {
+                    state.idle_reaped.fetch_add(1, Ordering::SeqCst);
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        for frame in dec.feed(&buf[..n]) {
+            match frame {
+                WireFrame::Control(Control::Hello { tenant: id, .. }) => {
+                    let h = state.tenant(id);
+                    // Read the cursor through the worker's FIFO queue,
+                    // not the atomic mirror: frames a dead connection
+                    // left in flight are counted before we answer, so a
+                    // reconnecting client can never be told to replay
+                    // an element the session is about to consume.
+                    let resume_from = {
+                        let (tx, rx) = mpsc::sync_channel(1);
+                        if h.tx.send(Cmd::Report { reply: tx }).is_ok() {
+                            rx.recv_timeout(Duration::from_secs(10))
+                                .map_or_else(|_| h.pos.load(Ordering::SeqCst), |r| r.input_pos)
+                        } else {
+                            h.pos.load(Ordering::SeqCst)
+                        }
+                    };
+                    let was_quarantined = h.quarantined.load(Ordering::SeqCst);
+                    tenant = Some(h);
+                    if write_ctrl(&mut stream, &Control::HelloAck { resume_from }).is_err() {
+                        break 'conn;
+                    }
+                    if was_quarantined {
+                        let _ = write_ctrl(
+                            &mut stream,
+                            &Control::Quarantined { code: QuarantineCode::Panicked },
+                        );
+                        break 'conn;
+                    }
+                }
+                WireFrame::Message(msg) => {
+                    let Some(h) = tenant.as_ref() else {
+                        // Data before Hello is a protocol violation.
+                        state.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                        break 'conn;
+                    };
+                    let t0 = Instant::now();
+                    let outcome = round_trip(h, msg.stream, msg.elements);
+                    let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    unpoison(state.latency.lock()).record(us);
+                    state.frames.fetch_add(1, Ordering::SeqCst);
+                    let ctrl = match outcome {
+                        FrameOutcome::Ack { pos } => Control::Ack { pos },
+                        FrameOutcome::Overloaded { retry_after_ms, pos } => {
+                            Control::Overloaded { retry_after_ms, pos }
+                        }
+                        FrameOutcome::Quarantined { code } => Control::Quarantined { code },
+                    };
+                    let quarantined = matches!(ctrl, Control::Quarantined { .. });
+                    if write_ctrl(&mut stream, &ctrl).is_err() || quarantined {
+                        break 'conn;
+                    }
+                }
+                WireFrame::Control(_) => {
+                    // Clients only send Hello; anything else is a
+                    // protocol violation.
+                    state.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                    break 'conn;
+                }
+            }
+        }
+        if dec.corrupted_frames > cfg.garbage_quarantine {
+            // Past the garbage budget the client is treated as hostile:
+            // its tenant session fails closed.
+            if let Some(h) = tenant.as_ref() {
+                let _ = h.tx.send(Cmd::Quarantine { code: QuarantineCode::Garbage });
+                h.quarantined.store(true, Ordering::SeqCst);
+            }
+            let _ =
+                write_ctrl(&mut stream, &Control::Quarantined { code: QuarantineCode::Garbage });
+            break;
+        }
+    }
+    state.corrupted_frames.fetch_add(dec.corrupted_frames, Ordering::SeqCst);
+    state.conns.fetch_sub(1, Ordering::SeqCst);
+}
+
+impl ServerHandle {
+    /// A live tenant report (None when the tenant has no session yet or
+    /// its worker died).
+    #[must_use]
+    pub fn tenant_report(&self, tenant: u32) -> Option<TenantReport> {
+        let h = {
+            let map = unpoison(self.state.tenants.lock());
+            map.get(&tenant).cloned()
+        }?;
+        let (tx, rx) = mpsc::sync_channel(1);
+        h.tx.send(Cmd::Report { reply: tx }).ok()?;
+        rx.recv_timeout(Duration::from_secs(5)).ok()
+    }
+
+    /// The merged metrics snapshot in Prometheus text exposition format.
+    #[must_use]
+    pub fn metrics_prometheus(&self) -> String {
+        self.state.metrics().render_prometheus()
+    }
+
+    /// Graceful drain: stop accepting, notify connections, checkpoint
+    /// every tenant, join every thread, report.
+    #[must_use]
+    pub fn drain(mut self) -> DrainReport {
+        self.finish(true)
+    }
+
+    /// Hard kill: stop everything *without* final checkpoints — the last
+    /// periodic checkpoint stands, as after a crash. Tenant reports are
+    /// not collected (a dead server reports nothing).
+    #[must_use]
+    pub fn kill(mut self) -> DrainReport {
+        self.finish(false)
+    }
+
+    fn finish(&mut self, graceful: bool) -> DrainReport {
+        self.state.draining.store(true, Ordering::SeqCst);
+        if let Some(j) = self.acceptor.take() {
+            let _ = j.join();
+        }
+        for j in unpoison(self.conn_joins.lock()).drain(..) {
+            let _ = j.join();
+        }
+        if let Some(j) = self.metrics_join.take() {
+            let _ = j.join();
+        }
+        let handles: Vec<Arc<TenantHandle>> = {
+            let mut map = unpoison(self.state.tenants.lock());
+            map.drain().map(|(_, h)| h).collect()
+        };
+        let mut tenants = Vec::new();
+        let mut clean = true;
+        for h in handles {
+            if graceful {
+                let (tx, rx) = mpsc::sync_channel(1);
+                if h.tx.send(Cmd::Drain { reply: tx }).is_ok() {
+                    match rx.recv_timeout(Duration::from_secs(10)) {
+                        Ok(report) => tenants.push(report),
+                        Err(_) => clean = false,
+                    }
+                } else {
+                    clean = false;
+                }
+            }
+            // Dropping the handle closes the command channel; a killed
+            // worker exits without checkpointing.
+            let join = unpoison(h.join.lock()).take();
+            drop(h);
+            if let Some(j) = join {
+                let _ = j.join();
+            }
+        }
+        tenants.sort_by_key(|t| t.tenant);
+        let c = |v: &AtomicU64| v.load(Ordering::SeqCst);
+        DrainReport {
+            tenants,
+            connections_total: c(&self.state.connections_total),
+            conns_refused: c(&self.state.conns_refused),
+            idle_reaped: c(&self.state.idle_reaped),
+            protocol_errors: c(&self.state.protocol_errors),
+            corrupted_frames: c(&self.state.corrupted_frames),
+            frames: c(&self.state.frames),
+            latency: unpoison(self.state.latency.lock()).clone(),
+            clean: clean && graceful,
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Supervised per-tenant sessions.
+//!
+//! Every tenant gets an isolated pipeline: a dedicated worker thread
+//! owning its own [`sp_query::RunningDsms`], fed through a bounded
+//! channel by whatever connections the tenant has open. The worker is
+//! the tenant's *blast radius*: a panic inside its engine, a resume
+//! failure, or a garbage verdict from the transport quarantines exactly
+//! this session — the session stops consuming (fail closed, its last
+//! good checkpoint stands) and every other tenant is untouched.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use sp_core::{QuarantineCode, StreamElement, StreamId};
+use sp_engine::{CheckpointStore, EngineError, MemStore, MetricsRegistry};
+use sp_query::{Dsms, RunningDsms};
+
+use crate::config::ServerConfig;
+
+/// Builds a fresh (unstarted) [`Dsms`] for a tenant: streams, roles,
+/// queries, admission and telemetry configuration. Called once per
+/// tenant per server incarnation; the session itself is then started via
+/// [`Dsms::resume`] against the tenant's checkpoint store.
+pub type SessionFactory = Arc<dyn Fn(u32) -> Dsms + Send + Sync>;
+
+/// A tenant checkpoint store that survives server restarts: an
+/// [`MemStore`] behind an `Arc`, cloneable into each server incarnation.
+/// (A production deployment would use [`sp_engine::FileStore`]; tests
+/// and the load bench kill and resurrect servers in-process.)
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore(Arc<Mutex<MemStore>>);
+
+fn unpoison<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl CheckpointStore for SharedStore {
+    fn save(&mut self, ckpt: &sp_engine::Checkpoint) -> Result<(), EngineError> {
+        unpoison(self.0.lock()).save(ckpt)
+    }
+
+    fn load_latest(&self) -> Option<sp_engine::Checkpoint> {
+        unpoison(self.0.lock()).load_latest()
+    }
+
+    fn count(&self) -> usize {
+        unpoison(self.0.lock()).count()
+    }
+}
+
+/// The durable side of a server: one checkpoint store per tenant.
+/// Clone it, kill the server, start a new one with the clone — every
+/// tenant resumes from its last checkpoint.
+#[derive(Debug, Clone, Default)]
+pub struct StoreMap {
+    inner: Arc<Mutex<HashMap<u32, SharedStore>>>,
+}
+
+impl StoreMap {
+    /// An empty store map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The store for a tenant, created on first use.
+    #[must_use]
+    pub fn store(&self, tenant: u32) -> SharedStore {
+        unpoison(self.inner.lock()).entry(tenant).or_default().clone()
+    }
+}
+
+/// Outcome of pushing one data frame into a tenant session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// Every element consumed; `pos` is the session position after.
+    Ack {
+        /// Input position after the frame.
+        pos: u64,
+    },
+    /// Frame consumed, but admission shed at least one tuple; the client
+    /// should back off at least `retry_after_ms` of stream time.
+    Overloaded {
+        /// Largest retry hint admission produced for this frame.
+        retry_after_ms: u64,
+        /// Input position after the frame (shed tuples counted).
+        pos: u64,
+    },
+    /// The session is quarantined; nothing was (or will be) consumed.
+    Quarantined {
+        /// Why the session is quarantined.
+        code: QuarantineCode,
+    },
+}
+
+/// Everything a drained (or live-inspected) tenant session reports.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// The tenant id.
+    pub tenant: u32,
+    /// Elements consumed by the session (the replay cursor).
+    pub input_pos: u64,
+    /// Whether the session ended quarantined.
+    pub quarantined: bool,
+    /// The quarantine cause, if any.
+    pub quarantine_code: Option<QuarantineCode>,
+    /// Data tuples admitted into the plan.
+    pub tuples_ingested: u64,
+    /// Security punctuations ingested. Sps are never shed or refused.
+    pub sps_ingested: u64,
+    /// Tuples refused by per-tenant admission control.
+    pub admission_rejected: u64,
+    /// Per-query released tuples, in release order, keyed by query id.
+    pub released: Vec<(u32, Vec<String>)>,
+    /// The session's audit trail in canonical byte encoding (empty when
+    /// telemetry is off or the session is quarantined).
+    pub audit: Vec<u8>,
+    /// Checkpoints this incarnation persisted.
+    pub checkpoints_taken: u64,
+}
+
+/// Commands a tenant worker accepts from connection threads and the
+/// server's drain path.
+pub(crate) enum Cmd {
+    /// Push one decoded data frame; reply with the outcome.
+    Frame { stream: StreamId, elements: Vec<StreamElement>, reply: SyncSender<FrameOutcome> },
+    /// Quarantine the session (transport-level verdict, e.g. garbage).
+    Quarantine { code: QuarantineCode },
+    /// Report current session state without stopping.
+    Report { reply: SyncSender<TenantReport> },
+    /// Report current engine metrics without stopping.
+    Metrics { reply: SyncSender<MetricsRegistry> },
+    /// Checkpoint (unless quarantined), report, and stop.
+    Drain { reply: SyncSender<TenantReport> },
+}
+
+/// Shared view of one tenant's worker.
+pub(crate) struct TenantHandle {
+    pub tx: SyncSender<Cmd>,
+    /// Mirror of the session's input position (the HelloAck cursor).
+    pub pos: Arc<AtomicU64>,
+    pub quarantined: Arc<AtomicBool>,
+    pub join: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The worker's owned state.
+struct Worker {
+    id: u32,
+    dsms: Dsms,
+    /// `None` once quarantined — the engine state is untrusted (panic)
+    /// or was never trusted (resume failure), so it is dropped rather
+    /// than consulted.
+    session: Option<RunningDsms>,
+    store: SharedStore,
+    pos: Arc<AtomicU64>,
+    quarantined: Arc<AtomicBool>,
+    quarantine_code: Option<QuarantineCode>,
+    tuples_ingested: u64,
+    sps_ingested: u64,
+    epoch: u64,
+    frames_since_ckpt: u64,
+    checkpoints_taken: u64,
+    cfg: ServerConfig,
+}
+
+impl Worker {
+    fn quarantine(&mut self, code: QuarantineCode) {
+        self.session = None;
+        self.quarantine_code.get_or_insert(code);
+        self.quarantined.store(true, Ordering::SeqCst);
+    }
+
+    /// Pushes one frame's elements, tracking admission refusals.
+    /// Runs under `catch_unwind`: a panic anywhere in here quarantines
+    /// the tenant (the caller handles the unwind).
+    fn push_frame(&mut self, stream: StreamId, elements: Vec<StreamElement>) -> FrameOutcome {
+        let Some(session) = self.session.as_mut() else {
+            return FrameOutcome::Quarantined {
+                code: self.quarantine_code.unwrap_or(QuarantineCode::Panicked),
+            };
+        };
+        let mut worst_retry: Option<u64> = None;
+        for elem in elements {
+            if let Some(chaos) = self.cfg.chaos_panic {
+                if chaos.tenant == self.id && session.input_pos() >= chaos.at_pos {
+                    panic!("chaos: deliberate tenant worker panic");
+                }
+            }
+            let is_tuple = elem.is_tuple();
+            match session.try_push(stream, elem) {
+                Ok(()) => {
+                    if is_tuple {
+                        self.tuples_ingested += 1;
+                    } else {
+                        self.sps_ingested += 1;
+                    }
+                }
+                Err(EngineError::Overloaded { retry_after_ms }) => {
+                    worst_retry = Some(worst_retry.unwrap_or(0).max(retry_after_ms));
+                }
+                // Any other engine error fails closed per element: the
+                // executor already dropped the in-flight elements, and
+                // the error stays visible in the session's error log.
+                Err(_) => {}
+            }
+        }
+        let pos = session.input_pos();
+        self.pos.store(pos, Ordering::SeqCst);
+        self.frames_since_ckpt += 1;
+        if self.cfg.checkpoint_every_frames > 0
+            && self.frames_since_ckpt >= self.cfg.checkpoint_every_frames
+        {
+            self.checkpoint();
+        }
+        match worst_retry {
+            Some(retry_after_ms) => FrameOutcome::Overloaded { retry_after_ms, pos },
+            None => FrameOutcome::Ack { pos },
+        }
+    }
+
+    fn checkpoint(&mut self) {
+        if let Some(session) = self.session.as_ref() {
+            self.epoch += 1;
+            if session.checkpoint_to(self.epoch, &mut self.store).is_ok() {
+                self.checkpoints_taken += 1;
+                self.frames_since_ckpt = 0;
+            }
+        }
+    }
+
+    fn report(&self) -> TenantReport {
+        let (released, audit, admission_rejected) = match self.session.as_ref() {
+            Some(session) => {
+                let released = self
+                    .dsms
+                    .queries()
+                    .iter()
+                    .map(|q| {
+                        let tuples =
+                            session.results(q.id).tuples().map(|t| t.to_string()).collect();
+                        (q.id.raw(), tuples)
+                    })
+                    .collect();
+                (
+                    released,
+                    session.audit_trail().encode_to_vec(),
+                    session.degradation().admission_rejected,
+                )
+            }
+            None => (Vec::new(), Vec::new(), 0),
+        };
+        TenantReport {
+            tenant: self.id,
+            input_pos: self.pos.load(Ordering::SeqCst),
+            quarantined: self.quarantined.load(Ordering::SeqCst),
+            quarantine_code: self.quarantine_code,
+            tuples_ingested: self.tuples_ingested,
+            sps_ingested: self.sps_ingested,
+            admission_rejected,
+            released,
+            audit,
+            checkpoints_taken: self.checkpoints_taken,
+        }
+    }
+
+    fn run(mut self, rx: &Receiver<Cmd>) {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                Cmd::Frame { stream, elements, reply } => {
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| self.push_frame(stream, elements)));
+                    let outcome = match outcome {
+                        Ok(o) => o,
+                        Err(_) => {
+                            // The engine state may be mid-mutation:
+                            // untrusted. Fail closed — drop it, keep the
+                            // last good checkpoint, quarantine.
+                            self.quarantine(QuarantineCode::Panicked);
+                            FrameOutcome::Quarantined { code: QuarantineCode::Panicked }
+                        }
+                    };
+                    let _ = reply.send(outcome);
+                }
+                Cmd::Quarantine { code } => self.quarantine(code),
+                Cmd::Report { reply } => {
+                    let _ = reply.send(self.report());
+                }
+                Cmd::Metrics { reply } => {
+                    let reg =
+                        self.session.as_ref().map(|s| s.executor.metrics()).unwrap_or_default();
+                    let _ = reply.send(reg);
+                }
+                Cmd::Drain { reply } => {
+                    if !self.quarantined.load(Ordering::SeqCst) {
+                        self.checkpoint();
+                    }
+                    let _ = reply.send(self.report());
+                    return;
+                }
+            }
+        }
+        // All senders dropped without a drain: a hard kill. No final
+        // checkpoint — the last periodic one stands, and resume replays
+        // from it.
+    }
+}
+
+/// Spawns the worker thread for a tenant, resuming from its store.
+pub(crate) fn spawn_tenant(
+    id: u32,
+    factory: &SessionFactory,
+    store: SharedStore,
+    cfg: ServerConfig,
+) -> TenantHandle {
+    let (tx, rx) = mpsc::sync_channel::<Cmd>(256);
+    let pos = Arc::new(AtomicU64::new(0));
+    let quarantined = Arc::new(AtomicBool::new(false));
+    let factory = Arc::clone(factory);
+    let (pos_t, quarantined_t) = (Arc::clone(&pos), Arc::clone(&quarantined));
+    let join = std::thread::Builder::new().name(format!("tenant-{id}")).spawn(move || {
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            let dsms = factory(id);
+            let session = dsms.resume(&store);
+            (dsms, session)
+        }));
+        let mut worker = Worker {
+            id,
+            dsms: Dsms::new(),
+            session: None,
+            store,
+            pos: pos_t,
+            quarantined: quarantined_t,
+            quarantine_code: None,
+            tuples_ingested: 0,
+            sps_ingested: 0,
+            epoch: 0,
+            frames_since_ckpt: 0,
+            checkpoints_taken: 0,
+            cfg,
+        };
+        match built {
+            Ok((dsms, Ok(session))) => {
+                worker.pos.store(session.input_pos(), Ordering::SeqCst);
+                worker.dsms = dsms;
+                worker.session = Some(session);
+            }
+            // A corrupt checkpoint or a factory panic both fail
+            // closed: the tenant starts quarantined rather than
+            // half-restored.
+            Ok((dsms, Err(_))) => {
+                worker.dsms = dsms;
+                worker.quarantine(QuarantineCode::ResumeFailed);
+            }
+            Err(_) => worker.quarantine(QuarantineCode::ResumeFailed),
+        }
+        worker.run(&rx);
+    });
+    TenantHandle { tx, pos, quarantined, join: Mutex::new(join.ok()) }
+}

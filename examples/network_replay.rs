@@ -1,45 +1,61 @@
-//! Network replay: policies ride in the same message as the data, and the
-//! plan runs pipeline-parallel.
+//! Network replay: policies ride in the same message as the data, and
+//! the stream round-trips through the real TCP front door.
 //!
-//! The paper's premise (§I-B) is that devices inject punctuations into the
-//! data channel itself — "the policies can be encoded into a compact
-//! format, and in most cases can be included into the same network message
-//! with the data". This example:
+//! The paper's premise (§I-B) is that devices inject punctuations into
+//! the data channel itself — "the policies can be encoded into a compact
+//! format, and in most cases can be included into the same network
+//! message with the data". This example:
 //!
 //! 1. simulates moving objects and *frames* their punctuated stream into
-//!    wire [`Message`]s (what devices would transmit),
-//! 2. reports the measured policy overhead on the wire,
-//! 3. decodes the messages on the "server" and replays them through a
-//!    select + shield plan on the **pipeline-parallel executor** (one
-//!    thread per operator), verifying against the sequential engine.
+//!    wire [`Message`]s (what devices would transmit), reporting the
+//!    measured policy overhead on the wire,
+//! 2. starts the multi-tenant `sp-server` on a loopback port and replays
+//!    the frames through it with the real [`LoadClient`],
+//! 3. scrapes the server's `/metrics` (Prometheus text exposition) and
+//!    `/healthz` endpoints while it runs,
+//! 4. drains the server and verifies the released tuples and the audit
+//!    trail are byte-identical to running the same session in memory.
 //!
 //! Run with: `cargo run --release --example network_replay`
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 
-use sp_core::{wire::Message, RoleSet, StreamElement, StreamId, Value};
-use sp_engine::{run_parallel, CmpOp, Expr, PlanBuilder, SecurityShield, Select, SinkRef};
-use sp_mog::{location_stream, WorkloadConfig};
+use sp_core::{wire::Message, StreamElement, StreamId};
+use sp_engine::TelemetryConfig;
+use sp_mog::{location_stream, MovingObjectSim, WorkloadConfig};
+use sp_query::Dsms;
+use sp_server::{ClientConfig, LoadClient, Server, ServerConfig, SessionFactory, StoreMap};
 
 /// Tuples per network message (one device batch).
 const BATCH: usize = 32;
 
-fn build_plan() -> (PlanBuilder, SinkRef) {
-    let mut catalog = sp_core::RoleCatalog::new();
-    catalog.register_synthetic_roles(128);
-    let mut b = PlanBuilder::new(Arc::new(catalog));
-    let src = b.source(StreamId(1), sp_mog::MovingObjectSim::location_schema());
-    let sel = b.add(
-        Select::new(Expr::cmp(
-            CmpOp::Ge,
-            Expr::Attr(3),
-            Expr::Const(Value::Float(10.0)), // moving faster than 10 m/s
-        )),
-        src,
-    );
-    let ss = b.add(SecurityShield::new(RoleSet::from([0])), sel);
-    let sink = b.sink(ss);
-    (b, sink)
+/// Every tenant runs the same session: one analyst query over the
+/// LocationUpdates stream, with telemetry (audit trail + metrics) armed.
+fn session_factory() -> SessionFactory {
+    Arc::new(|tenant: u32| {
+        let mut dsms = Dsms::new();
+        dsms.register_stream(StreamId(1), MovingObjectSim::location_schema())
+            .expect("stream registers");
+        dsms.register_role("analyst").expect("role registers");
+        let subject = dsms
+            .register_subject(&format!("tenant-{tenant}"), &["analyst"])
+            .expect("subject registers");
+        dsms.submit("SELECT obj_id, speed FROM LocationUpdates WHERE speed >= 10.0", subject)
+            .expect("query plans");
+        dsms.telemetry = Some(TelemetryConfig::enabled());
+        dsms
+    })
+}
+
+/// A minimal HTTP/1.0 GET against the observability listener.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("observability listener reachable");
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("request writes");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("response reads");
+    body
 }
 
 fn main() {
@@ -51,10 +67,11 @@ fn main() {
         grant_selectivity: 0.6,
         ..WorkloadConfig::default()
     });
-    let mut messages = Vec::new();
-    for chunk in workload.elements.chunks(BATCH) {
-        messages.push(Message::new(StreamId(1), chunk.to_vec()));
-    }
+    let messages: Vec<Message> = workload
+        .elements
+        .chunks(BATCH)
+        .map(|chunk| Message::new(StreamId(1), chunk.to_vec()))
+        .collect();
     let wire_bytes: usize = messages.iter().map(|m| m.encode_to_vec().len()).sum();
     let data_only: usize = messages
         .iter()
@@ -77,33 +94,61 @@ fn main() {
         (wire_bytes - data_only) as f64 / data_only as f64 * 100.0
     );
 
-    // 2. Server: decode and replay.
-    let mut replayed: Vec<(StreamId, StreamElement)> = Vec::new();
-    for msg in &messages {
-        let bytes = msg.encode_to_vec();
-        let decoded = Message::decode(&mut bytes.as_slice()).expect("wire round-trip");
-        for elem in decoded.elements {
-            replayed.push((decoded.stream, elem));
-        }
+    // 2. In-memory reference run: what the server must reproduce.
+    let factory = session_factory();
+    let dsms = factory(0);
+    let mut reference = dsms.start();
+    for e in &workload.elements {
+        let _ = reference.try_push(StreamId(1), e.clone());
+    }
+    let want: Vec<String> = dsms
+        .queries()
+        .iter()
+        .flat_map(|q| reference.results(q.id).tuples().map(|t| t.to_string()))
+        .collect();
+    let want_audit = reference.audit_trail().encode_to_vec();
+
+    // 3. The real server, on a loopback port, with observability on.
+    let cfg = ServerConfig { metrics: true, ..ServerConfig::default() };
+    let handle = Server::start(cfg, Arc::clone(&factory), StoreMap::new()).expect("server binds");
+    println!("server on {} (metrics on {:?})", handle.addr, handle.metrics_addr);
+
+    let input: Vec<(StreamId, StreamElement)> =
+        workload.elements.iter().map(|e| (StreamId(1), e.clone())).collect();
+    let report = LoadClient::new(ClientConfig { frame_elements: BATCH, ..ClientConfig::default() })
+        .run(handle.addr, &input);
+    assert!(report.completed, "client must deliver every element: {report:?}");
+
+    // 4. Scrape the observability endpoints while the server is live.
+    let metrics_addr = handle.metrics_addr.expect("metrics listener is on");
+    let health = http_get(metrics_addr, "/healthz");
+    assert!(health.contains("200 OK") && health.contains("ok tenants=1"), "{health}");
+    println!("healthz: ready");
+    let metrics = http_get(metrics_addr, "/metrics");
+    assert!(metrics.contains("sp_server_frames_total"), "server counters exposed");
+    assert!(metrics.contains("sp_tuples_in_total"), "per-tenant engine counters exposed");
+    let interesting: Vec<&str> = metrics
+        .lines()
+        .filter(|l| !l.starts_with('#') && (l.contains("frames") || l.contains("tuples")))
+        .take(4)
+        .collect();
+    println!("metrics sample:");
+    for line in interesting {
+        println!("  {line}");
     }
 
-    // 3a. Sequential reference run.
-    let (builder, sink) = build_plan();
-    let mut exec = builder.build();
-    exec.push_all(replayed.clone()).expect("sequential replay");
-    let sequential: Vec<String> = exec.sink(sink).tuples().map(|t| t.to_string()).collect();
-
-    // 3b. Pipeline-parallel run: one thread per operator.
-    let (builder, psink) = build_plan();
-    let results = run_parallel(builder, replayed).expect("parallel replay");
-    let parallel: Vec<String> = results.sink(psink).tuples().map(|t| t.to_string()).collect();
-
+    // 5. Drain and verify against the in-memory run.
+    let drained = handle.drain();
+    assert!(drained.clean, "graceful drain must checkpoint every tenant");
+    let tenant = drained.tenant(0).expect("tenant 0 drained");
+    let got: Vec<String> = tenant.released.iter().flat_map(|(_, v)| v.iter().cloned()).collect();
     println!(
-        "released to the role-0 query: {} fast-moving updates (sequential) / {} (parallel)",
-        sequential.len(),
-        parallel.len()
+        "released to the analyst query: {} fast-moving updates (loopback) / {} (in-memory)",
+        got.len(),
+        want.len()
     );
-    assert_eq!(sequential, parallel, "parallel run must match exactly");
-    assert!(!sequential.is_empty());
-    println!("OK: wire round-trip + parallel execution reproduce the sequential results.");
+    assert_eq!(got, want, "loopback must reproduce the in-memory results exactly");
+    assert_eq!(tenant.audit, want_audit, "audit trail must be byte-identical");
+    assert!(!got.is_empty());
+    println!("OK: wire round-trip through the live server reproduces the in-memory run.");
 }
