@@ -370,6 +370,10 @@ const CTRL_ACK: u8 = 2;
 const CTRL_OVERLOADED: u8 = 3;
 const CTRL_QUARANTINED: u8 = 4;
 const CTRL_DRAINING: u8 = 5;
+const CTRL_REPL_HELLO: u8 = 6;
+const CTRL_CKPT_SEGMENT: u8 = 7;
+const CTRL_CKPT_COMMIT: u8 = 8;
+const CTRL_FENCE: u8 = 9;
 
 /// Why a server quarantined a tenant session (carried in
 /// [`Control::Quarantined`]). Quarantine is fail-closed: once set, every
@@ -421,7 +425,16 @@ impl QuarantineCode {
 /// goodbye. Framing is identical to data frames
 /// (`[MAGIC_CTRL][u32 len][u32 CRC-32][body]`), so the same resync logic
 /// protects both.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The replication frames ([`Control::ReplHello`],
+/// [`Control::CheckpointSegment`], [`Control::CheckpointCommit`],
+/// [`Control::Fence`]) carry the primary→standby checkpoint-shipping
+/// protocol over the same envelope. Every one of them carries the
+/// sender's **fencing epoch** — a monotonically increasing generation
+/// number that makes failover fail-closed: any node that observes a
+/// higher epoch than its own has been deposed and must stop releasing
+/// tuples immediately.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Control {
     /// Client → server: open (or re-open) a tenant session.
     /// `acked` is the highest server position the client has seen — the
@@ -469,6 +482,57 @@ pub enum Control {
         /// Input position of the drain checkpoint.
         pos: u64,
     },
+    /// Primary → standby: open (or re-open) the replication link. The
+    /// standby echoes the frame back (with its own highest known epoch)
+    /// as the link acknowledgement; an echo carrying a *higher* epoch
+    /// than the sender's tells a stale primary it has been deposed.
+    ReplHello {
+        /// The sender's fencing epoch.
+        fencing_epoch: u64,
+    },
+    /// Primary → standby: one chunk of a tenant's encoded epoch
+    /// checkpoint. Segments are buffered by `(tenant, epoch)` and only
+    /// applied when the matching [`Control::CheckpointCommit`] verifies —
+    /// a partial ship is discarded whole, never half-applied.
+    CheckpointSegment {
+        /// The tenant whose checkpoint is being shipped.
+        tenant: u32,
+        /// The checkpoint's epoch number.
+        epoch: u64,
+        /// The sender's fencing epoch.
+        fencing_epoch: u64,
+        /// Zero-based index of this segment.
+        seq: u32,
+        /// Total number of segments in this checkpoint.
+        total: u32,
+        /// This segment's slice of the encoded checkpoint frame.
+        bytes: Vec<u8>,
+    },
+    /// Primary → standby: commit marker for a shipped checkpoint. The
+    /// standby reassembles the segments, verifies `len` and `crc`
+    /// against the whole, applies the checkpoint, and echoes this frame
+    /// back as the per-tenant replication acknowledgement.
+    CheckpointCommit {
+        /// The tenant whose checkpoint is being committed.
+        tenant: u32,
+        /// The checkpoint's epoch number.
+        epoch: u64,
+        /// The sender's fencing epoch.
+        fencing_epoch: u64,
+        /// Total length of the assembled checkpoint bytes.
+        len: u32,
+        /// CRC-32 of the assembled checkpoint bytes.
+        crc: u32,
+    },
+    /// Any → any: the sender asserts `fencing_epoch`. A receiver whose
+    /// own epoch is lower has been deposed: it must stop releasing
+    /// tuples (fail closed) and audit every refusal. Also sent by a
+    /// fenced server to its clients so they fail over to the new
+    /// primary.
+    Fence {
+        /// The asserted fencing epoch.
+        fencing_epoch: u64,
+    },
 }
 
 impl Control {
@@ -502,6 +566,32 @@ impl Control {
             Self::Draining { pos } => {
                 body.put_u8(CTRL_DRAINING);
                 body.put_u64(*pos);
+            }
+            Self::ReplHello { fencing_epoch } => {
+                body.put_u8(CTRL_REPL_HELLO);
+                body.put_u64(*fencing_epoch);
+            }
+            Self::CheckpointSegment { tenant, epoch, fencing_epoch, seq, total, bytes } => {
+                body.put_u8(CTRL_CKPT_SEGMENT);
+                body.put_u32(*tenant);
+                body.put_u64(*epoch);
+                body.put_u64(*fencing_epoch);
+                body.put_u32(*seq);
+                body.put_u32(*total);
+                body.put_u32(bytes.len() as u32);
+                body.put_slice(bytes);
+            }
+            Self::CheckpointCommit { tenant, epoch, fencing_epoch, len, crc } => {
+                body.put_u8(CTRL_CKPT_COMMIT);
+                body.put_u32(*tenant);
+                body.put_u64(*epoch);
+                body.put_u64(*fencing_epoch);
+                body.put_u32(*len);
+                body.put_u32(*crc);
+            }
+            Self::Fence { fencing_epoch } => {
+                body.put_u8(CTRL_FENCE);
+                body.put_u64(*fencing_epoch);
             }
         }
         buf.put_u8(MAGIC_CTRL);
@@ -556,6 +646,37 @@ impl Control {
             CTRL_DRAINING => {
                 need(buf, 8)?;
                 Self::Draining { pos: buf.get_u64() }
+            }
+            CTRL_REPL_HELLO => {
+                need(buf, 8)?;
+                Self::ReplHello { fencing_epoch: buf.get_u64() }
+            }
+            CTRL_CKPT_SEGMENT => {
+                need(buf, 4 + 8 + 8 + 4 + 4 + 4)?;
+                let tenant = buf.get_u32();
+                let epoch = buf.get_u64();
+                let fencing_epoch = buf.get_u64();
+                let seq = buf.get_u32();
+                let total = buf.get_u32();
+                let n = buf.get_u32() as usize;
+                need(buf, n)?;
+                let mut bytes = vec![0u8; n];
+                buf.copy_to_slice(&mut bytes);
+                Self::CheckpointSegment { tenant, epoch, fencing_epoch, seq, total, bytes }
+            }
+            CTRL_CKPT_COMMIT => {
+                need(buf, 4 + 8 + 8 + 4 + 4)?;
+                Self::CheckpointCommit {
+                    tenant: buf.get_u32(),
+                    epoch: buf.get_u64(),
+                    fencing_epoch: buf.get_u64(),
+                    len: buf.get_u32(),
+                    crc: buf.get_u32(),
+                }
+            }
+            CTRL_FENCE => {
+                need(buf, 8)?;
+                Self::Fence { fencing_epoch: buf.get_u64() }
             }
             other => return Err(WireError(format!("unknown control tag {other}"))),
         };
@@ -861,6 +982,89 @@ mod tests {
             assert_eq!(got, vec![WireFrame::Control(ctrl)]);
             assert_eq!(dec.corrupted_frames, 0);
         }
+    }
+
+    #[test]
+    fn replication_frames_round_trip() {
+        let frames = [
+            Control::ReplHello { fencing_epoch: 1 },
+            Control::CheckpointSegment {
+                tenant: 7,
+                epoch: 42,
+                fencing_epoch: 3,
+                seq: 2,
+                total: 5,
+                bytes: vec![0xC7, 0x00, 0xFF, 0x5A, 0xA5],
+            },
+            Control::CheckpointSegment {
+                tenant: 0,
+                epoch: u64::MAX,
+                fencing_epoch: u64::MAX,
+                seq: 0,
+                total: 1,
+                bytes: Vec::new(),
+            },
+            Control::CheckpointCommit {
+                tenant: 9,
+                epoch: 4,
+                fencing_epoch: 2,
+                len: 1024,
+                crc: 0xDEAD_BEEF,
+            },
+            Control::Fence { fencing_epoch: 17 },
+        ];
+        for ctrl in frames {
+            let bytes = ctrl.encode_to_vec();
+            let mut dec = StreamDecoder::new(1024);
+            let got = dec.feed(&bytes);
+            assert_eq!(got, vec![WireFrame::Control(ctrl)]);
+            assert_eq!(dec.corrupted_frames, 0);
+        }
+    }
+
+    #[test]
+    fn unknown_control_tag_is_refused_not_panicked() {
+        // A well-framed control body with an unassigned tag must fail
+        // decode (counted as corruption), never panic or fabricate.
+        for tag in [10u8, 11, 99, 255] {
+            let body = vec![tag, 1, 2, 3, 4, 5, 6, 7, 8];
+            let mut bytes = vec![MAGIC_CTRL];
+            bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            bytes.extend_from_slice(&crc32(&body).to_be_bytes());
+            bytes.extend_from_slice(&body);
+            let mut dec = StreamDecoder::new(1024);
+            let got = dec.feed(&bytes);
+            assert!(got.is_empty(), "tag {tag} must not decode");
+            assert!(dec.corrupted_frames >= 1);
+        }
+    }
+
+    #[test]
+    fn truncated_segment_bytes_are_refused() {
+        // A CheckpointSegment whose byte-length field lies past the body
+        // end must fail decode cleanly.
+        let ctrl = Control::CheckpointSegment {
+            tenant: 1,
+            epoch: 2,
+            fencing_epoch: 3,
+            seq: 0,
+            total: 1,
+            bytes: vec![1, 2, 3, 4],
+        };
+        let clean = ctrl.encode_to_vec();
+        // Rewrite the inner length field (last u32 before the payload)
+        // to claim more bytes than the frame holds, refreshing the CRC
+        // so only the *body* validation can catch it.
+        let mut body = clean[9..].to_vec();
+        let len_at = body.len() - 4 - 4; // 4 payload bytes, 4-byte length
+        body[len_at..len_at + 4].copy_from_slice(&1_000u32.to_be_bytes());
+        let mut bytes = vec![MAGIC_CTRL];
+        bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&crc32(&body).to_be_bytes());
+        bytes.extend_from_slice(&body);
+        let mut dec = StreamDecoder::new(1024);
+        assert!(dec.feed(&bytes).is_empty());
+        assert!(dec.corrupted_frames >= 1);
     }
 
     #[test]

@@ -455,22 +455,86 @@ impl CheckpointStore for MemStore {
 /// A file-backed checkpoint store: the same append-only frame log as
 /// [`MemStore`], persisted with an fsync per checkpoint so a durable
 /// checkpoint survives process death.
+///
+/// With retention enabled ([`FileStore::with_retention`]) the log is
+/// compacted down to the newest `keep_last` checkpoints whenever it
+/// grows past that bound. Compaction is crash-atomic: the survivors are
+/// rewritten into a temp file, fsynced, renamed over the log, and the
+/// parent directory is fsynced — at every instant either the old log or
+/// the new log is fully present, so a crash mid-compaction can never
+/// lose the latest durable checkpoint. A stale temp file left by such a
+/// crash is ignored on load and overwritten by the next compaction.
 #[derive(Debug)]
 pub struct FileStore {
     path: std::path::PathBuf,
+    /// `Some(k)`: compact the log down to the newest `k` checkpoints
+    /// after each save that pushes the count past `k`.
+    keep_last: Option<usize>,
 }
 
 impl FileStore {
-    /// Opens (or creates) the log at `path`.
+    /// Opens (or creates) the log at `path` with unbounded retention.
     #[must_use]
     pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
-        Self { path: path.into() }
+        Self { path: path.into(), keep_last: None }
+    }
+
+    /// Opens (or creates) the log at `path`, keeping only the newest
+    /// `keep_last` checkpoints (minimum 1) on disk.
+    #[must_use]
+    pub fn with_retention(path: impl Into<std::path::PathBuf>, keep_last: usize) -> Self {
+        Self { path: path.into(), keep_last: Some(keep_last.max(1)) }
     }
 
     /// The log path.
     #[must_use]
     pub fn path(&self) -> &std::path::Path {
         &self.path
+    }
+
+    /// The compaction scratch path: `<log>.compact` beside the log.
+    fn tmp_path(&self) -> std::path::PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(".compact");
+        std::path::PathBuf::from(name)
+    }
+
+    /// Rewrites the log to its newest `keep` checkpoints via temp file +
+    /// rename + directory fsync. The old log stays durable until the
+    /// rename lands, so a crash anywhere in here loses nothing.
+    fn compact(&self, keep: usize) -> Result<(), EngineError> {
+        use std::io::Write as _;
+        let io = |e: std::io::Error| EngineError::corrupt("checkpoint-compact", e.to_string());
+        let bytes = std::fs::read(&self.path).map_err(io)?;
+        let frames = scan_frames(&bytes);
+        if frames.len() <= keep {
+            return Ok(());
+        }
+        let mut survivors = Vec::new();
+        for ckpt in &frames[frames.len() - keep..] {
+            ckpt.encode(&mut survivors);
+        }
+        let tmp = self.tmp_path();
+        {
+            // `create(true).truncate(true)` clobbers any stale temp file
+            // a previous crash left behind.
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)
+                .map_err(io)?;
+            file.write_all(&survivors).map_err(io)?;
+            file.sync_data().map_err(io)?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(io)?;
+        // The rename is only durable once the directory entry is: fsync
+        // the parent so a crash cannot resurrect the pre-compaction log
+        // with the new inode lost.
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::File::open(dir).and_then(|d| d.sync_all()).map_err(io)?;
+        }
+        Ok(())
     }
 }
 
@@ -483,6 +547,10 @@ impl CheckpointStore for FileStore {
             std::fs::OpenOptions::new().create(true).append(true).open(&self.path).map_err(io)?;
         file.write_all(&frame).map_err(io)?;
         file.sync_data().map_err(io)?;
+        drop(file);
+        if let Some(keep) = self.keep_last {
+            self.compact(keep)?;
+        }
         Ok(())
     }
 
@@ -642,5 +710,68 @@ mod tests {
         assert_eq!(store.count(), 2);
         assert_eq!(store.load_latest().unwrap(), sample_checkpoint(2));
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sp-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn retention_compacts_to_keep_last_k() {
+        let dir = scratch("retain");
+        let path = dir.join("ckpt.log");
+        let mut store = FileStore::with_retention(&path, 3);
+        for epoch in 1..=10 {
+            store.save(&sample_checkpoint(epoch)).unwrap();
+            assert_eq!(store.load_latest().unwrap().epoch, epoch);
+            assert!(store.count() <= 3, "log must never hold more than K checkpoints");
+        }
+        assert_eq!(store.count(), 3);
+        let bytes = std::fs::read(&path).unwrap();
+        let kept: Vec<u64> = scan_frames(&bytes).iter().map(|c| c.epoch).collect();
+        assert_eq!(kept, vec![8, 9, 10], "the newest K survive, in order");
+        assert!(!store.tmp_path().exists(), "compaction cleans up its temp file");
+        // The compacted log is a plain frame log: a fresh handle reads it.
+        assert_eq!(FileStore::new(&path).load_latest().unwrap(), sample_checkpoint(10));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_during_compaction_never_loses_durable_checkpoint() {
+        let dir = scratch("crash");
+        let path = dir.join("ckpt.log");
+        let mut store = FileStore::with_retention(&path, 2);
+        for epoch in 1..=5 {
+            store.save(&sample_checkpoint(epoch)).unwrap();
+        }
+        assert_eq!(store.load_latest().unwrap().epoch, 5);
+
+        // Crash window A: the temp file exists but the rename never
+        // happened. Simulate with a partial (torn) survivor rewrite.
+        let survivors = sample_checkpoint(5).encode_to_vec();
+        std::fs::write(store.tmp_path(), &survivors[..survivors.len() / 2]).unwrap();
+        let reopened = FileStore::with_retention(&path, 2);
+        assert_eq!(
+            reopened.load_latest().unwrap().epoch,
+            5,
+            "old log untouched while temp exists: nothing lost"
+        );
+
+        // Recovery then keeps running: the next save clobbers the stale
+        // temp file and compacts normally.
+        let mut store = reopened;
+        store.save(&sample_checkpoint(6)).unwrap();
+        assert_eq!(store.load_latest().unwrap().epoch, 6);
+        assert_eq!(store.count(), 2);
+        assert!(!store.tmp_path().exists());
+
+        // Crash window B: the rename landed (log == survivors only).
+        // The latest checkpoint must still be the one that was durable.
+        let reopened = FileStore::with_retention(&path, 2);
+        assert_eq!(reopened.load_latest().unwrap().epoch, 6);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

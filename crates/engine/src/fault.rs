@@ -551,6 +551,177 @@ impl SocketFaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Replication-link faults
+// ---------------------------------------------------------------------------
+
+/// A seeded description of faults on a *replication link*: the
+/// checkpoint-shipping channel between a primary and its standby. Where
+/// [`SocketFaultPlan`] perturbs byte delivery, `LinkFaultPlan` perturbs
+/// whole-frame delivery the way a flaky WAN does — partitions that
+/// swallow a span of frames in both directions, lag that holds a frame
+/// back past its successors (reordered delivery), and duplicate
+/// delivery of frames that were already received.
+///
+/// The replication protocol must converge under all of these: a
+/// partition only grows replication lag (commits resync on reconnect),
+/// a lagged or duplicated `CheckpointCommit` must be applied at most
+/// once, and an old epoch arriving after a newer one must be refused
+/// rather than rolling the standby's policy state backwards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaultPlan {
+    /// Seed for all delivery decisions.
+    pub seed: u64,
+    /// Probability, per frame, that a partition begins: this frame and
+    /// the next `partition_len - 1` frames are dropped entirely.
+    pub partition: f64,
+    /// Frames swallowed per partition (minimum 1 when a partition fires).
+    pub partition_len: usize,
+    /// Probability a frame lags: it is held back and delivered after up
+    /// to `lag_max` later frames (reordered delivery).
+    pub lag: f64,
+    /// Maximum frames a lagged frame is held behind.
+    pub lag_max: usize,
+    /// Probability a delivered frame is delivered twice.
+    pub duplicate: f64,
+}
+
+impl LinkFaultPlan {
+    /// A link that delivers every frame exactly once, in order.
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        Self { seed, partition: 0.0, partition_len: 0, lag: 0.0, lag_max: 0, duplicate: 0.0 }
+    }
+
+    /// Derives a randomized-but-deterministic hostile link from a seed:
+    /// occasional short partitions, moderate lag, rare duplicates. Two
+    /// calls with the same seed produce the same plan.
+    #[must_use]
+    pub fn scenario(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x11BE_FA17_5EED_C0DE);
+        Self {
+            seed,
+            partition: rng.next_f64() * 0.08,
+            partition_len: 1 + rng.up_to(4),
+            lag: rng.next_f64() * 0.25,
+            lag_max: 1 + rng.up_to(6),
+            duplicate: rng.next_f64() * 0.15,
+        }
+    }
+}
+
+/// Counters of the link faults an injector actually applied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFaultStats {
+    /// Frames offered to the link.
+    pub offered: u64,
+    /// Frame deliveries produced (duplicates counted).
+    pub delivered: u64,
+    /// Frames swallowed by partitions.
+    pub partitioned: u64,
+    /// Frames delivered out of order (held back past a successor).
+    pub lagged: u64,
+    /// Extra deliveries of already-delivered frames.
+    pub duplicated: u64,
+}
+
+/// Applies a [`LinkFaultPlan`] to a sequence of frames, producing the
+/// perturbed delivery order. The injector holds its RNG and counters
+/// across calls, so one injector scripts a whole link lifetime (the
+/// same seed always produces the same script).
+#[derive(Debug)]
+pub struct LinkFaultInjector {
+    plan: LinkFaultPlan,
+    rng: SplitMix64,
+    stats: LinkFaultStats,
+    /// Frames held back by lag: `(deliver_after_countdown, frame)`.
+    held: Vec<(usize, Vec<u8>)>,
+    /// Remaining frames to swallow in the current partition.
+    partition_left: usize,
+}
+
+impl LinkFaultInjector {
+    /// An injector for the given plan.
+    #[must_use]
+    pub fn new(plan: LinkFaultPlan) -> Self {
+        Self {
+            rng: SplitMix64::new(plan.seed ^ 0x4FA1_1BAC),
+            plan,
+            stats: LinkFaultStats::default(),
+            held: Vec::new(),
+            partition_left: 0,
+        }
+    }
+
+    /// What this injector has done so far.
+    #[must_use]
+    pub fn stats(&self) -> &LinkFaultStats {
+        &self.stats
+    }
+
+    fn release_due(&mut self, out: &mut Vec<Vec<u8>>) {
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].0 == 0 {
+                let (_, frame) = self.held.remove(i);
+                self.stats.delivered += 1;
+                out.push(frame);
+            } else {
+                self.held[i].0 -= 1;
+                i += 1;
+            }
+        }
+    }
+
+    /// Offers one frame to the link; returns the frames that come out
+    /// the far end *now* (possibly none — partitioned or lagged;
+    /// possibly several — releases of earlier lagged frames, or
+    /// duplicates).
+    pub fn offer(&mut self, frame: &[u8]) -> Vec<Vec<u8>> {
+        self.stats.offered += 1;
+        let mut out = Vec::new();
+        if self.partition_left > 0 {
+            // Both directions are dark: the frame is gone, and lagged
+            // frames stay held (nothing traverses the link).
+            self.partition_left -= 1;
+            self.stats.partitioned += 1;
+            return out;
+        }
+        if self.rng.chance(self.plan.partition) && self.plan.partition_len > 0 {
+            self.partition_left = self.plan.partition_len - 1;
+            self.stats.partitioned += 1;
+            return out;
+        }
+        self.release_due(&mut out);
+        if self.rng.chance(self.plan.lag) && self.plan.lag_max > 0 {
+            let hold = 1 + self.rng.up_to(self.plan.lag_max);
+            self.stats.lagged += 1;
+            self.held.push((hold, frame.to_vec()));
+        } else {
+            self.stats.delivered += 1;
+            out.push(frame.to_vec());
+            if self.rng.chance(self.plan.duplicate) {
+                self.stats.delivered += 1;
+                self.stats.duplicated += 1;
+                out.push(frame.to_vec());
+            }
+        }
+        out
+    }
+
+    /// Flushes every still-held frame (the link going quiet long enough
+    /// for all lag to drain). Call at end of script so held frames are
+    /// not silently lost.
+    pub fn drain(&mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for (_, frame) in self.held.drain(..) {
+            self.stats.delivered += 1;
+            out.push(frame);
+        }
+        out
+    }
+}
+
 /// Outcome of a [`run_chaos`] campaign.
 #[derive(Debug, Default)]
 pub struct ChaosReport {
@@ -952,5 +1123,83 @@ mod tests {
         let flipped = clean.iter().zip(&bytes).filter(|(a, b)| a != b).count() as u64;
         assert!(flipped > 0);
         assert_eq!(flipped, inj.stats().corrupted_bytes);
+    }
+
+    // -- replication-link faults --------------------------------------
+
+    fn link_frames(n: u64) -> Vec<Vec<u8>> {
+        (0..n).map(|i| i.to_be_bytes().to_vec()).collect()
+    }
+
+    fn run_link(plan: LinkFaultPlan, frames: &[Vec<u8>]) -> (Vec<Vec<u8>>, LinkFaultStats) {
+        let mut inj = LinkFaultInjector::new(plan);
+        let mut out = Vec::new();
+        for f in frames {
+            out.extend(inj.offer(f));
+        }
+        out.extend(inj.drain());
+        (out, *inj.stats())
+    }
+
+    #[test]
+    fn quiet_link_delivers_exactly_once_in_order() {
+        let frames = link_frames(64);
+        let (out, stats) = run_link(LinkFaultPlan::none(7), &frames);
+        assert_eq!(out, frames);
+        assert_eq!(stats.offered, 64);
+        assert_eq!(stats.delivered, 64);
+        assert_eq!(stats.partitioned + stats.lagged + stats.duplicated, 0);
+    }
+
+    #[test]
+    fn link_script_is_deterministic_per_seed() {
+        let frames = link_frames(256);
+        let plan = LinkFaultPlan::scenario(42);
+        assert_eq!(plan, LinkFaultPlan::scenario(42));
+        let (a, sa) = run_link(plan, &frames);
+        let (b, sb) = run_link(plan, &frames);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = run_link(LinkFaultPlan::scenario(43), &frames);
+        assert_ne!(a, c, "different seeds must script different links");
+    }
+
+    #[test]
+    fn hostile_link_accounts_for_every_frame() {
+        let frames = link_frames(512);
+        let plan = LinkFaultPlan {
+            seed: 9,
+            partition: 0.05,
+            partition_len: 3,
+            lag: 0.2,
+            lag_max: 4,
+            duplicate: 0.1,
+        };
+        let (out, stats) = run_link(plan, &frames);
+        assert_eq!(stats.offered, 512);
+        assert!(stats.partitioned > 0, "partitions must fire at 5%/512");
+        assert!(stats.lagged > 0);
+        assert!(stats.duplicated > 0);
+        // Conservation: every offered frame is either delivered (at
+        // least once) or swallowed by a partition; drain leaves nothing.
+        assert_eq!(stats.delivered, stats.offered - stats.partitioned + stats.duplicated);
+        assert_eq!(out.len() as u64, stats.delivered);
+        // Nothing is fabricated: every delivery is a frame we offered.
+        for f in &out {
+            assert!(frames.contains(f));
+        }
+    }
+
+    #[test]
+    fn lagged_frames_are_reordered_not_lost() {
+        let frames = link_frames(128);
+        let plan = LinkFaultPlan { lag: 1.0, lag_max: 3, ..LinkFaultPlan::none(5) };
+        let (out, stats) = run_link(plan, &frames);
+        assert_eq!(stats.delivered, 128, "lag reorders, never drops");
+        assert_eq!(stats.lagged, 128);
+        let mut sorted = out.clone();
+        sorted.sort();
+        assert_eq!(sorted, frames);
+        assert_ne!(out, frames, "all-lagged delivery must reorder something");
     }
 }

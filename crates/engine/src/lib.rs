@@ -77,8 +77,8 @@ pub use element::{Element, PolicyEntry, SegmentPolicy};
 pub use error::EngineError;
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use fault::{
-    ChaosReport, FaultInjector, FaultPlan, FaultStats, SocketEvent, SocketFaultInjector,
-    SocketFaultPlan, SocketFaultStats,
+    ChaosReport, FaultInjector, FaultPlan, FaultStats, LinkFaultInjector, LinkFaultPlan,
+    LinkFaultStats, SocketEvent, SocketFaultInjector, SocketFaultPlan, SocketFaultStats,
 };
 pub use operator::{run_unary, Emitter, Operator};
 pub use ops::{

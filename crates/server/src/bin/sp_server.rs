@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! sp-server [--port N] [--tenants N] [--objects N] [--ticks N] [--serve-secs N]
+//!           [--replicate-to HOST:PORT] [--standby]
 //! ```
 //!
 //! Default mode starts the server plus `--tenants` concurrent clients,
@@ -10,6 +11,12 @@
 //! prints per-tenant results. With `--serve-secs N` (and `--tenants 0`)
 //! it instead serves external clients for N seconds before draining.
 //! The `/metrics` + `/healthz` listener is always on.
+//!
+//! Replication: `--standby` runs a warm standby instead — it prints its
+//! replication address, applies checkpoints a primary ships to it for
+//! `--serve-secs` (default 30), then reports what it holds. Point a
+//! primary at it with `--replicate-to HOST:PORT`; the primary then
+//! streams every periodic checkpoint over the same CRC-framed wire.
 
 use std::sync::Arc;
 
@@ -17,7 +24,9 @@ use sp_core::{StreamElement, StreamId};
 use sp_engine::{AdmissionConfig, TelemetryConfig};
 use sp_mog::{location_stream, MovingObjectSim, WorkloadConfig};
 use sp_query::Dsms;
-use sp_server::{ClientConfig, LoadClient, Server, ServerConfig, SessionFactory, StoreMap};
+use sp_server::{
+    ClientConfig, LoadClient, Server, ServerConfig, SessionFactory, Standby, StoreMap,
+};
 
 /// Builds each tenant's DSMS: the LocationUpdates stream, one analyst
 /// query over it, stream-time admission control and full telemetry.
@@ -46,6 +55,48 @@ fn arg(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Standby mode: apply whatever a primary ships for `serve_secs`, then
+/// report the replicated state. A real deployment would promote here;
+/// the drill in `sp-bench --bin failover_drill` exercises that path.
+fn run_standby(serve_secs: u64) {
+    let standby = match Standby::start(demo_factory(), StoreMap::new(), true) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("standby bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("sp-server standby: replication on {}", standby.repl_addr);
+    if let Some(m) = standby.metrics_addr {
+        println!("metrics:   http://{m}/metrics");
+        println!("readiness: http://{m}/healthz");
+    }
+    println!("point a primary at it: sp-server --replicate-to {}", standby.repl_addr);
+    std::thread::sleep(std::time::Duration::from_secs(if serve_secs == 0 {
+        30
+    } else {
+        serve_secs
+    }));
+    for (tenant, epoch) in standby.applied_epochs() {
+        println!("  tenant {tenant}: applied checkpoint epoch {epoch}");
+    }
+    println!(
+        "fencing epoch seen {}; apply failures {}",
+        standby.seen_fencing_epoch(),
+        standby.apply_failures()
+    );
+    standby.stop();
+}
+
 #[allow(clippy::cast_possible_truncation)]
 fn main() {
     let port = arg("--port", 0) as u16;
@@ -53,11 +104,26 @@ fn main() {
     let objects = arg("--objects", 60) as usize;
     let ticks = arg("--ticks", 40) as usize;
     let serve_secs = arg("--serve-secs", 0);
+    if flag("--standby") {
+        run_standby(serve_secs);
+        return;
+    }
+    let replicate_to = match arg_str("--replicate-to") {
+        Some(s) => match s.parse() {
+            Ok(addr) => Some(addr),
+            Err(e) => {
+                eprintln!("bad --replicate-to address {s:?}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
 
     let cfg = ServerConfig {
         port,
         metrics: true,
         checkpoint_every_frames: 32,
+        replicate_to,
         ..ServerConfig::default()
     };
     let handle = match Server::start(cfg, demo_factory(), StoreMap::new()) {
@@ -109,11 +175,12 @@ fn main() {
 
     let report = handle.drain();
     println!(
-        "drained clean={} conns={} frames={} corrupted={} p99 handle {}us",
+        "drained clean={} conns={} frames={} corrupted={} repl_shipped={} p99 handle {}us",
         report.clean,
         report.connections_total,
         report.frames,
         report.corrupted_frames,
+        report.repl_frames_shipped,
         report.latency.percentile(99.0),
     );
     for t in &report.tenants {

@@ -63,6 +63,15 @@ pub struct ClientConfig {
     /// so honoring hints actually refills the stream-time token bucket.
     /// Zero sends the input's original timestamps untouched.
     pub restamp_tick_ms: u64,
+    /// Failover target: where to re-home when the current server sends
+    /// a `Fence` frame (it was deposed) or stops answering entirely.
+    /// The resume cursor comes from the new server's `HelloAck`, so
+    /// delivery stays exactly-once across the switch.
+    pub failover: Option<SocketAddr>,
+    /// How long to keep retrying a refused TCP connect before giving
+    /// up (0 = fail fast). Failover needs patience: promotion may lag
+    /// the moment the primary stopped answering.
+    pub connect_patience_ms: u64,
 }
 
 impl Default for ClientConfig {
@@ -76,6 +85,8 @@ impl Default for ClientConfig {
             max_reconnects: 64,
             disconnect_every_frames: 0,
             restamp_tick_ms: 0,
+            failover: None,
+            connect_patience_ms: 0,
         }
     }
 }
@@ -103,6 +114,8 @@ pub struct ClientReport {
     pub quarantined: Option<QuarantineCode>,
     /// True when the server announced a drain mid-run.
     pub drained: bool,
+    /// Times this client re-homed to the failover address.
+    pub failovers: u32,
     /// True when every input element was delivered (per the server's
     /// cursor — shed elements count as delivered).
     pub completed: bool,
@@ -179,6 +192,8 @@ pub struct LoadClient {
     vclock: u64,
     attempt: u32,
     report: ClientReport,
+    /// The address currently being spoken to (switches on failover).
+    active: Option<SocketAddr>,
 }
 
 impl LoadClient {
@@ -191,7 +206,20 @@ impl LoadClient {
             vclock: 0,
             attempt: 0,
             report: ClientReport::default(),
+            active: None,
         }
+    }
+
+    /// Re-homes to the failover address if one is configured and not
+    /// already active. Returns true when the switch happened.
+    fn try_failover(&mut self) -> bool {
+        let Some(fb) = self.cfg.failover else { return false };
+        if self.active == Some(fb) {
+            return false;
+        }
+        self.active = Some(fb);
+        self.report.failovers += 1;
+        true
     }
 
     /// One jittered exponential step for the current attempt count.
@@ -222,9 +250,19 @@ impl LoadClient {
     }
 
     fn connect(&mut self, addr: SocketAddr) -> Option<(TcpStream, StreamDecoder, u64)> {
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.connect_patience_ms);
         loop {
-            let Ok(mut stream) = TcpStream::connect(addr) else {
-                return None;
+            let mut stream = match TcpStream::connect(addr) {
+                Ok(s) => s,
+                Err(_) => {
+                    // A refused connect during failover usually means
+                    // promotion is still in flight: retry with patience.
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
             };
             let _ = stream.set_nodelay(true);
             let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
@@ -255,6 +293,9 @@ impl LoadClient {
                     self.report.drained = true;
                     return None;
                 }
+                // A fenced (deposed) server: give up on this address —
+                // the caller re-homes to the failover.
+                Reply::Ctrl(Control::Fence { .. }) => return None,
                 Reply::Ctrl(_) | Reply::Eof | Reply::TimedOut => return None,
             }
         }
@@ -264,8 +305,15 @@ impl LoadClient {
     /// delivered, the reconnect budget is spent, or the server ends the
     /// session (quarantine / drain).
     pub fn run(mut self, addr: SocketAddr, input: &[(StreamId, StreamElement)]) -> ClientReport {
+        self.active = Some(addr);
         'sessions: loop {
-            let Some((mut stream, mut dec, resume_from)) = self.connect(addr) else {
+            let target = self.active.unwrap_or(addr);
+            let Some((mut stream, mut dec, resume_from)) = self.connect(target) else {
+                // The server is gone or fenced: re-home once to the
+                // failover (the promoted standby) and keep going.
+                if self.try_failover() {
+                    continue 'sessions;
+                }
                 break;
             };
             let mut pos = usize::try_from(resume_from).unwrap_or(usize::MAX).min(input.len());
@@ -334,6 +382,15 @@ impl LoadClient {
                     Reply::Ctrl(Control::Draining { pos: p }) => {
                         self.report.drained = true;
                         self.report.final_pos = self.report.final_pos.max(p);
+                        break 'sessions;
+                    }
+                    Reply::Ctrl(Control::Fence { .. }) => {
+                        // This server was deposed mid-stream. Its engine
+                        // refused the frame (fail closed), so re-home and
+                        // resend from the new server's cursor.
+                        if self.try_failover() {
+                            continue 'sessions;
+                        }
                         break 'sessions;
                     }
                     Reply::Ctrl(_) => break 'sessions,

@@ -1,5 +1,9 @@
 //! Server tuning knobs.
 
+use std::net::SocketAddr;
+
+use sp_engine::LinkFaultPlan;
+
 /// Deliberate panic injection for chaos tests: the named tenant's worker
 /// panics when its session reaches the given input position. Exercises
 /// the supervisor's promise that a panicking pipeline quarantines only
@@ -45,6 +49,30 @@ pub struct ServerConfig {
     pub metrics: bool,
     /// Chaos-test knob: deliberate worker panic (see [`ChaosPanic`]).
     pub chaos_panic: Option<ChaosPanic>,
+    /// Replication target: the standby's replication listener. When set,
+    /// every persisted tenant checkpoint is shipped there as
+    /// `CheckpointSegment` + `CheckpointCommit` control frames.
+    pub replicate_to: Option<SocketAddr>,
+    /// This incarnation's fencing epoch. Every replication frame carries
+    /// it; a frame (or echo) bearing a *higher* epoch means another node
+    /// was promoted and this one must fence itself: stop releasing
+    /// tuples, refuse all input, audit the refusals. Promotion always
+    /// picks `highest seen + 1`.
+    pub fencing_epoch: u64,
+    /// Checkpoint bytes per `CheckpointSegment` frame.
+    pub repl_chunk_bytes: usize,
+    /// Chaos-test knob: deterministic partition / lag / duplicate faults
+    /// injected into the replication link (see
+    /// [`sp_engine::LinkFaultPlan`]).
+    pub repl_faults: Option<LinkFaultPlan>,
+    /// Chaos-test knob: the replication shipper goes silent after this
+    /// many frames (0 = never) — a primary dying mid-checkpoint-ship.
+    pub chaos_repl_stop_after_frames: u64,
+    /// Chaos-test knob: a tenant worker observes a deposing fencing
+    /// epoch just before consuming its Nth frame (0 = never) — a fence
+    /// racing a frame already in flight past the connection-level check.
+    /// Exercises the worker-level fail-closed gate deterministically.
+    pub chaos_fence_at_frame: u64,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +87,12 @@ impl Default for ServerConfig {
             checkpoint_every_frames: 0,
             metrics: false,
             chaos_panic: None,
+            replicate_to: None,
+            fencing_epoch: 1,
+            repl_chunk_bytes: 4096,
+            repl_faults: None,
+            chaos_repl_stop_after_frames: 0,
+            chaos_fence_at_frame: 0,
         }
     }
 }

@@ -37,10 +37,12 @@
 pub mod client;
 pub mod config;
 mod metrics;
+mod replication;
 mod server;
 mod tenant;
 
 pub use client::{BackoffConfig, ClientConfig, ClientReport, LoadClient};
 pub use config::{ChaosPanic, ServerConfig};
+pub use replication::{Standby, StandbyHandle};
 pub use server::{DrainReport, Server, ServerHandle};
 pub use tenant::{FrameOutcome, SessionFactory, SharedStore, StoreMap, TenantReport};

@@ -25,6 +25,7 @@ use sp_engine::telemetry::Histogram;
 use sp_engine::MetricsRegistry;
 
 use crate::config::ServerConfig;
+use crate::replication::{spawn_shipper, ReplState, ShipRequest};
 use crate::tenant::{
     spawn_tenant, Cmd, FrameOutcome, SessionFactory, StoreMap, TenantHandle, TenantReport,
 };
@@ -49,13 +50,27 @@ pub(crate) struct ServerState {
     pub frames: AtomicU64,
     /// Per-frame server-side handling latency (decode → reply), µs.
     pub latency: Mutex<Histogram>,
+    /// Fencing + replication-lag state (present even without a standby;
+    /// fencing then simply never fires).
+    pub repl: Arc<ReplState>,
+    /// Checkpoint-ship notifications to the shipper thread (None when
+    /// no standby is configured). Taken (dropped) on finish so the
+    /// shipper sees disconnect and exits.
+    pub ship_tx: Mutex<Option<mpsc::SyncSender<ShipRequest>>>,
 }
 
 impl ServerState {
     fn tenant(&self, id: u32) -> Arc<TenantHandle> {
         let mut map = unpoison(self.tenants.lock());
         Arc::clone(map.entry(id).or_insert_with(|| {
-            Arc::new(spawn_tenant(id, &self.factory, self.stores.store(id), self.cfg))
+            Arc::new(spawn_tenant(
+                id,
+                &self.factory,
+                self.stores.store(id),
+                self.cfg,
+                Arc::clone(&self.repl),
+                unpoison(self.ship_tx.lock()).clone(),
+            ))
         }))
     }
 
@@ -110,6 +125,33 @@ impl ServerState {
             "",
             quarantined,
         );
+        let fenced = self.repl.fenced.load(Ordering::SeqCst);
+        reg.add_counter(
+            "sp_server_role",
+            "Replication role of this node (the labeled series is 1)",
+            if fenced { "role=\"fenced\"" } else { "role=\"primary\"" },
+            1,
+        );
+        reg.add_counter(
+            "sp_server_fencing_epoch",
+            "This node's fencing epoch (monotone; a higher epoch elsewhere deposes it)",
+            "",
+            self.repl.fencing_epoch.load(Ordering::SeqCst),
+        );
+        reg.add_counter(
+            "sp_server_fenced",
+            "1 when this node was deposed by a newer fencing epoch (fail closed)",
+            "",
+            u64::from(fenced),
+        );
+        for (tenant, lag) in self.repl.lag_epochs() {
+            reg.add_counter(
+                "sp_server_replication_lag_epochs",
+                "Checkpoint epochs shipped to the standby but not yet acked, per tenant",
+                &format!("tenant=\"{tenant}\""),
+                lag,
+            );
+        }
         let lat = unpoison(self.latency.lock()).clone();
         reg.merge_histogram(
             "sp_server_frame_handle_us",
@@ -138,7 +180,10 @@ impl ServerState {
         let quarantined = map.values().filter(|t| t.quarantined.load(Ordering::SeqCst)).count();
         let tenants = map.len();
         drop(map);
-        if draining {
+        if self.repl.fenced.load(Ordering::SeqCst) {
+            let epoch = self.repl.fencing_epoch.load(Ordering::SeqCst);
+            (false, format!("fenced epoch={epoch} tenants={tenants} quarantined={quarantined}\n"))
+        } else if draining {
             (false, format!("draining tenants={tenants} quarantined={quarantined}\n"))
         } else {
             (true, format!("ok tenants={tenants} quarantined={quarantined}\n"))
@@ -167,6 +212,12 @@ pub struct DrainReport {
     pub latency: Histogram,
     /// True when every tenant drained through its checkpoint path.
     pub clean: bool,
+    /// This node's fencing epoch at the end of its life.
+    pub fencing_epoch: u64,
+    /// True when the node ended deposed (fenced by a newer epoch).
+    pub fenced: bool,
+    /// Replication frames written to the standby link.
+    pub repl_frames_shipped: u64,
 }
 
 impl DrainReport {
@@ -187,6 +238,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
     metrics_join: Option<JoinHandle<()>>,
+    shipper: Option<JoinHandle<()>>,
 }
 
 /// The front-door server: binds, accepts, supervises.
@@ -209,6 +261,15 @@ impl Server {
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let repl = Arc::new(ReplState::new(cfg.fencing_epoch));
+        let (ship_tx, shipper) = match cfg.replicate_to {
+            Some(target) => {
+                let (tx, rx) = mpsc::sync_channel::<ShipRequest>(1024);
+                let j = spawn_shipper(cfg, target, Arc::clone(&repl), stores.clone(), rx)?;
+                (Some(tx), Some(j))
+            }
+            None => (None, None),
+        };
         let state = Arc::new(ServerState {
             cfg,
             factory,
@@ -223,6 +284,8 @@ impl Server {
             corrupted_frames: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             latency: Mutex::new(Histogram::new()),
+            repl,
+            ship_tx: Mutex::new(ship_tx),
         });
         let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let (metrics_addr, metrics_join) = if cfg.metrics {
@@ -243,6 +306,7 @@ impl Server {
             acceptor: Some(acceptor),
             conn_joins,
             metrics_join,
+            shipper,
         })
     }
 }
@@ -318,6 +382,13 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
     let mut idle_ms = 0u64;
     let mut buf = [0u8; 16 * 1024];
     'conn: loop {
+        if state.repl.fenced.load(Ordering::SeqCst) {
+            // Deposed: tell the client where it stands (the fence frame
+            // is its cue to re-home to the promoted standby) and close.
+            let fencing_epoch = state.repl.fencing_epoch.load(Ordering::SeqCst);
+            let _ = write_ctrl(&mut stream, &Control::Fence { fencing_epoch });
+            break;
+        }
         if state.draining.load(Ordering::SeqCst) {
             let pos = tenant.as_ref().map_or(0, |t| t.pos.load(Ordering::SeqCst));
             let _ = write_ctrl(&mut stream, &Control::Draining { pos });
@@ -390,9 +461,11 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
                             Control::Overloaded { retry_after_ms, pos }
                         }
                         FrameOutcome::Quarantined { code } => Control::Quarantined { code },
+                        FrameOutcome::Fenced { fencing_epoch } => Control::Fence { fencing_epoch },
                     };
-                    let quarantined = matches!(ctrl, Control::Quarantined { .. });
-                    if write_ctrl(&mut stream, &ctrl).is_err() || quarantined {
+                    let terminal =
+                        matches!(ctrl, Control::Quarantined { .. } | Control::Fence { .. });
+                    if write_ctrl(&mut stream, &ctrl).is_err() || terminal {
                         break 'conn;
                     }
                 }
@@ -440,6 +513,25 @@ impl ServerHandle {
         self.state.metrics().render_prometheus()
     }
 
+    /// True when this node was deposed by a newer fencing epoch.
+    #[must_use]
+    pub fn is_fenced(&self) -> bool {
+        self.state.repl.fenced.load(Ordering::SeqCst)
+    }
+
+    /// This node's current fencing epoch.
+    #[must_use]
+    pub fn fencing_epoch(&self) -> u64 {
+        self.state.repl.fencing_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Per-tenant replication lag in epochs (shipped − acked), sorted
+    /// by tenant. Empty without a standby.
+    #[must_use]
+    pub fn replication_lag(&self) -> Vec<(u32, u64)> {
+        self.state.repl.lag_epochs()
+    }
+
     /// Graceful drain: stop accepting, notify connections, checkpoint
     /// every tenant, join every thread, report.
     #[must_use]
@@ -456,6 +548,11 @@ impl ServerHandle {
     }
 
     fn finish(&mut self, graceful: bool) -> DrainReport {
+        if !graceful {
+            // A crash takes the shipper with it: queued checkpoints and
+            // fault-held frames are abandoned, not flushed.
+            self.state.repl.killed.store(true, Ordering::SeqCst);
+        }
         self.state.draining.store(true, Ordering::SeqCst);
         if let Some(j) = self.acceptor.take() {
             let _ = j.join();
@@ -493,6 +590,12 @@ impl ServerHandle {
             }
         }
         tenants.sort_by_key(|t| t.tenant);
+        // Dropping the ship sender lets the shipper flush its queue of
+        // final (drain-time) checkpoints, collect acks, and exit.
+        drop(unpoison(self.state.ship_tx.lock()).take());
+        if let Some(j) = self.shipper.take() {
+            let _ = j.join();
+        }
         let c = |v: &AtomicU64| v.load(Ordering::SeqCst);
         DrainReport {
             tenants,
@@ -504,6 +607,9 @@ impl ServerHandle {
             frames: c(&self.state.frames),
             latency: unpoison(self.state.latency.lock()).clone(),
             clean: clean && graceful,
+            fencing_epoch: self.state.repl.fencing_epoch.load(Ordering::SeqCst),
+            fenced: self.state.repl.fenced.load(Ordering::SeqCst),
+            repl_frames_shipped: c(&self.state.repl.frames_shipped),
         }
     }
 }

@@ -16,10 +16,15 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 use sp_core::{QuarantineCode, StreamElement, StreamId};
-use sp_engine::{CheckpointStore, EngineError, MemStore, MetricsRegistry};
+use sp_engine::telemetry::NO_TUPLE;
+use sp_engine::{
+    AuditEvent, AuditOp, AuditTrail, CheckpointStore, EngineError, FlightRecorder, MemStore,
+    MetricsRegistry,
+};
 use sp_query::{Dsms, RunningDsms};
 
 use crate::config::ServerConfig;
+use crate::replication::{ReplState, ShipRequest};
 
 /// Builds a fresh (unstarted) [`Dsms`] for a tenant: streams, roles,
 /// queries, admission and telemetry configuration. Called once per
@@ -95,6 +100,12 @@ pub enum FrameOutcome {
         /// Why the session is quarantined.
         code: QuarantineCode,
     },
+    /// This node was deposed by a newer fencing epoch; nothing was (or
+    /// will be) consumed — reconnect to the promoted standby.
+    Fenced {
+        /// The fencing epoch that deposed this node.
+        fencing_epoch: u64,
+    },
 }
 
 /// Everything a drained (or live-inspected) tenant session reports.
@@ -121,6 +132,13 @@ pub struct TenantReport {
     pub audit: Vec<u8>,
     /// Checkpoints this incarnation persisted.
     pub checkpoints_taken: u64,
+    /// Elements refused because this node was fenced (deposed by a
+    /// newer fencing epoch). Fenced refusals are fail-closed: counted,
+    /// audited, never processed.
+    pub fenced_refused: u64,
+    /// Canonical audit bytes of the fence refusals (a supervisor-level
+    /// `RecoveryFailClosed` trail; empty while unfenced).
+    pub fence_audit: Vec<u8>,
 }
 
 /// Commands a tenant worker accepts from connection threads and the
@@ -162,9 +180,14 @@ struct Worker {
     tuples_ingested: u64,
     sps_ingested: u64,
     epoch: u64,
+    frames_seen: u64,
     frames_since_ckpt: u64,
     checkpoints_taken: u64,
     cfg: ServerConfig,
+    repl: Arc<ReplState>,
+    ship_tx: Option<SyncSender<ShipRequest>>,
+    fenced_refused: u64,
+    fence_audit: FlightRecorder,
 }
 
 impl Worker {
@@ -178,6 +201,30 @@ impl Worker {
     /// Runs under `catch_unwind`: a panic anywhere in here quarantines
     /// the tenant (the caller handles the unwind).
     fn push_frame(&mut self, stream: StreamId, elements: Vec<StreamElement>) -> FrameOutcome {
+        self.frames_seen += 1;
+        if self.cfg.chaos_fence_at_frame > 0 && self.frames_seen == self.cfg.chaos_fence_at_frame {
+            // Chaos: a deposing epoch lands while this frame is already
+            // past the connection-level fence check — the worker-level
+            // gate below must fail closed on it.
+            let epoch = self.repl.fencing_epoch.load(Ordering::SeqCst) + 1;
+            self.repl.observe_epoch(epoch);
+        }
+        if self.repl.fenced.load(Ordering::SeqCst) {
+            // Deposed: a fenced node never feeds another element into
+            // its engine, so it can never release another tuple. The
+            // refusal is audited the same way the crash supervisor
+            // audits a terminal fail-closed state.
+            let refused = elements.len() as u64;
+            self.fenced_refused += refused;
+            self.fence_audit.record(
+                NO_TUPLE,
+                self.pos.load(Ordering::SeqCst),
+                AuditEvent::RecoveryFailClosed { refused },
+            );
+            return FrameOutcome::Fenced {
+                fencing_epoch: self.repl.fencing_epoch.load(Ordering::SeqCst),
+            };
+        }
         let Some(session) = self.session.as_mut() else {
             return FrameOutcome::Quarantined {
                 code: self.quarantine_code.unwrap_or(QuarantineCode::Panicked),
@@ -228,6 +275,12 @@ impl Worker {
             if session.checkpoint_to(self.epoch, &mut self.store).is_ok() {
                 self.checkpoints_taken += 1;
                 self.frames_since_ckpt = 0;
+                if let Some(tx) = self.ship_tx.as_ref() {
+                    // Non-blocking: the shipper always ships the store's
+                    // *latest* checkpoint, so a full queue just means
+                    // this epoch rides along with the next notification.
+                    let _ = tx.try_send(ShipRequest { tenant: self.id });
+                }
             }
         }
     }
@@ -264,6 +317,14 @@ impl Worker {
             released,
             audit,
             checkpoints_taken: self.checkpoints_taken,
+            fenced_refused: self.fenced_refused,
+            fence_audit: if self.fence_audit.is_empty() {
+                Vec::new()
+            } else {
+                let mut trail = AuditTrail::new();
+                trail.push_section(AuditOp::Supervisor, self.fence_audit.clone());
+                trail.encode_to_vec()
+            },
         }
     }
 
@@ -315,6 +376,8 @@ pub(crate) fn spawn_tenant(
     factory: &SessionFactory,
     store: SharedStore,
     cfg: ServerConfig,
+    repl: Arc<ReplState>,
+    ship_tx: Option<SyncSender<ShipRequest>>,
 ) -> TenantHandle {
     let (tx, rx) = mpsc::sync_channel::<Cmd>(256);
     let pos = Arc::new(AtomicU64::new(0));
@@ -338,13 +401,24 @@ pub(crate) fn spawn_tenant(
             tuples_ingested: 0,
             sps_ingested: 0,
             epoch: 0,
+            frames_seen: 0,
             frames_since_ckpt: 0,
             checkpoints_taken: 0,
             cfg,
+            repl,
+            ship_tx,
+            fenced_refused: 0,
+            fence_audit: FlightRecorder::new(1024),
         };
         match built {
             Ok((dsms, Ok(session))) => {
                 worker.pos.store(session.input_pos(), Ordering::SeqCst);
+                // Epochs stay monotone across incarnations: a resumed
+                // session checkpoints *after* the epoch it restored, so
+                // replication idempotence (refuse epoch ≤ applied) never
+                // mistakes a fresh post-restart checkpoint for a stale
+                // duplicate.
+                worker.epoch = worker.store.load_latest().map_or(0, |c| c.epoch);
                 worker.dsms = dsms;
                 worker.session = Some(session);
             }

@@ -432,6 +432,82 @@ fn repeated_and_exhausting_kills_stay_fail_closed() {
 }
 
 // ---------------------------------------------------------------------------
+// Durability chaos: a crash in the middle of appending a checkpoint frame
+// leaves a torn frame at the log tail. Recovery must fall back to the
+// last *fully committed* checkpoint — the torn tail is dead weight, not
+// fatal — and replay from there must reproduce the baseline released set
+// exactly (as the union across the two lives).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kill_during_checkpoint_append_falls_back_to_last_committed() {
+    use sp_engine::CheckpointStore;
+
+    let input = segmented_workload();
+    let cfg = sp_engine::SupervisorConfig { epoch_interval: 16, ..Default::default() };
+    let (baseline, clean_final) = supervised_baseline(&input, &cfg);
+
+    let dir = std::env::temp_dir().join(format!("sp-ckpt-append-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tenant.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    // Life 1: run two thirds of the input, checkpointing every 64
+    // elements to the on-disk log.
+    let cut = input.len() * 2 / 3;
+    let mut store = sp_engine::FileStore::new(&path);
+    let (b, _) = supervised_builder();
+    let mut exec = b.build();
+    let mut epoch = 0u64;
+    let mut len_before_last_save = 0u64;
+    for (i, (sid, e)) in input[..cut].iter().enumerate() {
+        exec.push(*sid, e.clone()).expect("clean input must not error");
+        if (i + 1) % 64 == 0 {
+            epoch += 1;
+            len_before_last_save = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            store.save(&exec.checkpoint(epoch, (i + 1) as u64)).expect("save");
+        }
+    }
+    let released_life1 = supervised_released(&exec);
+    assert!(epoch >= 3, "need several committed checkpoints, got {epoch}");
+
+    // The crash: the last appended frame is cut in half, exactly what a
+    // kill mid-append leaves on disk.
+    let full = std::fs::metadata(&path).unwrap().len();
+    assert!(full > len_before_last_save);
+    let torn = len_before_last_save + (full - len_before_last_save) / 2;
+    let fh = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    fh.set_len(torn).unwrap();
+    drop(fh);
+
+    // Recovery: a fresh handle must fall back to the last fully
+    // committed checkpoint, one epoch behind the torn one.
+    let store = sp_engine::FileStore::new(&path);
+    let recovered = store.load_latest().expect("fallback checkpoint must load");
+    assert_eq!(recovered.epoch, epoch - 1, "must fall back exactly one committed epoch");
+
+    // Life 2: restore and replay everything past the recovered cut. The
+    // union of the two lives' released sets must equal the baseline:
+    // the torn checkpoint lost no release and leaked none.
+    let (b2, _) = supervised_builder();
+    let mut exec2 = b2.build();
+    exec2.restore(&recovered).expect("recovered checkpoint must restore");
+    for (sid, e) in &input[recovered.input_pos as usize..] {
+        exec2.push(*sid, e.clone()).expect("replay must not error");
+    }
+    let mut released = released_life1;
+    released.extend(supervised_released(&exec2));
+    assert_eq!(released, baseline, "crash recovery must reproduce the baseline released set");
+
+    // Zero policy-state divergence after the replay.
+    let fin = exec2.checkpoint(0, 0);
+    assert_eq!(fin.analyzers, clean_final.analyzers, "analyzer state diverged");
+    assert_eq!(fin.nodes, clean_final.nodes, "operator state diverged");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
 // Overload chaos: bursty arrivals drive a load-shedding plan up the
 // degradation ladder (through FailClosed and back), alone and combined
 // with the seeded fault campaign and with mid-burst crash recovery. The

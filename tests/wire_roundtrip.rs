@@ -124,7 +124,7 @@ proptest! {
         for b in &bytes {
             got.extend(dec.feed(std::slice::from_ref(b)));
         }
-        let want: Vec<WireFrame> = ctrls.iter().copied().map(WireFrame::Control).collect();
+        let want: Vec<WireFrame> = ctrls.iter().cloned().map(WireFrame::Control).collect();
         prop_assert_eq!(got, want);
         prop_assert_eq!(dec.buffered(), 0);
     }
