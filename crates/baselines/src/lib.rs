@@ -1,26 +1,36 @@
 //! # sp-baselines — alternative access-control enforcement mechanisms
 //!
 //! The paper motivates security punctuations by comparison with two
-//! alternatives (§I-C), both implemented here behind one interface:
+//! alternatives (§I-C), all implemented here behind one interface:
 //!
 //! * [`StoreAndProbe`] — policies in a central persistent table, probed per
 //!   tuple;
 //! * [`TupleEmbedded`] — every tuple carries its own policy copy;
 //! * [`SpMechanism`] — the punctuation-based approach (the real engine
-//!   path), wrapped for the comparison harness.
+//!   path), wrapped for the comparison harness;
+//! * [`CryptoEnforced`] — outsourced enforcement on an *untrusted* server:
+//!   tuples cross the server as AEAD ciphertext, the policy table becomes
+//!   a key schedule (one key capsule per granted role), and release is a
+//!   cryptographic fact — a role-held key opening the capsule — rather
+//!   than a server decision.
 //!
-//! All three enforce identical semantics — the cross-mechanism equivalence
-//! tests assert byte-identical released tuple sequences — and differ only
-//! in processing and memory profile, which is what Fig. 7 measures.
+//! All four enforce identical semantics — the cross-mechanism equivalence
+//! tests assert byte-identical released tuple sequences on clean streams —
+//! and differ only in trust assumptions, processing, and memory profile,
+//! which is what Fig. 7 (and the crypto bench) measures.
 
 #![warn(missing_docs)]
 
+pub mod crypto_enforced;
 pub mod mechanism;
 pub mod sp_mech;
 pub mod store_probe;
 pub mod tuple_embedded;
 
-pub use mechanism::{run_mechanism, EnforcementMechanism, MechStats};
+pub use crypto_enforced::{
+    CryptoClient, CryptoEnforced, CryptoProvider, KeyAuthority, UntrustedRelay,
+};
+pub use mechanism::{run_mechanism, EnforcementMechanism, MechStats, PolicyState};
 pub use sp_mech::SpMechanism;
 pub use store_probe::StoreAndProbe;
 pub use tuple_embedded::{EmbeddedTuple, TupleEmbedded};

@@ -1,12 +1,13 @@
-//! The common interface of the three access-control enforcement mechanisms
-//! compared in §I-C / §VII-B of the paper.
+//! The common interface of the access-control enforcement mechanisms
+//! compared in §I-C / §VII-B of the paper (plus the post-2008
+//! crypto-enforced fourth).
 //!
 //! A mechanism receives the *same* raw punctuated stream and enforces the
 //! same policies for a query with a fixed role set; what differs is *where
-//! policies live* (central table, per-tuple copies, or in-stream
-//! punctuations) and therefore the processing and memory profile. The
-//! security-equivalence test suite asserts that all three release exactly
-//! the same tuples.
+//! policies live* (central table, per-tuple copies, in-stream
+//! punctuations, or key capsules on ciphertext) and therefore the
+//! processing and memory profile. The security-equivalence test suite
+//! asserts that all four release exactly the same tuples.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -36,6 +37,45 @@ pub trait EnforcementMechanism {
 
     /// Tuples denied so far.
     fn denied(&self) -> u64;
+
+    /// Flushes any segment still open at end of stream; released tuples
+    /// are appended to `out`. The three plaintext mechanisms decide per
+    /// element and have nothing to flush (the default no-op); the
+    /// crypto-enforced mechanism must close its final ciphertext segment
+    /// here or the tuples buffered for digest verification would be
+    /// silently lost.
+    fn finish(&mut self, out: &mut Vec<Arc<Tuple>>) {
+        let _ = out;
+    }
+
+    /// Breakdown of the policy-related state behind
+    /// [`EnforcementMechanism::policy_mem_bytes`]. The default reports
+    /// everything as plain policy bytes; the crypto-enforced mechanism
+    /// also accounts its key table and ciphertext buffers.
+    fn policy_state(&self) -> PolicyState {
+        PolicyState { policy_bytes: self.policy_mem_bytes(), ..PolicyState::default() }
+    }
+}
+
+/// Where a mechanism's policy-related memory lives (the Fig. 7c metric,
+/// extended for outsourced enforcement).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyState {
+    /// Policy tables / embedded copies / shared punctuations.
+    pub policy_bytes: usize,
+    /// Derived per-(stream, role, epoch) keys and segment data keys.
+    pub key_table_bytes: usize,
+    /// Ciphertext (and tentative plaintext) buffered awaiting segment
+    /// verification. Drains to zero at every TERMINATOR.
+    pub cipher_buffer_bytes: usize,
+}
+
+impl PolicyState {
+    /// Total bytes across all three categories.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.policy_bytes + self.key_table_bytes + self.cipher_buffer_bytes
+    }
 }
 
 /// Shared counters for mechanism implementations.
@@ -59,5 +99,6 @@ pub fn run_mechanism(
     for elem in input {
         mech.process(elem, &mut out);
     }
+    mech.finish(&mut out);
     out
 }

@@ -4,14 +4,17 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use sp_baselines::{EnforcementMechanism, SpMechanism, StoreAndProbe, TupleEmbedded};
+use sp_baselines::{
+    CryptoEnforced, EnforcementMechanism, SpMechanism, StoreAndProbe, TupleEmbedded,
+};
 use sp_core::{RoleCatalog, RoleId, RoleSet, Schema, StreamElement};
 
 /// In-flight buffer capacity: tuples concurrently inside each mechanism
 /// (the policy-memory metric counts the policies attached to them).
 pub const IN_FLIGHT: usize = 512;
 
-/// The three mechanisms of §I-C over the same catalog/schema/roles.
+/// The four mechanisms — the three of §I-C plus outsourced crypto
+/// enforcement — over the same catalog/schema/roles.
 pub fn all_mechanisms(
     catalog: &Arc<RoleCatalog>,
     schema: &Arc<Schema>,
@@ -31,6 +34,12 @@ pub fn all_mechanisms(
             IN_FLIGHT,
         )),
         Box::new(SpMechanism::new(catalog.clone(), schema.clone(), query_roles.clone(), IN_FLIGHT)),
+        Box::new(CryptoEnforced::new(
+            catalog.clone(),
+            schema.clone(),
+            query_roles.clone(),
+            IN_FLIGHT,
+        )),
     ]
 }
 
@@ -64,22 +73,30 @@ pub struct MechRun {
 }
 
 /// Drives a mechanism over a workload, collecting the Fig. 7 metrics.
+/// Ends with [`EnforcementMechanism::finish`] so the crypto-enforced
+/// mechanism's final ciphertext segment is closed and counted.
 pub fn drive(mech: &mut dyn EnforcementMechanism, elements: &[StreamElement]) -> MechRun {
     let mut out = Vec::with_capacity(1024);
+    // Policy memory is sampled at peak (right before the final flush
+    // empties the crypto journal), mirroring what Fig. 7c measures.
+    let mut peak_mem = 0usize;
     for elem in elements {
         mech.process(elem.clone(), &mut out);
         out.clear();
     }
+    peak_mem = peak_mem.max(mech.policy_mem_bytes());
+    mech.finish(&mut out);
     MechRun {
         name: match mech.name() {
             "store-and-probe" => "store-and-probe",
             "tuple-embedded" => "tuple-embedded",
+            "crypto-enforced" => "crypto-enforced",
             _ => "security-punctuations",
         },
         elapsed: mech.elapsed(),
         released: mech.released(),
         denied: mech.denied(),
-        policy_mem: mech.policy_mem_bytes(),
+        policy_mem: peak_mem,
     }
 }
 
@@ -100,6 +117,7 @@ mod tests {
         }
         assert_eq!(counts[0], counts[1], "store-and-probe vs tuple-embedded");
         assert_eq!(counts[1], counts[2], "tuple-embedded vs punctuations");
+        assert_eq!(counts[2], counts[3], "punctuations vs crypto-enforced");
         assert!(counts[0] > 0, "some tuples must be released");
     }
 }

@@ -1,0 +1,376 @@
+//! Ciphertext framing for the outsourced-enforcement mechanism.
+//!
+//! A provider turns each policy segment into a frame sequence the
+//! *untrusted* server forwards without being able to read:
+//!
+//! ```text
+//! HEADER (key capsules) → DATA × n → DIGEST → TERMINATOR
+//! ```
+//!
+//! * [`CipherFrame::Header`] opens segment `seg`: it carries one sealed
+//!   [`KeyCapsule`] per role the segment's policy grants, each wrapping
+//!   the segment data key under that role's epoch key. A client that
+//!   holds no granted role finds no capsule it can open — that *is* the
+//!   access-control decision, made by cryptography rather than by the
+//!   server.
+//! * [`CipherFrame::Data`] carries one tuple sealed under the data key;
+//!   `idx` orders frames within the segment and doubles as the AEAD
+//!   nonce prefix, so reordering or replaying a frame breaks
+//!   authentication instead of silently succeeding.
+//! * [`CipherFrame::Digest`] seals the running SHA-256 over every DATA
+//!   frame's ciphertext (and the frame count) under the data key, so a
+//!   server that drops, reorders, or substitutes frames is caught at
+//!   segment commit even when each surviving frame authenticates alone.
+//! * [`CipherFrame::Terminator`] closes the segment: the client either
+//!   commits (digest verified) or rolls back every tentative release.
+//! * [`CipherFrame::KeyEpoch`] is the key-revocation punctuation: it
+//!   announces the new epoch, after which capsules sealed under older
+//!   epochs are refused (fail closed).
+//!
+//! Framing rides the same `[magic][u32 len][u32 CRC-32][body]` envelope
+//! as [`crate::wire`], under its own [`MAGIC_CIPHER`] byte so the resync
+//! logic of [`crate::wire::StreamDecoder`] protects all three frame
+//! kinds uniformly. The CRC is transport hygiene only — an *adversarial*
+//! server can recompute it — the security boundary is the AEAD tag
+//! inside the body.
+
+use bytes::{Buf, BufMut};
+
+use crate::wire::{crc32, WireError};
+
+/// Frame boundary marker for cipher frames. Distinct from
+/// [`crate::wire::MAGIC`] and [`crate::wire::MAGIC_CTRL`].
+pub const MAGIC_CIPHER: u8 = 0xC3;
+
+const CF_HEADER: u8 = 0;
+const CF_DATA: u8 = 1;
+const CF_DIGEST: u8 = 2;
+const CF_TERMINATOR: u8 = 3;
+const CF_KEY_EPOCH: u8 = 4;
+
+fn err(msg: &str) -> WireError {
+    WireError(msg.to_owned())
+}
+
+/// One role's sealed copy of a segment data key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyCapsule {
+    /// The role this capsule is addressed to.
+    pub role: u32,
+    /// The data key AEAD-sealed under the role's epoch key.
+    pub wrapped: Vec<u8>,
+}
+
+/// A cipher frame — see the module docs for the segment grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CipherFrame {
+    /// Opens a segment and distributes the data key to granted roles.
+    Header {
+        /// Stream the segment belongs to.
+        stream: u32,
+        /// Monotone segment sequence number (replay detector).
+        seg: u64,
+        /// Key epoch the capsules were sealed under.
+        key_epoch: u64,
+        /// Timestamp of the security punctuation the segment enforces.
+        sp_ts: u64,
+        /// One capsule per granted role (empty ⇒ deny-all segment).
+        capsules: Vec<KeyCapsule>,
+    },
+    /// One tuple sealed under the segment data key.
+    Data {
+        /// Stream the segment belongs to.
+        stream: u32,
+        /// Segment this frame is part of.
+        seg: u64,
+        /// Zero-based frame index inside the segment (nonce component).
+        idx: u32,
+        /// `encode_tuple` bytes AEAD-sealed under the data key.
+        sealed: Vec<u8>,
+    },
+    /// Sealed running digest over the segment's DATA ciphertext.
+    Digest {
+        /// Stream the segment belongs to.
+        stream: u32,
+        /// Segment this digest covers.
+        seg: u64,
+        /// Number of DATA frames the digest covers.
+        count: u32,
+        /// The SHA-256 digest AEAD-sealed under the data key.
+        sealed_digest: Vec<u8>,
+    },
+    /// Closes the segment: commit or roll back.
+    Terminator {
+        /// Stream the segment belongs to.
+        stream: u32,
+        /// Segment being closed.
+        seg: u64,
+    },
+    /// Key-revocation punctuation: epoch advanced, old capsules refused.
+    KeyEpoch {
+        /// Stream the epoch applies to.
+        stream: u32,
+        /// The new (strictly larger) key epoch.
+        epoch: u64,
+    },
+}
+
+impl CipherFrame {
+    /// Serializes the frame:
+    /// `[MAGIC_CIPHER][u32 body length][u32 CRC-32][body]`.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        let mut body: Vec<u8> = Vec::with_capacity(32);
+        match self {
+            Self::Header { stream, seg, key_epoch, sp_ts, capsules } => {
+                body.put_u8(CF_HEADER);
+                body.put_u32(*stream);
+                body.put_u64(*seg);
+                body.put_u64(*key_epoch);
+                body.put_u64(*sp_ts);
+                body.put_u32(capsules.len() as u32);
+                for c in capsules {
+                    body.put_u32(c.role);
+                    body.put_u32(c.wrapped.len() as u32);
+                    body.put_slice(&c.wrapped);
+                }
+            }
+            Self::Data { stream, seg, idx, sealed } => {
+                body.put_u8(CF_DATA);
+                body.put_u32(*stream);
+                body.put_u64(*seg);
+                body.put_u32(*idx);
+                body.put_u32(sealed.len() as u32);
+                body.put_slice(sealed);
+            }
+            Self::Digest { stream, seg, count, sealed_digest } => {
+                body.put_u8(CF_DIGEST);
+                body.put_u32(*stream);
+                body.put_u64(*seg);
+                body.put_u32(*count);
+                body.put_u32(sealed_digest.len() as u32);
+                body.put_slice(sealed_digest);
+            }
+            Self::Terminator { stream, seg } => {
+                body.put_u8(CF_TERMINATOR);
+                body.put_u32(*stream);
+                body.put_u64(*seg);
+            }
+            Self::KeyEpoch { stream, epoch } => {
+                body.put_u8(CF_KEY_EPOCH);
+                body.put_u32(*stream);
+                body.put_u64(*epoch);
+            }
+        }
+        buf.put_u8(MAGIC_CIPHER);
+        buf.put_u32(body.len() as u32);
+        buf.put_u32(crc32(&body));
+        buf.put_slice(&body);
+    }
+
+    /// Serializes into a fresh byte vector.
+    #[must_use]
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(48);
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decodes a checksum-verified cipher frame body. Unknown tags and
+    /// malformed bodies are errors (counted as corruption upstream),
+    /// never panics.
+    pub(crate) fn decode_body(mut body: &[u8]) -> Result<Self, WireError> {
+        let buf = &mut body;
+        if buf.remaining() < 1 {
+            return Err(err("truncated cipher tag"));
+        }
+        let tag = buf.get_u8();
+        let need = |buf: &&[u8], n: usize| -> Result<(), WireError> {
+            if buf.remaining() < n {
+                Err(err("truncated cipher body"))
+            } else {
+                Ok(())
+            }
+        };
+        let frame = match tag {
+            CF_HEADER => {
+                need(buf, 4 + 8 + 8 + 8 + 4)?;
+                let stream = buf.get_u32();
+                let seg = buf.get_u64();
+                let key_epoch = buf.get_u64();
+                let sp_ts = buf.get_u64();
+                let n = buf.get_u32() as usize;
+                let mut capsules = Vec::new();
+                for _ in 0..n {
+                    need(buf, 8)?;
+                    let role = buf.get_u32();
+                    let len = buf.get_u32() as usize;
+                    need(buf, len)?;
+                    let mut wrapped = vec![0u8; len];
+                    buf.copy_to_slice(&mut wrapped);
+                    capsules.push(KeyCapsule { role, wrapped });
+                }
+                Self::Header { stream, seg, key_epoch, sp_ts, capsules }
+            }
+            CF_DATA => {
+                need(buf, 4 + 8 + 4 + 4)?;
+                let stream = buf.get_u32();
+                let seg = buf.get_u64();
+                let idx = buf.get_u32();
+                let len = buf.get_u32() as usize;
+                need(buf, len)?;
+                let mut sealed = vec![0u8; len];
+                buf.copy_to_slice(&mut sealed);
+                Self::Data { stream, seg, idx, sealed }
+            }
+            CF_DIGEST => {
+                need(buf, 4 + 8 + 4 + 4)?;
+                let stream = buf.get_u32();
+                let seg = buf.get_u64();
+                let count = buf.get_u32();
+                let len = buf.get_u32() as usize;
+                need(buf, len)?;
+                let mut sealed_digest = vec![0u8; len];
+                buf.copy_to_slice(&mut sealed_digest);
+                Self::Digest { stream, seg, count, sealed_digest }
+            }
+            CF_TERMINATOR => {
+                need(buf, 12)?;
+                Self::Terminator { stream: buf.get_u32(), seg: buf.get_u64() }
+            }
+            CF_KEY_EPOCH => {
+                need(buf, 12)?;
+                Self::KeyEpoch { stream: buf.get_u32(), epoch: buf.get_u64() }
+            }
+            other => return Err(WireError(format!("unknown cipher tag {other}"))),
+        };
+        if buf.remaining() != 0 {
+            return Err(err("trailing bytes in cipher body"));
+        }
+        Ok(frame)
+    }
+
+    /// Decodes one complete encoded frame (`encode_to_vec` output):
+    /// envelope, checksum, and body. The fault injector uses this to
+    /// decode → mutate → re-encode frames; corrupt input is an error,
+    /// never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad magic, short input, checksum mismatch, unknown tag,
+    /// or trailing bytes.
+    pub fn decode_frame(mut bytes: &[u8]) -> Result<Self, WireError> {
+        let buf = &mut bytes;
+        if buf.remaining() < 9 {
+            return Err(err("truncated cipher frame"));
+        }
+        if buf.get_u8() != MAGIC_CIPHER {
+            return Err(err("bad cipher magic"));
+        }
+        let len = buf.get_u32() as usize;
+        let crc = buf.get_u32();
+        if buf.remaining() != len {
+            return Err(err("cipher frame length mismatch"));
+        }
+        if crc32(buf) != crc {
+            return Err(err("cipher frame checksum mismatch"));
+        }
+        Self::decode_body(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn samples() -> Vec<CipherFrame> {
+        vec![
+            CipherFrame::Header {
+                stream: 7,
+                seg: 42,
+                key_epoch: 3,
+                sp_ts: 5000,
+                capsules: vec![
+                    KeyCapsule { role: 0, wrapped: vec![1, 2, 3] },
+                    KeyCapsule { role: 9, wrapped: vec![] },
+                ],
+            },
+            CipherFrame::Header { stream: 7, seg: 43, key_epoch: 3, sp_ts: 6000, capsules: vec![] },
+            CipherFrame::Data { stream: 7, seg: 42, idx: 0, sealed: vec![0xAB; 40] },
+            CipherFrame::Data { stream: 7, seg: 42, idx: 1, sealed: vec![] },
+            CipherFrame::Digest { stream: 7, seg: 42, count: 2, sealed_digest: vec![0xCD; 48] },
+            CipherFrame::Terminator { stream: 7, seg: 42 },
+            CipherFrame::KeyEpoch { stream: 7, epoch: 4 },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        for frame in samples() {
+            let bytes = frame.encode_to_vec();
+            assert_eq!(bytes[0], MAGIC_CIPHER);
+            let back = CipherFrame::decode_frame(&bytes).expect("round trip");
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        for frame in samples() {
+            let good = frame.encode_to_vec();
+            // Any single flipped body byte fails the checksum.
+            for i in 9..good.len() {
+                let mut bad = good.clone();
+                bad[i] ^= 0x40;
+                assert!(CipherFrame::decode_frame(&bad).is_err(), "flip at {i}");
+            }
+            // Any truncation fails.
+            for cut in 0..good.len() {
+                assert!(CipherFrame::decode_frame(&good[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tag_and_trailing_bytes() {
+        let mut body = vec![99u8]; // unassigned tag
+        body.extend_from_slice(&[0; 12]);
+        let mut bytes = vec![MAGIC_CIPHER];
+        bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&crc32(&body).to_be_bytes());
+        bytes.extend_from_slice(&body);
+        assert!(CipherFrame::decode_frame(&bytes).is_err());
+
+        let mut body = CipherFrame::Terminator { stream: 1, seg: 2 }.encode_to_vec()[9..].to_vec();
+        body.push(0xFF); // trailing byte
+        let mut bytes = vec![MAGIC_CIPHER];
+        bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&crc32(&body).to_be_bytes());
+        bytes.extend_from_slice(&body);
+        assert!(CipherFrame::decode_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn header_capsule_count_lies_are_errors() {
+        // A header claiming more capsules than the body holds must fail
+        // closed, not over-read.
+        let frame = CipherFrame::Header {
+            stream: 1,
+            seg: 1,
+            key_epoch: 0,
+            sp_ts: 0,
+            capsules: vec![KeyCapsule { role: 3, wrapped: vec![9; 8] }],
+        };
+        let good = frame.encode_to_vec();
+        let mut body = good[9..].to_vec();
+        // capsule count lives right after tag(1)+stream(4)+seg(8)+epoch(8)+ts(8)
+        let count_at = 1 + 4 + 8 + 8 + 8;
+        body[count_at + 3] = 200;
+        let mut bytes = vec![MAGIC_CIPHER];
+        bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&crc32(&body).to_be_bytes());
+        bytes.extend_from_slice(&body);
+        assert!(CipherFrame::decode_frame(&bytes).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Reproduction-grade cryptography for the outsourced-enforcement
+//! baseline: ChaCha20-Poly1305 AEAD (RFC 8439) and SHA-256 (FIPS 180-4),
+//! hand-rolled on the standard library only.
+//!
+//! # Why hand-rolled, and what that means
+//!
+//! This repository vendors every dependency, and no audited crypto crate
+//! is vendored — so the crypto-enforced mechanism (Streamforce / "Stream
+//! on the Sky"-style enforcement on an *untrusted* server) carries its own
+//! primitives. They are **structurally faithful reproductions validated
+//! against the RFC 8439 / FIPS 180-4 known-answer vectors, not audited
+//! production cryptography**: no guarantee is made about timing side
+//! channels, zeroization, or misuse resistance beyond what the tests
+//! assert. Use them to study the *enforcement architecture* — who can
+//! decrypt what, and when release happens — not to protect real data.
+//!
+//! # Layout
+//!
+//! * [`chacha`] — the ChaCha20 block function and xor-keystream;
+//! * [`poly1305`] — the one-time authenticator;
+//! * [`sha256`] — incremental SHA-256 with a serializable midstate
+//!   (segment digests must survive `snapshot`/`restore`);
+//! * [`frame`] — the ciphertext framing (`HEADER`/`DATA`/`DIGEST`/
+//!   `TERMINATOR`/`KEY_EPOCH`) rides the wire envelope of [`crate::wire`];
+//! * [`seal`]/[`open`] — the RFC 8439 §2.8 AEAD composition;
+//! * [`derive_key`] — deterministic SHA-256 key derivation for the
+//!   per-(stream, role, epoch) key table.
+
+pub mod chacha;
+pub mod frame;
+pub mod poly1305;
+pub mod sha256;
+
+pub use frame::{CipherFrame, KeyCapsule};
+pub use sha256::{sha256 as digest, Sha256, DIGEST_LEN};
+
+/// AEAD key length in bytes.
+pub const KEY_LEN: usize = chacha::KEY_LEN;
+/// AEAD nonce length in bytes.
+pub const NONCE_LEN: usize = chacha::NONCE_LEN;
+/// AEAD tag length in bytes.
+pub const TAG_LEN: usize = poly1305::TAG_LEN;
+
+/// A 256-bit symmetric key.
+pub type Key = [u8; KEY_LEN];
+/// A 96-bit AEAD nonce.
+pub type Nonce = [u8; NONCE_LEN];
+
+/// The Poly1305 one-time key for `(key, nonce)`: the first 32 bytes of
+/// ChaCha20 keystream block 0 (RFC 8439 §2.6).
+fn poly_key(key: &Key, nonce: &Nonce) -> [u8; poly1305::KEY_LEN] {
+    let block = chacha::block(key, nonce, 0);
+    let mut pk = [0u8; poly1305::KEY_LEN];
+    pk.copy_from_slice(&block[..poly1305::KEY_LEN]);
+    pk
+}
+
+/// The Poly1305 input of the AEAD (RFC 8439 §2.8): aad, ciphertext (each
+/// zero-padded to 16), then both lengths little-endian.
+fn mac_input(aad: &[u8], ciphertext: &[u8]) -> Vec<u8> {
+    let pad = |len: usize| (16 - len % 16) % 16;
+    let mut m = Vec::with_capacity(aad.len() + ciphertext.len() + 32);
+    m.extend_from_slice(aad);
+    m.resize(m.len() + pad(aad.len()), 0);
+    m.extend_from_slice(ciphertext);
+    m.resize(m.len() + pad(ciphertext.len()), 0);
+    m.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    m.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    m
+}
+
+/// ChaCha20-Poly1305 encryption (RFC 8439 §2.8): returns
+/// `ciphertext || tag` (`plaintext.len() + `[`TAG_LEN`] bytes).
+///
+/// Nonces must be unique per key; the framing derives them from the
+/// segment sequence and frame index, which the release state machine
+/// enforces to be strictly monotone.
+#[must_use]
+pub fn seal(key: &Key, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    chacha::xor_stream(key, nonce, 1, &mut out);
+    let tag = poly1305::tag(&poly_key(key, nonce), &mac_input(aad, &out));
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// ChaCha20-Poly1305 decryption: verifies the tag over `sealed`
+/// (`ciphertext || tag`) and returns the plaintext, or `None` when the
+/// input is too short or authentication fails — the caller must treat
+/// `None` as *suppress and count*, never release.
+#[must_use]
+pub fn open(key: &Key, nonce: &Nonce, aad: &[u8], sealed: &[u8]) -> Option<Vec<u8>> {
+    if sealed.len() < TAG_LEN {
+        return None;
+    }
+    let (ct, tag_bytes) = sealed.split_at(sealed.len() - TAG_LEN);
+    let mut expected = [0u8; TAG_LEN];
+    expected.copy_from_slice(tag_bytes);
+    let actual = poly1305::tag(&poly_key(key, nonce), &mac_input(aad, ct));
+    if !poly1305::tags_equal(&actual, &expected) {
+        return None;
+    }
+    let mut pt = ct.to_vec();
+    chacha::xor_stream(key, nonce, 1, &mut pt);
+    Some(pt)
+}
+
+/// Deterministic key derivation: `SHA-256(label || master || parts…)`.
+///
+/// The key table of the crypto-enforced mechanism is purely
+/// derivational — per-(stream, role, epoch) keys and per-segment data
+/// keys all come from one master key through this function, so provider
+/// and key authority never ship key material, only identifiers.
+#[must_use]
+pub fn derive_key(master: &Key, label: &str, parts: &[u64]) -> Key {
+    let mut h = Sha256::new();
+    h.update(label.as_bytes());
+    h.update(&[0]);
+    h.update(master);
+    for p in parts {
+        h.update(&p.to_be_bytes());
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn rfc_key() -> Key {
+        let mut k = [0u8; KEY_LEN];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = 0x80 + i as u8;
+        }
+        k
+    }
+
+    fn rfc_nonce() -> Nonce {
+        [0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47]
+    }
+
+    const RFC_AAD: [u8; 12] =
+        [0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7];
+
+    const RFC_PLAINTEXT: &[u8] = b"Ladies and Gentlemen of the class of '99: If I could \
+offer you only one tip for the future, sunscreen would be it.";
+
+    /// RFC 8439 §2.8.2 AEAD known-answer vector: ciphertext and tag.
+    #[test]
+    fn rfc8439_aead_known_answer() {
+        let sealed = seal(&rfc_key(), &rfc_nonce(), &RFC_AAD, RFC_PLAINTEXT);
+        let expected_ct: [u8; 114] = [
+            0xd3, 0x1a, 0x8d, 0x34, 0x64, 0x8e, 0x60, 0xdb, 0x7b, 0x86, 0xaf, 0xbc, 0x53, 0xef,
+            0x7e, 0xc2, 0xa4, 0xad, 0xed, 0x51, 0x29, 0x6e, 0x08, 0xfe, 0xa9, 0xe2, 0xb5, 0xa7,
+            0x36, 0xee, 0x62, 0xd6, 0x3d, 0xbe, 0xa4, 0x5e, 0x8c, 0xa9, 0x67, 0x12, 0x82, 0xfa,
+            0xfb, 0x69, 0xda, 0x92, 0x72, 0x8b, 0x1a, 0x71, 0xde, 0x0a, 0x9e, 0x06, 0x0b, 0x29,
+            0x05, 0xd6, 0xa5, 0xb6, 0x7e, 0xcd, 0x3b, 0x36, 0x92, 0xdd, 0xbd, 0x7f, 0x2d, 0x77,
+            0x8b, 0x8c, 0x98, 0x03, 0xae, 0xe3, 0x28, 0x09, 0x1b, 0x58, 0xfa, 0xb3, 0x24, 0xe4,
+            0xfa, 0xd6, 0x75, 0x94, 0x55, 0x85, 0x80, 0x8b, 0x48, 0x31, 0xd7, 0xbc, 0x3f, 0xf4,
+            0xde, 0xf0, 0x8e, 0x4b, 0x7a, 0x9d, 0xe5, 0x76, 0xd2, 0x65, 0x86, 0xce, 0xc6, 0x4b,
+            0x61, 0x16,
+        ];
+        let expected_tag: [u8; TAG_LEN] = [
+            0x1a, 0xe1, 0x0b, 0x59, 0x4f, 0x09, 0xe2, 0x6a, 0x7e, 0x90, 0x2e, 0xcb, 0xd0, 0x60,
+            0x06, 0x91,
+        ];
+        assert_eq!(&sealed[..114], expected_ct.as_slice());
+        assert_eq!(&sealed[114..], expected_tag.as_slice());
+
+        let pt = open(&rfc_key(), &rfc_nonce(), &RFC_AAD, &sealed).expect("round trip");
+        assert_eq!(pt, RFC_PLAINTEXT);
+    }
+
+    #[test]
+    fn tampered_inputs_fail_authentication() {
+        let sealed = seal(&rfc_key(), &rfc_nonce(), &RFC_AAD, RFC_PLAINTEXT);
+        // Flipped ciphertext byte.
+        let mut bad = sealed.clone();
+        bad[10] ^= 0x01;
+        assert!(open(&rfc_key(), &rfc_nonce(), &RFC_AAD, &bad).is_none());
+        // Flipped tag byte.
+        let mut bad = sealed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x80;
+        assert!(open(&rfc_key(), &rfc_nonce(), &RFC_AAD, &bad).is_none());
+        // Wrong nonce.
+        let mut nonce = rfc_nonce();
+        nonce[0] ^= 1;
+        assert!(open(&rfc_key(), &nonce, &RFC_AAD, &sealed).is_none());
+        // Wrong aad.
+        assert!(open(&rfc_key(), &rfc_nonce(), b"other aad", &sealed).is_none());
+        // Truncated.
+        assert!(open(&rfc_key(), &rfc_nonce(), &RFC_AAD, &sealed[..sealed.len() - 1]).is_none());
+        assert!(open(&rfc_key(), &rfc_nonce(), &RFC_AAD, &sealed[..TAG_LEN - 1]).is_none());
+        assert!(open(&rfc_key(), &rfc_nonce(), &RFC_AAD, &[]).is_none());
+    }
+
+    #[test]
+    fn empty_plaintext_round_trips() {
+        let sealed = seal(&rfc_key(), &rfc_nonce(), b"", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(open(&rfc_key(), &rfc_nonce(), b"", &sealed).expect("round trip"), b"");
+    }
+
+    #[test]
+    fn derive_key_is_deterministic_and_separated() {
+        let master = [9u8; KEY_LEN];
+        let a = derive_key(&master, "role-key", &[1, 2, 3]);
+        assert_eq!(a, derive_key(&master, "role-key", &[1, 2, 3]));
+        assert_ne!(a, derive_key(&master, "role-key", &[1, 2, 4]));
+        assert_ne!(a, derive_key(&master, "data-key", &[1, 2, 3]));
+        assert_ne!(a, derive_key(&[8u8; KEY_LEN], "role-key", &[1, 2, 3]));
+    }
+}

@@ -1,0 +1,229 @@
+//! Poly1305 one-time authenticator (RFC 8439 §2.5), hand-rolled.
+//!
+//! The classic 26-bit-limb implementation: the 130-bit accumulator is
+//! five 26-bit limbs in `u32`s, with `u64` intermediate products, so the
+//! arithmetic is portable and overflow-free. Known-answer test against
+//! the RFC 8439 §2.5.2 vector lives in this module's test section.
+//!
+//! Part of the reproduction-grade crypto suite — see the [`crate::crypto`]
+//! module caveat; this is a structurally faithful implementation, not an
+//! audited production one.
+
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// One-time key length in bytes (`r || s`).
+pub const KEY_LEN: usize = 32;
+
+fn le32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Computes the Poly1305 tag of `msg` under the one-time `key`.
+///
+/// The key must never authenticate two different messages; the AEAD
+/// construction derives a fresh one per nonce (RFC 8439 §2.6).
+#[must_use]
+pub fn tag(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
+    // Clamp r (RFC 8439 §2.5): top bits of some limbs are forced to zero.
+    let r0 = le32(&key[0..4]) & 0x03ff_ffff;
+    let r1 = (le32(&key[3..7]) >> 2) & 0x03ff_ff03;
+    let r2 = (le32(&key[6..10]) >> 4) & 0x03ff_c0ff;
+    let r3 = (le32(&key[9..13]) >> 6) & 0x03f0_3fff;
+    let r4 = (le32(&key[12..16]) >> 8) & 0x000f_ffff;
+    // Pre-multiplied by 5 for the 2^130 ≡ 5 reduction.
+    let s1 = r1 * 5;
+    let s2 = r2 * 5;
+    let s3 = r3 * 5;
+    let s4 = r4 * 5;
+
+    let (mut h0, mut h1, mut h2, mut h3, mut h4) = (0u32, 0u32, 0u32, 0u32, 0u32);
+
+    let mut chunks = msg.chunks_exact(16);
+    let mut absorb = |block: &[u8; 16], hibit: u32| {
+        h0 = h0.wrapping_add(le32(&block[0..4]) & 0x03ff_ffff);
+        h1 = h1.wrapping_add((le32(&block[3..7]) >> 2) & 0x03ff_ffff);
+        h2 = h2.wrapping_add((le32(&block[6..10]) >> 4) & 0x03ff_ffff);
+        h3 = h3.wrapping_add((le32(&block[9..13]) >> 6) & 0x03ff_ffff);
+        h4 = h4.wrapping_add((le32(&block[12..16]) >> 8) | hibit);
+
+        let d0 = u64::from(h0) * u64::from(r0)
+            + u64::from(h1) * u64::from(s4)
+            + u64::from(h2) * u64::from(s3)
+            + u64::from(h3) * u64::from(s2)
+            + u64::from(h4) * u64::from(s1);
+        let mut d1 = u64::from(h0) * u64::from(r1)
+            + u64::from(h1) * u64::from(r0)
+            + u64::from(h2) * u64::from(s4)
+            + u64::from(h3) * u64::from(s3)
+            + u64::from(h4) * u64::from(s2);
+        let mut d2 = u64::from(h0) * u64::from(r2)
+            + u64::from(h1) * u64::from(r1)
+            + u64::from(h2) * u64::from(r0)
+            + u64::from(h3) * u64::from(s4)
+            + u64::from(h4) * u64::from(s3);
+        let mut d3 = u64::from(h0) * u64::from(r3)
+            + u64::from(h1) * u64::from(r2)
+            + u64::from(h2) * u64::from(r1)
+            + u64::from(h3) * u64::from(r0)
+            + u64::from(h4) * u64::from(s4);
+        let mut d4 = u64::from(h0) * u64::from(r4)
+            + u64::from(h1) * u64::from(r3)
+            + u64::from(h2) * u64::from(r2)
+            + u64::from(h3) * u64::from(r1)
+            + u64::from(h4) * u64::from(r0);
+
+        let mut c = d0 >> 26;
+        h0 = (d0 & 0x03ff_ffff) as u32;
+        d1 += c;
+        c = d1 >> 26;
+        h1 = (d1 & 0x03ff_ffff) as u32;
+        d2 += c;
+        c = d2 >> 26;
+        h2 = (d2 & 0x03ff_ffff) as u32;
+        d3 += c;
+        c = d3 >> 26;
+        h3 = (d3 & 0x03ff_ffff) as u32;
+        d4 += c;
+        c = d4 >> 26;
+        h4 = (d4 & 0x03ff_ffff) as u32;
+        h0 = h0.wrapping_add((c as u32) * 5);
+        let c2 = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 = h1.wrapping_add(c2);
+    };
+
+    for block in chunks.by_ref() {
+        let mut b = [0u8; 16];
+        b.copy_from_slice(block);
+        absorb(&b, 1 << 24);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut b = [0u8; 16];
+        b[..rest.len()].copy_from_slice(rest);
+        b[rest.len()] = 1; // the padding 1-bit; hibit stays 0
+        absorb(&b, 0);
+    }
+
+    // Full carry propagation.
+    let mut c = h1 >> 26;
+    h1 &= 0x03ff_ffff;
+    h2 = h2.wrapping_add(c);
+    c = h2 >> 26;
+    h2 &= 0x03ff_ffff;
+    h3 = h3.wrapping_add(c);
+    c = h3 >> 26;
+    h3 &= 0x03ff_ffff;
+    h4 = h4.wrapping_add(c);
+    c = h4 >> 26;
+    h4 &= 0x03ff_ffff;
+    h0 = h0.wrapping_add(c * 5);
+    c = h0 >> 26;
+    h0 &= 0x03ff_ffff;
+    h1 = h1.wrapping_add(c);
+
+    // Compute h + (-p) and constant-select the reduced value.
+    let mut g0 = h0.wrapping_add(5);
+    c = g0 >> 26;
+    g0 &= 0x03ff_ffff;
+    let mut g1 = h1.wrapping_add(c);
+    c = g1 >> 26;
+    g1 &= 0x03ff_ffff;
+    let mut g2 = h2.wrapping_add(c);
+    c = g2 >> 26;
+    g2 &= 0x03ff_ffff;
+    let mut g3 = h3.wrapping_add(c);
+    c = g3 >> 26;
+    g3 &= 0x03ff_ffff;
+    let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+    let mask = (g4 >> 31).wrapping_sub(1); // all-ones when h >= p
+    h0 = (h0 & !mask) | (g0 & mask);
+    h1 = (h1 & !mask) | (g1 & mask);
+    h2 = (h2 & !mask) | (g2 & mask);
+    h3 = (h3 & !mask) | (g3 & mask);
+    h4 = (h4 & !mask) | (g4 & 0x03ff_ffff & mask);
+
+    // Repack to 128 bits and add s modulo 2^128.
+    let t0 = u64::from(h0 | (h1 << 26));
+    let t1 = u64::from((h1 >> 6) | (h2 << 20));
+    let t2 = u64::from((h2 >> 12) | (h3 << 14));
+    let t3 = u64::from((h3 >> 18) | (h4 << 8));
+    let mut acc = t0.wrapping_add(u64::from(le32(&key[16..20])));
+    let b0 = acc as u32;
+    acc = (acc >> 32).wrapping_add(t1).wrapping_add(u64::from(le32(&key[20..24])));
+    let b1 = acc as u32;
+    acc = (acc >> 32).wrapping_add(t2).wrapping_add(u64::from(le32(&key[24..28])));
+    let b2 = acc as u32;
+    acc = (acc >> 32).wrapping_add(t3).wrapping_add(u64::from(le32(&key[28..32])));
+    let b3 = acc as u32;
+
+    let mut out = [0u8; TAG_LEN];
+    out[0..4].copy_from_slice(&b0.to_le_bytes());
+    out[4..8].copy_from_slice(&b1.to_le_bytes());
+    out[8..12].copy_from_slice(&b2.to_le_bytes());
+    out[12..16].copy_from_slice(&b3.to_le_bytes());
+    out
+}
+
+/// Constant-shape tag comparison: XOR-accumulates every byte pair so the
+/// comparison does not early-exit on the first mismatch.
+#[must_use]
+pub fn tags_equal(a: &[u8; TAG_LEN], b: &[u8; TAG_LEN]) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    /// RFC 8439 §2.5.2 known-answer vector.
+    #[test]
+    fn rfc8439_known_answer() {
+        let key: [u8; KEY_LEN] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let t = tag(&key, b"Cryptographic Forum Research Group");
+        let expected: [u8; TAG_LEN] = [
+            0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01,
+            0x27, 0xa9,
+        ];
+        assert_eq!(t, expected);
+        assert!(tags_equal(&t, &expected));
+    }
+
+    #[test]
+    fn tag_depends_on_every_byte() {
+        let key = [7u8; KEY_LEN];
+        let base = tag(&key, b"hello world");
+        assert_ne!(base, tag(&key, b"hello worle"));
+        let mut other_key = key;
+        other_key[0] ^= 1;
+        assert_ne!(base, tag(&other_key, b"hello world"));
+        assert!(!tags_equal(&base, &tag(&key, b"hello worlf")));
+    }
+
+    /// Boundary lengths around the 16-byte block size, cross-checked for
+    /// self-consistency (same input, same tag; different input, new tag).
+    #[test]
+    fn block_boundaries() {
+        let key = [3u8; KEY_LEN];
+        let msg: Vec<u8> = (0..64u8).collect();
+        let mut seen = Vec::new();
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 47, 48, 63, 64] {
+            let t = tag(&key, &msg[..len]);
+            assert_eq!(t, tag(&key, &msg[..len]), "len {len} deterministic");
+            assert!(!seen.contains(&t), "len {len} tag must be fresh");
+            seen.push(t);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! SHA-256 (FIPS 180-4), hand-rolled.
+//!
+//! Incremental hashing with a serializable midstate so operators holding a
+//! running segment digest can `snapshot`/`restore` mid-segment like every
+//! other piece of operator state. Known-answer tests against the FIPS
+//! 180-4 example vectors live in this module's test section.
+//!
+//! Part of the reproduction-grade crypto suite — see the [`crate::crypto`]
+//! module caveat; this is a structurally faithful implementation, not an
+//! audited production one.
+
+/// Digest length in bytes.
+pub const DIGEST_LEN: usize = 32;
+
+/// FIPS 180-4 §4.2.2 round constants.
+const K: [u32; 64] = [
+    0x428a_2f98,
+    0x7137_4491,
+    0xb5c0_fbcf,
+    0xe9b5_dba5,
+    0x3956_c25b,
+    0x59f1_11f1,
+    0x923f_82a4,
+    0xab1c_5ed5,
+    0xd807_aa98,
+    0x1283_5b01,
+    0x2431_85be,
+    0x550c_7dc3,
+    0x72be_5d74,
+    0x80de_b1fe,
+    0x9bdc_06a7,
+    0xc19b_f174,
+    0xe49b_69c1,
+    0xefbe_4786,
+    0x0fc1_9dc6,
+    0x240c_a1cc,
+    0x2de9_2c6f,
+    0x4a74_84aa,
+    0x5cb0_a9dc,
+    0x76f9_88da,
+    0x983e_5152,
+    0xa831_c66d,
+    0xb003_27c8,
+    0xbf59_7fc7,
+    0xc6e0_0bf3,
+    0xd5a7_9147,
+    0x06ca_6351,
+    0x1429_2967,
+    0x27b7_0a85,
+    0x2e1b_2138,
+    0x4d2c_6dfc,
+    0x5338_0d13,
+    0x650a_7354,
+    0x766a_0abb,
+    0x81c2_c92e,
+    0x9272_2c85,
+    0xa2bf_e8a1,
+    0xa81a_664b,
+    0xc24b_8b70,
+    0xc76c_51a3,
+    0xd192_e819,
+    0xd699_0624,
+    0xf40e_3585,
+    0x106a_a070,
+    0x19a4_c116,
+    0x1e37_6c08,
+    0x2748_774c,
+    0x34b0_bcb5,
+    0x391c_0cb3,
+    0x4ed8_aa4a,
+    0x5b9c_ca4f,
+    0x682e_6ff3,
+    0x748f_82ee,
+    0x78a5_636f,
+    0x84c8_7814,
+    0x8cc7_0208,
+    0x90be_fffa,
+    0xa450_6ceb,
+    0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+/// FIPS 180-4 §5.3.3 initial hash value.
+const H0: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+/// Incremental SHA-256 hasher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sha256 {
+    h: [u32; 8],
+    /// Total message bytes absorbed so far.
+    len: u64,
+    /// Partial block awaiting 64 bytes.
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { h: H0, len: 0, buf: [0; 64], buf_len: 0 }
+    }
+
+    /// Absorbs `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+        let mut input = bytes;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+        if !input.is_empty() {
+            self.buf[..input.len()].copy_from_slice(input);
+            self.buf_len = input.len();
+        }
+    }
+
+    /// Finishes the hash, consuming nothing (the hasher may keep
+    /// absorbing; finalization works on a copy).
+    #[must_use]
+    pub fn finalize(&self) -> [u8; DIGEST_LEN] {
+        let mut tail = self.clone();
+        let bit_len = tail.len.wrapping_mul(8);
+        tail.update(&[0x80]);
+        while tail.buf_len != 56 {
+            tail.update(&[0x00]);
+        }
+        // Length is appended straight into the block: update() must not
+        // run (it would recount), so place the 8 bytes by hand.
+        tail.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = tail.buf;
+        tail.compress(&block);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, w) in tail.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// Serializes the midstate (chaining value, length, partial block) so
+    /// a running digest can be checkpointed mid-segment.
+    pub fn snapshot(&self, buf: &mut Vec<u8>) {
+        for w in &self.h {
+            buf.extend_from_slice(&w.to_be_bytes());
+        }
+        buf.extend_from_slice(&self.len.to_be_bytes());
+        buf.push(self.buf_len as u8);
+        buf.extend_from_slice(&self.buf[..self.buf_len]);
+    }
+
+    /// Rebuilds a hasher from [`Sha256::snapshot`] bytes, consuming them
+    /// from the front of `bytes`. Returns `None` on malformed input
+    /// (fail closed: the caller must discard the segment).
+    #[must_use]
+    pub fn restore(bytes: &mut &[u8]) -> Option<Self> {
+        if bytes.len() < 32 + 8 + 1 {
+            return None;
+        }
+        let mut h = [0u32; 8];
+        for (i, w) in h.iter_mut().enumerate() {
+            *w = u32::from_be_bytes([
+                bytes[i * 4],
+                bytes[i * 4 + 1],
+                bytes[i * 4 + 2],
+                bytes[i * 4 + 3],
+            ]);
+        }
+        let len = u64::from_be_bytes([
+            bytes[32], bytes[33], bytes[34], bytes[35], bytes[36], bytes[37], bytes[38], bytes[39],
+        ]);
+        let buf_len = bytes[40] as usize;
+        if buf_len >= 64 || bytes.len() < 41 + buf_len {
+            return None;
+        }
+        let mut buf = [0u8; 64];
+        buf[..buf_len].copy_from_slice(&bytes[41..41 + buf_len]);
+        *bytes = &bytes[41 + buf_len..];
+        Some(Self { h, len, buf, buf_len })
+    }
+
+    /// One compression round over a 64-byte block (FIPS 180-4 §6.2.2).
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+        self.h[5] = self.h[5].wrapping_add(f);
+        self.h[6] = self.h[6].wrapping_add(g);
+        self.h[7] = self.h[7].wrapping_add(h);
+    }
+}
+
+/// One-shot digest of `bytes`.
+#[must_use]
+pub fn sha256(bytes: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn hex(digest: &[u8]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// FIPS 180-4 example vectors (NIST "SHA256 examples" document) plus
+    /// the universally published empty-string digest.
+    #[test]
+    fn fips_180_4_known_answers() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    /// A million 'a's — the FIPS long-message example, fed in uneven
+    /// chunks to exercise the buffering paths.
+    #[test]
+    fn long_message_chunked() {
+        let msg = vec![b'a'; 1_000_000];
+        let mut h = Sha256::new();
+        let mut pos = 0;
+        let mut step = 1;
+        while pos < msg.len() {
+            let end = (pos + step).min(msg.len());
+            h.update(&msg[pos..end]);
+            pos = end;
+            step = step % 977 + 1;
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn chunking_is_invariant() {
+        let msg: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let whole = sha256(&msg);
+        for chunk in [1usize, 3, 63, 64, 65, 100] {
+            let mut h = Sha256::new();
+            for c in msg.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn midstate_snapshot_round_trips() {
+        let msg: Vec<u8> = (0..300u16).map(|i| (i % 251) as u8).collect();
+        for cut in [0usize, 1, 55, 64, 65, 128, 299] {
+            let mut h = Sha256::new();
+            h.update(&msg[..cut]);
+            let mut snap = Vec::new();
+            h.snapshot(&mut snap);
+            let mut slice = snap.as_slice();
+            let mut restored = Sha256::restore(&mut slice).expect("valid snapshot");
+            assert!(slice.is_empty(), "snapshot fully consumed");
+            restored.update(&msg[cut..]);
+            h.update(&msg[cut..]);
+            assert_eq!(restored.finalize(), h.finalize(), "cut at {cut}");
+            assert_eq!(restored.finalize(), sha256(&msg));
+        }
+    }
+
+    #[test]
+    fn truncated_snapshot_is_refused() {
+        let mut h = Sha256::new();
+        h.update(b"some bytes");
+        let mut snap = Vec::new();
+        h.snapshot(&mut snap);
+        for cut in 0..snap.len() {
+            let mut slice = &snap[..cut];
+            assert!(Sha256::restore(&mut slice).is_none(), "cut at {cut} must be refused");
+        }
+        // An absurd buffered-length byte must also be refused.
+        let mut bad = snap.clone();
+        bad[40] = 64;
+        let mut slice = bad.as_slice();
+        assert!(Sha256::restore(&mut slice).is_none());
+    }
+
+    #[test]
+    fn finalize_does_not_consume() {
+        let mut h = Sha256::new();
+        h.update(b"abc");
+        let first = h.finalize();
+        assert_eq!(first, h.finalize(), "finalize must be repeatable");
+        h.update(b"def");
+        assert_eq!(h.finalize(), sha256(b"abcdef"));
+    }
+}

@@ -16,12 +16,15 @@
 //!   Immutable | ts>`, sp-batch combination and the compact wire encoding;
 //! * [`element`] — the punctuated stream element type;
 //! * [`wire`] — the compact network framing that ships punctuations in the
-//!   same message as the data (§I-B).
+//!   same message as the data (§I-B);
+//! * [`crypto`] — reproduction-grade ChaCha20-Poly1305 / SHA-256 and the
+//!   ciphertext framing for enforcement on an untrusted server.
 //!
 //! Everything here is engine-agnostic; the operators live in `sp-engine`.
 
 #![warn(missing_docs)]
 
+pub mod crypto;
 pub mod element;
 pub mod ids;
 pub mod policy;
@@ -33,6 +36,7 @@ pub mod tuple;
 pub mod value;
 pub mod wire;
 
+pub use crypto::{CipherFrame, KeyCapsule};
 pub use element::StreamElement;
 pub use ids::{QueryId, RoleId, StreamId, SubjectId, Timestamp, TupleId};
 pub use policy::{Policy, SharedPolicy, Sign};

@@ -694,10 +694,13 @@ pub enum WireFrame {
     Message(Message),
     /// A session control frame.
     Control(Control),
+    /// A ciphertext frame of the outsourced-enforcement mechanism
+    /// (see [`crate::crypto::frame`]).
+    Cipher(crate::crypto::CipherFrame),
 }
 
-/// Incremental decoder for a socket byte stream of [`Message`] and
-/// [`Control`] frames.
+/// Incremental decoder for a socket byte stream of [`Message`],
+/// [`Control`], and [`crate::crypto::CipherFrame`] frames.
 ///
 /// Unlike [`FrameDecoder`] (which decodes a complete recorded buffer and
 /// treats a trailing truncated frame as corrupt), `StreamDecoder` is
@@ -745,7 +748,11 @@ impl StreamDecoder {
         let mut out = Vec::new();
         let mut pos = 0;
         loop {
-            while pos < self.buf.len() && self.buf[pos] != MAGIC && self.buf[pos] != MAGIC_CTRL {
+            while pos < self.buf.len()
+                && self.buf[pos] != MAGIC
+                && self.buf[pos] != MAGIC_CTRL
+                && self.buf[pos] != crate::crypto::frame::MAGIC_CIPHER
+            {
                 pos += 1;
                 self.skipped_bytes += 1;
             }
@@ -782,8 +789,10 @@ impl StreamDecoder {
             }
             let decoded = if self.buf[pos] == MAGIC {
                 Message::decode_body(body).map(WireFrame::Message)
-            } else {
+            } else if self.buf[pos] == MAGIC_CTRL {
                 Control::decode_body(body).map(WireFrame::Control)
+            } else {
+                crate::crypto::CipherFrame::decode_body(body).map(WireFrame::Cipher)
             };
             match decoded {
                 Ok(frame) => {
@@ -1111,7 +1120,7 @@ mod tests {
             .iter()
             .filter_map(|f| match f {
                 WireFrame::Message(m) => Some(m.stream.raw()),
-                WireFrame::Control(_) => None,
+                WireFrame::Control(_) | WireFrame::Cipher(_) => None,
             })
             .collect();
         assert_eq!(ids, vec![1, 3], "only the damaged frame is lost");

@@ -1,0 +1,128 @@
+//! AEAD hardening properties for the vendored ChaCha20-Poly1305
+//! construction: `open ∘ seal` is the identity, and **any** single-bit
+//! flip — in the ciphertext, the tag, the nonce, the AAD, or the key —
+//! makes authentication fail. Truncation at every length fails too.
+//!
+//! These are the properties the crypto-enforced mechanism's fail-closed
+//! guarantees rest on; the known-answer vectors live in the unit tests
+//! of `sp_core::crypto`.
+
+#![allow(clippy::expect_used)]
+
+use proptest::prelude::*;
+use sp_core::crypto::{open, seal, KEY_LEN, NONCE_LEN, TAG_LEN};
+
+fn arb_key() -> impl Strategy<Value = [u8; KEY_LEN]> {
+    prop::collection::vec(any::<u8>(), KEY_LEN..KEY_LEN + 1).prop_map(|v| {
+        let mut k = [0u8; KEY_LEN];
+        k.copy_from_slice(&v);
+        k
+    })
+}
+
+fn arb_nonce() -> impl Strategy<Value = [u8; NONCE_LEN]> {
+    prop::collection::vec(any::<u8>(), NONCE_LEN..NONCE_LEN + 1).prop_map(|v| {
+        let mut n = [0u8; NONCE_LEN];
+        n.copy_from_slice(&v);
+        n
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round trip: whatever was sealed opens back, byte-exact.
+    #[test]
+    fn open_inverts_seal(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        aad in prop::collection::vec(any::<u8>(), 0..48),
+        plaintext in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let sealed = seal(&key, &nonce, &aad, &plaintext);
+        prop_assert_eq!(sealed.len(), plaintext.len() + TAG_LEN);
+        let opened = open(&key, &nonce, &aad, &sealed).expect("clean ciphertext opens");
+        prop_assert_eq!(opened, plaintext);
+    }
+
+    /// Any single-bit flip anywhere in the sealed blob (ciphertext or
+    /// tag) fails authentication — no partial plaintext ever escapes.
+    #[test]
+    fn any_sealed_bit_flip_fails_auth(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        aad in prop::collection::vec(any::<u8>(), 0..32),
+        plaintext in prop::collection::vec(any::<u8>(), 0..128),
+        pos_ratio in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut sealed = seal(&key, &nonce, &aad, &plaintext);
+        let pos = ((sealed.len() as f64 - 1.0) * pos_ratio) as usize;
+        sealed[pos] ^= 1 << bit;
+        prop_assert!(open(&key, &nonce, &aad, &sealed).is_none());
+    }
+
+    /// A flipped nonce bit fails authentication.
+    #[test]
+    fn any_nonce_bit_flip_fails_auth(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        aad in prop::collection::vec(any::<u8>(), 0..32),
+        plaintext in prop::collection::vec(any::<u8>(), 0..128),
+        pos in 0usize..NONCE_LEN,
+        bit in 0u8..8,
+    ) {
+        let sealed = seal(&key, &nonce, &aad, &plaintext);
+        let mut bad = nonce;
+        bad[pos] ^= 1 << bit;
+        prop_assert!(open(&key, &bad, &aad, &sealed).is_none());
+    }
+
+    /// A flipped AAD bit fails authentication (position binding).
+    #[test]
+    fn any_aad_bit_flip_fails_auth(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        aad in prop::collection::vec(any::<u8>(), 1..32),
+        plaintext in prop::collection::vec(any::<u8>(), 0..128),
+        pos_ratio in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let sealed = seal(&key, &nonce, &aad, &plaintext);
+        let mut bad = aad.clone();
+        let pos = ((bad.len() as f64 - 1.0) * pos_ratio) as usize;
+        bad[pos] ^= 1 << bit;
+        prop_assert!(open(&key, &nonce, &bad, &sealed).is_none());
+    }
+
+    /// A flipped key bit fails authentication (wrong role, no tuple).
+    #[test]
+    fn any_key_bit_flip_fails_auth(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        aad in prop::collection::vec(any::<u8>(), 0..32),
+        plaintext in prop::collection::vec(any::<u8>(), 0..128),
+        pos in 0usize..KEY_LEN,
+        bit in 0u8..8,
+    ) {
+        let sealed = seal(&key, &nonce, &aad, &plaintext);
+        let mut bad = key;
+        bad[pos] ^= 1 << bit;
+        prop_assert!(open(&bad, &nonce, &aad, &sealed).is_none());
+    }
+
+    /// Truncating the sealed blob at any length fails closed — including
+    /// below the tag length, which must not panic.
+    #[test]
+    fn truncation_fails_auth_at_every_length(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        aad in prop::collection::vec(any::<u8>(), 0..32),
+        plaintext in prop::collection::vec(any::<u8>(), 1..64),
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        let sealed = seal(&key, &nonce, &aad, &plaintext);
+        let cut = ((sealed.len() as f64 - 1.0) * cut_ratio) as usize;
+        prop_assert!(open(&key, &nonce, &aad, &sealed[..cut]).is_none());
+    }
+}

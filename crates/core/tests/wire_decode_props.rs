@@ -359,3 +359,134 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------------------------------------
+// Cipher frames (MAGIC_CIPHER) under the same adversarial delivery: the
+// crypto-enforced path's framing must reassemble under arbitrary
+// chunking, refuse unknown tags as counted corruption, and never panic
+// or fabricate — the decoder is the first fail-closed line of the
+// outsourced-enforcement client.
+
+use sp_core::crypto::{frame::MAGIC_CIPHER, CipherFrame, KeyCapsule};
+
+fn arb_cipher_frame() -> impl Strategy<Value = CipherFrame> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec((any::<u32>(), prop::collection::vec(any::<u8>(), 0..64)), 0..4),
+        )
+            .prop_map(|(stream, seg, key_epoch, sp_ts, caps)| CipherFrame::Header {
+                stream,
+                seg,
+                key_epoch,
+                sp_ts,
+                capsules: caps
+                    .into_iter()
+                    .map(|(role, wrapped)| KeyCapsule { role, wrapped })
+                    .collect(),
+            }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..128))
+            .prop_map(|(stream, seg, idx, sealed)| CipherFrame::Data { stream, seg, idx, sealed }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(stream, seg, count, sealed_digest)| CipherFrame::Digest {
+                stream,
+                seg,
+                count,
+                sealed_digest,
+            }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(stream, seg)| CipherFrame::Terminator { stream, seg }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(stream, epoch)| CipherFrame::KeyEpoch { stream, epoch }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Cipher frames interleaved with data and control frames reassemble
+    /// exactly under arbitrary 1..N-byte chunking.
+    #[test]
+    fn cipher_frames_round_trip_chunked(
+        cipher in prop::collection::vec(arb_cipher_frame(), 1..8),
+        frames in arb_frames(),
+        ctrls in prop::collection::vec(arb_control(), 0..3),
+        sizes in prop::collection::vec(1usize..24, 1..8),
+    ) {
+        let mut bytes = Vec::new();
+        let mut want = Vec::new();
+        for (i, c) in cipher.iter().enumerate() {
+            c.encode(&mut bytes);
+            want.push(WireFrame::Cipher(c.clone()));
+            if let Some(m) = frames.get(i) {
+                m.encode(&mut bytes);
+                want.push(WireFrame::Message(m.clone()));
+            }
+            if let Some(ct) = ctrls.get(i) {
+                ct.encode(&mut bytes);
+                want.push(WireFrame::Control(ct.clone()));
+            }
+        }
+        let mut dec = StreamDecoder::new(1 << 20);
+        let got = feed_in_chunks(&mut dec, &bytes, &sizes);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(dec.corrupted_frames, 0);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// A cipher envelope with an *unassigned* frame tag but a valid CRC:
+    /// counted corruption, never a panic, never an emitted frame — and
+    /// the decoder keeps working afterwards.
+    #[test]
+    fn unknown_cipher_tag_is_counted_corruption(
+        tag in 5u8..=255,
+        payload in prop::collection::vec(any::<u8>(), 0..48),
+        good in arb_cipher_frame(),
+        sizes in prop::collection::vec(1usize..16, 1..8),
+    ) {
+        let mut body = vec![tag];
+        body.extend_from_slice(&payload);
+        let mut bytes = Vec::new();
+        bytes.push(MAGIC_CIPHER);
+        bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&sp_core::wire::crc32(&body).to_be_bytes());
+        bytes.extend_from_slice(&body);
+        good.encode(&mut bytes);
+        let mut dec = StreamDecoder::new(1 << 20);
+        let got = feed_in_chunks(&mut dec, &bytes, &sizes);
+        prop_assert!(dec.corrupted_frames >= 1, "unknown tag must count as corruption");
+        for frame in &got {
+            prop_assert_eq!(frame, &WireFrame::Cipher(good.clone()), "fabricated a frame");
+        }
+    }
+
+    /// Any single-bit flip in a chunked cipher stream: no panic, and no
+    /// frame is emitted that was not sent.
+    #[test]
+    fn cipher_bit_flip_never_fabricates_chunked(
+        cipher in prop::collection::vec(arb_cipher_frame(), 1..6),
+        pos_ratio in 0.0f64..1.0,
+        bit in 0u8..8,
+        sizes in prop::collection::vec(1usize..24, 1..8),
+    ) {
+        let mut bytes = Vec::new();
+        for c in &cipher {
+            c.encode(&mut bytes);
+        }
+        let pos = ((bytes.len() as f64 - 1.0) * pos_ratio) as usize;
+        bytes[pos] ^= 1 << bit;
+        // Magic-free padding flushes any fake in-flight frame the flip
+        // manufactured (same trick as the mid-stream corruption test).
+        bytes.extend(std::iter::repeat_n(0u8, (1 << 16) + 16));
+        let mut dec = StreamDecoder::new(1 << 16);
+        let got = feed_in_chunks(&mut dec, &bytes, &sizes);
+        let want: Vec<WireFrame> = cipher.iter().cloned().map(WireFrame::Cipher).collect();
+        prop_assert!(got.len() <= want.len());
+        for g in &got {
+            prop_assert!(want.contains(g), "decoder fabricated a cipher frame");
+        }
+    }
+}

@@ -722,6 +722,251 @@ impl LinkFaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Ciphertext faults (malicious-server simulation)
+// ---------------------------------------------------------------------------
+
+/// A seeded description of *ciphertext* faults: what a malicious or
+/// broken server can do to the encoded
+/// [`sp_core::crypto::CipherFrame`] sequence it is supposed to forward
+/// verbatim. Where [`SocketFaultPlan`] models a hostile network,
+/// `CipherFaultPlan` models a hostile **forwarder**: it can decode the
+/// framing (it is not secret), mutate fields, and re-encode with a
+/// fresh CRC — the envelope checksum is transport hygiene, not a
+/// security boundary. The AEAD tags inside the bodies are what the
+/// client's fail-closed state machine must lean on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CipherFaultPlan {
+    /// Seed for all mutation decisions.
+    pub seed: u64,
+    /// Probability a DATA frame gets one ciphertext byte flipped
+    /// (CRC recomputed, so only the AEAD tag can catch it).
+    pub flip_ct: f64,
+    /// Probability a DATA frame's sealed payload is truncated.
+    pub truncate: f64,
+    /// Probability any frame is silently dropped.
+    pub drop_frame: f64,
+    /// Probability a DIGEST frame specifically is dropped (forcing the
+    /// client to decide the segment without its digest).
+    pub drop_digest: f64,
+    /// Probability a completed segment is replayed — its entire frame
+    /// run re-delivered after its terminator.
+    pub replay_segment: f64,
+    /// Probability the `idx` fields of two adjacent DATA frames are
+    /// swapped (a nonce-confusion / reordering attack).
+    pub swap_nonce: f64,
+    /// Probability a HEADER's key epoch is perturbed (stale or
+    /// fabricated key-epoch claim).
+    pub stale_epoch: f64,
+}
+
+impl CipherFaultPlan {
+    /// A plan that forwards every frame verbatim.
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            flip_ct: 0.0,
+            truncate: 0.0,
+            drop_frame: 0.0,
+            drop_digest: 0.0,
+            replay_segment: 0.0,
+            swap_nonce: 0.0,
+            stale_epoch: 0.0,
+        }
+    }
+
+    /// Derives a randomized-but-deterministic hostile forwarder from a
+    /// seed: every attack enabled at a seed-dependent rate. Two calls
+    /// with the same seed produce the same plan.
+    #[must_use]
+    pub fn scenario(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xC1F4_E12F_AD57_0CE5);
+        Self {
+            seed,
+            flip_ct: rng.next_f64() * 0.15,
+            truncate: rng.next_f64() * 0.10,
+            drop_frame: rng.next_f64() * 0.08,
+            drop_digest: rng.next_f64() * 0.25,
+            replay_segment: rng.next_f64() * 0.20,
+            swap_nonce: rng.next_f64() * 0.10,
+            stale_epoch: rng.next_f64() * 0.15,
+        }
+    }
+}
+
+/// Counters of the ciphertext faults an injector actually applied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CipherFaultStats {
+    /// Frames offered to the hostile forwarder.
+    pub offered: u64,
+    /// DATA frames with a flipped ciphertext byte.
+    pub flipped: u64,
+    /// DATA frames with a truncated sealed payload.
+    pub truncated: u64,
+    /// Frames dropped entirely.
+    pub dropped_frames: u64,
+    /// DIGEST frames dropped.
+    pub dropped_digests: u64,
+    /// Segments replayed whole after their terminator.
+    pub replayed_segments: u64,
+    /// Adjacent DATA index (nonce) swaps.
+    pub swapped_nonces: u64,
+    /// HEADER key epochs perturbed.
+    pub stale_epochs: u64,
+}
+
+impl CipherFaultStats {
+    /// Total number of injected faults.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.flipped
+            + self.truncated
+            + self.dropped_frames
+            + self.dropped_digests
+            + self.replayed_segments
+            + self.swapped_nonces
+            + self.stale_epochs
+    }
+
+    /// Accumulates another stats block into this one.
+    pub fn absorb(&mut self, other: &CipherFaultStats) {
+        self.offered += other.offered;
+        self.flipped += other.flipped;
+        self.truncated += other.truncated;
+        self.dropped_frames += other.dropped_frames;
+        self.dropped_digests += other.dropped_digests;
+        self.replayed_segments += other.replayed_segments;
+        self.swapped_nonces += other.swapped_nonces;
+        self.stale_epochs += other.stale_epochs;
+    }
+}
+
+/// Applies a [`CipherFaultPlan`] to a sequence of encoded cipher
+/// frames, deterministically per seed. Mutations go through
+/// decode → perturb → re-encode, so every delivered frame carries a
+/// *valid envelope checksum* — exactly what a malicious forwarder
+/// produces. Frames that fail to decode (not cipher frames at all) are
+/// forwarded untouched.
+#[derive(Debug)]
+pub struct CipherFaultInjector {
+    plan: CipherFaultPlan,
+    rng: SplitMix64,
+    stats: CipherFaultStats,
+}
+
+impl CipherFaultInjector {
+    /// An injector for the given plan.
+    #[must_use]
+    pub fn new(plan: CipherFaultPlan) -> Self {
+        Self {
+            rng: SplitMix64::new(plan.seed ^ 0x5EA1_ED0F_F3A2),
+            plan,
+            stats: CipherFaultStats::default(),
+        }
+    }
+
+    /// What this injector has done so far.
+    #[must_use]
+    pub fn stats(&self) -> &CipherFaultStats {
+        &self.stats
+    }
+
+    /// Produces the hostile forwarder's delivery of `frames`.
+    #[must_use]
+    pub fn apply(&mut self, frames: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        use sp_core::crypto::CipherFrame;
+
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(frames.len());
+        // Frames of the segment currently in flight, for replay.
+        let mut segment_run: Vec<Vec<u8>> = Vec::new();
+        for bytes in frames {
+            self.stats.offered += 1;
+            let Ok(frame) = CipherFrame::decode_frame(bytes) else {
+                out.push(bytes.clone());
+                continue;
+            };
+            if self.rng.chance(self.plan.drop_frame) {
+                self.stats.dropped_frames += 1;
+                continue;
+            }
+            let mutated = match frame {
+                CipherFrame::Data { stream, seg, idx, mut sealed } => {
+                    if self.rng.chance(self.plan.flip_ct) && !sealed.is_empty() {
+                        let at = self.rng.up_to(sealed.len()) - 1;
+                        sealed[at] ^= (self.rng.next_u64() as u8) | 1;
+                        self.stats.flipped += 1;
+                    }
+                    if self.rng.chance(self.plan.truncate) && !sealed.is_empty() {
+                        let keep = self.rng.up_to(sealed.len()) - 1;
+                        sealed.truncate(keep);
+                        self.stats.truncated += 1;
+                    }
+                    CipherFrame::Data { stream, seg, idx, sealed }
+                }
+                CipherFrame::Digest { .. } if self.rng.chance(self.plan.drop_digest) => {
+                    self.stats.dropped_digests += 1;
+                    continue;
+                }
+                CipherFrame::Header { stream, seg, key_epoch, sp_ts, capsules }
+                    if self.rng.chance(self.plan.stale_epoch) =>
+                {
+                    // Claim an older (or, when at zero, a fabricated
+                    // newer) epoch than the capsules were sealed under.
+                    let bogus = if key_epoch > 0 { key_epoch - 1 } else { key_epoch + 1 };
+                    self.stats.stale_epochs += 1;
+                    CipherFrame::Header { stream, seg, key_epoch: bogus, sp_ts, capsules }
+                }
+                other => other,
+            };
+            let is_terminator = matches!(mutated, CipherFrame::Terminator { .. });
+            let delivered = mutated.encode_to_vec();
+            segment_run.push(delivered.clone());
+            out.push(delivered);
+            if is_terminator {
+                if self.rng.chance(self.plan.replay_segment) {
+                    self.stats.replayed_segments += 1;
+                    out.extend(segment_run.iter().cloned());
+                }
+                segment_run.clear();
+            }
+        }
+        self.swap_adjacent_nonces(&mut out);
+        out
+    }
+
+    /// Swaps the `idx` fields of adjacent DATA-frame pairs with
+    /// probability `swap_nonce` per pair — the frames still carry valid
+    /// envelopes, but each now claims the other's nonce position.
+    fn swap_adjacent_nonces(&mut self, out: &mut [Vec<u8>]) {
+        use sp_core::crypto::CipherFrame;
+
+        if self.plan.swap_nonce <= 0.0 {
+            return;
+        }
+        let mut i = 0;
+        while i + 1 < out.len() {
+            let pair = (CipherFrame::decode_frame(&out[i]), CipherFrame::decode_frame(&out[i + 1]));
+            if let (
+                Ok(CipherFrame::Data { stream: s1, seg: g1, idx: i1, sealed: b1 }),
+                Ok(CipherFrame::Data { stream: s2, seg: g2, idx: i2, sealed: b2 }),
+            ) = pair
+            {
+                if self.rng.chance(self.plan.swap_nonce) {
+                    out[i] = CipherFrame::Data { stream: s1, seg: g1, idx: i2, sealed: b1 }
+                        .encode_to_vec();
+                    out[i + 1] = CipherFrame::Data { stream: s2, seg: g2, idx: i1, sealed: b2 }
+                        .encode_to_vec();
+                    self.stats.swapped_nonces += 1;
+                    i += 2;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
 /// Outcome of a [`run_chaos`] campaign.
 #[derive(Debug, Default)]
 pub struct ChaosReport {
@@ -1187,6 +1432,107 @@ mod tests {
         // Nothing is fabricated: every delivery is a frame we offered.
         for f in &out {
             assert!(frames.contains(f));
+        }
+    }
+
+    // -- ciphertext faults --------------------------------------------
+
+    fn cipher_frames(segments: u64, per_seg: u32) -> Vec<Vec<u8>> {
+        use sp_core::crypto::{CipherFrame, KeyCapsule};
+        let mut frames = Vec::new();
+        for seg in 0..segments {
+            frames.push(
+                CipherFrame::Header {
+                    stream: 1,
+                    seg,
+                    key_epoch: 2,
+                    sp_ts: seg * 100,
+                    capsules: vec![KeyCapsule { role: 0, wrapped: vec![seg as u8; 48] }],
+                }
+                .encode_to_vec(),
+            );
+            for idx in 0..per_seg {
+                frames.push(
+                    CipherFrame::Data { stream: 1, seg, idx, sealed: vec![idx as u8 ^ 0x5A; 32] }
+                        .encode_to_vec(),
+                );
+            }
+            frames.push(
+                CipherFrame::Digest {
+                    stream: 1,
+                    seg,
+                    count: per_seg,
+                    sealed_digest: vec![0xD1; 48],
+                }
+                .encode_to_vec(),
+            );
+            frames.push(CipherFrame::Terminator { stream: 1, seg }.encode_to_vec());
+        }
+        frames
+    }
+
+    #[test]
+    fn cipher_none_plan_is_identity() {
+        let frames = cipher_frames(4, 3);
+        let mut inj = CipherFaultInjector::new(CipherFaultPlan::none(7));
+        let out = inj.apply(&frames);
+        assert_eq!(out, frames);
+        assert_eq!(inj.stats().total(), 0);
+        assert_eq!(inj.stats().offered, frames.len() as u64);
+    }
+
+    #[test]
+    fn cipher_scenario_is_deterministic_and_injects() {
+        let frames = cipher_frames(16, 4);
+        let plan = CipherFaultPlan::scenario(42);
+        assert_eq!(plan, CipherFaultPlan::scenario(42));
+        let mut a = CipherFaultInjector::new(plan);
+        let mut b = CipherFaultInjector::new(plan);
+        assert_eq!(a.apply(&frames), b.apply(&frames));
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0, "scenario plans attack something");
+        let mut c = CipherFaultInjector::new(CipherFaultPlan::scenario(43));
+        assert_ne!(a.apply(&frames), c.apply(&frames));
+    }
+
+    #[test]
+    fn cipher_mutations_keep_valid_envelopes() {
+        use sp_core::crypto::CipherFrame;
+        // A malicious forwarder recomputes the CRC: every delivered
+        // frame must still decode at the envelope level.
+        let frames = cipher_frames(12, 4);
+        let plan = CipherFaultPlan {
+            seed: 5,
+            flip_ct: 0.5,
+            truncate: 0.3,
+            drop_frame: 0.0,
+            drop_digest: 0.0,
+            replay_segment: 0.5,
+            swap_nonce: 0.5,
+            stale_epoch: 0.5,
+        };
+        let mut inj = CipherFaultInjector::new(plan);
+        let out = inj.apply(&frames);
+        for f in &out {
+            CipherFrame::decode_frame(f).expect("mutated frame still framed correctly");
+        }
+        assert!(inj.stats().flipped > 0);
+        assert!(inj.stats().replayed_segments > 0);
+        assert!(inj.stats().swapped_nonces > 0);
+        assert!(inj.stats().stale_epochs > 0);
+    }
+
+    #[test]
+    fn cipher_digest_drops_target_digests_only() {
+        use sp_core::crypto::CipherFrame;
+        let frames = cipher_frames(10, 3);
+        let plan = CipherFaultPlan { drop_digest: 1.0, ..CipherFaultPlan::none(3) };
+        let mut inj = CipherFaultInjector::new(plan);
+        let out = inj.apply(&frames);
+        assert_eq!(inj.stats().dropped_digests, 10);
+        assert_eq!(out.len(), frames.len() - 10);
+        for f in &out {
+            assert!(!matches!(CipherFrame::decode_frame(f), Ok(CipherFrame::Digest { .. })));
         }
     }
 

@@ -77,8 +77,9 @@ pub use element::{Element, PolicyEntry, SegmentPolicy};
 pub use error::EngineError;
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use fault::{
-    ChaosReport, FaultInjector, FaultPlan, FaultStats, LinkFaultInjector, LinkFaultPlan,
-    LinkFaultStats, SocketEvent, SocketFaultInjector, SocketFaultPlan, SocketFaultStats,
+    ChaosReport, CipherFaultInjector, CipherFaultPlan, CipherFaultStats, FaultInjector, FaultPlan,
+    FaultStats, LinkFaultInjector, LinkFaultPlan, LinkFaultStats, SocketEvent, SocketFaultInjector,
+    SocketFaultPlan, SocketFaultStats,
 };
 pub use operator::{run_unary, Emitter, Operator};
 pub use ops::{
@@ -100,7 +101,7 @@ pub use supervisor::{
     run_supervised, RecoveryReport, SupervisedRun, SupervisorConfig, DEFAULT_EPOCH_INTERVAL,
 };
 pub use telemetry::{
-    AuditEvent, AuditOp, AuditRecord, AuditTrail, FlightRecorder, Histogram, MetricsRegistry,
-    QuarantineReason, TelemetryConfig,
+    AuditEvent, AuditOp, AuditRecord, AuditTrail, CipherViolation, FlightRecorder, Histogram,
+    MetricsRegistry, QuarantineReason, TelemetryConfig,
 };
 pub use window::WindowSpec;

@@ -85,6 +85,74 @@ impl QuarantineReason {
     }
 }
 
+/// Why the crypto-enforced client suppressed ciphertext instead of
+/// releasing it (carried in [`AuditEvent::CipherSuppressed`]).
+///
+/// Every variant is fail-closed: the offending frame — and, where the
+/// violation poisons the whole segment, every frame of that segment — is
+/// suppressed and counted, never released, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CipherViolation {
+    /// The AEAD tag did not verify (corrupted or forged ciphertext).
+    AuthFailed,
+    /// The frame was shorter than a tag, or otherwise cut mid-body.
+    Truncated,
+    /// The segment sequence number was not strictly greater than the
+    /// last committed segment (a replayed segment).
+    Replayed,
+    /// A DATA frame's index broke the strictly-increasing order the
+    /// nonce schedule requires (a reused or swapped nonce).
+    NonceReused,
+    /// The header's key epoch was not the client's current epoch
+    /// (revoked or rolled-back key material).
+    StaleKeyEpoch,
+    /// The segment digest verified the AEAD but did not match the
+    /// received DATA ciphertext (dropped/substituted frames).
+    DigestMismatch,
+    /// The terminator arrived without any digest frame.
+    DigestMissing,
+    /// A segment was abandoned before its terminator (interleaved or
+    /// torn segment).
+    Incomplete,
+    /// The frame's fields made no sense for the current state (wrong
+    /// stream, data before header, …).
+    Malformed,
+}
+
+impl CipherViolation {
+    /// Stable numeric code used in the deterministic encoding.
+    #[must_use]
+    pub const fn code(self) -> u8 {
+        match self {
+            Self::AuthFailed => 0,
+            Self::Truncated => 1,
+            Self::Replayed => 2,
+            Self::NonceReused => 3,
+            Self::StaleKeyEpoch => 4,
+            Self::DigestMismatch => 5,
+            Self::DigestMissing => 6,
+            Self::Incomplete => 7,
+            Self::Malformed => 8,
+        }
+    }
+
+    /// Short human-readable name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::AuthFailed => "authentication failed",
+            Self::Truncated => "truncated frame",
+            Self::Replayed => "replayed segment",
+            Self::NonceReused => "nonce reuse",
+            Self::StaleKeyEpoch => "stale key epoch",
+            Self::DigestMismatch => "segment digest mismatch",
+            Self::DigestMissing => "segment digest missing",
+            Self::Incomplete => "incomplete segment",
+            Self::Malformed => "malformed frame",
+        }
+    }
+}
+
 /// One security-relevant event, the payload of an [`AuditRecord`].
 ///
 /// Every variant is `Copy` and carries only stream-time / identifier
@@ -147,6 +215,19 @@ pub enum AuditEvent {
         /// Number of input elements refused (never processed).
         refused: u64,
     },
+    /// A tentatively released tuple was retracted because its segment
+    /// failed verification before the terminator committed it.
+    TentativeRolledBack {
+        /// Segment whose verification failed.
+        seg: u64,
+    },
+    /// The crypto-enforced client suppressed ciphertext (record `ts` is
+    /// the stream time of the decision; `tid` is the tuple when known,
+    /// [`NO_TUPLE`] for whole-frame/segment violations).
+    CipherSuppressed {
+        /// Why the ciphertext could not be released.
+        reason: CipherViolation,
+    },
 }
 
 impl AuditEvent {
@@ -164,6 +245,8 @@ impl AuditEvent {
             Self::LadderTransition { .. } => "ladder_transition",
             Self::Restored { .. } => "restored",
             Self::RecoveryFailClosed { .. } => "recovery_fail_closed",
+            Self::TentativeRolledBack { .. } => "tentative_rolled_back",
+            Self::CipherSuppressed { .. } => "cipher_suppressed",
         }
     }
 
@@ -204,6 +287,14 @@ impl AuditEvent {
             Self::RecoveryFailClosed { refused } => {
                 buf.push(9);
                 buf.extend_from_slice(&refused.to_be_bytes());
+            }
+            Self::TentativeRolledBack { seg } => {
+                buf.push(10);
+                buf.extend_from_slice(&seg.to_be_bytes());
+            }
+            Self::CipherSuppressed { reason } => {
+                buf.push(11);
+                buf.push(reason.code());
             }
         }
     }
@@ -484,6 +575,12 @@ impl AuditTrail {
                 }
                 AuditEvent::RecoveryFailClosed { refused } => {
                     format!("recovery exhausted: failed closed, {refused} elements refused")
+                }
+                AuditEvent::TentativeRolledBack { seg } => {
+                    format!("tentative release rolled back (segment {seg} failed verification)")
+                }
+                AuditEvent::CipherSuppressed { reason } => {
+                    format!("ciphertext suppressed ({})", reason.name())
                 }
             };
             out.push_str(&format!("[{who}] {subject}{what} (ts {}ms)\n", rec.ts));

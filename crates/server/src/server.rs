@@ -475,6 +475,16 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
                     state.protocol_errors.fetch_add(1, Ordering::SeqCst);
                     break 'conn;
                 }
+                WireFrame::Cipher(_) => {
+                    // The plaintext front door holds no key material and
+                    // cannot enforce on ciphertext — accepting it would
+                    // mean forwarding tuples whose policy it cannot read.
+                    // Fail closed: refuse the connection. (The crypto
+                    // path has its own provider → relay → client plane;
+                    // see sp-baselines::crypto_enforced.)
+                    state.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                    break 'conn;
+                }
             }
         }
         if dec.corrupted_frames > cfg.garbage_quarantine {

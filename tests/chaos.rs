@@ -716,3 +716,173 @@ fn mid_burst_kill_recovers_with_identical_shed_decisions() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Ciphertext-corruption campaign: the crypto-enforced mechanism against a
+// *malicious* forwarder. The untrusted relay is replaced by a seeded
+// `CipherFaultInjector` that flips ciphertext bytes, truncates frames,
+// drops digests, replays whole segments, swaps nonces, and perturbs key
+// epochs. Under every schedule:
+//
+// 1. no panic, ever;
+// 2. released ⊆ the fault-free plaintext baseline (what the shield-based
+//    sp mechanism releases on the clean stream) — corruption may suppress
+//    output but must never forge or resurrect it;
+// 3. zero unauthenticated releases — nothing leaves the client without a
+//    verified AEAD tag and segment digest;
+// 4. every suppression is audited: CipherSuppressed records match the
+//    violation counters one-to-one (nothing is dropped silently);
+// 5. the whole story is deterministic: same seed ⇒ byte-identical audit
+//    trail and identical release sequence.
+// ---------------------------------------------------------------------------
+
+use sp_baselines::{CryptoClient, CryptoEnforced, CryptoProvider, KeyAuthority};
+use sp_engine::fault::{CipherFaultInjector, CipherFaultPlan};
+use sp_engine::telemetry::AuditEvent;
+
+const CRYPTO_MASTER: [u8; 32] = [0xA7; 32];
+const CRYPTO_IN_FLIGHT: usize = 512;
+
+/// Encodes the scoped workload into cipher frames with a fresh
+/// provider/authority, returning the frames and the authority the client
+/// must share.
+fn crypto_frames() -> (Vec<Vec<u8>>, Arc<KeyAuthority>) {
+    let authority = Arc::new(KeyAuthority::new(CRYPTO_MASTER));
+    let mut provider = CryptoProvider::new(catalog(), schema(), authority.clone());
+    let mut frames = Vec::new();
+    for e in scoped_workload() {
+        provider.push(e, &mut frames);
+    }
+    provider.finish(&mut frames);
+    (frames, authority)
+}
+
+/// Feeds `frames` into a fresh client holding role 0, returning the
+/// released tuple strings (ordered) and the client for inspection.
+fn crypto_deliver(
+    frames: &[Vec<u8>],
+    authority: &Arc<KeyAuthority>,
+) -> (Vec<String>, CryptoClient) {
+    let mut client = CryptoClient::new(authority.clone(), &RoleSet::from([0]), CRYPTO_IN_FLIGHT);
+    let mut out = Vec::new();
+    for f in frames {
+        client.feed(f, &mut out);
+    }
+    (out.iter().map(|t| t.to_string()).collect(), client)
+}
+
+/// The plaintext baseline: what the paper's own (trusted-server) sp
+/// mechanism releases on the clean stream. The crypto path may only ever
+/// release a subset of this, faults or not.
+fn plaintext_baseline() -> HashSet<String> {
+    let mut m = SpMechanism::new(catalog(), schema(), RoleSet::from([0]), CRYPTO_IN_FLIGHT);
+    run_mechanism(&mut m, scoped_workload()).iter().map(|t| t.to_string()).collect()
+}
+
+#[test]
+fn crypto_clean_run_matches_plaintext_baseline() {
+    let baseline = plaintext_baseline();
+    assert!(!baseline.is_empty(), "clean plaintext run must release something");
+    let (frames, authority) = crypto_frames();
+    let (released, client) = crypto_deliver(&frames, &authority);
+    let released_set: HashSet<String> = released.iter().cloned().collect();
+    assert_eq!(released_set, baseline, "clean ciphertext run must equal plaintext");
+    assert_eq!(client.released_unauthenticated(), 0);
+    assert_eq!(client.violations_total(), 0, "clean frames must not trip violations");
+    assert_eq!(client.cipher_buffer_bytes(), 0, "journal drained at end of stream");
+}
+
+#[test]
+fn ciphertext_corruption_campaign_fails_closed() {
+    let baseline = plaintext_baseline();
+    let (frames, authority) = crypto_frames();
+    let mut scenarios_with_injection = 0u32;
+    let mut scenarios_with_suppression = 0u32;
+    for s in 0..40u64 {
+        let plan = CipherFaultPlan::scenario(0xC1F4 ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut injector = CipherFaultInjector::new(plan);
+        let delivered = injector.apply(&frames);
+        if injector.stats().total() > 0 {
+            scenarios_with_injection += 1;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| crypto_deliver(&delivered, &authority)));
+        let (released, client) = match outcome {
+            Ok(r) => r,
+            Err(_) => panic!("scenario {s}: crypto client panicked"),
+        };
+        // (2) subset of the plaintext baseline.
+        let released_set: HashSet<String> = released.iter().cloned().collect();
+        let leaked: Vec<&String> = released_set.difference(&baseline).collect();
+        assert!(
+            leaked.is_empty(),
+            "scenario {s}: {} tuple(s) released that plaintext enforcement withheld, e.g. {:?}",
+            leaked.len(),
+            &leaked[..leaked.len().min(3)],
+        );
+        // No duplicates either: a replayed segment must not double-release.
+        assert_eq!(released.len(), released_set.len(), "scenario {s}: duplicate releases");
+        // (3) nothing unauthenticated.
+        assert_eq!(client.released_unauthenticated(), 0, "scenario {s}");
+        // (4) audit completeness: one CipherSuppressed record per counted
+        // violation, one TentativeRolledBack per rolled-back journal entry
+        // — and the journal is empty at end of stream.
+        let suppressed_records = client
+            .recorder()
+            .records()
+            .filter(|r| matches!(r.event, AuditEvent::CipherSuppressed { .. }))
+            .count() as u64;
+        assert_eq!(
+            suppressed_records,
+            client.violations_total(),
+            "scenario {s}: unaudited suppression"
+        );
+        assert_eq!(client.cipher_buffer_bytes(), 0, "scenario {s}: journal not drained");
+        if client.violations_total() > 0 {
+            scenarios_with_suppression += 1;
+        }
+        // (5) determinism: replay the same delivery; audit trail and
+        // release sequence must be byte-identical.
+        let (released2, client2) = crypto_deliver(&delivered, &authority);
+        assert_eq!(released, released2, "scenario {s}: nondeterministic releases");
+        assert_eq!(client.audit_bytes(), client2.audit_bytes(), "scenario {s}: audit diverged");
+    }
+    assert!(scenarios_with_injection >= 35, "campaign must actually inject faults");
+    assert!(scenarios_with_suppression >= 20, "faults must actually trip suppressions");
+}
+
+/// Negative control: a deliberately broken client that releases frames
+/// whose AEAD tag check failed. The campaign's own invariants must catch
+/// it — proving the assertions above have teeth.
+#[test]
+fn broken_tag_check_client_is_caught_by_the_campaign() {
+    let (frames, authority) = crypto_frames();
+    let mut caught = false;
+    for s in 0..10u64 {
+        let plan = CipherFaultPlan::scenario(0xBAD ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut injector = CipherFaultInjector::new(plan);
+        let delivered = injector.apply(&frames);
+        let mut client =
+            CryptoClient::new(authority.clone(), &RoleSet::from([0]), CRYPTO_IN_FLIGHT)
+                .with_broken_tag_check();
+        let mut out = Vec::new();
+        for f in &delivered {
+            client.feed(f, &mut out);
+        }
+        if client.released_unauthenticated() > 0 {
+            caught = true;
+            break;
+        }
+    }
+    assert!(caught, "the unauthenticated-release counter must flag the broken client");
+}
+
+/// The element-level chaos campaign (dropped/duplicated/reordered raw
+/// elements, upstream of encryption) holds for the fourth mechanism too.
+#[test]
+fn crypto_enforced_fails_closed_under_element_chaos() {
+    let catalog = catalog();
+    let schema = schema();
+    mechanism_chaos(&|| {
+        Box::new(CryptoEnforced::new(catalog.clone(), schema.clone(), RoleSet::from([0]), 512))
+    });
+}
