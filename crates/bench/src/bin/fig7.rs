@@ -28,6 +28,16 @@
 //! the overhead (target: under 5%) and writing the Prometheus exposition
 //! to `target/telemetry.prom` plus a machine-readable summary to
 //! `target/BENCH_telemetry.json`.
+//!
+//! `x` measures the sp-trace observability plane: the same shielded
+//! workload with span recording toggled off vs on at runtime, reporting
+//! the overhead (target: under 5%), the span counts per causal site, and
+//! the paper-grounded enforcement-lag histograms (sp arrival → shield
+//! enforcement, sp → first release, revocation → first suppression). It
+//! writes the Chrome trace-event export to `target/trace.json` and a
+//! machine-readable summary to `target/BENCH_trace.json`, and doubles as
+//! a release lint: the process exits nonzero when the overhead exceeds
+//! 5% or any enforcement-lag histogram is empty on this workload.
 
 use sp_bench::mechanisms::{all_mechanisms, catalog, drive, probe_roles, MechRun};
 use sp_bench::workloads::fig7_workload;
@@ -74,6 +84,7 @@ fn main() {
         "b" => batch_report(),
         "r" => degradation_report(),
         "t" => telemetry_report(),
+        "x" => trace_report(),
         _ => {
             ratio_sweep(true);
             ratio_sweep(false);
@@ -82,6 +93,7 @@ fn main() {
             batch_report();
             degradation_report();
             telemetry_report();
+            trace_report();
         }
     }
 }
@@ -290,6 +302,148 @@ fn telemetry_report() {
         row("audit_records", audit_records as f64),
         row("exposition_lines", prom.lines().count() as f64),
     ]);
+}
+
+/// Sp-trace overhead + enforcement lag: the same shielded workload with
+/// span recording flipped off vs on through the runtime toggle (the span
+/// ring stays armed in both runs, so the comparison isolates the
+/// per-record cost), then one kept run whose span sheet and
+/// enforcement-lag histograms are exported and linted.
+fn trace_report() {
+    use sp_engine::telemetry::span;
+
+    let catalog = catalog(128);
+    let workload = fig7_workload(10, 3, 0.5, 42);
+    let input: Vec<(StreamId, sp_core::StreamElement)> =
+        workload.elements.iter().map(|e| (workload.stream, e.clone())).collect();
+    let stream = workload.stream;
+    let schema = &workload.schema;
+    let builder = || {
+        let mut b = PlanBuilder::new(catalog.clone());
+        let src = b.source(stream, schema.clone());
+        b.harden_source(src, QuarantinePolicy { ttl_ms: 40, slack_ms: 100, capacity: 1_024 });
+        let ss = b.add(SecurityShield::new(RoleSet::from([0])), src);
+        let _sink = b.sink(ss);
+        b.enable_telemetry(TelemetryConfig::enabled());
+        b
+    };
+    let drive = || {
+        let mut exec = builder().build();
+        for (s, e) in &input {
+            let _ = exec.push(*s, e.clone());
+        }
+        let _ = exec.finish();
+    };
+
+    span::set_enabled(false);
+    let off = time_best_of_3(drive);
+    span::set_enabled(true);
+    let on = time_best_of_3(drive);
+    let overhead = (on.as_secs_f64() - off.as_secs_f64()) / off.as_secs_f64().max(1e-9) * 100.0;
+
+    // One more traced run kept alive so the span sheet and the lag
+    // histograms can be exported after the timing loop.
+    let mut exec = builder().build();
+    for (s, e) in &input {
+        let _ = exec.push(*s, e.clone());
+    }
+    let _ = exec.finish();
+    let sheet = exec.span_sheet();
+    let prom = exec.metrics_prometheus();
+
+    // Span count per causal site, from the merged sheet.
+    let mut per_site: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for (_, rec) in sheet.records() {
+        *per_site.entry(sp_core::trace::site::name(rec.site)).or_insert(0) += 1;
+    }
+    // `<family>_count{...} N` series sums from the exposition.
+    let hist_count = |family: &str| -> u64 {
+        let prefix = format!("{family}_count");
+        prom.lines()
+            .filter(|l| l.starts_with(&prefix))
+            .filter_map(|l| l.rsplit(' ').next())
+            .filter_map(|v| v.parse::<u64>().ok())
+            .sum()
+    };
+    let enforce = hist_count("sp_enforce_lag_ms");
+    let release = hist_count("sp_first_release_lag_ms");
+    let suppress = hist_count("sp_suppress_lag_ms");
+
+    println!("\nFig 7x: sp-trace overhead + enforcement lag");
+    println!("  spans off           {:>10.2} ms", off.as_secs_f64() * 1e3);
+    println!("  spans on            {:>10.2} ms", on.as_secs_f64() * 1e3);
+    println!("  overhead            {overhead:>9.1}% (target < 5%)");
+    println!("  spans recorded      {:>10} ({} evicted)", sheet.len(), sheet.evicted());
+    for (site, n) in &per_site {
+        println!("    {site:<16}  {n:>10}");
+    }
+    println!("  enforce-lag obs     {enforce:>10}");
+    println!("  first-release obs   {release:>10}");
+    println!("  suppress-lag obs    {suppress:>10}");
+
+    if std::fs::create_dir_all("target").is_ok() {
+        let _ = std::fs::write("target/trace.json", sheet.render_chrome_json());
+        println!("  wrote target/trace.json");
+        let json = format!(
+            concat!(
+                "{{\n  \"experiment\": \"fig7x_trace\",\n",
+                "  \"tuples\": {},\n  \"spans_off_ms\": {:.3},\n  \"spans_on_ms\": {:.3},\n",
+                "  \"overhead_pct\": {:.2},\n  \"spans\": {},\n  \"spans_evicted\": {},\n",
+                "  \"enforce_lag_observations\": {},\n",
+                "  \"first_release_lag_observations\": {},\n",
+                "  \"suppress_lag_observations\": {}\n}}\n"
+            ),
+            workload.tuples,
+            off.as_secs_f64() * 1e3,
+            on.as_secs_f64() * 1e3,
+            overhead,
+            sheet.len(),
+            sheet.evicted(),
+            enforce,
+            release,
+            suppress,
+        );
+        let _ = std::fs::write("target/BENCH_trace.json", json);
+        println!("  wrote target/BENCH_trace.json");
+    }
+
+    let row = |metric: &'static str, measured: f64| Row {
+        experiment: "fig7x",
+        param: "trace",
+        value: "on-vs-off".into(),
+        series: "sp".into(),
+        metric,
+        measured,
+    };
+    log_rows(&[
+        row("trace_overhead_pct", overhead),
+        row("spans", sheet.len() as f64),
+        row("enforce_lag_observations", enforce as f64),
+        row("first_release_lag_observations", release as f64),
+        row("suppress_lag_observations", suppress as f64),
+    ]);
+
+    // Release lints. The overhead gate tolerates sub-millisecond jitter:
+    // on a workload this small a scheduler blip can exceed 5% without
+    // meaning anything.
+    let delta_ms = (on.as_secs_f64() - off.as_secs_f64()) * 1e3;
+    if overhead > 5.0 && delta_ms > 1.0 {
+        eprintln!(
+            "LINT FAILURE: sp-trace overhead {overhead:.1}% exceeds the 5% budget \
+             ({delta_ms:.2} ms over a {:.2} ms baseline)",
+            off.as_secs_f64() * 1e3,
+        );
+        std::process::exit(1);
+    }
+    if enforce == 0 || release == 0 || suppress == 0 {
+        eprintln!(
+            "LINT FAILURE: an enforcement-lag histogram is empty on the fig7 workload \
+             (enforce={enforce} release={release} suppress={suppress}) — \
+             the lag plane lost an observation point"
+        );
+        std::process::exit(1);
+    }
+    println!("  trace lint          overhead + lag coverage (pass)");
 }
 
 /// Hostile-stream degradation: replays the Fig. 7 workload over the wire

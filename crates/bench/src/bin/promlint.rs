@@ -1,6 +1,7 @@
 //! Lints a Prometheus text exposition file and exits nonzero on any
 //! violation — CI's check that the engine's metrics endpoint speaks
-//! valid exposition format.
+//! valid exposition format and carries the precomputed p50/p90/p99
+//! quantile gauges next to every histogram family.
 //!
 //! Usage: `cargo run -p sp-bench --bin promlint -- [path]`
 //!
@@ -8,7 +9,7 @@
 
 use std::process::ExitCode;
 
-use sp_bench::prom::lint;
+use sp_bench::prom::{lint, lint_quantiles};
 
 fn main() -> ExitCode {
     let path = std::env::args().nth(1).unwrap_or_else(|| "target/telemetry.prom".into());
@@ -19,7 +20,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let errors = lint(&text);
+    let mut errors = lint(&text);
+    errors.extend(lint_quantiles(&text));
     if errors.is_empty() {
         let samples = text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count();
         println!("promlint: {path} OK ({samples} samples)");

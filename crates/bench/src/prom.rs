@@ -287,6 +287,98 @@ pub fn lint(text: &str) -> Vec<LintError> {
     errors
 }
 
+/// Lints the precomputed quantile gauges that must accompany every
+/// histogram family in the engine's exposition: for each histogram
+/// series (per label set), a `{family}_p50`, `{family}_p90` and
+/// `{family}_p99` gauge series with the same labels must exist, typed
+/// `gauge`, with p50 ≤ p90 ≤ p99.
+///
+/// Kept separate from [`lint`]: plain format validity does not require
+/// quantile gauges (third-party expositions lint clean without them);
+/// this check encodes the *engine's* contract, and the `promlint` binary
+/// runs both.
+#[must_use]
+pub fn lint_quantiles(text: &str) -> Vec<LintError> {
+    const SUFFIXES: [&str; 3] = ["_p50", "_p90", "_p99"];
+    let mut errors = Vec::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    // (family, labels-without-le) -> line of first histogram sample
+    let mut groups: BTreeMap<(String, String), usize> = BTreeMap::new();
+    // (family, suffix, labels) -> gauge value
+    let mut quantiles: HashMap<(String, &'static str, String), f64> = HashMap::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if let Some(rest) = comment.trim_start().strip_prefix("TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                let ty = it.next().unwrap_or("").trim();
+                types.insert(name.to_string(), ty.to_string());
+            }
+            continue;
+        }
+        let Ok((name, labels, value)) = parse_sample(line) else { continue };
+        let group_of = |labels: &BTreeMap<String, String>| {
+            labels
+                .iter()
+                .filter(|(k, _)| k.as_str() != "le")
+                .map(|(k, v)| format!("{k}={v:?}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        if let Some((base, _)) = histogram_family(&name) {
+            if types.get(base).is_some_and(|t| t == "histogram") {
+                groups.entry((base.to_string(), group_of(&labels))).or_insert(lineno);
+                continue;
+            }
+        }
+        for suffix in SUFFIXES {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if types.get(base).is_some_and(|t| t == "histogram") {
+                    if types.get(&name).is_none_or(|t| t != "gauge") {
+                        errors.push(LintError {
+                            line: lineno,
+                            message: format!("quantile series {name} is not typed gauge"),
+                        });
+                    }
+                    quantiles.insert((base.to_string(), suffix, group_of(&labels)), value);
+                }
+            }
+        }
+    }
+
+    for ((family, group), &line) in &groups {
+        let label = if group.is_empty() { family.clone() } else { format!("{family}{{{group}}}") };
+        let mut vals = Vec::new();
+        for suffix in SUFFIXES {
+            match quantiles.get(&(family.clone(), suffix, group.clone())) {
+                Some(&v) => vals.push(v),
+                None => errors.push(LintError {
+                    line,
+                    message: format!("histogram {label} has no {family}{suffix} gauge"),
+                }),
+            }
+        }
+        if vals.len() == SUFFIXES.len() && vals.windows(2).any(|w| w[1] < w[0]) {
+            errors.push(LintError {
+                line,
+                message: format!(
+                    "histogram {label} quantiles are not monotone (p50={} p90={} p99={})",
+                    vals[0], vals[1], vals[2]
+                ),
+            });
+        }
+    }
+
+    errors.sort_by_key(|e| e.line);
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -326,8 +418,57 @@ sp_operator_latency_ns_count{node=\"0\"} 9
         let mut exec = b.build();
         let sp = SecurityPunctuation::grant_all(RoleSet::from([0]), Timestamp(1));
         exec.push(StreamId(1), StreamElement::punctuation(sp)).unwrap();
-        let errors = lint(&exec.metrics_prometheus());
+        let prom = exec.metrics_prometheus();
+        let errors = lint(&prom);
         assert_eq!(errors, vec![], "engine exposition must lint clean");
+        let errors = lint_quantiles(&prom);
+        assert_eq!(errors, vec![], "engine exposition must carry quantile gauges");
+    }
+
+    #[test]
+    fn missing_quantile_gauges_are_flagged() {
+        // GOOD is format-valid but carries no quantile gauges: the plain
+        // lint accepts it, the quantile lint names every missing series.
+        assert_eq!(lint(GOOD), vec![]);
+        let errors = lint_quantiles(GOOD);
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert!(errors[0].message.contains("_p50"));
+    }
+
+    #[test]
+    fn non_monotone_quantiles_are_flagged() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 5
+h_sum 9
+h_count 5
+# TYPE h_p50 gauge
+h_p50 8
+# TYPE h_p90 gauge
+h_p90 4
+# TYPE h_p99 gauge
+h_p99 9
+";
+        let errors = lint_quantiles(text);
+        assert!(errors.iter().any(|e| e.message.contains("not monotone")), "{errors:?}");
+    }
+
+    #[test]
+    fn quantile_gauges_must_be_typed_gauge() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 1
+h_sum 1
+h_count 1
+# TYPE h_p50 counter
+h_p50 1
+# TYPE h_p90 gauge
+h_p90 1
+# TYPE h_p99 gauge
+h_p99 1
+";
+        let errors = lint_quantiles(text);
+        assert!(errors.iter().any(|e| e.message.contains("not typed gauge")), "{errors:?}");
     }
 
     #[test]

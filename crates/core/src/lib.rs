@@ -17,6 +17,8 @@
 //! * [`element`] — the punctuated stream element type;
 //! * [`wire`] — the compact network framing that ships punctuations in the
 //!   same message as the data (§I-B);
+//! * [`trace`] — deterministic causal trace/span identifiers (sp-trace),
+//!   derived from element identity so independent processes agree;
 //! * [`crypto`] — reproduction-grade ChaCha20-Poly1305 / SHA-256 and the
 //!   ciphertext framing for enforcement on an untrusted server.
 //!
@@ -32,6 +34,7 @@ pub mod punctuation;
 pub mod rbac;
 pub mod roleset;
 pub mod schema;
+pub mod trace;
 pub mod tuple;
 pub mod value;
 pub mod wire;
@@ -46,6 +49,7 @@ pub use punctuation::{
 pub use rbac::{AccessModel, RbacError, Right, RoleCatalog, Subject};
 pub use roleset::RoleSet;
 pub use schema::{Field, Schema};
+pub use trace::TraceContext;
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};
 pub use wire::{

@@ -374,6 +374,7 @@ const CTRL_REPL_HELLO: u8 = 6;
 const CTRL_CKPT_SEGMENT: u8 = 7;
 const CTRL_CKPT_COMMIT: u8 = 8;
 const CTRL_FENCE: u8 = 9;
+const CTRL_TRACE: u8 = 10;
 
 /// Why a server quarantined a tenant session (carried in
 /// [`Control::Quarantined`]). Quarantine is fail-closed: once set, every
@@ -533,6 +534,18 @@ pub enum Control {
         /// The asserted fencing epoch.
         fencing_epoch: u64,
     },
+    /// Client → server: the causal trace context for the *next*
+    /// [`Message`] frame on this connection (sp-trace). Purely
+    /// observational — a server that drops it changes no processing,
+    /// only the resulting span tree. Ids are derived deterministically
+    /// (see [`crate::trace::TraceContext`]), so both ends agree on them
+    /// without negotiation.
+    Trace {
+        /// Trace id of the upcoming frame.
+        trace_id: u64,
+        /// The client-side span the server's ingress spans hang under.
+        parent_span: u64,
+    },
 }
 
 impl Control {
@@ -592,6 +605,11 @@ impl Control {
             Self::Fence { fencing_epoch } => {
                 body.put_u8(CTRL_FENCE);
                 body.put_u64(*fencing_epoch);
+            }
+            Self::Trace { trace_id, parent_span } => {
+                body.put_u8(CTRL_TRACE);
+                body.put_u64(*trace_id);
+                body.put_u64(*parent_span);
             }
         }
         buf.put_u8(MAGIC_CTRL);
@@ -677,6 +695,10 @@ impl Control {
             CTRL_FENCE => {
                 need(buf, 8)?;
                 Self::Fence { fencing_epoch: buf.get_u64() }
+            }
+            CTRL_TRACE => {
+                need(buf, 16)?;
+                Self::Trace { trace_id: buf.get_u64(), parent_span: buf.get_u64() }
             }
             other => return Err(WireError(format!("unknown control tag {other}"))),
         };
@@ -983,6 +1005,8 @@ mod tests {
             Control::Quarantined { code: QuarantineCode::Panicked },
             Control::Quarantined { code: QuarantineCode::ResumeFailed },
             Control::Draining { pos: 17 },
+            Control::Trace { trace_id: 0xDEAD_BEEF_CAFE_F00D, parent_span: 42 },
+            Control::Trace { trace_id: 0, parent_span: u64::MAX },
         ];
         for ctrl in frames {
             let bytes = ctrl.encode_to_vec();
@@ -1035,7 +1059,7 @@ mod tests {
     fn unknown_control_tag_is_refused_not_panicked() {
         // A well-framed control body with an unassigned tag must fail
         // decode (counted as corruption), never panic or fabricate.
-        for tag in [10u8, 11, 99, 255] {
+        for tag in [11u8, 12, 99, 255] {
             let body = vec![tag, 1, 2, 3, 4, 5, 6, 7, 8];
             let mut bytes = vec![MAGIC_CTRL];
             bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());

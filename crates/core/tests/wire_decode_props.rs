@@ -149,12 +149,14 @@ fn feed_in_chunks(dec: &mut StreamDecoder, bytes: &[u8], sizes: &[usize]) -> Vec
     out
 }
 
-/// Every [`Control`] variant, including the quarantine notice and the
+/// Every [`Control`] variant, including the quarantine notice, the
 /// four replication frames (`ReplHello`, `CheckpointSegment`,
-/// `CheckpointCommit`, `Fence`).
+/// `CheckpointCommit`, `Fence`), and the sp-trace context frame.
 fn arb_control() -> impl Strategy<Value = Control> {
     prop_oneof![
         (any::<u32>(), any::<u64>()).prop_map(|(tenant, acked)| Control::Hello { tenant, acked }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(trace_id, parent_span)| Control::Trace { trace_id, parent_span }),
         any::<u64>().prop_map(|resume_from| Control::HelloAck { resume_from }),
         any::<u64>().prop_map(|pos| Control::Ack { pos }),
         (any::<u64>(), any::<u64>())
@@ -330,12 +332,68 @@ proptest! {
         prop_assert_eq!(dec.buffered(), 0);
     }
 
+    /// Sp-trace contexts ride the wire immediately ahead of their data
+    /// frames: under arbitrary 1..N-byte chunking every `Trace` frame
+    /// decodes exactly and stays directly before its `Message` — the
+    /// pairing the server's `pending_trace` handoff relies on.
+    #[test]
+    fn trace_contexts_stay_paired_with_their_frames_chunked(
+        frames in arb_frames(),
+        sizes in prop::collection::vec(1usize..24, 1..8),
+    ) {
+        let mut bytes = Vec::new();
+        let mut want = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            let ctx = sp_core::TraceContext::derive(7, i as u32, i as u64);
+            let t = Control::Trace { trace_id: ctx.trace_id, parent_span: ctx.parent_span };
+            t.encode(&mut bytes);
+            want.push(WireFrame::Control(t));
+            f.encode(&mut bytes);
+            want.push(WireFrame::Message(f.clone()));
+        }
+        let mut dec = StreamDecoder::new(1 << 20);
+        let got = feed_in_chunks(&mut dec, &bytes, &sizes);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(dec.corrupted_frames, 0);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Magic-free garbage between trace+frame pairs under chunked
+    /// delivery: resync recovers every pair intact and in order — noise
+    /// may delay a pair but can never split or reorder one.
+    #[test]
+    fn trace_pairing_survives_resync_past_garbage(
+        frames in arb_frames(),
+        garbage in prop::collection::vec(any::<u8>(), 1..48),
+        sizes in prop::collection::vec(1usize..24, 1..8),
+    ) {
+        let garbage: Vec<u8> = garbage
+            .into_iter()
+            .filter(|&b| b != 0xA5 && b != 0x5A && b != MAGIC_CIPHER)
+            .collect();
+        let mut bytes = Vec::new();
+        let mut want = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            bytes.extend_from_slice(&garbage);
+            let ctx = sp_core::TraceContext::derive(3, 1, i as u64);
+            let t = Control::Trace { trace_id: ctx.trace_id, parent_span: ctx.parent_span };
+            t.encode(&mut bytes);
+            want.push(WireFrame::Control(t));
+            bytes.extend_from_slice(&garbage);
+            f.encode(&mut bytes);
+            want.push(WireFrame::Message(f.clone()));
+        }
+        let mut dec = StreamDecoder::new(1 << 20);
+        let got = feed_in_chunks(&mut dec, &bytes, &sizes);
+        prop_assert_eq!(got, want);
+    }
+
     /// A control frame with an *unassigned* variant tag but a valid CRC
     /// envelope: the decoder must refuse it as corruption (never panic,
     /// never emit a frame), and still recover the intact frame behind it.
     #[test]
     fn unknown_control_variant_fails_decode_not_panic(
-        tag in 10u8..=255,
+        tag in 11u8..=255,
         payload in prop::collection::vec(any::<u8>(), 0..48),
         good in arb_control(),
         sizes in prop::collection::vec(1usize..16, 1..8),

@@ -20,7 +20,9 @@ use sp_core::{
 
 use crate::element::{Element, PolicyEntry, SegmentPolicy};
 use crate::stats::DegradationStats;
-use crate::telemetry::{AuditEvent, FlightRecorder, QuarantineReason, NO_TUPLE};
+use crate::telemetry::{
+    AuditEvent, FlightRecorder, QuarantineReason, SpanRecord, SpanRecorder, NO_TUPLE,
+};
 
 /// Hardened-mode parameters: how fresh a policy must be to govern a
 /// tuple, and how long an uncovered tuple may wait for its policy.
@@ -86,6 +88,10 @@ pub struct SpAnalyzer {
     /// Security flight recorder: quarantine decisions and stale-sp
     /// discards, each with its [`QuarantineReason`]. Disabled by default.
     recorder: FlightRecorder,
+    /// sp-trace span recorder: one `analyze` span per emitted segment
+    /// policy, linking the wire frame that carried the sp-batch to the
+    /// shield enforcement downstream. Disabled by default.
+    spans: SpanRecorder,
 }
 
 impl SpAnalyzer {
@@ -110,6 +116,7 @@ impl SpAnalyzer {
             quarantine_released: 0,
             quarantine_dropped: 0,
             recorder: FlightRecorder::disabled(),
+            spans: SpanRecorder::disabled(),
         }
     }
 
@@ -123,6 +130,18 @@ impl SpAnalyzer {
     #[must_use]
     pub fn audit(&self) -> Option<&FlightRecorder> {
         self.recorder.enabled().then_some(&self.recorder)
+    }
+
+    /// Enables the sp-trace span recorder with the given ring capacity
+    /// (0 disables it again).
+    pub fn set_spans(&mut self, capacity: usize) {
+        self.spans = SpanRecorder::new(capacity);
+    }
+
+    /// The span recorder, when enabled.
+    #[must_use]
+    pub fn spans(&self) -> Option<&SpanRecorder> {
+        (self.spans.capacity() > 0).then_some(&self.spans)
     }
 
     /// Switches this analyzer into hardened fail-closed mode: a tuple not
@@ -331,6 +350,20 @@ impl SpAnalyzer {
             self.sps_merged += 1;
         } else {
             self.last_emitted = Some(seg.clone());
+            if self.spans.enabled() {
+                // The analyze span for an sp-batch hangs off the wire
+                // frame that carried it: same trace id (derived from the
+                // batch timestamp), parent = the wire_frame span.
+                use sp_core::trace::{site, span_id, trace_id_for_sp};
+                let trace = trace_id_for_sp(ts.0);
+                self.spans.record(SpanRecord::at(
+                    trace,
+                    site::ANALYZE,
+                    span_id(trace, site::WIRE_FRAME),
+                    NO_TUPLE,
+                    ts.0,
+                ));
+            }
             out.push(Element::Policy(seg));
         }
         if let Some(qp) = self.hardening {
@@ -481,8 +514,9 @@ impl SpAnalyzer {
             ckpt::done(buf)
         };
         apply().map_err(|e| ckpt::corrupt("analyzer", e))?;
-        // Audit state is not checkpointed; replay repopulates the ring.
+        // Audit/span state is not checkpointed; replay repopulates the rings.
         self.recorder.clear();
+        self.spans.clear();
         Ok(())
     }
 }

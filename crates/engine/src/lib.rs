@@ -102,6 +102,7 @@ pub use supervisor::{
 };
 pub use telemetry::{
     AuditEvent, AuditOp, AuditRecord, AuditTrail, CipherViolation, FlightRecorder, Histogram,
-    MetricsRegistry, QuarantineReason, TelemetryConfig,
+    LagTracker, MetricsRegistry, QuarantineReason, SpanRecord, SpanRecorder, SpanSheet,
+    TelemetryConfig,
 };
 pub use window::WindowSpec;

@@ -164,6 +164,27 @@ pub trait Operator: Send {
         None
     }
 
+    /// Enables the operator's sp-trace span recorder with the given ring
+    /// capacity. Returns false (the default) for operators that record no
+    /// spans. Like audit state, span state is observability, not operator
+    /// state: excluded from [`Operator::snapshot`] and cleared by
+    /// [`Operator::restore`] so deterministic replay repopulates it.
+    fn set_spans(&mut self, _capacity: usize) -> bool {
+        false
+    }
+
+    /// The operator's span recorder, when it has one and it is enabled.
+    fn spans(&self) -> Option<&crate::telemetry::SpanRecorder> {
+        None
+    }
+
+    /// The operator's enforcement-lag tracker, when it has one and it is
+    /// armed (tracking is armed together with spans via
+    /// [`Operator::set_spans`]).
+    fn lag(&self) -> Option<&crate::telemetry::LagTracker> {
+        None
+    }
+
     /// Serializes the operator's mutable state for an epoch checkpoint.
     ///
     /// The encoding must be **canonical**: two operators in the same state

@@ -24,7 +24,9 @@ use crate::element::{Element, SegmentPolicy};
 use crate::error::EngineError;
 use crate::operator::{Emitter, Operator};
 use crate::stats::{CostKind, OperatorStats};
-use crate::telemetry::{AuditEvent, FlightRecorder, NO_SP};
+use crate::telemetry::{
+    AuditEvent, FlightRecorder, LagTracker, SpanRecord, SpanRecorder, NO_SP, NO_TUPLE,
+};
 
 /// Enforcement granularity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -95,6 +97,11 @@ pub struct SecurityShield {
     seg_role: u32,
     /// Security flight recorder (disabled unless telemetry is on).
     recorder: FlightRecorder,
+    /// Causal span recorder (disabled unless spans are on): one span per
+    /// policy absorption, first release, and first suppression.
+    spans: SpanRecorder,
+    /// Enforcement-lag histograms (armed together with `spans`).
+    lag: LagTracker,
     stats: OperatorStats,
 }
 
@@ -115,6 +122,8 @@ impl SecurityShield {
             tuple_cache: None,
             seg_role: u32::MAX,
             recorder: FlightRecorder::disabled(),
+            spans: SpanRecorder::disabled(),
+            lag: LagTracker::new(),
             stats: OperatorStats::new(),
         }
     }
@@ -281,8 +290,37 @@ impl SecurityShield {
                 // makes the Table II push-down rules exact.
                 _ => Some(Arc::new(seg.map_policies(|p| p.restrict_to(&self.roles)))),
             };
+            // The enforcement moment: span + enforcement-lag sample,
+            // keyed to the sp-batch stamp (stream time only).
+            let sp_ts = seg.ts.0;
+            if self.spans.enabled() {
+                let trace = sp_core::trace::trace_id_for_sp(sp_ts);
+                self.spans.record(SpanRecord::at(
+                    trace,
+                    sp_core::trace::site::SHIELD_ENFORCE,
+                    sp_core::trace::span_id(trace, sp_core::trace::site::ANALYZE),
+                    NO_TUPLE,
+                    sp_ts,
+                ));
+            }
+            self.lag.observe_policy(sp_ts);
             self.current = Some(seg);
         }
+    }
+
+    /// Records the tuple-level causal span for a release/suppression
+    /// decision, parented under the governing sp's enforcement span.
+    fn record_decision_span(&mut self, site: u8, tid: u64, ts: u64, sp_ts: u64) {
+        let trace = sp_core::trace::trace_id_for_tuple(tid);
+        let parent = if sp_ts == NO_SP {
+            0
+        } else {
+            sp_core::trace::span_id(
+                sp_core::trace::trace_id_for_sp(sp_ts),
+                sp_core::trace::site::SHIELD_ENFORCE,
+            )
+        };
+        self.spans.record(SpanRecord::at(trace, site, parent, tid, ts));
     }
 
     /// Judges one tuple under the current verdict (the `process` tuple
@@ -290,6 +328,7 @@ impl SecurityShield {
     fn shield_tuple(&mut self, tuple: Arc<sp_core::Tuple>, out: &mut Emitter) {
         self.stats.tuples_in += 1;
         let (tid_raw, ts_raw) = (tuple.tid.raw(), tuple.ts.0);
+        self.lag.observe_tuple(ts_raw);
         let mut audit_role = u32::MAX;
         let decision = match &self.verdict {
             Verdict::Deny | Verdict::Fail => None,
@@ -358,12 +397,21 @@ impl SecurityShield {
                     out.push(Element::Policy(policy));
                 }
                 self.stats.tuples_out += 1;
+                let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
                 if self.recorder.enabled() {
-                    let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
                     self.recorder.record(
                         tid_raw,
                         ts_raw,
                         AuditEvent::Released { role: audit_role, sp_ts },
+                    );
+                }
+                self.lag.observe_release(ts_raw);
+                if self.spans.enabled() {
+                    self.record_decision_span(
+                        sp_core::trace::site::RELEASE,
+                        tid_raw,
+                        ts_raw,
+                        sp_ts,
                     );
                 }
                 if masked.is_empty() {
@@ -374,9 +422,18 @@ impl SecurityShield {
             }
             None => {
                 self.stats.tuples_shielded += 1;
+                let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
                 if self.recorder.enabled() {
-                    let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
                     self.recorder.record(tid_raw, ts_raw, AuditEvent::Suppressed { sp_ts });
+                }
+                self.lag.observe_suppress(ts_raw);
+                if self.spans.enabled() {
+                    self.record_decision_span(
+                        sp_core::trace::site::SUPPRESS,
+                        tid_raw,
+                        ts_raw,
+                        sp_ts,
+                    );
                 }
             }
         }
@@ -451,15 +508,25 @@ impl Operator for SecurityShield {
                 Verdict::Deny | Verdict::Fail => {
                     self.stats.tuples_in += n;
                     self.stats.tuples_shielded += n;
-                    if self.recorder.enabled() {
+                    let audit = self.recorder.enabled();
+                    if audit || self.spans.enabled() || self.lag.armed() {
                         let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
                         for elem in &batch {
                             if let Some(t) = elem.as_tuple() {
-                                self.recorder.record(
-                                    t.tid.raw(),
-                                    t.ts.0,
-                                    AuditEvent::Suppressed { sp_ts },
-                                );
+                                let (tid, ts) = (t.tid.raw(), t.ts.0);
+                                self.lag.observe_tuple(ts);
+                                if audit {
+                                    self.recorder.record(tid, ts, AuditEvent::Suppressed { sp_ts });
+                                }
+                                self.lag.observe_suppress(ts);
+                                if self.spans.enabled() {
+                                    self.record_decision_span(
+                                        sp_core::trace::site::SUPPRESS,
+                                        tid,
+                                        ts,
+                                        sp_ts,
+                                    );
+                                }
                             }
                         }
                     }
@@ -472,16 +539,30 @@ impl Operator for SecurityShield {
                         out.push(Element::Policy(policy));
                     }
                     out.reserve(batch.len());
-                    if self.recorder.enabled() {
+                    let audit = self.recorder.enabled();
+                    if audit || self.spans.enabled() || self.lag.armed() {
                         let sp_ts = self.current.as_ref().map_or(NO_SP, |seg| seg.ts.0);
                         let role = self.seg_role;
                         for elem in batch {
                             if let Some(t) = elem.as_tuple() {
-                                self.recorder.record(
-                                    t.tid.raw(),
-                                    t.ts.0,
-                                    AuditEvent::Released { role, sp_ts },
-                                );
+                                let (tid, ts) = (t.tid.raw(), t.ts.0);
+                                self.lag.observe_tuple(ts);
+                                if audit {
+                                    self.recorder.record(
+                                        tid,
+                                        ts,
+                                        AuditEvent::Released { role, sp_ts },
+                                    );
+                                }
+                                self.lag.observe_release(ts);
+                                if self.spans.enabled() {
+                                    self.record_decision_span(
+                                        sp_core::trace::site::RELEASE,
+                                        tid,
+                                        ts,
+                                        sp_ts,
+                                    );
+                                }
                             }
                             out.push(elem);
                         }
@@ -523,6 +604,20 @@ impl Operator for SecurityShield {
         self.recorder.enabled().then_some(&self.recorder)
     }
 
+    fn set_spans(&mut self, capacity: usize) -> bool {
+        self.spans = SpanRecorder::new(capacity);
+        self.lag.set_armed(capacity > 0);
+        true
+    }
+
+    fn spans(&self) -> Option<&SpanRecorder> {
+        (self.spans.capacity() > 0).then_some(&self.spans)
+    }
+
+    fn lag(&self) -> Option<&LagTracker> {
+        self.lag.armed().then_some(&self.lag)
+    }
+
     fn state_mem_bytes(&self) -> usize {
         self.roles.mem_bytes() + self.current.as_ref().map_or(0, |seg| seg.mem_bytes())
     }
@@ -546,8 +641,10 @@ impl Operator for SecurityShield {
             ckpt::done(buf)
         };
         apply().map_err(|e| EngineError::corrupt("ss", e))?;
-        // Audit state is not checkpointed; replay repopulates the ring.
+        // Audit/span/lag state is not checkpointed; replay repopulates.
         self.recorder.clear();
+        self.spans.clear();
+        self.lag.clear();
         self.verdict = match self.current.clone() {
             Some(seg) => self.evaluate_segment(&seg),
             None => {

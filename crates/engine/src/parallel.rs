@@ -81,7 +81,7 @@ use crate::operator::{Emitter, Operator as _};
 use crate::ops::sink::Sink;
 use crate::overload::{classed_channel, ClassedReceiver, ClassedSender, DataRejected};
 use crate::plan::{PlanBuilder, SinkRef, Target};
-use crate::telemetry::{AuditOp, AuditTrail, FlightRecorder};
+use crate::telemetry::{AuditOp, AuditTrail, FlightRecorder, SpanRecorder, SpanSheet};
 
 /// Data-class capacity of bounded (unary / sink) edges, counted in batch
 /// envelopes. Control traffic (sps, epoch barriers) does not count
@@ -137,13 +137,15 @@ enum Section {
 /// A snapshot section reported by the feeder or a worker.
 type SectionMsg = (u64, Section, Vec<u8>);
 
-/// A flight-recorder section shipped back by a finishing worker.
-type AuditMsg = (AuditOp, FlightRecorder);
+/// The telemetry sections shipped back by a finishing worker: its flight
+/// recorder and/or sp-trace span recorder, whichever are armed.
+type AuditMsg = (AuditOp, Option<FlightRecorder>, Option<SpanRecorder>);
 
 /// Results of a parallel run.
 pub struct ParallelResults {
     sinks: Vec<Sink>,
     audit: AuditTrail,
+    spans: SpanSheet,
 }
 
 impl ParallelResults {
@@ -160,6 +162,15 @@ impl ParallelResults {
     #[must_use]
     pub fn audit_trail(&self) -> &AuditTrail {
         &self.audit
+    }
+
+    /// The plan-wide sp-trace span sheet, assembled in the same canonical
+    /// section order as [`Executor::span_sheet`](crate::plan::Executor::span_sheet),
+    /// so sequential and parallel runs of one plan encode identically.
+    /// Empty unless the builder enabled telemetry with a span capacity.
+    #[must_use]
+    pub fn span_sheet(&self) -> &SpanSheet {
+        &self.spans
     }
 }
 
@@ -628,12 +639,15 @@ fn run_parallel_inner(
                         }
                     }
                 }
-                // Input closed cleanly: ship this operator's audit section
-                // home. (A failed worker returns above and loses its
-                // records — the run's trail is only published on success.)
+                // Input closed cleanly: ship this operator's audit and
+                // span sections home. (A failed worker returns above and
+                // loses its records — the run's telemetry is only
+                // published on success.)
+                let audit_rec = node.op.audit().cloned();
+                let span_rec = node.op.spans().cloned();
                 #[allow(clippy::cast_possible_truncation)] // plan slots fit u32
-                if let Some(rec) = node.op.audit() {
-                    let _ = audits.send((AuditOp::Node(slot as u32), rec.clone()));
+                if audit_rec.is_some() || span_rec.is_some() {
+                    let _ = audits.send((AuditOp::Node(slot as u32), audit_rec, span_rec));
                 }
                 // Dropping this worker's wires closes its downstream
                 // edges once every other sender to them is gone.
@@ -766,14 +780,23 @@ fn run_parallel_inner(
     // encodes identically to the sequential executor's.
     drop(audit_tx);
     let mut audit = AuditTrail::new();
+    let mut spans = SpanSheet::new();
     #[allow(clippy::cast_possible_truncation)] // plan slots fit u32
     for (sid, source) in sources.iter().enumerate() {
         if let Some(rec) = source.analyzer.audit() {
             audit.push_section(AuditOp::Source(sid as u32), rec.clone());
         }
+        if let Some(rec) = source.analyzer.spans() {
+            spans.push_section(AuditOp::Source(sid as u32), rec.clone());
+        }
     }
-    for (op, rec) in audit_rx.try_iter() {
-        audit.push_section(op, rec);
+    for (op, audit_rec, span_rec) in audit_rx.try_iter() {
+        if let Some(rec) = audit_rec {
+            audit.push_section(op, rec);
+        }
+        if let Some(rec) = span_rec {
+            spans.push_section(op, rec);
+        }
     }
     if let Some(e) = feed_error {
         return Err(Box::new((e, collection)));
@@ -782,7 +805,7 @@ fn run_parallel_inner(
         return Err(Box::new((e, collection)));
     }
     match joined_sinks {
-        Ok(sinks) => Ok((ParallelResults { sinks, audit }, collection)),
+        Ok(sinks) => Ok((ParallelResults { sinks, audit, spans }, collection)),
         Err(e) => Err(Box::new((e, collection))),
     }
 }

@@ -42,7 +42,7 @@ use crate::operator::{Emitter, Operator};
 use crate::ops::sink::Sink;
 use crate::stats::OperatorStats;
 use crate::telemetry::{
-    span::span, AuditOp, AuditTrail, Histogram, MetricsRegistry, TelemetryConfig,
+    span::span, AuditOp, AuditTrail, Histogram, MetricsRegistry, SpanSheet, TelemetryConfig,
 };
 
 /// Reference to a plan node (an operator added to a builder).
@@ -145,17 +145,24 @@ impl PlanBuilder {
         self.telemetry = config;
     }
 
-    /// Propagates the audit capacity to every analyzer and operator.
-    /// Runs at finalization so late-added nodes are covered too.
+    /// Propagates the audit and span capacities to every analyzer and
+    /// operator. Runs at finalization so late-added nodes are covered too.
     fn apply_telemetry(&mut self) {
-        if self.telemetry.audit_capacity == 0 {
-            return;
+        if self.telemetry.audit_capacity > 0 {
+            for source in &mut self.sources {
+                source.analyzer.set_audit(self.telemetry.audit_capacity);
+            }
+            for node in &mut self.nodes {
+                node.op.set_audit(self.telemetry.audit_capacity);
+            }
         }
-        for source in &mut self.sources {
-            source.analyzer.set_audit(self.telemetry.audit_capacity);
-        }
-        for node in &mut self.nodes {
-            node.op.set_audit(self.telemetry.audit_capacity);
+        if self.telemetry.span_capacity > 0 {
+            for source in &mut self.sources {
+                source.analyzer.set_spans(self.telemetry.span_capacity);
+            }
+            for node in &mut self.nodes {
+                node.op.set_spans(self.telemetry.span_capacity);
+            }
         }
     }
 
@@ -555,6 +562,42 @@ impl Executor {
         }
     }
 
+    /// Arms sp-trace span recording (and enforcement-lag tracking) on
+    /// every analyzer and every span-recording operator. Like audit
+    /// recorders, span recorders start empty after a rebuild or restore.
+    pub fn set_spans(&mut self, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        for source in &mut self.sources {
+            source.analyzer.set_spans(capacity);
+        }
+        for node in &mut self.nodes {
+            node.op.set_spans(capacity);
+        }
+    }
+
+    /// Assembles the plan-wide span sheet in canonical section order:
+    /// analyzers (by source index) first, then operators (by node index).
+    /// Sections whose recorder is disabled are omitted, so a sequential
+    /// run and a pipeline-parallel run of the same plan yield
+    /// byte-identical [`SpanSheet::encode_to_vec`] output.
+    #[must_use]
+    pub fn span_sheet(&self) -> SpanSheet {
+        let mut sheet = SpanSheet::new();
+        for (i, source) in self.sources.iter().enumerate() {
+            if let Some(rec) = source.analyzer.spans() {
+                sheet.push_section(AuditOp::Source(i as u32), rec.clone());
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(rec) = node.op.spans() {
+                sheet.push_section(AuditOp::Node(i as u32), rec.clone());
+            }
+        }
+        sheet
+    }
+
     /// Assembles the plan-wide audit trail in canonical section order:
     /// analyzers (by source index) first, then operators (by node index).
     ///
@@ -625,6 +668,30 @@ impl Executor {
                     &self.latency[i],
                 );
             }
+            if let Some(lag) = node.op.lag() {
+                // Paper-grounded enforcement-lag windows, in stream time:
+                // how far behind the stream clock each sp took effect, and
+                // how wide the "security hole" between a revocation and
+                // the first suppressed tuple was.
+                reg.merge_histogram(
+                    "sp_enforce_lag_ms",
+                    "Stream-time lag between sp arrival and shield enforcement (0 = immediate enforcement)",
+                    &labels,
+                    lag.enforce(),
+                );
+                reg.merge_histogram(
+                    "sp_first_release_lag_ms",
+                    "Stream-time lag between an sp taking effect and the first tuple it released",
+                    &labels,
+                    lag.release(),
+                );
+                reg.merge_histogram(
+                    "sp_suppress_lag_ms",
+                    "Stream-time lag between a revocation taking effect and the first tuple it suppressed (security-hole width)",
+                    &labels,
+                    lag.suppress(),
+                );
+            }
         }
         if self.telemetry.metrics {
             reg.merge_histogram(
@@ -655,6 +722,21 @@ impl Executor {
                 "Audit records evicted from bounded flight recorders",
                 "",
                 trail.evicted(),
+            );
+        }
+        let sheet = self.span_sheet();
+        if !sheet.is_empty() || sheet.evicted() > 0 {
+            reg.add_counter(
+                "sp_span_records",
+                "sp-trace spans currently held by span recorders",
+                "",
+                sheet.len() as u64,
+            );
+            reg.add_counter(
+                "sp_spans_evicted_total",
+                "sp-trace spans evicted from bounded span recorders",
+                "",
+                sheet.evicted(),
             );
         }
         reg

@@ -57,6 +57,9 @@ pub struct SupervisorConfig {
     /// Flight-recorder capacity armed on every rebuilt executor (and on
     /// the supervisor's own recorder). `0` disables audit recording.
     pub audit_capacity: usize,
+    /// sp-trace span-recorder capacity armed on every rebuilt executor.
+    /// `0` disables span recording and enforcement-lag tracking.
+    pub span_capacity: usize,
 }
 
 /// Default checkpoint cadence: frequent enough that replay stays short,
@@ -71,6 +74,7 @@ impl Default for SupervisorConfig {
             backoff_base_ms: 10,
             backoff_cap_ms: 1_000,
             audit_capacity: 0,
+            span_capacity: 0,
         }
     }
 }
@@ -193,6 +197,7 @@ pub fn run_supervised(
     let mut audit = FlightRecorder::new(config.audit_capacity);
     let mut exec = build().build();
     exec.set_audit(config.audit_capacity);
+    exec.set_spans(config.span_capacity);
     let mut epoch = 0u64;
     let mut pos = 0usize;
 
@@ -257,6 +262,7 @@ pub fn run_supervised(
         let crash_pos = pos as u64;
         exec = build().build();
         exec.set_audit(config.audit_capacity);
+        exec.set_spans(config.span_capacity);
         match store.load_latest() {
             Some(ckpt) => match exec.restore(&ckpt) {
                 Ok(()) => {
@@ -281,6 +287,7 @@ pub fn run_supervised(
                     report.deaths.push(e.to_string());
                     exec = build().build();
                     exec.set_audit(config.audit_capacity);
+                    exec.set_spans(config.span_capacity);
                     epoch = 0;
                     pos = 0;
                     report.epochs_replayed += crash_pos.div_ceil(interval);

@@ -15,15 +15,29 @@
 //!    [`Histogram`]s (per-operator latency, queue depth) plus named
 //!    counters, with associative order-insensitive merge, rendered as
 //!    Prometheus text exposition or a JSON snapshot.
-//! 3. **Span facade** ([`span`]) — structured begin/end markers around
-//!    executor steps, epoch cuts and supervisor recoveries. Compiled to
-//!    nothing unless the `trace` cargo feature is on (no `tracing` crate
-//!    is vendored, so the facade is in-crate).
+//! 3. **Causal span plane — sp-trace** ([`SpanRecorder`] / [`SpanSheet`])
+//!    — a bounded ring of [`SpanRecord`]s per operator, one per causal
+//!    hop of an element (wire ingress, analyzer resolution, shield
+//!    enforcement, release/suppress, standby apply). Trace and span ids
+//!    are derived deterministically from element identity
+//!    ([`sp_core::trace`]), so spans recorded by the client, the server,
+//!    a parallel worker, and a promoted standby merge into one tree.
+//!    Recording is *runtime-toggleable* via [`span::set_enabled`]; the
+//!    `trace-off` cargo feature is a compile-time hard-off override.
+//! 4. **Enforcement-lag tracking** ([`LagTracker`]) — per-shield
+//!    histograms of the paper's immediate-enforcement promise: sp-arrival
+//!    → enforcement lag, sp-arrival → first-affected-release lag, and
+//!    revocation → suppression lag (the "security hole" width), all in
+//!    stream time so replays reproduce them exactly.
+//! 5. **Span facade** ([`span::span`]) — structured begin/end markers
+//!    around executor steps, epoch cuts and supervisor recoveries.
+//!    Compiled to nothing unless the `trace` cargo feature is on (no
+//!    `tracing` crate is vendored, so the facade is in-crate).
 //!
-//! Telemetry is **off by default**: a [`FlightRecorder`] with capacity 0
-//! never allocates, and an executor built without
-//! [`TelemetryConfig::enabled`] takes no histogram samples, so the hot
-//! path is unchanged when observability is not requested.
+//! Telemetry is **off by default**: a [`FlightRecorder`] or
+//! [`SpanRecorder`] with capacity 0 never allocates, and an executor
+//! built without [`TelemetryConfig::enabled`] takes no histogram samples,
+//! so the hot path is unchanged when observability is not requested.
 //!
 //! Audit state is deliberately **not** checkpointed: the recorder is an
 //! observability surface, not replayable operator state. On restore every
@@ -46,6 +60,9 @@ pub const NO_SP: u64 = u64::MAX;
 
 /// Default ring capacity used by [`TelemetryConfig::enabled`].
 pub const DEFAULT_AUDIT_CAPACITY: usize = 4096;
+
+/// Default span-ring capacity used by [`TelemetryConfig::enabled`].
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
 
 /// Why the analyzer quarantined (or dropped a quarantined) tuple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -423,6 +440,10 @@ impl FlightRecorder {
 /// canonical section order of an [`AuditTrail`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum AuditOp {
+    /// The ingestion boundary before the pipeline (server tenant worker
+    /// or standby apply loop) — used by the span plane; ordinary audit
+    /// trails never contain it, so their encodings are unchanged.
+    Ingress,
     /// The sp-analyzer guarding source slot `n`.
     Source(u32),
     /// The operator in plan node slot `n`.
@@ -443,6 +464,7 @@ impl AuditOp {
                 buf.extend_from_slice(&i.to_be_bytes());
             }
             Self::Supervisor => buf.push(2),
+            Self::Ingress => buf.push(3),
         }
     }
 
@@ -451,6 +473,7 @@ impl AuditOp {
             Self::Source(i) => format!("source {i}"),
             Self::Node(i) => format!("node {i}"),
             Self::Supervisor => "supervisor".into(),
+            Self::Ingress => "ingress".into(),
         }
     }
 }
@@ -586,6 +609,449 @@ impl AuditTrail {
             out.push_str(&format!("[{who}] {subject}{what} (ts {}ms)\n", rec.ts));
         }
         out
+    }
+}
+
+/// One causal span: an element's visit to one pipeline site.
+///
+/// Like [`AuditRecord`], every field is derived from *element identity*
+/// and stream time — never wall clock — so sequential, parallel, and
+/// replayed runs over the same input record byte-identical spans. Ids
+/// come from [`sp_core::trace`]: `span_id` is a pure function of
+/// `(trace_id, site)` and `parent` names the causally preceding hop,
+/// which may have been recorded in another process entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to (per-element identity).
+    pub trace_id: u64,
+    /// This span's id (derived from `trace_id` + `site`).
+    pub span_id: u64,
+    /// The causally preceding span's id (0 = root).
+    pub parent: u64,
+    /// The pipeline site ([`sp_core::trace::site`]).
+    pub site: u8,
+    /// Tuple id the hop concerns, or [`NO_TUPLE`] for sp/policy hops.
+    pub tid: u64,
+    /// Stream time of the hop (tuple or sp-batch timestamp).
+    pub ts: u64,
+}
+
+impl SpanRecord {
+    /// Builds the span for `site` of `trace_id`, deriving the span id.
+    #[must_use]
+    pub fn at(trace_id: u64, site: u8, parent: u64, tid: u64, ts: u64) -> Self {
+        Self { trace_id, span_id: sp_core::trace::span_id(trace_id, site), parent, site, tid, ts }
+    }
+
+    /// Appends the deterministic big-endian encoding to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.trace_id.to_be_bytes());
+        buf.extend_from_slice(&self.span_id.to_be_bytes());
+        buf.extend_from_slice(&self.parent.to_be_bytes());
+        buf.push(self.site);
+        buf.extend_from_slice(&self.tid.to_be_bytes());
+        buf.extend_from_slice(&self.ts.to_be_bytes());
+    }
+}
+
+/// Bounded ring buffer of [`SpanRecord`]s — the per-operator span plane.
+///
+/// Same discipline as [`FlightRecorder`]: capacity 0 (the [`Default`])
+/// means disabled with no allocation ever; when full, the oldest span is
+/// evicted and counted. On top of the capacity gate, recording consults
+/// the *runtime* toggle [`span::enabled`] on every call, so an operator
+/// built with spans on can be silenced (and re-armed) live without a
+/// rebuild — and the `trace-off` cargo feature compiles the whole check
+/// to `false`.
+#[derive(Debug, Clone, Default)]
+pub struct SpanRecorder {
+    capacity: usize,
+    records: VecDeque<SpanRecord>,
+    evicted: u64,
+}
+
+impl SpanRecorder {
+    /// A recorder keeping the latest `capacity` spans (0 = disabled).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, records: VecDeque::new(), evicted: 0 }
+    }
+
+    /// A disabled recorder (capacity 0).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether this recorder would record right now (capacity > 0 *and*
+    /// the runtime toggle is on).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0 && span::enabled()
+    }
+
+    /// Configured ring capacity (> 0 even while the runtime toggle is
+    /// off).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one span; a no-op when disabled by capacity or toggle.
+    #[inline]
+    pub fn record(&mut self, rec: SpanRecord) {
+        if self.capacity == 0 || !span::enabled() {
+            return;
+        }
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.evicted += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    /// Spans kept, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.records.iter()
+    }
+
+    /// Number of spans currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the ring holds no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Spans evicted because the ring was full.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Discards all spans and the eviction count (capacity keeps).
+    /// Called on operator `restore` so deterministic replay repopulates
+    /// the ring without duplicating pre-crash history.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.evicted = 0;
+    }
+
+    /// Appends the deterministic encoding: eviction count, span count,
+    /// then each span oldest-first.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.evicted.to_be_bytes());
+        buf.extend_from_slice(&(self.records.len() as u32).to_be_bytes());
+        for r in &self.records {
+            r.encode(buf);
+        }
+    }
+}
+
+/// A whole pipeline's span history: one [`SpanRecorder`] per recording
+/// site, in canonical [`AuditOp`] order — the span-plane analogue of
+/// [`AuditTrail`], with the same determinism contract: two runs over the
+/// same input are *trace-equivalent* iff [`SpanSheet::encode_to_vec`]
+/// bytes are equal.
+#[derive(Debug, Clone, Default)]
+pub struct SpanSheet {
+    sections: Vec<(AuditOp, SpanRecorder)>,
+}
+
+impl SpanSheet {
+    /// An empty sheet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one site's recorder, keeping sections in canonical order
+    /// regardless of insertion order.
+    pub fn push_section(&mut self, op: AuditOp, recorder: SpanRecorder) {
+        self.sections.push((op, recorder));
+        self.sections.sort_by_key(|(op, _)| *op);
+    }
+
+    /// The sections in canonical order.
+    pub fn sections(&self) -> impl Iterator<Item = (AuditOp, &SpanRecorder)> {
+        self.sections.iter().map(|(op, r)| (*op, r))
+    }
+
+    /// Every span with its originating site, section by section.
+    pub fn records(&self) -> impl Iterator<Item = (AuditOp, &SpanRecord)> {
+        self.sections.iter().flat_map(|(op, r)| r.records().map(move |rec| (*op, rec)))
+    }
+
+    /// Total spans held across all sections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sections.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// Whether no section holds any span.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total spans evicted across all sections.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.sections.iter().map(|(_, r)| r.evicted()).sum()
+    }
+
+    /// The deterministic encoding of the whole sheet.
+    #[must_use]
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(self.sections.len() as u32).to_be_bytes());
+        for (op, rec) in &self.sections {
+            op.encode(&mut buf);
+            rec.encode(&mut buf);
+        }
+        buf
+    }
+
+    /// Appends this sheet's spans as Chrome trace-event objects to
+    /// `events`, one JSON object per span, under process id `pid`
+    /// (callers merging several pipelines — e.g. one per tenant — give
+    /// each its own pid). Span sites become the viewer's thread lanes.
+    pub fn chrome_events(&self, pid: u32, events: &mut Vec<String>) {
+        for (op, rec) in self.records() {
+            events.push(format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"cat\":\"sp-trace\",\"ph\":\"X\",",
+                    "\"ts\":{},\"dur\":1,\"pid\":{},\"tid\":{},\"args\":{{",
+                    "\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\",",
+                    "\"parent\":\"{:016x}\",\"section\":\"{}\",\"tuple\":{}}}}}"
+                ),
+                sp_core::trace::site::name(rec.site),
+                rec.ts.saturating_mul(1000), // stream ms -> trace µs
+                pid,
+                rec.site,
+                rec.trace_id,
+                rec.span_id,
+                rec.parent,
+                op.label(),
+                if rec.tid == NO_TUPLE { -1i64 } else { rec.tid as i64 },
+            ));
+        }
+    }
+
+    /// Renders the whole sheet as one Chrome trace-event JSON document
+    /// (load it in `chrome://tracing` / Perfetto).
+    #[must_use]
+    pub fn render_chrome_json(&self) -> String {
+        let mut events = Vec::new();
+        self.chrome_events(0, &mut events);
+        format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+    }
+
+    /// Renders the sheet as a human-readable forest: one tree per trace
+    /// (sorted by trace id), children indented under the span they name
+    /// as parent. Spans whose parent lives in another process (e.g. the
+    /// client-side root) print as roots here.
+    #[must_use]
+    pub fn render_tree(&self) -> String {
+        let all: Vec<(AuditOp, SpanRecord)> = self.records().map(|(op, rec)| (op, *rec)).collect();
+        let mut traces: Vec<u64> = all.iter().map(|(_, r)| r.trace_id).collect();
+        traces.sort_unstable();
+        traces.dedup();
+        let mut out = String::new();
+        for trace in traces {
+            let mut spans: Vec<&(AuditOp, SpanRecord)> =
+                all.iter().filter(|(_, r)| r.trace_id == trace).collect();
+            spans.sort_by_key(|(op, r)| (r.site, r.tid, r.ts, *op));
+            spans.dedup();
+            out.push_str(&format!("trace {trace:016x}\n"));
+            let local: Vec<u64> = spans.iter().map(|(_, r)| r.span_id).collect();
+            let roots: Vec<usize> =
+                (0..spans.len()).filter(|&i| !local.contains(&spans[i].1.parent)).collect();
+            let mut visited = vec![false; spans.len()];
+            for root in roots {
+                Self::tree_line(&spans, root, 1, &mut visited, &mut out);
+            }
+            // Anything unreachable (parent cycles can't happen with
+            // derived ids, but stay total): print flat.
+            for i in 0..spans.len() {
+                if !visited[i] {
+                    Self::tree_line(&spans, i, 1, &mut visited, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn tree_line(
+        spans: &[&(AuditOp, SpanRecord)],
+        i: usize,
+        depth: usize,
+        visited: &mut [bool],
+        out: &mut String,
+    ) {
+        if visited[i] {
+            return;
+        }
+        visited[i] = true;
+        let (op, rec) = spans[i];
+        let subject =
+            if rec.tid == NO_TUPLE { String::new() } else { format!(" tuple {}", rec.tid) };
+        out.push_str(&format!(
+            "{}[{}] {}{subject} @{}ms\n",
+            "  ".repeat(depth),
+            op.label(),
+            sp_core::trace::site::name(rec.site),
+            rec.ts
+        ));
+        for j in 0..spans.len() {
+            if spans[j].1.parent == rec.span_id {
+                Self::tree_line(spans, j, depth + 1, visited, out);
+            }
+        }
+    }
+}
+
+/// Enforcement-lag tracking for one Security Shield — the paper's
+/// immediate-enforcement promise, measured.
+///
+/// Three stream-time histograms (ms):
+///
+/// * **enforce** — sp-arrival → shield-enforcement lag: the gap between
+///   an sp-batch's stamp and the shield's stream clock when the policy
+///   was absorbed. In-order streams absorb at ~0 ms — the paper's
+///   "immediate enforcement"; anything larger is reorder/queueing delay
+///   during which the *old* policy still governed.
+/// * **release** — sp-arrival → first-affected-release lag: how long
+///   (in stream time) until the first tuple was released *under* the
+///   new policy.
+/// * **suppress** — revocation → suppression lag: how long until the
+///   first tuple was suppressed under the new policy — the width of the
+///   "security hole" a revocation leaves open.
+///
+/// All inputs are stream timestamps, so sequential, parallel, and
+/// replayed runs produce identical histograms. Like the recorders, lag
+/// state is *not* checkpointed: it clears on restore and deterministic
+/// replay repopulates it.
+#[derive(Debug, Clone)]
+pub struct LagTracker {
+    armed: bool,
+    clock: u64,
+    sp_ts: u64,
+    pending_release: bool,
+    pending_suppress: bool,
+    enforce: Histogram,
+    release: Histogram,
+    suppress: Histogram,
+}
+
+impl Default for LagTracker {
+    fn default() -> Self {
+        Self {
+            armed: false,
+            clock: 0,
+            sp_ts: NO_SP,
+            pending_release: false,
+            pending_suppress: false,
+            enforce: Histogram::new(),
+            release: Histogram::new(),
+            suppress: Histogram::new(),
+        }
+    }
+}
+
+impl LagTracker {
+    /// A disarmed tracker (every observe is a branch and a return).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms or disarms the tracker.
+    pub fn set_armed(&mut self, armed: bool) {
+        self.armed = armed;
+    }
+
+    /// Whether the tracker is recording.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Advances the shield's stream clock to `ts` (monotonic max).
+    #[inline]
+    pub fn observe_tuple(&mut self, ts: u64) {
+        if self.armed {
+            self.clock = self.clock.max(ts);
+        }
+    }
+
+    /// The shield absorbed the policy stamped `sp_ts`: records the
+    /// enforcement lag against the stream clock and starts waiting for
+    /// the first release/suppression it affects.
+    pub fn observe_policy(&mut self, sp_ts: u64) {
+        if !self.armed {
+            return;
+        }
+        self.enforce.record(self.clock.saturating_sub(sp_ts));
+        self.sp_ts = sp_ts;
+        self.pending_release = true;
+        self.pending_suppress = true;
+    }
+
+    /// A tuple stamped `ts` was released; records the first-release lag
+    /// once per absorbed policy.
+    #[inline]
+    pub fn observe_release(&mut self, ts: u64) {
+        if self.armed && self.pending_release {
+            self.pending_release = false;
+            if self.sp_ts != NO_SP {
+                self.release.record(ts.saturating_sub(self.sp_ts));
+            }
+        }
+    }
+
+    /// A tuple stamped `ts` was suppressed; records the suppression lag
+    /// once per absorbed policy (default-deny suppressions — no
+    /// governing sp — don't count: there was no revocation to date
+    /// the hole from).
+    #[inline]
+    pub fn observe_suppress(&mut self, ts: u64) {
+        if self.armed && self.pending_suppress {
+            self.pending_suppress = false;
+            if self.sp_ts != NO_SP {
+                self.suppress.record(ts.saturating_sub(self.sp_ts));
+            }
+        }
+    }
+
+    /// sp-arrival → enforcement lag histogram (ms).
+    #[must_use]
+    pub fn enforce(&self) -> &Histogram {
+        &self.enforce
+    }
+
+    /// sp-arrival → first-affected-release lag histogram (ms).
+    #[must_use]
+    pub fn release(&self) -> &Histogram {
+        &self.release
+    }
+
+    /// Revocation → suppression lag histogram (ms).
+    #[must_use]
+    pub fn suppress(&self) -> &Histogram {
+        &self.suppress
+    }
+
+    /// Resets samples and pending state (armed keeps). Called on
+    /// restore; deterministic replay repopulates.
+    pub fn clear(&mut self) {
+        let armed = self.armed;
+        *self = Self::default();
+        self.armed = armed;
     }
 }
 
@@ -874,6 +1340,33 @@ impl MetricsRegistry {
             out.push_str(&format!("{} {}\n", series_name(family, labels, "_sum", ""), h.sum()));
             out.push_str(&format!("{} {}\n", series_name(family, labels, "_count", ""), h.count()));
         }
+
+        // Precomputed summary-style quantile gauges: one `{family}_pNN`
+        // gauge family per histogram family, so consumers read p50/p90/
+        // p99 directly instead of re-deriving them from the log₂
+        // buckets. Values inherit the histogram's ≤2× log-scale
+        // overestimate.
+        let mut hists: Vec<&(SeriesKey, Histogram)> = self.histograms.iter().collect();
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        for (suffix, p) in [("_p50", 50.0), ("_p90", 90.0), ("_p99", 99.0)] {
+            let mut last_family = "";
+            for ((family, labels), h) in &hists {
+                if family != last_family {
+                    out.push_str(&format!(
+                        "# HELP {family}{suffix} {} ({} percentile, log2-bucket upper bound)\n",
+                        self.help_for(family),
+                        suffix.trim_start_matches("_p")
+                    ));
+                    out.push_str(&format!("# TYPE {family}{suffix} gauge\n"));
+                    last_family = family;
+                }
+                out.push_str(&format!(
+                    "{} {}\n",
+                    series_name(family, labels, suffix, ""),
+                    h.percentile(p)
+                ));
+            }
+        }
         out
     }
 
@@ -933,12 +1426,16 @@ impl MetricsRegistry {
     }
 }
 
-/// What telemetry an executor collects. Both knobs default to off, so
+/// What telemetry an executor collects. Every knob defaults to off, so
 /// an unconfigured plan pays nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TelemetryConfig {
     /// Flight-recorder ring capacity per operator (0 = no audit trail).
     pub audit_capacity: usize,
+    /// Span-recorder ring capacity per operator (0 = no causal spans or
+    /// enforcement-lag histograms). Capacity builds the rings; the
+    /// runtime toggle [`span::set_enabled`] silences/re-arms them live.
+    pub span_capacity: usize,
     /// Whether the executor samples latency/queue-depth histograms.
     pub metrics: bool,
 }
@@ -950,34 +1447,59 @@ impl TelemetryConfig {
         Self::default()
     }
 
-    /// Audit trail at [`DEFAULT_AUDIT_CAPACITY`] plus metrics sampling.
+    /// Audit trail at [`DEFAULT_AUDIT_CAPACITY`], spans at
+    /// [`DEFAULT_SPAN_CAPACITY`], plus metrics sampling.
     #[must_use]
     pub fn enabled() -> Self {
-        Self { audit_capacity: DEFAULT_AUDIT_CAPACITY, metrics: true }
+        Self {
+            audit_capacity: DEFAULT_AUDIT_CAPACITY,
+            span_capacity: DEFAULT_SPAN_CAPACITY,
+            metrics: true,
+        }
     }
 
     /// Whether any telemetry is on.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
-        self.audit_capacity > 0 || self.metrics
+        self.audit_capacity > 0 || self.span_capacity > 0 || self.metrics
     }
 }
 
-/// Structured begin/end span markers, compiled away unless the `trace`
-/// cargo feature is enabled.
+/// Span collection state and the begin/end marker facade.
 ///
-/// With the feature off, [`span::span`] returns a zero-sized guard and
-/// the optimizer deletes the call entirely — the facade exists so call
-/// sites read identically either way. With the feature on, spans append
-/// `(name, Enter|Exit)` events to a thread-local buffer drained by
-/// [`span::take_events`]; there is no vendored `tracing` crate, and new
-/// dependencies are out of bounds, so this in-crate facade is the whole
-/// integration surface.
+/// Two layers live here:
+///
+/// * **The sp-trace runtime toggle** — [`span::enabled`] /
+///   [`span::set_enabled`], a process-wide atomic consulted by every
+///   [`SpanRecorder::record`]. Tracing is *on* by default (the recorders
+///   still cost nothing unless a plan allocates them via
+///   [`TelemetryConfig::span_capacity`]); the `trace-off` cargo feature
+///   is the compile-time hard-off override that folds the whole check to
+///   `false`, restoring the old fully-compiled-away behavior.
+/// * **The marker facade** — [`span::span`] returns a zero-sized guard
+///   unless the `trace` cargo feature is on, in which case spans append
+///   `(name, Enter|Exit)` events to a thread-local buffer drained by
+///   [`span::take_events`]. There is no vendored `tracing` crate, and
+///   new dependencies are out of bounds, so this in-crate facade is the
+///   whole integration surface.
 pub mod span {
-    /// Whether span collection is compiled in.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Process-wide runtime toggle for sp-trace span recording.
+    static RUNTIME: AtomicBool = AtomicBool::new(true);
+
+    /// Whether span recording is on right now: the `trace-off` feature
+    /// is a hard compile-time off; otherwise the runtime toggle decides.
+    #[inline]
     #[must_use]
-    pub const fn enabled() -> bool {
-        cfg!(feature = "trace")
+    pub fn enabled() -> bool {
+        !cfg!(feature = "trace-off") && RUNTIME.load(Ordering::Relaxed)
+    }
+
+    /// Flips the runtime toggle. A no-op in effect when the `trace-off`
+    /// feature is compiled in ([`enabled`] stays `false`).
+    pub fn set_enabled(on: bool) {
+        RUNTIME.store(on, Ordering::Relaxed);
     }
 
     /// Span lifecycle edge.
@@ -1163,6 +1685,33 @@ mod tests {
     }
 
     #[test]
+    fn quantile_gauges_accompany_every_histogram() {
+        let mut m = MetricsRegistry::new();
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 5000] {
+            h.record(v);
+        }
+        m.merge_histogram("sp_operator_latency_ns", "lat", "op=\"ss\"", &h);
+        m.merge_histogram("sp_queue_depth", "depth", "", &Histogram::new());
+        let text = m.render_prometheus();
+        for family in ["sp_operator_latency_ns", "sp_queue_depth"] {
+            for q in ["p50", "p90", "p99"] {
+                assert!(text.contains(&format!("# TYPE {family}_{q} gauge")), "{text}");
+            }
+        }
+        // Labeled series carry their labels; quantiles are monotone.
+        assert!(text.contains("sp_operator_latency_ns_p50{op=\"ss\"}"), "{text}");
+        let grab = |q: &str| -> u64 {
+            let needle = format!("sp_operator_latency_ns_{q}{{op=\"ss\"}} ");
+            let at = text.find(&needle).unwrap() + needle.len();
+            text[at..].lines().next().unwrap().trim().parse().unwrap()
+        };
+        assert!(grab("p50") <= grab("p90") && grab("p90") <= grab("p99"));
+        // An empty histogram still renders zeroed gauges.
+        assert!(text.contains("sp_queue_depth_p99 0"), "{text}");
+    }
+
+    #[test]
     fn registry_merge_is_order_insensitive() {
         let mk = |vals: &[u64], c: u64| {
             let mut m = MetricsRegistry::new();
@@ -1205,5 +1754,166 @@ mod tests {
             let events = span::take_events();
             assert!(events.iter().any(|e| e.name == "test.scope"));
         }
+    }
+
+    /// Serializes tests that flip the process-wide span toggle.
+    static TOGGLE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn sp_span(ts: u64) -> SpanRecord {
+        SpanRecord::at(
+            sp_core::trace::trace_id_for_sp(ts),
+            sp_core::trace::site::ANALYZE,
+            0,
+            NO_TUPLE,
+            ts,
+        )
+    }
+
+    #[test]
+    fn span_recorder_honors_capacity_and_runtime_toggle() {
+        let _guard = TOGGLE.lock().unwrap();
+        let mut off = SpanRecorder::disabled();
+        off.record(sp_span(1));
+        assert!(off.is_empty());
+
+        let mut r = SpanRecorder::new(2);
+        span::set_enabled(false);
+        r.record(sp_span(1));
+        assert!(r.is_empty(), "runtime-off must drop spans");
+        span::set_enabled(true);
+        for ts in 0..5u64 {
+            r.record(sp_span(ts));
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.evicted(), 3);
+    }
+
+    #[test]
+    fn span_sheet_sections_are_canonically_ordered() {
+        let _guard = TOGGLE.lock().unwrap();
+        span::set_enabled(true);
+        let mut rec = SpanRecorder::new(4);
+        rec.record(sp_span(1000));
+        let (mut a, mut b) = (SpanSheet::new(), SpanSheet::new());
+        for op in [AuditOp::Node(1), AuditOp::Ingress, AuditOp::Source(0)] {
+            a.push_section(op, rec.clone());
+        }
+        for op in [AuditOp::Source(0), AuditOp::Node(1), AuditOp::Ingress] {
+            b.push_section(op, rec.clone());
+        }
+        assert_eq!(a.encode_to_vec(), b.encode_to_vec());
+        let order: Vec<AuditOp> = a.sections().map(|(op, _)| op).collect();
+        assert_eq!(order, vec![AuditOp::Ingress, AuditOp::Source(0), AuditOp::Node(1)]);
+    }
+
+    #[test]
+    fn ingress_encodes_distinctly_from_other_ops() {
+        let mut bufs: Vec<Vec<u8>> = Vec::new();
+        for op in [AuditOp::Ingress, AuditOp::Source(0), AuditOp::Node(0), AuditOp::Supervisor] {
+            let mut b = Vec::new();
+            op.encode(&mut b);
+            bufs.push(b);
+        }
+        for i in 0..bufs.len() {
+            for j in (i + 1)..bufs.len() {
+                assert_ne!(bufs[i], bufs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_json_and_tree_link_the_causal_chain() {
+        let _guard = TOGGLE.lock().unwrap();
+        span::set_enabled(true);
+        let sp_ts = 1000u64;
+        let trace = sp_core::trace::trace_id_for_sp(sp_ts);
+        let mut ingress = SpanRecorder::new(8);
+        ingress.record(SpanRecord::at(
+            trace,
+            sp_core::trace::site::WIRE_FRAME,
+            77,
+            NO_TUPLE,
+            sp_ts,
+        ));
+        let mut analyzer = SpanRecorder::new(8);
+        analyzer.record(SpanRecord::at(
+            trace,
+            sp_core::trace::site::ANALYZE,
+            sp_core::trace::span_id(trace, sp_core::trace::site::WIRE_FRAME),
+            NO_TUPLE,
+            sp_ts,
+        ));
+        let mut shield = SpanRecorder::new(8);
+        shield.record(SpanRecord::at(
+            trace,
+            sp_core::trace::site::SHIELD_ENFORCE,
+            sp_core::trace::span_id(trace, sp_core::trace::site::ANALYZE),
+            NO_TUPLE,
+            sp_ts,
+        ));
+        let mut sheet = SpanSheet::new();
+        sheet.push_section(AuditOp::Ingress, ingress);
+        sheet.push_section(AuditOp::Source(0), analyzer);
+        sheet.push_section(AuditOp::Node(2), shield);
+
+        let json = sheet.render_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"wire_frame\""));
+        assert!(json.contains("\"name\":\"analyze\""));
+        assert!(json.contains("\"name\":\"shield_enforce\""));
+        assert!(json.contains(&format!("{trace:016x}")));
+
+        let tree = sheet.render_tree();
+        // Indentation deepens along the causal chain.
+        let wire_at = tree.find("[ingress] wire_frame").unwrap();
+        let analyze_at = tree.find("[source 0] analyze").unwrap();
+        let shield_at = tree.find("[node 2] shield_enforce").unwrap();
+        assert!(wire_at < analyze_at && analyze_at < shield_at, "{tree}");
+        assert!(tree.contains("\n    [source 0] analyze"), "{tree}");
+        assert!(tree.contains("\n      [node 2] shield_enforce"), "{tree}");
+    }
+
+    #[test]
+    fn lag_tracker_measures_the_three_windows() {
+        let mut lag = LagTracker::new();
+        // Disarmed: nothing records.
+        lag.observe_tuple(10);
+        lag.observe_policy(5);
+        assert_eq!(lag.enforce().count(), 0);
+
+        lag.set_armed(true);
+        lag.observe_tuple(990);
+        lag.observe_policy(1000); // in-order sp: clock behind its stamp
+        assert_eq!(lag.enforce().count(), 1);
+        assert_eq!(lag.enforce().sum(), 0, "in-order enforcement is immediate");
+        lag.observe_tuple(1005);
+        lag.observe_release(1005);
+        lag.observe_release(1010); // only the first release counts
+        assert_eq!(lag.release().count(), 1);
+        assert_eq!(lag.release().sum(), 5);
+        lag.observe_suppress(1020);
+        lag.observe_suppress(1030);
+        assert_eq!(lag.suppress().count(), 1);
+        assert_eq!(lag.suppress().sum(), 20);
+
+        // A late sp: enforcement lag is the reorder gap.
+        lag.observe_tuple(2050);
+        lag.observe_policy(2000);
+        assert_eq!(lag.enforce().count(), 2);
+        assert_eq!(lag.enforce().sum(), 50);
+
+        lag.clear();
+        assert!(lag.armed(), "clear keeps arming");
+        assert_eq!(lag.enforce().count(), 0);
+        assert_eq!(lag.release().count(), 0);
+        assert_eq!(lag.suppress().count(), 0);
+    }
+
+    #[test]
+    fn span_config_round_trip() {
+        assert!(!TelemetryConfig::disabled().is_enabled());
+        let cfg = TelemetryConfig { audit_capacity: 0, span_capacity: 16, metrics: false };
+        assert!(cfg.is_enabled());
+        assert_eq!(TelemetryConfig::enabled().span_capacity, DEFAULT_SPAN_CAPACITY);
     }
 }

@@ -95,7 +95,11 @@ fn audited_builder(shed_capacity: u64) -> (PlanBuilder, SinkRef, NodeRef) {
         b.add(Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Int(0)))), shed);
     let ss = b.add(SecurityShield::new(RoleSet::from([1])), sel);
     let sink = b.sink(ss);
-    b.enable_telemetry(TelemetryConfig { audit_capacity: AUDIT_CAP, metrics: false });
+    b.enable_telemetry(TelemetryConfig {
+        audit_capacity: AUDIT_CAP,
+        span_capacity: 0,
+        metrics: false,
+    });
     (b, sink, ss)
 }
 
@@ -244,6 +248,86 @@ fn sequential_and_parallel_audit_trails_encode_identically() {
     );
 }
 
+/// Same shape as [`audited_builder`] but with the span recorders armed
+/// and a shield requiring role 0 — which the workload grants only in
+/// every third segment — so the trace carries both release *and*
+/// suppress spans for the three execution modes to agree on.
+fn span_builder(shed_capacity: u64) -> PlanBuilder {
+    let mut b = PlanBuilder::new(catalog());
+    let src = b.source(StreamId(1), schema());
+    b.harden_source(src, QuarantinePolicy { ttl_ms: 500, slack_ms: 400, capacity: 64 });
+    let shed = b.add(
+        Shedder::new(ShedderConfig {
+            capacity: shed_capacity,
+            drain_per_ms: 0,
+            policy: ShedPolicy::RandomP { p: 0.5, seed: 7 },
+            ..ShedderConfig::default()
+        }),
+        src,
+    );
+    let sel =
+        b.add(Select::new(Expr::cmp(CmpOp::Ge, Expr::Attr(1), Expr::Const(Value::Int(0)))), shed);
+    let ss = b.add(SecurityShield::new(RoleSet::from([0])), sel);
+    let _sink = b.sink(ss);
+    b.enable_telemetry(TelemetryConfig {
+        audit_capacity: AUDIT_CAP,
+        span_capacity: AUDIT_CAP,
+        metrics: false,
+    });
+    b
+}
+
+#[test]
+fn sequential_and_parallel_span_sheets_encode_identically() {
+    let input = workload(&[5]);
+
+    // Sequential reference (no `finish()`, for the same reason as the
+    // audit-trail equality test above). A roomy shedder keeps the whole
+    // workload flowing so every segment reaches the shield.
+    const SHED: u64 = 1 << 16;
+    let mut exec = span_builder(SHED).build();
+    exec.push_all(input.clone()).unwrap();
+    let sheet = exec.span_sheet();
+    let sequential = sheet.encode_to_vec();
+    assert!(!sheet.is_empty(), "armed span recorders must capture the run");
+    assert_eq!(sheet.evicted(), 0, "capacity must hold the whole run for this comparison");
+
+    // The sheet must cover the full enforcement path: analyzer decision,
+    // shield enforcement, and both verdicts.
+    use sp_core::trace::site;
+    let sites: HashSet<u8> = sheet.records().map(|(_, r)| r.site).collect();
+    for s in [site::ANALYZE, site::SHIELD_ENFORCE, site::RELEASE, site::SUPPRESS] {
+        assert!(sites.contains(&s), "missing {} spans", site::name(s));
+    }
+    // Every non-root span points at a parent derived from the same trace:
+    // the tree is causally connected, not a flat list.
+    for (_, r) in sheet.records() {
+        if r.parent != 0 && r.site != site::WIRE_FRAME {
+            assert_ne!(r.parent, r.span_id, "span cannot parent itself");
+        }
+    }
+
+    // Plain parallel run: per-operator threads must record the same
+    // spans in the same canonical order.
+    let results = run_parallel(span_builder(SHED), input.clone()).unwrap();
+    assert_eq!(
+        results.span_sheet().encode_to_vec(),
+        sequential,
+        "parallel span sheet diverged from sequential"
+    );
+
+    // Parallel run with epoch checkpoints interleaved: barriers must not
+    // perturb the trace either.
+    let mut store = MemStore::default();
+    let results = run_parallel_checkpointed(span_builder(SHED), input, 64, &mut store).unwrap();
+    assert!(store.count() > 0);
+    assert_eq!(
+        results.span_sheet().encode_to_vec(),
+        sequential,
+        "checkpointed parallel span sheet diverged from sequential"
+    );
+}
+
 #[test]
 fn audit_ring_bounds_memory_and_counts_evictions() {
     let input = workload(&[]);
@@ -253,7 +337,7 @@ fn audit_ring_bounds_memory_and_counts_evictions() {
     let _sink = b.sink(ss_ref);
     // Tiny ring: most decisions must scroll off, but the recorder keeps
     // exactly the most recent `capacity` and counts the rest.
-    b.enable_telemetry(TelemetryConfig { audit_capacity: 16, metrics: false });
+    b.enable_telemetry(TelemetryConfig { audit_capacity: 16, span_capacity: 0, metrics: false });
     let mut exec = b.build();
     exec.push_all(input).unwrap();
     let trail = exec.audit_trail();

@@ -358,7 +358,11 @@ fn equiv_plan() -> (PlanBuilder, Vec<SinkRef>) {
     let q1 = b.add(SecurityShield::new(RoleSet::from([4])), sel);
     let s0 = b.sink(q0);
     let s1 = b.sink(q1);
-    b.enable_telemetry(TelemetryConfig { audit_capacity: AUDIT_CAP, metrics: false });
+    b.enable_telemetry(TelemetryConfig {
+        audit_capacity: AUDIT_CAP,
+        span_capacity: 0,
+        metrics: false,
+    });
     (b, vec![s0, s1])
 }
 

@@ -1,0 +1,53 @@
+//! The disabled sp-trace path must be zero-cost: with the runtime span
+//! toggle off, feeding records into an *armed* recorder performs no heap
+//! allocation and retains nothing.
+//!
+//! Lives in its own integration binary so the counting global allocator
+//! and the process-wide toggle cannot interfere with any other test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sp_engine::telemetry::span;
+use sp_engine::{SpanRecord, SpanRecorder};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_span_recording_does_not_allocate() {
+    let mut rec = SpanRecorder::new(64);
+    assert!(rec.capacity() > 0, "the recorder is armed; only the toggle is off");
+
+    span::set_enabled(false);
+    assert!(!rec.enabled());
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        rec.record(SpanRecord::at(i, 0, 0, i, i));
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    span::set_enabled(true);
+
+    assert_eq!(after, before, "disabled span path allocated");
+    assert!(rec.is_empty(), "disabled span path retained records");
+    assert_eq!(rec.evicted(), 0);
+
+    // Sanity: the same recorder records once the toggle is back on.
+    rec.record(SpanRecord::at(1, 0, 0, 1, 1));
+    assert_eq!(rec.len(), 1);
+}

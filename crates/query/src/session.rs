@@ -332,6 +332,15 @@ impl RunningDsms {
         self.executor.audit_trail()
     }
 
+    /// The session's sp-trace span sheet: the causal spans recorded by
+    /// every analyzer and shield so far, in canonical operator order.
+    /// Empty unless [`Dsms::telemetry`] was set with a span capacity
+    /// before `start`.
+    #[must_use]
+    pub fn span_sheet(&self) -> sp_engine::SpanSheet {
+        self.executor.span_sheet()
+    }
+
     /// The session's metrics snapshot in Prometheus text exposition
     /// format (counters always; latency/queue histograms when
     /// [`Dsms::telemetry`] enabled metrics collection).

@@ -72,6 +72,10 @@ pub struct ClientConfig {
     /// up (0 = fail fast). Failover needs patience: promotion may lag
     /// the moment the primary stopped answering.
     pub connect_patience_ms: u64,
+    /// Send a `Control::Trace` causal context ahead of every data frame,
+    /// rooting the server-side span tree in this client's frame identity.
+    /// Purely observational — the server never replies to it.
+    pub trace: bool,
 }
 
 impl Default for ClientConfig {
@@ -87,6 +91,7 @@ impl Default for ClientConfig {
             restamp_tick_ms: 0,
             failover: None,
             connect_patience_ms: 0,
+            trace: true,
         }
     }
 }
@@ -351,7 +356,20 @@ impl LoadClient {
                     })
                     .collect();
                 let msg = Message { stream: stream_id, elements };
-                if stream.write_all(&msg.encode_to_vec()).is_err() {
+                let mut wire = Vec::new();
+                if self.cfg.trace {
+                    // The client-side root of the causal chain: a
+                    // deterministic context derived from (tenant, stream,
+                    // frame position), so replays and reconnects produce
+                    // the same trace ids.
+                    let ctx =
+                        sp_core::TraceContext::derive(self.cfg.tenant, stream_id.0, pos as u64);
+                    let trace =
+                        Control::Trace { trace_id: ctx.trace_id, parent_span: ctx.parent_span };
+                    wire.extend_from_slice(&trace.encode_to_vec());
+                }
+                wire.extend_from_slice(&msg.encode_to_vec());
+                if stream.write_all(&wire).is_err() {
                     if self.report.reconnects >= self.cfg.max_reconnects {
                         break 'sessions;
                     }

@@ -73,6 +73,11 @@ pub struct ServerConfig {
     /// racing a frame already in flight past the connection-level check.
     /// Exercises the worker-level fail-closed gate deterministically.
     pub chaos_fence_at_frame: u64,
+    /// Capacity of each tenant worker's ingress span recorder (wire-frame
+    /// arrival spans for `/trace`); 0 disables ingress spans. Engine-side
+    /// span capacity is configured per tenant by the session factory's
+    /// `TelemetryConfig`.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +98,7 @@ impl Default for ServerConfig {
             repl_faults: None,
             chaos_repl_stop_after_frames: 0,
             chaos_fence_at_frame: 0,
+            trace_capacity: 1024,
         }
     }
 }

@@ -25,6 +25,10 @@ pub(crate) trait Observe: Send + Sync + 'static {
     fn stopped(&self) -> bool;
     /// The `/metrics` body (Prometheus text exposition format).
     fn metrics_text(&self) -> String;
+    /// The `/trace` body (Chrome trace-event JSON).
+    fn trace_text(&self) -> String;
+    /// The `/audit` body (human-readable audit trail + span tree).
+    fn audit_text(&self) -> String;
     /// Readiness: `(ready, status line)`.
     fn health(&self) -> (bool, String);
 }
@@ -36,6 +40,14 @@ impl Observe for ServerState {
 
     fn metrics_text(&self) -> String {
         self.metrics().render_prometheus()
+    }
+
+    fn trace_text(&self) -> String {
+        self.trace_json()
+    }
+
+    fn audit_text(&self) -> String {
+        self.audit_text()
     }
 
     fn health(&self) -> (bool, String) {
@@ -85,6 +97,14 @@ impl Observe for StandbyState {
         reg.render_prometheus()
     }
 
+    fn trace_text(&self) -> String {
+        self.span_sheet().render_chrome_json()
+    }
+
+    fn audit_text(&self) -> String {
+        self.span_sheet().render_tree()
+    }
+
     fn health(&self) -> (bool, String) {
         let applied = {
             let map = self.applied.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -123,6 +143,8 @@ fn serve_one(state: &dyn Observe, mut stream: TcpStream) {
     let path = line.split_whitespace().nth(1).unwrap_or("/");
     let (status, content_type, body) = match path {
         "/metrics" => ("200 OK", "text/plain; version=0.0.4", state.metrics_text()),
+        "/trace" => ("200 OK", "application/json", state.trace_text()),
+        "/audit" => ("200 OK", "text/plain", state.audit_text()),
         "/healthz" => {
             let (ready, text) = state.health();
             (if ready { "200 OK" } else { "503 Service Unavailable" }, "text/plain", text)

@@ -36,8 +36,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use sp_core::trace::{site, trace_id_for_checkpoint};
 use sp_core::wire::{crc32, Control, StreamDecoder, WireFrame};
-use sp_engine::{Checkpoint, CheckpointStore, LinkFaultInjector, MemStore};
+use sp_engine::telemetry::NO_TUPLE;
+use sp_engine::{
+    AuditOp, Checkpoint, CheckpointStore, LinkFaultInjector, MemStore, SpanRecord, SpanRecorder,
+    SpanSheet,
+};
 
 use crate::config::ServerConfig;
 use crate::server::Server;
@@ -362,6 +367,9 @@ pub(crate) struct StandbyState {
     pub stopping: AtomicBool,
     /// Live replication connections (fenced on promote).
     conns: Mutex<Vec<TcpStream>>,
+    /// `STANDBY_APPLY` spans: one per verified-and-applied checkpoint,
+    /// keyed to the deterministic `(tenant, epoch)` checkpoint trace id.
+    pub(crate) spans: Mutex<SpanRecorder>,
 }
 
 impl StandbyState {
@@ -438,7 +446,26 @@ impl StandbyState {
         }
         unpoison(self.applied.lock()).insert(tenant, epoch);
         self.commits_applied.fetch_add(1, Ordering::SeqCst);
+        {
+            // Deterministic apply span: the same checkpoint applied on
+            // any standby produces the same record (ts is the epoch —
+            // stream-time-like, never wall clock).
+            let trace = trace_id_for_checkpoint(tenant, epoch);
+            let mut spans = unpoison(self.spans.lock());
+            spans.record(SpanRecord::at(trace, site::STANDBY_APPLY, 0, NO_TUPLE, epoch));
+        }
         true
+    }
+
+    /// The standby's span sheet: one supervisor-level section of
+    /// `STANDBY_APPLY` spans.
+    pub(crate) fn span_sheet(&self) -> SpanSheet {
+        let rec = unpoison(self.spans.lock()).clone();
+        let mut sheet = SpanSheet::new();
+        if !rec.is_empty() || rec.evicted() > 0 {
+            sheet.push_section(AuditOp::Supervisor, rec);
+        }
+        sheet
     }
 }
 
@@ -486,6 +513,7 @@ impl Standby {
             commits_applied: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
+            spans: Mutex::new(SpanRecorder::new(1024)),
         });
         let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let (metrics_addr, metrics_join) = if metrics {
@@ -629,6 +657,13 @@ impl StandbyHandle {
     #[must_use]
     pub fn apply_failures(&self) -> u64 {
         self.state.apply_failures.load(Ordering::SeqCst)
+    }
+
+    /// The standby's `STANDBY_APPLY` span sheet (one span per verified
+    /// checkpoint apply).
+    #[must_use]
+    pub fn span_sheet(&self) -> SpanSheet {
+        self.state.span_sheet()
     }
 
     /// The stores replicated checkpoints are applied into (pass to the

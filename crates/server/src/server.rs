@@ -172,6 +172,60 @@ impl ServerState {
         reg
     }
 
+    /// One tenant's merged span sheet, fetched through the worker FIFO.
+    pub(crate) fn tenant_spans(&self, tenant: u32) -> Option<sp_engine::SpanSheet> {
+        let h = {
+            let map = unpoison(self.tenants.lock());
+            map.get(&tenant).cloned()
+        }?;
+        let (tx, rx) = mpsc::sync_channel(1);
+        h.tx.send(Cmd::Trace { reply: tx }).ok()?;
+        rx.recv_timeout(Duration::from_secs(2)).ok()
+    }
+
+    /// Chrome trace-event JSON over every live tenant: each tenant's
+    /// span sheet becomes one `pid` lane so merged runs stay readable.
+    pub(crate) fn trace_json(&self) -> String {
+        let mut ids: Vec<u32> = unpoison(self.tenants.lock()).keys().copied().collect();
+        ids.sort_unstable();
+        let mut events = Vec::new();
+        for id in ids {
+            if let Some(sheet) = self.tenant_spans(id) {
+                sheet.chrome_events(id, &mut events);
+            }
+        }
+        format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+    }
+
+    /// Human-readable audit + span-tree text over every live tenant.
+    pub(crate) fn audit_text(&self) -> String {
+        let mut ids: Vec<u32> = unpoison(self.tenants.lock()).keys().copied().collect();
+        ids.sort_unstable();
+        let mut out = String::new();
+        for id in ids {
+            out.push_str(&format!("== tenant {id} ==\n"));
+            let h = {
+                let map = unpoison(self.tenants.lock());
+                map.get(&id).cloned()
+            };
+            if let Some(h) = h {
+                let (tx, rx) = mpsc::sync_channel(1);
+                if h.tx.send(Cmd::Audit { reply: tx }).is_ok() {
+                    if let Ok(text) = rx.recv_timeout(Duration::from_secs(2)) {
+                        out.push_str(&text);
+                    }
+                }
+            }
+            if let Some(sheet) = self.tenant_spans(id) {
+                if !sheet.is_empty() {
+                    out.push_str("-- spans --\n");
+                    out.push_str(&sheet.render_tree());
+                }
+            }
+        }
+        out
+    }
+
     /// Readiness: `(ready, status line)`. Fail closed — anything other
     /// than a live, accepting server is not ready.
     pub(crate) fn healthz(&self) -> (bool, String) {
@@ -360,9 +414,10 @@ fn round_trip(
     handle: &TenantHandle,
     stream: sp_core::StreamId,
     elements: Vec<sp_core::StreamElement>,
+    trace: Option<sp_core::TraceContext>,
 ) -> FrameOutcome {
     let (tx, rx) = mpsc::sync_channel(1);
-    if handle.tx.send(Cmd::Frame { stream, elements, reply: tx }).is_err() {
+    if handle.tx.send(Cmd::Frame { stream, elements, trace, reply: tx }).is_err() {
         return FrameOutcome::Quarantined { code: QuarantineCode::Panicked };
     }
     match rx.recv_timeout(Duration::from_secs(10)) {
@@ -379,6 +434,7 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))));
     let mut dec = StreamDecoder::new(cfg.max_frame_len);
     let mut tenant: Option<Arc<TenantHandle>> = None;
+    let mut pending_trace: Option<sp_core::TraceContext> = None;
     let mut idle_ms = 0u64;
     let mut buf = [0u8; 16 * 1024];
     'conn: loop {
@@ -451,7 +507,7 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
                         break 'conn;
                     };
                     let t0 = Instant::now();
-                    let outcome = round_trip(h, msg.stream, msg.elements);
+                    let outcome = round_trip(h, msg.stream, msg.elements, pending_trace.take());
                     let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
                     unpoison(state.latency.lock()).record(us);
                     state.frames.fetch_add(1, Ordering::SeqCst);
@@ -469,9 +525,15 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
                         break 'conn;
                     }
                 }
+                WireFrame::Control(Control::Trace { trace_id, parent_span }) => {
+                    // Causal context for the *next* data frame. Purely
+                    // observational: no reply, no state change beyond
+                    // remembering it for the frame that follows.
+                    pending_trace = Some(sp_core::TraceContext { trace_id, parent_span });
+                }
                 WireFrame::Control(_) => {
-                    // Clients only send Hello; anything else is a
-                    // protocol violation.
+                    // Clients only send Hello and Trace; anything else is
+                    // a protocol violation.
                     state.protocol_errors.fetch_add(1, Ordering::SeqCst);
                     break 'conn;
                 }
@@ -521,6 +583,26 @@ impl ServerHandle {
     #[must_use]
     pub fn metrics_prometheus(&self) -> String {
         self.state.metrics().render_prometheus()
+    }
+
+    /// One tenant's merged span sheet (ingress + engine sections), live.
+    #[must_use]
+    pub fn tenant_spans(&self, tenant: u32) -> Option<sp_engine::SpanSheet> {
+        self.state.tenant_spans(tenant)
+    }
+
+    /// Chrome trace-event JSON over every live tenant (what `/trace`
+    /// serves).
+    #[must_use]
+    pub fn trace_json(&self) -> String {
+        self.state.trace_json()
+    }
+
+    /// Human-readable audit + span-tree text over every live tenant
+    /// (what `/audit` serves).
+    #[must_use]
+    pub fn audit_text(&self) -> String {
+        self.state.audit_text()
     }
 
     /// True when this node was deposed by a newer fencing epoch.

@@ -15,11 +15,12 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
-use sp_core::{QuarantineCode, StreamElement, StreamId};
+use sp_core::trace::{site, trace_id_for_sp, trace_id_for_tuple};
+use sp_core::{QuarantineCode, StreamElement, StreamId, TraceContext};
 use sp_engine::telemetry::NO_TUPLE;
 use sp_engine::{
     AuditEvent, AuditOp, AuditTrail, CheckpointStore, EngineError, FlightRecorder, MemStore,
-    MetricsRegistry,
+    MetricsRegistry, SpanRecord, SpanRecorder, SpanSheet,
 };
 use sp_query::{Dsms, RunningDsms};
 
@@ -144,14 +145,24 @@ pub struct TenantReport {
 /// Commands a tenant worker accepts from connection threads and the
 /// server's drain path.
 pub(crate) enum Cmd {
-    /// Push one decoded data frame; reply with the outcome.
-    Frame { stream: StreamId, elements: Vec<StreamElement>, reply: SyncSender<FrameOutcome> },
+    /// Push one decoded data frame; reply with the outcome. `trace` is
+    /// the client-supplied causal context for the frame, if any.
+    Frame {
+        stream: StreamId,
+        elements: Vec<StreamElement>,
+        trace: Option<TraceContext>,
+        reply: SyncSender<FrameOutcome>,
+    },
     /// Quarantine the session (transport-level verdict, e.g. garbage).
     Quarantine { code: QuarantineCode },
     /// Report current session state without stopping.
     Report { reply: SyncSender<TenantReport> },
     /// Report current engine metrics without stopping.
     Metrics { reply: SyncSender<MetricsRegistry> },
+    /// Report the merged span sheet (ingress + engine) without stopping.
+    Trace { reply: SyncSender<SpanSheet> },
+    /// Report the rendered audit trail without stopping.
+    Audit { reply: SyncSender<String> },
     /// Checkpoint (unless quarantined), report, and stop.
     Drain { reply: SyncSender<TenantReport> },
 }
@@ -188,6 +199,9 @@ struct Worker {
     ship_tx: Option<SyncSender<ShipRequest>>,
     fenced_refused: u64,
     fence_audit: FlightRecorder,
+    /// Wire-frame arrival spans (site `WIRE_FRAME`), parented to the
+    /// client-supplied trace context when one rode ahead of the frame.
+    ingress: SpanRecorder,
 }
 
 impl Worker {
@@ -200,7 +214,12 @@ impl Worker {
     /// Pushes one frame's elements, tracking admission refusals.
     /// Runs under `catch_unwind`: a panic anywhere in here quarantines
     /// the tenant (the caller handles the unwind).
-    fn push_frame(&mut self, stream: StreamId, elements: Vec<StreamElement>) -> FrameOutcome {
+    fn push_frame(
+        &mut self,
+        stream: StreamId,
+        elements: Vec<StreamElement>,
+        trace: Option<TraceContext>,
+    ) -> FrameOutcome {
         self.frames_seen += 1;
         if self.cfg.chaos_fence_at_frame > 0 && self.frames_seen == self.cfg.chaos_fence_at_frame {
             // Chaos: a deposing epoch lands while this frame is already
@@ -238,6 +257,17 @@ impl Worker {
                 }
             }
             let is_tuple = elem.is_tuple();
+            if self.ingress.enabled() {
+                // The WIRE_FRAME span: the element's arrival at the front
+                // door, keyed to its own deterministic trace id and
+                // parented to the client's root span when one was sent.
+                let (trace_id, tid, ts) = match &elem {
+                    StreamElement::Tuple(t) => (trace_id_for_tuple(t.tid.0), t.tid.0, t.ts.0),
+                    StreamElement::Punctuation(sp) => (trace_id_for_sp(sp.ts.0), NO_TUPLE, sp.ts.0),
+                };
+                let parent = trace.map_or(0, |c| c.parent_span);
+                self.ingress.record(SpanRecord::at(trace_id, site::WIRE_FRAME, parent, tid, ts));
+            }
             match session.try_push(stream, elem) {
                 Ok(()) => {
                     if is_tuple {
@@ -283,6 +313,16 @@ impl Worker {
                 }
             }
         }
+    }
+
+    /// The merged span sheet: the ingress (wire-frame) section followed
+    /// by the engine's analyzer/operator sections, in canonical order.
+    fn span_sheet(&self) -> SpanSheet {
+        let mut sheet = self.session.as_ref().map(RunningDsms::span_sheet).unwrap_or_default();
+        if !self.ingress.is_empty() || self.ingress.evicted() > 0 {
+            sheet.push_section(AuditOp::Ingress, self.ingress.clone());
+        }
+        sheet
     }
 
     fn report(&self) -> TenantReport {
@@ -331,9 +371,9 @@ impl Worker {
     fn run(mut self, rx: &Receiver<Cmd>) {
         while let Ok(cmd) = rx.recv() {
             match cmd {
-                Cmd::Frame { stream, elements, reply } => {
+                Cmd::Frame { stream, elements, trace, reply } => {
                     let outcome =
-                        catch_unwind(AssertUnwindSafe(|| self.push_frame(stream, elements)));
+                        catch_unwind(AssertUnwindSafe(|| self.push_frame(stream, elements, trace)));
                     let outcome = match outcome {
                         Ok(o) => o,
                         Err(_) => {
@@ -354,6 +394,17 @@ impl Worker {
                     let reg =
                         self.session.as_ref().map(|s| s.executor.metrics()).unwrap_or_default();
                     let _ = reply.send(reg);
+                }
+                Cmd::Trace { reply } => {
+                    let _ = reply.send(self.span_sheet());
+                }
+                Cmd::Audit { reply } => {
+                    let text = self
+                        .session
+                        .as_ref()
+                        .map(|s| s.audit_trail().render(None))
+                        .unwrap_or_default();
+                    let _ = reply.send(text);
                 }
                 Cmd::Drain { reply } => {
                     if !self.quarantined.load(Ordering::SeqCst) {
@@ -409,6 +460,7 @@ pub(crate) fn spawn_tenant(
             ship_tx,
             fenced_refused: 0,
             fence_audit: FlightRecorder::new(1024),
+            ingress: SpanRecorder::new(cfg.trace_capacity),
         };
         match built {
             Ok((dsms, Ok(session))) => {

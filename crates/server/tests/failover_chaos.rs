@@ -170,6 +170,29 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
     out
 }
 
+/// Only the engine-recorded sections of a span sheet (the worker's
+/// wire-frame ingress section depends on how the client chunked frames,
+/// which an in-process control has no counterpart for).
+fn engine_sections(sheet: &sp_engine::SpanSheet) -> sp_engine::SpanSheet {
+    let mut out = sp_engine::SpanSheet::new();
+    for (op, rec) in sheet.sections() {
+        if op != sp_engine::AuditOp::Ingress {
+            out.push_section(op, rec.clone());
+        }
+    }
+    out
+}
+
+/// Total observations across every series of one lag-histogram family.
+fn lag_count(text: &str, family: &str) -> u64 {
+    let prefix = format!("{family}_count");
+    text.lines()
+        .filter(|l| l.starts_with(&prefix))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .sum::<f64>() as u64
+}
+
 // ------------------------------------------------------------------ tests
 
 /// Clean replication: the standby converges to the primary's durable
@@ -450,6 +473,131 @@ fn stale_primary_is_fenced_and_releases_nothing() {
     let t = report.tenant(0).unwrap();
     assert_eq!(t.input_pos, input.len() as u64);
     assert_failover_invariants("split-brain", t, &control, &full_baseline);
+}
+
+/// sp-trace across failover: one client-submitted stream is traceable
+/// end-to-end on the primary (wire frame → analyzer decision → shield
+/// enforcement → verdict), the standby records a deterministic apply
+/// span per committed epoch, and after promotion the replayed suffix's
+/// span tree and enforcement-lag histograms are *identical* to an
+/// unfailed control resumed from the same replicated checkpoint.
+#[test]
+fn failover_preserves_span_trees_and_enforcement_lag() {
+    use sp_core::trace::{site, span_id, trace_id_for_checkpoint};
+
+    let f = factory();
+    let input = workload_input(28);
+
+    let standby = Standby::start(Arc::clone(&f), StoreMap::new(), true).unwrap();
+    let cfg = ServerConfig {
+        checkpoint_every_frames: 4,
+        replicate_to: Some(standby.repl_addr),
+        metrics: true,
+        ..default_cfg()
+    };
+    let primary = Server::start(cfg, Arc::clone(&f), StoreMap::new()).unwrap();
+
+    let part = &input[..input.len() * 2 / 3];
+    let r1 = LoadClient::new(ClientConfig::default()).run(primary.addr, part);
+    assert!(r1.completed, "{r1:?}");
+    assert!(wait_applied(&standby, 0, 1, Duration::from_secs(10)), "standby never applied");
+
+    // End-to-end on the live primary: the merged span sheet carries the
+    // whole enforcement path, causally linked.
+    let sheet = primary.tenant_spans(0).unwrap();
+    let spans: Vec<sp_engine::SpanRecord> = sheet.records().map(|(_, r)| *r).collect();
+    let has = |s: u8| spans.iter().any(|r| r.site == s);
+    for s in [site::WIRE_FRAME, site::ANALYZE, site::SHIELD_ENFORCE] {
+        assert!(has(s), "missing {} spans", site::name(s));
+    }
+    assert!(has(site::RELEASE) || has(site::SUPPRESS), "no verdict spans recorded");
+    for r in &spans {
+        match r.site {
+            // The client stamped every frame, so no ingress span is a
+            // root: each hangs off the client's submit span.
+            site::WIRE_FRAME => assert_ne!(r.parent, 0, "ingress span lost its client root"),
+            // An sp's analyze span hangs off the wire frame that
+            // carried it; enforcement hangs off the decision.
+            site::ANALYZE => assert_eq!(r.parent, span_id(r.trace_id, site::WIRE_FRAME)),
+            site::SHIELD_ENFORCE => assert_eq!(r.parent, span_id(r.trace_id, site::ANALYZE)),
+            _ => {}
+        }
+    }
+
+    // The same story over HTTP, next to /metrics.
+    let tj = http_get(primary.metrics_addr.unwrap(), "/trace");
+    assert!(tj.contains("traceEvents"), "{tj}");
+    for name in ["wire_frame", "analyze", "shield_enforce"] {
+        assert!(tj.contains(name), "/trace is missing {name} lanes");
+    }
+    assert!(http_get(primary.metrics_addr.unwrap(), "/audit").contains("-- spans --"));
+    let pm = http_get(primary.metrics_addr.unwrap(), "/metrics");
+    assert!(lag_count(&pm, "sp_enforce_lag_ms") > 0, "no enforcement-lag observations: {pm}");
+
+    // Crash the primary mid-run.
+    std::thread::sleep(Duration::from_millis(120));
+    assert!(!primary.kill().clean);
+
+    // The standby traced every commit it applied — deterministically:
+    // trace id derived from (tenant, epoch), stamped with the epoch
+    // itself, never wall clock.
+    let s_sheet = standby.span_sheet();
+    let applies: Vec<sp_engine::SpanRecord> =
+        s_sheet.records().filter(|(_, r)| r.site == site::STANDBY_APPLY).map(|(_, r)| *r).collect();
+    assert!(!applies.is_empty(), "standby applied commits but traced none");
+    for r in &applies {
+        assert_eq!(r.trace_id, trace_id_for_checkpoint(0, r.ts));
+        assert_eq!(r.parent, 0, "apply spans are roots of the replication trace");
+    }
+    assert!(http_get(standby.metrics_addr.unwrap(), "/trace").contains("standby_apply"));
+
+    // Unfailed control: resume from the very checkpoint the standby
+    // holds, replay the tail in-process, capture spans + lag.
+    let replicated = standby.stores().store(0).load_latest();
+    let (control_spans, control_metrics) = {
+        let dsms = f(0);
+        let mut store = MemStore::new();
+        if let Some(c) = &replicated {
+            store.save(c).unwrap();
+        }
+        let running = {
+            let mut running = dsms.resume(&store).unwrap();
+            let from = usize::try_from(running.input_pos()).unwrap().min(input.len());
+            for (s, e) in &input[from..] {
+                let _ = running.try_push(*s, e.clone());
+            }
+            running
+        };
+        (running.span_sheet(), running.metrics_prometheus())
+    };
+
+    // Promote and finish the run against the standby.
+    let promoted = standby.promote(ServerConfig { metrics: true, ..default_cfg() }).unwrap();
+    let r2 = LoadClient::new(ClientConfig::default()).run(promoted.addr, &input);
+    assert!(r2.completed, "{r2:?}");
+
+    // The promoted node's engine span tree for the replayed suffix is
+    // byte-identical to the unfailed control's, and its wire-frame
+    // ingress section ties that replay back to client frames.
+    let p_sheet = promoted.tenant_spans(0).unwrap();
+    assert!(p_sheet.sections().any(|(op, _)| op == sp_engine::AuditOp::Ingress));
+    assert_eq!(
+        engine_sections(&p_sheet).encode_to_vec(),
+        control_spans.encode_to_vec(),
+        "promoted span tree diverged from the unfailed control"
+    );
+
+    // Enforcement-lag histograms agree observation-for-observation.
+    let pm2 = http_get(promoted.metrics_addr.unwrap(), "/metrics");
+    for fam in ["sp_enforce_lag_ms", "sp_first_release_lag_ms", "sp_suppress_lag_ms"] {
+        assert_eq!(
+            lag_count(&pm2, fam),
+            lag_count(&control_metrics, fam),
+            "{fam} diverged across failover"
+        );
+    }
+    assert!(lag_count(&pm2, "sp_enforce_lag_ms") > 0);
+    assert!(promoted.drain().clean);
 }
 
 /// The worker-level fail-closed gate: a deposing epoch lands while a
