@@ -286,6 +286,69 @@ pub fn corrupt(stage: &str, e: CodecError) -> EngineError {
     EngineError::corrupt(stage, e)
 }
 
+/// Merges the state suffixes of a delayed-sp-propagation operator's shard
+/// replicas into the canonical (sequential-equivalent) suffix.
+///
+/// The suffix layout is `replicated_segments` optional segment policies
+/// whose value is a pure function of the broadcast policy sequence (and
+/// must therefore be byte-identical on every shard), followed by one
+/// *pending* optional segment policy — the policy awaiting its first
+/// surviving tuple. The pending flush moment is tuple-dependent, so
+/// replicas legitimately disagree on it: a shard flushes when *its*
+/// partition produces a survivor. The sequential run flushes as soon as
+/// *any* tuple survives, so the canonical pending state is `None` exactly
+/// when at least one replica has flushed.
+///
+/// # Errors
+///
+/// Fails closed with [`EngineError::ShardDivergence`] when the replicated
+/// segments differ, or when replicas hold different (non-`None`) pending
+/// policies — both mean the broadcast plane is broken.
+pub(crate) fn merge_delayed_suffix(
+    stage: &str,
+    parts: &[&[u8]],
+    replicated_segments: usize,
+) -> Result<Vec<u8>, EngineError> {
+    let Some(first) = parts.first() else {
+        return Ok(Vec::new());
+    };
+    // (byte offset where the pending segment starts, pending is Some)
+    let mut decoded = Vec::with_capacity(parts.len());
+    for part in parts {
+        let mut slice = *part;
+        for _ in 0..replicated_segments {
+            decode_opt_segment(&mut slice).map_err(|e| corrupt(stage, e))?;
+        }
+        let split = part.len() - slice.len();
+        let pending = decode_opt_segment(&mut slice).map_err(|e| corrupt(stage, e))?;
+        done(&slice).map_err(|e| corrupt(stage, e))?;
+        decoded.push((split, pending.is_some()));
+    }
+    let first_split = decoded[0].0;
+    for (part, (split, _)) in parts.iter().zip(&decoded) {
+        if part[..*split] != first[..first_split] {
+            return Err(EngineError::ShardDivergence {
+                stage: stage.into(),
+                reason: "replicated policy state differs across shard replicas".into(),
+            });
+        }
+    }
+    if decoded.iter().any(|(_, some)| !some) {
+        // At least one shard saw a survivor: the sequential run has
+        // flushed, so the canonical pending state is empty.
+        let mut out = first[..first_split].to_vec();
+        encode_opt_segment(None, &mut out);
+        return Ok(out);
+    }
+    if parts[1..].iter().any(|p| p != first) {
+        return Err(EngineError::ShardDivergence {
+            stage: stage.into(),
+            reason: "shard replicas hold different pending policies".into(),
+        });
+    }
+    Ok(first.to_vec())
+}
+
 /// A consistent cut of a running plan at one epoch boundary.
 ///
 /// `input_pos` is the number of recorded input elements the sources had

@@ -45,6 +45,30 @@ pub enum EngineError {
     ShutdownTimeout {
         /// Number of workers still running at the deadline.
         pending_workers: usize,
+        /// Stage names of the stalled workers, when known, so a wedged
+        /// graph names the culprit instead of just counting it.
+        stalled: Vec<String>,
+    },
+    /// Two shard replicas of the same plan disagreed on policy state at
+    /// a consistent cut. Replicated policy state (security punctuations
+    /// are broadcast to every shard) must be byte-identical everywhere;
+    /// a divergence means enforcement can no longer be trusted, so the
+    /// sharded executor fails closed rather than pick a winner.
+    ShardDivergence {
+        /// The plan component whose replicas disagreed.
+        stage: String,
+        /// Human-readable detail.
+        reason: String,
+    },
+    /// The plan cannot run sharded: it contains an operator whose state
+    /// depends on seeing the *whole* tuple stream (joins, dup-elim,
+    /// aggregation, load shedders), which hash partitioning would
+    /// silently corrupt. Fail-closed: refused at build time.
+    ShardUnsupported {
+        /// The offending operator's name.
+        operator: String,
+        /// Why the plan shape cannot be partitioned.
+        reason: String,
     },
     /// A checkpoint (or one operator's snapshot within it) failed to
     /// decode during recovery. Restore is fail-closed: a corrupt snapshot
@@ -94,8 +118,19 @@ impl fmt::Display for EngineError {
             Self::ChannelDisconnected { stage } => {
                 write!(f, "stage {stage:?} lost its channel before end of stream")
             }
-            Self::ShutdownTimeout { pending_workers } => {
-                write!(f, "{pending_workers} worker(s) still running at shutdown deadline")
+            Self::ShutdownTimeout { pending_workers, stalled } => {
+                write!(f, "{pending_workers} worker(s) still running at shutdown deadline")?;
+                if stalled.is_empty() {
+                    Ok(())
+                } else {
+                    write!(f, " (stalled: {})", stalled.join(", "))
+                }
+            }
+            Self::ShardDivergence { stage, reason } => {
+                write!(f, "shard replicas diverged at {stage:?}: {reason}")
+            }
+            Self::ShardUnsupported { operator, reason } => {
+                write!(f, "operator {operator:?} cannot run key-partitioned: {reason}")
             }
             Self::CheckpointCorrupt { stage, reason } => {
                 write!(f, "checkpoint snapshot for {stage:?} is corrupt: {reason}")
@@ -144,8 +179,13 @@ mod tests {
     fn display_is_informative() {
         let e = EngineError::BadPort { operator: "sajoin".into(), port: 3, arity: 2 };
         assert!(e.to_string().contains("port 3"));
-        let e = EngineError::ShutdownTimeout { pending_workers: 2 };
+        let e = EngineError::ShutdownTimeout { pending_workers: 2, stalled: vec![] };
         assert!(e.to_string().contains("2 worker"));
+        let e = EngineError::ShutdownTimeout {
+            pending_workers: 2,
+            stalled: vec!["node 1 shield".into(), "sink 0".into()],
+        };
+        assert!(e.to_string().contains("stalled: node 1 shield, sink 0"));
         let e = EngineError::Overloaded { retry_after_ms: 40 };
         assert!(e.to_string().contains("retry after 40 ms"));
     }

@@ -23,6 +23,10 @@
 //! * [`parallel`] — a pipeline-parallel runner (one thread per operator,
 //!   bounded channels, panic containment) that reproduces the sequential
 //!   executor's results exactly;
+//! * [`shard`] — key-partitioned scale-*out*: N shard replicas behind a
+//!   deterministic exchange merge, with broadcast sps, shard-spanning
+//!   canonical checkpoints, and byte-identical observables at any shard
+//!   count;
 //! * [`error`] — typed runtime errors: hostile input fails a query, not
 //!   the process;
 //! * [`fault`] — deterministic seeded fault injection (drop / duplicate /
@@ -64,6 +68,7 @@ pub mod parallel;
 pub mod plan;
 pub mod predicate_index;
 pub mod reorder;
+pub mod shard;
 pub mod slack;
 pub mod stats;
 pub mod supervisor;
@@ -95,10 +100,12 @@ pub use parallel::{run_parallel, run_parallel_checkpointed, ParallelResults};
 pub use plan::{Executor, NodeRef, PlanBuilder, SinkRef, SourceRef, Upstream};
 pub use predicate_index::{PredicateIndex, QuerySet};
 pub use reorder::ReorderBuffer;
+pub use shard::{Partitioner, ShardedExecutor};
 pub use slack::Slack;
 pub use stats::{CostKind, DegradationStats, OperatorStats};
 pub use supervisor::{
-    run_supervised, RecoveryReport, SupervisedRun, SupervisorConfig, DEFAULT_EPOCH_INTERVAL,
+    run_supervised, run_supervised_sharded, RecoveryReport, SessionExecutor, SupervisedRun,
+    SupervisorConfig, DEFAULT_EPOCH_INTERVAL,
 };
 pub use telemetry::{
     AuditEvent, AuditOp, AuditRecord, AuditTrail, CipherViolation, FlightRecorder, Histogram,

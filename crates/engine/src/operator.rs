@@ -131,6 +131,77 @@ pub trait Operator: Send {
         None
     }
 
+    /// Whether this operator may be replicated across key-partitioned
+    /// shards (each replica sees only its shard's tuples, but *every*
+    /// security punctuation). True only when the operator's output and
+    /// state depend on each tuple independently plus broadcast policy
+    /// state — per-tuple filters, projections, and the Security Shield
+    /// qualify. Whole-stream operators (joins, dup-elim, aggregation,
+    /// load shedders) must keep the default `false`: partitioning would
+    /// silently change their results, so the sharded builder refuses
+    /// them fail-closed.
+    fn shard_safe(&self) -> bool {
+        false
+    }
+
+    /// Whether this operator practises *delayed sp propagation*: it holds
+    /// the latest segment policy pending and flushes it downstream only
+    /// before the first surviving tuple of the segment (§IV-B). Under key
+    /// partitioning the flush moment is tuple-dependent and therefore
+    /// shard-local, so the sharded builder requires such an operator to
+    /// reach its sink through [`Operator::policy_transparent`] operators
+    /// only (sole ownership at every step) — the exchange coordinator
+    /// then deduplicates the per-shard flushes (the first flush in merged
+    /// seq order lands exactly at the sequential position) and
+    /// reconstructs the canonical `sps_out` from the canonical sink's
+    /// intake. Two delaying operators on one path are refused: the
+    /// downstream one's pending policy diverges in *value* per shard.
+    fn delays_sps(&self) -> bool {
+        false
+    }
+
+    /// Whether this operator forwards every arriving segment policy
+    /// downstream immediately, exactly once, and deterministically
+    /// (possibly transformed — projection remaps attribute grants to
+    /// output positions). Such operators may sit *between* a
+    /// delayed-propagation operator and its sink under key-partitioned
+    /// sharding: per-shard duplicate flushes stay byte-equal through
+    /// them, so the exchange's sink-side dedup still recognizes copies,
+    /// and their canonical sp counters equal the sink's deduplicated
+    /// intake. Operators that hold, drop, reorder, or multiply policies
+    /// keep the default `false`.
+    fn policy_transparent(&self) -> bool {
+        false
+    }
+
+    /// Merges the post-counter state suffixes of this operator's shard
+    /// replicas into the canonical (sequential-equivalent) suffix for a
+    /// shard-spanning checkpoint. `parts` holds one suffix per shard (the
+    /// snapshot bytes after the logical-counter prefix), aligned on the
+    /// same barrier.
+    ///
+    /// The default demands byte-equality — correct for every operator
+    /// whose state is a pure function of the broadcast policy sequence.
+    /// Operators with tuple-dependent state (a pending policy awaiting its
+    /// first survivor) override this with a semantic merge.
+    ///
+    /// # Errors
+    ///
+    /// Fails closed with [`EngineError::ShardDivergence`] when the
+    /// replicas disagree in a way the operator cannot reconcile.
+    fn merge_shard_state(&self, parts: &[&[u8]]) -> Result<Vec<u8>, EngineError> {
+        let Some((first, rest)) = parts.split_first() else {
+            return Ok(Vec::new());
+        };
+        if rest.iter().any(|p| p != first) {
+            return Err(EngineError::ShardDivergence {
+                stage: self.name().into(),
+                reason: "shard replicas hold different operator state at an aligned barrier".into(),
+            });
+        }
+        Ok(first.to_vec())
+    }
+
     /// Approximate heap footprint of the operator state in bytes.
     fn state_mem_bytes(&self) -> usize {
         0

@@ -124,6 +124,19 @@ impl Operator for Project {
         &self.stats
     }
 
+    /// Projection is per-tuple: safe to replicate across shards.
+    fn shard_safe(&self) -> bool {
+        true
+    }
+
+    /// Every policy is forwarded immediately, exactly once, and
+    /// deterministically (grants remapped to output positions), so
+    /// projection may sit between a delayed-propagation operator and
+    /// its sink: duplicate flushes stay byte-equal through the remap.
+    fn policy_transparent(&self) -> bool {
+        true
+    }
+
     /// Snapshot: counters only — projection holds no stream state.
     fn snapshot(&self, buf: &mut Vec<u8>) {
         self.stats.encode_counters(buf);

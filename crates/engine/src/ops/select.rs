@@ -5,6 +5,14 @@
 //! every tuple of a segment is filtered out, the segment's punctuations are
 //! discarded too (§IV-B) — downstream operators never pay for policies with
 //! no surviving tuples.
+//!
+//! [`Select::eager`] builds the selection *without* the delay: every
+//! policy is forwarded immediately, making the operator
+//! policy-transparent. Eager selections trade the §IV-B traffic saving
+//! for shard-compatibility — they may sit anywhere in a key-partitioned
+//! plan, while a delaying selection must reach its sink through
+//! policy-transparent operators only (see
+//! [`Operator::policy_transparent`]).
 
 use std::sync::Arc;
 
@@ -18,16 +26,33 @@ use crate::stats::{CostKind, OperatorStats};
 #[derive(Debug)]
 pub struct Select {
     condition: Expr,
+    /// Forward policies immediately instead of delaying (§IV-B off).
+    eager: bool,
     /// The segment policy awaiting its first passing tuple.
     pending_policy: Option<Arc<SegmentPolicy>>,
     stats: OperatorStats,
 }
 
 impl Select {
-    /// A selection with the given predicate.
+    /// A selection with the given predicate, practising delayed sp
+    /// propagation (§IV-B).
     #[must_use]
     pub fn new(condition: Expr) -> Self {
-        Self { condition, pending_policy: None, stats: OperatorStats::new() }
+        Self { condition, eager: false, pending_policy: None, stats: OperatorStats::new() }
+    }
+
+    /// A selection that forwards every policy immediately instead of
+    /// delaying it until the segment's first survivor — see the module
+    /// docs for the tradeoff.
+    #[must_use]
+    pub fn eager(condition: Expr) -> Self {
+        Self { condition, eager: true, pending_policy: None, stats: OperatorStats::new() }
+    }
+
+    /// Whether this selection forwards policies eagerly.
+    #[must_use]
+    pub fn is_eager(&self) -> bool {
+        self.eager
     }
 
     /// The selection condition.
@@ -36,9 +61,15 @@ impl Select {
         &self.condition
     }
 
-    /// Buffers one arriving segment policy (delayed propagation core).
-    fn absorb_policy(&mut self, seg: Arc<SegmentPolicy>) {
+    /// Buffers one arriving segment policy (delayed propagation core),
+    /// or forwards it immediately in eager mode.
+    fn absorb_policy(&mut self, seg: Arc<SegmentPolicy>, out: &mut Emitter) {
         self.stats.sps_in += 1;
+        if self.eager {
+            self.stats.sps_out += 1;
+            out.push(Element::Policy(seg));
+            return;
+        }
         // The previous pending policy (if any) saw no passing tuple:
         // it is discarded, exactly the paper's delayed propagation.
         self.pending_policy = Some(seg);
@@ -76,7 +107,7 @@ impl Operator for Select {
         match elem {
             Element::Policy(seg) => {
                 let start = std::time::Instant::now();
-                self.absorb_policy(seg);
+                self.absorb_policy(seg, out);
                 self.stats.charge(CostKind::Sp, start.elapsed());
             }
             Element::Tuple(tuple) => {
@@ -104,7 +135,7 @@ impl Operator for Select {
         for elem in batch {
             match elem {
                 Element::Tuple(tuple) => self.filter_tuple(tuple, out),
-                Element::Policy(seg) => self.absorb_policy(seg),
+                Element::Policy(seg) => self.absorb_policy(seg, out),
             }
         }
         self.stats.charge(cost, start.elapsed());
@@ -113,6 +144,35 @@ impl Operator for Select {
 
     fn stats(&self) -> &OperatorStats {
         &self.stats
+    }
+
+    /// Selection is per-tuple: safe to replicate across shards. Its
+    /// delayed sp propagation is tuple-dependent, though, so the sharded
+    /// builder additionally requires a delaying selection to reach its
+    /// sink through policy-transparent operators only (see
+    /// [`Operator::delays_sps`]). Eager selections carry no such
+    /// restriction.
+    fn shard_safe(&self) -> bool {
+        true
+    }
+
+    /// The pending policy is flushed by the first *surviving* tuple — a
+    /// shard-local event under key partitioning. Eager selections never
+    /// hold a pending policy.
+    fn delays_sps(&self) -> bool {
+        !self.eager
+    }
+
+    /// An eager selection forwards every policy immediately, exactly
+    /// once, unchanged.
+    fn policy_transparent(&self) -> bool {
+        self.eager
+    }
+
+    /// Suffix layout: one pending optional segment. Canonically flushed
+    /// when any shard flushed.
+    fn merge_shard_state(&self, parts: &[&[u8]]) -> Result<Vec<u8>, EngineError> {
+        crate::checkpoint::merge_delayed_suffix("select", parts, 0)
     }
 
     fn state_mem_bytes(&self) -> usize {
@@ -191,6 +251,31 @@ mod tests {
         assert_eq!(policies[0].ts, Timestamp(10));
         assert_eq!(sel.stats().sps_in, 2);
         assert_eq!(sel.stats().sps_out, 1);
+    }
+
+    #[test]
+    fn eager_select_forwards_policies_immediately() {
+        let mut sel = Select::eager(gt(5));
+        assert!(sel.is_eager());
+        assert!(!sel.delays_sps());
+        assert!(sel.policy_transparent());
+        let out = run_unary(&mut sel, vec![pol(0), tup(1, 3), pol(10), tup(2, 7)]);
+        // Both policies pass through at their arrival positions, even
+        // though segment 0 has no surviving tuple.
+        assert!(out[0].as_policy().is_some());
+        assert!(out[1].as_policy().is_some());
+        assert_eq!(out[2].as_tuple().unwrap().tid.raw(), 2);
+        assert_eq!(sel.stats().sps_in, 2);
+        assert_eq!(sel.stats().sps_out, 2);
+        assert_eq!(sel.state_mem_bytes(), 0, "eager mode never buffers a policy");
+    }
+
+    #[test]
+    fn delaying_select_is_not_policy_transparent() {
+        let sel = Select::new(gt(5));
+        assert!(sel.delays_sps());
+        assert!(!sel.policy_transparent());
+        assert!(!sel.is_eager());
     }
 
     #[test]

@@ -622,6 +622,29 @@ impl Operator for SecurityShield {
         self.roles.mem_bytes() + self.current.as_ref().map_or(0, |seg| seg.mem_bytes())
     }
 
+    /// The shield decides per tuple from policy state built *only* from
+    /// broadcast sps, so shard replicas hold identical policy state:
+    /// safe to replicate across shards. Its lazy policy forwarding is
+    /// tuple-dependent, though, so the sharded builder additionally
+    /// requires it to feed its sink directly (see
+    /// [`Operator::delays_sps`]).
+    fn shard_safe(&self) -> bool {
+        true
+    }
+
+    /// The narrowed pending policy is emitted before the first *released*
+    /// tuple — a shard-local event under key partitioning.
+    fn delays_sps(&self) -> bool {
+        true
+    }
+
+    /// Suffix layout: the buffered segment (replicated — built from
+    /// broadcast sps alone) followed by the pending narrowed policy
+    /// (canonically flushed when any shard released a tuple).
+    fn merge_shard_state(&self, parts: &[&[u8]]) -> Result<Vec<u8>, EngineError> {
+        ckpt::merge_delayed_suffix("ss", parts, 1)
+    }
+
     /// Snapshot: counters, the buffered segment policy, and the pending
     /// (not-yet-emitted) narrowed policy. The verdict and both caches are
     /// derived state, re-evaluated on restore.

@@ -49,6 +49,14 @@ impl Sink {
     pub fn clear(&mut self) {
         self.elements.clear();
     }
+
+    /// Takes everything delivered since the last take, leaving the sink
+    /// empty (and its counters intact). Shard replicas use this to ship
+    /// output increments to the exchange merge without re-sending
+    /// history.
+    pub(crate) fn take_elements(&mut self) -> Vec<Element> {
+        std::mem::take(&mut self.elements)
+    }
 }
 
 impl Operator for Sink {

@@ -81,7 +81,9 @@ use crate::operator::{Emitter, Operator as _};
 use crate::ops::sink::Sink;
 use crate::overload::{classed_channel, ClassedReceiver, ClassedSender, DataRejected};
 use crate::plan::{PlanBuilder, SinkRef, Target};
-use crate::telemetry::{AuditOp, AuditTrail, FlightRecorder, SpanRecorder, SpanSheet};
+use crate::telemetry::{
+    merge_recorders, AuditOp, AuditTrail, FlightRecorder, SpanRecorder, SpanSheet,
+};
 
 /// Data-class capacity of bounded (unary / sink) edges, counted in batch
 /// envelopes. Control traffic (sps, epoch barriers) does not count
@@ -186,9 +188,11 @@ impl EdgeTx {
     /// Sends with backpressure. Returns `Ok(false)` when the receiver is
     /// gone (a downstream worker finished or failed — not an error for
     /// the sender), `Err` when a bounded edge's *data* class stalls past
-    /// the deadline. Control envelopes (sps, epoch barriers) are always
-    /// admitted immediately — they cannot stall behind a full data bound.
-    fn send(&self, env: Envelope) -> Result<bool, EngineError> {
+    /// the deadline — naming `stage`, the stalled consumer, so a wedged
+    /// graph is diagnosable. Control envelopes (sps, epoch barriers) are
+    /// always admitted immediately — they cannot stall behind a full
+    /// data bound.
+    fn send(&self, env: Envelope, stage: &str) -> Result<bool, EngineError> {
         match self {
             EdgeTx::Unbounded(tx) => Ok(tx.send(env).is_ok()),
             EdgeTx::Bounded(tx) => {
@@ -203,7 +207,10 @@ impl EdgeTx {
                         Err(DataRejected::Disconnected(_)) => return Ok(false),
                         Err(DataRejected::Full(back)) => {
                             if Instant::now() >= deadline {
-                                return Err(EngineError::ShutdownTimeout { pending_workers: 1 });
+                                return Err(EngineError::ShutdownTimeout {
+                                    pending_workers: 1,
+                                    stalled: vec![stage.to_string()],
+                                });
                             }
                             env = back;
                             std::thread::yield_now();
@@ -244,7 +251,9 @@ impl EdgeRx {
 /// which closes its outputs in turn. (Handing every worker senders to
 /// every channel would deadlock: no channel could ever close.)
 struct Wires {
-    senders: Vec<EdgeTx>,
+    /// `(consumer label, sender)` per edge; the label names the stage a
+    /// stalled send is waiting on.
+    senders: Vec<(String, EdgeTx)>,
 }
 
 impl Wires {
@@ -252,17 +261,19 @@ impl Wires {
         let senders = targets
             .iter()
             .map(|t| match *t {
-                Target::Node(n, port) => node_tx[n][port].clone(),
-                Target::Sink(s) => sink_tx[s].clone(),
+                Target::Node(n, port) => {
+                    (format!("node {n} port {port}"), node_tx[n][port].clone())
+                }
+                Target::Sink(s) => (format!("sink {s}"), sink_tx[s].clone()),
             })
             .collect();
         Self { senders }
     }
 
     fn send(&self, seq: u64, payload: &Payload) -> Result<(), EngineError> {
-        for tx in &self.senders {
+        for (label, tx) in &self.senders {
             // `Ok(false)` (closed downstream) is fine; a stall is not.
-            tx.send(Envelope { seq, payload: payload.clone() })?;
+            tx.send(Envelope { seq, payload: payload.clone() }, label)?;
         }
         Ok(())
     }
@@ -271,13 +282,13 @@ impl Wires {
     /// last sender takes the batch by move, so single-consumer edges (the
     /// common case) forward without copying.
     fn send_batch(&self, seq: u64, batch: ElementBatch) -> Result<(), EngineError> {
-        let Some((last, rest)) = self.senders.split_last() else {
+        let Some(((last_label, last), rest)) = self.senders.split_last() else {
             return Ok(());
         };
-        for tx in rest {
-            tx.send(Envelope { seq, payload: Payload::Batch(batch.clone()) })?;
+        for (label, tx) in rest {
+            tx.send(Envelope { seq, payload: Payload::Batch(batch.clone()) }, label)?;
         }
-        last.send(Envelope { seq, payload: Payload::Batch(batch) })?;
+        last.send(Envelope { seq, payload: Payload::Batch(batch) }, last_label)?;
         Ok(())
     }
 }
@@ -360,7 +371,7 @@ fn barrier_node(
 /// Joins a set of worker handles against [`DRAIN_TIMEOUT`], converting
 /// worker panics (which containment should have caught already) and
 /// propagating the first worker error.
-fn join_with_deadline<T>(
+pub(crate) fn join_with_deadline<T>(
     handles: Vec<(String, std::thread::JoinHandle<Result<T, EngineError>>)>,
     deadline: Instant,
 ) -> Result<Vec<T>, EngineError> {
@@ -373,8 +384,14 @@ fn join_with_deadline<T>(
         }
         if Instant::now() >= deadline {
             // Leaves the stragglers detached; they hold only their own
-            // channels, which die with them.
-            return Err(EngineError::ShutdownTimeout { pending_workers: pending });
+            // channels, which die with them. Name them so the operator
+            // wedging the graph is visible in the error.
+            let stalled = handles
+                .iter()
+                .filter(|(_, h)| !h.is_finished())
+                .map(|(name, _)| name.clone())
+                .collect();
+            return Err(EngineError::ShutdownTimeout { pending_workers: pending, stalled });
         }
         std::thread::sleep(Duration::from_millis(1));
     }
@@ -779,25 +796,23 @@ fn run_parallel_inner(
     // audit channel. `push_section` keeps canonical order, so the trail
     // encodes identically to the sequential executor's.
     drop(audit_tx);
-    let mut audit = AuditTrail::new();
-    let mut spans = SpanSheet::new();
+    let worker_sections: Vec<AuditMsg> = audit_rx.try_iter().collect();
     #[allow(clippy::cast_possible_truncation)] // plan slots fit u32
-    for (sid, source) in sources.iter().enumerate() {
-        if let Some(rec) = source.analyzer.audit() {
-            audit.push_section(AuditOp::Source(sid as u32), rec.clone());
-        }
-        if let Some(rec) = source.analyzer.spans() {
-            spans.push_section(AuditOp::Source(sid as u32), rec.clone());
-        }
-    }
-    for (op, audit_rec, span_rec) in audit_rx.try_iter() {
-        if let Some(rec) = audit_rec {
-            audit.push_section(op, rec);
-        }
-        if let Some(rec) = span_rec {
-            spans.push_section(op, rec);
-        }
-    }
+    let audit: AuditTrail = merge_recorders(
+        sources
+            .iter()
+            .enumerate()
+            .map(|(sid, s)| (AuditOp::Source(sid as u32), s.analyzer.audit().cloned()))
+            .chain(worker_sections.iter().map(|(op, a, _)| (*op, a.clone()))),
+    );
+    #[allow(clippy::cast_possible_truncation)] // plan slots fit u32
+    let spans: SpanSheet = merge_recorders(
+        sources
+            .iter()
+            .enumerate()
+            .map(|(sid, s)| (AuditOp::Source(sid as u32), s.analyzer.spans().cloned()))
+            .chain(worker_sections.iter().map(|(op, _, s)| (*op, s.clone()))),
+    );
     if let Some(e) = feed_error {
         return Err(Box::new((e, collection)));
     }

@@ -42,7 +42,8 @@ use crate::operator::{Emitter, Operator};
 use crate::ops::sink::Sink;
 use crate::stats::OperatorStats;
 use crate::telemetry::{
-    span::span, AuditOp, AuditTrail, Histogram, MetricsRegistry, SpanSheet, TelemetryConfig,
+    merge_recorders, span::span, AuditOp, AuditTrail, Histogram, MetricsRegistry, SpanSheet,
+    TelemetryConfig,
 };
 
 /// Reference to a plan node (an operator added to a builder).
@@ -530,6 +531,43 @@ impl Executor {
         self.drain()
     }
 
+    /// Routes one pre-analyzed batch into the plan at source slot `idx`,
+    /// bypassing the sp-analyzer, and runs it to completion. Shard
+    /// replicas use this: the sharded coordinator runs the analyzers
+    /// once, centrally, and ships already-analyzed elements to shards,
+    /// so per-shard analyzer state cannot exist (let alone diverge).
+    pub(crate) fn inject(&mut self, idx: usize, batch: ElementBatch) -> Result<(), EngineError> {
+        let coalesce = self.batching;
+        enqueue_fanout(&mut self.queue, &self.sources[idx].outputs, batch.into_iter(), coalesce);
+        self.drain()
+    }
+
+    /// Number of source slots (shard plumbing).
+    pub(crate) fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of plan nodes (shard plumbing).
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The operator at node slot `i` (shard plumbing: recorder reads).
+    pub(crate) fn node_op(&self, i: usize) -> &dyn Operator {
+        self.nodes[i].op.as_ref()
+    }
+
+    /// Drains sink `i`'s collected output accumulated since the last
+    /// take (shard plumbing: output increments for the exchange merge).
+    pub(crate) fn take_sink_elements(&mut self, i: usize) -> Vec<Element> {
+        self.sinks[i].take_elements()
+    }
+
+    /// Number of sink slots (shard plumbing).
+    pub(crate) fn sink_count(&self) -> usize {
+        self.sinks.len()
+    }
+
     /// Fail-closed degradation counters summed over every source analyzer
     /// and every degradation-participating operator (load shedders).
     #[must_use]
@@ -584,18 +622,19 @@ impl Executor {
     /// byte-identical [`SpanSheet::encode_to_vec`] output.
     #[must_use]
     pub fn span_sheet(&self) -> SpanSheet {
-        let mut sheet = SpanSheet::new();
-        for (i, source) in self.sources.iter().enumerate() {
-            if let Some(rec) = source.analyzer.spans() {
-                sheet.push_section(AuditOp::Source(i as u32), rec.clone());
-            }
-        }
-        for (i, node) in self.nodes.iter().enumerate() {
-            if let Some(rec) = node.op.spans() {
-                sheet.push_section(AuditOp::Node(i as u32), rec.clone());
-            }
-        }
-        sheet
+        #[allow(clippy::cast_possible_truncation)] // plan slots fit u32
+        merge_recorders(
+            self.sources
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (AuditOp::Source(i as u32), s.analyzer.spans().cloned()))
+                .chain(
+                    self.nodes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, n)| (AuditOp::Node(i as u32), n.op.spans().cloned())),
+                ),
+        )
     }
 
     /// Assembles the plan-wide audit trail in canonical section order:
@@ -606,18 +645,19 @@ impl Executor {
     /// [`AuditTrail::encode_to_vec`] output.
     #[must_use]
     pub fn audit_trail(&self) -> AuditTrail {
-        let mut trail = AuditTrail::new();
-        for (i, source) in self.sources.iter().enumerate() {
-            if let Some(rec) = source.analyzer.audit() {
-                trail.push_section(AuditOp::Source(i as u32), rec.clone());
-            }
-        }
-        for (i, node) in self.nodes.iter().enumerate() {
-            if let Some(rec) = node.op.audit() {
-                trail.push_section(AuditOp::Node(i as u32), rec.clone());
-            }
-        }
-        trail
+        #[allow(clippy::cast_possible_truncation)] // plan slots fit u32
+        merge_recorders(
+            self.sources
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (AuditOp::Source(i as u32), s.analyzer.audit().cloned()))
+                .chain(
+                    self.nodes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, n)| (AuditOp::Node(i as u32), n.op.audit().cloned())),
+                ),
+        )
     }
 
     /// Builds a point-in-time metrics snapshot: per-operator tuple/sp

@@ -915,6 +915,52 @@ impl SpanSheet {
     }
 }
 
+/// A telemetry plane assembled from per-operator recorder sections:
+/// [`AuditTrail`] (of [`FlightRecorder`]s) or [`SpanSheet`] (of
+/// [`SpanRecorder`]s). Exists so [`merge_recorders`] can serve both
+/// planes with one implementation of the section-ordering rules.
+pub trait RecorderPlane: Default {
+    /// The per-operator recorder this plane collects.
+    type Recorder;
+    /// Adds one section, keeping sections in canonical [`AuditOp`] order.
+    fn add_section(&mut self, op: AuditOp, rec: Self::Recorder);
+}
+
+impl RecorderPlane for AuditTrail {
+    type Recorder = FlightRecorder;
+    fn add_section(&mut self, op: AuditOp, rec: FlightRecorder) {
+        self.push_section(op, rec);
+    }
+}
+
+impl RecorderPlane for SpanSheet {
+    type Recorder = SpanRecorder;
+    fn add_section(&mut self, op: AuditOp, rec: SpanRecorder) {
+        self.push_section(op, rec);
+    }
+}
+
+/// Merges per-operator recorder sections — gathered from a sequential
+/// executor, pipeline-parallel worker threads, or shard replicas — into
+/// one canonically ordered plane. `None` sections (recorder disabled at
+/// that operator) are omitted, *not* added empty, which is what keeps a
+/// run with telemetry armed encoding identically however it executed.
+///
+/// Every assembly path in the engine funnels through this function so
+/// the omit-disabled rule and the canonical section order live in
+/// exactly one place.
+pub fn merge_recorders<P: RecorderPlane>(
+    sections: impl IntoIterator<Item = (AuditOp, Option<P::Recorder>)>,
+) -> P {
+    let mut plane = P::default();
+    for (op, rec) in sections {
+        if let Some(rec) = rec {
+            plane.add_section(op, rec);
+        }
+    }
+    plane
+}
+
 /// Enforcement-lag tracking for one Security Shield — the paper's
 /// immediate-enforcement promise, measured.
 ///

@@ -1,0 +1,249 @@
+//! Property tests for key-partitioned shard scale-out.
+//!
+//! Three properties over randomized sp/tuple workloads:
+//!
+//! 1. **partitioner determinism** — the shard of a tuple is a pure
+//!    function of `(stream id, tuple id, shard count)`: stable across
+//!    calls and instances, always in range, and independent of the
+//!    tuple's payload (so retries and replicas route identically);
+//! 2. **sequential ≡ sharded** — for any workload and any shard count,
+//!    the sharded executor's released elements (tuples *and* flushed
+//!    policies, per sink), audit trail, span sheet, and shard-spanning
+//!    checkpoint are byte-identical to the sequential executor's. Checked
+//!    for both a shield plan and a select plan (the two delayed-sp
+//!    operators, exercising the exchange's flush dedup);
+//! 3. **re-shard on restore** — a checkpoint cut at N shards, restored
+//!    at M shards at a random split point, continues to the same final
+//!    analyzer/node state as an uninterrupted sequential run.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sp_core::{
+    RoleCatalog, RoleId, RoleSet, Schema, SecurityPunctuation, StreamElement, StreamId, Timestamp,
+    Tuple, TupleId, Value, ValueType,
+};
+use sp_engine::{
+    CmpOp, Element, Expr, Partitioner, PlanBuilder, SecurityShield, Select, ShardedExecutor,
+    SinkRef, TelemetryConfig,
+};
+
+fn schema() -> Arc<Schema> {
+    Schema::of("s", &[("id", ValueType::Int), ("v", ValueType::Int)])
+}
+
+fn catalog() -> Arc<RoleCatalog> {
+    let mut c = RoleCatalog::new();
+    c.register_synthetic_roles(8);
+    Arc::new(c)
+}
+
+/// One raw workload item on one of two streams.
+#[derive(Debug, Clone)]
+enum Item {
+    Sp(u32, Vec<u32>),
+    Tup(u32, u64, i64),
+}
+
+fn arb_items() -> impl Strategy<Value = Vec<Item>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..=2, prop::collection::vec(0u32..5, 0..3)).prop_map(|(s, r)| Item::Sp(s, r)),
+            (1u32..=2, 0u64..6, 0i64..10).prop_map(|(s, id, v)| Item::Tup(s, id, v)),
+        ],
+        4..48,
+    )
+}
+
+fn raw_input(items: &[Item]) -> Vec<(StreamId, StreamElement)> {
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let ts = Timestamp(i as u64 + 1);
+            match item {
+                Item::Sp(s, roles) => {
+                    let rs: RoleSet = roles.iter().map(|&r| RoleId(r)).collect();
+                    (
+                        StreamId(*s),
+                        StreamElement::punctuation(SecurityPunctuation::grant_all(rs, ts)),
+                    )
+                }
+                Item::Tup(s, id, v) => (
+                    StreamId(*s),
+                    StreamElement::tuple(Tuple::new(
+                        StreamId(*s),
+                        TupleId(*id),
+                        ts,
+                        vec![Value::Int(*id as i64), Value::Int(*v)],
+                    )),
+                ),
+            }
+        })
+        .collect()
+}
+
+type BuildFn = fn() -> (PlanBuilder, Vec<SinkRef>);
+
+fn telemetry_on(b: &mut PlanBuilder) {
+    b.enable_telemetry(TelemetryConfig {
+        audit_capacity: 4096,
+        span_capacity: 4096,
+        metrics: false,
+    });
+}
+
+/// Two-stream shield plan (ψ feeds its sink directly, as sharding
+/// requires of delaying operators).
+fn shield_builder() -> (PlanBuilder, Vec<SinkRef>) {
+    let mut b = PlanBuilder::new(catalog());
+    let mut sinks = Vec::new();
+    for sid in [1u32, 2] {
+        let src = b.source(StreamId(sid), schema());
+        let ss = b.add(SecurityShield::new(RoleSet::from([1])), src);
+        sinks.push(b.sink(ss));
+    }
+    (b, sinks)
+}
+
+/// Two-stream select plan: exercises Select's delayed sp propagation
+/// (per-shard pending flush + exchange dedup) without a shield behind it.
+fn select_builder() -> (PlanBuilder, Vec<SinkRef>) {
+    let mut b = PlanBuilder::new(catalog());
+    let mut sinks = Vec::new();
+    for sid in [1u32, 2] {
+        let src = b.source(StreamId(sid), schema());
+        let sel = b
+            .add(Select::new(Expr::cmp(CmpOp::Gt, Expr::Attr(1), Expr::Const(Value::Int(4)))), src);
+        sinks.push(b.sink(sel));
+    }
+    (b, sinks)
+}
+
+#[allow(clippy::type_complexity)]
+fn sequential_reference(
+    build: BuildFn,
+    input: &[(StreamId, StreamElement)],
+) -> (Vec<Vec<Element>>, Vec<u8>, Vec<u8>, sp_engine::Checkpoint) {
+    let (mut b, sinks) = build();
+    telemetry_on(&mut b);
+    let mut exec = b.build();
+    exec.push_all(input.iter().cloned()).unwrap();
+    exec.finish().unwrap();
+    let outs = sinks.iter().map(|&s| exec.sink(s).elements().to_vec()).collect::<Vec<_>>();
+    let trail = exec.audit_trail().encode_to_vec();
+    let sheet = exec.span_sheet().encode_to_vec();
+    let ckpt = exec.checkpoint(7, input.len() as u64);
+    (outs, trail, sheet, ckpt)
+}
+
+#[allow(clippy::type_complexity)]
+fn sharded_run(
+    build: BuildFn,
+    input: &[(StreamId, StreamElement)],
+    shards: usize,
+) -> (Vec<Vec<Element>>, Vec<u8>, Vec<u8>, sp_engine::Checkpoint) {
+    let mut exec = ShardedExecutor::new(
+        move || {
+            let (mut b, _) = build();
+            telemetry_on(&mut b);
+            b
+        },
+        shards,
+    )
+    .unwrap();
+    let (_, sinks) = build();
+    exec.push_all(input.iter().cloned()).unwrap();
+    exec.finish().unwrap();
+    let ckpt = exec.checkpoint(7, input.len() as u64).unwrap();
+    let outs = sinks.iter().map(|&s| exec.sink(s).elements().to_vec()).collect::<Vec<_>>();
+    let trail = exec.audit_trail().encode_to_vec();
+    let sheet = exec.span_sheet().encode_to_vec();
+    (outs, trail, sheet, ckpt)
+}
+
+fn check_sharded_equivalence(build: BuildFn, items: &[Item], shards: usize) {
+    let input = raw_input(items);
+    let (want_outs, want_trail, want_sheet, want_ckpt) = sequential_reference(build, &input);
+    let (outs, trail, sheet, ckpt) = sharded_run(build, &input, shards);
+    prop_assert_eq!(&outs, &want_outs, "released elements diverged at {} shards", shards);
+    prop_assert_eq!(&trail, &want_trail, "audit trail diverged at {} shards", shards);
+    prop_assert_eq!(&sheet, &want_sheet, "span sheet diverged at {} shards", shards);
+    prop_assert_eq!(&ckpt, &want_ckpt, "checkpoint diverged at {} shards", shards);
+}
+
+proptest! {
+    // Each case spins up real shard threads; keep the count modest so the
+    // suite stays fast on small CI boxes.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partitioner_is_pure_stable_and_in_range(
+        sid in 0u32..8,
+        tid in 0u64..10_000,
+        payload in 0i64..100,
+        shards in 1usize..=16,
+    ) {
+        let p = Partitioner::new(shards);
+        let a = Tuple::new(StreamId(sid), TupleId(tid), Timestamp(0), vec![Value::Int(payload)]);
+        // Same key, different payload and timestamp.
+        let b = Tuple::new(
+            StreamId(sid),
+            TupleId(tid),
+            Timestamp(99),
+            vec![Value::Int(payload + 1), Value::Int(7)],
+        );
+        let shard = p.shard_of(&a);
+        prop_assert!(shard < shards, "shard {} out of range {}", shard, shards);
+        prop_assert_eq!(shard, p.shard_of(&a), "unstable across calls");
+        prop_assert_eq!(shard, Partitioner::new(shards).shard_of(&a), "unstable across instances");
+        prop_assert_eq!(shard, p.shard_of(&b), "shard must depend only on the key");
+    }
+
+    #[test]
+    fn shield_plan_sharded_matches_sequential(items in arb_items(), shards in 1usize..=8) {
+        check_sharded_equivalence(shield_builder, &items, shards);
+    }
+
+    #[test]
+    fn select_plan_sharded_matches_sequential(items in arb_items(), shards in 1usize..=8) {
+        check_sharded_equivalence(select_builder, &items, shards);
+    }
+
+    #[test]
+    fn reshard_on_restore_converges(
+        items in arb_items(),
+        cut_frac in 0usize..100,
+        n in 1usize..=4,
+        m in 1usize..=4,
+    ) {
+        let input = raw_input(&items);
+        let cut_at = input.len() * cut_frac / 100;
+        let (cut, rest) = input.split_at(cut_at);
+
+        let (_, _, _, want_ckpt) = sequential_reference(shield_builder, &input);
+
+        let build = || {
+            let (mut b, _) = shield_builder();
+            telemetry_on(&mut b);
+            b
+        };
+        let mut at_n = ShardedExecutor::new(build, n).unwrap();
+        at_n.push_all(cut.iter().cloned()).unwrap();
+        let mid = at_n.checkpoint(1, cut.len() as u64).unwrap();
+        drop(at_n);
+
+        let mut at_m = ShardedExecutor::new(build, m).unwrap();
+        at_m.restore(&mid).unwrap();
+        at_m.push_all(rest.iter().cloned()).unwrap();
+        at_m.finish().unwrap();
+        let end = at_m.checkpoint(7, input.len() as u64).unwrap();
+
+        // Sinks restart their element lists on restore by design; the
+        // analyzer and operator state must converge exactly.
+        prop_assert_eq!(&end.analyzers, &want_ckpt.analyzers, "analyzers diverged {}→{}", n, m);
+        prop_assert_eq!(&end.nodes, &want_ckpt.nodes, "nodes diverged {}→{}", n, m);
+    }
+}

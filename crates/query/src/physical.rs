@@ -18,6 +18,14 @@ pub struct InstantiateOptions {
     /// tuples visible through attribute-scoped grants, masking the
     /// attributes the query may not read (§III-A's attribute granularity).
     pub granularity: Granularity,
+    /// Instantiate every selection as [`Select::eager`]: policies are
+    /// forwarded immediately instead of delayed until the segment's
+    /// first surviving tuple (§IV-B). Sharded sessions need this — an
+    /// eager selection is policy-transparent, so the shield's
+    /// shard-local flushes stay deduplicable all the way to the sink.
+    /// Sequential sessions keep the default `false` (the paper's
+    /// traffic-saving delay).
+    pub eager_selects: bool,
 }
 
 /// Instantiates `plan` into `builder`, reusing sources in `sources` so
@@ -53,7 +61,12 @@ pub fn instantiate_with(
         }
         LogicalPlan::Select { input, predicate } => {
             let upstream = instantiate_with(input, builder, sources, opts);
-            Upstream::Node(builder.add(Select::new(predicate.clone()), upstream))
+            let select = if opts.eager_selects {
+                Select::eager(predicate.clone())
+            } else {
+                Select::new(predicate.clone())
+            };
+            Upstream::Node(builder.add(select, upstream))
         }
         LogicalPlan::Project { input, indices } => {
             let upstream = instantiate_with(input, builder, sources, opts);

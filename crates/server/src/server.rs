@@ -478,25 +478,31 @@ fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
                     // left in flight are counted before we answer, so a
                     // reconnecting client can never be told to replay
                     // an element the session is about to consume.
-                    let resume_from = {
+                    let report = {
                         let (tx, rx) = mpsc::sync_channel(1);
                         if h.tx.send(Cmd::Report { reply: tx }).is_ok() {
-                            rx.recv_timeout(Duration::from_secs(10))
-                                .map_or_else(|_| h.pos.load(Ordering::SeqCst), |r| r.input_pos)
+                            rx.recv_timeout(Duration::from_secs(10)).ok()
                         } else {
-                            h.pos.load(Ordering::SeqCst)
+                            None
                         }
                     };
+                    let resume_from = report
+                        .as_ref()
+                        .map_or_else(|| h.pos.load(Ordering::SeqCst), |r| r.input_pos);
                     let was_quarantined = h.quarantined.load(Ordering::SeqCst);
                     tenant = Some(h);
-                    if write_ctrl(&mut stream, &Control::HelloAck { resume_from }).is_err() {
+                    if was_quarantined {
+                        // Answer the handshake itself with the verdict
+                        // (no HelloAck first): the client learns the real
+                        // cause and stops, instead of racing a replay
+                        // against a connection we are about to close.
+                        let code = report
+                            .and_then(|r| r.quarantine_code)
+                            .unwrap_or(QuarantineCode::Panicked);
+                        let _ = write_ctrl(&mut stream, &Control::Quarantined { code });
                         break 'conn;
                     }
-                    if was_quarantined {
-                        let _ = write_ctrl(
-                            &mut stream,
-                            &Control::Quarantined { code: QuarantineCode::Panicked },
-                        );
+                    if write_ctrl(&mut stream, &Control::HelloAck { resume_from }).is_err() {
                         break 'conn;
                     }
                 }

@@ -124,6 +124,91 @@ fn clean_loopback_matches_in_memory_baseline() {
 }
 
 #[test]
+fn sharded_tenants_match_in_memory_baseline() {
+    let f = factory(None);
+    let input = workload_input(19);
+    // The sharded session instantiates its selections eagerly, so the
+    // reference is the same factory started sharded at width 1 — the
+    // released set and audit trail are invariant across widths.
+    let want = {
+        let mut dsms = f(0);
+        dsms.shards = 2;
+        let mut running = dsms.try_start().unwrap();
+        for (s, e) in &input {
+            let _ = running.try_push(*s, e.clone());
+        }
+        let released: Vec<(u32, Vec<String>)> = dsms
+            .queries()
+            .iter()
+            .map(|q| (q.id.raw(), running.results(q.id).tuples().map(|t| t.to_string()).collect()))
+            .collect();
+        Baseline { released, audit: running.audit_trail().encode_to_vec() }
+    };
+    // Tuples released must also equal the plain sequential session's.
+    let seq = baseline(&f, 0, &input);
+    assert_eq!(released_sets(&want.released), released_sets(&seq.released));
+
+    let cfg = ServerConfig { shards: 4, checkpoint_every_frames: 3, ..default_cfg() };
+    let stores = StoreMap::new();
+    let handle = Server::start(cfg, Arc::clone(&f), stores.clone()).unwrap();
+    let r = LoadClient::new(ClientConfig::default()).run(handle.addr, &input);
+    assert!(r.completed, "client must deliver everything: {r:?}");
+    let report = handle.drain();
+    assert!(report.clean);
+    let t = report.tenant(0).expect("tenant 0 drained");
+    assert_eq!(t.released, want.released, "4-shard server must match the 2-shard run");
+    assert_eq!(t.audit, want.audit, "audit trail must be byte-identical across widths");
+
+    // The drained checkpoint was cut at 4 shards; a new server at a
+    // different width resumes from it (re-shard on resume).
+    let handle2 =
+        Server::start(ServerConfig { shards: 2, ..default_cfg() }, Arc::clone(&f), stores).unwrap();
+    let r2 = LoadClient::new(ClientConfig::default()).run(handle2.addr, &input);
+    assert!(
+        r2.completed && r2.quarantined.is_none(),
+        "re-sharded resume must accept input: {r2:?}"
+    );
+    let report2 = handle2.drain();
+    assert!(report2.clean);
+}
+
+#[test]
+fn sharded_server_quarantines_unshardable_plans() {
+    // A join needs the whole stream: the sharded builder refuses it, and
+    // the tenant must start quarantined (fail closed) — not run it wrong.
+    let f: SessionFactory = Arc::new(move |tenant: u32| {
+        let mut dsms = Dsms::new();
+        dsms.register_stream(StreamId(1), MovingObjectSim::location_schema()).unwrap();
+        dsms.register_stream(
+            StreamId(2),
+            sp_core::Schema::of(
+                "Regions",
+                &[("obj_id", sp_core::ValueType::Int), ("region", sp_core::ValueType::Int)],
+            ),
+        )
+        .unwrap();
+        dsms.register_role("analyst").unwrap();
+        let subject = dsms.register_subject(&format!("tenant-{tenant}"), &["analyst"]).unwrap();
+        dsms.submit(
+            "SELECT a.obj_id FROM LocationUpdates [RANGE 10 SECONDS] AS a, \
+             Regions [RANGE 10 SECONDS] AS b WHERE a.obj_id = b.obj_id",
+            subject,
+        )
+        .unwrap();
+        dsms
+    });
+    let input = workload_input(23);
+    let cfg = ServerConfig { shards: 4, ..default_cfg() };
+    let handle = Server::start(cfg, Arc::clone(&f), StoreMap::new()).unwrap();
+    let r = LoadClient::new(ClientConfig::default()).run(handle.addr, &input);
+    assert_eq!(r.quarantined, Some(QuarantineCode::ResumeFailed), "{r:?}");
+    let report = handle.drain();
+    let t = report.tenant(0).expect("tenant 0 reported");
+    assert_eq!(t.quarantine_code, Some(QuarantineCode::ResumeFailed));
+    assert!(t.released.iter().all(|(_, v)| v.is_empty()), "a refused plan releases nothing");
+}
+
+#[test]
 fn reconnect_storm_is_exactly_once() {
     let f = factory(None);
     let input = workload_input(12);

@@ -101,11 +101,10 @@ fn main() {
     for e in &workload.elements {
         let _ = reference.try_push(StreamId(1), e.clone());
     }
-    let want: Vec<String> = dsms
-        .queries()
-        .iter()
-        .flat_map(|q| reference.results(q.id).tuples().map(|t| t.to_string()))
-        .collect();
+    let mut want: Vec<String> = Vec::new();
+    for q in dsms.queries() {
+        want.extend(reference.results(q.id).tuples().map(|t| t.to_string()));
+    }
     let want_audit = reference.audit_trail().encode_to_vec();
 
     // 3. The real server, on a loopback port, with observability on.
@@ -151,4 +150,24 @@ fn main() {
     assert_eq!(tenant.audit, want_audit, "audit trail must be byte-identical");
     assert!(!got.is_empty());
     println!("OK: wire round-trip through the live server reproduces the in-memory run.");
+
+    // 6. Scale out: the same replay against a server running every
+    // tenant at 4 shard replicas. Partitioned execution is an internal
+    // concern — the released tuples and the audit trail must be
+    // byte-identical to the single-shard run above.
+    let cfg = ServerConfig { metrics: true, shards: 4, ..ServerConfig::default() };
+    let handle = Server::start(cfg, factory, StoreMap::new()).expect("sharded server binds");
+    println!("sharded server on {} (4 shard replicas per tenant)", handle.addr);
+    let report = LoadClient::new(ClientConfig { frame_elements: BATCH, ..ClientConfig::default() })
+        .run(handle.addr, &input);
+    assert!(report.completed, "sharded run must deliver every element: {report:?}");
+    let metrics = http_get(handle.metrics_addr.expect("metrics listener is on"), "/metrics");
+    assert!(metrics.contains("sp_shard_count 4"), "shard width exposed on /metrics");
+    let drained = handle.drain();
+    assert!(drained.clean, "sharded drain must checkpoint every tenant");
+    let tenant = drained.tenant(0).expect("tenant 0 drained");
+    let got4: Vec<String> = tenant.released.iter().flat_map(|(_, v)| v.iter().cloned()).collect();
+    assert_eq!(got4, want, "4-shard run must release the same tuples, in the same order");
+    assert_eq!(tenant.audit, want_audit, "4-shard audit trail must be byte-identical");
+    println!("OK: the 4-shard run is byte-identical to the sequential run.");
 }
